@@ -1,0 +1,175 @@
+//! Criterion micro-benchmarks for the hot kernels of the Neo reproduction:
+//! tree convolution, value-network inference, best-first search, the
+//! executor's join kernels, the cardinality oracle, histogram estimation,
+//! and word2vec training.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use neo::{Featurization, Featurizer, NetConfig, SearchBudget, ValueNet};
+use neo_engine::{true_latency, CardinalityOracle, Engine, Executor};
+use neo_expert::{CardEstimator, HistogramEstimator};
+use neo_nn::{Matrix, TreeConv, TreeTopology, NO_CHILD};
+use neo_query::{children, JoinOp, PartialPlan, PlanNode, QueryContext, ScanType};
+use neo_storage::datagen::imdb;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// A synthetic left-deep plan tree with `n` leaves for NN benches.
+fn synthetic_tree(n: usize, channels: usize) -> (Matrix, TreeTopology) {
+    let nodes = 2 * n - 1;
+    let mut left = vec![NO_CHILD; nodes];
+    let mut right = vec![NO_CHILD; nodes];
+    // Nodes: leaves 0..n, internals n..2n-1 chained left-deep.
+    for i in 0..n - 1 {
+        let me = n + i;
+        left[me] = if i == 0 { 0 } else { (n + i - 1) as u32 };
+        right[me] = (i + 1) as u32;
+    }
+    let topo = TreeTopology { left, right, tree_of: vec![0; nodes], num_trees: 1 };
+    let mut feats = Matrix::zeros(nodes, channels);
+    for i in 0..nodes {
+        feats.set(i, i % channels, 1.0);
+    }
+    (feats, topo)
+}
+
+fn bench_tree_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut conv = TreeConv::new(64, 64, &mut rng);
+    let (feats, topo) = synthetic_tree(17, 64);
+    c.bench_function("tree_conv_forward_17rel_64ch", |b| {
+        b.iter(|| std::hint::black_box(conv.forward_inference(&feats, &topo)))
+    });
+    c.bench_function("tree_conv_forward_backward_17rel_64ch", |b| {
+        b.iter(|| {
+            let y = conv.forward(&feats, &topo);
+            std::hint::black_box(conv.backward(&y, &topo))
+        })
+    });
+}
+
+fn job_fixture() -> (neo_storage::Database, Vec<neo_query::Query>) {
+    let db = imdb::generate(0.05, 5);
+    let queries = neo_query::workload::job::generate(&db, 5).queries;
+    (db, queries)
+}
+
+fn bench_value_net(c: &mut Criterion) {
+    let (db, queries) = job_fixture();
+    let q = queries.iter().find(|q| q.num_relations() == 8).unwrap();
+    let f = Featurizer::new(&db, Featurization::Histogram);
+    let net = ValueNet::new(f.query_dim(), f.plan_channels(), NetConfig::default(), 7);
+    let qenc = f.encode_query(&db, q);
+    let ctx = QueryContext::new(&db, q);
+    let kids = children(&PartialPlan::initial(q), &ctx);
+    let encs: Vec<_> = kids.iter().map(|k| f.encode_plan(q, k, None)).collect();
+    let qrefs: Vec<&[f32]> = vec![&qenc; encs.len()];
+    let prefs: Vec<_> = encs.iter().collect();
+    c.bench_function(&format!("value_net_score_{}_children", encs.len()), |b| {
+        b.iter(|| std::hint::black_box(net.predict(&qrefs, &prefs)))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let (db, queries) = job_fixture();
+    let q = queries.iter().find(|q| q.num_relations() == 8).unwrap();
+    let f = Featurizer::new(&db, Featurization::Histogram);
+    let cfg = NetConfig {
+        query_layers: vec![64, 32, 16],
+        conv_channels: vec![24, 24, 16],
+        head_layers: vec![32, 16],
+        lr: 1e-3,
+        grad_clip: 5.0,
+        ignore_structure: false,
+    };
+    let net = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 7);
+    c.bench_function("best_first_search_8rel_30exp", |b| {
+        b.iter(|| {
+            std::hint::black_box(neo::best_first_search(
+                &net,
+                &f,
+                &db,
+                q,
+                SearchBudget::expansions(30),
+                None,
+            ))
+        })
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let (db, queries) = job_fixture();
+    let q = queries.iter().find(|q| q.num_relations() == 4).unwrap();
+    let ex = Executor::new(&db, q);
+    let ctx = QueryContext::new(&db, q);
+    // A hash-join-only left-deep plan.
+    let mut plan = PartialPlan::initial(q);
+    while !plan.is_complete() {
+        let kids = children(&plan, &ctx);
+        let pick = kids
+            .iter()
+            .position(|k| {
+                k.roots.iter().all(|r| match r {
+                    PlanNode::Scan { scan, .. } => *scan != ScanType::Index,
+                    PlanNode::Join { op, .. } => *op == JoinOp::Hash,
+                })
+            })
+            .unwrap_or(0);
+        plan = kids.into_iter().nth(pick).unwrap();
+    }
+    let tree = plan.as_complete().unwrap().clone();
+    c.bench_function("executor_hash_join_4rel", |b| {
+        b.iter(|| std::hint::black_box(ex.execute_count(&tree).unwrap()))
+    });
+}
+
+fn bench_oracle_and_estimator(c: &mut Criterion) {
+    let (db, queries) = job_fixture();
+    let q = queries.iter().find(|q| q.num_relations() == 6).unwrap();
+    let full = (1u64 << q.num_relations()) - 1;
+    c.bench_function("oracle_cardinality_6rel_cold", |b| {
+        b.iter_batched(
+            CardinalityOracle::new,
+            |mut oracle| std::hint::black_box(oracle.cardinality(&db, q, full)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("histogram_estimate_6rel", |b| {
+        b.iter_batched(
+            HistogramEstimator::new,
+            |mut est| std::hint::black_box(est.join(&db, q, full)),
+            BatchSize::SmallInput,
+        )
+    });
+    let profile = Engine::PostgresLike.profile();
+    let plan = neo_expert::postgres_expert(&db, q);
+    let mut oracle = CardinalityOracle::new();
+    let _ = oracle.cardinality(&db, q, full); // warm
+    c.bench_function("plan_latency_6rel_warm_oracle", |b| {
+        b.iter(|| std::hint::black_box(true_latency(&db, q, &profile, &mut oracle, &plan)))
+    });
+}
+
+fn bench_word2vec(c: &mut Criterion) {
+    let db = imdb::generate(0.02, 5);
+    let corpus = neo_embedding::build_corpus(&db, neo_embedding::CorpusKind::Normalized);
+    let cfg = neo_embedding::W2vConfig { dim: 16, epochs: 1, ..Default::default() };
+    c.bench_function("word2vec_epoch_normalized_tiny", |b| {
+        b.iter(|| std::hint::black_box(neo_embedding::train(&corpus, &cfg, 3)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tree_conv, bench_value_net, bench_search, bench_executor,
+              bench_oracle_and_estimator, bench_word2vec
+}
+criterion_main!(benches);

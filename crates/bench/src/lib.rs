@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+//! # neo-bench — experiment harness for the Neo reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//! Each experiment is a subcommand of the `neo-repro` binary; shared
+//! machinery (dataset/workload construction, the learning-run driver,
+//! table printing) lives here.
+//!
+//! Two presets: `--quick` (default; scaled-down datasets, subsampled
+//! workloads, fewer episodes — minutes on a single core) and `--full`
+//! (paper-shaped sizes — hours). The *shapes* of all results are preserved
+//! in quick mode; absolute numbers differ by construction (see
+//! EXPERIMENTS.md).
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{
+    build_db, build_workload, run_learning, split_workload, CurvePoint, Preset, RunRecord,
+    WorkloadKind,
+};
+
+/// Prints a horizontal rule + section title.
+pub fn section(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Median of a non-empty slice.
+pub fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance of a slice.
+pub fn variance(values: &[f64]) -> f64 {
+    let m = mean(values);
+    mean(&values.iter().map(|v| (v - m) * (v - m)).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+}

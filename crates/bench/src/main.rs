@@ -1,0 +1,90 @@
+//! `neo-repro` — regenerates every table and figure of the Neo paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! ```text
+//! neo-repro <command> [--quick|--full] [--episodes N] [--seed S]
+//!
+//! commands:
+//!   fig9-11           overall performance, learning curves, training time
+//!   fig12             featurization ablation
+//!   fig13             Ext-JOB generalization
+//!   fig14             robustness to cardinality estimation errors
+//!   fig15             per-query performance under both cost functions
+//!   fig16             search time vs performance (+ greedy ablation)
+//!   fig17             row-vector training time
+//!   table2            similarity vs cardinality
+//!   ablation-demo     is demonstration even necessary? (paper 6.3.3)
+//!   ablation-treeconv tree convolution vs structure-blind network
+//!   executor-vs-model latency-model fidelity vs the real executor
+//!   all               everything above, in order
+//! ```
+
+use neo_bench::figures;
+use neo_bench::harness::Preset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let preset = Preset::from_args(&args);
+    eprintln!(
+        "preset: imdb x{}, tpch x{}, corp x{}, {} queries/workload, {} episodes, seed {}",
+        preset.imdb_scale,
+        preset.tpch_scale,
+        preset.corp_scale,
+        preset.queries_per_workload,
+        preset.episodes,
+        preset.seed
+    );
+    let only: Option<Vec<neo_bench::WorkloadKind>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|w| {
+            w.split(',')
+                .filter_map(|n| match n {
+                    "job" => Some(neo_bench::WorkloadKind::Job),
+                    "tpch" => Some(neo_bench::WorkloadKind::Tpch),
+                    "corp" => Some(neo_bench::WorkloadKind::Corp),
+                    _ => None,
+                })
+                .collect()
+        });
+    match cmd {
+        "fig9-11" | "learning" => match &only {
+            Some(kinds) => figures::fig9_to_11_filtered(&preset, kinds),
+            None => figures::fig9_to_11(&preset),
+        },
+        "fig12" => figures::fig12(&preset),
+        "fig13" => figures::fig13(&preset),
+        "fig14" => figures::fig14(&preset),
+        "fig15" => figures::fig15(&preset),
+        "fig16" => figures::fig16(&preset),
+        "fig17" => figures::fig17(&preset),
+        "table2" => figures::table2(&preset),
+        "stats" => figures::stats(&preset),
+        "ablation-demo" => figures::ablation_demo(&preset),
+        "ablation-treeconv" => figures::ablation_treeconv(&preset),
+        "executor-vs-model" => figures::executor_vs_model(&preset),
+        "all" => {
+            figures::fig9_to_11(&preset);
+            figures::fig12(&preset);
+            figures::fig13(&preset);
+            figures::fig14(&preset);
+            figures::fig15(&preset);
+            figures::fig16(&preset);
+            figures::fig17(&preset);
+            figures::table2(&preset);
+            figures::ablation_demo(&preset);
+            figures::ablation_treeconv(&preset);
+            figures::executor_vs_model(&preset);
+        }
+        _ => {
+            eprintln!("unknown command {cmd:?}");
+            eprintln!(
+                "commands: stats fig9-11 fig12 fig13 fig14 fig15 fig16 fig17 table2 \
+                 ablation-demo ablation-treeconv executor-vs-model all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

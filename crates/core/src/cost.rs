@@ -1,0 +1,94 @@
+//! Cost functions (paper §4, §6.4.4).
+//!
+//! Neo minimizes a user-chosen cost `C(P_f)` rather than raw latency:
+//!
+//! * [`CostKind::WorkloadLatency`] — `C = L(P_f)`: minimize total workload
+//!   latency;
+//! * [`CostKind::Relative`] — `C = L(P_f) / Base(P_f)`: minimize latency
+//!   *relative to a per-query baseline* (e.g. the PostgreSQL plan), which
+//!   implicitly penalizes per-query regressions (paper Fig. 15).
+
+use std::collections::HashMap;
+
+/// Which cost function Neo optimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CostKind {
+    /// `C = L`: total workload latency.
+    #[default]
+    WorkloadLatency,
+    /// `C = L / Base`: relative per-query improvement.
+    Relative,
+}
+
+/// A configured cost function with per-query baselines.
+#[derive(Clone, Debug, Default)]
+pub struct CostFn {
+    /// The kind in use.
+    pub kind: CostKind,
+    base: HashMap<String, f64>,
+}
+
+impl CostFn {
+    /// A workload-latency cost function (no baselines needed).
+    pub fn workload() -> Self {
+        CostFn { kind: CostKind::WorkloadLatency, base: HashMap::new() }
+    }
+
+    /// A relative cost function over the given per-query baselines
+    /// (typically the latency of the expert's plan).
+    pub fn relative(base: HashMap<String, f64>) -> Self {
+        CostFn { kind: CostKind::Relative, base }
+    }
+
+    /// Registers (or updates) a query's baseline latency.
+    pub fn set_base(&mut self, query_id: &str, latency: f64) {
+        self.base.insert(query_id.to_string(), latency);
+    }
+
+    /// Maps an observed latency to the cost the value network learns.
+    ///
+    /// # Panics
+    /// Panics if `Relative` is used for a query with no baseline.
+    pub fn cost(&self, query_id: &str, latency: f64) -> f64 {
+        match self.kind {
+            CostKind::WorkloadLatency => latency,
+            CostKind::Relative => {
+                let base = self
+                    .base
+                    .get(query_id)
+                    .unwrap_or_else(|| panic!("no baseline for query {query_id}"));
+                // Scaled so relative costs land in a similar log-range as
+                // latencies (pure ratios cluster near 1.0).
+                1_000.0 * latency / base.max(1e-6)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_cost_is_latency() {
+        let c = CostFn::workload();
+        assert_eq!(c.cost("q", 123.0), 123.0);
+    }
+
+    #[test]
+    fn relative_cost_divides_by_base() {
+        let mut c = CostFn::relative(HashMap::new());
+        c.set_base("q", 200.0);
+        assert!((c.cost("q", 100.0) - 500.0).abs() < 1e-9); // 1000 * 0.5
+        // Better-than-baseline < 1000 < worse-than-baseline.
+        assert!(c.cost("q", 100.0) < 1_000.0);
+        assert!(c.cost("q", 400.0) > 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no baseline")]
+    fn relative_without_base_panics() {
+        let c = CostFn::relative(HashMap::new());
+        let _ = c.cost("missing", 1.0);
+    }
+}

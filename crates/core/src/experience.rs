@@ -1,0 +1,221 @@
+//! Neo's experience: the set of executed complete plans with observed
+//! costs, and the derivation of value-network training samples from it
+//! (paper §2 "Expertise Collection" / §4).
+//!
+//! The value network is trained to predict, for a partial plan `P_i`, the
+//! *best* cost among experienced complete plans containing it:
+//! `min{C(P_f) | P_i ⊂ P_f ∧ P_f ∈ E}`. Training states are derived from
+//! every subtree `s` of every experienced plan: the state
+//! `[s] ∪ {U(r) | r ∉ s}` is a subplan of every experienced plan
+//! containing `s`, so its target is the min cost over those plans.
+
+use neo_query::{PartialPlan, PlanNode, Query, ScanType};
+use std::collections::HashMap;
+
+/// One experienced execution.
+#[derive(Clone, Debug)]
+pub struct Episode {
+    /// The executed complete plan.
+    pub plan: PlanNode,
+    /// Its cost `C(P_f)` (latency, or relative latency — see
+    /// [`crate::cost`]).
+    pub cost: f64,
+}
+
+/// A training sample for the value network.
+#[derive(Clone, Debug)]
+pub struct TrainingSample {
+    /// Which query the state belongs to.
+    pub query_id: String,
+    /// The partial-plan state.
+    pub state: PartialPlan,
+    /// Min-aggregated target cost.
+    pub target: f64,
+}
+
+/// The experience store, per query.
+#[derive(Clone, Debug, Default)]
+pub struct Experience {
+    by_query: HashMap<String, Vec<Episode>>,
+}
+
+impl Experience {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an executed plan. Duplicate plans keep the minimum cost
+    /// (the latency model is deterministic, so duplicates carry no new
+    /// information).
+    pub fn add(&mut self, query_id: &str, plan: PlanNode, cost: f64) {
+        let eps = self.by_query.entry(query_id.to_string()).or_default();
+        if let Some(e) = eps.iter_mut().find(|e| e.plan == plan) {
+            e.cost = e.cost.min(cost);
+        } else {
+            eps.push(Episode { plan, cost });
+        }
+    }
+
+    /// Best experienced cost for a query.
+    pub fn best_cost(&self, query_id: &str) -> Option<f64> {
+        self.by_query
+            .get(query_id)?
+            .iter()
+            .map(|e| e.cost)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// The best experienced plan for a query.
+    pub fn best_plan(&self, query_id: &str) -> Option<&PlanNode> {
+        self.by_query.get(query_id)?.iter().min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap()).map(|e| &e.plan)
+    }
+
+    /// Total number of stored (query, plan) pairs.
+    pub fn num_plans(&self) -> usize {
+        self.by_query.values().map(|v| v.len()).sum()
+    }
+
+    /// Number of queries with experience.
+    pub fn num_queries(&self) -> usize {
+        self.by_query.len()
+    }
+
+    /// All stored costs (used to fit target normalization).
+    pub fn all_costs(&self) -> Vec<f64> {
+        self.by_query.values().flat_map(|v| v.iter().map(|e| e.cost)).collect()
+    }
+
+    /// Derives the deduplicated training set for the given queries.
+    pub fn training_samples(&self, queries: &[&Query]) -> Vec<TrainingSample> {
+        let mut out = Vec::new();
+        for q in queries {
+            let Some(eps) = self.by_query.get(&q.id) else { continue };
+            // Min-aggregate target per distinct subtree.
+            let mut min_by_subtree: HashMap<String, (PlanNode, f64)> = HashMap::new();
+            let mut overall = f64::INFINITY;
+            for e in eps {
+                overall = overall.min(e.cost);
+                for s in e.plan.subtrees() {
+                    let key = s.describe();
+                    min_by_subtree
+                        .entry(key)
+                        .and_modify(|(_, c)| *c = c.min(e.cost))
+                        .or_insert_with(|| (s.clone(), e.cost));
+                }
+            }
+            // The initial all-unspecified state is a subplan of everything.
+            out.push(TrainingSample {
+                query_id: q.id.clone(),
+                state: PartialPlan::initial(q),
+                target: overall,
+            });
+            let n = q.num_relations();
+            let mut keys: Vec<&String> = min_by_subtree.keys().collect();
+            keys.sort(); // deterministic order
+            for key in keys {
+                let (subtree, target) = &min_by_subtree[key];
+                let mask = subtree.rel_mask();
+                let mut roots = vec![subtree.clone()];
+                for rel in 0..n {
+                    if mask & (1 << rel) == 0 {
+                        roots.push(PlanNode::Scan { rel, scan: ScanType::Unspecified });
+                    }
+                }
+                out.push(TrainingSample {
+                    query_id: q.id.clone(),
+                    state: PartialPlan { roots },
+                    target: *target,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::{JoinOp, PlanNode, ScanType};
+
+    fn leaf(rel: usize) -> PlanNode {
+        PlanNode::Scan { rel, scan: ScanType::Table }
+    }
+
+    fn join(op: JoinOp, l: PlanNode, r: PlanNode) -> PlanNode {
+        PlanNode::Join { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    fn query3() -> Query {
+        Query {
+            id: "q".into(),
+            family: "f".into(),
+            tables: vec![0, 1, 2],
+            joins: vec![
+                neo_query::JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 },
+                neo_query::JoinEdge { left_table: 2, left_col: 1, right_table: 1, right_col: 0 },
+            ],
+            predicates: vec![],
+            agg: Default::default(),
+        }
+    }
+
+    #[test]
+    fn duplicate_plans_keep_min_cost() {
+        let mut e = Experience::new();
+        let p = join(JoinOp::Hash, leaf(0), leaf(1));
+        e.add("q", p.clone(), 100.0);
+        e.add("q", p.clone(), 50.0);
+        e.add("q", p, 80.0);
+        assert_eq!(e.num_plans(), 1);
+        assert_eq!(e.best_cost("q"), Some(50.0));
+    }
+
+    #[test]
+    fn training_targets_are_min_aggregated() {
+        let q = query3();
+        let mut e = Experience::new();
+        // Two plans share the subtree HJ(T(0),T(1)) with costs 100 and 40.
+        let shared = join(JoinOp::Hash, leaf(0), leaf(1));
+        e.add("q", join(JoinOp::Hash, shared.clone(), leaf(2)), 100.0);
+        e.add("q", join(JoinOp::Merge, shared.clone(), leaf(2)), 40.0);
+        let samples = e.training_samples(&[&q]);
+        // Find the state whose first root is the shared subtree.
+        let s = samples
+            .iter()
+            .find(|s| s.state.roots.first() == Some(&shared))
+            .expect("shared-subtree state present");
+        assert_eq!(s.target, 40.0);
+        // Initial state targets the overall best.
+        let init = samples.iter().find(|s| s.state == PartialPlan::initial(&q)).unwrap();
+        assert_eq!(init.target, 40.0);
+    }
+
+    #[test]
+    fn states_cover_remaining_relations_with_unspecified_scans() {
+        let q = query3();
+        let mut e = Experience::new();
+        e.add("q", join(JoinOp::Hash, join(JoinOp::Hash, leaf(0), leaf(1)), leaf(2)), 10.0);
+        for s in e.training_samples(&[&q]) {
+            assert_eq!(s.state.rel_mask(), 0b111, "state must cover R(q): {}", s.state.describe());
+        }
+    }
+
+    #[test]
+    fn unknown_query_yields_no_samples() {
+        let e = Experience::new();
+        let q = query3();
+        assert_eq!(e.training_samples(&[&q]).len(), 0);
+        assert_eq!(e.best_cost("nope"), None);
+    }
+
+    #[test]
+    fn best_plan_tracks_min() {
+        let mut e = Experience::new();
+        let a = join(JoinOp::Hash, leaf(0), leaf(1));
+        let b = join(JoinOp::Merge, leaf(0), leaf(1));
+        e.add("q", a, 100.0);
+        e.add("q", b.clone(), 20.0);
+        assert_eq!(e.best_plan("q"), Some(&b));
+    }
+}

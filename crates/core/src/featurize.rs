@@ -1,0 +1,387 @@
+//! Query and plan featurization (paper §3).
+//!
+//! **Query-level encoding** (Fig. 3): the upper-triangular adjacency matrix
+//! of the join graph over *all database tables*, concatenated with a
+//! column-predicate vector in one of three variants (§3.2):
+//! 1-Hot (predicate existence), Histogram (predicted selectivity), or
+//! R-Vector (row-vector embedding slots, §5).
+//!
+//! **Plan-level encoding** (Fig. 4): each node becomes a vector of size
+//! `|J| + 2|R|`: a one-hot join-operator prefix, then per-table
+//! (table-scan, index-scan) flags — union of children for internal nodes,
+//! both flags set for unspecified scans. The tree structure is preserved
+//! as a [`neo_nn::TreeTopology`].
+
+use neo_embedding::RVectorFeaturizer;
+use neo_nn::{Matrix, TreeTopology, NO_CHILD};
+use neo_query::{PartialPlan, PlanNode, Query, RelMask, ScanType};
+use neo_storage::Database;
+use std::rc::Rc;
+
+/// Which column-predicate representation to use (paper §3.2, Fig. 12).
+#[derive(Clone)]
+pub enum Featurization {
+    /// One-hot predicate existence. Buildable with no data access.
+    OneHot,
+    /// Histogram-predicted selectivities (uniformity assumptions).
+    Histogram,
+    /// Row-vector embedding slots (§5); the flag records whether the
+    /// embedding was trained on the partially denormalized ("joins")
+    /// corpus — used only for reporting.
+    RVector {
+        /// The trained predicate featurizer.
+        featurizer: Rc<RVectorFeaturizer>,
+        /// Whether partial denormalization was used.
+        joins: bool,
+    },
+}
+
+impl Featurization {
+    /// Human-readable name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Featurization::OneHot => "1-Hot",
+            Featurization::Histogram => "Histogram",
+            Featurization::RVector { joins: true, .. } => "R-Vectors",
+            Featurization::RVector { joins: false, .. } => "R-Vectors (no joins)",
+        }
+    }
+}
+
+impl std::fmt::Debug for Featurization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A plan encoded for the value network: node features plus topology.
+#[derive(Clone, Debug)]
+pub struct EncodedPlan {
+    /// Node feature matrix, `num_nodes x plan_channels`.
+    pub feats: Matrix,
+    /// Tree structure (forest) of the plan.
+    pub topo: TreeTopology,
+}
+
+/// Featurizes queries and plans for one database.
+pub struct Featurizer {
+    kind: Featurization,
+    num_tables: usize,
+    num_attrs: usize,
+    /// Adds one extra per-node channel carrying a (log) cardinality signal
+    /// (the Fig. 14 robustness experiments).
+    pub aux_card_channel: bool,
+}
+
+impl Featurizer {
+    /// Creates a featurizer for `db`.
+    pub fn new(db: &Database, kind: Featurization) -> Self {
+        Featurizer {
+            kind,
+            num_tables: db.num_tables(),
+            num_attrs: db.num_attrs(),
+            aux_card_channel: false,
+        }
+    }
+
+    /// The featurization in use.
+    pub fn kind(&self) -> &Featurization {
+        &self.kind
+    }
+
+    /// Width of the query-level encoding.
+    pub fn query_dim(&self) -> usize {
+        let join_graph = self.num_tables * (self.num_tables - 1) / 2;
+        let pred = match &self.kind {
+            Featurization::OneHot | Featurization::Histogram => self.num_attrs,
+            Featurization::RVector { featurizer, .. } => self.num_attrs * featurizer.slot_size(),
+        };
+        join_graph + pred
+    }
+
+    /// Channels per plan-tree node: `|J| + 2|R|` (+1 aux).
+    pub fn plan_channels(&self) -> usize {
+        3 + 2 * self.num_tables + usize::from(self.aux_card_channel)
+    }
+
+    /// Position of `(t1, t2)` (with `t1 < t2`) in the upper-triangular
+    /// join-graph encoding.
+    fn pair_index(&self, t1: usize, t2: usize) -> usize {
+        debug_assert!(t1 < t2 && t2 < self.num_tables);
+        // Row-major upper triangle: offset(t1) + (t2 - t1 - 1).
+        t1 * (2 * self.num_tables - t1 - 1) / 2 + (t2 - t1 - 1)
+    }
+
+    /// Encodes the query-level (plan-independent) information (Fig. 3).
+    pub fn encode_query(&self, db: &Database, query: &Query) -> Vec<f32> {
+        let join_graph = self.num_tables * (self.num_tables - 1) / 2;
+        let mut out = vec![0.0f32; self.query_dim()];
+        for e in &query.joins {
+            let (a, b) = if e.left_table < e.right_table {
+                (e.left_table, e.right_table)
+            } else {
+                (e.right_table, e.left_table)
+            };
+            if a != b {
+                out[self.pair_index(a, b)] = 1.0;
+            }
+        }
+        match &self.kind {
+            Featurization::OneHot => {
+                for p in &query.predicates {
+                    out[join_graph + db.attr_id(p.table(), p.col())] = 1.0;
+                }
+            }
+            Featurization::Histogram => {
+                // Predicted selectivity per attribute; products across
+                // multiple predicates on the same attribute.
+                for p in &query.predicates {
+                    let slot = join_graph + db.attr_id(p.table(), p.col());
+                    let sel =
+                        neo_expert::HistogramEstimator::predicate_selectivity(db, p) as f32;
+                    out[slot] = if out[slot] == 0.0 { sel.max(1e-6) } else { out[slot] * sel };
+                }
+            }
+            Featurization::RVector { featurizer, .. } => {
+                let slot_size = featurizer.slot_size();
+                for p in &query.predicates {
+                    let base = join_graph + db.attr_id(p.table(), p.col()) * slot_size;
+                    let v = featurizer.featurize(db, p);
+                    for (i, x) in v.iter().enumerate() {
+                        out[base + i] = *x;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Encodes a partial plan as a feature forest (Fig. 4). When
+    /// `aux_card_channel` is set, `aux` must supply the per-node signal
+    /// given the node's relation mask.
+    pub fn encode_plan(
+        &self,
+        query: &Query,
+        plan: &PartialPlan,
+        mut aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+    ) -> EncodedPlan {
+        assert_eq!(
+            self.aux_card_channel,
+            aux.is_some(),
+            "aux channel configured but no provider given (or vice versa)"
+        );
+        let n = plan.num_nodes();
+        let c = self.plan_channels();
+        let mut feats = Matrix::zeros(n, c);
+        let mut topo = TreeTopology {
+            left: vec![NO_CHILD; n],
+            right: vec![NO_CHILD; n],
+            tree_of: vec![0; n],
+            num_trees: plan.roots.len(),
+        };
+        let mut next = 0usize;
+        for (tree, root) in plan.roots.iter().enumerate() {
+            self.encode_node(query, root, tree as u32, &mut next, &mut feats, &mut topo, &mut aux);
+        }
+        debug_assert_eq!(next, n);
+        EncodedPlan { feats, topo }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn encode_node(
+        &self,
+        query: &Query,
+        node: &PlanNode,
+        tree: u32,
+        next: &mut usize,
+        feats: &mut Matrix,
+        topo: &mut TreeTopology,
+        aux: &mut Option<&mut dyn FnMut(RelMask) -> f32>,
+    ) -> usize {
+        let me = *next;
+        *next += 1;
+        topo.tree_of[me] = tree;
+        match node {
+            PlanNode::Scan { rel, scan } => {
+                let t = query.tables[*rel];
+                let row = feats.row_mut(me);
+                match scan {
+                    ScanType::Table => row[3 + 2 * t] = 1.0,
+                    ScanType::Index => row[3 + 2 * t + 1] = 1.0,
+                    ScanType::Unspecified => {
+                        row[3 + 2 * t] = 1.0;
+                        row[3 + 2 * t + 1] = 1.0;
+                    }
+                }
+            }
+            PlanNode::Join { op, left, right } => {
+                let l = self.encode_node(query, left, tree, next, feats, topo, aux);
+                let r = self.encode_node(query, right, tree, next, feats, topo, aux);
+                topo.left[me] = l as u32;
+                topo.right[me] = r as u32;
+                // Join-type one-hot + union of the children's scan flags.
+                let lrow = feats.row(l).to_vec();
+                let rrow = feats.row(r).to_vec();
+                let row = feats.row_mut(me);
+                row[op.index()] = 1.0;
+                let upto = 3 + 2 * self.num_tables;
+                for i in 3..upto {
+                    row[i] = (lrow[i] + rrow[i]).min(1.0);
+                }
+            }
+        }
+        if let Some(f) = aux.as_mut() {
+            let c = self.plan_channels() - 1;
+            let v = f(node.rel_mask());
+            feats.set(me, c, v);
+        }
+        me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::{workload::job, JoinOp, QueryContext};
+    use neo_storage::datagen::imdb;
+
+    fn setup() -> (Database, Query) {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = wl.queries.iter().find(|q| q.num_relations() == 4).unwrap().clone();
+        (db, q)
+    }
+
+    #[test]
+    fn query_encoding_width_matches_kind() {
+        let (db, q) = setup();
+        let one_hot = Featurizer::new(&db, Featurization::OneHot);
+        let tri = db.num_tables() * (db.num_tables() - 1) / 2;
+        assert_eq!(one_hot.query_dim(), tri + db.num_attrs());
+        let enc = one_hot.encode_query(&db, &q);
+        assert_eq!(enc.len(), one_hot.query_dim());
+        // Join-graph bits: one per join edge with distinct tables.
+        let bits: f32 = enc[..tri].iter().sum();
+        assert_eq!(bits as usize, q.joins.len());
+    }
+
+    #[test]
+    fn one_hot_marks_predicate_attrs() {
+        let (db, q) = setup();
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        let tri = db.num_tables() * (db.num_tables() - 1) / 2;
+        let enc = f.encode_query(&db, &q);
+        for p in &q.predicates {
+            assert_eq!(enc[tri + db.attr_id(p.table(), p.col())], 1.0);
+        }
+    }
+
+    #[test]
+    fn histogram_encoding_holds_selectivities() {
+        let (db, q) = setup();
+        let f = Featurizer::new(&db, Featurization::Histogram);
+        let tri = db.num_tables() * (db.num_tables() - 1) / 2;
+        let enc = f.encode_query(&db, &q);
+        for p in &q.predicates {
+            let v = enc[tri + db.attr_id(p.table(), p.col())];
+            assert!(v > 0.0 && v <= 1.0, "sel {v}");
+        }
+    }
+
+    #[test]
+    fn plan_encoding_has_paper_layout() {
+        let (db, q) = setup();
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        // |J| + 2|R| = 3 + 2*17 = 37 for the IMDB-like schema (paper §3.2).
+        assert_eq!(f.plan_channels(), 37);
+        let plan = PartialPlan::initial(&q);
+        let enc = f.encode_plan(&q, &plan, None);
+        assert_eq!(enc.feats.rows(), q.num_relations());
+        // Unspecified scans set both table and index flags (paper Fig. 4).
+        for rel in 0..q.num_relations() {
+            let t = q.tables[rel];
+            let row = enc.feats.row(rel);
+            assert_eq!(row[3 + 2 * t], 1.0);
+            assert_eq!(row[3 + 2 * t + 1], 1.0);
+        }
+        enc.topo.validate().unwrap();
+    }
+
+    #[test]
+    fn join_nodes_take_union_of_children() {
+        let (db, q) = setup();
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        let ctx = QueryContext::new(&db, &q);
+        // Find a child that merged two relations.
+        let kids = neo_query::children(&PartialPlan::initial(&q), &ctx);
+        let merged = kids
+            .iter()
+            .find(|k| k.roots.iter().any(|r| matches!(r, PlanNode::Join { .. })))
+            .unwrap();
+        let enc = f.encode_plan(&q, merged, None);
+        enc.topo.validate().unwrap();
+        // The join node is the root of some tree: its scan-flag section
+        // must cover both children's tables, and a join-op bit is set.
+        let join_row = (0..enc.feats.rows())
+            .find(|&i| enc.topo.left[i] != NO_CHILD)
+            .map(|i| enc.feats.row(i))
+            .unwrap();
+        let op_bits: f32 = join_row[..3].iter().sum();
+        assert_eq!(op_bits, 1.0);
+        let scan_bits: f32 = join_row[3..].iter().sum();
+        assert!(scan_bits >= 2.0, "join row should cover two relations");
+    }
+
+    #[test]
+    fn figure4_style_tree_shape() {
+        let (db, q) = setup();
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        let tree = PlanNode::Join {
+            op: JoinOp::Loop,
+            left: Box::new(PlanNode::Join {
+                op: JoinOp::Merge,
+                left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+                right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+            }),
+            right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+        };
+        let plan = PartialPlan {
+            roots: vec![tree, PlanNode::Scan { rel: 3, scan: ScanType::Unspecified }],
+        };
+        let enc = f.encode_plan(&q, &plan, None);
+        assert_eq!(enc.feats.rows(), 6);
+        assert_eq!(enc.topo.num_trees, 2);
+        // Root of tree 0 is a loop join: op index 2.
+        assert_eq!(enc.feats.row(0)[2], 1.0);
+        let _ = db;
+    }
+
+    #[test]
+    fn aux_channel_appends_cardinality_signal() {
+        let (db, q) = setup();
+        let mut f = Featurizer::new(&db, Featurization::OneHot);
+        f.aux_card_channel = true;
+        assert_eq!(f.plan_channels(), 38);
+        let plan = PartialPlan::initial(&q);
+        let mut probe = |mask: RelMask| mask.count_ones() as f32;
+        let enc = f.encode_plan(&q, &plan, Some(&mut probe));
+        for i in 0..enc.feats.rows() {
+            assert_eq!(enc.feats.row(i)[37], 1.0); // single-relation masks
+        }
+    }
+
+    #[test]
+    fn pair_index_is_bijective() {
+        let (db, _) = setup();
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        let n = db.num_tables();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                assert!(seen.insert(f.pair_index(a, b)));
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert!(seen.into_iter().max().unwrap() < n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # neo — a learned query optimizer
+//!
+//! A from-scratch Rust reproduction of **Neo: A Learned Query Optimizer**
+//! (Marcus, Negi, Mao, Zhang, Alizadeh, Kraska, Papaemmanouil, Tatbul —
+//! VLDB 2019, arXiv:1904.03711).
+//!
+//! Neo replaces every component of a Selinger-style optimizer with learned
+//! counterparts (paper Table 1):
+//!
+//! | Component | Module |
+//! |---|---|
+//! | Query representation | [`featurize`] (1-Hot / Histogram / R-Vector, §3) |
+//! | Cost model | [`value_net`] (tree-convolution value network, §4) |
+//! | Plan-space enumeration | [`search`] (DNN-guided best-first search, §4.2) |
+//! | Cardinality estimation | histograms or learned embeddings (§5, `neo-embedding`) |
+//! | Creation | [`runner`] (demonstration + reinforcement learning, §2) |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use neo::{Neo, NeoConfig, FeaturizationChoice};
+//! use neo_engine::Engine;
+//! use neo_query::workload::job;
+//! use neo_storage::datagen::imdb;
+//!
+//! let db = imdb::generate(0.1, 42);
+//! let workload = job::generate(&db, 42);
+//! let (train, test) = workload.split_random(0.2, 42);
+//! let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, train, NeoConfig::default());
+//! for episode in 0..10 {
+//!     let stats = neo.run_episode(episode);
+//!     println!("episode {episode}: loss {:.4}", stats.mean_loss);
+//! }
+//! let latencies = neo.evaluate(&test);
+//! println!("test latency total: {:.1} ms", latencies.iter().sum::<f64>());
+//! ```
+
+pub mod cost;
+pub mod experience;
+pub mod featurize;
+pub mod runner;
+pub mod search;
+pub mod value_net;
+
+pub use cost::{CostFn, CostKind};
+pub use experience::{Experience, TrainingSample};
+pub use featurize::{EncodedPlan, Featurization, Featurizer};
+pub use runner::{
+    build_featurization, AuxCardSource, EpisodeStats, FeaturizationChoice, Neo, NeoConfig,
+};
+pub use search::{best_first_search, SearchBudget, SearchStats};
+pub use value_net::{NetConfig, ValueNet};

@@ -1,0 +1,270 @@
+//! DNN-guided best-first plan search (paper §4.2).
+//!
+//! A min-heap ordered by the value network's prediction repeatedly expands
+//! the most promising partial plan into its children (specify one scan, or
+//! merge two trees with a join operator). The search is *anytime*: it keeps
+//! exploring until the budget (expansion count and/or wall-clock cutoff)
+//! is exhausted and returns the most promising complete plan found; if no
+//! complete plan has been found by then, it enters the paper's "hurry-up"
+//! mode and greedily descends from the most promising frontier node.
+
+use crate::featurize::Featurizer;
+use crate::value_net::ValueNet;
+use neo_query::{children, PartialPlan, PlanNode, Query, QueryContext, RelMask};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
+
+/// Search budget: both limits are optional; when both are set the first
+/// one hit stops the search. The paper uses a 250 ms wall-clock cutoff
+/// (§4.2, §6.5); the expansion budget gives deterministic training runs.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBudget {
+    /// Maximum number of node expansions.
+    pub max_expansions: Option<usize>,
+    /// Wall-clock cutoff in milliseconds.
+    pub time_limit_ms: Option<f64>,
+}
+
+impl SearchBudget {
+    /// Expansion-bounded budget.
+    pub fn expansions(n: usize) -> Self {
+        SearchBudget { max_expansions: Some(n), time_limit_ms: None }
+    }
+
+    /// Time-bounded budget (the paper's 250 ms default).
+    pub fn timed(ms: f64) -> Self {
+        SearchBudget { max_expansions: None, time_limit_ms: Some(ms) }
+    }
+}
+
+/// Statistics of one search run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Nodes expanded (popped and had children generated).
+    pub expansions: usize,
+    /// Plans scored by the value network.
+    pub scored: usize,
+    /// Wall-clock time of the search, milliseconds.
+    pub wall_ms: f64,
+    /// Whether hurry-up mode was needed to complete the plan.
+    pub hurried: bool,
+}
+
+/// Heap entry ordered so the *lowest* predicted value pops first.
+struct Candidate {
+    score: f32,
+    seq: u64,
+    plan: PartialPlan,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse on score, tie-break on seq for
+        // determinism (earlier insertion pops first).
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs the best-first search for `query`, returning the chosen complete
+/// plan and statistics.
+///
+/// `aux` supplies the optional per-node cardinality feature; it must be
+/// `Some` exactly when the featurizer's aux channel is enabled.
+pub fn best_first_search(
+    net: &ValueNet,
+    featurizer: &Featurizer,
+    db: &neo_storage::Database,
+    query: &Query,
+    budget: SearchBudget,
+    mut aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+) -> (PlanNode, SearchStats) {
+    let start = Instant::now();
+    let ctx = QueryContext::new(db, query);
+    let qenc = featurizer.encode_query(db, query);
+    let mut stats = SearchStats::default();
+    let mut seq = 0u64;
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut visited: HashSet<PartialPlan> = HashSet::new();
+    let mut best_complete: Option<(f32, PlanNode)> = None;
+
+    let score_batch = |plans: &[PartialPlan],
+                       aux: &mut Option<&mut dyn FnMut(RelMask) -> f32>,
+                       stats: &mut SearchStats|
+     -> Vec<f32> {
+        let encs: Vec<_> = plans
+            .iter()
+            .map(|p| featurizer.encode_plan(query, p, aux.as_mut().map(|f| &mut **f as _)))
+            .collect();
+        let qrefs: Vec<&[f32]> = vec![&qenc; encs.len()];
+        let prefs: Vec<&crate::featurize::EncodedPlan> = encs.iter().collect();
+        stats.scored += plans.len();
+        net.predict(&qrefs, &prefs)
+    };
+
+    let initial = PartialPlan::initial(query);
+    let s0 = score_batch(std::slice::from_ref(&initial), &mut aux, &mut stats)[0];
+    heap.push(Candidate { score: s0, seq, plan: initial });
+    seq += 1;
+
+    let out_of_budget = |stats: &SearchStats, start: &Instant| -> bool {
+        if let Some(me) = budget.max_expansions {
+            if stats.expansions >= me {
+                return true;
+            }
+        }
+        if let Some(tl) = budget.time_limit_ms {
+            if start.elapsed().as_secs_f64() * 1e3 >= tl {
+                return true;
+            }
+        }
+        false
+    };
+
+    let mut last_partial: Option<PartialPlan> = None;
+    while let Some(cand) = heap.pop() {
+        if out_of_budget(&stats, &start) {
+            last_partial = Some(cand.plan);
+            break;
+        }
+        if !visited.insert(cand.plan.clone()) {
+            continue;
+        }
+        if let Some(tree) = cand.plan.as_complete() {
+            // Anytime behaviour: remember the most promising complete plan
+            // and keep exploring until the budget runs out.
+            if best_complete.as_ref().is_none_or(|(s, _)| cand.score < *s) {
+                best_complete = Some((cand.score, tree.clone()));
+            }
+            continue;
+        }
+        let kids = children(&cand.plan, &ctx);
+        stats.expansions += 1;
+        if kids.is_empty() {
+            continue;
+        }
+        let scores = score_batch(&kids, &mut aux, &mut stats);
+        for (k, s) in kids.into_iter().zip(scores) {
+            if !visited.contains(&k) {
+                heap.push(Candidate { score: s, seq, plan: k });
+                seq += 1;
+            }
+        }
+        last_partial = heap.peek().map(|c| c.plan.clone());
+    }
+
+    stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some((_, tree)) = best_complete {
+        return (tree, stats);
+    }
+
+    // "Hurry-up" mode (paper §4.2): greedily descend from the most
+    // promising known partial plan until a complete plan is reached.
+    stats.hurried = true;
+    let mut plan = last_partial.unwrap_or_else(|| PartialPlan::initial(query));
+    while !plan.is_complete() {
+        let kids = children(&plan, &ctx);
+        debug_assert!(!kids.is_empty(), "incomplete plan without children");
+        let scores = score_batch(&kids, &mut aux, &mut stats);
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap();
+        plan = kids.into_iter().nth(best).unwrap();
+    }
+    stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (plan.roots.into_iter().next().unwrap(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{Featurization, Featurizer};
+    use crate::value_net::{NetConfig, ValueNet};
+    use neo_query::workload::job;
+    use neo_storage::datagen::imdb;
+
+    fn setup(nrels: usize) -> (neo_storage::Database, Query, Featurizer, ValueNet) {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = wl.queries.iter().find(|q| q.num_relations() == nrels).unwrap().clone();
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        let cfg = NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 1e-2,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        };
+        let net = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 3);
+        (db, q, f, net)
+    }
+
+    #[test]
+    fn search_returns_complete_valid_plan() {
+        let (db, q, f, net) = setup(4);
+        let (plan, stats) =
+            best_first_search(&net, &f, &db, &q, SearchBudget::expansions(30), None);
+        assert!(plan.fully_specified());
+        assert_eq!(plan.rel_mask(), (1u64 << q.num_relations()) - 1);
+        assert!(stats.scored > 0);
+    }
+
+    #[test]
+    fn tiny_budget_triggers_hurry_up_and_still_completes() {
+        let (db, q, f, net) = setup(7);
+        let (plan, stats) =
+            best_first_search(&net, &f, &db, &q, SearchBudget::expansions(2), None);
+        assert!(plan.fully_specified());
+        assert!(stats.hurried, "expected hurry-up under a 2-expansion budget");
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (db, q, f, net) = setup(5);
+        let (p1, _) = best_first_search(&net, &f, &db, &q, SearchBudget::expansions(20), None);
+        let (p2, _) = best_first_search(&net, &f, &db, &q, SearchBudget::expansions(20), None);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn timed_budget_respected_roughly() {
+        let (db, q, f, net) = setup(8);
+        let (plan, stats) = best_first_search(&net, &f, &db, &q, SearchBudget::timed(30.0), None);
+        assert!(plan.fully_specified());
+        // Allow generous slack: one batch scoring may overshoot the cutoff.
+        assert!(stats.wall_ms < 3_000.0, "took {} ms", stats.wall_ms);
+    }
+
+    #[test]
+    fn bigger_budget_never_worse_by_predicted_value() {
+        let (db, q, f, net) = setup(6);
+        let qenc = f.encode_query(&db, &q);
+        let score = |tree: &PlanNode| {
+            let p = PartialPlan::from_tree(tree.clone());
+            let enc = f.encode_plan(&q, &p, None);
+            net.predict(&[&qenc], &[&enc])[0]
+        };
+        let (small, _) = best_first_search(&net, &f, &db, &q, SearchBudget::expansions(3), None);
+        let (large, _) = best_first_search(&net, &f, &db, &q, SearchBudget::expansions(60), None);
+        assert!(score(&large) <= score(&small) + 1e-4);
+    }
+}

@@ -1,0 +1,455 @@
+//! The Neo value network (paper §4, Fig. 5, Appendix A).
+//!
+//! Architecture: the query-level encoding passes through a stack of
+//! fully-connected layers of decreasing size; the resulting vector is
+//! concatenated onto every plan-tree node ("spatial replication"); the
+//! augmented forest passes through three tree-convolution layers, dynamic
+//! max pooling flattens it, and a final fully-connected stack produces a
+//! single scalar — the predicted best-possible cost achievable from the
+//! encoded partial plan.
+//!
+//! Training minimizes the paper's L2 loss against min-aggregated experience
+//! targets; targets are log-transformed and standardized internally (plan
+//! costs span five orders of magnitude), which is monotone and therefore
+//! preserves the search ordering.
+
+use crate::featurize::EncodedPlan;
+use neo_nn::{clip_grad_norm, Adam, LeakyRelu, Matrix, Mlp, Param, TreeConv, TreeTopology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Network size hyperparameters. The paper's sizes (conv 512/256/128, FC
+/// 128/64/32) are scaled down by default for laptop wall-clock; both are
+/// expressible.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Hidden sizes of the query-level MLP (its last entry is the size of
+    /// the replicated query vector).
+    pub query_layers: Vec<usize>,
+    /// Output channels of the tree-convolution layers.
+    pub conv_channels: Vec<usize>,
+    /// Hidden sizes of the head MLP (a final `1` is appended internally).
+    pub head_layers: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient clipping threshold (global norm).
+    pub grad_clip: f32,
+    /// Ablation (DESIGN.md §4.4): sever all parent→child links before the
+    /// convolution stack, so filters see each node in isolation — measures
+    /// what the *tree structure* contributes beyond the node features.
+    pub ignore_structure: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            query_layers: vec![128, 64, 32],
+            conv_channels: vec![64, 64, 32],
+            head_layers: vec![64, 32],
+            lr: 1e-3,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The paper's full-size network (Fig. 5).
+    pub fn paper_size() -> Self {
+        NetConfig {
+            query_layers: vec![128, 64, 32],
+            conv_channels: vec![512, 256, 128],
+            head_layers: vec![128, 64, 32],
+            lr: 1e-3,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        }
+    }
+}
+
+/// The value network.
+pub struct ValueNet {
+    query_mlp: Mlp,
+    convs: Vec<TreeConv>,
+    conv_acts: Vec<LeakyRelu>,
+    head: Mlp,
+    opt: Adam,
+    cfg: NetConfig,
+    /// Target normalization: mean/std of ln(cost) over the experience.
+    pub target_mean: f32,
+    /// See [`Self::target_mean`].
+    pub target_std: f32,
+}
+
+impl ValueNet {
+    /// Builds a value network for the given input widths.
+    pub fn new(query_dim: usize, plan_channels: usize, cfg: NetConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut qsizes = vec![query_dim];
+        qsizes.extend(&cfg.query_layers);
+        let query_mlp = Mlp::new(&qsizes, true, true, &mut rng);
+        let qe = *cfg.query_layers.last().expect("query_layers non-empty");
+
+        let mut convs = Vec::new();
+        let mut conv_acts = Vec::new();
+        let mut cin = plan_channels + qe;
+        for &cout in &cfg.conv_channels {
+            convs.push(TreeConv::new(cin, cout, &mut rng));
+            conv_acts.push(LeakyRelu::default());
+            cin = cout;
+        }
+        let mut hsizes = vec![cin];
+        hsizes.extend(&cfg.head_layers);
+        hsizes.push(1);
+        let head = Mlp::new(&hsizes, true, false, &mut rng);
+        let opt = Adam::new(cfg.lr);
+        ValueNet { query_mlp, convs, conv_acts, head, opt, cfg, target_mean: 0.0, target_std: 1.0 }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.count()).sum()
+    }
+
+    /// Checkpoints the model (weights + target normalization) to a writer.
+    pub fn save(&mut self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(&self.target_mean.to_le_bytes())?;
+        w.write_all(&self.target_std.to_le_bytes())?;
+        let params: Vec<&Param> = self.params_mut().into_iter().map(|p| &*p).collect();
+        neo_nn::write_params(w, &params)
+    }
+
+    /// Restores a checkpoint written by [`Self::save`] into this network.
+    /// The network must have been constructed with the same [`NetConfig`]
+    /// and input widths; shape mismatches are rejected.
+    pub fn load(&mut self, r: &mut impl std::io::Read) -> std::io::Result<()> {
+        let mut f = [0u8; 4];
+        r.read_exact(&mut f)?;
+        self.target_mean = f32::from_le_bytes(f);
+        r.read_exact(&mut f)?;
+        self.target_std = f32::from_le_bytes(f);
+        neo_nn::read_params(r, &mut self.params_mut())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.query_mlp.params_mut();
+        for c in &mut self.convs {
+            p.extend(c.params_mut());
+        }
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    fn zero_grad(&mut self) {
+        self.query_mlp.zero_grad();
+        for c in &mut self.convs {
+            c.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+
+    /// Stacks per-plan encodings into one batch forest.
+    fn batch(query_encs: &[&[f32]], plans: &[&EncodedPlan]) -> (Matrix, Matrix, TreeTopology) {
+        assert_eq!(query_encs.len(), plans.len());
+        assert!(!plans.is_empty(), "empty batch");
+        let qdim = query_encs[0].len();
+        let total_nodes: usize = plans.iter().map(|p| p.feats.rows()).sum();
+        let channels = plans[0].feats.cols();
+        let mut feats = Matrix::zeros(total_nodes, channels);
+        let mut q = Matrix::zeros(query_encs.len(), qdim);
+        let mut topo = TreeTopology {
+            left: Vec::with_capacity(total_nodes),
+            right: Vec::with_capacity(total_nodes),
+            tree_of: Vec::with_capacity(total_nodes),
+            num_trees: 0,
+        };
+        let mut node_off = 0u32;
+        // Trees are re-numbered so that every *plan* is one pooled unit:
+        // roots of a forest plan share a tree id, because the paper pools
+        // the whole (augmented) forest into one vector.
+        for (i, plan) in plans.iter().enumerate() {
+            q.row_mut(i).copy_from_slice(query_encs[i]);
+            let n = plan.feats.rows();
+            for r in 0..n {
+                feats.row_mut(node_off as usize + r).copy_from_slice(plan.feats.row(r));
+                let l = plan.topo.left[r];
+                let rr = plan.topo.right[r];
+                topo.left.push(if l == neo_nn::NO_CHILD { l } else { l + node_off });
+                topo.right.push(if rr == neo_nn::NO_CHILD { rr } else { rr + node_off });
+                topo.tree_of.push(i as u32);
+            }
+            node_off += n as u32;
+        }
+        topo.num_trees = plans.len();
+        (q, feats, topo)
+    }
+
+    /// Scores a batch of plans (inference): returns normalized predicted
+    /// values, one per plan. Lower is better; the scale is the standardized
+    /// ln-cost space.
+    pub fn predict(&self, query_encs: &[&[f32]], plans: &[&EncodedPlan]) -> Vec<f32> {
+        let (q, feats, mut topo) = Self::batch(query_encs, plans);
+        if self.cfg.ignore_structure {
+            sever(&mut topo);
+        }
+        let qout = self.query_mlp.forward_inference(&q);
+        let aug = augment(&feats, &qout, &topo);
+        let mut h = aug;
+        for (conv, act) in self.convs.iter().zip(&self.conv_acts) {
+            h = act.apply(&conv.forward_inference(&h, &topo));
+        }
+        let pool = neo_nn::DynamicPooling::new();
+        let pooled = pool.forward_inference(&h, &topo);
+        let out = self.head.forward_inference(&pooled);
+        out.data().to_vec()
+    }
+
+    /// Denormalizes a predicted value back to cost units (ms).
+    pub fn to_cost(&self, normalized: f32) -> f64 {
+        ((normalized * self.target_std + self.target_mean) as f64).exp()
+    }
+
+    /// Normalizes a raw cost (ms) into target space.
+    pub fn normalize_cost(&self, cost: f64) -> f32 {
+        ((cost.max(1e-3).ln() as f32) - self.target_mean) / self.target_std
+    }
+
+    /// Recomputes target normalization from a set of raw costs.
+    pub fn fit_normalization(&mut self, costs: &[f64]) {
+        if costs.is_empty() {
+            return;
+        }
+        let logs: Vec<f32> = costs.iter().map(|c| c.max(1e-3).ln() as f32).collect();
+        let mean = logs.iter().sum::<f32>() / logs.len() as f32;
+        let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f32>() / logs.len() as f32;
+        self.target_mean = mean;
+        self.target_std = var.sqrt().max(1e-3);
+    }
+
+    /// One training step on a batch: returns the batch L2 loss (in
+    /// normalized target space). `targets` are raw costs (ms).
+    pub fn train_batch(
+        &mut self,
+        query_encs: &[&[f32]],
+        plans: &[&EncodedPlan],
+        targets: &[f64],
+    ) -> f32 {
+        assert_eq!(plans.len(), targets.len());
+        let (q, feats, mut topo) = Self::batch(query_encs, plans);
+        if self.cfg.ignore_structure {
+            sever(&mut topo);
+        }
+        let qout = self.query_mlp.forward(&q);
+        let aug = augment(&feats, &qout, &topo);
+        let mut h = aug;
+        for (conv, act) in self.convs.iter_mut().zip(&mut self.conv_acts) {
+            h = act.forward(&conv.forward(&h, &topo));
+        }
+        let mut pool = neo_nn::DynamicPooling::new();
+        let pooled = pool.forward(&h, &topo);
+        let out = self.head.forward(&pooled);
+
+        let t: Vec<f32> = targets.iter().map(|&c| self.normalize_cost(c)).collect();
+        let target = Matrix::from_vec(t.len(), 1, t);
+        let (loss, dloss) = neo_nn::loss::mse(&out, &target);
+
+        self.zero_grad();
+        let dpooled = self.head.backward(&dloss);
+        let mut dh = pool.backward(&dpooled);
+        for (conv, act) in self.convs.iter_mut().zip(&mut self.conv_acts).rev() {
+            dh = conv.backward(&act.backward(&dh), &topo);
+        }
+        // Split the augmented gradient: plan channels are inputs (dropped);
+        // query-vector channels accumulate per plan over its nodes.
+        let qe = qout.cols();
+        let plan_c = feats.cols();
+        let mut dqout = Matrix::zeros(qout.rows(), qe);
+        for node in 0..dh.rows() {
+            let plan = topo.tree_of[node] as usize;
+            let src = dh.row(node);
+            let dst = dqout.row_mut(plan);
+            for (d, s) in dst.iter_mut().zip(&src[plan_c..]) {
+                *d += s;
+            }
+        }
+        let _ = self.query_mlp.backward(&dqout);
+
+        let clip = self.cfg.grad_clip;
+        clip_grad_norm(&mut self.params_mut(), clip);
+        // Temporarily take the optimizer so it can borrow the parameters.
+        let mut opt = std::mem::replace(&mut self.opt, Adam::new(0.0));
+        opt.step(&mut self.params_mut());
+        self.opt = opt;
+        loss
+    }
+}
+
+/// Removes all child links (the structure ablation).
+fn sever(topo: &mut TreeTopology) {
+    topo.left.iter_mut().for_each(|l| *l = neo_nn::NO_CHILD);
+    topo.right.iter_mut().for_each(|r| *r = neo_nn::NO_CHILD);
+}
+
+/// Spatial replication (paper Fig. 5): appends the plan's query vector to
+/// every node of its forest.
+fn augment(feats: &Matrix, qout: &Matrix, topo: &TreeTopology) -> Matrix {
+    let (n, c) = (feats.rows(), feats.cols());
+    let qe = qout.cols();
+    let mut out = Matrix::zeros(n, c + qe);
+    for i in 0..n {
+        let row = out.row_mut(i);
+        row[..c].copy_from_slice(feats.row(i));
+        row[c..].copy_from_slice(qout.row(topo.tree_of[i] as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{Featurization, Featurizer};
+    use neo_query::{workload::job, PartialPlan, QueryContext};
+    use neo_storage::datagen::imdb;
+
+    fn tiny_net(db: &neo_storage::Database) -> (Featurizer, ValueNet) {
+        let f = Featurizer::new(db, Featurization::OneHot);
+        let cfg = NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 1e-2,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        };
+        let net = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 42);
+        (f, net)
+    }
+
+    #[test]
+    fn predict_shapes_and_determinism() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = &wl.queries[0];
+        let (f, net) = tiny_net(&db);
+        let qe = f.encode_query(&db, q);
+        let p0 = f.encode_plan(q, &PartialPlan::initial(q), None);
+        let ctx = QueryContext::new(&db, q);
+        let kids = neo_query::children(&PartialPlan::initial(q), &ctx);
+        let encs: Vec<_> = kids.iter().map(|k| f.encode_plan(q, k, None)).collect();
+        let mut qrefs: Vec<&[f32]> = vec![&qe; encs.len() + 1];
+        qrefs[0] = &qe;
+        let mut prefs: Vec<&crate::featurize::EncodedPlan> = vec![&p0];
+        prefs.extend(encs.iter());
+        let a = net.predict(&qrefs, &prefs);
+        let b = net.predict(&qrefs, &prefs);
+        assert_eq!(a.len(), prefs.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_prediction_matches_single() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = &wl.queries[0];
+        let (f, net) = tiny_net(&db);
+        let qe = f.encode_query(&db, q);
+        let ctx = QueryContext::new(&db, q);
+        let kids = neo_query::children(&PartialPlan::initial(q), &ctx);
+        let encs: Vec<_> = kids.iter().take(5).map(|k| f.encode_plan(q, k, None)).collect();
+        let qrefs: Vec<&[f32]> = vec![&qe; encs.len()];
+        let prefs: Vec<_> = encs.iter().collect();
+        let batched = net.predict(&qrefs, &prefs);
+        for (i, enc) in encs.iter().enumerate() {
+            let single = net.predict(&[&qe], &[enc]);
+            assert!((batched[i] - single[0]).abs() < 1e-4, "{} vs {}", batched[i], single[0]);
+        }
+    }
+
+    /// The network must be able to (over)fit a small set of plan/cost pairs
+    /// — the basic guarantee behind the paper's corrective feedback loop.
+    #[test]
+    fn overfits_small_experience() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = &wl.queries[0];
+        let (f, mut net) = tiny_net(&db);
+        let qe = f.encode_query(&db, q);
+        let ctx = QueryContext::new(&db, q);
+        // Make 6 distinct plans by different first moves.
+        let kids = neo_query::children(&PartialPlan::initial(q), &ctx);
+        let plans: Vec<_> = kids.iter().take(6).map(|k| f.encode_plan(q, k, None)).collect();
+        let costs: Vec<f64> = (0..6).map(|i| 100.0 * (i as f64 + 1.0) * (i as f64 + 1.0)).collect();
+        net.fit_normalization(&costs);
+        let qrefs: Vec<&[f32]> = vec![&qe; plans.len()];
+        let prefs: Vec<_> = plans.iter().collect();
+        let mut last = f32::MAX;
+        for _ in 0..300 {
+            last = net.train_batch(&qrefs, &prefs, &costs);
+        }
+        assert!(last < 0.05, "loss {last}");
+        // And the induced ordering matches the cost ordering.
+        let preds = net.predict(&qrefs, &prefs);
+        for i in 1..preds.len() {
+            assert!(preds[i] > preds[i - 1] - 0.2, "ordering broken: {preds:?}");
+        }
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        let db = imdb::generate(0.02, 1);
+        let (_, mut net) = tiny_net(&db);
+        net.fit_normalization(&[10.0, 100.0, 1000.0]);
+        let n = net.normalize_cost(100.0);
+        let c = net.to_cost(n);
+        assert!((c - 100.0).abs() / 100.0 < 1e-3, "{c}");
+    }
+
+    #[test]
+    fn param_count_is_substantial() {
+        let db = imdb::generate(0.02, 1);
+        let (_, mut net) = tiny_net(&db);
+        assert!(net.param_count() > 1000);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = &wl.queries[0];
+        let (f, mut net) = tiny_net(&db);
+        net.fit_normalization(&[10.0, 100.0, 1000.0]);
+        let qe = f.encode_query(&db, q);
+        let enc = f.encode_plan(q, &PartialPlan::initial(q), None);
+        let before = net.predict(&[&qe], &[&enc])[0];
+
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        // A fresh net with a different seed predicts differently...
+        let cfg = NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 1e-2,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        };
+        let mut other = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 777);
+        let fresh = other.predict(&[&qe], &[&enc])[0];
+        assert_ne!(fresh, before);
+        // ...until the checkpoint is loaded.
+        other.load(&mut &buf[..]).unwrap();
+        let after = other.predict(&[&qe], &[&enc])[0];
+        assert_eq!(after, before);
+        assert_eq!(other.target_mean, net.target_mean);
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_architecture() {
+        let db = imdb::generate(0.02, 1);
+        let (f, mut net) = tiny_net(&db);
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        let mut bigger = ValueNet::new(f.query_dim(), f.plan_channels(), NetConfig::default(), 1);
+        assert!(bigger.load(&mut &buf[..]).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Search-quality tests for the core crate: the DNN-guided search must
+//! exploit what the value network knows, and degrade gracefully when it
+//! knows nothing.
+
+use neo::{
+    best_first_search, CostKind, Featurization, Featurizer, Neo, NeoConfig, NetConfig,
+    SearchBudget, ValueNet,
+};
+use neo_engine::{true_latency, CardinalityOracle, Engine};
+use neo_query::workload::job;
+use neo_storage::datagen::imdb;
+
+fn tiny_net_cfg() -> NetConfig {
+    NetConfig {
+        query_layers: vec![32, 16],
+        conv_channels: vec![16, 8],
+        head_layers: vec![16],
+        lr: 3e-3,
+        grad_clip: 5.0,
+        ignore_structure: false,
+    }
+}
+
+/// After training on a query's experience, the search must find a plan at
+/// least as good as the best experienced plan *for that query* — the value
+/// iteration property (paper §4.2): search + accurate values ≥ remembered
+/// best.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn trained_search_matches_best_experience() {
+    let db = imdb::generate(0.05, 23);
+    let queries: Vec<_> = job::generate(&db, 23)
+        .queries
+        .into_iter()
+        .filter(|q| q.num_relations() <= 5)
+        .take(6)
+        .collect();
+    let cfg = NeoConfig {
+        featurization: neo::FeaturizationChoice::Histogram,
+        net: tiny_net_cfg(),
+        bootstrap_epochs: 8,
+        epochs_per_episode: 2,
+        batch_size: 32,
+        max_samples_per_retrain: 1024,
+        search_base_expansions: 16,
+        cost_kind: CostKind::WorkloadLatency,
+        ..Default::default()
+    };
+    let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), cfg);
+    for ep in 1..=6 {
+        neo.run_episode(ep);
+    }
+    let mut hits = 0;
+    for q in &queries {
+        let best = neo.experience.best_cost(&q.id).unwrap();
+        let (plan, _) = neo.plan_query(q);
+        let lat = true_latency(&db, q, &Engine::PostgresLike.profile(), &mut neo.oracle, &plan);
+        // Small-query latencies are startup-dominated (a few ms), so allow
+        // both a relative factor and an absolute slack.
+        if lat <= best * 3.0 + 5.0 {
+            hits += 1;
+        }
+    }
+    assert!(
+        hits >= queries.len() - 1,
+        "search should recover near-best experienced plans; only {hits}/{} did",
+        queries.len()
+    );
+}
+
+/// An untrained network still yields *valid* complete plans for every
+/// query size present in the workload — robustness of search + hurry-up.
+#[test]
+fn untrained_search_is_always_valid() {
+    let db = imdb::generate(0.02, 23);
+    let wl = job::generate(&db, 23);
+    let f = Featurizer::new(&db, Featurization::OneHot);
+    let net = ValueNet::new(f.query_dim(), f.plan_channels(), tiny_net_cfg(), 9);
+    for q in wl.queries.iter().filter(|q| q.num_relations() <= 10).take(15) {
+        let (plan, _) = best_first_search(&net, &f, &db, q, SearchBudget::expansions(10), None);
+        assert!(plan.fully_specified());
+        assert_eq!(plan.rel_mask(), (1u64 << q.num_relations()) - 1, "query {}", q.id);
+        // And the executor accepts it.
+        let ex = neo_engine::Executor::new(&db, q);
+        assert!(ex.execute_count(&plan).is_ok(), "query {}", q.id);
+    }
+}
+
+/// Budget accounting: starved searches report `hurried`; generous budgets
+/// on small queries complete without hurry-up, and both return valid plans.
+#[test]
+fn hurry_up_labeling_is_accurate() {
+    let db = imdb::generate(0.02, 23);
+    let wl = job::generate(&db, 23);
+    let f = Featurizer::new(&db, Featurization::Histogram);
+    let net = ValueNet::new(f.query_dim(), f.plan_channels(), tiny_net_cfg(), 11);
+    for q in wl.queries.iter().filter(|q| q.num_relations() == 4).take(4) {
+        let (p_small, s_small) =
+            best_first_search(&net, &f, &db, q, SearchBudget::expansions(0), None);
+        assert!(s_small.hurried, "zero-budget search must hurry");
+        assert!(p_small.fully_specified());
+        let (p_large, s_large) =
+            best_first_search(&net, &f, &db, q, SearchBudget::expansions(400), None);
+        assert!(!s_large.hurried, "400 expansions complete a 4-relation query");
+        assert!(p_large.fully_specified());
+        assert!(s_large.scored > s_small.scored);
+    }
+}

@@ -1,0 +1,338 @@
+//! Corpus construction: database rows as word2vec "sentences" (paper §5.1).
+//!
+//! Two strategies, matching the paper's two R-Vector variants:
+//!
+//! * **no joins** — every row of every table becomes one sentence holding
+//!   the row's own (non-key) value tokens: captures within-table
+//!   correlations only;
+//! * **joins** (partial denormalization) — rows are extended with the
+//!   tokens of the rows they reference through foreign keys (two hops),
+//!   and *hub* tables (referenced by several fact tables, e.g. `title`)
+//!   additionally emit merged sentences combining their referencing rows'
+//!   tokens. This is what lets "romance" (in `movie_info`) co-occur with
+//!   "love-…" keywords (in `keyword`, two FK hops away) in one sentence —
+//!   the paper's Table 2 effect.
+//!
+//! Key columns (ids and FK columns) carry no semantics and are skipped.
+//! High-cardinality integer columns are quantized into bucket tokens
+//! (`amount~7`); low-cardinality ones become exact tokens (`year:2016`).
+
+use neo_storage::{ColumnData, Database};
+use std::collections::{HashMap, HashSet};
+
+/// Corpus strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorpusKind {
+    /// One sentence per row, own tokens only ("no joins").
+    Normalized,
+    /// Partial denormalization along foreign keys ("joins").
+    Denormalized,
+}
+
+/// A tokenized corpus: integer token ids plus the vocabulary.
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    /// Token strings, indexed by token id.
+    pub vocab: Vec<String>,
+    /// Token id per string.
+    pub token_ids: HashMap<String, u32>,
+    /// Occurrence count per token id.
+    pub counts: Vec<u64>,
+    /// The sentences.
+    pub sentences: Vec<Vec<u32>>,
+}
+
+impl Corpus {
+    /// Total token occurrences.
+    pub fn total_tokens(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Token id for a string, if in vocabulary.
+    pub fn token_id(&self, s: &str) -> Option<u32> {
+        self.token_ids.get(s).copied()
+    }
+
+    fn intern(&mut self, s: String) -> u32 {
+        if let Some(&id) = self.token_ids.get(&s) {
+            self.counts[id as usize] += 1;
+            return id;
+        }
+        let id = self.vocab.len() as u32;
+        self.token_ids.insert(s.clone(), id);
+        self.vocab.push(s);
+        self.counts.push(1);
+        id
+    }
+}
+
+/// Number of quantization buckets for high-cardinality integer columns.
+const INT_BUCKETS: i64 = 16;
+/// Integer columns with at most this many distinct values get exact tokens.
+const EXACT_INT_LIMIT: u64 = 64;
+/// Maximum sentence length (hub sentences are truncated here).
+const MAX_SENTENCE: usize = 48;
+
+/// Per-table tokenization plan, precomputed once.
+struct Tokenizer {
+    /// For each (table, col): how to token-ize, or skip.
+    plans: Vec<Vec<ColPlan>>,
+}
+
+enum ColPlan {
+    Skip,
+    /// String column: token is the raw value (per dictionary code).
+    Str,
+    /// Exact integer token `col:value`.
+    IntExact,
+    /// Bucketed integer token `col~bucket`, with (min, max).
+    IntBucket(i64, i64),
+}
+
+impl Tokenizer {
+    fn new(db: &Database) -> Self {
+        let mut key_cols: HashSet<(usize, usize)> = HashSet::new();
+        for (t, table) in db.tables.iter().enumerate() {
+            if let Some(c) = table.col_id("id") {
+                key_cols.insert((t, c));
+            }
+        }
+        for fk in &db.foreign_keys {
+            key_cols.insert((fk.from_table, fk.from_col));
+            key_cols.insert((fk.to_table, fk.to_col));
+        }
+        let plans = db
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(t, table)| {
+                table
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(c, col)| {
+                        if key_cols.contains(&(t, c)) {
+                            return ColPlan::Skip;
+                        }
+                        match &col.data {
+                            ColumnData::Str(_) => ColPlan::Str,
+                            ColumnData::Int(v) => {
+                                let distinct = db.stats[t].columns[c].distinct();
+                                if distinct <= EXACT_INT_LIMIT {
+                                    ColPlan::IntExact
+                                } else {
+                                    let min = v.iter().copied().min().unwrap_or(0);
+                                    let max = v.iter().copied().max().unwrap_or(0);
+                                    ColPlan::IntBucket(min, max)
+                                }
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Tokenizer { plans }
+    }
+
+    /// Appends row `(t, row)`'s tokens to `out`.
+    fn row_tokens(&self, db: &Database, t: usize, row: usize, out: &mut Vec<String>) {
+        for (c, plan) in self.plans[t].iter().enumerate() {
+            let col = &db.tables[t].columns[c];
+            match plan {
+                ColPlan::Skip => {}
+                ColPlan::Str => {
+                    let s = col.as_str().unwrap();
+                    out.push(s.decode(s.codes[row]).to_string());
+                }
+                ColPlan::IntExact => {
+                    let v = col.as_int().unwrap()[row];
+                    out.push(format!("{}:{v}", col.name));
+                }
+                ColPlan::IntBucket(min, max) => {
+                    let v = col.as_int().unwrap()[row];
+                    let width = ((max - min) / INT_BUCKETS).max(1);
+                    let bucket = ((v - min) / width).min(INT_BUCKETS - 1);
+                    out.push(format!("{}~{bucket}", col.name));
+                }
+            }
+        }
+    }
+}
+
+/// Builds a corpus from the database.
+pub fn build_corpus(db: &Database, kind: CorpusKind) -> Corpus {
+    let tk = Tokenizer::new(db);
+    let mut corpus = Corpus::default();
+    let mut scratch: Vec<String> = Vec::new();
+
+    // Row sentences (both variants; denormalized extends them).
+    for (t, table) in db.tables.iter().enumerate() {
+        // Forward FK targets of t, per row resolved below.
+        let fwd: Vec<(usize, usize, usize)> = db
+            .foreign_keys
+            .iter()
+            .filter(|fk| fk.from_table == t)
+            .map(|fk| (fk.from_col, fk.to_table, fk.to_col))
+            .collect();
+        for row in 0..table.num_rows() {
+            scratch.clear();
+            tk.row_tokens(db, t, row, &mut scratch);
+            if kind == CorpusKind::Denormalized {
+                // One- and two-hop forward denormalization.
+                for &(fc, tt, tc) in &fwd {
+                    let key = table.columns[fc].as_int().unwrap()[row];
+                    for &rref in lookup_rows(db, tt, tc, key).iter().take(1) {
+                        tk.row_tokens(db, tt, rref as usize, &mut scratch);
+                        for fk2 in db.foreign_keys.iter().filter(|f| f.from_table == tt) {
+                            let key2 =
+                                db.tables[tt].columns[fk2.from_col].as_int().unwrap()[rref as usize];
+                            for &r2 in lookup_rows(db, fk2.to_table, fk2.to_col, key2).iter().take(1)
+                            {
+                                tk.row_tokens(db, fk2.to_table, r2 as usize, &mut scratch);
+                            }
+                        }
+                    }
+                }
+            }
+            if scratch.is_empty() {
+                continue;
+            }
+            scratch.truncate(MAX_SENTENCE);
+            let sentence: Vec<u32> = scratch.drain(..).map(|s| corpus.intern(s)).collect();
+            corpus.sentences.push(sentence);
+        }
+    }
+
+    // Hub sentences: merge the neighbourhoods of heavily-referenced tables.
+    if kind == CorpusKind::Denormalized {
+        for (hub, table) in db.tables.iter().enumerate() {
+            let referencing: Vec<_> =
+                db.foreign_keys.iter().filter(|fk| fk.to_table == hub).collect();
+            if referencing.len() < 2 {
+                continue;
+            }
+            let hub_key_col = referencing[0].to_col;
+            for row in 0..table.num_rows() {
+                scratch.clear();
+                tk.row_tokens(db, hub, row, &mut scratch);
+                let key = table.columns[hub_key_col].as_int().unwrap()[row];
+                for fk in &referencing {
+                    for &rref in lookup_rows(db, fk.from_table, fk.from_col, key).iter().take(4) {
+                        tk.row_tokens(db, fk.from_table, rref as usize, &mut scratch);
+                        // One forward hop from the referencing row (e.g.
+                        // movie_keyword -> keyword).
+                        for fk2 in
+                            db.foreign_keys.iter().filter(|f| f.from_table == fk.from_table)
+                        {
+                            if fk2.to_table == hub {
+                                continue;
+                            }
+                            let key2 = db.tables[fk.from_table].columns[fk2.from_col]
+                                .as_int()
+                                .unwrap()[rref as usize];
+                            for &r2 in
+                                lookup_rows(db, fk2.to_table, fk2.to_col, key2).iter().take(1)
+                            {
+                                tk.row_tokens(db, fk2.to_table, r2 as usize, &mut scratch);
+                            }
+                        }
+                        if scratch.len() >= MAX_SENTENCE {
+                            break;
+                        }
+                    }
+                    if scratch.len() >= MAX_SENTENCE {
+                        break;
+                    }
+                }
+                scratch.truncate(MAX_SENTENCE);
+                if scratch.len() < 2 {
+                    continue;
+                }
+                let sentence: Vec<u32> = scratch.drain(..).map(|s| corpus.intern(s)).collect();
+                corpus.sentences.push(sentence);
+            }
+        }
+    }
+    corpus
+}
+
+/// Rows of `table` whose `col` equals `key` (via index when available).
+fn lookup_rows(db: &Database, table: usize, col: usize, key: i64) -> Vec<u32> {
+    if let Some(idx) = db.index(table, col) {
+        return idx.lookup(key).to_vec();
+    }
+    db.tables[table].columns[col]
+        .as_int()
+        .map(|v| {
+            v.iter()
+                .enumerate()
+                .filter(|(_, &x)| x == key)
+                .map(|(i, _)| i as u32)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_storage::datagen::imdb;
+
+    #[test]
+    fn normalized_corpus_has_row_sentences() {
+        let db = imdb::generate(0.02, 1);
+        let corpus = build_corpus(&db, CorpusKind::Normalized);
+        assert!(!corpus.sentences.is_empty());
+        assert!(corpus.token_id("romance").is_some());
+        // Key columns produce no tokens: no "id:…" tokens.
+        assert!(corpus.vocab.iter().all(|t| !t.starts_with("id:")));
+    }
+
+    #[test]
+    fn denormalized_sentences_cooccur_genre_and_keyword() {
+        let db = imdb::generate(0.02, 1);
+        let corpus = build_corpus(&db, CorpusKind::Denormalized);
+        let romance = corpus.token_id("romance").unwrap();
+        // Count sentences containing both the genre token and any love-*
+        // keyword token.
+        let love_ids: Vec<u32> = corpus
+            .vocab
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.starts_with("love-"))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert!(!love_ids.is_empty());
+        let love_set: std::collections::HashSet<u32> = love_ids.into_iter().collect();
+        let both = corpus
+            .sentences
+            .iter()
+            .filter(|s| s.contains(&romance) && s.iter().any(|t| love_set.contains(t)))
+            .count();
+        assert!(both > 10, "only {both} sentences co-occur romance with love-*");
+    }
+
+    #[test]
+    fn denormalized_is_larger_than_normalized() {
+        let db = imdb::generate(0.02, 1);
+        let norm = build_corpus(&db, CorpusKind::Normalized);
+        let denorm = build_corpus(&db, CorpusKind::Denormalized);
+        assert!(denorm.total_tokens() > norm.total_tokens());
+    }
+
+    #[test]
+    fn high_cardinality_ints_are_bucketed() {
+        let db = imdb::generate(0.02, 1);
+        let corpus = build_corpus(&db, CorpusKind::Normalized);
+        // production_year (90 distinct) must be bucketed, not exact.
+        assert!(corpus.vocab.iter().any(|t| t.starts_with("production_year~")));
+        assert!(corpus.vocab.iter().all(|t| !t.starts_with("production_year:")));
+    }
+
+    #[test]
+    fn sentences_are_bounded() {
+        let db = imdb::generate(0.02, 1);
+        let corpus = build_corpus(&db, CorpusKind::Denormalized);
+        assert!(corpus.sentences.iter().all(|s| s.len() <= MAX_SENTENCE));
+    }
+}

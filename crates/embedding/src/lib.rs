@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # neo-embedding — row-vector embeddings for the Neo reproduction
+//!
+//! The paper's R-Vector featurization (§5): a word2vec model trained on
+//! database rows, capturing cross-column and (via partial denormalization)
+//! cross-table correlations, used to featurize query predicates.
+//!
+//! * [`corpus`] — rows-as-sentences corpora, normalized ("no joins") and
+//!   partially denormalized ("joins");
+//! * [`word2vec`] — skip-gram with negative sampling, from scratch (stands
+//!   in for gensim);
+//! * [`rvector`] — the predicate feature layout of §5.1 (operator one-hot,
+//!   match count, mean embedding, seen count).
+
+pub mod corpus;
+pub mod rvector;
+pub mod word2vec;
+
+pub use corpus::{build_corpus, Corpus, CorpusKind};
+pub use rvector::{RVectorFeaturizer, NUM_OPS};
+pub use word2vec::{cosine, train, Embedding, W2vConfig};

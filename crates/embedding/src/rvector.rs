@@ -1,0 +1,180 @@
+//! R-Vector predicate featurization (paper §5.1, "Row vector
+//! construction"): for every query predicate, a concatenation of
+//!
+//! 1. a one-hot encoding of the comparison operator,
+//! 2. the number of matched words,
+//! 3. the word2vec embedding of the predicate value (mean over matches for
+//!    multi-match predicates like `ILIKE`),
+//! 4. the number of times the value was seen in training,
+//!
+//! which replaces the 0/1 entries of the one-hot column-predicate vector.
+
+use crate::word2vec::Embedding;
+use neo_query::{CmpOp, Predicate};
+use neo_storage::Database;
+
+/// Number of operator slots in the one-hot operator encoding:
+/// Eq, Lt, Le, Gt, Ge, Between, Contains.
+pub const NUM_OPS: usize = 7;
+
+/// Featurizes predicates through a trained row-vector embedding.
+pub struct RVectorFeaturizer {
+    /// The trained embedding.
+    pub embedding: Embedding,
+}
+
+impl RVectorFeaturizer {
+    /// Creates a featurizer.
+    pub fn new(embedding: Embedding) -> Self {
+        RVectorFeaturizer { embedding }
+    }
+
+    /// Width of one predicate slot: ops one-hot + matched count +
+    /// embedding + seen count.
+    pub fn slot_size(&self) -> usize {
+        NUM_OPS + 1 + self.embedding.dim + 1
+    }
+
+    /// Featurizes one predicate into a `slot_size()`-wide vector.
+    pub fn featurize(&self, db: &Database, p: &Predicate) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.slot_size()];
+        let op_slot = match p {
+            Predicate::IntCmp { op, .. } => match op {
+                CmpOp::Eq => 0,
+                CmpOp::Lt => 1,
+                CmpOp::Le => 2,
+                CmpOp::Gt => 3,
+                CmpOp::Ge => 4,
+            },
+            Predicate::IntBetween { .. } => 5,
+            Predicate::StrEq { .. } => 0,
+            Predicate::StrContains { .. } => 6,
+        };
+        out[op_slot] = 1.0;
+
+        let (tokens, matched): (Vec<String>, usize) = match p {
+            Predicate::IntCmp { table, col, value, .. } => {
+                let name = &db.tables[*table].columns[*col].name;
+                (int_tokens(db, *table, *col, name, &[*value]), 1)
+            }
+            Predicate::IntBetween { table, col, lo, hi } => {
+                let name = &db.tables[*table].columns[*col].name;
+                (int_tokens(db, *table, *col, name, &[*lo, *hi]), 2)
+            }
+            Predicate::StrEq { value, .. } => (vec![value.clone()], 1),
+            Predicate::StrContains { table, col, needle } => {
+                let s = db.tables[*table].columns[*col].as_str().expect("str column");
+                let toks: Vec<String> = s
+                    .codes_containing(needle)
+                    .into_iter()
+                    .map(|c| s.decode(c).to_string())
+                    .collect();
+                let n = toks.len();
+                (toks, n)
+            }
+        };
+        out[NUM_OPS] = matched as f32;
+        let mean = self.embedding.mean_vector(tokens.iter());
+        out[NUM_OPS + 1..NUM_OPS + 1 + self.embedding.dim].copy_from_slice(&mean);
+        // Seen count: total training occurrences of the matched tokens.
+        let seen: usize = tokens
+            .iter()
+            .filter(|t| self.embedding.token_ids.contains_key(t.as_str()))
+            .count();
+        // Scaled to keep the feature O(1).
+        out[NUM_OPS + 1 + self.embedding.dim] = (seen as f32).ln_1p();
+        out
+    }
+}
+
+/// Token strings for integer predicate operands, matching the corpus
+/// tokenizer's scheme (exact `col:value` or bucketed `col~bucket`).
+fn int_tokens(db: &Database, table: usize, col: usize, name: &str, values: &[i64]) -> Vec<String> {
+    let stats = &db.stats[table].columns[col];
+    let distinct = stats.distinct();
+    if distinct <= 64 {
+        values.iter().map(|v| format!("{name}:{v}")).collect()
+    } else if let neo_storage::ColumnStats::Int(h) = stats {
+        let (min, max) = (h.min(), h.max());
+        let width = ((max - min) / 16).max(1);
+        values
+            .iter()
+            .map(|v| {
+                let bucket = ((v - min) / width).clamp(0, 15);
+                format!("{name}~{bucket}")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{build_corpus, CorpusKind};
+    use crate::word2vec::{train, W2vConfig};
+    use neo_storage::datagen::imdb;
+
+    fn small_featurizer(db: &Database) -> RVectorFeaturizer {
+        let corpus = build_corpus(db, CorpusKind::Normalized);
+        let emb = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 1);
+        RVectorFeaturizer::new(emb)
+    }
+
+    #[test]
+    fn slot_layout_is_stable() {
+        let db = imdb::generate(0.02, 1);
+        let f = small_featurizer(&db);
+        assert_eq!(f.slot_size(), 7 + 1 + 8 + 1);
+    }
+
+    #[test]
+    fn str_eq_sets_eq_op_and_embedding() {
+        let db = imdb::generate(0.02, 1);
+        let f = small_featurizer(&db);
+        let t = db.table_id("movie_info").unwrap();
+        let c = db.tables[t].col_id("info").unwrap();
+        let v = f.featurize(&db, &Predicate::StrEq { table: t, col: c, value: "romance".into() });
+        assert_eq!(v[0], 1.0); // Eq slot
+        assert_eq!(v[NUM_OPS], 1.0); // one matched token
+        let emb = &v[NUM_OPS + 1..NUM_OPS + 1 + 8];
+        assert!(emb.iter().any(|&x| x != 0.0), "embedding all-zero for known token");
+    }
+
+    #[test]
+    fn contains_counts_matches() {
+        // Scale 0.2 yields ~400 keywords, several containing "love".
+        let db = imdb::generate(0.2, 1);
+        let f = small_featurizer(&db);
+        let t = db.table_id("keyword").unwrap();
+        let c = db.tables[t].col_id("keyword").unwrap();
+        let v =
+            f.featurize(&db, &Predicate::StrContains { table: t, col: c, needle: "love".into() });
+        assert_eq!(v[6], 1.0); // Contains slot
+        assert!(v[NUM_OPS] > 1.0, "love should match several keywords");
+    }
+
+    #[test]
+    fn unknown_value_has_zero_embedding() {
+        let db = imdb::generate(0.02, 1);
+        let f = small_featurizer(&db);
+        let t = db.table_id("movie_info").unwrap();
+        let c = db.tables[t].col_id("info").unwrap();
+        let v = f.featurize(&db, &Predicate::StrEq { table: t, col: c, value: "zzz".into() });
+        let emb = &v[NUM_OPS + 1..NUM_OPS + 1 + 8];
+        assert!(emb.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn int_between_uses_bucket_tokens() {
+        let db = imdb::generate(0.02, 1);
+        let f = small_featurizer(&db);
+        let t = db.table_id("title").unwrap();
+        let c = db.tables[t].col_id("production_year").unwrap();
+        let v = f.featurize(&db, &Predicate::IntBetween { table: t, col: c, lo: 1990, hi: 2005 });
+        assert_eq!(v[5], 1.0); // Between slot
+        let emb = &v[NUM_OPS + 1..NUM_OPS + 1 + 8];
+        assert!(emb.iter().any(|&x| x != 0.0), "year bucket tokens should be embedded");
+    }
+}

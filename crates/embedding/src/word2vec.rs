@@ -1,0 +1,292 @@
+//! Skip-gram word2vec with negative sampling (Mikolov et al. 2013), the
+//! algorithm behind the paper's row vectors (§5). Stands in for the gensim
+//! implementation the paper uses.
+
+use crate::corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Training configuration.
+#[derive(Clone, Debug)]
+pub struct W2vConfig {
+    /// Embedding dimensionality (the paper uses 100; default 64 for speed).
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 10%).
+    pub lr: f32,
+}
+
+impl Default for W2vConfig {
+    fn default() -> Self {
+        W2vConfig { dim: 64, window: 5, negatives: 5, epochs: 3, lr: 0.025 }
+    }
+}
+
+/// A trained embedding: one vector per vocabulary token.
+///
+/// # Examples
+///
+/// ```
+/// use neo_embedding::{build_corpus, train, CorpusKind, W2vConfig};
+/// use neo_storage::datagen::imdb;
+///
+/// let db = imdb::generate(0.02, 1);
+/// let corpus = build_corpus(&db, CorpusKind::Denormalized);
+/// let cfg = W2vConfig { dim: 8, epochs: 1, ..Default::default() };
+/// let emb = train(&corpus, &cfg, 1);
+/// assert_eq!(emb.vector("romance").unwrap().len(), 8);
+/// assert!(emb.cosine("romance", "action").unwrap().abs() <= 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Token string → token id.
+    pub token_ids: HashMap<String, u32>,
+    /// Flat `vocab_len x dim` input-vector matrix.
+    vectors: Vec<f32>,
+}
+
+impl Embedding {
+    /// The vector for a token, if known.
+    pub fn vector(&self, token: &str) -> Option<&[f32]> {
+        let id = *self.token_ids.get(token)?;
+        Some(self.vector_by_id(id))
+    }
+
+    /// The vector for a token id.
+    pub fn vector_by_id(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.vectors[i..i + self.dim]
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.vectors.len() / self.dim
+    }
+
+    /// Cosine similarity between two tokens (`None` if either is unknown).
+    pub fn cosine(&self, a: &str, b: &str) -> Option<f32> {
+        Some(cosine(self.vector(a)?, self.vector(b)?))
+    }
+
+    /// Mean vector of the given tokens (unknown tokens are skipped).
+    /// Used for multi-match predicates: "we take the mean of all the
+    /// matched word vectors" (paper §5.1).
+    pub fn mean_vector(&self, tokens: impl IntoIterator<Item = impl AsRef<str>>) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for t in tokens {
+            if let Some(v) = self.vector(t.as_ref()) {
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a += b;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            for a in &mut acc {
+                *a /= n as f32;
+            }
+        }
+        acc
+    }
+
+    /// The `k` most cosine-similar tokens to `token`.
+    pub fn most_similar(&self, token: &str, k: usize) -> Vec<(String, f32)> {
+        let Some(v) = self.vector(token) else { return Vec::new() };
+        let mut scored: Vec<(String, f32)> = self
+            .token_ids
+            .iter()
+            .filter(|(t, _)| t.as_str() != token)
+            .map(|(t, &id)| (t.clone(), cosine(v, self.vector_by_id(id))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Cosine similarity of two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Trains skip-gram-with-negative-sampling embeddings on a corpus.
+pub fn train(corpus: &Corpus, config: &W2vConfig, seed: u64) -> Embedding {
+    let vocab_len = corpus.vocab.len();
+    let dim = config.dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Input and output matrices.
+    let mut w_in: Vec<f32> =
+        (0..vocab_len * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect();
+    let mut w_out: Vec<f32> = vec![0.0; vocab_len * dim];
+
+    // Unigram^0.75 negative-sampling table.
+    let table = build_negative_table(&corpus.counts, 1 << 18);
+
+    let total_steps = (config.epochs * corpus.sentences.len()).max(1);
+    let mut step = 0usize;
+    let mut grad = vec![0.0f32; dim];
+    for _epoch in 0..config.epochs {
+        for sentence in &corpus.sentences {
+            step += 1;
+            let progress = step as f32 / total_steps as f32;
+            let lr = config.lr * (1.0 - 0.9 * progress);
+            for (i, &center) in sentence.iter().enumerate() {
+                let lo = i.saturating_sub(config.window);
+                let hi = (i + config.window + 1).min(sentence.len());
+                for j in lo..hi {
+                    if j == i {
+                        continue;
+                    }
+                    let context = sentence[j];
+                    // Positive pair + negatives.
+                    let ci = center as usize * dim;
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    for n in 0..=config.negatives {
+                        let (target, label) = if n == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            (table[rng.gen_range(0..table.len())], 0.0)
+                        };
+                        if n > 0 && target == context {
+                            continue;
+                        }
+                        let ti = target as usize * dim;
+                        let dot: f32 = (0..dim).map(|d| w_in[ci + d] * w_out[ti + d]).sum();
+                        let err = (sigmoid(dot) - label) * lr;
+                        for d in 0..dim {
+                            grad[d] += err * w_out[ti + d];
+                            w_out[ti + d] -= err * w_in[ci + d];
+                        }
+                    }
+                    for d in 0..dim {
+                        w_in[ci + d] -= grad[d];
+                    }
+                }
+            }
+        }
+    }
+    Embedding { dim, token_ids: corpus.token_ids.clone(), vectors: w_in }
+}
+
+fn build_negative_table(counts: &[u64], size: usize) -> Vec<u32> {
+    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut table = Vec::with_capacity(size);
+    if total == 0.0 {
+        return vec![0; size.max(1)];
+    }
+    let mut acc = 0.0f64;
+    let mut token = 0usize;
+    for i in 0..size {
+        let target = (i as f64 + 0.5) / size as f64;
+        while acc + weights[token] / total < target && token + 1 < counts.len() {
+            acc += weights[token] / total;
+            token += 1;
+        }
+        table.push(token as u32);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    /// Hand-built corpus with two clusters. Skip-gram input vectors align
+    /// for tokens with *shared contexts*, so each cluster has a shared
+    /// context token: {a, b} co-occur with m, {x, y} co-occur with n.
+    fn cluster_corpus() -> Corpus {
+        let mut c = Corpus::default();
+        for t in ["a", "b", "x", "y", "m", "n"] {
+            let id = c.vocab.len() as u32;
+            c.token_ids.insert(t.into(), id);
+            c.vocab.push(t.into());
+            c.counts.push(0);
+        }
+        let (a, b, x, y, m, n) = (0u32, 1, 2, 3, 4, 5);
+        for _ in 0..300 {
+            c.sentences.push(vec![a, m, b]);
+            c.sentences.push(vec![b, m, a]);
+            c.sentences.push(vec![x, n, y]);
+            c.sentences.push(vec![y, n, x]);
+        }
+        for s in &c.sentences {
+            for &t in s {
+                c.counts[t as usize] += 1;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn cooccurring_tokens_are_more_similar() {
+        let corpus = cluster_corpus();
+        // A toy corpus needs many epochs to accumulate enough updates.
+        let emb =
+            train(&corpus, &W2vConfig { dim: 16, epochs: 40, lr: 0.08, ..Default::default() }, 7);
+        let ab = emb.cosine("a", "b").unwrap();
+        let ax = emb.cosine("a", "x").unwrap();
+        assert!(ab > ax + 0.08, "cos(a,b)={ab} should exceed cos(a,x)={ax}");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let corpus = cluster_corpus();
+        let e1 = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 3);
+        let e2 = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 3);
+        assert_eq!(e1.vector("a").unwrap(), e2.vector("a").unwrap());
+    }
+
+    #[test]
+    fn mean_vector_of_unknown_tokens_is_zero() {
+        let corpus = cluster_corpus();
+        let emb = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 3);
+        let v = emb.mean_vector(["nope", "missing"]);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn most_similar_ranks_cluster_partner_first() {
+        let corpus = cluster_corpus();
+        let emb =
+            train(&corpus, &W2vConfig { dim: 16, epochs: 40, lr: 0.08, ..Default::default() }, 7);
+        let sims = emb.most_similar("x", 1);
+        assert_eq!(sims[0].0, "y");
+    }
+
+    #[test]
+    fn cosine_identities() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn negative_table_respects_frequency() {
+        let table = build_negative_table(&[100, 1, 1], 1000);
+        let zeros = table.iter().filter(|&&t| t == 0).count();
+        assert!(zeros > 700, "high-frequency token underrepresented: {zeros}");
+    }
+}

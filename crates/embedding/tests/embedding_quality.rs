@@ -1,0 +1,100 @@
+//! Embedding-quality integration tests: the planted IMDB correlations must
+//! surface as cosine-similarity structure (the paper's Table 2 / Fig. 7
+//! effects), deterministically.
+
+use neo_embedding::{build_corpus, cosine, train, CorpusKind, W2vConfig};
+use neo_storage::datagen::imdb;
+
+fn trained() -> (neo_storage::Database, neo_embedding::Embedding) {
+    let db = imdb::generate(0.25, 13);
+    let corpus = build_corpus(&db, CorpusKind::Denormalized);
+    let emb =
+        train(&corpus, &W2vConfig { dim: 32, epochs: 3, window: 10, ..Default::default() }, 13);
+    (db, emb)
+}
+
+/// Table 2's core claim: keyword clusters are more similar to their own
+/// genre than to rival genres.
+#[test]
+// word2vec training at this scale is release-speed work; skipped in debug
+// builds (run `cargo test --release` for the full suite).
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn keyword_clusters_align_with_their_genre() {
+    let (db, emb) = trained();
+    let kw = db.table("keyword").col("keyword").as_str().unwrap();
+    let mean_sim = |word: &str, genre: &str| -> f32 {
+        let matched: Vec<String> =
+            kw.codes_containing(word).into_iter().map(|c| kw.decode(c).to_string()).collect();
+        assert!(!matched.is_empty(), "no keywords match {word}");
+        cosine(&emb.mean_vector(matched.iter()), emb.vector(genre).expect("genre token"))
+    };
+    // "love" keywords belong to romance; "fight" keywords to action.
+    let love_romance = mean_sim("love", "romance");
+    let love_action = mean_sim("love", "action");
+    let fight_action = mean_sim("fight", "action");
+    let fight_romance = mean_sim("fight", "romance");
+    assert!(
+        love_romance > love_action,
+        "love~romance {love_romance} should beat love~action {love_action}"
+    );
+    assert!(
+        fight_action > fight_romance,
+        "fight~action {fight_action} should beat fight~romance {fight_romance}"
+    );
+}
+
+/// Country tokens should cluster with themselves across tables (the
+/// birthplace↔production-country correlation).
+#[test]
+// word2vec training at this scale is release-speed work; skipped in debug
+// builds (run `cargo test --release` for the full suite).
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn genre_tokens_are_mutually_distinguishable() {
+    let (_, emb) = trained();
+    // Self-similarity is 1; distinct genres should sit measurably apart.
+    let g1 = emb.vector("romance").unwrap();
+    let g2 = emb.vector("action").unwrap();
+    let cross = cosine(g1, g2);
+    assert!(cross < 0.995, "genres collapsed: cos={cross}");
+}
+
+/// Training twice with the same seed gives identical vectors; a different
+/// seed gives different ones.
+#[test]
+fn embedding_training_is_seed_deterministic() {
+    let db = imdb::generate(0.05, 13);
+    let corpus = build_corpus(&db, CorpusKind::Normalized);
+    let cfg = W2vConfig { dim: 8, epochs: 1, ..Default::default() };
+    let a = train(&corpus, &cfg, 5);
+    let b = train(&corpus, &cfg, 5);
+    let c = train(&corpus, &cfg, 6);
+    assert_eq!(a.vector("romance"), b.vector("romance"));
+    assert_ne!(a.vector("romance"), c.vector("romance"));
+}
+
+/// The normalized ("no joins") corpus cannot link genre and keyword tokens:
+/// a keyword row is a single-token sentence, so keyword vectors receive no
+/// gradient at all and stay at their (tiny) random initialization, while
+/// the joined corpus trains them into full-magnitude cluster vectors.
+#[test]
+// word2vec training at this scale is release-speed work; skipped in debug
+// builds (run `cargo test --release` for the full suite).
+#[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
+fn no_joins_corpus_misses_cross_table_correlation() {
+    let db = imdb::generate(0.25, 13);
+    let cfg = W2vConfig { dim: 32, epochs: 3, window: 10, ..Default::default() };
+    let joined = train(&build_corpus(&db, CorpusKind::Denormalized), &cfg, 13);
+    let normed = train(&build_corpus(&db, CorpusKind::Normalized), &cfg, 13);
+    let kw = db.table("keyword").col("keyword").as_str().unwrap();
+    let mean_norm = |emb: &neo_embedding::Embedding| -> f32 {
+        let matched: Vec<String> =
+            kw.codes_containing("love").into_iter().map(|c| kw.decode(c).to_string()).collect();
+        let mv = emb.mean_vector(matched.iter());
+        mv.iter().map(|v| v * v).sum::<f32>().sqrt()
+    };
+    let (nj, nn) = (mean_norm(&joined), mean_norm(&normed));
+    assert!(
+        nj > 5.0 * nn,
+        "joined keyword vectors ({nj}) should dwarf untrained no-joins vectors ({nn})"
+    );
+}

@@ -1,0 +1,462 @@
+//! A real tuple-at-a-time executor for physical plans: hash join, sort-merge
+//! join, (index-)nested-loop join, table and index scans.
+//!
+//! The executor materializes intermediate results as row-id tuples and is
+//! used to validate the cardinality oracle, to power the examples, and to
+//! cross-check that all three join algorithms produce identical results.
+//! (The reinforcement-learning loop scores plans with the deterministic
+//! latency model instead — see DESIGN.md §1 — so this executor's speed is
+//! not on the training hot path.)
+
+use crate::filter::filter_table;
+use neo_query::{JoinOp, PlanNode, Query, ScanType};
+use neo_storage::Database;
+use std::collections::HashMap;
+
+/// A materialized intermediate result: tuples of row ids, one per covered
+/// relation, stored flat with stride `rels.len()`.
+#[derive(Clone, Debug)]
+pub struct Chunk {
+    /// Relation indexes covered (query-relative), in tuple order.
+    pub rels: Vec<usize>,
+    data: Vec<u32>,
+}
+
+impl Chunk {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        if self.rels.is_empty() {
+            0
+        } else {
+            self.data.len() / self.rels.len()
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Tuple accessor.
+    pub fn tuple(&self, i: usize) -> &[u32] {
+        let s = self.rels.len();
+        &self.data[i * s..(i + 1) * s]
+    }
+
+    /// Position of relation `rel` within tuples.
+    pub fn rel_pos(&self, rel: usize) -> usize {
+        self.rels.iter().position(|&r| r == rel).expect("relation not in chunk")
+    }
+}
+
+/// Executor errors: structurally invalid plans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The plan still contains an unspecified scan.
+    UnspecifiedScan(usize),
+    /// An index scan was requested for a relation with no usable index.
+    NoIndex(usize),
+    /// A join node's inputs share no join edge (cross product).
+    CrossProduct,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnspecifiedScan(r) => write!(f, "unspecified scan for relation {r}"),
+            ExecError::NoIndex(r) => write!(f, "no usable index for relation {r}"),
+            ExecError::CrossProduct => write!(f, "join without connecting edge"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executes complete plans for one query.
+pub struct Executor<'a> {
+    db: &'a Database,
+    query: &'a Query,
+    /// Filtered base-table selection vectors, one per relation.
+    filtered: Vec<Vec<u32>>,
+}
+
+/// One equi-join condition, already resolved to (relation, column) pairs
+/// oriented as (left subtree, right subtree).
+struct ResolvedEdge {
+    left_rel: usize,
+    left_col: usize,
+    right_rel: usize,
+    right_col: usize,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor, evaluating all base-table predicates once.
+    pub fn new(db: &'a Database, query: &'a Query) -> Self {
+        let filtered =
+            (0..query.num_relations()).map(|rel| filter_table(db, query, rel)).collect();
+        Executor { db, query, filtered }
+    }
+
+    /// Filtered row ids for a relation.
+    pub fn filtered(&self, rel: usize) -> &[u32] {
+        &self.filtered[rel]
+    }
+
+    /// Executes a complete plan tree, returning the materialized result.
+    pub fn execute(&self, plan: &PlanNode) -> Result<Chunk, ExecError> {
+        match plan {
+            PlanNode::Scan { rel, scan } => self.scan(*rel, *scan),
+            PlanNode::Join { op, left, right } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                let edges = self.resolve_edges(&l, &r);
+                if edges.is_empty() {
+                    return Err(ExecError::CrossProduct);
+                }
+                // For loop joins over a base index-scanned relation, use the
+                // database index for probes (index nested loop).
+                let use_index = matches!(
+                    (op, right.as_ref()),
+                    (JoinOp::Loop, PlanNode::Scan { scan: ScanType::Index, .. })
+                );
+                let out = match op {
+                    JoinOp::Hash => self.hash_join(&l, &r, &edges),
+                    JoinOp::Merge => self.merge_join(&l, &r, &edges),
+                    JoinOp::Loop => {
+                        if use_index {
+                            self.index_loop_join(&l, &r, &edges)
+                        } else {
+                            self.nested_loop_join(&l, &r, &edges)
+                        }
+                    }
+                };
+                Ok(out)
+            }
+        }
+    }
+
+    /// Executes a complete plan and returns the result cardinality.
+    pub fn execute_count(&self, plan: &PlanNode) -> Result<u64, ExecError> {
+        Ok(self.execute(plan)?.len() as u64)
+    }
+
+    /// Executes a complete plan and evaluates the query's aggregate.
+    pub fn execute_aggregate(&self, plan: &PlanNode) -> Result<i64, ExecError> {
+        let chunk = self.execute(plan)?;
+        match &self.query.agg {
+            neo_query::Aggregate::CountStar => Ok(chunk.len() as i64),
+            neo_query::Aggregate::Sum { table, col } => {
+                let rel = self.query.rel_of(*table).expect("aggregate over non-member table");
+                let pos = chunk.rel_pos(rel);
+                let vals = self.db.tables[*table].columns[*col]
+                    .as_int()
+                    .expect("sum over non-integer column");
+                let mut acc = 0i64;
+                for i in 0..chunk.len() {
+                    acc += vals[chunk.tuple(i)[pos] as usize];
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    fn scan(&self, rel: usize, scan: ScanType) -> Result<Chunk, ExecError> {
+        match scan {
+            ScanType::Unspecified => Err(ExecError::UnspecifiedScan(rel)),
+            ScanType::Table => Ok(Chunk { rels: vec![rel], data: self.filtered[rel].clone() }),
+            ScanType::Index => {
+                // An index scan retrieves the same qualifying rows; legality
+                // requires some index on a join or predicate column.
+                let t = self.query.tables[rel];
+                let has = (0..self.db.tables[t].num_cols()).any(|c| self.db.has_index(t, c));
+                if !has {
+                    return Err(ExecError::NoIndex(rel));
+                }
+                Ok(Chunk { rels: vec![rel], data: self.filtered[rel].clone() })
+            }
+        }
+    }
+
+    /// Join-key value of tuple `i` of `chunk` on `(rel, col)`.
+    fn key_value(&self, chunk: &Chunk, i: usize, rel: usize, col: usize) -> i64 {
+        let t = self.query.tables[rel];
+        let row = chunk.tuple(i)[chunk.rel_pos(rel)] as usize;
+        self.db.tables[t].columns[col].as_int().expect("join on non-integer column")[row]
+    }
+
+    fn resolve_edges(&self, l: &Chunk, r: &Chunk) -> Vec<ResolvedEdge> {
+        let mut out = Vec::new();
+        for e in &self.query.joins {
+            let (Some(a), Some(b)) =
+                (self.query.rel_of(e.left_table), self.query.rel_of(e.right_table))
+            else {
+                continue;
+            };
+            let a_in_l = l.rels.contains(&a);
+            let b_in_l = l.rels.contains(&b);
+            let a_in_r = r.rels.contains(&a);
+            let b_in_r = r.rels.contains(&b);
+            if a_in_l && b_in_r {
+                out.push(ResolvedEdge { left_rel: a, left_col: e.left_col, right_rel: b, right_col: e.right_col });
+            } else if b_in_l && a_in_r {
+                out.push(ResolvedEdge { left_rel: b, left_col: e.right_col, right_rel: a, right_col: e.left_col });
+            }
+        }
+        out
+    }
+
+    fn emit(&self, l: &Chunk, r: &Chunk, li: usize, ri: usize, out: &mut Vec<u32>) {
+        out.extend_from_slice(l.tuple(li));
+        out.extend_from_slice(r.tuple(ri));
+    }
+
+    /// Checks the secondary (non-primary) join conditions.
+    fn extra_match(&self, l: &Chunk, r: &Chunk, li: usize, ri: usize, edges: &[ResolvedEdge]) -> bool {
+        edges.iter().skip(1).all(|e| {
+            self.key_value(l, li, e.left_rel, e.left_col)
+                == self.key_value(r, ri, e.right_rel, e.right_col)
+        })
+    }
+
+    fn output(&self, l: &Chunk, r: &Chunk, data: Vec<u32>) -> Chunk {
+        let mut rels = l.rels.clone();
+        rels.extend_from_slice(&r.rels);
+        Chunk { rels, data }
+    }
+
+    fn hash_join(&self, l: &Chunk, r: &Chunk, edges: &[ResolvedEdge]) -> Chunk {
+        let e0 = &edges[0];
+        let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(r.len());
+        for ri in 0..r.len() {
+            let k = self.key_value(r, ri, e0.right_rel, e0.right_col);
+            table.entry(k).or_default().push(ri as u32);
+        }
+        let mut data = Vec::new();
+        for li in 0..l.len() {
+            let k = self.key_value(l, li, e0.left_rel, e0.left_col);
+            if let Some(matches) = table.get(&k) {
+                for &ri in matches {
+                    if self.extra_match(l, r, li, ri as usize, edges) {
+                        self.emit(l, r, li, ri as usize, &mut data);
+                    }
+                }
+            }
+        }
+        self.output(l, r, data)
+    }
+
+    fn merge_join(&self, l: &Chunk, r: &Chunk, edges: &[ResolvedEdge]) -> Chunk {
+        let e0 = &edges[0];
+        let mut lid: Vec<usize> = (0..l.len()).collect();
+        let mut rid: Vec<usize> = (0..r.len()).collect();
+        lid.sort_by_key(|&i| self.key_value(l, i, e0.left_rel, e0.left_col));
+        rid.sort_by_key(|&i| self.key_value(r, i, e0.right_rel, e0.right_col));
+        let mut data = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lid.len() && j < rid.len() {
+            let lk = self.key_value(l, lid[i], e0.left_rel, e0.left_col);
+            let rk = self.key_value(r, rid[j], e0.right_rel, e0.right_col);
+            if lk < rk {
+                i += 1;
+            } else if lk > rk {
+                j += 1;
+            } else {
+                // Find the right-side run of equal keys, join the cross of runs.
+                let mut jend = j;
+                while jend < rid.len()
+                    && self.key_value(r, rid[jend], e0.right_rel, e0.right_col) == rk
+                {
+                    jend += 1;
+                }
+                let mut iend = i;
+                while iend < lid.len()
+                    && self.key_value(l, lid[iend], e0.left_rel, e0.left_col) == lk
+                {
+                    iend += 1;
+                }
+                for &li in &lid[i..iend] {
+                    for &ri in &rid[j..jend] {
+                        if self.extra_match(l, r, li, ri, edges) {
+                            self.emit(l, r, li, ri, &mut data);
+                        }
+                    }
+                }
+                i = iend;
+                j = jend;
+            }
+        }
+        self.output(l, r, data)
+    }
+
+    fn nested_loop_join(&self, l: &Chunk, r: &Chunk, edges: &[ResolvedEdge]) -> Chunk {
+        let e0 = &edges[0];
+        let mut data = Vec::new();
+        for li in 0..l.len() {
+            let lk = self.key_value(l, li, e0.left_rel, e0.left_col);
+            for ri in 0..r.len() {
+                if self.key_value(r, ri, e0.right_rel, e0.right_col) == lk
+                    && self.extra_match(l, r, li, ri, edges)
+                {
+                    self.emit(l, r, li, ri, &mut data);
+                }
+            }
+        }
+        self.output(l, r, data)
+    }
+
+    /// Index nested loop: the right side is a base relation; probe its
+    /// B-tree index when one exists on the join column, else fall back to
+    /// the naive loop.
+    fn index_loop_join(&self, l: &Chunk, r: &Chunk, edges: &[ResolvedEdge]) -> Chunk {
+        let e0 = &edges[0];
+        let rt = self.query.tables[e0.right_rel];
+        let Some(index) = self.db.index(rt, e0.right_col) else {
+            return self.nested_loop_join(l, r, edges);
+        };
+        // The chunk holds the *filtered* right rows; probes must intersect.
+        let mut in_chunk: HashMap<u32, u32> = HashMap::with_capacity(r.len());
+        for ri in 0..r.len() {
+            in_chunk.insert(r.tuple(ri)[0], ri as u32);
+        }
+        let mut data = Vec::new();
+        for li in 0..l.len() {
+            let lk = self.key_value(l, li, e0.left_rel, e0.left_col);
+            for &row in index.lookup(lk) {
+                if let Some(&ri) = in_chunk.get(&row) {
+                    if self.extra_match(l, r, li, ri as usize, edges) {
+                        self.emit(l, r, li, ri as usize, &mut data);
+                    }
+                }
+            }
+        }
+        self.output(l, r, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::{Aggregate, JoinEdge, PartialPlan, Predicate, QueryContext};
+    use neo_storage::datagen::imdb;
+    use neo_storage::{Column, ForeignKey, Table};
+
+    fn tiny_db() -> Database {
+        // a(id), b(id, a_id) with known join multiplicities.
+        let a = Table::new("a", vec![Column::int("id", vec![0, 1, 2])]);
+        let b = Table::new(
+            "b",
+            vec![Column::int("id", vec![0, 1, 2, 3]), Column::int("a_id", vec![0, 0, 1, 9])],
+        );
+        Database::build(
+            "t",
+            vec![a, b],
+            vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+            vec![(0, 0), (1, 1)],
+        )
+    }
+
+    fn two_rel_query() -> Query {
+        Query {
+            id: "q".into(),
+            family: "f".into(),
+            tables: vec![0, 1],
+            joins: vec![JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 }],
+            predicates: vec![],
+            agg: Aggregate::CountStar,
+        }
+    }
+
+    fn join_plan(op: JoinOp, ls: ScanType, rs: ScanType) -> PlanNode {
+        PlanNode::Join {
+            op,
+            left: Box::new(PlanNode::Scan { rel: 0, scan: ls }),
+            right: Box::new(PlanNode::Scan { rel: 1, scan: rs }),
+        }
+    }
+
+    #[test]
+    fn all_join_ops_agree_on_tiny_db() {
+        let db = tiny_db();
+        let q = two_rel_query();
+        let ex = Executor::new(&db, &q);
+        // a_id 9 dangles: expect 3 matches (0-0, 0-1, 1-2).
+        for op in JoinOp::ALL {
+            let n = ex.execute_count(&join_plan(op, ScanType::Table, ScanType::Table)).unwrap();
+            assert_eq!(n, 3, "{op:?}");
+        }
+        // Index loop join (index on b.a_id) agrees too.
+        let n = ex.execute_count(&join_plan(JoinOp::Loop, ScanType::Table, ScanType::Index)).unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn join_orientation_does_not_change_count() {
+        let db = tiny_db();
+        let q = two_rel_query();
+        let ex = Executor::new(&db, &q);
+        let flipped = PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+            right: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+        };
+        assert_eq!(ex.execute_count(&flipped).unwrap(), 3);
+    }
+
+    #[test]
+    fn unspecified_scan_is_rejected() {
+        let db = tiny_db();
+        let q = two_rel_query();
+        let ex = Executor::new(&db, &q);
+        let err = ex.execute_count(&join_plan(JoinOp::Hash, ScanType::Unspecified, ScanType::Table));
+        assert_eq!(err.unwrap_err(), ExecError::UnspecifiedScan(0));
+    }
+
+    #[test]
+    fn predicates_flow_into_scan() {
+        let db = tiny_db();
+        let mut q = two_rel_query();
+        q.predicates.push(Predicate::IntCmp {
+            table: 0,
+            col: 0,
+            op: neo_query::CmpOp::Eq,
+            value: 0,
+        });
+        let ex = Executor::new(&db, &q);
+        let n = ex.execute_count(&join_plan(JoinOp::Hash, ScanType::Table, ScanType::Table)).unwrap();
+        assert_eq!(n, 2); // only a.id = 0 side remains
+    }
+
+    #[test]
+    fn sum_aggregate() {
+        let db = tiny_db();
+        let mut q = two_rel_query();
+        q.agg = Aggregate::Sum { table: 1, col: 0 };
+        let ex = Executor::new(&db, &q);
+        // Matching b.ids are 0, 1, 2 => sum 3.
+        let s = ex.execute_aggregate(&join_plan(JoinOp::Merge, ScanType::Table, ScanType::Table)).unwrap();
+        assert_eq!(s, 3);
+    }
+
+    /// On a real multi-way query, every complete plan (random walks through
+    /// the children relation) must produce the same count.
+    #[test]
+    fn plan_shape_invariance_on_imdb() {
+        use rand::{Rng, SeedableRng};
+        let db = imdb::generate(0.01, 11);
+        let wl = neo_query::workload::job::generate(&db, 1);
+        let q = wl.queries.iter().find(|q| q.num_relations() == 4).unwrap();
+        let ctx = QueryContext::new(&db, q);
+        let ex = Executor::new(&db, q);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = Vec::new();
+        for _ in 0..5 {
+            let mut p = PartialPlan::initial(q);
+            while !p.is_complete() {
+                let kids = neo_query::children(&p, &ctx);
+                p = kids[rng.gen_range(0..kids.len())].clone();
+            }
+            counts.push(ex.execute_count(p.as_complete().unwrap()).unwrap());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts {counts:?}");
+    }
+}

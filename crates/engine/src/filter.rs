@@ -1,0 +1,174 @@
+//! Predicate evaluation: applies a query's selection predicates to a base
+//! table, producing the selection vector of surviving row ids.
+
+use neo_query::{CmpOp, Predicate, Query};
+use neo_storage::{ColumnData, Database};
+
+/// Evaluates one predicate against one row.
+fn row_matches(db: &Database, p: &Predicate, row: usize) -> bool {
+    let col = &db.tables[p.table()].columns[p.col()];
+    match (p, &col.data) {
+        (Predicate::IntCmp { op, value, .. }, ColumnData::Int(v)) => {
+            let x = v[row];
+            match op {
+                CmpOp::Eq => x == *value,
+                CmpOp::Lt => x < *value,
+                CmpOp::Le => x <= *value,
+                CmpOp::Gt => x > *value,
+                CmpOp::Ge => x >= *value,
+            }
+        }
+        (Predicate::IntBetween { lo, hi, .. }, ColumnData::Int(v)) => {
+            let x = v[row];
+            x >= *lo && x <= *hi
+        }
+        (Predicate::StrEq { value, .. }, ColumnData::Str(s)) => match s.code_of(value) {
+            Some(code) => s.codes[row] == code,
+            None => false,
+        },
+        (Predicate::StrContains { .. }, ColumnData::Str(_)) => {
+            unreachable!("StrContains is evaluated set-wise in filter_table")
+        }
+        _ => panic!("predicate/column type mismatch on {}.{}", db.tables[p.table()].name, col.name),
+    }
+}
+
+/// Returns the row ids of `query.tables[rel]` that satisfy every predicate
+/// the query places on that relation.
+pub fn filter_table(db: &Database, query: &Query, rel: usize) -> Vec<u32> {
+    let t = query.tables[rel];
+    let n = db.tables[t].num_rows();
+    let preds: Vec<&Predicate> = query.predicates.iter().filter(|p| p.table() == t).collect();
+    if preds.is_empty() {
+        return (0..n as u32).collect();
+    }
+    // Pre-expand StrContains predicates to dictionary-code sets.
+    let mut contains_sets: Vec<(usize, Vec<bool>)> = Vec::new();
+    for p in &preds {
+        if let Predicate::StrContains { col, needle, .. } = p {
+            let s = db.tables[t].columns[*col].as_str().unwrap_or_else(|| {
+                panic!("StrContains on non-string column {}.{}", db.tables[t].name, col)
+            });
+            let mut mask = vec![false; s.dict_len()];
+            for code in s.codes_containing(needle) {
+                mask[code as usize] = true;
+            }
+            contains_sets.push((*col, mask));
+        }
+    }
+    let mut out = Vec::new();
+    'rows: for row in 0..n {
+        let mut ci = 0;
+        for p in &preds {
+            if let Predicate::StrContains { col, .. } = p {
+                let s = db.tables[t].columns[*col].as_str().unwrap();
+                let (_, mask) = &contains_sets[ci];
+                ci += 1;
+                if !mask[s.codes[row] as usize] {
+                    continue 'rows;
+                }
+            } else if !row_matches(db, p, row) {
+                continue 'rows;
+            }
+        }
+        out.push(row as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::{Aggregate, JoinEdge};
+    use neo_storage::{Column, ForeignKey, StrColumn, Table};
+
+    fn test_db() -> Database {
+        let mut tags = StrColumn::new();
+        for t in ["love-story", "gun-fight", "true-love", "car-chase"] {
+            tags.push(t);
+        }
+        let a = Table::new(
+            "a",
+            vec![
+                Column::int("id", vec![0, 1, 2, 3]),
+                Column::int("year", vec![1990, 2000, 2010, 2020]),
+                Column::str("tag", tags),
+            ],
+        );
+        let b = Table::new("b", vec![Column::int("id", vec![0, 1]), Column::int("a_id", vec![0, 2])]);
+        Database::build(
+            "t",
+            vec![a, b],
+            vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+            vec![(0, 0), (1, 1)],
+        )
+    }
+
+    fn query_with(preds: Vec<Predicate>) -> Query {
+        Query {
+            id: "q".into(),
+            family: "f".into(),
+            tables: vec![0, 1],
+            joins: vec![JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 }],
+            predicates: preds,
+            agg: Aggregate::CountStar,
+        }
+    }
+
+    #[test]
+    fn no_predicates_returns_all_rows() {
+        let db = test_db();
+        let q = query_with(vec![]);
+        assert_eq!(filter_table(&db, &q, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn int_range_filters() {
+        let db = test_db();
+        let q = query_with(vec![Predicate::IntBetween { table: 0, col: 1, lo: 1995, hi: 2015 }]);
+        assert_eq!(filter_table(&db, &q, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn int_cmp_ops() {
+        let db = test_db();
+        for (op, expect) in [
+            (CmpOp::Eq, vec![1u32]),
+            (CmpOp::Lt, vec![0]),
+            (CmpOp::Le, vec![0, 1]),
+            (CmpOp::Gt, vec![2, 3]),
+            (CmpOp::Ge, vec![1, 2, 3]),
+        ] {
+            let q = query_with(vec![Predicate::IntCmp { table: 0, col: 1, op, value: 2000 }]);
+            assert_eq!(filter_table(&db, &q, 0), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn str_contains_filters() {
+        let db = test_db();
+        let q = query_with(vec![Predicate::StrContains {
+            table: 0,
+            col: 2,
+            needle: "love".into(),
+        }]);
+        assert_eq!(filter_table(&db, &q, 0), vec![0, 2]);
+    }
+
+    #[test]
+    fn str_eq_unknown_value_matches_nothing() {
+        let db = test_db();
+        let q = query_with(vec![Predicate::StrEq { table: 0, col: 2, value: "nope".into() }]);
+        assert!(filter_table(&db, &q, 0).is_empty());
+    }
+
+    #[test]
+    fn conjunction_of_predicates() {
+        let db = test_db();
+        let q = query_with(vec![
+            Predicate::StrContains { table: 0, col: 2, needle: "love".into() },
+            Predicate::IntCmp { table: 0, col: 1, op: CmpOp::Gt, value: 1995 },
+        ]);
+        assert_eq!(filter_table(&db, &q, 0), vec![2]);
+    }
+}

@@ -1,0 +1,464 @@
+//! The deterministic plan-latency model.
+//!
+//! Latency of a complete plan = sum of per-operator costs, driven by the
+//! cardinalities of every intermediate result, divided by the engine's
+//! parallelism factor. Fed with *true* cardinalities from the
+//! [`crate::oracle::CardinalityOracle`] it plays the role of the real
+//! execution engines (the reward signal of the paper's RL loop); fed with
+//! *estimated* cardinalities it becomes the cost model inside the
+//! traditional expert optimizers (`neo-expert`). Using one formula for
+//! both — differing only in the cardinality source — mirrors reality:
+//! optimizers go wrong primarily because their cardinalities are wrong
+//! (paper §6.4.3, Leis et al.).
+//!
+//! Cost shapes worth noting (they create the paper's phenomena):
+//!
+//! * naive nested loops cost `O(|L|·|R|)` — a mis-placed loop join on large
+//!   inputs produces the 100–1000× blowups Leis et al. observed, which is
+//!   what Neo must learn to avoid;
+//! * hash builds beyond `work_mem_rows` spill and get a multiplier — hash
+//!   joins with a fact table on the build side are penalized;
+//! * merge joins are cheap when their inputs arrive sorted (index scans on
+//!   the join column, or a lower merge join on the same key) — chains of
+//!   merge joins pipeline, as in the paper's tree-convolution intuition.
+
+use crate::oracle::CardinalityOracle;
+use crate::profile::EngineProfile;
+use neo_query::{JoinOp, PlanNode, Query, RelMask, ScanType};
+use neo_storage::Database;
+
+/// A source of cardinalities for plan costing.
+pub trait CardinalityProvider {
+    /// Cardinality of the join of the relations in `mask` (with all
+    /// applicable predicates).
+    fn join_card(&mut self, mask: RelMask) -> f64;
+    /// Post-predicate cardinality of the single relation `rel`.
+    fn base_card(&mut self, rel: usize) -> f64;
+}
+
+/// [`CardinalityProvider`] backed by the true-cardinality oracle.
+pub struct OracleProvider<'a> {
+    /// Database the query runs against.
+    pub db: &'a Database,
+    /// The query being costed.
+    pub query: &'a Query,
+    /// The memoized oracle.
+    pub oracle: &'a mut CardinalityOracle,
+}
+
+impl CardinalityProvider for OracleProvider<'_> {
+    fn join_card(&mut self, mask: RelMask) -> f64 {
+        self.oracle.cardinality(self.db, self.query, mask)
+    }
+
+    fn base_card(&mut self, rel: usize) -> f64 {
+        self.oracle.base_count(self.db, self.query, rel) as f64
+    }
+}
+
+/// Result of costing one plan node. Public so the expert optimizers
+/// (`neo-expert`) can cost joins incrementally during dynamic programming
+/// with exactly the same formulas.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostedNode {
+    /// Output cardinality.
+    pub card: f64,
+    /// Cumulative cost of the subtree (ms, pre-parallelism).
+    pub cost: f64,
+    /// Column `(table, col)` the output is sorted on, if any.
+    pub order: Option<(usize, usize)>,
+}
+
+/// Costs one join step given already-costed inputs.
+///
+/// `inl_avg_match` must be `Some(avg rows per probe)` when the operator is
+/// a loop join whose inner side is a base-relation index scan with an index
+/// on the join column (index nested loop); the inner's standalone scan cost
+/// is then *not* charged (probes replace it).
+#[allow(clippy::too_many_arguments)]
+pub fn cost_join(
+    p: &EngineProfile,
+    op: JoinOp,
+    left: &CostedNode,
+    right: &CostedNode,
+    lkey: (usize, usize),
+    rkey: (usize, usize),
+    out_card: f64,
+    inl_avg_match: Option<f64>,
+) -> CostedNode {
+    match op {
+        JoinOp::Hash => {
+            let mut build = p.hash_build * right.card;
+            if right.card > p.work_mem_rows as f64 {
+                build *= p.spill_factor;
+            }
+            let cost =
+                left.cost + right.cost + build + p.hash_probe * left.card + p.out_tuple * out_card;
+            CostedNode { card: out_card, cost, order: None }
+        }
+        JoinOp::Merge => {
+            let mut cost = left.cost + right.cost;
+            if left.order != Some(lkey) {
+                cost += sort_cost(p, left.card);
+            }
+            if right.order != Some(rkey) {
+                cost += sort_cost(p, right.card);
+            }
+            cost += p.merge_tuple * (left.card + right.card) + p.out_tuple * out_card;
+            CostedNode { card: out_card, cost, order: Some(lkey) }
+        }
+        JoinOp::Loop => {
+            if let Some(avg_match) = inl_avg_match {
+                let cost = left.cost
+                    + left.card * p.index_probe
+                    + p.index_tuple * left.card * avg_match
+                    + p.out_tuple * out_card;
+                CostedNode { card: out_card, cost, order: left.order }
+            } else {
+                let cost = left.cost
+                    + right.cost
+                    + p.nl_tuple * left.card * right.card
+                    + p.out_tuple * out_card;
+                CostedNode { card: out_card, cost, order: left.order }
+            }
+        }
+    }
+}
+
+/// Costs a scan of `query.tables[rel]` with post-predicate cardinality
+/// `card`.
+pub fn cost_scan(
+    db: &Database,
+    query: &Query,
+    p: &EngineProfile,
+    rel: usize,
+    scan: ScanType,
+    card: f64,
+) -> CostedNode {
+    let t = query.tables[rel];
+    let total_rows = db.tables[t].num_rows() as f64;
+    match scan {
+        ScanType::Unspecified => panic!("costing a plan with an unspecified scan"),
+        ScanType::Table => CostedNode { card, cost: p.seq_tuple * total_rows, order: None },
+        ScanType::Index => {
+            // Driving column: an indexed predicate column if the query has
+            // one (selective retrieval), else an indexed join column (full
+            // sweep, but sorted output).
+            let pred_col = query
+                .predicates
+                .iter()
+                .filter(|pr| pr.table() == t && db.has_index(t, pr.col()))
+                .map(|pr| pr.col())
+                .next();
+            if let Some(c) = pred_col {
+                CostedNode {
+                    card,
+                    cost: p.index_probe + p.index_tuple * card.max(1.0),
+                    order: Some((t, c)),
+                }
+            } else {
+                let join_col = query
+                    .joins
+                    .iter()
+                    .flat_map(|e| [(e.left_table, e.left_col), (e.right_table, e.right_col)])
+                    .find(|&(jt, jc)| jt == t && db.has_index(t, jc));
+                match join_col {
+                    Some((_, c)) => CostedNode {
+                        // Full index sweep: slower per tuple than a seq scan
+                        // but delivers sorted output.
+                        card,
+                        cost: p.index_probe + p.index_tuple * total_rows * 1.3,
+                        order: Some((t, c)),
+                    },
+                    // No usable index: model as a (more expensive) table
+                    // scan so illegal plans are never *cheaper*.
+                    None => {
+                        CostedNode { card, cost: p.seq_tuple * total_rows * 2.0, order: None }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Average index-nested-loop matches per probe when `right` is a base
+/// index scan joined on `rkey`; `None` when INL is not applicable.
+pub fn inl_avg_match(
+    db: &Database,
+    query: &Query,
+    right: &PlanNode,
+    rkey: (usize, usize),
+) -> Option<f64> {
+    if let PlanNode::Scan { rel, scan: ScanType::Index } = right {
+        let (rt, rc) = rkey;
+        if query.tables[*rel] == rt {
+            if let Some(index) = db.index(rt, rc) {
+                return Some(db.tables[rt].num_rows() as f64 / index.distinct_keys().max(1) as f64);
+            }
+        }
+    }
+    None
+}
+
+/// Costs a complete plan, returning its simulated latency in milliseconds.
+///
+/// # Panics
+/// Panics if the plan contains unspecified scans (cost a complete plan) or
+/// a join node whose inputs share no join edge.
+pub fn plan_latency(
+    db: &Database,
+    query: &Query,
+    profile: &EngineProfile,
+    provider: &mut dyn CardinalityProvider,
+    plan: &PlanNode,
+) -> f64 {
+    let info = walk(db, query, profile, provider, plan);
+    info.cost / profile.parallelism + profile.startup
+}
+
+/// Convenience wrapper: true latency of `plan` on `engine` per the oracle.
+pub fn true_latency(
+    db: &Database,
+    query: &Query,
+    profile: &EngineProfile,
+    oracle: &mut CardinalityOracle,
+    plan: &PlanNode,
+) -> f64 {
+    let mut provider = OracleProvider { db, query, oracle };
+    plan_latency(db, query, profile, &mut provider, plan)
+}
+
+fn walk(
+    db: &Database,
+    query: &Query,
+    p: &EngineProfile,
+    provider: &mut dyn CardinalityProvider,
+    node: &PlanNode,
+) -> CostedNode {
+    match node {
+        PlanNode::Scan { rel, scan } => {
+            let card = provider.base_card(*rel);
+            cost_scan(db, query, p, *rel, *scan, card)
+        }
+        PlanNode::Join { op, left, right } => {
+            let li = walk(db, query, p, provider, left);
+            // The primary join edge, oriented (left, right).
+            let (lkey, rkey) = primary_edge(query, left.rel_mask(), right.rel_mask());
+            let out_card = provider.join_card(node.rel_mask());
+            let inl = if *op == JoinOp::Loop { inl_avg_match(db, query, right, rkey) } else { None };
+            let ri = if inl.is_some() {
+                // Index nested loop replaces the inner scan with probes.
+                CostedNode { card: provider.base_card(right_rel(right)), cost: 0.0, order: None }
+            } else {
+                walk(db, query, p, provider, right)
+            };
+            cost_join(p, *op, &li, &ri, lkey, rkey, out_card, inl)
+        }
+    }
+}
+
+fn right_rel(node: &PlanNode) -> usize {
+    match node {
+        PlanNode::Scan { rel, .. } => *rel,
+        PlanNode::Join { .. } => unreachable!("INL inner is always a scan"),
+    }
+}
+
+fn sort_cost(p: &EngineProfile, n: f64) -> f64 {
+    let n = n.max(2.0);
+    p.sort_tuple * n * n.log2()
+}
+
+/// The first join edge connecting the two masks, oriented as
+/// `((left_table, left_col), (right_table, right_col))`.
+///
+/// # Panics
+/// Panics if no edge connects the masks (children enumeration prevents
+/// such joins).
+pub fn primary_edge(
+    query: &Query,
+    lmask: RelMask,
+    rmask: RelMask,
+) -> ((usize, usize), (usize, usize)) {
+    for e in &query.joins {
+        let (Some(a), Some(b)) = (query.rel_of(e.left_table), query.rel_of(e.right_table)) else {
+            continue;
+        };
+        if lmask & (1 << a) != 0 && rmask & (1 << b) != 0 {
+            return ((e.left_table, e.left_col), (e.right_table, e.right_col));
+        }
+        if lmask & (1 << b) != 0 && rmask & (1 << a) != 0 {
+            return ((e.right_table, e.right_col), (e.left_table, e.left_col));
+        }
+    }
+    panic!("no join edge between masks {lmask:#b} and {rmask:#b}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Engine;
+    use neo_query::{JoinEdge, PlanNode};
+    use neo_storage::datagen::imdb;
+
+    fn setup() -> (Database, Query) {
+        // Large enough that quadratic nested loops visibly dominate.
+        let db = imdb::generate(0.25, 5);
+        let title = db.table_id("title").unwrap();
+        let ci = db.table_id("cast_info").unwrap();
+        let name = db.table_id("name").unwrap();
+        let mut tables = vec![title, ci, name];
+        tables.sort_unstable();
+        let joins = db
+            .foreign_keys
+            .iter()
+            .filter(|fk| tables.contains(&fk.from_table) && tables.contains(&fk.to_table))
+            .map(|fk| JoinEdge {
+                left_table: fk.from_table,
+                left_col: fk.from_col,
+                right_table: fk.to_table,
+                right_col: fk.to_col,
+            })
+            .collect();
+        let q = Query {
+            id: "lat".into(),
+            family: "lat".into(),
+            tables,
+            joins,
+            predicates: vec![],
+            agg: Default::default(),
+        };
+        q.validate(&db).unwrap();
+        (db, q)
+    }
+
+    fn scan(rel: usize, s: ScanType) -> Box<PlanNode> {
+        Box::new(PlanNode::Scan { rel, scan: s })
+    }
+
+    #[test]
+    fn naive_loop_join_is_catastrophic() {
+        let (db, q) = setup();
+        let mut oracle = CardinalityOracle::new();
+        let profile = Engine::PostgresLike.profile();
+        let ci_rel = q.rel_of(db.table_id("cast_info").unwrap()).unwrap();
+        let t_rel = q.rel_of(db.table_id("title").unwrap()).unwrap();
+        let n_rel = q.rel_of(db.table_id("name").unwrap()).unwrap();
+        let good = PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Join {
+                op: JoinOp::Hash,
+                left: scan(ci_rel, ScanType::Table),
+                right: scan(t_rel, ScanType::Table),
+            }),
+            right: scan(n_rel, ScanType::Table),
+        };
+        let bad = PlanNode::Join {
+            op: JoinOp::Loop,
+            left: Box::new(PlanNode::Join {
+                op: JoinOp::Loop,
+                left: scan(ci_rel, ScanType::Table),
+                right: scan(t_rel, ScanType::Table),
+            }),
+            right: scan(n_rel, ScanType::Table),
+        };
+        let lg = true_latency(&db, &q, &profile, &mut oracle, &good);
+        let lb = true_latency(&db, &q, &profile, &mut oracle, &bad);
+        assert!(lb > 20.0 * lg, "good {lg} vs bad {lb}");
+    }
+
+    #[test]
+    fn index_nested_loop_beats_naive_loop() {
+        let (db, q) = setup();
+        let mut oracle = CardinalityOracle::new();
+        let profile = Engine::PostgresLike.profile();
+        let ci_rel = q.rel_of(db.table_id("cast_info").unwrap()).unwrap();
+        let t_rel = q.rel_of(db.table_id("title").unwrap()).unwrap();
+        let n_rel = q.rel_of(db.table_id("name").unwrap()).unwrap();
+        let make = |inner_scan| PlanNode::Join {
+            op: JoinOp::Loop,
+            left: Box::new(PlanNode::Join {
+                op: JoinOp::Hash,
+                left: scan(ci_rel, ScanType::Table),
+                right: scan(t_rel, ScanType::Table),
+            }),
+            right: scan(n_rel, inner_scan),
+        };
+        let inl = true_latency(&db, &q, &profile, &mut oracle, &make(ScanType::Index));
+        let nl = true_latency(&db, &q, &profile, &mut oracle, &make(ScanType::Table));
+        assert!(inl < nl / 2.0, "inl {inl} vs nl {nl}");
+    }
+
+    #[test]
+    fn sorted_inputs_make_merge_joins_cheaper() {
+        let (db, q) = setup();
+        let mut oracle = CardinalityOracle::new();
+        let profile = Engine::PostgresLike.profile();
+        let ci_rel = q.rel_of(db.table_id("cast_info").unwrap()).unwrap();
+        let n_rel = q.rel_of(db.table_id("name").unwrap()).unwrap();
+        let t_rel = q.rel_of(db.table_id("title").unwrap()).unwrap();
+        // cast_info ⋈ name on person_id: index scans deliver sorted inputs.
+        let sorted = PlanNode::Join {
+            op: JoinOp::Merge,
+            left: scan(n_rel, ScanType::Index),
+            right: scan(ci_rel, ScanType::Index),
+        };
+        let unsorted = PlanNode::Join {
+            op: JoinOp::Merge,
+            left: scan(n_rel, ScanType::Table),
+            right: scan(ci_rel, ScanType::Table),
+        };
+        let finish = |inner: PlanNode| PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(inner),
+            right: scan(t_rel, ScanType::Table),
+        };
+        let ls = true_latency(&db, &q, &profile, &mut oracle, &finish(sorted));
+        let lu = true_latency(&db, &q, &profile, &mut oracle, &finish(unsorted));
+        assert!(ls < lu, "sorted {ls} vs unsorted {lu}");
+    }
+
+    #[test]
+    fn commercial_engines_run_same_plan_faster() {
+        let (db, q) = setup();
+        let mut oracle = CardinalityOracle::new();
+        let ci_rel = q.rel_of(db.table_id("cast_info").unwrap()).unwrap();
+        let t_rel = q.rel_of(db.table_id("title").unwrap()).unwrap();
+        let n_rel = q.rel_of(db.table_id("name").unwrap()).unwrap();
+        let plan = PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Join {
+                op: JoinOp::Hash,
+                left: scan(ci_rel, ScanType::Table),
+                right: scan(t_rel, ScanType::Table),
+            }),
+            right: scan(n_rel, ScanType::Table),
+        };
+        let pg = true_latency(&db, &q, &Engine::PostgresLike.profile(), &mut oracle, &plan);
+        let ms = true_latency(&db, &q, &Engine::MsSqlLike.profile(), &mut oracle, &plan);
+        assert!(ms < pg, "mssql {ms} vs postgres {pg}");
+    }
+
+    #[test]
+    fn latency_is_deterministic() {
+        let (db, q) = setup();
+        let mut oracle = CardinalityOracle::new();
+        let profile = Engine::OracleLike.profile();
+        let ci_rel = q.rel_of(db.table_id("cast_info").unwrap()).unwrap();
+        let t_rel = q.rel_of(db.table_id("title").unwrap()).unwrap();
+        let n_rel = q.rel_of(db.table_id("name").unwrap()).unwrap();
+        let plan = PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Join {
+                op: JoinOp::Hash,
+                left: scan(ci_rel, ScanType::Table),
+                right: scan(t_rel, ScanType::Table),
+            }),
+            right: scan(n_rel, ScanType::Table),
+        };
+        let a = true_latency(&db, &q, &profile, &mut oracle, &plan);
+        let b = true_latency(&db, &q, &profile, &mut oracle, &plan);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+}

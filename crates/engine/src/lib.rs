@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # neo-engine — execution substrate for the Neo reproduction
+//!
+//! Stands in for the paper's four execution engines (PostgreSQL, SQLite,
+//! MS SQL Server, Oracle — §6.1):
+//!
+//! * [`executor`] — a real tuple-level executor (hash / sort-merge /
+//!   (index-)nested-loop joins, table & index scans) used for validation
+//!   and examples;
+//! * [`oracle`] — a memoized *true-cardinality oracle* computing exact
+//!   intermediate-result sizes by compressed counting;
+//! * [`latency`] — the deterministic plan-latency model: one costing
+//!   formula consumed with true cardinalities (the RL reward, replacing
+//!   wall-clock execution) or with estimates (inside the expert
+//!   optimizers);
+//! * [`profile`] — the four engine cost profiles.
+//!
+//! See DESIGN.md §1 for why this substitution preserves the behaviour the
+//! paper measures.
+
+pub mod executor;
+pub mod filter;
+pub mod latency;
+pub mod oracle;
+pub mod profile;
+
+pub use executor::{Chunk, ExecError, Executor};
+pub use filter::filter_table;
+pub use latency::{
+    cost_join, cost_scan, inl_avg_match, plan_latency, primary_edge, true_latency,
+    CardinalityProvider, CostedNode, OracleProvider,
+};
+pub use oracle::CardinalityOracle;
+pub use profile::{Engine, EngineProfile};

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # neo-expert — traditional query optimizers for the Neo reproduction
+//!
+//! The "expert" side of the paper: Selinger-style optimizers that (a)
+//! bootstrap Neo's learning from demonstration (§2) and (b) serve as the
+//! four engines' native optimizers that Neo is compared against (§6.2).
+//!
+//! * [`cardest`] — cardinality estimators: PostgreSQL-style histograms
+//!   (independence/uniformity assumptions), a commercial-grade
+//!   bounded-error estimator, and an order-of-magnitude error injector
+//!   (Fig. 14);
+//! * [`selinger`] — dynamic-programming join ordering with operator and
+//!   access-path selection (left-deep and bushy);
+//! * [`greedy`] — nearest-neighbour fallback (SQLite-like, and the GEQO
+//!   stand-in beyond the DP limit);
+//! * [`native`] — the per-engine optimizer configurations and the
+//!   [`native::postgres_expert`] bootstrap expert.
+
+pub mod cardest;
+pub mod greedy;
+pub mod native;
+pub mod selinger;
+
+pub use cardest::{
+    deterministic_error_factor, CardEstimator, ErrorInjector, EstimateProvider,
+    HistogramEstimator, SamplingEstimator,
+};
+pub use greedy::greedy_optimize;
+pub use native::{native_optimize, optimize_with, postgres_expert};
+pub use selinger::SelingerOptimizer;

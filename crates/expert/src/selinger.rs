@@ -1,0 +1,296 @@
+//! Selinger-style dynamic-programming optimizer (Selinger et al. 1979) —
+//! the "traditional query optimizer" of paper Table 1 and the *expert*
+//! that bootstraps Neo's learning (§2).
+//!
+//! Joint join-order / operator / access-path optimization by dynamic
+//! programming over relation subsets, keeping the best plan per
+//! (subset, interesting order) pair. Left-deep enumeration by default
+//! (PostgreSQL-like); optional bushy enumeration (commercial-like) for
+//! small queries. Falls back to [`crate::greedy`] beyond `dp_limit`
+//! relations, mirroring PostgreSQL's switch to GEQO.
+
+use crate::cardest::CardEstimator;
+use crate::greedy::greedy_optimize;
+use neo_engine::{cost_join, cost_scan, primary_edge, CostedNode, EngineProfile};
+use neo_query::{JoinOp, PlanNode, Query, QueryContext, RelMask, ScanType};
+use neo_storage::Database;
+use std::collections::HashMap;
+
+/// Configuration of the DP optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct SelingerOptimizer {
+    /// Enumerate bushy trees (only applied when `relations <= bushy_limit`).
+    pub bushy: bool,
+    /// Bushy DP is exponential (`3^n` splits); cap it here.
+    pub bushy_limit: usize,
+    /// Left-deep DP cap; larger queries use the greedy optimizer.
+    pub dp_limit: usize,
+}
+
+impl Default for SelingerOptimizer {
+    fn default() -> Self {
+        SelingerOptimizer { bushy: false, bushy_limit: 10, dp_limit: 12 }
+    }
+}
+
+/// One Pareto entry: a plan for a subset with its costing info.
+#[derive(Clone, Debug)]
+struct Entry {
+    node: PlanNode,
+    info: CostedNode,
+}
+
+impl SelingerOptimizer {
+    /// Optimizes `query`, returning a complete plan tree.
+    pub fn optimize(
+        &self,
+        db: &Database,
+        query: &Query,
+        profile: &EngineProfile,
+        est: &mut dyn CardEstimator,
+    ) -> PlanNode {
+        let n = query.num_relations();
+        if n > self.dp_limit {
+            return greedy_optimize(db, query, profile, est);
+        }
+        let ctx = QueryContext::new(db, query);
+        if self.bushy && n <= self.bushy_limit {
+            self.dp(db, query, profile, est, &ctx, true)
+        } else {
+            self.dp(db, query, profile, est, &ctx, false)
+        }
+    }
+
+    fn dp(
+        &self,
+        db: &Database,
+        query: &Query,
+        profile: &EngineProfile,
+        est: &mut dyn CardEstimator,
+        ctx: &QueryContext,
+        bushy: bool,
+    ) -> PlanNode {
+        let n = query.num_relations();
+        let full: RelMask = (1 << n) - 1;
+        // best[mask] -> entries, Pareto over (cost, order).
+        let mut best: HashMap<RelMask, Vec<Entry>> = HashMap::new();
+
+        for rel in 0..n {
+            let card = est.base(db, query, rel);
+            let mut entries = vec![Entry {
+                node: PlanNode::Scan { rel, scan: ScanType::Table },
+                info: cost_scan(db, query, profile, rel, ScanType::Table, card),
+            }];
+            if ctx.index_ok[rel] {
+                entries.push(Entry {
+                    node: PlanNode::Scan { rel, scan: ScanType::Index },
+                    info: cost_scan(db, query, profile, rel, ScanType::Index, card),
+                });
+            }
+            best.insert(1 << rel, prune(entries));
+        }
+
+        // Enumerate masks by population count.
+        let mut masks: Vec<RelMask> = (1..=full).filter(|m| m & full == *m).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        for mask in masks {
+            if mask.count_ones() < 2 || best.contains_key(&mask) {
+                continue;
+            }
+            let mut entries: Vec<Entry> = Vec::new();
+            if bushy {
+                // All connected splits (s, mask \ s).
+                let mut s = (mask - 1) & mask;
+                while s != 0 {
+                    let t = mask & !s;
+                    if t != 0 && ctx.connected(s, t) {
+                        if let (Some(ls), Some(rs)) = (best.get(&s), best.get(&t)) {
+                            join_candidates(db, query, profile, est, ctx, s, t, ls, rs, &mut entries);
+                        }
+                    }
+                    s = (s - 1) & mask;
+                }
+            } else {
+                // Left-deep: right side is always a single relation.
+                let mut m = mask;
+                while m != 0 {
+                    let r = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let s = mask & !(1 << r);
+                    let t = 1u64 << r;
+                    if s == 0 || !ctx.connected(s, t) {
+                        continue;
+                    }
+                    if let (Some(ls), Some(rs)) = (best.get(&s), best.get(&t)) {
+                        join_candidates(db, query, profile, est, ctx, s, t, ls, rs, &mut entries);
+                    }
+                }
+            }
+            if !entries.is_empty() {
+                best.insert(mask, prune(entries));
+            }
+        }
+
+        best.get(&full)
+            .and_then(|e| {
+                e.iter().min_by(|a, b| a.info.cost.partial_cmp(&b.info.cost).unwrap())
+            })
+            .map(|e| e.node.clone())
+            // Disconnected subsets never block us: queries are validated
+            // connected, so the full mask is always reachable.
+            .unwrap_or_else(|| greedy_optimize(db, query, profile, est))
+    }
+}
+
+/// Generates join candidates between every entry pair of two subsets.
+#[allow(clippy::too_many_arguments)]
+fn join_candidates(
+    db: &Database,
+    query: &Query,
+    profile: &EngineProfile,
+    est: &mut dyn CardEstimator,
+    _ctx: &QueryContext,
+    lmask: RelMask,
+    rmask: RelMask,
+    lentries: &[Entry],
+    rentries: &[Entry],
+    out: &mut Vec<Entry>,
+) {
+    let (lkey, rkey) = primary_edge(query, lmask, rmask);
+    let out_card = est.join(db, query, lmask | rmask);
+    for le in lentries {
+        for re in rentries {
+            for op in JoinOp::ALL {
+                let inl = if op == JoinOp::Loop {
+                    neo_engine::inl_avg_match(db, query, &re.node, rkey)
+                } else {
+                    None
+                };
+                let rinfo = if inl.is_some() {
+                    // INL replaces the inner scan cost with probes.
+                    CostedNode { card: re.info.card, cost: 0.0, order: None }
+                } else {
+                    re.info.clone()
+                };
+                let info = cost_join(profile, op, &le.info, &rinfo, lkey, rkey, out_card, inl);
+                out.push(Entry {
+                    node: PlanNode::Join {
+                        op,
+                        left: Box::new(le.node.clone()),
+                        right: Box::new(re.node.clone()),
+                    },
+                    info,
+                });
+            }
+        }
+    }
+}
+
+/// Pareto pruning: keep the cheapest plan overall plus the cheapest plan
+/// per interesting order.
+fn prune(mut entries: Vec<Entry>) -> Vec<Entry> {
+    entries.sort_by(|a, b| a.info.cost.partial_cmp(&b.info.cost).unwrap());
+    let mut kept: Vec<Entry> = Vec::new();
+    for e in entries {
+        let dominated = kept
+            .iter()
+            .any(|k| k.info.cost <= e.info.cost && (k.info.order == e.info.order || e.info.order.is_none()));
+        if !dominated {
+            kept.push(e);
+        }
+        if kept.len() >= 6 {
+            break; // bounded Pareto frontier
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardest::HistogramEstimator;
+    use neo_engine::{true_latency, CardinalityOracle, Engine};
+    use neo_query::workload::job;
+    use neo_storage::datagen::imdb;
+
+    fn check_complete(plan: &PlanNode, query: &Query) {
+        assert!(plan.fully_specified(), "{}", plan.describe());
+        assert_eq!(plan.rel_mask(), (1u64 << query.num_relations()) - 1);
+    }
+
+    #[test]
+    fn produces_complete_plans_for_all_job_queries() {
+        let db = imdb::generate(0.02, 7);
+        let wl = job::generate(&db, 7);
+        let profile = Engine::PostgresLike.profile();
+        let opt = SelingerOptimizer::default();
+        let mut est = HistogramEstimator::new();
+        for q in &wl.queries {
+            let plan = opt.optimize(&db, q, &profile, &mut est);
+            check_complete(&plan, q);
+        }
+    }
+
+    #[test]
+    fn dp_beats_worst_random_plan() {
+        use rand::{Rng, SeedableRng};
+        let db = imdb::generate(0.1, 7);
+        let wl = job::generate(&db, 7);
+        let q = wl.queries.iter().find(|q| q.num_relations() == 6).unwrap();
+        let profile = Engine::PostgresLike.profile();
+        let opt = SelingerOptimizer::default();
+        let mut est = HistogramEstimator::new();
+        let plan = opt.optimize(&db, q, &profile, &mut est);
+        let mut oracle = CardinalityOracle::new();
+        let dp_lat = true_latency(&db, q, &profile, &mut oracle, &plan);
+        // Random plans: take median of 10.
+        let ctx = QueryContext::new(&db, q);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut lats = Vec::new();
+        for _ in 0..10 {
+            let mut p = neo_query::PartialPlan::initial(q);
+            while !p.is_complete() {
+                let kids = neo_query::children(&p, &ctx);
+                p = kids[rng.gen_range(0..kids.len())].clone();
+            }
+            lats.push(true_latency(&db, q, &profile, &mut oracle, p.as_complete().unwrap()));
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = lats[lats.len() / 2];
+        assert!(dp_lat < med, "dp {dp_lat} vs median random {med}");
+    }
+
+    #[test]
+    fn bushy_never_worse_than_left_deep_on_estimates() {
+        let db = imdb::generate(0.05, 7);
+        let wl = job::generate(&db, 7);
+        let profile = Engine::MsSqlLike.profile();
+        for q in wl.queries.iter().filter(|q| q.num_relations() <= 7).take(5) {
+            let mut est1 = HistogramEstimator::new();
+            let mut est2 = HistogramEstimator::new();
+            let ld = SelingerOptimizer { bushy: false, ..Default::default() }
+                .optimize(&db, q, &profile, &mut est1);
+            let bushy = SelingerOptimizer { bushy: true, ..Default::default() }
+                .optimize(&db, q, &profile, &mut est2);
+            // Compare estimated costs under the same estimator.
+            let mut est = HistogramEstimator::new();
+            let mut prov =
+                crate::cardest::EstimateProvider { db: &db, query: q, est: &mut est };
+            let c_ld = neo_engine::plan_latency(&db, q, &profile, &mut prov, &ld);
+            let c_b = neo_engine::plan_latency(&db, q, &profile, &mut prov, &bushy);
+            assert!(c_b <= c_ld + 1e-6, "bushy {c_b} > left-deep {c_ld} for {}", q.id);
+        }
+    }
+
+    #[test]
+    fn large_queries_fall_back_to_greedy() {
+        let db = imdb::generate(0.02, 7);
+        let wl = job::generate(&db, 7);
+        let q = wl.queries.iter().find(|q| q.num_relations() >= 14).unwrap();
+        let profile = Engine::PostgresLike.profile();
+        let opt = SelingerOptimizer { dp_limit: 12, ..Default::default() };
+        let mut est = HistogramEstimator::new();
+        let plan = opt.optimize(&db, q, &profile, &mut est);
+        check_complete(&plan, q);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-cutting quality tests for the expert optimizers: DP dominance
+//! over greedy under a shared estimator, operator/access-path sanity, and
+//! behaviour across all three schemas.
+
+use neo_expert::{
+    greedy_optimize, EstimateProvider, HistogramEstimator, SamplingEstimator, SelingerOptimizer,
+};
+use neo_engine::{plan_latency, CardinalityOracle, Engine};
+use neo_query::workload::{corp, job, tpch};
+use neo_storage::datagen;
+
+/// Left-deep DP explores a superset of greedy's left-deep space, so under
+/// the *same* estimator its estimated cost can never be worse.
+#[test]
+fn dp_never_worse_than_greedy_on_estimated_cost() {
+    let db = datagen::imdb::generate(0.05, 21);
+    let wl = job::generate(&db, 21);
+    let profile = Engine::PostgresLike.profile();
+    for q in wl.queries.iter().filter(|q| q.num_relations() <= 9).take(20) {
+        let mut est1 = HistogramEstimator::new();
+        let dp = SelingerOptimizer::default().optimize(&db, q, &profile, &mut est1);
+        let mut est2 = HistogramEstimator::new();
+        let greedy = greedy_optimize(&db, q, &profile, &mut est2);
+
+        let mut est = HistogramEstimator::new();
+        let mut prov = EstimateProvider { db: &db, query: q, est: &mut est };
+        let c_dp = plan_latency(&db, q, &profile, &mut prov, &dp);
+        let c_greedy = plan_latency(&db, q, &profile, &mut prov, &greedy);
+        assert!(
+            c_dp <= c_greedy * 1.0001,
+            "query {}: DP {c_dp} > greedy {c_greedy}",
+            q.id
+        );
+    }
+}
+
+/// Every optimizer configuration completes every query of every workload.
+#[test]
+fn optimizers_complete_all_workloads() {
+    let imdb = datagen::imdb::generate(0.02, 5);
+    let tpchdb = datagen::tpch::generate(0.05, 5);
+    let corpdb = datagen::corp::generate(0.01, 5);
+    let workloads: Vec<(&neo_storage::Database, Vec<neo_query::Query>)> = vec![
+        (&imdb, job::generate(&imdb, 5).queries),
+        (&tpchdb, tpch::generate(&tpchdb, 5).queries),
+        (&corpdb, corp::generate(&corpdb, 5, 30).queries),
+    ];
+    let mut oracle = CardinalityOracle::new();
+    for (db, queries) in &workloads {
+        for q in queries.iter().take(12) {
+            for engine in Engine::ALL {
+                let plan = neo_expert::native_optimize(db, q, engine, &mut oracle);
+                assert!(plan.fully_specified(), "{} on {}", q.id, engine.name());
+                assert_eq!(
+                    plan.rel_mask(),
+                    (1u64 << q.num_relations()) - 1,
+                    "{} on {}",
+                    q.id,
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+/// A better estimator (lower error) should never make the DP optimizer
+/// dramatically worse in true latency, aggregated over a workload.
+#[test]
+fn estimator_quality_translates_to_plan_quality() {
+    let db = datagen::imdb::generate(0.1, 9);
+    let wl = job::generate(&db, 9);
+    let profile = Engine::PostgresLike.profile();
+    let mut oracle = CardinalityOracle::new();
+    let opt = SelingerOptimizer::default();
+    let (mut hist_total, mut exact_total) = (0.0f64, 0.0f64);
+    for q in wl.queries.iter().filter(|q| q.num_relations() <= 8).take(20) {
+        let mut hist = HistogramEstimator::new();
+        let p1 = opt.optimize(&db, q, &profile, &mut hist);
+        hist_total += neo_engine::true_latency(&db, q, &profile, &mut oracle, &p1);
+        // max_rel_error ~ 1.0 means "perfect estimates".
+        let mut exact = SamplingEstimator { oracle: &mut oracle, max_rel_error: 1.0001 };
+        let p2 = opt.optimize(&db, q, &profile, &mut exact);
+        exact_total += neo_engine::true_latency(&db, q, &profile, &mut oracle, &p2);
+    }
+    assert!(
+        exact_total <= hist_total * 1.05,
+        "perfect estimates ({exact_total}) should not lose to histograms ({hist_total})"
+    );
+}

@@ -1,0 +1,97 @@
+//! Activation functions. The paper uses the "leaky" variant of rectified
+//! linear units throughout (§6.1).
+
+use crate::tensor::Matrix;
+
+/// Leaky ReLU with a configurable negative slope (default 0.01).
+#[derive(Clone, Debug)]
+pub struct LeakyRelu {
+    /// Slope applied to negative inputs.
+    pub slope: f32,
+    cache: Option<Matrix>,
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        LeakyRelu { slope: 0.01, cache: None }
+    }
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative slope.
+    pub fn new(slope: f32) -> Self {
+        LeakyRelu { slope, cache: None }
+    }
+
+    /// Forward pass, caching the input for the backward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.cache = Some(x.clone());
+        self.apply(x)
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        let s = self.slope;
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v *= s;
+            }
+        }
+        out
+    }
+
+    /// Backward pass: multiplies the upstream gradient by the local slope.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.cache.take().expect("LeakyRelu::backward before forward");
+        assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()));
+        let mut dx = dy.clone();
+        let s = self.slope;
+        for (g, &xv) in dx.data_mut().iter_mut().zip(x.data()) {
+            if xv < 0.0 {
+                *g *= s;
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_positive_passthrough_negative_scaled() {
+        let mut act = LeakyRelu::new(0.1);
+        let x = Matrix::from_row(&[-2.0, 0.0, 3.0]);
+        let y = act.forward(&x);
+        assert_eq!(y.data(), &[-0.2, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_scales_gradient_on_negative_side() {
+        let mut act = LeakyRelu::new(0.1);
+        let x = Matrix::from_row(&[-1.0, 2.0]);
+        let _ = act.forward(&x);
+        let dx = act.backward(&Matrix::from_row(&[1.0, 1.0]));
+        assert_eq!(dx.data(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let slope = 0.01f32;
+        let xs = [-0.7f32, -0.1, 0.2, 1.5];
+        for &x0 in &xs {
+            let mut act = LeakyRelu::new(slope);
+            let _ = act.forward(&Matrix::from_row(&[x0]));
+            let analytic = act.backward(&Matrix::from_row(&[1.0])).data()[0];
+            let eps = 1e-3;
+            let f = |x: f32| if x < 0.0 { slope * x } else { x };
+            let numeric = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-3, "x={x0}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The Adam optimizer (Kingma & Ba, ICLR 2015), as used by the paper for
+//! value-network training (§6.1).
+
+use crate::param::Param;
+
+/// Adam optimizer with bias-corrected moment estimates.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate (`alpha`).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Timestep (number of `step` calls so far).
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Current timestep.
+    pub fn timestep(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update to every parameter using its accumulated gradient,
+    /// then leaves gradients untouched (call [`Param::zero_grad`] before the
+    /// next backward pass).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            let g = p.grad.data().to_vec();
+            let m = p.m.data_mut();
+            for (mi, gi) in m.iter_mut().zip(&g) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            }
+            let v = p.v.data_mut();
+            for (vi, gi) in v.iter_mut().zip(&g) {
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let (mdata, vdata) = (p.m.data().to_vec(), p.v.data().to_vec());
+            let w = p.value.data_mut();
+            for ((wi, mi), vi) in w.iter_mut().zip(&mdata).zip(&vdata) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Matrix;
+
+    /// Adam should descend a simple quadratic f(w) = w^2.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![5.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * w;
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        assert!(p.value.data()[0].abs() < 0.05, "w = {}", p.value.data()[0]);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        // With bias correction, the very first Adam step has magnitude ~lr.
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut opt = Adam::new(0.01);
+        p.grad.data_mut()[0] = 123.0; // arbitrary gradient scale
+        opt.step(&mut [&mut p]);
+        let delta = (1.0 - p.value.data()[0]).abs();
+        assert!((delta - 0.01).abs() < 1e-4, "delta = {delta}");
+    }
+
+    #[test]
+    fn timestep_advances() {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.timestep(), 0);
+        opt.step(&mut [&mut p]);
+        opt.step(&mut [&mut p]);
+        assert_eq!(opt.timestep(), 2);
+    }
+}

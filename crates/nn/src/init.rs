@@ -1,0 +1,55 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Kaiming/He uniform initialization for leaky-ReLU networks.
+///
+/// Samples from `U(-bound, bound)` with `bound = sqrt(6 / fan_in)`, the
+/// standard choice for rectifier activations.
+pub fn he_uniform(rows: usize, cols: usize, fan_in: usize, rng: &mut StdRng) -> Matrix {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`. Used for the output layer.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let bound = (6.0 / (rows + cols).max(1) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = he_uniform(64, 32, 64, &mut rng);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        // Not degenerate: should have both signs.
+        assert!(w.data().iter().any(|&v| v > 0.0));
+        assert!(w.data().iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn xavier_uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(16, 16, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(he_uniform(4, 4, 4, &mut a).data(), he_uniform(4, 4, 4, &mut b).data());
+    }
+}

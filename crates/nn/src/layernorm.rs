@@ -1,0 +1,207 @@
+//! Layer normalization (Ba, Kiros & Hinton 2016), used by the paper to
+//! stabilize value-network training (§6.1).
+//!
+//! Normalizes each row (sample) to zero mean / unit variance across its
+//! features, then applies a learned per-feature gain and bias.
+
+use crate::param::Param;
+use crate::tensor::Matrix;
+
+/// Layer normalization over the feature (column) dimension.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Learned per-feature gain, shape `1 x dim`.
+    pub gain: Param,
+    /// Learned per-feature bias, shape `1 x dim`.
+    pub bias: Param,
+    eps: f32,
+    /// Cached (normalized input, 1/std per row) from the forward pass.
+    cache: Option<(Matrix, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over `dim` features (gain = 1, bias = 0).
+    pub fn new(dim: usize) -> Self {
+        let gain = Param::new(Matrix::from_vec(1, dim, vec![1.0; dim]));
+        let bias = Param::new(Matrix::zeros(1, dim));
+        LayerNorm { gain, bias, eps: 1e-5, cache: None }
+    }
+
+    /// Forward pass with caching for backprop.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (out, xhat, inv_std) = self.normalize(x);
+        self.cache = Some((xhat, inv_std));
+        out
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        self.normalize(x).0
+    }
+
+    fn normalize(&self, x: &Matrix) -> (Matrix, Matrix, Vec<f32>) {
+        let (n, d) = (x.rows(), x.cols());
+        assert_eq!(d, self.gain.value.cols(), "LayerNorm dim mismatch");
+        let mut out = Matrix::zeros(n, d);
+        let mut xhat = Matrix::zeros(n, d);
+        let mut inv_stds = Vec::with_capacity(n);
+        let gain = self.gain.value.data();
+        let bias = self.bias.value.data();
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            let xh = xhat.row_mut(r);
+            for (c, &v) in row.iter().enumerate() {
+                xh[c] = (v - mean) * inv_std;
+            }
+            let o = out.row_mut(r);
+            let xh = xhat.row(r);
+            for c in 0..d {
+                o[c] = gain[c] * xh[c] + bias[c];
+            }
+        }
+        (out, xhat, inv_stds)
+    }
+
+    /// Backward pass. Accumulates gain/bias gradients and returns `dx`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (xhat, inv_stds) = self.cache.take().expect("LayerNorm::backward before forward");
+        let (n, d) = (dy.rows(), dy.cols());
+        assert_eq!((xhat.rows(), xhat.cols()), (n, d));
+        let gain = self.gain.value.data().to_vec();
+        let mut dx = Matrix::zeros(n, d);
+        {
+            // Parameter gradients: dgain = sum_r dy*xhat, dbias = sum_r dy.
+            let dgain = self.gain.grad.data_mut();
+            let dbias = self.bias.grad.data_mut();
+            for r in 0..n {
+                let dyr = dy.row(r);
+                let xr = xhat.row(r);
+                for c in 0..d {
+                    dgain[c] += dyr[c] * xr[c];
+                    dbias[c] += dyr[c];
+                }
+            }
+        }
+        // Input gradient (standard layer-norm backward):
+        // dx = (1/std) * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
+        for r in 0..n {
+            let dyr = dy.row(r);
+            let xr = xhat.row(r);
+            let inv_std = inv_stds[r];
+            let mut dxhat = vec![0.0f32; d];
+            for c in 0..d {
+                dxhat[c] = dyr[c] * gain[c];
+            }
+            let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
+            let mean_dxhat_x =
+                dxhat.iter().zip(xr).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+            let dxr = dx.row_mut(r);
+            for c in 0..d {
+                dxr[c] = inv_std * (dxhat[c] - mean_dxhat - xr[c] * mean_dxhat_x);
+            }
+        }
+        dx
+    }
+
+    /// Mutable references to the trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gain, &mut self.bias]
+    }
+
+    /// Clears parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.gain.zero_grad();
+        self.bias.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let mut ln = LayerNorm::new(4);
+        let x = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 10.0]);
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f32>() / 4.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gain_bias_applied() {
+        let mut ln = LayerNorm::new(2);
+        ln.gain.value.data_mut().copy_from_slice(&[2.0, 2.0]);
+        ln.bias.value.data_mut().copy_from_slice(&[1.0, 1.0]);
+        let x = Matrix::from_row(&[0.0, 2.0]);
+        let y = ln.forward(&x);
+        // normalized row is [-1, 1] -> gain 2, bias 1 -> [-1, 3]
+        assert!((y.data()[0] + 1.0).abs() < 1e-3);
+        assert!((y.data()[1] - 3.0).abs() < 1e-3);
+    }
+
+    /// Finite-difference gradient check for the input gradient.
+    #[test]
+    fn numerical_gradient_check_input() {
+        let dim = 5;
+        let x0 = Matrix::from_row(&[0.5, -1.2, 2.0, 0.1, -0.4]);
+        // Loss = sum of outputs (so dy = ones).
+        let mut ln = LayerNorm::new(dim);
+        ln.gain.value.data_mut().copy_from_slice(&[1.1, 0.9, 1.3, 0.7, 1.0]);
+        let _ = ln.forward(&x0);
+        let dx = ln.backward(&Matrix::from_row(&[1.0; 5]));
+
+        let f = |x: &Matrix, ln: &LayerNorm| -> f32 { ln.forward_inference(x).data().iter().sum() };
+        let eps = 1e-2f32;
+        for c in 0..dim {
+            let mut xp = x0.clone();
+            xp.data_mut()[c] += eps;
+            let mut xm = x0.clone();
+            xm.data_mut()[c] -= eps;
+            let numeric = (f(&xp, &ln) - f(&xm, &ln)) / (2.0 * eps);
+            let analytic = dx.data()[c];
+            assert!(
+                (analytic - numeric).abs() < 2e-2,
+                "c={c} analytic={analytic} numeric={numeric}"
+            );
+        }
+    }
+
+    /// Finite-difference gradient check for gain/bias gradients.
+    #[test]
+    fn numerical_gradient_check_params() {
+        let x0 = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5]);
+        let mut ln = LayerNorm::new(3);
+        let _ = ln.forward(&x0);
+        let _ = ln.backward(&Matrix::from_vec(2, 3, vec![1.0; 6]));
+        let analytic_dgain = ln.gain.grad.data().to_vec();
+
+        let eps = 1e-2f32;
+        for c in 0..3 {
+            let mut ln2 = LayerNorm::new(3);
+            ln2.gain.value.data_mut()[c] += eps;
+            let fp: f32 = ln2.forward_inference(&x0).data().iter().sum();
+            let mut ln3 = LayerNorm::new(3);
+            ln3.gain.value.data_mut()[c] -= eps;
+            let fm: f32 = ln3.forward_inference(&x0).data().iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic_dgain[c] - numeric).abs() < 2e-2,
+                "c={c} analytic={} numeric={numeric}",
+                analytic_dgain[c]
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # neo-nn — neural-network substrate for the Neo reproduction
+//!
+//! A small, dependency-light (CPU, `f32`) neural network library implementing
+//! exactly what the Neo value network (Marcus et al., VLDB 2019, §4 and
+//! Appendix A) needs:
+//!
+//! * dense [`linear::Linear`] layers,
+//! * ["leaky" rectified linear units](activation::LeakyRelu) (§6.1),
+//! * [layer normalization](layernorm::LayerNorm) (§6.1),
+//! * [tree convolution](treeconv::TreeConv) over execution-plan trees and
+//!   [dynamic max pooling](treeconv::DynamicPooling) (§4.1),
+//! * the [Adam](adam::Adam) optimizer (§6.1),
+//! * [L2 loss](loss::mse) (§4),
+//!
+//! with full backpropagation, verified by finite-difference gradient checks
+//! in each module's tests.
+//!
+//! The paper used PyTorch; this crate substitutes a from-scratch
+//! implementation so the whole system is self-contained Rust (see
+//! DESIGN.md §1).
+
+pub mod activation;
+pub mod adam;
+pub mod init;
+pub mod layernorm;
+pub mod linear;
+pub mod loss;
+pub mod network;
+pub mod param;
+pub mod serialize;
+pub mod tensor;
+pub mod treeconv;
+
+pub use activation::LeakyRelu;
+pub use adam::Adam;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use network::Mlp;
+pub use param::{clip_grad_norm, Param};
+pub use serialize::{read_params, write_params};
+pub use tensor::Matrix;
+pub use treeconv::{DynamicPooling, TreeConv, TreeTopology, NO_CHILD};

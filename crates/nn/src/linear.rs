@@ -1,0 +1,160 @@
+//! Fully-connected (dense) layer.
+
+use crate::init::he_uniform;
+use crate::param::Param;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// A dense layer computing `y = x W + b` with `W: in_dim x out_dim`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix, shape `in_dim x out_dim`.
+    pub w: Param,
+    /// Bias row vector, shape `1 x out_dim`.
+    pub b: Param,
+    cache_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// He-initialized dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Linear {
+            w: Param::new(he_uniform(in_dim, out_dim, in_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            cache_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass, caching the input for backprop.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.cache_input = Some(x.clone());
+        self.forward_inference(x)
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(&self.b.value);
+        y
+    }
+
+    /// Backward pass: accumulates `dW = x^T dy`, `db = colsum(dy)` and
+    /// returns `dx = dy W^T`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.cache_input.take().expect("Linear::backward before forward");
+        let dw = x.matmul_tn(dy);
+        self.w.grad.add_assign(&dw);
+        self.b.grad.add_assign(&dy.col_sum());
+        dy.matmul_nt(&self.w.value)
+    }
+
+    /// Mutable references to the trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Clears parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(3, 5, &mut rng);
+        let x = Matrix::zeros(4, 3);
+        let y = lin.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 5));
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(2, 1, &mut rng);
+        lin.w.value.data_mut().copy_from_slice(&[2.0, 3.0]);
+        lin.b.value.data_mut().copy_from_slice(&[1.0]);
+        let y = lin.forward(&Matrix::from_row(&[1.0, 1.0]));
+        assert_eq!(y.data(), &[6.0]);
+    }
+
+    /// Finite-difference gradient check for weights, bias, and input.
+    #[test]
+    fn numerical_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.5, 0.7, 1.2, 0.3, -0.9]);
+        let _ = lin.forward(&x);
+        // Loss = sum of outputs => dy = ones.
+        let dy = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let dx = lin.backward(&dy);
+
+        let loss = |lin: &Linear, x: &Matrix| -> f32 { lin.forward_inference(x).data().iter().sum() };
+        let eps = 1e-3f32;
+
+        // Weight grads.
+        for i in 0..lin.w.value.len() {
+            let mut lp = lin.clone();
+            lp.w.value.data_mut()[i] += eps;
+            let mut lm = lin.clone();
+            lm.w.value.data_mut()[i] -= eps;
+            let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            let analytic = lin.w.grad.data()[i];
+            assert!((analytic - numeric).abs() < 1e-2, "w[{i}]: {analytic} vs {numeric}");
+        }
+        // Bias grads.
+        for i in 0..lin.b.value.len() {
+            let mut lp = lin.clone();
+            lp.b.value.data_mut()[i] += eps;
+            let mut lm = lin.clone();
+            lm.b.value.data_mut()[i] -= eps;
+            let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            let analytic = lin.b.grad.data()[i];
+            assert!((analytic - numeric).abs() < 1e-2, "b[{i}]: {analytic} vs {numeric}");
+        }
+        // Input grads.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let numeric = (loss(&lin, &xp) - loss(&lin, &xm)) / (2.0 * eps);
+            let analytic = dx.data()[i];
+            assert!((analytic - numeric).abs() < 1e-2, "x[{i}]: {analytic} vs {numeric}");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new(2, 1, &mut rng);
+        let x = Matrix::from_row(&[1.0, 2.0]);
+        let dy = Matrix::from_row(&[1.0]);
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        let g1 = lin.w.grad.data().to_vec();
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        let g2 = lin.w.grad.data().to_vec();
+        assert!((g2[0] - 2.0 * g1[0]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Loss functions. The paper trains the value network with a simple L2
+//! loss, `(M(P_i) - min{C(P_f) | P_i ⊂ P_f})²` (§4).
+
+use crate::tensor::Matrix;
+
+/// Mean squared error over a batch of scalar predictions.
+///
+/// Returns `(loss, d_loss/d_pred)` where the gradient is scaled by `2/n`
+/// (derivative of the mean of squared errors).
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()));
+    let n = pred.len().max(1) as f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f32;
+    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Huber loss (smooth L1) — useful when bootstrapped latencies contain
+/// heavy-tailed outliers; exposed as an alternative to the paper's L2.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f32) -> (f32, Matrix) {
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()));
+    let n = pred.len().max(1) as f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f32;
+    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+        let d = p - t;
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            *g = d / n;
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            *g = delta * d.signum() / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let p = Matrix::from_row(&[1.0, 2.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Matrix::from_row(&[3.0]);
+        let t = Matrix::from_row(&[1.0]);
+        let (l, g) = mse(&p, &t);
+        assert_eq!(l, 4.0);
+        assert_eq!(g.data(), &[4.0]); // 2*(3-1)/1
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Matrix::from_row(&[0.5, -1.0, 2.0]);
+        let t = Matrix::from_row(&[0.0, 0.0, 0.0]);
+        let (_, g) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let numeric = (mse(&pp, &t).0 - mse(&pm, &t).0) / (2.0 * eps);
+            assert!((g.data()[i] - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn huber_quadratic_inside_linear_outside() {
+        let t = Matrix::from_row(&[0.0]);
+        let (l_small, g_small) = huber(&Matrix::from_row(&[0.5]), &t, 1.0);
+        assert!((l_small - 0.125).abs() < 1e-6);
+        assert!((g_small.data()[0] - 0.5).abs() < 1e-6);
+        let (l_big, g_big) = huber(&Matrix::from_row(&[3.0]), &t, 1.0);
+        assert!((l_big - 2.5).abs() < 1e-6);
+        assert!((g_big.data()[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,246 @@
+//! A small sequential multi-layer perceptron container: stacks of
+//! `Linear -> LayerNorm -> LeakyReLU` blocks with a plain linear output.
+//!
+//! The Neo value network (in the `neo` crate) composes two of these MLPs
+//! with the tree-convolution stack from [`crate::treeconv`].
+
+use crate::activation::LeakyRelu;
+use crate::layernorm::LayerNorm;
+use crate::linear::Linear;
+use crate::param::Param;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// One MLP block: dense layer, optional layer norm, optional activation.
+#[derive(Clone, Debug)]
+struct Block {
+    lin: Linear,
+    norm: Option<LayerNorm>,
+    act: Option<LeakyRelu>,
+}
+
+/// A sequential feed-forward network.
+///
+/// # Examples
+///
+/// ```
+/// use neo_nn::{Mlp, Matrix, Adam, loss::mse};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut mlp = Mlp::new(&[2, 8, 1], true, false, &mut rng);
+/// let mut opt = Adam::new(1e-2);
+/// let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+/// let t = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]); // XOR
+/// for _ in 0..500 {
+///     let pred = mlp.forward(&x);
+///     let (_, grad) = mse(&pred, &t);
+///     mlp.zero_grad();
+///     mlp.backward(&grad);
+///     opt.step(&mut mlp.params_mut());
+/// }
+/// let (final_loss, _) = mse(&mlp.forward_inference(&x), &t);
+/// assert!(final_loss < 0.1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    blocks: Vec<Block>,
+}
+
+impl Mlp {
+    /// Builds an MLP through the given layer `sizes` (e.g. `[64,128,64,32]`
+    /// builds three dense layers). Hidden layers get layer norm (when
+    /// `layer_norm`) and leaky-ReLU activations; the final layer is linear
+    /// unless `final_activation` is set.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], layer_norm: bool, final_activation: bool, rng: &mut StdRng) -> Self {
+        assert!(sizes.len() >= 2, "Mlp needs at least input and output sizes");
+        let mut blocks = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let last = i == sizes.len() - 2;
+            let activate = !last || final_activation;
+            blocks.push(Block {
+                lin: Linear::new(sizes[i], sizes[i + 1], rng),
+                norm: if activate && layer_norm { Some(LayerNorm::new(sizes[i + 1])) } else { None },
+                act: if activate { Some(LeakyRelu::default()) } else { None },
+            });
+        }
+        Mlp { blocks }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.blocks[0].lin.in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.blocks.last().unwrap().lin.out_dim()
+    }
+
+    /// Forward pass with caching for backprop.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for b in &mut self.blocks {
+            h = b.lin.forward(&h);
+            if let Some(n) = &mut b.norm {
+                h = n.forward(&h);
+            }
+            if let Some(a) = &mut b.act {
+                h = a.forward(&h);
+            }
+        }
+        h
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for b in &self.blocks {
+            h = b.lin.forward_inference(&h);
+            if let Some(n) = &b.norm {
+                h = n.forward_inference(&h);
+            }
+            if let Some(a) = &b.act {
+                h = a.apply(&h);
+            }
+        }
+        h
+    }
+
+    /// Backward pass: returns the gradient w.r.t. the input.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let mut g = dy.clone();
+        for b in self.blocks.iter_mut().rev() {
+            if let Some(a) = &mut b.act {
+                g = a.backward(&g);
+            }
+            if let Some(n) = &mut b.norm {
+                g = n.backward(&g);
+            }
+            g = b.lin.backward(&g);
+        }
+        g
+    }
+
+    /// Mutable references to every trainable parameter.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for b in &mut self.blocks {
+            out.extend(b.lin.params_mut());
+            if let Some(n) = &mut b.norm {
+                out.extend(n.params_mut());
+            }
+        }
+        out
+    }
+
+    /// Clears all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for b in &mut self.blocks {
+            b.lin.zero_grad();
+            if let Some(n) = &mut b.norm {
+                n.zero_grad();
+            }
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::Adam;
+    use crate::loss::mse;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&[6, 12, 4], true, false, &mut rng);
+        let y = mlp.forward(&Matrix::zeros(3, 6));
+        assert_eq!((y.rows(), y.cols()), (3, 4));
+        assert_eq!(mlp.in_dim(), 6);
+        assert_eq!(mlp.out_dim(), 4);
+    }
+
+    /// End-to-end training sanity check: an MLP should fit y = x0 + 2*x1.
+    #[test]
+    fn mlp_learns_linear_function() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mlp = Mlp::new(&[2, 16, 1], false, false, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let mut final_loss = f32::MAX;
+        for _ in 0..400 {
+            let mut xs = Vec::new();
+            let mut ts = Vec::new();
+            for _ in 0..16 {
+                let a: f32 = rng.gen_range(-1.0..1.0);
+                let b: f32 = rng.gen_range(-1.0..1.0);
+                xs.extend_from_slice(&[a, b]);
+                ts.push(a + 2.0 * b);
+            }
+            let x = Matrix::from_vec(16, 2, xs);
+            let t = Matrix::from_vec(16, 1, ts);
+            let pred = mlp.forward(&x);
+            let (l, dl) = mse(&pred, &t);
+            final_loss = l;
+            mlp.zero_grad();
+            let _ = mlp.backward(&dl);
+            opt.step(&mut mlp.params_mut());
+        }
+        assert!(final_loss < 0.01, "loss = {final_loss}");
+    }
+
+    /// Full finite-difference check through a deep MLP with layer norm.
+    #[test]
+    fn numerical_gradient_check_deep() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&[4, 8, 8, 1], true, false, &mut rng);
+        let x = Matrix::from_vec(2, 4, vec![0.2, -0.4, 0.9, 0.1, -0.7, 0.3, 0.5, -0.2]);
+        let y = mlp.forward(&x);
+        mlp.zero_grad();
+        let dy = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.len()]);
+        let dx = mlp.backward(&dy);
+
+        let loss = |mlp: &Mlp, x: &Matrix| -> f32 { mlp.forward_inference(x).data().iter().sum() };
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let numeric = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - numeric).abs() < 5e-2,
+                "dx[{i}]: {} vs {numeric}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mlp = Mlp::new(&[3, 7, 2], true, false, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.1, 0.2, 0.3, -0.1, -0.2, -0.3]);
+        let a = mlp.forward(&x);
+        let b = mlp.forward_inference(&x);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn param_count_reasonable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&[10, 20, 1], false, false, &mut rng);
+        // 10*20 + 20 + 20*1 + 1 = 241
+        assert_eq!(mlp.param_count(), 241);
+    }
+}

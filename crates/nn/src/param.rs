@@ -1,0 +1,89 @@
+//! Trainable parameter: a value matrix plus its gradient accumulator and
+//! Adam moment estimates.
+
+use crate::tensor::Matrix;
+
+/// A trainable tensor. Layers own `Param`s; the [`crate::adam::Adam`]
+/// optimizer updates them in place.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value of the parameter.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+    /// Adam first-moment estimate.
+    pub(crate) m: Matrix,
+    /// Adam second-moment estimate.
+    pub(crate) v: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value, allocating zeroed gradient and moment buffers.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = (value.rows(), value.cols());
+        Param { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn count(&self) -> usize {
+        self.value.len()
+    }
+}
+
+/// Global-norm gradient clipping over a set of parameters.
+///
+/// Rescales all gradients by `max_norm / total_norm` when the combined
+/// L2 norm exceeds `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| {
+            let n = p.grad.frobenius_norm();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params.iter_mut() {
+            p.grad.scale(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.grad.data_mut()[0] = 5.0;
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clip_rescales_when_over() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad.data_mut().copy_from_slice(&[3.0, 4.0]); // norm 5
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = p.grad.frobenius_norm();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_when_under() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.grad.data_mut().copy_from_slice(&[0.3, 0.4]);
+        clip_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(p.grad.data(), &[0.3, 0.4]);
+    }
+}

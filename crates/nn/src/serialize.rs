@@ -1,0 +1,121 @@
+//! Minimal binary (de)serialization for parameters — enough to checkpoint
+//! a trained value network to disk and reload it (model persistence, an
+//! adoption requirement the paper's system also had: trained models are
+//! reused across sessions).
+//!
+//! Format: a little-endian stream of `[rows: u32][cols: u32][data: f32...]`
+//! records preceded by a magic header and a record count. Only parameter
+//! *values* are stored (optimizer moments are training state, not model).
+
+use crate::param::Param;
+use crate::tensor::Matrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"NEONET01";
+
+/// Writes a set of parameters to `w`.
+pub fn write_params(w: &mut impl Write, params: &[&Param]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let m = &p.value;
+        w.write_all(&(m.rows() as u32).to_le_bytes())?;
+        w.write_all(&(m.cols() as u32).to_le_bytes())?;
+        for v in m.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameter values from `r` into `params`, in order.
+///
+/// Fails when the magic/count/shapes don't match the receiving network —
+/// loading a checkpoint into a differently-configured model is an error,
+/// not a silent corruption.
+pub fn read_params(r: &mut impl Read, params: &mut [&mut Param]) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic: not a neo-nn checkpoint"));
+    }
+    let mut count = [0u8; 4];
+    r.read_exact(&mut count)?;
+    let count = u32::from_le_bytes(count) as usize;
+    if count != params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} tensors, model expects {}", params.len()),
+        ));
+    }
+    for p in params.iter_mut() {
+        let mut dims = [0u8; 8];
+        r.read_exact(&mut dims)?;
+        let rows = u32::from_le_bytes(dims[0..4].try_into().unwrap()) as usize;
+        let cols = u32::from_le_bytes(dims[4..8].try_into().unwrap()) as usize;
+        if rows != p.value.rows() || cols != p.value.cols() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch: checkpoint {rows}x{cols}, model {}x{}",
+                    p.value.rows(),
+                    p.value.cols()
+                ),
+            ));
+        }
+        let mut buf = vec![0u8; rows * cols * 4];
+        r.read_exact(&mut buf)?;
+        let data: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        p.value = Matrix::from_vec(rows, cols, data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let a = Param::new(Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 7.25, -0.125]));
+        let b = Param::new(Matrix::from_vec(1, 2, vec![9.0, -9.0]));
+        let mut buf = Vec::new();
+        write_params(&mut buf, &[&a, &b]).unwrap();
+
+        let mut a2 = Param::new(Matrix::zeros(2, 3));
+        let mut b2 = Param::new(Matrix::zeros(1, 2));
+        read_params(&mut &buf[..], &mut [&mut a2, &mut b2]).unwrap();
+        assert_eq!(a2.value.data(), a.value.data());
+        assert_eq!(b2.value.data(), b.value.data());
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = Param::new(Matrix::zeros(2, 2));
+        let mut buf = Vec::new();
+        write_params(&mut buf, &[&a]).unwrap();
+        let mut wrong = Param::new(Matrix::zeros(3, 2));
+        let err = read_params(&mut &buf[..], &mut [&mut wrong]).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn count_mismatch_is_an_error() {
+        let a = Param::new(Matrix::zeros(1, 1));
+        let mut buf = Vec::new();
+        write_params(&mut buf, &[&a]).unwrap();
+        let mut x = Param::new(Matrix::zeros(1, 1));
+        let mut y = Param::new(Matrix::zeros(1, 1));
+        assert!(read_params(&mut &buf[..], &mut [&mut x, &mut y]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let buf = b"NOTMAGIC\x00\x00\x00\x00".to_vec();
+        let mut x = Param::new(Matrix::zeros(1, 1));
+        assert!(read_params(&mut &buf[..], &mut [&mut x]).is_err());
+    }
+}

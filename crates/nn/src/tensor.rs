@@ -1,0 +1,341 @@
+//! A minimal dense 2-D tensor (`Matrix`) with the handful of BLAS-like
+//! kernels the value network needs.
+//!
+//! Everything in this crate is CPU-only `f32`, row-major, and deliberately
+//! free of `unsafe`. The matmul kernel uses an `i-k-j` loop order so the
+//! inner loop streams over contiguous rows of both the right operand and the
+//! output, which is the main thing that matters for the small-to-medium
+//! matrices (tens to a few hundred columns) the Neo value network produces.
+
+use std::fmt;
+
+/// A row-major dense matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// An all-zeros matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a single-row matrix from a slice.
+    pub fn from_row(row: &[f32]) -> Self {
+        Matrix::from_vec(1, row.len(), row.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self = self + other`, elementwise.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self = self + alpha * other`, elementwise.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// `C = self * rhs` (standard matmul).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dims");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        matmul_into(self, rhs, &mut out, false);
+        out
+    }
+
+    /// `out += self * rhs`, writing into a pre-allocated output (avoids a
+    /// fresh allocation in hot loops). When `accumulate` is false the output
+    /// is overwritten.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix, accumulate: bool) {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dims");
+        assert_eq!((out.rows, out.cols), (self.rows, rhs.cols), "matmul output shape");
+        matmul_into(self, rhs, out, accumulate);
+    }
+
+    /// `C = self^T * rhs`. Used for weight gradients (`dW = X^T dY`).
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn inner dims");
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        // C[i][j] = sum_t A[t][i] * B[t][j]; stream over rows of A and B.
+        for t in 0..k {
+            let arow = self.row(t);
+            let brow = rhs.row(t);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let crow = &mut out.data[i * n..(i + 1) * n];
+                for (c, &b) in crow.iter_mut().zip(brow) {
+                    *c += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = self * rhs^T`. Used for input gradients (`dX = dY W^T`).
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dims");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds a bias row-vector to every row.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (v, b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column-wise sum, producing a `1 x cols` matrix. Used for bias grads.
+    pub fn col_sum(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (o, v) in out.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm (root of the sum of squared elements).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, accumulate: bool) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    if !accumulate {
+        out.fill_zero();
+    }
+    for i in 0..m {
+        let arow = &a.data[i * k..(i + 1) * k];
+        let orow = &mut out.data[i * n..(i + 1) * n];
+        for (t, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue; // sparse one-hot inputs are common in Neo encodings
+            }
+            let brow = &b.data[t * n..(t + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = m(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[1.0, 0.5, -1.0, 2.0, 0.0, 3.0]);
+        let c = a.matmul_tn(&b);
+        // A^T is 2x3, B is 3x2 => C is 2x2.
+        let at = m(2, 3, &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        assert_eq!(c.data(), at.matmul(&b).data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &[1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.5, 0.5, 0.5, -1.0, 1.0, -1.0]);
+        let c = a.matmul_nt(&b);
+        let bt = m(3, 4, &[1.0, 2.0, 0.5, -1.0, 0.0, 1.0, 0.5, 1.0, 1.0, 0.0, 0.5, -1.0]);
+        assert_eq!(c.data(), a.matmul(&bt).data());
+    }
+
+    #[test]
+    fn matmul_into_accumulates() {
+        let a = m(1, 2, &[1.0, 1.0]);
+        let b = m(2, 1, &[2.0, 3.0]);
+        let mut out = Matrix::from_vec(1, 1, vec![10.0]);
+        a.matmul_into(&b, &mut out, true);
+        assert_eq!(out.data(), &[15.0]);
+        a.matmul_into(&b, &mut out, false);
+        assert_eq!(out.data(), &[5.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_and_col_sum() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(1, 2, &[10.0, 20.0]);
+        a.add_row_broadcast(&b);
+        assert_eq!(a.data(), &[11.0, 22.0, 13.0, 24.0]);
+        let s = a.col_sum();
+        assert_eq!(s.data(), &[24.0, 46.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3.0, 4.0, 5.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit() {
+        let a = m(1, 4, &[1.0, 1.0, 1.0, 1.0]);
+        assert!((a.frobenius_norm() - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,454 @@
+//! Tree convolution (Mou et al., AAAI 2016) and dynamic pooling, the core
+//! structural components of Neo's value network (paper §4.1, Appendix A).
+//!
+//! A batch of execution-plan trees (a *forest* — partial plans may have
+//! several roots) is flattened into a node-feature matrix plus a
+//! [`TreeTopology`] giving each node's left/right child indices and owning
+//! tree. Each convolution filter is a triple of weight vectors
+//! `(e_p, e_l, e_r)`; applying a filterbank to node `i` computes
+//!
+//! ```text
+//! y_i = W^T [x_i ; x_left(i) ; x_right(i)] + b
+//! ```
+//!
+//! with missing children treated as all-zero vectors (the paper "attaches
+//! nodes with all zeros to each leaf node"). The output tree is structurally
+//! isomorphic to the input, so layers stack; each layer widens the receptive
+//! field by one generation. Dynamic pooling then takes the element-wise max
+//! over every node of a tree, flattening variable-shaped trees into fixed
+//! vectors.
+
+use crate::init::he_uniform;
+use crate::param::Param;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Sentinel index meaning "no child at this position".
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// Structure of a batch of trees: per-node child pointers and tree ids.
+///
+/// The feature matrix is stored separately (one row per node) so that
+/// successive convolution layers can share a single topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeTopology {
+    /// Index of each node's left child, or [`NO_CHILD`].
+    pub left: Vec<u32>,
+    /// Index of each node's right child, or [`NO_CHILD`].
+    pub right: Vec<u32>,
+    /// Which tree each node belongs to (trees numbered `0..num_trees`).
+    pub tree_of: Vec<u32>,
+    /// Number of distinct trees in the batch.
+    pub num_trees: usize,
+}
+
+impl TreeTopology {
+    /// Number of nodes across all trees.
+    pub fn num_nodes(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Checks internal consistency: equal-length arrays, child indices in
+    /// range, tree ids in range, and every tree non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.left.len();
+        if self.right.len() != n || self.tree_of.len() != n {
+            return Err("left/right/tree_of length mismatch".into());
+        }
+        for (i, (&l, &r)) in self.left.iter().zip(&self.right).enumerate() {
+            if l != NO_CHILD && l as usize >= n {
+                return Err(format!("node {i}: left child {l} out of range"));
+            }
+            if r != NO_CHILD && r as usize >= n {
+                return Err(format!("node {i}: right child {r} out of range"));
+            }
+        }
+        let mut seen = vec![false; self.num_trees];
+        for &t in &self.tree_of {
+            let t = t as usize;
+            if t >= self.num_trees {
+                return Err(format!("tree id {t} out of range"));
+            }
+            seen[t] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err("some tree has no nodes".into());
+        }
+        Ok(())
+    }
+}
+
+/// One tree-convolution layer: a filterbank of shape `3*cin x cout`.
+#[derive(Clone, Debug)]
+pub struct TreeConv {
+    /// Filterbank weights: rows `0..cin` are `e_p`, `cin..2cin` are `e_l`,
+    /// `2cin..3cin` are `e_r`, for every output channel.
+    pub w: Param,
+    /// Bias, shape `1 x cout`.
+    pub b: Param,
+    cin: usize,
+    cache_gather: Option<Matrix>,
+}
+
+impl TreeConv {
+    /// He-initialized tree convolution mapping `cin` to `cout` channels.
+    pub fn new(cin: usize, cout: usize, rng: &mut StdRng) -> Self {
+        TreeConv {
+            w: Param::new(he_uniform(3 * cin, cout, 3 * cin, rng)),
+            b: Param::new(Matrix::zeros(1, cout)),
+            cin,
+            cache_gather: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn cin(&self) -> usize {
+        self.cin
+    }
+
+    /// Output channel count.
+    pub fn cout(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Builds the gathered `(x_p ; x_l ; x_r)` matrix, `n x 3cin`.
+    fn gather(&self, x: &Matrix, topo: &TreeTopology) -> Matrix {
+        let n = topo.num_nodes();
+        let c = self.cin;
+        assert_eq!(x.rows(), n, "feature/topology node count mismatch");
+        assert_eq!(x.cols(), c, "TreeConv input channels");
+        let mut g = Matrix::zeros(n, 3 * c);
+        for i in 0..n {
+            let grow = g.row_mut(i);
+            grow[0..c].copy_from_slice(x.row(i));
+            // Children copied after; can't hold two &mut rows of g at once,
+            // so re-borrow below.
+        }
+        for i in 0..n {
+            let l = topo.left[i];
+            if l != NO_CHILD {
+                let src = x.row(l as usize).to_vec();
+                g.row_mut(i)[c..2 * c].copy_from_slice(&src);
+            }
+            let r = topo.right[i];
+            if r != NO_CHILD {
+                let src = x.row(r as usize).to_vec();
+                g.row_mut(i)[2 * c..3 * c].copy_from_slice(&src);
+            }
+        }
+        g
+    }
+
+    /// Forward pass (training): caches the gathered matrix for backprop.
+    pub fn forward(&mut self, x: &Matrix, topo: &TreeTopology) -> Matrix {
+        let g = self.gather(x, topo);
+        let mut y = g.matmul(&self.w.value);
+        y.add_row_broadcast(&self.b.value);
+        self.cache_gather = Some(g);
+        y
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &Matrix, topo: &TreeTopology) -> Matrix {
+        let g = self.gather(x, topo);
+        let mut y = g.matmul(&self.w.value);
+        y.add_row_broadcast(&self.b.value);
+        y
+    }
+
+    /// Backward pass: accumulates filterbank gradients and scatters the
+    /// gathered-input gradient back onto parent/left/right node positions.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix, topo: &TreeTopology) -> Matrix {
+        let g = self.cache_gather.take().expect("TreeConv::backward before forward");
+        let n = topo.num_nodes();
+        let c = self.cin;
+        assert_eq!(dy.rows(), n);
+        // Parameter gradients.
+        let dw = g.matmul_tn(dy);
+        self.w.grad.add_assign(&dw);
+        self.b.grad.add_assign(&dy.col_sum());
+        // Gradient w.r.t. the gathered matrix, then scatter-add to nodes.
+        let dg = dy.matmul_nt(&self.w.value);
+        let mut dx = Matrix::zeros(n, c);
+        for i in 0..n {
+            let drow = dg.row(i).to_vec();
+            {
+                let dst = dx.row_mut(i);
+                for (d, s) in dst.iter_mut().zip(&drow[0..c]) {
+                    *d += s;
+                }
+            }
+            let l = topo.left[i];
+            if l != NO_CHILD {
+                let dst = dx.row_mut(l as usize);
+                for (d, s) in dst.iter_mut().zip(&drow[c..2 * c]) {
+                    *d += s;
+                }
+            }
+            let r = topo.right[i];
+            if r != NO_CHILD {
+                let dst = dx.row_mut(r as usize);
+                for (d, s) in dst.iter_mut().zip(&drow[2 * c..3 * c]) {
+                    *d += s;
+                }
+            }
+        }
+        dx
+    }
+
+    /// Mutable references to the trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Clears parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+/// Dynamic (max) pooling: flattens each tree to a single vector by taking
+/// the per-channel maximum over its nodes (paper Appendix A).
+#[derive(Clone, Debug, Default)]
+pub struct DynamicPooling {
+    /// For each (tree, channel): node index that attained the max.
+    cache_argmax: Option<(Vec<u32>, usize)>,
+}
+
+impl DynamicPooling {
+    /// Creates a pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pool(&self, x: &Matrix, topo: &TreeTopology) -> (Matrix, Vec<u32>) {
+        let (n, c) = (x.rows(), x.cols());
+        assert_eq!(n, topo.num_nodes());
+        let t = topo.num_trees;
+        let mut out = Matrix::from_vec(t, c, vec![f32::NEG_INFINITY; t * c]);
+        let mut argmax = vec![u32::MAX; t * c];
+        for i in 0..n {
+            let tree = topo.tree_of[i] as usize;
+            let row = x.row(i);
+            let orow = out.row_mut(tree);
+            for (ch, (&v, o)) in row.iter().zip(orow.iter_mut()).enumerate() {
+                if v > *o {
+                    *o = v;
+                    argmax[tree * c + ch] = i as u32;
+                }
+            }
+        }
+        (out, argmax)
+    }
+
+    /// Forward pass (training): records argmax indices for backprop.
+    pub fn forward(&mut self, x: &Matrix, topo: &TreeTopology) -> Matrix {
+        let (out, argmax) = self.pool(x, topo);
+        self.cache_argmax = Some((argmax, x.rows()));
+        out
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &Matrix, topo: &TreeTopology) -> Matrix {
+        self.pool(x, topo).0
+    }
+
+    /// Backward pass: routes each pooled gradient to its argmax node.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let (argmax, n) = self.cache_argmax.take().expect("DynamicPooling::backward before forward");
+        let c = dy.cols();
+        let mut dx = Matrix::zeros(n, c);
+        for t in 0..dy.rows() {
+            let drow = dy.row(t);
+            for ch in 0..c {
+                let i = argmax[t * c + ch];
+                if i != u32::MAX {
+                    let v = dx.get(i as usize, ch) + drow[ch];
+                    dx.set(i as usize, ch, v);
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Topology for one 3-node tree: root 0 with children 1, 2.
+    fn tri_topology() -> TreeTopology {
+        TreeTopology {
+            left: vec![1, NO_CHILD, NO_CHILD],
+            right: vec![2, NO_CHILD, NO_CHILD],
+            tree_of: vec![0, 0, 0],
+            num_trees: 1,
+        }
+    }
+
+    /// Paper Figure 6, Example 1: a `{1,-1}` filter detects two merge joins
+    /// in a row (root output 2) and rejects hash-over-merge (root output 0).
+    #[test]
+    fn figure6_example1_merge_join_detector() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = TreeConv::new(5, 1, &mut rng);
+        // e_p = e_l = e_r = [1, -1, 0, 0, 0]
+        let filt = [1.0, -1.0, 0.0, 0.0, 0.0];
+        let mut w = vec![0.0f32; 15];
+        w[0..5].copy_from_slice(&filt);
+        w[5..10].copy_from_slice(&filt);
+        w[10..15].copy_from_slice(&filt);
+        conv.w.value.data_mut().copy_from_slice(&w);
+
+        // Plan 1: merge join over (merge join, C).
+        // Node features from Fig. 6b (top): root [1,0,1,1,1], left child
+        // (merge join) [1,0,1,1,0], right child (C) [0,0,0,0,1].
+        let topo = TreeTopology {
+            left: vec![1, 3, NO_CHILD, NO_CHILD, NO_CHILD],
+            right: vec![2, 4, NO_CHILD, NO_CHILD, NO_CHILD],
+            tree_of: vec![0; 5],
+            num_trees: 1,
+        };
+        let x1 = Matrix::from_vec(
+            5,
+            5,
+            vec![
+                1.0, 0.0, 1.0, 1.0, 1.0, // root: merge join
+                1.0, 0.0, 1.0, 1.0, 0.0, // merge join
+                0.0, 0.0, 0.0, 0.0, 1.0, // C
+                0.0, 0.0, 1.0, 0.0, 0.0, // A
+                0.0, 0.0, 0.0, 1.0, 0.0, // B
+            ],
+        );
+        let y1 = conv.forward_inference(&x1, &topo);
+        assert_eq!(y1.get(0, 0), 2.0, "two merge joins in a row -> 2");
+
+        // Plan 2: hash join over (merge join, C): root [0,1,1,1,1].
+        let mut x2 = x1.clone();
+        x2.row_mut(0).copy_from_slice(&[0.0, 1.0, 1.0, 1.0, 1.0]);
+        let y2 = conv.forward_inference(&x2, &topo);
+        assert_eq!(y2.get(0, 0), 0.0, "hash over merge -> 0");
+    }
+
+    #[test]
+    fn leaf_children_treated_as_zeros() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = TreeConv::new(2, 1, &mut rng);
+        // Output at a leaf should only involve e_p.
+        conv.w.value.data_mut().copy_from_slice(&[1.0, 1.0, 5.0, 5.0, 7.0, 7.0]);
+        let topo = tri_topology();
+        let x = Matrix::from_vec(3, 2, vec![0.0, 0.0, 1.0, 2.0, 0.0, 0.0]);
+        let y = conv.forward_inference(&x, &topo);
+        // Node 1 is a leaf with features [1,2]: y = 1*1 + 1*2 = 3.
+        assert_eq!(y.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn output_is_structurally_isomorphic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = TreeConv::new(4, 8, &mut rng);
+        let topo = tri_topology();
+        let x = Matrix::zeros(3, 4);
+        let y = conv.forward_inference(&x, &topo);
+        assert_eq!(y.rows(), 3);
+        assert_eq!(y.cols(), 8);
+    }
+
+    #[test]
+    fn forest_with_multiple_roots_pools_per_tree() {
+        // Two trees: a 3-node tree and a single-node tree.
+        let topo = TreeTopology {
+            left: vec![1, NO_CHILD, NO_CHILD, NO_CHILD],
+            right: vec![2, NO_CHILD, NO_CHILD, NO_CHILD],
+            tree_of: vec![0, 0, 0, 1],
+            num_trees: 2,
+        };
+        let x = Matrix::from_vec(4, 2, vec![1.0, -1.0, 3.0, 0.5, 2.0, 9.0, -5.0, 4.0]);
+        let mut pool = DynamicPooling::new();
+        let y = pool.forward(&x, &topo);
+        assert_eq!(y.rows(), 2);
+        assert_eq!(y.row(0), &[3.0, 9.0]);
+        assert_eq!(y.row(1), &[-5.0, 4.0]);
+    }
+
+    #[test]
+    fn pooling_backward_routes_to_argmax() {
+        let topo = TreeTopology {
+            left: vec![1, NO_CHILD, NO_CHILD],
+            right: vec![2, NO_CHILD, NO_CHILD],
+            tree_of: vec![0, 0, 0],
+            num_trees: 1,
+        };
+        let x = Matrix::from_vec(3, 1, vec![1.0, 5.0, 2.0]);
+        let mut pool = DynamicPooling::new();
+        let _ = pool.forward(&x, &topo);
+        let dx = pool.backward(&Matrix::from_vec(1, 1, vec![10.0]));
+        assert_eq!(dx.data(), &[0.0, 10.0, 0.0]);
+    }
+
+    /// Finite-difference gradient check through conv + pooling.
+    #[test]
+    fn numerical_gradient_check_through_stack() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut conv = TreeConv::new(3, 2, &mut rng);
+        let topo = tri_topology();
+        let x = Matrix::from_vec(3, 3, vec![0.3, -0.2, 0.9, 1.1, 0.0, -0.5, 0.2, 0.7, 0.4]);
+
+        let loss = |conv: &TreeConv, x: &Matrix| -> f32 {
+            let pool = DynamicPooling::new();
+            let y = conv.forward_inference(x, &tri_topology());
+            pool.forward_inference(&y, &tri_topology()).data().iter().sum()
+        };
+
+        let y = conv.forward(&x, &topo);
+        let mut pool = DynamicPooling::new();
+        let _ = pool.forward(&y, &topo);
+        let dpool = pool.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let dx = conv.backward(&dpool, &topo);
+
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let numeric = (loss(&conv, &xp) - loss(&conv, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - numeric).abs() < 1e-2,
+                "dx[{i}]: analytic {} vs numeric {numeric}",
+                dx.data()[i]
+            );
+        }
+        for i in 0..conv.w.value.len() {
+            let mut cp = conv.clone();
+            cp.w.value.data_mut()[i] += eps;
+            let mut cm = conv.clone();
+            cm.w.value.data_mut()[i] -= eps;
+            let numeric = (loss(&cp, &x) - loss(&cm, &x)) / (2.0 * eps);
+            assert!(
+                (conv.w.grad.data()[i] - numeric).abs() < 1e-2,
+                "dw[{i}]: analytic {} vs numeric {numeric}",
+                conv.w.grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn topology_validation_catches_errors() {
+        let mut topo = tri_topology();
+        assert!(topo.validate().is_ok());
+        topo.left[0] = 99;
+        assert!(topo.validate().is_err());
+        let mut topo2 = tri_topology();
+        topo2.num_trees = 2; // tree 1 has no nodes
+        assert!(topo2.validate().is_err());
+    }
+}

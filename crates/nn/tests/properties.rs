@@ -1,0 +1,110 @@
+//! Property-based tests for the neural-network substrate: algebraic
+//! identities of the tensor kernels and gradient-flow invariants of the
+//! layers.
+
+use neo_nn::{Matrix, Mlp, TreeConv, TreeTopology, NO_CHILD};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+
+    /// (A·B)·C == A·(B·C) up to floating-point tolerance.
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 3), b in matrix(3, 2), c in matrix(3, 2)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// matmul_tn(A, B) == matmul(transpose(A), B) checked elementwise.
+    #[test]
+    fn matmul_tn_is_transpose_matmul(a in matrix(4, 3), b in matrix(4, 2)) {
+        let fast = a.matmul_tn(&b);
+        // Build the explicit transpose.
+        let mut at = Matrix::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let slow = at.matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// An MLP forward pass never produces NaN/Inf on bounded inputs.
+    #[test]
+    fn mlp_outputs_are_finite(x in matrix(4, 6), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[6, 12, 3], true, false, &mut rng);
+        let y = mlp.forward_inference(&x);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Tree convolution output depends only on each node's (self, left,
+    /// right) triple: nodes with identical triples get identical outputs.
+    #[test]
+    fn tree_conv_is_local(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = TreeConv::new(4, 6, &mut rng);
+        // Two trees with identical leaf feature patterns.
+        let topo = TreeTopology {
+            left: vec![1, NO_CHILD, NO_CHILD, 4, NO_CHILD, NO_CHILD],
+            right: vec![2, NO_CHILD, NO_CHILD, 5, NO_CHILD, NO_CHILD],
+            tree_of: vec![0, 0, 0, 1, 1, 1],
+            num_trees: 2,
+        };
+        let mut feats = Matrix::zeros(6, 4);
+        for (i, row) in [[1.0, 0.0, 0.0, 0.5], [0.0, 1.0, 0.0, 0.0], [0.0, 0.0, 1.0, 0.0],
+                         [1.0, 0.0, 0.0, 0.5], [0.0, 1.0, 0.0, 0.0], [0.0, 0.0, 1.0, 0.0]]
+            .iter()
+            .enumerate()
+        {
+            feats.row_mut(i).copy_from_slice(row);
+        }
+        let y = conv.forward_inference(&feats, &topo);
+        for c in 0..6 {
+            prop_assert!((y.get(0, c) - y.get(3, c)).abs() < 1e-6);
+            prop_assert!((y.get(1, c) - y.get(4, c)).abs() < 1e-6);
+        }
+    }
+
+    /// Gradient accumulation: two backward passes double the gradient.
+    #[test]
+    fn linear_gradients_accumulate_linearly(x in matrix(2, 3), seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lin = neo_nn::Linear::new(3, 2, &mut rng);
+        let dy = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        let g1: Vec<f32> = lin.w.grad.data().to_vec();
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        for (a, b) in lin.w.grad.data().iter().zip(&g1) {
+            prop_assert!((a - 2.0 * b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # neo-query — query & plan representation for the Neo reproduction
+//!
+//! The logical and physical query model of the paper (§3):
+//!
+//! * [`query::Query`] — project-select-equijoin-aggregate queries: base
+//!   relations `R(q)`, an equi-join graph, and selection
+//!   [`predicate::Predicate`]s;
+//! * [`plan`] — physical plan trees with hash/merge/loop joins and
+//!   table/index/unspecified scans, *partial plans* as forests, the subplan
+//!   relation `P_i ⊂ P_j`, and the `Children(P_i)` neighbourhood that
+//!   Neo's best-first search expands (§4.2);
+//! * [`workload`] — the JOB-like, Ext-JOB, TPC-H-like and Corp-like
+//!   workload generators (§6.1, §6.4.2).
+
+pub mod explain;
+pub mod plan;
+pub mod predicate;
+pub mod query;
+pub mod workload;
+
+pub use explain::explain;
+pub use plan::{children, JoinOp, PartialPlan, PlanNode, QueryContext, RelMask, ScanType};
+pub use predicate::{CmpOp, Predicate};
+pub use query::{Aggregate, JoinEdge, Query};
+pub use workload::Workload;

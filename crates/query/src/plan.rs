@@ -1,0 +1,625 @@
+//! Physical execution plans: join trees with scan leaves, partial plans
+//! (forests), and the search-space neighbourhood (paper §3.1, §4.2).
+//!
+//! A *partial* plan is a forest; leaves are table scans `T(r)`, index scans
+//! `I(r)` or unspecified scans `U(r)`. A *complete* plan is a single tree
+//! with no unspecified scans. The children of a partial plan `P_i` are all
+//! plans obtainable by (1) specifying one unspecified scan, or (2) merging
+//! two root trees with a join operator — exactly the paper's
+//! `Children(P_i)` definition.
+
+use crate::query::Query;
+use neo_storage::Database;
+use std::fmt::Write as _;
+
+/// Relation-set bitmask (relation index = position in `Query::tables`).
+pub type RelMask = u64;
+
+/// Join operators (`J`, paper §3.1). `|J| = 3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinOp {
+    /// Hash join (`⋈_H`): build on the right input, probe with the left.
+    Hash,
+    /// Sort-merge join (`⋈_M`).
+    Merge,
+    /// (Index-)nested-loop join (`⋈_L`): right input is the inner side.
+    Loop,
+}
+
+impl JoinOp {
+    /// All join operators, in encoding order.
+    pub const ALL: [JoinOp; 3] = [JoinOp::Hash, JoinOp::Merge, JoinOp::Loop];
+
+    /// Position in the one-hot join-type encoding (paper §3.2).
+    pub fn index(self) -> usize {
+        match self {
+            JoinOp::Hash => 0,
+            JoinOp::Merge => 1,
+            JoinOp::Loop => 2,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinOp::Hash => "HJ",
+            JoinOp::Merge => "MJ",
+            JoinOp::Loop => "LJ",
+        }
+    }
+}
+
+/// Scan types for leaf nodes (paper §3.1: `T(r)`, `I(r)`, `U(r)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScanType {
+    /// Full table scan.
+    Table,
+    /// Index scan.
+    Index,
+    /// Not yet decided (treated as both table and index in the encoding).
+    Unspecified,
+}
+
+/// A node in a plan tree.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PlanNode {
+    /// A scan of relation `rel` (index into `Query::tables`).
+    Scan {
+        /// Relation index within the query.
+        rel: usize,
+        /// Access path.
+        scan: ScanType,
+    },
+    /// A binary join.
+    Join {
+        /// Join algorithm.
+        op: JoinOp,
+        /// Left (outer / probe) input.
+        left: Box<PlanNode>,
+        /// Right (inner / build) input.
+        right: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Bitmask of the relations in this subtree.
+    pub fn rel_mask(&self) -> RelMask {
+        match self {
+            PlanNode::Scan { rel, .. } => 1 << rel,
+            PlanNode::Join { left, right, .. } => left.rel_mask() | right.rel_mask(),
+        }
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 1,
+            PlanNode::Join { left, right, .. } => 1 + left.num_nodes() + right.num_nodes(),
+        }
+    }
+
+    /// True when no `Unspecified` scans remain in this subtree.
+    pub fn fully_specified(&self) -> bool {
+        match self {
+            PlanNode::Scan { scan, .. } => *scan != ScanType::Unspecified,
+            PlanNode::Join { left, right, .. } => left.fully_specified() && right.fully_specified(),
+        }
+    }
+
+    /// Collects every subtree of this tree (including itself and leaves),
+    /// in post-order. Used to derive training states (paper §4: the value
+    /// of a partial plan bounds every completion containing its subtrees).
+    pub fn subtrees(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::new();
+        self.collect_subtrees(&mut out);
+        out
+    }
+
+    fn collect_subtrees<'a>(&'a self, out: &mut Vec<&'a PlanNode>) {
+        if let PlanNode::Join { left, right, .. } = self {
+            left.collect_subtrees(out);
+            right.collect_subtrees(out);
+        }
+        out.push(self);
+    }
+
+    /// True when `self` appears as a subtree of `other` under the subplan
+    /// relation: every join of `self` appears in `other`, and every
+    /// specified scan of `self` matches (an `Unspecified` scan of `self`
+    /// is subsumed by any scan of the same relation).
+    pub fn subsumed_by(&self, other: &PlanNode) -> bool {
+        if self.matches_root(other) {
+            return true;
+        }
+        match other {
+            PlanNode::Scan { .. } => false,
+            PlanNode::Join { left, right, .. } => self.subsumed_by(left) || self.subsumed_by(right),
+        }
+    }
+
+    fn matches_root(&self, other: &PlanNode) -> bool {
+        match (self, other) {
+            (PlanNode::Scan { rel: a, scan: sa }, PlanNode::Scan { rel: b, scan: sb }) => {
+                a == b && (*sa == ScanType::Unspecified || sa == sb)
+            }
+            (
+                PlanNode::Join { op: oa, left: la, right: ra },
+                PlanNode::Join { op: ob, left: lb, right: rb },
+            ) => oa == ob && la.matches_root(lb) && ra.matches_root(rb),
+            _ => false,
+        }
+    }
+
+    /// Compact display, e.g. `HJ(MJ(T(0),I(2)),U(1))`.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        self.write_describe(&mut s);
+        s
+    }
+
+    fn write_describe(&self, s: &mut String) {
+        match self {
+            PlanNode::Scan { rel, scan } => {
+                let tag = match scan {
+                    ScanType::Table => 'T',
+                    ScanType::Index => 'I',
+                    ScanType::Unspecified => 'U',
+                };
+                let _ = write!(s, "{tag}({rel})");
+            }
+            PlanNode::Join { op, left, right } => {
+                let _ = write!(s, "{}(", op.name());
+                left.write_describe(s);
+                s.push(',');
+                right.write_describe(s);
+                s.push(')');
+            }
+        }
+    }
+}
+
+/// A partial execution plan: a forest of join trees covering all relations
+/// of a query exactly once.
+///
+/// # Examples
+///
+/// Walking the search space from the initial state to a complete plan:
+///
+/// ```
+/// use neo_query::{children, PartialPlan, QueryContext};
+/// use neo_query::workload::job;
+/// use neo_storage::datagen::imdb;
+///
+/// let db = imdb::generate(0.02, 1);
+/// let q = &job::generate(&db, 1).queries[0];
+/// let ctx = QueryContext::new(&db, q);
+/// let mut plan = PartialPlan::initial(q);
+/// while !plan.is_complete() {
+///     let kids = children(&plan, &ctx);
+///     plan = kids.into_iter().next().unwrap();
+/// }
+/// assert_eq!(plan.rel_mask(), (1u64 << q.num_relations()) - 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PartialPlan {
+    /// The root trees. Order is canonical: sorted by smallest relation
+    /// index in each tree, maintained by the constructors.
+    pub roots: Vec<PlanNode>,
+}
+
+impl PartialPlan {
+    /// The initial search state `P_0 = [U(r) | r ∈ R(q)]` (paper §4.2).
+    pub fn initial(query: &Query) -> Self {
+        PartialPlan {
+            roots: (0..query.num_relations())
+                .map(|rel| PlanNode::Scan { rel, scan: ScanType::Unspecified })
+                .collect(),
+        }
+    }
+
+    /// Wraps a single complete tree.
+    pub fn from_tree(root: PlanNode) -> Self {
+        PartialPlan { roots: vec![root] }
+    }
+
+    /// True when a single tree remains and every scan is specified.
+    pub fn is_complete(&self) -> bool {
+        self.roots.len() == 1 && self.roots[0].fully_specified()
+    }
+
+    /// Union of all root relation masks.
+    pub fn rel_mask(&self) -> RelMask {
+        self.roots.iter().map(|r| r.rel_mask()).fold(0, |a, b| a | b)
+    }
+
+    /// Total node count across the forest.
+    pub fn num_nodes(&self) -> usize {
+        self.roots.iter().map(|r| r.num_nodes()).sum()
+    }
+
+    /// The complete tree, if complete.
+    pub fn as_complete(&self) -> Option<&PlanNode> {
+        if self.is_complete() {
+            Some(&self.roots[0])
+        } else {
+            None
+        }
+    }
+
+    /// Compact display of the forest.
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = self.roots.iter().map(|r| r.describe()).collect();
+        parts.join(" | ")
+    }
+
+    fn canonicalize(&mut self) {
+        self.roots.sort_by_key(|r| r.rel_mask().trailing_zeros());
+    }
+
+    /// The paper's subplan relation `self ⊂ other`: `other` is constructible
+    /// from `self` by specifying scans and joining trees. Equivalently,
+    /// every root tree of `self` must be subsumed somewhere in `other`.
+    pub fn subplan_of(&self, other: &PartialPlan) -> bool {
+        self.roots.iter().all(|r| other.roots.iter().any(|o| r.subsumed_by(o)))
+    }
+}
+
+/// Per-query, per-database context for children enumeration: which
+/// relations may legally use an index scan and which root pairs may join.
+#[derive(Clone, Debug)]
+pub struct QueryContext {
+    /// `adj[i]`: mask of relations sharing a join edge with relation `i`.
+    pub adjacency: Vec<RelMask>,
+    /// `index_ok[i]`: relation `i` has an index on a join or predicate
+    /// column, so `I(r)` is a legal access path.
+    pub index_ok: Vec<bool>,
+}
+
+impl QueryContext {
+    /// Builds the context.
+    pub fn new(db: &Database, query: &Query) -> Self {
+        let n = query.num_relations();
+        let adjacency = query.adjacency();
+        let mut index_ok = vec![false; n];
+        for (i, &t) in query.tables.iter().enumerate() {
+            let mut cols: Vec<usize> = Vec::new();
+            for e in &query.joins {
+                if e.left_table == t {
+                    cols.push(e.left_col);
+                }
+                if e.right_table == t {
+                    cols.push(e.right_col);
+                }
+            }
+            for p in &query.predicates {
+                if p.table() == t {
+                    cols.push(p.col());
+                }
+            }
+            index_ok[i] = cols.iter().any(|&c| db.has_index(t, c));
+        }
+        QueryContext { adjacency, index_ok }
+    }
+
+    /// True when some join edge connects the two (disjoint) relation sets —
+    /// the no-cross-product rule.
+    pub fn connected(&self, a: RelMask, b: RelMask) -> bool {
+        let mut m = a;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.adjacency[i] & b != 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Enumerates `Children(P_i)` (paper §4.2): all plans one decision away.
+///
+/// * For every `Unspecified` scan leaf (anywhere in the forest): a child
+///   specifying it as a table scan, plus one as an index scan when legal.
+/// * For every ordered pair of join-connected roots and every join
+///   operator: a child merging them. Ordered pairs matter because build
+///   (hash), inner (loop) and outer sides have different costs.
+///
+/// Returns an empty vector iff the plan is complete.
+pub fn children(plan: &PartialPlan, ctx: &QueryContext) -> Vec<PartialPlan> {
+    let mut out = Vec::new();
+
+    // (1) Specify one unspecified scan (leaves can sit under joins).
+    for (root_idx, root) in plan.roots.iter().enumerate() {
+        let mut path = Vec::new();
+        specify_scans(root, &mut path, &mut |path, rel| {
+            let options: &[ScanType] = if ctx.index_ok[rel] {
+                &[ScanType::Table, ScanType::Index]
+            } else {
+                &[ScanType::Table]
+            };
+            for &scan in options {
+                let mut new_plan = plan.clone();
+                replace_at(&mut new_plan.roots[root_idx], path, PlanNode::Scan { rel, scan });
+                out.push(new_plan);
+            }
+        });
+    }
+
+    // (2) Merge two join-connected roots with each operator.
+    let masks: Vec<RelMask> = plan.roots.iter().map(|r| r.rel_mask()).collect();
+    for i in 0..plan.roots.len() {
+        for j in 0..plan.roots.len() {
+            if i == j || !ctx.connected(masks[i], masks[j]) {
+                continue;
+            }
+            for op in JoinOp::ALL {
+                let mut roots = Vec::with_capacity(plan.roots.len() - 1);
+                for (k, r) in plan.roots.iter().enumerate() {
+                    if k != i && k != j {
+                        roots.push(r.clone());
+                    }
+                }
+                roots.push(PlanNode::Join {
+                    op,
+                    left: Box::new(plan.roots[i].clone()),
+                    right: Box::new(plan.roots[j].clone()),
+                });
+                let mut p = PartialPlan { roots };
+                p.canonicalize();
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Depth-first walk that invokes `f(path, rel)` for every unspecified scan;
+/// `path` is the sequence of left(false)/right(true) turns from the root.
+fn specify_scans(
+    node: &PlanNode,
+    path: &mut Vec<bool>,
+    f: &mut impl FnMut(&[bool], usize),
+) {
+    match node {
+        PlanNode::Scan { rel, scan } => {
+            if *scan == ScanType::Unspecified {
+                f(path, *rel);
+            }
+        }
+        PlanNode::Join { left, right, .. } => {
+            path.push(false);
+            specify_scans(left, path, f);
+            path.pop();
+            path.push(true);
+            specify_scans(right, path, f);
+            path.pop();
+        }
+    }
+}
+
+fn replace_at(node: &mut PlanNode, path: &[bool], replacement: PlanNode) {
+    if path.is_empty() {
+        *node = replacement;
+        return;
+    }
+    match node {
+        PlanNode::Join { left, right, .. } => {
+            if path[0] {
+                replace_at(right, &path[1..], replacement);
+            } else {
+                replace_at(left, &path[1..], replacement);
+            }
+        }
+        PlanNode::Scan { .. } => unreachable!("path descends into a scan"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Aggregate, JoinEdge};
+    use neo_storage::{Column, ForeignKey, Table};
+
+    fn db_chain(n: usize) -> Database {
+        // Tables t0..t(n-1); t(i).prev -> t(i-1).id
+        let mut tables = Vec::new();
+        for i in 0..n {
+            tables.push(Table::new(
+                &format!("t{i}"),
+                vec![Column::int("id", vec![1, 2]), Column::int("prev", vec![1, 1])],
+            ));
+        }
+        let mut fks = Vec::new();
+        let mut indexed = Vec::new();
+        for i in 0..n {
+            indexed.push((i, 0));
+            if i > 0 {
+                fks.push(ForeignKey { from_table: i, from_col: 1, to_table: i - 1, to_col: 0 });
+                indexed.push((i, 1));
+            }
+        }
+        Database::build("chain", tables, fks, indexed)
+    }
+
+    fn chain_query(n: usize) -> Query {
+        Query {
+            id: "q".into(),
+            family: "f".into(),
+            tables: (0..n).collect(),
+            joins: (1..n)
+                .map(|i| JoinEdge { left_table: i, left_col: 1, right_table: i - 1, right_col: 0 })
+                .collect(),
+            predicates: vec![],
+            agg: Aggregate::CountStar,
+        }
+    }
+
+    #[test]
+    fn initial_plan_is_all_unspecified() {
+        let q = chain_query(4);
+        let p = PartialPlan::initial(&q);
+        assert_eq!(p.roots.len(), 4);
+        assert!(!p.is_complete());
+        assert_eq!(p.rel_mask(), 0b1111);
+        assert_eq!(p.describe(), "U(0) | U(1) | U(2) | U(3)");
+    }
+
+    #[test]
+    fn children_of_initial_state() {
+        let db = db_chain(3);
+        let q = chain_query(3);
+        let ctx = QueryContext::new(&db, &q);
+        let p = PartialPlan::initial(&q);
+        let kids = children(&p, &ctx);
+        // Scans: rel0 (table+index), rel1 (table+index), rel2 (table+index) = 6.
+        // Joins: connected ordered pairs (0,1),(1,0),(1,2),(2,1) × 3 ops = 12.
+        assert_eq!(kids.len(), 18);
+        // All children are strict superplans of p.
+        for k in &kids {
+            assert!(p.subplan_of(k));
+            assert!(!k.subplan_of(&p) || k == &p);
+        }
+    }
+
+    #[test]
+    fn children_respect_no_cross_product() {
+        let db = db_chain(3);
+        let q = chain_query(3);
+        let ctx = QueryContext::new(&db, &q);
+        let p = PartialPlan::initial(&q);
+        for k in children(&p, &ctx) {
+            for root in &k.roots {
+                if let PlanNode::Join { left, right, .. } = root {
+                    assert!(ctx.connected(left.rel_mask(), right.rel_mask()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_plan_has_no_children() {
+        let db = db_chain(2);
+        let q = chain_query(2);
+        let ctx = QueryContext::new(&db, &q);
+        let tree = PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Index }),
+        };
+        let p = PartialPlan::from_tree(tree);
+        assert!(p.is_complete());
+        assert!(children(&p, &ctx).is_empty());
+    }
+
+    #[test]
+    fn greedy_descent_reaches_complete_plan() {
+        // Repeatedly taking the first child must terminate in a complete plan.
+        let db = db_chain(5);
+        let q = chain_query(5);
+        let ctx = QueryContext::new(&db, &q);
+        let mut p = PartialPlan::initial(&q);
+        let mut steps = 0;
+        while !p.is_complete() {
+            let kids = children(&p, &ctx);
+            assert!(!kids.is_empty(), "stuck at {}", p.describe());
+            p = kids.into_iter().next().unwrap();
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(p.rel_mask(), 0b11111);
+        // 5 scans specified + 4 joins = 9 decisions.
+        assert_eq!(steps, 9);
+    }
+
+    #[test]
+    fn unspecified_scan_under_join_can_be_specified() {
+        let db = db_chain(2);
+        let q = chain_query(2);
+        let ctx = QueryContext::new(&db, &q);
+        let tree = PlanNode::Join {
+            op: JoinOp::Merge,
+            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Unspecified }),
+            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+        };
+        let p = PartialPlan::from_tree(tree);
+        let kids = children(&p, &ctx);
+        // rel0 can become table or index scan; no joins remain.
+        assert_eq!(kids.len(), 2);
+        assert!(kids.iter().all(|k| k.roots.len() == 1));
+    }
+
+    #[test]
+    fn subplan_relation_paper_example() {
+        // P = [(T(D) ⋈M T(A)) ⋈L I(C)], [U(B)] is a subplan of the complete
+        // plan joining B in with any scan choice.
+        let sub = PartialPlan {
+            roots: vec![
+                PlanNode::Join {
+                    op: JoinOp::Loop,
+                    left: Box::new(PlanNode::Join {
+                        op: JoinOp::Merge,
+                        left: Box::new(PlanNode::Scan { rel: 3, scan: ScanType::Table }),
+                        right: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+                    }),
+                    right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+                },
+                PlanNode::Scan { rel: 1, scan: ScanType::Unspecified },
+            ],
+        };
+        let complete = PartialPlan::from_tree(PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Join {
+                op: JoinOp::Loop,
+                left: Box::new(PlanNode::Join {
+                    op: JoinOp::Merge,
+                    left: Box::new(PlanNode::Scan { rel: 3, scan: ScanType::Table }),
+                    right: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+                }),
+                right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+            }),
+            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+        });
+        assert!(sub.subplan_of(&complete));
+        assert!(!complete.subplan_of(&sub));
+    }
+
+    #[test]
+    fn subplan_rejects_different_operator() {
+        let a = PartialPlan::from_tree(PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+        });
+        let b = PartialPlan::from_tree(PlanNode::Join {
+            op: JoinOp::Merge,
+            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+        });
+        assert!(!a.subplan_of(&b));
+    }
+
+    #[test]
+    fn subtrees_count() {
+        let tree = PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+            right: Box::new(PlanNode::Join {
+                op: JoinOp::Loop,
+                left: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+                right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+            }),
+        };
+        assert_eq!(tree.subtrees().len(), 5);
+        assert_eq!(tree.num_nodes(), 5);
+    }
+
+    #[test]
+    fn describe_roundtrip_shape() {
+        let tree = PlanNode::Join {
+            op: JoinOp::Merge,
+            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Index }),
+        };
+        assert_eq!(tree.describe(), "MJ(T(0),I(1))");
+    }
+}

@@ -1,0 +1,136 @@
+//! Column predicates. Neo supports project-select-equijoin-aggregate
+//! queries (paper §1); the selection predicates here cover what the JOB,
+//! TPC-H and Corp workloads need: integer comparisons/ranges, string
+//! equality, and substring containment (the paper's `ILIKE '%…%'`).
+
+use std::fmt;
+
+/// Comparison operator for integer predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single-table selection predicate. `table`/`col` are database-global
+/// table and column ids.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `t.c <op> value`
+    IntCmp {
+        /// Table id.
+        table: usize,
+        /// Column id within the table.
+        col: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: i64,
+    },
+    /// `t.c BETWEEN lo AND hi` (inclusive).
+    IntBetween {
+        /// Table id.
+        table: usize,
+        /// Column id within the table.
+        col: usize,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// `t.c = 'value'` on a string column.
+    StrEq {
+        /// Table id.
+        table: usize,
+        /// Column id within the table.
+        col: usize,
+        /// Literal string.
+        value: String,
+    },
+    /// `t.c ILIKE '%needle%'` (case-insensitive containment).
+    StrContains {
+        /// Table id.
+        table: usize,
+        /// Column id within the table.
+        col: usize,
+        /// Substring searched for.
+        needle: String,
+    },
+}
+
+impl Predicate {
+    /// The table this predicate filters.
+    pub fn table(&self) -> usize {
+        match self {
+            Predicate::IntCmp { table, .. }
+            | Predicate::IntBetween { table, .. }
+            | Predicate::StrEq { table, .. }
+            | Predicate::StrContains { table, .. } => *table,
+        }
+    }
+
+    /// The column this predicate filters (within [`Self::table`]).
+    pub fn col(&self) -> usize {
+        match self {
+            Predicate::IntCmp { col, .. }
+            | Predicate::IntBetween { col, .. }
+            | Predicate::StrEq { col, .. }
+            | Predicate::StrContains { col, .. } => *col,
+        }
+    }
+
+    /// A stable human-readable rendering (used in query ids and debugging).
+    pub fn describe(&self, table_name: &str, col_name: &str) -> String {
+        match self {
+            Predicate::IntCmp { op, value, .. } => format!("{table_name}.{col_name} {op} {value}"),
+            Predicate::IntBetween { lo, hi, .. } => {
+                format!("{table_name}.{col_name} BETWEEN {lo} AND {hi}")
+            }
+            Predicate::StrEq { value, .. } => format!("{table_name}.{col_name} = '{value}'"),
+            Predicate::StrContains { needle, .. } => {
+                format!("{table_name}.{col_name} ILIKE '%{needle}%'")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = Predicate::IntCmp { table: 3, col: 2, op: CmpOp::Lt, value: 5 };
+        assert_eq!(p.table(), 3);
+        assert_eq!(p.col(), 2);
+    }
+
+    #[test]
+    fn describe_renders_sql_like() {
+        let p = Predicate::StrContains { table: 0, col: 1, needle: "love".into() };
+        assert_eq!(p.describe("keyword", "keyword"), "keyword.keyword ILIKE '%love%'");
+        let q = Predicate::IntBetween { table: 0, col: 0, lo: 1990, hi: 2000 };
+        assert_eq!(q.describe("title", "production_year"), "title.production_year BETWEEN 1990 AND 2000");
+    }
+}

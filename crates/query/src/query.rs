@@ -1,0 +1,258 @@
+//! Logical queries: a set of base relations, an equi-join graph over them,
+//! and selection predicates (paper §3.1).
+
+use crate::predicate::Predicate;
+use neo_storage::Database;
+
+/// An equi-join predicate between two table columns (database-global ids).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JoinEdge {
+    /// Left table id.
+    pub left_table: usize,
+    /// Left column id.
+    pub left_col: usize,
+    /// Right table id.
+    pub right_table: usize,
+    /// Right column id.
+    pub right_col: usize,
+}
+
+/// The aggregate computed by the query (Neo is restricted to
+/// project-select-equijoin-aggregate queries, §1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Aggregate {
+    /// `SELECT count(*)`
+    #[default]
+    CountStar,
+    /// `SELECT sum(t.c)`
+    Sum {
+        /// Table id.
+        table: usize,
+        /// Column id.
+        col: usize,
+    },
+}
+
+/// A logical query: `R(q)`, its join graph, and its predicates.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Workload-unique id, e.g. `"16b"` (JOB style).
+    pub id: String,
+    /// Template/family id — used for template-aware train/test splits
+    /// (the paper's TPC-H split never reuses templates, §6.1).
+    pub family: String,
+    /// The base relations `R(q)`: database table ids, sorted, unique.
+    pub tables: Vec<usize>,
+    /// Equi-join edges. The induced graph over `tables` must be connected.
+    pub joins: Vec<JoinEdge>,
+    /// Selection predicates.
+    pub predicates: Vec<Predicate>,
+    /// Output aggregate.
+    pub agg: Aggregate,
+}
+
+impl Query {
+    /// Number of relations (`|R(q)|`).
+    pub fn num_relations(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of joins performed (edges in the join graph); the paper's
+    /// figures group queries by this (`n-1` for a tree-shaped graph of `n`
+    /// relations, possibly more with cycles).
+    pub fn num_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Relation index (position in `tables`) of a table id.
+    pub fn rel_of(&self, table: usize) -> Option<usize> {
+        self.tables.iter().position(|&t| t == table)
+    }
+
+    /// Per-relation adjacency masks: bit `j` of `adj[i]` is set when
+    /// relations `i` and `j` share a join edge.
+    pub fn adjacency(&self) -> Vec<u64> {
+        let n = self.tables.len();
+        let mut adj = vec![0u64; n];
+        for e in &self.joins {
+            if let (Some(a), Some(b)) = (self.rel_of(e.left_table), self.rel_of(e.right_table)) {
+                adj[a] |= 1 << b;
+                adj[b] |= 1 << a;
+            }
+        }
+        adj
+    }
+
+    /// True when the join graph connects all relations (required for plans
+    /// without cross products).
+    pub fn is_connected(&self) -> bool {
+        let n = self.tables.len();
+        if n == 0 {
+            return false;
+        }
+        let adj = self.adjacency();
+        let mut seen = 1u64;
+        let mut frontier = 1u64;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let i = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= adj[i] & !seen;
+            }
+            seen |= next;
+            frontier = next;
+        }
+        seen.count_ones() as usize == n
+    }
+
+    /// Validates the query against a database: tables in range, sorted
+    /// and unique; joins/predicates reference member tables and in-range
+    /// columns; graph connected.
+    pub fn validate(&self, db: &Database) -> Result<(), String> {
+        if self.tables.is_empty() {
+            return Err("query with no tables".into());
+        }
+        if !self.tables.windows(2).all(|w| w[0] < w[1]) {
+            return Err("tables not sorted/unique".into());
+        }
+        for &t in &self.tables {
+            if t >= db.num_tables() {
+                return Err(format!("table id {t} out of range"));
+            }
+        }
+        for e in &self.joins {
+            for (t, c) in [(e.left_table, e.left_col), (e.right_table, e.right_col)] {
+                if self.rel_of(t).is_none() {
+                    return Err(format!("join references non-member table {t}"));
+                }
+                if c >= db.tables[t].num_cols() {
+                    return Err(format!("join column {c} out of range for table {t}"));
+                }
+            }
+        }
+        for p in &self.predicates {
+            if self.rel_of(p.table()).is_none() {
+                return Err(format!("predicate references non-member table {}", p.table()));
+            }
+            if p.col() >= db.tables[p.table()].num_cols() {
+                return Err("predicate column out of range".into());
+            }
+        }
+        if self.tables.len() > 64 {
+            return Err("more than 64 relations unsupported".into());
+        }
+        if !self.is_connected() {
+            return Err(format!("join graph of query {} is not connected", self.id));
+        }
+        Ok(())
+    }
+
+    /// SQL-ish rendering for logs and examples.
+    pub fn to_sql(&self, db: &Database) -> String {
+        let froms: Vec<String> = self.tables.iter().map(|&t| db.tables[t].name.clone()).collect();
+        let mut conds: Vec<String> = self
+            .joins
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}.{} = {}.{}",
+                    db.tables[e.left_table].name,
+                    db.tables[e.left_table].columns[e.left_col].name,
+                    db.tables[e.right_table].name,
+                    db.tables[e.right_table].columns[e.right_col].name
+                )
+            })
+            .collect();
+        for p in &self.predicates {
+            conds.push(p.describe(&db.tables[p.table()].name, &db.tables[p.table()].columns[p.col()].name));
+        }
+        let agg = match &self.agg {
+            Aggregate::CountStar => "count(*)".to_string(),
+            Aggregate::Sum { table, col } => {
+                format!("sum({}.{})", db.tables[*table].name, db.tables[*table].columns[*col].name)
+            }
+        };
+        format!("SELECT {agg} FROM {} WHERE {};", froms.join(", "), conds.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_storage::{Column, ForeignKey, Table};
+
+    fn db3() -> Database {
+        let a = Table::new("a", vec![Column::int("id", vec![1]), Column::int("x", vec![1])]);
+        let b = Table::new("b", vec![Column::int("id", vec![1]), Column::int("a_id", vec![1])]);
+        let c = Table::new("c", vec![Column::int("id", vec![1]), Column::int("b_id", vec![1])]);
+        Database::build(
+            "t",
+            vec![a, b, c],
+            vec![
+                ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 },
+                ForeignKey { from_table: 2, from_col: 1, to_table: 1, to_col: 0 },
+            ],
+            vec![],
+        )
+    }
+
+    fn chain_query() -> Query {
+        Query {
+            id: "q1".into(),
+            family: "f1".into(),
+            tables: vec![0, 1, 2],
+            joins: vec![
+                JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 },
+                JoinEdge { left_table: 2, left_col: 1, right_table: 1, right_col: 0 },
+            ],
+            predicates: vec![],
+            agg: Aggregate::CountStar,
+        }
+    }
+
+    #[test]
+    fn connected_chain_validates() {
+        let db = db3();
+        let q = chain_query();
+        assert!(q.validate(&db).is_ok());
+        assert!(q.is_connected());
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.num_joins(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let db = db3();
+        let mut q = chain_query();
+        q.joins.pop();
+        assert!(q.validate(&db).unwrap_err().contains("not connected"));
+    }
+
+    #[test]
+    fn adjacency_masks() {
+        let q = chain_query();
+        let adj = q.adjacency();
+        assert_eq!(adj[0], 0b010);
+        assert_eq!(adj[1], 0b101);
+        assert_eq!(adj[2], 0b010);
+    }
+
+    #[test]
+    fn to_sql_renders() {
+        let db = db3();
+        let q = chain_query();
+        let sql = q.to_sql(&db);
+        assert!(sql.starts_with("SELECT count(*) FROM a, b, c WHERE "));
+        assert!(sql.contains("b.a_id = a.id"));
+    }
+
+    #[test]
+    fn unsorted_tables_rejected() {
+        let db = db3();
+        let mut q = chain_query();
+        q.tables = vec![1, 0, 2];
+        assert!(q.validate(&db).is_err());
+    }
+}

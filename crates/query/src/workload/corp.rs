@@ -1,0 +1,207 @@
+//! Corp-like workload: star-join dashboard queries over the Corp-like
+//! snowflake schema (stands in for the paper's 8,000-query internal
+//! dashboard workload, §6.1). Every query joins `fact_sales` with a subset
+//! of its dimensions, optionally snowflaking out to sub-dimensions.
+
+use super::{induced_join_edges, Workload};
+use crate::predicate::{CmpOp, Predicate};
+use crate::query::{Aggregate, Query};
+use neo_storage::datagen::corp::{CATEGORIES, CHANNELS, COUNTRIES, SEGMENTS};
+use neo_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of generated queries (scaled down from the paper's 8,000
+/// for laptop wall-clock; the family structure is what matters).
+pub const DEFAULT_COUNT: usize = 150;
+
+/// Number of dashboard "families" (distinct dimension combinations).
+pub const NUM_FAMILIES: usize = 25;
+
+/// Generates a Corp-like workload with `count` queries.
+pub fn generate(db: &Database, seed: u64, count: usize) -> Workload {
+    assert_eq!(db.name, "corp", "Corp workload requires the Corp-like database");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0);
+    let fact = db.table_id("fact_sales").unwrap();
+    let dims = ["dim_date", "dim_customer", "dim_product", "dim_region", "dim_channel", "dim_employee"];
+    // Snowflake extensions keyed by the dim that enables them.
+    let snowflake: &[(&str, &str)] = &[
+        ("dim_region", "country"),
+        ("dim_product", "product_category"),
+        ("dim_customer", "country"),
+        ("dim_employee", "dim_region"),
+    ];
+
+    // Build family table-sets deterministically.
+    let mut families: Vec<Vec<usize>> = Vec::new();
+    while families.len() < NUM_FAMILIES {
+        let k = 1 + families.len() % dims.len();
+        let mut chosen: Vec<&str> = Vec::new();
+        let mut pool: Vec<&str> = dims.to_vec();
+        for _ in 0..k {
+            let i = rng.gen_range(0..pool.len());
+            chosen.push(pool.remove(i));
+        }
+        // Snowflake with probability 0.5 per eligible edge.
+        let mut names: Vec<&str> = chosen.clone();
+        for (dim, sub) in snowflake {
+            if chosen.contains(dim) && rng.gen_bool(0.5) && !names.contains(sub) {
+                names.push(sub);
+            }
+        }
+        let mut tables: Vec<usize> = names.iter().map(|n| db.table_id(n).unwrap()).collect();
+        tables.push(fact);
+        tables.sort_unstable();
+        tables.dedup();
+        if !families.contains(&tables) {
+            families.push(tables);
+        }
+    }
+
+    let mut queries = Vec::new();
+    let per_family = count.div_ceil(NUM_FAMILIES);
+    'outer: for (fam, tables) in families.iter().enumerate() {
+        let joins = induced_join_edges(db, tables);
+        for v in 0..per_family {
+            let q = Query {
+                id: format!("corp{}_{}", fam + 1, v + 1),
+                family: format!("corp{}", fam + 1),
+                tables: tables.clone(),
+                joins: joins.clone(),
+                predicates: dashboard_predicates(db, tables, &mut rng),
+                agg: Aggregate::CountStar,
+            };
+            debug_assert!(q.validate(db).is_ok(), "{}: {:?}", q.id, q.validate(db));
+            queries.push(q);
+            if queries.len() >= count {
+                break 'outer;
+            }
+        }
+    }
+    Workload { name: "corp".into(), queries }
+}
+
+fn dashboard_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Predicate> {
+    let mut out = Vec::new();
+    for &t in tables {
+        if out.len() >= 3 {
+            break;
+        }
+        let table = &db.tables[t];
+        let col = |n: &str| table.col_id(n).unwrap();
+        match table.name.as_str() {
+            "dim_date" => {
+                if rng.gen_bool(0.6) {
+                    out.push(Predicate::IntCmp {
+                        table: t,
+                        col: col("year"),
+                        op: CmpOp::Eq,
+                        value: rng.gen_range(2015..2019) as i64,
+                    });
+                } else {
+                    out.push(Predicate::IntCmp {
+                        table: t,
+                        col: col("quarter"),
+                        op: CmpOp::Eq,
+                        value: rng.gen_range(1..5) as i64,
+                    });
+                }
+            }
+            "dim_customer" => out.push(Predicate::StrEq {
+                table: t,
+                col: col("segment"),
+                value: SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into(),
+            }),
+            "product_category" => out.push(Predicate::StrEq {
+                table: t,
+                col: col("name"),
+                value: CATEGORIES[rng.gen_range(0..CATEGORIES.len())].into(),
+            }),
+            "dim_channel" => out.push(Predicate::StrEq {
+                table: t,
+                col: col("name"),
+                value: CHANNELS[rng.gen_range(0..CHANNELS.len())].into(),
+            }),
+            "country" => out.push(Predicate::StrEq {
+                table: t,
+                col: col("name"),
+                value: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].into(),
+            }),
+            "dim_product" => {
+                if rng.gen_bool(0.5) {
+                    let lo = rng.gen_range(5..1_500) as i64;
+                    out.push(Predicate::IntBetween {
+                        table: t,
+                        col: col("list_price"),
+                        lo,
+                        hi: lo + rng.gen_range(50..400) as i64,
+                    });
+                }
+            }
+            "fact_sales" => {
+                if rng.gen_bool(0.4) {
+                    out.push(Predicate::IntCmp {
+                        table: t,
+                        col: col("amount"),
+                        op: CmpOp::Gt,
+                        value: rng.gen_range(100..4_000) as i64,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if out.is_empty() {
+        let t = *tables.iter().max().unwrap();
+        let table = &db.tables[t];
+        if table.name == "fact_sales" {
+            out.push(Predicate::IntCmp {
+                table: t,
+                col: table.col_id("quantity").unwrap(),
+                op: CmpOp::Lt,
+                value: rng.gen_range(5..18) as i64,
+            });
+        } else {
+            out.push(Predicate::IntCmp { table: t, col: 0, op: CmpOp::Ge, value: 0 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_storage::datagen::corp;
+
+    #[test]
+    fn generates_requested_count() {
+        let db = corp::generate(0.01, 1);
+        let wl = generate(&db, 5, 60);
+        assert_eq!(wl.queries.len(), 60);
+        for q in &wl.queries {
+            q.validate(&db).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_query_contains_fact_table() {
+        let db = corp::generate(0.01, 1);
+        let fact = db.table_id("fact_sales").unwrap();
+        let wl = generate(&db, 5, 60);
+        for q in &wl.queries {
+            assert!(q.tables.contains(&fact), "query {} lacks fact table", q.id);
+        }
+    }
+
+    #[test]
+    fn families_are_distinct_table_sets() {
+        let db = corp::generate(0.01, 1);
+        let wl = generate(&db, 5, DEFAULT_COUNT);
+        let mut by_family: std::collections::HashMap<&str, &Vec<usize>> = Default::default();
+        for q in &wl.queries {
+            by_family.entry(&q.family).or_insert(&q.tables);
+        }
+        let sets: std::collections::HashSet<_> = by_family.values().collect();
+        assert_eq!(sets.len(), by_family.len());
+    }
+}

@@ -1,0 +1,236 @@
+//! JOB-like workload: 113 queries in 33 families over the IMDB-like schema,
+//! mirroring the Join Order Benchmark's structure (paper §6.1): each family
+//! shares a join graph; variants differ in predicate constants; queries
+//! span 4–17 relations and carry correlation-sensitive predicates.
+
+use super::{induced_join_edges, sample_connected_tables, Workload};
+use crate::predicate::{CmpOp, Predicate};
+use crate::query::{Aggregate, Query};
+use neo_storage::datagen::imdb::{COUNTRIES, GENRES, GENRE_VOCAB};
+use neo_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of query families (JOB has 33).
+pub const NUM_FAMILIES: usize = 33;
+
+/// Generates the 113-query JOB-like workload.
+///
+/// # Panics
+/// Panics if `db` is not the IMDB-like database.
+pub fn generate(db: &Database, seed: u64) -> Workload {
+    assert_eq!(db.name, "imdb", "JOB workload requires the IMDB-like database");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let title = db.table_id("title").expect("title table");
+
+    let mut queries = Vec::new();
+    for fam in 0..NUM_FAMILIES {
+        // Sizes sweep 4..=17 (the JOB range, paper Fig. 16).
+        let size = 4 + fam % 14;
+        let tables = loop {
+            if let Some(t) = sample_connected_tables(db, title, size, &mut rng) {
+                break t;
+            }
+        };
+        let joins = induced_join_edges(db, &tables);
+        // First 14 families get 4 variants, the rest 3: 14*4 + 19*3 = 113.
+        let variants = if fam < 14 { 4 } else { 3 };
+        for v in 0..variants {
+            let id = format!("{}{}", fam + 1, (b'a' + v as u8) as char);
+            let predicates = sample_imdb_predicates(db, &tables, &mut rng);
+            let q = Query {
+                id,
+                family: format!("{}", fam + 1),
+                tables: tables.clone(),
+                joins: joins.clone(),
+                predicates,
+                agg: Aggregate::CountStar,
+            };
+            debug_assert!(q.validate(db).is_ok(), "{:?}", q.validate(db));
+            queries.push(q);
+        }
+    }
+    Workload { name: "job".into(), queries }
+}
+
+/// Samples 1–4 predicates over the member tables, using the
+/// correlation-bearing columns of the IMDB-like schema.
+pub(crate) fn sample_imdb_predicates(
+    db: &Database,
+    tables: &[usize],
+    rng: &mut StdRng,
+) -> Vec<Predicate> {
+    let mut candidates: Vec<usize> =
+        tables.iter().copied().filter(|&t| has_predicate_options(db, t)).collect();
+    // Shuffle candidates and take up to a random count.
+    for i in (1..candidates.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        candidates.swap(i, j);
+    }
+    let want = rng.gen_range(1..=4usize).min(candidates.len().max(1));
+    let mut out = Vec::new();
+    for &t in candidates.iter().take(want) {
+        out.extend(predicates_for_table(db, t, rng));
+    }
+    out
+}
+
+fn has_predicate_options(db: &Database, t: usize) -> bool {
+    matches!(
+        db.tables[t].name.as_str(),
+        "title"
+            | "movie_info"
+            | "keyword"
+            | "name"
+            | "company_name"
+            | "cast_info"
+            | "movie_companies"
+            | "person_info"
+            | "kind_type"
+    )
+}
+
+fn predicates_for_table(db: &Database, t: usize, rng: &mut StdRng) -> Vec<Predicate> {
+    let table = &db.tables[t];
+    let col = |n: &str| table.col_id(n).unwrap();
+    match table.name.as_str() {
+        "title" => {
+            if rng.gen_bool(0.7) {
+                let lo = 1950 + rng.gen_range(0..60) as i64;
+                let hi = lo + rng.gen_range(3..25) as i64;
+                vec![Predicate::IntBetween { table: t, col: col("production_year"), lo, hi }]
+            } else {
+                vec![Predicate::IntCmp {
+                    table: t,
+                    col: col("kind_id"),
+                    op: CmpOp::Eq,
+                    value: rng.gen_range(0..7) as i64,
+                }]
+            }
+        }
+        "movie_info" => {
+            // Mirrors JOB's `it.id = K AND mi.info = '…'` pattern: pin the
+            // info-type row and predicate its value.
+            if rng.gen_bool(0.6) {
+                vec![
+                    Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 2 },
+                    Predicate::StrEq {
+                        table: t,
+                        col: col("info"),
+                        value: GENRES[rng.gen_range(0..GENRES.len())].to_string(),
+                    },
+                ]
+            } else {
+                vec![
+                    Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 5 },
+                    Predicate::StrEq {
+                        table: t,
+                        col: col("info"),
+                        value: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].to_string(),
+                    },
+                ]
+            }
+        }
+        "keyword" => {
+            let g = rng.gen_range(0..GENRE_VOCAB.len());
+            let w = GENRE_VOCAB[g][rng.gen_range(0..5)];
+            vec![Predicate::StrContains { table: t, col: col("keyword"), needle: w.to_string() }]
+        }
+        "name" => vec![Predicate::StrEq {
+            table: t,
+            col: col("birth_country"),
+            value: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].to_string(),
+        }],
+        "company_name" => vec![Predicate::StrEq {
+            table: t,
+            col: col("country_code"),
+            value: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].to_string(),
+        }],
+        "cast_info" => vec![Predicate::IntCmp {
+            table: t,
+            col: col("role_id"),
+            op: CmpOp::Eq,
+            value: rng.gen_range(0..12) as i64,
+        }],
+        "movie_companies" => vec![Predicate::IntCmp {
+            table: t,
+            col: col("company_type_id"),
+            op: CmpOp::Eq,
+            value: rng.gen_range(0..4) as i64,
+        }],
+        "person_info" => vec![
+            Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 5 },
+            Predicate::StrEq {
+                table: t,
+                col: col("info"),
+                value: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].to_string(),
+            },
+        ],
+        "kind_type" => vec![Predicate::StrEq {
+            table: t,
+            col: col("kind"),
+            value: ["movie", "tv_series", "video"][rng.gen_range(0..3)].to_string(),
+        }],
+        other => unreachable!("no predicate options for {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_storage::datagen::imdb;
+
+    #[test]
+    fn generates_113_queries_in_33_families() {
+        let db = imdb::generate(0.02, 1);
+        let wl = generate(&db, 42);
+        assert_eq!(wl.queries.len(), 113);
+        let fams: std::collections::HashSet<_> = wl.queries.iter().map(|q| &q.family).collect();
+        assert_eq!(fams.len(), 33);
+    }
+
+    #[test]
+    fn all_queries_validate() {
+        let db = imdb::generate(0.02, 1);
+        let wl = generate(&db, 42);
+        for q in &wl.queries {
+            q.validate(&db).unwrap();
+            assert!(!q.predicates.is_empty(), "query {} has no predicates", q.id);
+        }
+    }
+
+    #[test]
+    fn sizes_span_4_to_17() {
+        let db = imdb::generate(0.02, 1);
+        let wl = generate(&db, 42);
+        let min = wl.queries.iter().map(|q| q.num_relations()).min().unwrap();
+        let max = wl.queries.iter().map(|q| q.num_relations()).max().unwrap();
+        assert_eq!(min, 4);
+        assert_eq!(max, 17);
+    }
+
+    #[test]
+    fn family_members_share_join_graph() {
+        let db = imdb::generate(0.02, 1);
+        let wl = generate(&db, 42);
+        for fam in ["1", "2", "3"] {
+            let members: Vec<_> = wl.queries.iter().filter(|q| q.family == fam).collect();
+            assert!(members.len() >= 3);
+            for m in &members[1..] {
+                assert_eq!(m.tables, members[0].tables);
+                assert_eq!(m.joins.len(), members[0].joins.len());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let db = imdb::generate(0.02, 1);
+        let a = generate(&db, 9);
+        let b = generate(&db, 9);
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.tables, y.tables);
+            assert_eq!(x.predicates, y.predicates);
+        }
+    }
+}

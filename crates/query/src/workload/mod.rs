@@ -1,0 +1,189 @@
+//! Workload generators mirroring the paper's three evaluation workloads
+//! (§6.1) plus the Ext-JOB generalization suite (§6.4.2).
+//!
+//! * [`job`] — 113 queries in 33 families over the IMDB-like schema
+//!   (the Join Order Benchmark's shape: shared join graphs per family,
+//!   correlated predicates, 4–17 relations);
+//! * [`ext_job`] — 24 queries that are *semantically distinct* from JOB
+//!   (no shared families, different join graphs and predicate columns);
+//! * [`tpch`] — 100 queries from 22 templates over the TPC-H-like schema,
+//!   split by template (the paper never reuses templates between train and
+//!   test);
+//! * [`corp`] — star-join dashboard queries over the Corp-like schema.
+
+pub mod corp;
+pub mod ext_job;
+pub mod job;
+pub mod tpch;
+
+use crate::query::Query;
+use neo_storage::Database;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A named set of queries.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Workload name ("job", "ext_job", "tpch", "corp").
+    pub name: String,
+    /// The queries.
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Random 80/20-style split at query granularity (used for JOB and
+    /// Corp, §6.1). `test_frac` of queries (rounded) become the test set.
+    pub fn split_random(&self, test_frac: f64, seed: u64) -> (Vec<Query>, Vec<Query>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.queries.len()).collect();
+        idx.shuffle(&mut rng);
+        let n_test = ((self.queries.len() as f64) * test_frac).round() as usize;
+        let test: Vec<Query> = idx[..n_test].iter().map(|&i| self.queries[i].clone()).collect();
+        let train: Vec<Query> = idx[n_test..].iter().map(|&i| self.queries[i].clone()).collect();
+        (train, test)
+    }
+
+    /// Template-aware split (used for TPC-H, §6.1): whole families are
+    /// assigned to train or test, so no template appears in both.
+    pub fn split_by_family(&self, test_frac: f64, seed: u64) -> (Vec<Query>, Vec<Query>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut families: Vec<String> = Vec::new();
+        for q in &self.queries {
+            if !families.contains(&q.family) {
+                families.push(q.family.clone());
+            }
+        }
+        families.shuffle(&mut rng);
+        let n_test_fam = ((families.len() as f64) * test_frac).round().max(1.0) as usize;
+        let test_fams: Vec<&String> = families[..n_test_fam].iter().collect();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for q in &self.queries {
+            if test_fams.iter().any(|f| **f == q.family) {
+                test.push(q.clone());
+            } else {
+                train.push(q.clone());
+            }
+        }
+        (train, test)
+    }
+
+    /// Largest relation count over the workload.
+    pub fn max_relations(&self) -> usize {
+        self.queries.iter().map(|q| q.num_relations()).max().unwrap_or(0)
+    }
+}
+
+use rand::SeedableRng;
+
+/// Samples a connected set of `size` tables by growing along foreign-key
+/// edges from `start`. Returns `None` when the schema component of `start`
+/// is smaller than `size`.
+pub(crate) fn sample_connected_tables(
+    db: &Database,
+    start: usize,
+    size: usize,
+    rng: &mut StdRng,
+) -> Option<Vec<usize>> {
+    let n = db.num_tables();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for fk in &db.foreign_keys {
+        adj[fk.from_table].push(fk.to_table);
+        adj[fk.to_table].push(fk.from_table);
+    }
+    let mut chosen = vec![start];
+    let mut in_set = vec![false; n];
+    in_set[start] = true;
+    while chosen.len() < size {
+        // Candidate frontier: neighbours of the chosen set not yet chosen.
+        let mut frontier: Vec<usize> = Vec::new();
+        for &t in &chosen {
+            for &u in &adj[t] {
+                if !in_set[u] && !frontier.contains(&u) {
+                    frontier.push(u);
+                }
+            }
+        }
+        if frontier.is_empty() {
+            return None;
+        }
+        let pick = frontier[rng.gen_range(0..frontier.len())];
+        in_set[pick] = true;
+        chosen.push(pick);
+    }
+    chosen.sort_unstable();
+    Some(chosen)
+}
+
+/// Builds the induced join-edge list: every foreign key with both endpoints
+/// in `tables` becomes an equi-join edge.
+pub(crate) fn induced_join_edges(db: &Database, tables: &[usize]) -> Vec<crate::query::JoinEdge> {
+    db.foreign_keys
+        .iter()
+        .filter(|fk| tables.contains(&fk.from_table) && tables.contains(&fk.to_table))
+        .map(|fk| crate::query::JoinEdge {
+            left_table: fk.from_table,
+            left_col: fk.from_col,
+            right_table: fk.to_table,
+            right_col: fk.to_col,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_storage::datagen::imdb;
+
+    #[test]
+    fn sampled_tables_induce_connected_query() {
+        let db = imdb::generate(0.02, 1);
+        let title = db.table_id("title").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for size in 2..=10 {
+            let tables = sample_connected_tables(&db, title, size, &mut rng).unwrap();
+            assert_eq!(tables.len(), size);
+            let joins = induced_join_edges(&db, &tables);
+            let q = Query {
+                id: "t".into(),
+                family: "t".into(),
+                tables,
+                joins,
+                predicates: vec![],
+                agg: Default::default(),
+            };
+            assert!(q.validate(&db).is_ok(), "size {size}: {:?}", q.validate(&db));
+        }
+    }
+
+    #[test]
+    fn oversize_sampling_returns_none() {
+        let db = imdb::generate(0.02, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sample_connected_tables(&db, 0, 100, &mut rng).is_none());
+    }
+
+    #[test]
+    fn family_split_never_shares_templates() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 99);
+        let (train, test) = wl.split_by_family(0.2, 7);
+        let train_fams: std::collections::HashSet<_> = train.iter().map(|q| &q.family).collect();
+        for q in &test {
+            assert!(!train_fams.contains(&q.family));
+        }
+        assert_eq!(train.len() + test.len(), wl.queries.len());
+    }
+
+    #[test]
+    fn random_split_partitions() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 99);
+        let (train, test) = wl.split_random(0.2, 7);
+        assert_eq!(train.len() + test.len(), wl.queries.len());
+        let ids: std::collections::HashSet<_> =
+            train.iter().chain(test.iter()).map(|q| &q.id).collect();
+        assert_eq!(ids.len(), wl.queries.len());
+    }
+}

@@ -1,0 +1,185 @@
+//! TPC-H-like workload: 100 queries instantiated from 22 templates (the
+//! benchmark's query count), over the TPC-H-like schema. The paper
+//! "generated 80 training and 20 test queries based on the benchmark query
+//! templates without reusing templates between training and test queries"
+//! (§6.1) — use [`super::Workload::split_by_family`] for that split.
+
+use super::{induced_join_edges, Workload};
+use crate::predicate::{CmpOp, Predicate};
+use crate::query::{Aggregate, Query};
+use neo_storage::datagen::tpch::{PRIORITIES, SEGMENTS, SHIP_MODES};
+use neo_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 22 template table sets, shaped after the TPC-H reference queries.
+const TEMPLATES: [&[&str]; 22] = [
+    &["lineitem", "orders"],                                                    // Q1-ish
+    &["part", "partsupp", "supplier", "nation", "region"],                      // Q2
+    &["customer", "orders", "lineitem"],                                        // Q3
+    &["orders", "lineitem"],                                                    // Q4
+    &["customer", "orders", "lineitem", "supplier", "nation", "region"],        // Q5
+    &["lineitem", "part"],                                                      // Q6-ish
+    &["supplier", "lineitem", "orders", "customer", "nation"],                  // Q7
+    &["part", "lineitem", "supplier", "orders", "customer", "nation", "region"], // Q8
+    &["part", "partsupp", "lineitem", "supplier", "orders", "nation"],          // Q9
+    &["customer", "orders", "lineitem", "nation"],                              // Q10
+    &["partsupp", "supplier", "nation"],                                        // Q11
+    &["orders", "lineitem", "customer"],                                        // Q12
+    &["customer", "orders"],                                                    // Q13
+    &["lineitem", "part", "orders"],                                            // Q14
+    &["supplier", "lineitem", "orders"],                                        // Q15
+    &["partsupp", "part", "supplier"],                                          // Q16
+    &["lineitem", "part", "partsupp"],                                          // Q17
+    &["customer", "orders", "lineitem", "nation", "region"],                    // Q18
+    &["lineitem", "part", "supplier"],                                          // Q19
+    &["supplier", "nation", "partsupp", "part"],                                // Q20
+    &["supplier", "lineitem", "orders", "nation"],                              // Q21
+    &["customer", "orders", "nation"],                                          // Q22
+];
+
+/// Generates the 100-query TPC-H-like workload.
+pub fn generate(db: &Database, seed: u64) -> Workload {
+    assert_eq!(db.name, "tpch", "TPC-H workload requires the TPC-H-like database");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x79c4);
+    let mut queries = Vec::new();
+    for (fam, names) in TEMPLATES.iter().enumerate() {
+        let mut tables: Vec<usize> =
+            names.iter().map(|n| db.table_id(n).unwrap_or_else(|| panic!("table {n}"))).collect();
+        tables.sort_unstable();
+        let joins = induced_join_edges(db, &tables);
+        // 12 templates × 5 variants + 10 × 4 = 100.
+        let variants = if fam < 12 { 5 } else { 4 };
+        for v in 0..variants {
+            let q = Query {
+                id: format!("q{}v{}", fam + 1, v + 1),
+                family: format!("q{}", fam + 1),
+                tables: tables.clone(),
+                joins: joins.clone(),
+                predicates: uniform_predicates(db, &tables, &mut rng),
+                agg: Aggregate::CountStar,
+            };
+            debug_assert!(q.validate(db).is_ok(), "{}: {:?}", q.id, q.validate(db));
+            queries.push(q);
+        }
+    }
+    Workload { name: "tpch".into(), queries }
+}
+
+/// Uniform-friendly predicates: ranges and equalities over independent
+/// columns, which histogram estimators handle well.
+fn uniform_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Predicate> {
+    let mut out = Vec::new();
+    for &t in tables {
+        if out.len() >= 3 || rng.gen_bool(0.35) {
+            continue;
+        }
+        let table = &db.tables[t];
+        let col = |n: &str| table.col_id(n).unwrap();
+        match table.name.as_str() {
+            "lineitem" => {
+                if rng.gen_bool(0.5) {
+                    let lo = rng.gen_range(1..40) as i64;
+                    out.push(Predicate::IntBetween {
+                        table: t,
+                        col: col("quantity"),
+                        lo,
+                        hi: lo + rng.gen_range(3..12) as i64,
+                    });
+                } else {
+                    out.push(Predicate::StrEq {
+                        table: t,
+                        col: col("shipmode"),
+                        value: SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].into(),
+                    });
+                }
+            }
+            "orders" => {
+                if rng.gen_bool(0.5) {
+                    out.push(Predicate::IntCmp {
+                        table: t,
+                        col: col("totalprice"),
+                        op: CmpOp::Lt,
+                        value: rng.gen_range(50_000..450_000) as i64,
+                    });
+                } else {
+                    out.push(Predicate::StrEq {
+                        table: t,
+                        col: col("orderpriority"),
+                        value: PRIORITIES[rng.gen_range(0..PRIORITIES.len())].into(),
+                    });
+                }
+            }
+            "customer" => out.push(Predicate::StrEq {
+                table: t,
+                col: col("mktsegment"),
+                value: SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into(),
+            }),
+            "part" => out.push(Predicate::IntCmp {
+                table: t,
+                col: col("size"),
+                op: CmpOp::Eq,
+                value: rng.gen_range(1..51) as i64,
+            }),
+            "supplier" => out.push(Predicate::IntCmp {
+                table: t,
+                col: col("acctbal"),
+                op: CmpOp::Gt,
+                value: rng.gen_range(0..8_000) as i64,
+            }),
+            "partsupp" => out.push(Predicate::IntCmp {
+                table: t,
+                col: col("availqty"),
+                op: CmpOp::Lt,
+                value: rng.gen_range(1_000..9_000) as i64,
+            }),
+            "region" => out.push(Predicate::StrEq {
+                table: t,
+                col: col("name"),
+                value: ["ASIA", "EUROPE", "AMERICA"][rng.gen_range(0..3)].into(),
+            }),
+            "nation" => {}
+            _ => {}
+        }
+    }
+    if out.is_empty() {
+        // Every template contains at least one predicable table; fall back
+        // to a quantity range if the coin flips all skipped.
+        let t = tables[0];
+        out.push(Predicate::IntCmp { table: t, col: 0, op: CmpOp::Ge, value: 0 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_storage::datagen::tpch;
+
+    #[test]
+    fn generates_100_queries_22_families() {
+        let db = tpch::generate(0.05, 1);
+        let wl = generate(&db, 3);
+        assert_eq!(wl.queries.len(), 100);
+        let fams: std::collections::HashSet<_> = wl.queries.iter().map(|q| &q.family).collect();
+        assert_eq!(fams.len(), 22);
+    }
+
+    #[test]
+    fn all_templates_connected_and_valid() {
+        let db = tpch::generate(0.05, 1);
+        let wl = generate(&db, 3);
+        for q in &wl.queries {
+            q.validate(&db).unwrap();
+        }
+    }
+
+    #[test]
+    fn family_split_gives_80_20_shape() {
+        let db = tpch::generate(0.05, 1);
+        let wl = generate(&db, 3);
+        let (train, test) = wl.split_by_family(0.2, 11);
+        assert!(test.len() >= 12 && test.len() <= 28, "test size {}", test.len());
+        assert_eq!(train.len() + test.len(), 100);
+    }
+}

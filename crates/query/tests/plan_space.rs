@@ -1,0 +1,164 @@
+//! Plan-space structure tests: children-count arithmetic, search-space
+//! reachability, and EXPLAIN rendering across whole workloads.
+
+use neo_query::{children, explain, JoinOp, PartialPlan, PlanNode, QueryContext, ScanType};
+use neo_storage::datagen::{corp, imdb, tpch};
+
+/// At the initial state, the number of children follows the closed form:
+/// scan specifications (1 or 2 per relation, by index legality) plus
+/// `6 × (join edges between distinct relation pairs)` (2 orientations × 3
+/// operators).
+#[test]
+fn initial_children_count_matches_closed_form() {
+    let db = imdb::generate(0.02, 3);
+    let wl = neo_query::workload::job::generate(&db, 3);
+    for q in wl.queries.iter().take(20) {
+        let ctx = QueryContext::new(&db, q);
+        let kids = children(&PartialPlan::initial(q), &ctx);
+        let scans: usize =
+            (0..q.num_relations()).map(|r| if ctx.index_ok[r] { 2 } else { 1 }).sum();
+        // Distinct connected relation pairs (multiple edges between the
+        // same pair still yield one set of merge children).
+        let mut pairs = std::collections::HashSet::new();
+        for a in 0..q.num_relations() {
+            for b in (a + 1)..q.num_relations() {
+                if ctx.connected(1 << a, 1 << b) {
+                    pairs.insert((a, b));
+                }
+            }
+        }
+        let expect = scans + pairs.len() * 6;
+        assert_eq!(kids.len(), expect, "query {}", q.id);
+    }
+}
+
+/// Every join operator and scan type is reachable somewhere in the search
+/// space of a moderately-sized query.
+#[test]
+fn search_space_reaches_all_operator_choices() {
+    let db = imdb::generate(0.02, 3);
+    let wl = neo_query::workload::job::generate(&db, 3);
+    let q = wl.queries.iter().find(|q| q.num_relations() == 5).unwrap();
+    let ctx = QueryContext::new(&db, q);
+    let kids = children(&PartialPlan::initial(q), &ctx);
+    let mut ops = std::collections::HashSet::new();
+    let mut scans = std::collections::HashSet::new();
+    for k in &kids {
+        for root in &k.roots {
+            match root {
+                PlanNode::Join { op, .. } => {
+                    ops.insert(*op);
+                }
+                PlanNode::Scan { scan, .. } => {
+                    scans.insert(*scan);
+                }
+            }
+        }
+    }
+    assert_eq!(ops.len(), 3, "all join operators reachable");
+    assert!(scans.contains(&ScanType::Table));
+    assert!(scans.contains(&ScanType::Index));
+}
+
+/// Bushy shapes are reachable: some descendant state joins two non-leaf
+/// trees.
+#[test]
+fn bushy_plans_are_reachable() {
+    let db = imdb::generate(0.02, 3);
+    let wl = neo_query::workload::job::generate(&db, 3);
+    let q = wl.queries.iter().find(|q| q.num_relations() >= 5).unwrap();
+    let ctx = QueryContext::new(&db, q);
+    // Merge two disjoint pairs first, then look for a child joining them.
+    let mut state = PartialPlan::initial(q);
+    let mut merges = 0;
+    'outer: while merges < 2 {
+        for k in children(&state, &ctx) {
+            let joins: usize = k
+                .roots
+                .iter()
+                .filter(|r| matches!(r, PlanNode::Join { .. }))
+                .count();
+            if joins > merges {
+                state = k;
+                merges = joins;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    if merges < 2 {
+        return; // join graph is a star around one hub; bushy join of two
+                // internal trees may be impossible — acceptable.
+    }
+    let bushy_child = children(&state, &ctx).into_iter().find(|k| {
+        k.roots.iter().any(|r| {
+            matches!(
+                r,
+                PlanNode::Join { left, right, .. }
+                    if matches!(**left, PlanNode::Join { .. })
+                        && matches!(**right, PlanNode::Join { .. })
+            )
+        })
+    });
+    // Only assert when the two merged pairs are join-connected.
+    if let Some(k) = bushy_child {
+        assert!(k.roots.len() < state.roots.len());
+    }
+}
+
+/// EXPLAIN renders every native-optimizable query without panicking and
+/// names every member table.
+#[test]
+fn explain_covers_all_workloads() {
+    let imdb_db = imdb::generate(0.02, 3);
+    let tpch_db = tpch::generate(0.05, 3);
+    let corp_db = corp::generate(0.01, 3);
+    let cases = vec![
+        (&imdb_db, neo_query::workload::job::generate(&imdb_db, 3).queries),
+        (&tpch_db, neo_query::workload::tpch::generate(&tpch_db, 3).queries),
+        (&corp_db, neo_query::workload::corp::generate(&corp_db, 3, 20).queries),
+    ];
+    for (db, queries) in cases {
+        for q in queries.iter().take(10) {
+            // Left-deep hash plan via the children walk.
+            let ctx = QueryContext::new(db, q);
+            let mut p = PartialPlan::initial(q);
+            while !p.is_complete() {
+                let kids = children(&p, &ctx);
+                let pick = kids
+                    .iter()
+                    .position(|k| {
+                        k.roots.iter().all(|r| match r {
+                            PlanNode::Scan { scan, .. } => *scan != ScanType::Index,
+                            PlanNode::Join { op, .. } => *op == JoinOp::Hash,
+                        })
+                    })
+                    .unwrap_or(0);
+                p = kids.into_iter().nth(pick).unwrap();
+            }
+            let text = explain(db, q, p.as_complete().unwrap());
+            for &t in &q.tables {
+                assert!(
+                    text.contains(&db.tables[t].name),
+                    "explain missing table {} for {}:\n{text}",
+                    db.tables[t].name,
+                    q.id
+                );
+            }
+            assert!(!text.contains("cross"), "unexpected cross join in {}:\n{text}", q.id);
+        }
+    }
+}
+
+/// `to_sql` round-trips recognizable structure for every workload query.
+#[test]
+fn to_sql_renders_all_queries() {
+    let db = imdb::generate(0.02, 3);
+    let wl = neo_query::workload::job::generate(&db, 3);
+    for q in &wl.queries {
+        let sql = q.to_sql(&db);
+        assert!(sql.starts_with("SELECT count(*) FROM"));
+        assert!(sql.contains("WHERE"));
+        assert!(sql.ends_with(';'));
+    }
+}

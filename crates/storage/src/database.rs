@@ -1,0 +1,183 @@
+//! A database: tables, foreign keys, secondary indexes, and statistics.
+
+use crate::index::BTreeIndex;
+use crate::stats::TableStats;
+use crate::table::{ColumnData, Table};
+use std::collections::HashMap;
+
+/// A foreign-key edge between two tables, the raw material of the join
+/// graph (paper §3.2 assumes "at most one foreign key between each
+/// relation").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    /// Referencing table id.
+    pub from_table: usize,
+    /// Referencing column id (within `from_table`).
+    pub from_col: usize,
+    /// Referenced table id.
+    pub to_table: usize,
+    /// Referenced column id (within `to_table`), normally a primary key.
+    pub to_col: usize,
+}
+
+/// An in-memory database with indexes and statistics.
+#[derive(Clone, Debug)]
+pub struct Database {
+    /// Database name ("imdb", "tpch", "corp").
+    pub name: String,
+    /// The tables. Table ids are positions in this vector.
+    pub tables: Vec<Table>,
+    /// Foreign-key edges (define which equi-joins the workloads perform).
+    pub foreign_keys: Vec<ForeignKey>,
+    /// `(table, column)` pairs that carry a B-tree index.
+    pub indexed: Vec<(usize, usize)>,
+    indexes: HashMap<(usize, usize), BTreeIndex>,
+    /// Per-table statistics, aligned with `tables`.
+    pub stats: Vec<TableStats>,
+    /// Global attribute numbering: `attr_base[t] + c` is the global id of
+    /// column `c` of table `t` — used by the one-hot query encodings (§3.2).
+    attr_base: Vec<usize>,
+    num_attrs: usize,
+}
+
+impl Database {
+    /// Assembles a database: builds statistics and the requested indexes.
+    ///
+    /// # Panics
+    /// Panics if an indexed column is not an integer column, or if any
+    /// foreign key references an out-of-range table/column.
+    pub fn build(
+        name: &str,
+        tables: Vec<Table>,
+        foreign_keys: Vec<ForeignKey>,
+        indexed: Vec<(usize, usize)>,
+    ) -> Self {
+        for fk in &foreign_keys {
+            assert!(fk.from_table < tables.len() && fk.to_table < tables.len(), "FK table range");
+            assert!(fk.from_col < tables[fk.from_table].num_cols(), "FK from_col range");
+            assert!(fk.to_col < tables[fk.to_table].num_cols(), "FK to_col range");
+        }
+        let stats = tables.iter().map(TableStats::build).collect();
+        let mut indexes = HashMap::new();
+        for &(t, c) in &indexed {
+            let col = &tables[t].columns[c];
+            match &col.data {
+                ColumnData::Int(v) => {
+                    indexes.insert((t, c), BTreeIndex::build(v));
+                }
+                ColumnData::Str(_) => panic!("index on string column {}.{}", tables[t].name, col.name),
+            }
+        }
+        let mut attr_base = Vec::with_capacity(tables.len());
+        let mut acc = 0usize;
+        for t in &tables {
+            attr_base.push(acc);
+            acc += t.num_cols();
+        }
+        Database { name: name.to_string(), tables, foreign_keys, indexed, indexes, stats, attr_base, num_attrs: acc }
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total attribute (column) count over all tables — the length of the
+    /// one-hot column-predicate vector (§3.2).
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// Global attribute id of `(table, column)`.
+    pub fn attr_id(&self, table: usize, col: usize) -> usize {
+        debug_assert!(col < self.tables[table].num_cols());
+        self.attr_base[table] + col
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// Table accessor by name.
+    ///
+    /// # Panics
+    /// Panics when absent.
+    pub fn table(&self, name: &str) -> &Table {
+        &self.tables[self.table_id(name).unwrap_or_else(|| panic!("no table {name}"))]
+    }
+
+    /// The index on `(table, col)`, if one was built.
+    pub fn index(&self, table: usize, col: usize) -> Option<&BTreeIndex> {
+        self.indexes.get(&(table, col))
+    }
+
+    /// True when `(table, col)` has an index (i.e. an index scan is a legal
+    /// access path for predicates/joins on that column).
+    pub fn has_index(&self, table: usize, col: usize) -> bool {
+        self.indexes.contains_key(&(table, col))
+    }
+
+    /// The foreign key joining tables `a` and `b`, in either direction.
+    pub fn fk_between(&self, a: usize, b: usize) -> Option<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .find(|fk| (fk.from_table == a && fk.to_table == b) || (fk.from_table == b && fk.to_table == a))
+    }
+
+    /// Total row count over all tables (dataset "size" proxy used by the
+    /// row-vector training-time experiment, Fig. 17).
+    pub fn total_rows(&self) -> u64 {
+        self.tables.iter().map(|t| t.num_rows() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+
+    fn small_db() -> Database {
+        let a = Table::new("a", vec![Column::int("id", vec![1, 2, 3]), Column::int("x", vec![7, 8, 9])]);
+        let b = Table::new("b", vec![Column::int("id", vec![1, 2]), Column::int("a_id", vec![1, 1])]);
+        Database::build(
+            "test",
+            vec![a, b],
+            vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+            vec![(0, 0), (1, 1)],
+        )
+    }
+
+    #[test]
+    fn attr_ids_are_global_and_dense() {
+        let db = small_db();
+        assert_eq!(db.num_attrs(), 4);
+        assert_eq!(db.attr_id(0, 0), 0);
+        assert_eq!(db.attr_id(0, 1), 1);
+        assert_eq!(db.attr_id(1, 0), 2);
+        assert_eq!(db.attr_id(1, 1), 3);
+    }
+
+    #[test]
+    fn index_lookup_via_db() {
+        let db = small_db();
+        assert!(db.has_index(0, 0));
+        assert!(!db.has_index(0, 1));
+        assert_eq!(db.index(1, 1).unwrap().lookup(1), &[0, 1]);
+    }
+
+    #[test]
+    fn fk_between_is_symmetric() {
+        let db = small_db();
+        assert!(db.fk_between(0, 1).is_some());
+        assert!(db.fk_between(1, 0).is_some());
+    }
+
+    #[test]
+    fn stats_built_for_each_table() {
+        let db = small_db();
+        assert_eq!(db.stats.len(), 2);
+        assert_eq!(db.stats[0].row_count, 3);
+        assert_eq!(db.total_rows(), 5);
+    }
+}

@@ -1,0 +1,352 @@
+//! "Corp"-like dataset generator (stands in for the paper's proprietary
+//! 2 TB dashboard workload, §6.1).
+//!
+//! A snowflake star schema: one large `fact_sales` table with six dimension
+//! FKs, two of which snowflake out to sub-dimensions. Moderate zipfian skew
+//! plus planted dimension correlations (channel↔product category,
+//! customer country↔sales region) give it the "real-world, correlated"
+//! character of the original, at laptop scale. It is deliberately the
+//! *largest* of the three datasets (mirroring JOB ≪ Corp in the paper),
+//! which drives the row-vector training-time ordering in Fig. 17.
+
+use super::{scaled, Zipf};
+use crate::database::{Database, ForeignKey};
+use crate::table::{Column, StrColumn, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sales channels. Channel affinity to product categories is planted.
+pub const CHANNELS: [&str; 8] =
+    ["online", "retail", "partner", "wholesale", "mobile", "catalog", "outlet", "enterprise"];
+
+/// Product category names.
+pub const CATEGORIES: [&str; 25] = [
+    "electronics", "apparel", "grocery", "furniture", "toys", "sports", "beauty", "automotive",
+    "garden", "books", "music", "office", "jewelry", "footwear", "appliances", "hardware",
+    "pharmacy", "pet", "baby", "crafts", "luggage", "outdoor", "seasonal", "software", "services",
+];
+
+/// Countries for customers/regions.
+pub const COUNTRIES: [&str; 20] = [
+    "usa", "canada", "mexico", "brazil", "uk", "france", "germany", "spain", "italy", "poland",
+    "india", "china", "japan", "korea", "australia", "egypt", "nigeria", "kenya", "turkey", "uae",
+];
+
+/// Customer segments.
+pub const SEGMENTS: [&str; 4] = ["consumer", "smb", "enterprise", "government"];
+
+/// Probability that a fact row's channel matches its product's category
+/// affinity channel.
+const CHANNEL_AFFINITY: f64 = 0.65;
+/// Probability a customer's orders route through a region of their country.
+const REGION_AFFINITY: f64 = 0.8;
+
+/// Generates the Corp-like database. `scale = 1.0` yields ≈330 k rows.
+pub fn generate(scale: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_fact = scaled(300_000, scale);
+    let n_customer = scaled(8_000, scale);
+    let n_product = scaled(3_000, scale);
+    let n_employee = scaled(500, scale);
+    let n_region = 50usize;
+    let n_date = 1_461usize; // four years of days
+
+    let country_zipf = Zipf::new(COUNTRIES.len(), 0.9);
+    let product_zipf = Zipf::new(n_product, 1.05);
+    let customer_zipf = Zipf::new(n_customer, 0.9);
+    let date_zipf = Zipf::new(n_date, 0.4);
+
+    let country = {
+        let mut s = StrColumn::new();
+        for c in COUNTRIES {
+            s.push(c);
+        }
+        Table::new(
+            "country",
+            vec![Column::int("id", (0..COUNTRIES.len() as i64).collect()), Column::str("name", s)],
+        )
+    };
+
+    let product_category = {
+        let mut s = StrColumn::new();
+        for c in CATEGORIES {
+            s.push(c);
+        }
+        Table::new(
+            "product_category",
+            vec![Column::int("id", (0..CATEGORIES.len() as i64).collect()), Column::str("name", s)],
+        )
+    };
+
+    let dim_channel = {
+        let mut s = StrColumn::new();
+        for c in CHANNELS {
+            s.push(c);
+        }
+        Table::new(
+            "dim_channel",
+            vec![Column::int("id", (0..CHANNELS.len() as i64).collect()), Column::str("name", s)],
+        )
+    };
+
+    let dim_date = {
+        let mut years = Vec::new();
+        let mut months = Vec::new();
+        let mut quarters = Vec::new();
+        for d in 0..n_date {
+            let year = 2015 + (d / 365) as i64;
+            let month = 1 + ((d % 365) / 31).min(11) as i64;
+            years.push(year);
+            months.push(month);
+            quarters.push((month - 1) / 3 + 1);
+        }
+        Table::new(
+            "dim_date",
+            vec![
+                Column::int("id", (0..n_date as i64).collect()),
+                Column::int("year", years),
+                Column::int("month", months),
+                Column::int("quarter", quarters),
+            ],
+        )
+    };
+
+    // Regions snowflake to country.
+    let region_country: Vec<usize> =
+        (0..n_region).map(|_| country_zipf.sample(&mut rng)).collect();
+    let dim_region = {
+        let mut names = StrColumn::new();
+        let mut country_ids = Vec::new();
+        for r in 0..n_region {
+            names.push(&format!("region_{r}"));
+            country_ids.push(region_country[r] as i64);
+        }
+        Table::new(
+            "dim_region",
+            vec![
+                Column::int("id", (0..n_region as i64).collect()),
+                Column::str("name", names),
+                Column::int("country_id", country_ids),
+            ],
+        )
+    };
+    let mut regions_by_country: Vec<Vec<usize>> = vec![Vec::new(); COUNTRIES.len()];
+    for (r, &c) in region_country.iter().enumerate() {
+        regions_by_country[c].push(r);
+    }
+
+    // Customers: country + segment.
+    let customer_country: Vec<usize> =
+        (0..n_customer).map(|_| country_zipf.sample(&mut rng)).collect();
+    let dim_customer = {
+        let mut names = StrColumn::new();
+        let mut segs = StrColumn::new();
+        let mut country_ids = Vec::new();
+        for c in 0..n_customer {
+            names.push(&format!("customer_{c}"));
+            segs.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]);
+            country_ids.push(customer_country[c] as i64);
+        }
+        Table::new(
+            "dim_customer",
+            vec![
+                Column::int("id", (0..n_customer as i64).collect()),
+                Column::str("name", names),
+                Column::str("segment", segs),
+                Column::int("country_id", country_ids),
+            ],
+        )
+    };
+
+    // Products snowflake to category; each category has an affine channel.
+    let product_category_of: Vec<usize> = {
+        let cat_zipf = Zipf::new(CATEGORIES.len(), 0.8);
+        (0..n_product).map(|_| cat_zipf.sample(&mut rng)).collect()
+    };
+    let dim_product = {
+        let mut names = StrColumn::new();
+        let mut cat_ids = Vec::new();
+        let mut prices = Vec::new();
+        for p in 0..n_product {
+            names.push(&format!("{}_item_{p}", CATEGORIES[product_category_of[p]]));
+            cat_ids.push(product_category_of[p] as i64);
+            prices.push(rng.gen_range(5..2_000) as i64);
+        }
+        Table::new(
+            "dim_product",
+            vec![
+                Column::int("id", (0..n_product as i64).collect()),
+                Column::str("name", names),
+                Column::int("category_id", cat_ids),
+                Column::int("list_price", prices),
+            ],
+        )
+    };
+    // Channel affinity: category k prefers channel k % |CHANNELS|.
+    let affine_channel = |cat: usize| cat % CHANNELS.len();
+
+    let employee_region: Vec<usize> = (0..n_employee).map(|_| rng.gen_range(0..n_region)).collect();
+    let dim_employee = {
+        let mut names = StrColumn::new();
+        let mut region_ids = Vec::new();
+        for e in 0..n_employee {
+            names.push(&format!("employee_{e}"));
+            region_ids.push(employee_region[e] as i64);
+        }
+        Table::new(
+            "dim_employee",
+            vec![
+                Column::int("id", (0..n_employee as i64).collect()),
+                Column::str("name", names),
+                Column::int("region_id", region_ids),
+            ],
+        )
+    };
+    let mut employees_by_region: Vec<Vec<usize>> = vec![Vec::new(); n_region];
+    for (e, &r) in employee_region.iter().enumerate() {
+        employees_by_region[r].push(e);
+    }
+
+    // Fact table with planted correlations.
+    let fact_sales = {
+        let mut date_ids = Vec::with_capacity(n_fact);
+        let mut customer_ids = Vec::with_capacity(n_fact);
+        let mut product_ids = Vec::with_capacity(n_fact);
+        let mut region_ids = Vec::with_capacity(n_fact);
+        let mut channel_ids = Vec::with_capacity(n_fact);
+        let mut employee_ids = Vec::with_capacity(n_fact);
+        let mut amounts = Vec::with_capacity(n_fact);
+        let mut quantities = Vec::with_capacity(n_fact);
+        for _ in 0..n_fact {
+            let cust = customer_zipf.sample(&mut rng);
+            let prod = product_zipf.sample(&mut rng);
+            let cat = product_category_of[prod];
+            let chan = if rng.gen_bool(CHANNEL_AFFINITY) {
+                affine_channel(cat)
+            } else {
+                rng.gen_range(0..CHANNELS.len())
+            };
+            let cc = customer_country[cust];
+            let region = if rng.gen_bool(REGION_AFFINITY) && !regions_by_country[cc].is_empty() {
+                regions_by_country[cc][rng.gen_range(0..regions_by_country[cc].len())]
+            } else {
+                rng.gen_range(0..n_region)
+            };
+            let emp = if !employees_by_region[region].is_empty() {
+                employees_by_region[region][rng.gen_range(0..employees_by_region[region].len())]
+            } else {
+                rng.gen_range(0..n_employee)
+            };
+            date_ids.push(date_zipf.sample(&mut rng) as i64);
+            customer_ids.push(cust as i64);
+            product_ids.push(prod as i64);
+            region_ids.push(region as i64);
+            channel_ids.push(chan as i64);
+            employee_ids.push(emp as i64);
+            amounts.push(rng.gen_range(1..5_000) as i64);
+            quantities.push(rng.gen_range(1..20) as i64);
+        }
+        let n = date_ids.len() as i64;
+        Table::new(
+            "fact_sales",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("date_id", date_ids),
+                Column::int("customer_id", customer_ids),
+                Column::int("product_id", product_ids),
+                Column::int("region_id", region_ids),
+                Column::int("channel_id", channel_ids),
+                Column::int("employee_id", employee_ids),
+                Column::int("amount", amounts),
+                Column::int("quantity", quantities),
+            ],
+        )
+    };
+
+    let tables = vec![
+        country,          // 0
+        product_category, // 1
+        dim_channel,      // 2
+        dim_date,         // 3
+        dim_region,       // 4
+        dim_customer,     // 5
+        dim_product,      // 6
+        dim_employee,     // 7
+        fact_sales,       // 8
+    ];
+    let tid = |n: &str| tables.iter().position(|t| t.name == n).unwrap();
+    let cid = |t: usize, n: &str| tables[t].col_id(n).unwrap();
+    let fk = |ft: &str, fc: &str, tt: &str, tc: &str| {
+        let (a, b) = (tid(ft), tid(tt));
+        ForeignKey { from_table: a, from_col: cid(a, fc), to_table: b, to_col: cid(b, tc) }
+    };
+    let foreign_keys = vec![
+        fk("dim_region", "country_id", "country", "id"),
+        fk("dim_customer", "country_id", "country", "id"),
+        fk("dim_product", "category_id", "product_category", "id"),
+        fk("dim_employee", "region_id", "dim_region", "id"),
+        fk("fact_sales", "date_id", "dim_date", "id"),
+        fk("fact_sales", "customer_id", "dim_customer", "id"),
+        fk("fact_sales", "product_id", "dim_product", "id"),
+        fk("fact_sales", "region_id", "dim_region", "id"),
+        fk("fact_sales", "channel_id", "dim_channel", "id"),
+        fk("fact_sales", "employee_id", "dim_employee", "id"),
+    ];
+
+    let mut indexed: Vec<(usize, usize)> = Vec::new();
+    for (t, table) in tables.iter().enumerate() {
+        if let Some(c) = table.col_id("id") {
+            indexed.push((t, c));
+        }
+    }
+    for f in &foreign_keys {
+        indexed.push((f.from_table, f.from_col));
+    }
+    indexed.sort_unstable();
+    indexed.dedup();
+
+    Database::build("corp", tables, foreign_keys, indexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_nine_tables_and_fact_is_largest() {
+        let db = generate(0.02, 1);
+        assert_eq!(db.num_tables(), 9);
+        let fact = db.table("fact_sales").num_rows();
+        for t in &db.tables {
+            assert!(t.num_rows() <= fact);
+        }
+    }
+
+    #[test]
+    fn channel_category_correlation_is_planted() {
+        let db = generate(0.05, 4);
+        let fact = db.table("fact_sales");
+        let prod_ids = fact.col("product_id").as_int().unwrap();
+        let chan_ids = fact.col("channel_id").as_int().unwrap();
+        let prod = db.table("dim_product");
+        let cat_ids = prod.col("category_id").as_int().unwrap();
+        // P(channel == affine(category)) should be far above 1/8.
+        let mut hits = 0usize;
+        for r in 0..fact.num_rows() {
+            let cat = cat_ids[prod_ids[r] as usize] as usize;
+            if chan_ids[r] as usize == cat % CHANNELS.len() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / fact.num_rows() as f64;
+        assert!(rate > 0.5, "affinity rate {rate}");
+    }
+
+    #[test]
+    fn corp_is_larger_than_imdb_at_equal_scale() {
+        let corp = generate(0.02, 1);
+        let imdb = super::super::imdb::generate(0.02, 1);
+        assert!(corp.total_rows() > imdb.total_rows());
+    }
+}

@@ -1,0 +1,664 @@
+//! IMDB-like dataset generator (stands in for the real IMDB database used
+//! by the Join Order Benchmark, paper §6.1).
+//!
+//! Seventeen tables mirroring the IMDB schema shape: a large `title` hub,
+//! fact-like bridge tables (`cast_info`, `movie_info`, `movie_keyword`,
+//! `movie_companies`, …) and small dimension tables (`kind_type`,
+//! `info_type`, …).
+//!
+//! Two *cross-table correlations are planted* deliberately, because they
+//! are what breaks independence-assumption estimators on the real IMDB
+//! data (paper §5, Table 2):
+//!
+//! 1. **genre ↔ keyword**: every movie has a latent genre; its
+//!    `movie_keyword` rows draw mostly from that genre's keyword cluster,
+//!    and keyword *names* embed genre vocabulary (`love-…` keywords belong
+//!    to romance movies), so `keyword ILIKE '%love%'` correlates with
+//!    `movie_info.info = 'romance'`.
+//! 2. **country ↔ cast**: actors are mostly cast in movies produced in
+//!    their birth country, linking `name.birth_country`,
+//!    `movie_info.info = '<country>'` and `company_name.country_code`
+//!    across three join hops.
+
+use super::{scaled, Zipf};
+use crate::database::{Database, ForeignKey};
+use crate::table::{Column, StrColumn, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The latent genres. Also the domain of `movie_info.info` rows with
+/// `info_type = 'genres'`.
+pub const GENRES: [&str; 10] = [
+    "romance", "action", "horror", "comedy", "drama", "sci-fi", "documentary", "thriller",
+    "adventure", "crime",
+];
+
+/// Production-country tokens.
+pub const COUNTRIES: [&str; 15] = [
+    "usa", "france", "china", "india", "uk", "germany", "japan", "italy", "spain", "canada",
+    "korea", "brazil", "russia", "mexico", "australia",
+];
+
+/// Per-genre keyword vocabulary: keyword names embed these words, giving
+/// `ILIKE '%word%'` predicates their genre affinity.
+pub const GENRE_VOCAB: [[&str; 5]; 10] = [
+    ["love", "romance", "wedding", "kiss", "heart"],
+    ["fight", "chase", "explosion", "gun", "battle"],
+    ["blood", "scream", "ghost", "zombie", "fear"],
+    ["laugh", "joke", "parody", "gag", "slapstick"],
+    ["family", "tears", "loss", "secret", "betrayal"],
+    ["space", "robot", "alien", "future", "laser"],
+    ["nature", "history", "science", "truth", "biography"],
+    ["murder", "spy", "heist", "hostage", "conspiracy"],
+    ["quest", "jungle", "treasure", "island", "voyage"],
+    ["mafia", "police", "prison", "theft", "gang"],
+];
+
+/// `info_type` rows, by id (0-based): the paper's example query uses
+/// `it.id = 3` for genres; here `genres` is id 2 (0-based), documented in
+/// the workload generator.
+pub const INFO_TYPES: [&str; 6] = ["budget", "votes", "genres", "rating", "runtime", "country"];
+
+/// Probability that a movie's keyword comes from its own genre cluster.
+const KEYWORD_AFFINITY: f64 = 0.75;
+/// Probability that a movie's stored genre equals its latent genre.
+const GENRE_FIDELITY: f64 = 0.85;
+/// Probability that a cast member's birth country matches the movie's.
+const CAST_COUNTRY_AFFINITY: f64 = 0.7;
+/// Probability that a production company's country matches the movie's.
+const COMPANY_COUNTRY_AFFINITY: f64 = 0.6;
+
+/// Generates the IMDB-like database. `scale = 1.0` yields ≈240 k rows
+/// across 17 tables; all randomness derives from `seed`.
+pub fn generate(scale: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_title = scaled(12_000, scale);
+    let n_keyword = scaled(2_000, scale).max(GENRES.len() * GENRE_VOCAB[0].len());
+    let n_name = scaled(15_000, scale);
+    let n_char = scaled(8_000, scale);
+    let n_company = scaled(1_500, scale);
+
+    let genre_zipf = Zipf::new(GENRES.len(), 0.8);
+    let country_zipf = Zipf::new(COUNTRIES.len(), 1.0);
+    let year_zipf = Zipf::new(90, 0.7);
+
+    // ---- latent per-movie attributes --------------------------------
+    let movie_genre: Vec<usize> = (0..n_title).map(|_| genre_zipf.sample(&mut rng)).collect();
+    let movie_country: Vec<usize> = (0..n_title).map(|_| country_zipf.sample(&mut rng)).collect();
+
+    // ---- small dimension tables --------------------------------------
+    let kind_type = {
+        let kinds = ["movie", "tv_series", "video", "episode", "video_game", "short", "tv_movie"];
+        let mut s = StrColumn::new();
+        for k in kinds {
+            s.push(k);
+        }
+        Table::new(
+            "kind_type",
+            vec![Column::int("id", (0..kinds.len() as i64).collect()), Column::str("kind", s)],
+        )
+    };
+    let info_type = {
+        let mut s = StrColumn::new();
+        for k in INFO_TYPES {
+            s.push(k);
+        }
+        Table::new(
+            "info_type",
+            vec![Column::int("id", (0..INFO_TYPES.len() as i64).collect()), Column::str("info", s)],
+        )
+    };
+    let role_type = {
+        let roles = [
+            "actor", "actress", "producer", "writer", "cinematographer", "composer", "costume",
+            "director", "editor", "guest", "miscellaneous", "production_designer",
+        ];
+        let mut s = StrColumn::new();
+        for r in roles {
+            s.push(r);
+        }
+        Table::new(
+            "role_type",
+            vec![Column::int("id", (0..roles.len() as i64).collect()), Column::str("role", s)],
+        )
+    };
+    let link_type = {
+        let links = [
+            "follows", "followed_by", "remake_of", "remade_as", "references", "referenced_in",
+            "spoofs", "spoofed_in", "features", "featured_in", "spin_off_from", "spin_off",
+            "version_of", "similar_to", "edited_into", "edited_from", "alternate_language",
+            "unknown",
+        ];
+        let mut s = StrColumn::new();
+        for l in links {
+            s.push(l);
+        }
+        Table::new(
+            "link_type",
+            vec![Column::int("id", (0..links.len() as i64).collect()), Column::str("link", s)],
+        )
+    };
+    let company_type = {
+        let kinds = ["distributors", "production_companies", "special_effects", "miscellaneous"];
+        let mut s = StrColumn::new();
+        for k in kinds {
+            s.push(k);
+        }
+        Table::new(
+            "company_type",
+            vec![Column::int("id", (0..kinds.len() as i64).collect()), Column::str("kind", s)],
+        )
+    };
+
+    // ---- title -------------------------------------------------------
+    let kind_zipf = Zipf::new(7, 1.0);
+    let title = {
+        let mut titles = StrColumn::new();
+        let mut kind_ids = Vec::with_capacity(n_title);
+        let mut years = Vec::with_capacity(n_title);
+        for m in 0..n_title {
+            titles.push(&format!("{}_film_{m}", GENRE_VOCAB[movie_genre[m]][m % 5]));
+            kind_ids.push(kind_zipf.sample(&mut rng) as i64);
+            years.push(2019 - year_zipf.sample(&mut rng) as i64);
+        }
+        Table::new(
+            "title",
+            vec![
+                Column::int("id", (0..n_title as i64).collect()),
+                Column::int("kind_id", kind_ids),
+                Column::int("production_year", years),
+                Column::str("title", titles),
+            ],
+        )
+    };
+
+    // ---- keyword: names carry genre vocabulary ------------------------
+    // Keyword k has affinity genre k % 10; its name embeds a vocab word of
+    // that genre, so `%love%` matches only romance-cluster keywords.
+    let keyword = {
+        let mut s = StrColumn::new();
+        for k in 0..n_keyword {
+            let g = k % GENRES.len();
+            let w = GENRE_VOCAB[g][(k / GENRES.len()) % 5];
+            s.push(&format!("{w}-tag-{k}"));
+        }
+        Table::new(
+            "keyword",
+            vec![Column::int("id", (0..n_keyword as i64).collect()), Column::str("keyword", s)],
+        )
+    };
+    // Per-genre keyword clusters + intra-cluster popularity skew.
+    let cluster: Vec<Vec<usize>> = (0..GENRES.len())
+        .map(|g| (0..n_keyword).filter(|k| k % GENRES.len() == g).collect())
+        .collect();
+    let cluster_zipf: Vec<Zipf> = cluster.iter().map(|c| Zipf::new(c.len(), 1.1)).collect();
+    let any_keyword_zipf = Zipf::new(n_keyword, 0.5);
+
+    // ---- name (persons) ----------------------------------------------
+    let person_country: Vec<usize> = (0..n_name).map(|_| country_zipf.sample(&mut rng)).collect();
+    let name = {
+        let mut names = StrColumn::new();
+        let mut birth = StrColumn::new();
+        for p in 0..n_name {
+            names.push(&format!("person_{p}"));
+            birth.push(COUNTRIES[person_country[p]]);
+        }
+        Table::new(
+            "name",
+            vec![
+                Column::int("id", (0..n_name as i64).collect()),
+                Column::str("name", names),
+                Column::str("birth_country", birth),
+            ],
+        )
+    };
+    let mut persons_by_country: Vec<Vec<usize>> = vec![Vec::new(); COUNTRIES.len()];
+    for (p, &c) in person_country.iter().enumerate() {
+        persons_by_country[c].push(p);
+    }
+
+    let char_name = {
+        let mut s = StrColumn::new();
+        for c in 0..n_char {
+            s.push(&format!("character_{c}"));
+        }
+        Table::new(
+            "char_name",
+            vec![Column::int("id", (0..n_char as i64).collect()), Column::str("name", s)],
+        )
+    };
+
+    // ---- company_name: country correlated with the movies it produces -
+    let company_country: Vec<usize> =
+        (0..n_company).map(|_| country_zipf.sample(&mut rng)).collect();
+    let company_name = {
+        let mut names = StrColumn::new();
+        let mut cc = StrColumn::new();
+        for c in 0..n_company {
+            names.push(&format!("studio_{c}"));
+            cc.push(COUNTRIES[company_country[c]]);
+        }
+        Table::new(
+            "company_name",
+            vec![
+                Column::int("id", (0..n_company as i64).collect()),
+                Column::str("name", names),
+                Column::str("country_code", cc),
+            ],
+        )
+    };
+    let mut companies_by_country: Vec<Vec<usize>> = vec![Vec::new(); COUNTRIES.len()];
+    for (c, &cc) in company_country.iter().enumerate() {
+        companies_by_country[cc].push(c);
+    }
+
+    // ---- movie_info: one 'genres' + one 'country' + one 'rating' row per
+    // movie. The stored genre equals the latent genre with high fidelity.
+    let genres_type_id = 2i64; // INFO_TYPES[2] == "genres"
+    let country_type_id = 5i64; // INFO_TYPES[5] == "country"
+    let rating_type_id = 3i64;
+    let movie_info = {
+        let mut movie_ids = Vec::new();
+        let mut type_ids = Vec::new();
+        let mut infos = StrColumn::new();
+        for m in 0..n_title {
+            let g = if rng.gen_bool(GENRE_FIDELITY) {
+                movie_genre[m]
+            } else {
+                rng.gen_range(0..GENRES.len())
+            };
+            movie_ids.push(m as i64);
+            type_ids.push(genres_type_id);
+            infos.push(GENRES[g]);
+
+            movie_ids.push(m as i64);
+            type_ids.push(country_type_id);
+            infos.push(COUNTRIES[movie_country[m]]);
+
+            movie_ids.push(m as i64);
+            type_ids.push(rating_type_id);
+            infos.push(&format!("{}.{}", rng.gen_range(1..10), rng.gen_range(0..10)));
+        }
+        let n = movie_ids.len() as i64;
+        Table::new(
+            "movie_info",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("movie_id", movie_ids),
+                Column::int("info_type_id", type_ids),
+                Column::str("info", infos),
+            ],
+        )
+    };
+
+    // ---- movie_keyword: 3 keywords per movie, genre-affine -------------
+    let movie_keyword = {
+        let mut movie_ids = Vec::new();
+        let mut keyword_ids = Vec::new();
+        for m in 0..n_title {
+            let g = movie_genre[m];
+            for _ in 0..3 {
+                let k = if rng.gen_bool(KEYWORD_AFFINITY) {
+                    cluster[g][cluster_zipf[g].sample(&mut rng)]
+                } else {
+                    any_keyword_zipf.sample(&mut rng)
+                };
+                movie_ids.push(m as i64);
+                keyword_ids.push(k as i64);
+            }
+        }
+        let n = movie_ids.len() as i64;
+        Table::new(
+            "movie_keyword",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("movie_id", movie_ids),
+                Column::int("keyword_id", keyword_ids),
+            ],
+        )
+    };
+
+    // ---- cast_info: 5 credits per movie, country-affine casting --------
+    let role_zipf = Zipf::new(12, 1.0);
+    let cast_info = {
+        let mut movie_ids = Vec::new();
+        let mut person_ids = Vec::new();
+        let mut role_ids = Vec::new();
+        let mut char_ids = Vec::new();
+        for m in 0..n_title {
+            let c = movie_country[m];
+            for _ in 0..5 {
+                let p = if rng.gen_bool(CAST_COUNTRY_AFFINITY) && !persons_by_country[c].is_empty()
+                {
+                    persons_by_country[c][rng.gen_range(0..persons_by_country[c].len())]
+                } else {
+                    rng.gen_range(0..n_name)
+                };
+                movie_ids.push(m as i64);
+                person_ids.push(p as i64);
+                role_ids.push(role_zipf.sample(&mut rng) as i64);
+                char_ids.push(rng.gen_range(0..n_char) as i64);
+            }
+        }
+        let n = movie_ids.len() as i64;
+        Table::new(
+            "cast_info",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("movie_id", movie_ids),
+                Column::int("person_id", person_ids),
+                Column::int("role_id", role_ids),
+                Column::int("char_id", char_ids),
+            ],
+        )
+    };
+
+    // ---- movie_companies ----------------------------------------------
+    let ctype_zipf = Zipf::new(4, 0.8);
+    let movie_companies = {
+        let mut movie_ids = Vec::new();
+        let mut company_ids = Vec::new();
+        let mut type_ids = Vec::new();
+        for m in 0..n_title {
+            let c = movie_country[m];
+            let count = 1 + usize::from(rng.gen_bool(0.5));
+            for _ in 0..count {
+                let comp = if rng.gen_bool(COMPANY_COUNTRY_AFFINITY)
+                    && !companies_by_country[c].is_empty()
+                {
+                    companies_by_country[c][rng.gen_range(0..companies_by_country[c].len())]
+                } else {
+                    rng.gen_range(0..n_company)
+                };
+                movie_ids.push(m as i64);
+                company_ids.push(comp as i64);
+                type_ids.push(ctype_zipf.sample(&mut rng) as i64);
+            }
+        }
+        let n = movie_ids.len() as i64;
+        Table::new(
+            "movie_companies",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("movie_id", movie_ids),
+                Column::int("company_id", company_ids),
+                Column::int("company_type_id", type_ids),
+            ],
+        )
+    };
+
+    // ---- aka_title ------------------------------------------------------
+    let aka_title = {
+        let mut movie_ids = Vec::new();
+        let mut titles = StrColumn::new();
+        for m in 0..n_title {
+            if rng.gen_bool(0.3) {
+                movie_ids.push(m as i64);
+                titles.push(&format!("aka_{m}"));
+            }
+        }
+        let n = movie_ids.len() as i64;
+        Table::new(
+            "aka_title",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("movie_id", movie_ids),
+                Column::str("title", titles),
+            ],
+        )
+    };
+
+    // ---- person_info -----------------------------------------------------
+    let person_info = {
+        let mut person_ids = Vec::new();
+        let mut type_ids = Vec::new();
+        let mut infos = StrColumn::new();
+        for p in 0..n_name {
+            // A 'birthplace-like' row correlated with birth country, plus a
+            // noise row.
+            person_ids.push(p as i64);
+            type_ids.push(country_type_id);
+            infos.push(COUNTRIES[person_country[p]]);
+            person_ids.push(p as i64);
+            type_ids.push(rating_type_id);
+            infos.push(&format!("{}", 150 + (p % 50)));
+        }
+        let n = person_ids.len() as i64;
+        Table::new(
+            "person_info",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("person_id", person_ids),
+                Column::int("info_type_id", type_ids),
+                Column::str("info", infos),
+            ],
+        )
+    };
+
+    // ---- movie_link: links stay within genre 80% of the time ------------
+    let mut movies_by_genre: Vec<Vec<usize>> = vec![Vec::new(); GENRES.len()];
+    for (m, &g) in movie_genre.iter().enumerate() {
+        movies_by_genre[g].push(m);
+    }
+    let movie_link = {
+        let mut movie_ids = Vec::new();
+        let mut linked_ids = Vec::new();
+        let mut type_ids = Vec::new();
+        for m in 0..n_title {
+            if rng.gen_bool(0.25) {
+                let g = movie_genre[m];
+                let linked = if rng.gen_bool(0.8) && movies_by_genre[g].len() > 1 {
+                    movies_by_genre[g][rng.gen_range(0..movies_by_genre[g].len())]
+                } else {
+                    rng.gen_range(0..n_title)
+                };
+                movie_ids.push(m as i64);
+                linked_ids.push(linked as i64);
+                type_ids.push(rng.gen_range(0..18) as i64);
+            }
+        }
+        let n = movie_ids.len() as i64;
+        Table::new(
+            "movie_link",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("movie_id", movie_ids),
+                Column::int("linked_movie_id", linked_ids),
+                Column::int("link_type_id", type_ids),
+            ],
+        )
+    };
+
+    let tables = vec![
+        kind_type,       // 0
+        info_type,       // 1
+        role_type,       // 2
+        link_type,       // 3
+        company_type,    // 4
+        title,           // 5
+        keyword,         // 6
+        name,            // 7
+        char_name,       // 8
+        company_name,    // 9
+        movie_info,      // 10
+        movie_keyword,   // 11
+        cast_info,       // 12
+        movie_companies, // 13
+        aka_title,       // 14
+        person_info,     // 15
+        movie_link,      // 16
+    ];
+
+    let tid = |n: &str| tables.iter().position(|t| t.name == n).unwrap();
+    let cid = |t: usize, n: &str| tables[t].col_id(n).unwrap();
+    let fk = |ft: &str, fc: &str, tt: &str, tc: &str| {
+        let (a, b) = (tid(ft), tid(tt));
+        ForeignKey { from_table: a, from_col: cid(a, fc), to_table: b, to_col: cid(b, tc) }
+    };
+    let foreign_keys = vec![
+        fk("title", "kind_id", "kind_type", "id"),
+        fk("movie_info", "movie_id", "title", "id"),
+        fk("movie_info", "info_type_id", "info_type", "id"),
+        fk("movie_keyword", "movie_id", "title", "id"),
+        fk("movie_keyword", "keyword_id", "keyword", "id"),
+        fk("cast_info", "movie_id", "title", "id"),
+        fk("cast_info", "person_id", "name", "id"),
+        fk("cast_info", "role_id", "role_type", "id"),
+        fk("cast_info", "char_id", "char_name", "id"),
+        fk("movie_companies", "movie_id", "title", "id"),
+        fk("movie_companies", "company_id", "company_name", "id"),
+        fk("movie_companies", "company_type_id", "company_type", "id"),
+        fk("aka_title", "movie_id", "title", "id"),
+        fk("person_info", "person_id", "name", "id"),
+        fk("person_info", "info_type_id", "info_type", "id"),
+        fk("movie_link", "movie_id", "title", "id"),
+        fk("movie_link", "link_type_id", "link_type", "id"),
+    ];
+
+    // Index every primary key and every FK column.
+    let mut indexed: Vec<(usize, usize)> = Vec::new();
+    for (t, table) in tables.iter().enumerate() {
+        if let Some(c) = table.col_id("id") {
+            indexed.push((t, c));
+        }
+    }
+    for f in &foreign_keys {
+        indexed.push((f.from_table, f.from_col));
+    }
+    indexed.sort_unstable();
+    indexed.dedup();
+
+    Database::build("imdb", tables, foreign_keys, indexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Database {
+        generate(0.05, 42)
+    }
+
+    #[test]
+    fn has_seventeen_tables() {
+        let db = tiny();
+        assert_eq!(db.num_tables(), 17);
+        for name in ["title", "cast_info", "movie_info", "movie_keyword", "keyword", "name"] {
+            assert!(db.table_id(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(0.05, 7);
+        let b = generate(0.05, 7);
+        assert_eq!(a.total_rows(), b.total_rows());
+        let ta = a.table("title").col("production_year").as_int().unwrap();
+        let tb = b.table("title").col("production_year").as_int().unwrap();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn foreign_keys_reference_valid_rows() {
+        let db = tiny();
+        for fk in &db.foreign_keys {
+            let from = db.tables[fk.from_table].columns[fk.from_col].as_int().unwrap();
+            let to = db.tables[fk.to_table].columns[fk.to_col].as_int().unwrap();
+            let max_to = *to.iter().max().unwrap();
+            for &v in from {
+                assert!(v >= 0 && v <= max_to, "dangling FK value {v} in {}", db.tables[fk.from_table].name);
+            }
+        }
+    }
+
+    #[test]
+    fn genre_keyword_correlation_is_planted() {
+        // Movies tagged 'romance' should carry 'love-*' keywords far more
+        // often than 'fight-*' keywords.
+        let db = generate(0.2, 3);
+        let mi = db.table("movie_info");
+        let infos = mi.col("info").as_str().unwrap();
+        let type_ids = mi.col("info_type_id").as_int().unwrap();
+        let movie_ids = mi.col("movie_id").as_int().unwrap();
+        let romance = infos.code_of("romance").unwrap();
+        let mut romance_movies = std::collections::HashSet::new();
+        for r in 0..mi.num_rows() {
+            if type_ids[r] == 2 && infos.codes[r] == romance {
+                romance_movies.insert(movie_ids[r]);
+            }
+        }
+        let kw = db.table("keyword").col("keyword").as_str().unwrap();
+        let love_codes: std::collections::HashSet<u32> =
+            kw.codes_containing("love").into_iter().collect();
+        let fight_codes: std::collections::HashSet<u32> =
+            kw.codes_containing("fight").into_iter().collect();
+        let mk = db.table("movie_keyword");
+        let mk_movie = mk.col("movie_id").as_int().unwrap();
+        let mk_kw = mk.col("keyword_id").as_int().unwrap();
+        let (mut love_hits, mut fight_hits) = (0usize, 0usize);
+        for r in 0..mk.num_rows() {
+            if romance_movies.contains(&mk_movie[r]) {
+                // Keyword strings are unique and pushed in id order, so a
+                // keyword's dict code equals its row id equals its id.
+                let kid = mk_kw[r] as u32;
+                if love_codes.contains(&kid) {
+                    love_hits += 1;
+                }
+                if fight_codes.contains(&kid) {
+                    fight_hits += 1;
+                }
+            }
+        }
+        assert!(
+            love_hits > 3 * fight_hits.max(1),
+            "love {love_hits} vs fight {fight_hits} in romance movies"
+        );
+    }
+
+    #[test]
+    fn cast_country_correlation_is_planted() {
+        let db = generate(0.2, 3);
+        // For movies produced in 'france', cast birth country should be
+        // 'france' much more often than the base rate of france actors.
+        let mi = db.table("movie_info");
+        let infos = mi.col("info").as_str().unwrap();
+        let type_ids = mi.col("info_type_id").as_int().unwrap();
+        let movie_ids = mi.col("movie_id").as_int().unwrap();
+        let france = infos.code_of("france").unwrap();
+        let mut fr_movies = std::collections::HashSet::new();
+        for r in 0..mi.num_rows() {
+            if type_ids[r] == 5 && infos.codes[r] == france {
+                fr_movies.insert(movie_ids[r]);
+            }
+        }
+        let names = db.table("name");
+        let birth = names.col("birth_country").as_str().unwrap();
+        let fr_code = birth.code_of("france").unwrap();
+        let base_rate = birth.codes.iter().filter(|&&c| c == fr_code).count() as f64
+            / names.num_rows() as f64;
+        let ci = db.table("cast_info");
+        let ci_movie = ci.col("movie_id").as_int().unwrap();
+        let ci_person = ci.col("person_id").as_int().unwrap();
+        let (mut fr_cast, mut total) = (0usize, 0usize);
+        for r in 0..ci.num_rows() {
+            if fr_movies.contains(&ci_movie[r]) {
+                total += 1;
+                if birth.codes[ci_person[r] as usize] == fr_code {
+                    fr_cast += 1;
+                }
+            }
+        }
+        let rate = fr_cast as f64 / total.max(1) as f64;
+        assert!(rate > 3.0 * base_rate, "conditional {rate} vs base {base_rate}");
+    }
+
+    #[test]
+    fn all_fk_columns_are_indexed() {
+        let db = tiny();
+        for fk in &db.foreign_keys {
+            assert!(db.has_index(fk.from_table, fk.from_col));
+            assert!(db.has_index(fk.to_table, fk.to_col));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! TPC-H-like dataset generator (stands in for TPC-H SF10, paper §6.1).
+//!
+//! The eight-table TPC-H schema with *uniform, independent* column values —
+//! by design the one evaluation dataset where histogram estimators with
+//! uniformity assumptions are accurate, so traditional optimizers are
+//! already near-optimal and Neo does not win (paper Fig. 9/10, TPC-H rows).
+
+use super::scaled;
+use crate::database::{Database, ForeignKey};
+use crate::table::{Column, StrColumn, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Market segments (uniformly distributed, as in TPC-H).
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Part type words.
+pub const PART_TYPES: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Generates the TPC-H-like database. `scale = 1.0` yields ≈130 k rows.
+pub fn generate(scale: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_supplier = scaled(1_000, scale);
+    let n_customer = scaled(7_500, scale);
+    let n_part = scaled(10_000, scale);
+    let n_partsupp = n_part * 4;
+    let n_orders = scaled(15_000, scale);
+    let n_lineitem = n_orders * 4;
+
+    let region = {
+        let names = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+        let mut s = StrColumn::new();
+        for n in names {
+            s.push(n);
+        }
+        Table::new("region", vec![Column::int("id", (0..5).collect()), Column::str("name", s)])
+    };
+
+    let nation = {
+        let mut names = StrColumn::new();
+        let mut region_ids = Vec::new();
+        for n in 0..25 {
+            names.push(&format!("NATION_{n}"));
+            region_ids.push((n % 5) as i64);
+        }
+        Table::new(
+            "nation",
+            vec![
+                Column::int("id", (0..25).collect()),
+                Column::str("name", names),
+                Column::int("region_id", region_ids),
+            ],
+        )
+    };
+
+    let supplier = {
+        let mut names = StrColumn::new();
+        let mut nation_ids = Vec::new();
+        let mut balances = Vec::new();
+        for sid in 0..n_supplier {
+            names.push(&format!("Supplier#{sid:09}"));
+            nation_ids.push(rng.gen_range(0..25) as i64);
+            balances.push(rng.gen_range(-999..10_000));
+        }
+        Table::new(
+            "supplier",
+            vec![
+                Column::int("id", (0..n_supplier as i64).collect()),
+                Column::str("name", names),
+                Column::int("nation_id", nation_ids),
+                Column::int("acctbal", balances),
+            ],
+        )
+    };
+
+    let customer = {
+        let mut names = StrColumn::new();
+        let mut segments = StrColumn::new();
+        let mut nation_ids = Vec::new();
+        let mut balances = Vec::new();
+        for cid in 0..n_customer {
+            names.push(&format!("Customer#{cid:09}"));
+            segments.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]);
+            nation_ids.push(rng.gen_range(0..25) as i64);
+            balances.push(rng.gen_range(-999..10_000));
+        }
+        Table::new(
+            "customer",
+            vec![
+                Column::int("id", (0..n_customer as i64).collect()),
+                Column::str("name", names),
+                Column::str("mktsegment", segments),
+                Column::int("nation_id", nation_ids),
+                Column::int("acctbal", balances),
+            ],
+        )
+    };
+
+    let part = {
+        let mut names = StrColumn::new();
+        let mut types = StrColumn::new();
+        let mut sizes = Vec::new();
+        let mut prices = Vec::new();
+        for pid in 0..n_part {
+            names.push(&format!("part_{pid}"));
+            types.push(&format!(
+                "{} {}",
+                PART_TYPES[rng.gen_range(0..PART_TYPES.len())],
+                ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+                    [rng.gen_range(0..5)]
+            ));
+            sizes.push(rng.gen_range(1..51) as i64);
+            prices.push(rng.gen_range(900..2_100) as i64);
+        }
+        Table::new(
+            "part",
+            vec![
+                Column::int("id", (0..n_part as i64).collect()),
+                Column::str("name", names),
+                Column::str("type", types),
+                Column::int("size", sizes),
+                Column::int("retailprice", prices),
+            ],
+        )
+    };
+
+    let partsupp = {
+        let mut part_ids = Vec::new();
+        let mut supp_ids = Vec::new();
+        let mut qtys = Vec::new();
+        let mut costs = Vec::new();
+        for p in 0..n_part {
+            for s in 0..4 {
+                part_ids.push(p as i64);
+                supp_ids.push(((p + s * (n_supplier / 4 + 1)) % n_supplier) as i64);
+                qtys.push(rng.gen_range(1..10_000) as i64);
+                costs.push(rng.gen_range(100..100_000) as i64);
+            }
+        }
+        let n = part_ids.len() as i64;
+        Table::new(
+            "partsupp",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("part_id", part_ids),
+                Column::int("supp_id", supp_ids),
+                Column::int("availqty", qtys),
+                Column::int("supplycost", costs),
+            ],
+        )
+    };
+    debug_assert_eq!(n_partsupp, n_part * 4);
+
+    let orders = {
+        let mut cust_ids = Vec::new();
+        let mut dates = Vec::new();
+        let mut totals = Vec::new();
+        let mut prios = StrColumn::new();
+        for _ in 0..n_orders {
+            cust_ids.push(rng.gen_range(0..n_customer) as i64);
+            dates.push(rng.gen_range(19_920_101..19_981_231) as i64);
+            totals.push(rng.gen_range(1_000..500_000) as i64);
+            prios.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]);
+        }
+        Table::new(
+            "orders",
+            vec![
+                Column::int("id", (0..n_orders as i64).collect()),
+                Column::int("cust_id", cust_ids),
+                Column::int("orderdate", dates),
+                Column::int("totalprice", totals),
+                Column::str("orderpriority", prios),
+            ],
+        )
+    };
+
+    let lineitem = {
+        let mut order_ids = Vec::new();
+        let mut part_ids = Vec::new();
+        let mut supp_ids = Vec::new();
+        let mut qtys = Vec::new();
+        let mut prices = Vec::new();
+        let mut discounts = Vec::new();
+        let mut modes = StrColumn::new();
+        for o in 0..n_orders {
+            for _ in 0..4 {
+                order_ids.push(o as i64);
+                part_ids.push(rng.gen_range(0..n_part) as i64);
+                supp_ids.push(rng.gen_range(0..n_supplier) as i64);
+                qtys.push(rng.gen_range(1..51) as i64);
+                prices.push(rng.gen_range(900..105_000) as i64);
+                discounts.push(rng.gen_range(0..11) as i64);
+                modes.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())]);
+            }
+        }
+        let n = order_ids.len() as i64;
+        Table::new(
+            "lineitem",
+            vec![
+                Column::int("id", (0..n).collect()),
+                Column::int("order_id", order_ids),
+                Column::int("part_id", part_ids),
+                Column::int("supp_id", supp_ids),
+                Column::int("quantity", qtys),
+                Column::int("extendedprice", prices),
+                Column::int("discount", discounts),
+                Column::str("shipmode", modes),
+            ],
+        )
+    };
+    debug_assert_eq!(n_lineitem, n_orders * 4);
+
+    let tables = vec![region, nation, supplier, customer, part, partsupp, orders, lineitem];
+    let tid = |n: &str| tables.iter().position(|t| t.name == n).unwrap();
+    let cid = |t: usize, n: &str| tables[t].col_id(n).unwrap();
+    let fk = |ft: &str, fc: &str, tt: &str, tc: &str| {
+        let (a, b) = (tid(ft), tid(tt));
+        ForeignKey { from_table: a, from_col: cid(a, fc), to_table: b, to_col: cid(b, tc) }
+    };
+    let foreign_keys = vec![
+        fk("nation", "region_id", "region", "id"),
+        fk("supplier", "nation_id", "nation", "id"),
+        fk("customer", "nation_id", "nation", "id"),
+        fk("partsupp", "part_id", "part", "id"),
+        fk("partsupp", "supp_id", "supplier", "id"),
+        fk("orders", "cust_id", "customer", "id"),
+        fk("lineitem", "order_id", "orders", "id"),
+        fk("lineitem", "part_id", "part", "id"),
+        fk("lineitem", "supp_id", "supplier", "id"),
+    ];
+
+    let mut indexed: Vec<(usize, usize)> = Vec::new();
+    for (t, table) in tables.iter().enumerate() {
+        if let Some(c) = table.col_id("id") {
+            indexed.push((t, c));
+        }
+    }
+    for f in &foreign_keys {
+        indexed.push((f.from_table, f.from_col));
+    }
+    indexed.sort_unstable();
+    indexed.dedup();
+
+    Database::build("tpch", tables, foreign_keys, indexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_eight_tables() {
+        let db = generate(0.05, 1);
+        assert_eq!(db.num_tables(), 8);
+        for n in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+        {
+            assert!(db.table_id(n).is_some());
+        }
+    }
+
+    #[test]
+    fn lineitem_is_largest() {
+        let db = generate(0.1, 1);
+        let li = db.table("lineitem").num_rows();
+        for t in &db.tables {
+            assert!(t.num_rows() <= li);
+        }
+    }
+
+    #[test]
+    fn quantity_is_uniform() {
+        // Uniformity is the point of this dataset: chi-square-ish sanity
+        // check that quantity values 1..=50 are roughly equally common.
+        let db = generate(0.5, 9);
+        let q = db.table("lineitem").col("quantity").as_int().unwrap();
+        let mut counts = vec![0usize; 51];
+        for &v in q {
+            counts[v as usize] += 1;
+        }
+        let expected = q.len() as f64 / 50.0;
+        for v in 1..=50 {
+            let dev = (counts[v] as f64 - expected).abs() / expected;
+            assert!(dev < 0.35, "quantity {v} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn fks_reference_valid_rows() {
+        let db = generate(0.05, 1);
+        for fkey in &db.foreign_keys {
+            let from = db.tables[fkey.from_table].columns[fkey.from_col].as_int().unwrap();
+            let n_to = db.tables[fkey.to_table].num_rows() as i64;
+            assert!(from.iter().all(|&v| v >= 0 && v < n_to));
+        }
+    }
+}

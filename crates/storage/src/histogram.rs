@@ -1,0 +1,260 @@
+//! Histogram-based selectivity estimation with uniformity assumptions —
+//! the "off-the-shelf histogram approach … as used by PostgreSQL and other
+//! open-source systems" that the paper's *Histogram* featurization and the
+//! expert optimizer's cardinality estimator rely on (§3.2, §5).
+
+/// An equi-depth histogram over an integer column.
+///
+/// `bounds` holds `num_buckets + 1` boundaries; every bucket contains
+/// (approximately) the same number of rows. Within a bucket, values are
+/// assumed uniformly distributed — the classic assumption whose violations
+/// Neo learns to work around.
+#[derive(Clone, Debug)]
+pub struct EquiDepthHistogram {
+    bounds: Vec<i64>,
+    /// Exact row count per bucket (the last bucket may be smaller).
+    counts: Vec<u64>,
+    total: u64,
+    distinct: u64,
+}
+
+impl EquiDepthHistogram {
+    /// Builds an equi-depth histogram with (up to) `num_buckets` buckets.
+    pub fn build(values: &[i64], num_buckets: usize) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let total = sorted.len() as u64;
+        let mut distinct = 0u64;
+        for (i, v) in sorted.iter().enumerate() {
+            if i == 0 || sorted[i - 1] != *v {
+                distinct += 1;
+            }
+        }
+        if sorted.is_empty() {
+            return EquiDepthHistogram { bounds: vec![0, 0], counts: vec![0], total: 0, distinct: 0 };
+        }
+        let buckets = num_buckets.max(1).min(sorted.len());
+        let depth = sorted.len().div_ceil(buckets);
+        let mut bounds = vec![sorted[0]];
+        let mut counts = Vec::new();
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let end = (i + depth).min(sorted.len());
+            bounds.push(sorted[end - 1]);
+            counts.push((end - i) as u64);
+            i = end;
+        }
+        EquiDepthHistogram { bounds, counts, total, distinct }
+    }
+
+    /// Total rows summarized.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distinct values observed at build time.
+    pub fn distinct(&self) -> u64 {
+        self.distinct
+    }
+
+    /// Minimum value observed.
+    pub fn min(&self) -> i64 {
+        self.bounds[0]
+    }
+
+    /// Maximum value observed.
+    pub fn max(&self) -> i64 {
+        *self.bounds.last().unwrap()
+    }
+
+    /// Estimated selectivity of `col = v` (uniformity within distinct
+    /// values: `1 / n_distinct`, zeroed outside the observed range).
+    pub fn est_eq(&self, v: i64) -> f64 {
+        if self.total == 0 || v < self.min() || v > self.max() || self.distinct == 0 {
+            return 0.0;
+        }
+        1.0 / self.distinct as f64
+    }
+
+    /// Estimated selectivity of `col < v` via bucket interpolation.
+    pub fn est_lt(&self, v: i64) -> f64 {
+        if self.total == 0 || v <= self.min() {
+            return 0.0;
+        }
+        if v > self.max() {
+            return 1.0;
+        }
+        let mut acc = 0u64;
+        for (b, &count) in self.counts.iter().enumerate() {
+            let lo = self.bounds[b];
+            let hi = self.bounds[b + 1];
+            if v > hi {
+                acc += count;
+            } else {
+                // Linear interpolation within the bucket.
+                let width = (hi - lo).max(1) as f64;
+                let frac = ((v - lo).max(0) as f64 / width).clamp(0.0, 1.0);
+                return (acc as f64 + frac * count as f64) / self.total as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of `col <= v`.
+    pub fn est_le(&self, v: i64) -> f64 {
+        (self.est_lt(v) + self.est_eq(v)).min(1.0)
+    }
+
+    /// Estimated selectivity of `col > v`.
+    pub fn est_gt(&self, v: i64) -> f64 {
+        (1.0 - self.est_le(v)).max(0.0)
+    }
+
+    /// Estimated selectivity of `lo <= col <= hi`.
+    pub fn est_between(&self, lo: i64, hi: i64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.est_le(hi) - self.est_lt(lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// Most-common-value statistics for a dictionary-encoded string column.
+#[derive(Clone, Debug)]
+pub struct McvStats {
+    /// `(dictionary code, row count)` for the top-k most common values.
+    entries: Vec<(u32, u64)>,
+    total: u64,
+    distinct: u64,
+    /// Rows not covered by the MCV list.
+    rest: u64,
+}
+
+impl McvStats {
+    /// Builds MCV statistics from per-row dictionary codes.
+    pub fn build(codes: &[u32], dict_len: usize, k: usize) -> Self {
+        let mut counts = vec![0u64; dict_len];
+        for &c in codes {
+            counts[c as usize] += 1;
+        }
+        let mut pairs: Vec<(u32, u64)> =
+            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i as u32, c)).collect();
+        let distinct = pairs.len() as u64;
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        let covered: u64 = pairs.iter().map(|(_, c)| c).sum();
+        let total = codes.len() as u64;
+        McvStats { entries: pairs, total, distinct, rest: total - covered }
+    }
+
+    /// Total rows summarized.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distinct values observed.
+    pub fn distinct(&self) -> u64 {
+        self.distinct
+    }
+
+    /// Estimated selectivity of equality with the given dictionary code:
+    /// exact for MCVs, uniform over the remaining distinct values otherwise.
+    pub fn est_eq_code(&self, code: u32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if let Some(&(_, c)) = self.entries.iter().find(|(e, _)| *e == code) {
+            return c as f64 / self.total as f64;
+        }
+        let non_mcv_distinct = self.distinct.saturating_sub(self.entries.len() as u64);
+        if non_mcv_distinct == 0 {
+            return 0.0;
+        }
+        (self.rest as f64 / non_mcv_distinct as f64) / self.total as f64
+    }
+
+    /// Estimated selectivity for a set-containment predicate (e.g. the
+    /// evaluation of `ILIKE '%needle%'` after expanding to matching codes):
+    /// the sum of per-code estimates. Note this still assumes per-value
+    /// uniformity for non-MCV codes, so skewed "hot" keywords are badly
+    /// underestimated — exactly the PostgreSQL failure mode the paper
+    /// exploits.
+    pub fn est_in_codes(&self, codes: &[u32]) -> f64 {
+        codes.iter().map(|&c| self.est_eq_code(c)).sum::<f64>().min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_histogram_lt_is_linear() {
+        let values: Vec<i64> = (0..1000).collect();
+        let h = EquiDepthHistogram::build(&values, 10);
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.distinct(), 1000);
+        let est = h.est_lt(500);
+        assert!((est - 0.5).abs() < 0.02, "est = {est}");
+        assert_eq!(h.est_lt(-5), 0.0);
+        assert_eq!(h.est_lt(5000), 1.0);
+    }
+
+    #[test]
+    fn eq_estimate_is_one_over_distinct() {
+        let values: Vec<i64> = (0..100).collect();
+        let h = EquiDepthHistogram::build(&values, 4);
+        assert!((h.est_eq(50) - 0.01).abs() < 1e-9);
+        assert_eq!(h.est_eq(-1), 0.0);
+    }
+
+    #[test]
+    fn between_bounds_sane() {
+        let values: Vec<i64> = (0..1000).collect();
+        let h = EquiDepthHistogram::build(&values, 16);
+        let est = h.est_between(250, 749);
+        assert!((est - 0.5).abs() < 0.05, "est = {est}");
+        assert_eq!(h.est_between(10, 5), 0.0);
+    }
+
+    #[test]
+    fn skewed_histogram_underestimates_hot_value() {
+        // 90% of rows are value 7 — eq estimate is 1/distinct, which is a
+        // huge underestimate. This is intentional (PostgreSQL-style error).
+        let mut values = vec![7i64; 900];
+        values.extend(0..100);
+        let h = EquiDepthHistogram::build(&values, 10);
+        assert!(h.est_eq(7) < 0.02);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = EquiDepthHistogram::build(&[], 8);
+        assert_eq!(h.est_eq(0), 0.0);
+        assert_eq!(h.est_lt(10), 0.0);
+    }
+
+    #[test]
+    fn mcv_exact_for_common_uniform_for_rare() {
+        // codes: 0 appears 50x, 1 appears 30x, 2..12 appear 2x each.
+        let mut codes = vec![0u32; 50];
+        codes.extend(vec![1u32; 30]);
+        for c in 2..12u32 {
+            codes.extend(vec![c, c]);
+        }
+        let m = McvStats::build(&codes, 12, 2);
+        assert_eq!(m.total(), 100);
+        assert_eq!(m.distinct(), 12);
+        assert!((m.est_eq_code(0) - 0.5).abs() < 1e-9);
+        assert!((m.est_eq_code(1) - 0.3).abs() < 1e-9);
+        // Non-MCV: rest = 20 rows over 10 distinct = 2 rows => 0.02.
+        assert!((m.est_eq_code(5) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mcv_in_codes_caps_at_one() {
+        let codes = vec![0u32; 10];
+        let m = McvStats::build(&codes, 1, 4);
+        assert_eq!(m.est_in_codes(&[0, 0, 0]), 1.0);
+    }
+}

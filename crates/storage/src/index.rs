@@ -1,0 +1,87 @@
+//! Secondary indexes. A [`BTreeIndex`] maps an integer key to the sorted
+//! list of row ids holding it — the access path behind Neo's *index scan*
+//! leaves and the inner side of index nested-loop joins.
+
+use std::collections::BTreeMap;
+
+/// An ordered index over an integer column.
+#[derive(Clone, Debug, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<i64, Vec<u32>>,
+    len: usize,
+}
+
+impl BTreeIndex {
+    /// Builds an index over `values` (row id = position).
+    pub fn build(values: &[i64]) -> Self {
+        let mut map: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for (row, &v) in values.iter().enumerate() {
+            map.entry(v).or_default().push(row as u32);
+        }
+        BTreeIndex { map, len: values.len() }
+    }
+
+    /// Row ids with key exactly `v`.
+    pub fn lookup(&self, v: i64) -> &[u32] {
+        self.map.get(&v).map_or(&[], |rows| rows.as_slice())
+    }
+
+    /// Row ids with key in `[lo, hi]` (inclusive).
+    pub fn range(&self, lo: i64, hi: i64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for rows in self.map.range(lo..=hi).map(|(_, r)| r) {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates `(key, row ids)` in key order — used by merge-join-style
+    /// sorted access and by statistics construction.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &[u32])> {
+        self.map.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_range() {
+        let idx = BTreeIndex::build(&[5, 3, 5, 1, 3, 5]);
+        assert_eq!(idx.lookup(5), &[0, 2, 5]);
+        assert_eq!(idx.lookup(42), &[] as &[u32]);
+        assert_eq!(idx.range(2, 4), vec![1, 4]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    fn iter_is_key_ordered() {
+        let idx = BTreeIndex::build(&[9, 1, 4]);
+        let keys: Vec<i64> = idx.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BTreeIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.range(0, 100), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # neo-storage — column-store substrate for the Neo reproduction
+//!
+//! An in-memory, column-oriented storage layer providing everything the
+//! rest of the system consumes:
+//!
+//! * typed [`table::Column`]s (integers + dictionary-encoded strings)
+//!   assembled into [`table::Table`]s and a [`database::Database`] with
+//!   foreign keys,
+//! * [`index::BTreeIndex`] secondary indexes backing Neo's *index scan*
+//!   access paths,
+//! * [`histogram`] equi-depth histograms and MCV lists with the classic
+//!   uniformity/independence assumptions (paper §3.2 "Histogram"
+//!   featurization and the expert optimizer's estimator),
+//! * [`datagen`] deterministic synthetic datasets standing in for IMDB
+//!   (JOB), TPC-H and the proprietary Corp workload (paper §6.1); the
+//!   IMDB-like and Corp-like generators plant the cross-table correlations
+//!   that Neo's row-vector embeddings learn to exploit (paper §5).
+
+pub mod database;
+pub mod datagen;
+pub mod histogram;
+pub mod index;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use database::{Database, ForeignKey};
+pub use histogram::{EquiDepthHistogram, McvStats};
+pub use index::BTreeIndex;
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Column, ColumnData, StrColumn, Table};
+pub use value::{Value, ValueType};

@@ -1,0 +1,78 @@
+//! Per-table statistics: row counts plus per-column histograms / MCV lists.
+//! These feed both the expert optimizer's cardinality estimator and Neo's
+//! *Histogram* featurization.
+
+use crate::histogram::{EquiDepthHistogram, McvStats};
+use crate::table::{ColumnData, Table};
+
+/// Default number of histogram buckets (PostgreSQL's default is 100; we use
+/// a smaller value matched to the scaled-down datasets).
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// Default MCV list length.
+pub const DEFAULT_MCVS: usize = 32;
+
+/// Statistics for one column.
+#[derive(Clone, Debug)]
+pub enum ColumnStats {
+    /// Integer column: equi-depth histogram.
+    Int(EquiDepthHistogram),
+    /// String column: most-common-value list.
+    Str(McvStats),
+}
+
+impl ColumnStats {
+    /// Distinct-value count.
+    pub fn distinct(&self) -> u64 {
+        match self {
+            ColumnStats::Int(h) => h.distinct(),
+            ColumnStats::Str(m) => m.distinct(),
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Clone, Debug)]
+pub struct TableStats {
+    /// Number of rows in the table.
+    pub row_count: u64,
+    /// Per-column statistics, aligned with the table's column order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes statistics for a table.
+    pub fn build(table: &Table) -> Self {
+        let columns = table
+            .columns
+            .iter()
+            .map(|c| match &c.data {
+                ColumnData::Int(v) => ColumnStats::Int(EquiDepthHistogram::build(v, DEFAULT_BUCKETS)),
+                ColumnData::Str(s) => {
+                    ColumnStats::Str(McvStats::build(&s.codes, s.dict_len(), DEFAULT_MCVS))
+                }
+            })
+            .collect();
+        TableStats { row_count: table.num_rows() as u64, columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, StrColumn};
+
+    #[test]
+    fn build_covers_all_columns() {
+        let mut s = StrColumn::new();
+        s.push("a");
+        s.push("b");
+        s.push("a");
+        let t = Table::new("t", vec![Column::int("id", vec![1, 2, 3]), Column::str("tag", s)]);
+        let stats = TableStats::build(&t);
+        assert_eq!(stats.row_count, 3);
+        assert_eq!(stats.columns.len(), 2);
+        assert_eq!(stats.columns[0].distinct(), 3);
+        assert_eq!(stats.columns[1].distinct(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Column-oriented tables: typed columns (integers and dictionary-encoded
+//! strings) assembled into named tables.
+
+use crate::value::{Value, ValueType};
+use std::collections::HashMap;
+
+/// A dictionary-encoded string column: each row stores a `u32` code into a
+/// per-column dictionary. Dictionary encoding keeps joins, filters and the
+/// word2vec corpus construction fast and allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct StrColumn {
+    /// Per-row dictionary codes.
+    pub codes: Vec<u32>,
+    dict: Vec<String>,
+    dict_map: HashMap<String, u32>,
+}
+
+impl StrColumn {
+    /// Creates an empty string column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s` into the dictionary (if new) and appends its code.
+    pub fn push(&mut self, s: &str) -> u32 {
+        let code = self.intern(s);
+        self.codes.push(code);
+        code
+    }
+
+    /// Interns a string without appending a row; returns its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.dict_map.get(s) {
+            return c;
+        }
+        let c = self.dict.len() as u32;
+        self.dict.push(s.to_string());
+        self.dict_map.insert(s.to_string(), c);
+        c
+    }
+
+    /// Code for an existing dictionary entry, if present.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.dict_map.get(s).copied()
+    }
+
+    /// The string for a dictionary code.
+    pub fn decode(&self, code: u32) -> &str {
+        &self.dict[code as usize]
+    }
+
+    /// Number of distinct values in the dictionary.
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// All dictionary entries, in code order.
+    pub fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Dictionary codes whose string contains `needle` (case-insensitive) —
+    /// the evaluation of `ILIKE '%needle%'` predicates.
+    pub fn codes_containing(&self, needle: &str) -> Vec<u32> {
+        let lower = needle.to_lowercase();
+        self.dict
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.to_lowercase().contains(&lower))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// The payload of a column.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    /// 64-bit integers (keys, years, quantities, …).
+    Int(Vec<i64>),
+    /// Dictionary-encoded strings.
+    Str(StrColumn),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Str(s) => s.codes.len(),
+        }
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            ColumnData::Int(_) => ValueType::Int,
+            ColumnData::Str(_) => ValueType::Str,
+        }
+    }
+}
+
+/// A named column.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Column payload.
+    pub data: ColumnData,
+}
+
+impl Column {
+    /// New integer column.
+    pub fn int(name: &str, values: Vec<i64>) -> Self {
+        Column { name: name.to_string(), data: ColumnData::Int(values) }
+    }
+
+    /// New string column.
+    pub fn str(name: &str, values: StrColumn) -> Self {
+        Column { name: name.to_string(), data: ColumnData::Str(values) }
+    }
+
+    /// Integer payload accessor.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            ColumnData::Str(_) => None,
+        }
+    }
+
+    /// String payload accessor.
+    pub fn as_str(&self) -> Option<&StrColumn> {
+        match &self.data {
+            ColumnData::Int(_) => None,
+            ColumnData::Str(s) => Some(s),
+        }
+    }
+
+    /// Value of row `r` as an owned [`Value`].
+    pub fn value_at(&self, r: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[r]),
+            ColumnData::Str(s) => Value::Str(s.decode(s.codes[r]).to_string()),
+        }
+    }
+}
+
+/// A named collection of equal-length columns.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table name (unique within its database).
+    pub name: String,
+    /// The columns. All have the same length.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table, checking that all columns have equal length.
+    ///
+    /// # Panics
+    /// Panics if column lengths differ.
+    pub fn new(name: &str, columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.data.len();
+            for c in &columns {
+                assert_eq!(c.data.len(), n, "column {} length mismatch in table {name}", c.name);
+            }
+        }
+        Table { name: name.to_string(), columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.data.len())
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column named `name`.
+    pub fn col_id(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column named `name`.
+    ///
+    /// # Panics
+    /// Panics if absent (programming error in workload construction).
+    pub fn col(&self, name: &str) -> &Column {
+        &self.columns[self.col_id(name).unwrap_or_else(|| panic!("no column {name} in {}", self.name))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_column_interning() {
+        let mut c = StrColumn::new();
+        let a = c.push("romance");
+        let b = c.push("action");
+        let a2 = c.push("romance");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(c.dict_len(), 2);
+        assert_eq!(c.decode(a), "romance");
+        assert_eq!(c.code_of("action"), Some(b));
+        assert_eq!(c.code_of("horror"), None);
+    }
+
+    #[test]
+    fn codes_containing_is_case_insensitive() {
+        let mut c = StrColumn::new();
+        c.push("True-Love-Story");
+        c.push("fight club");
+        c.push("loveless");
+        let hits = c.codes_containing("LOVE");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn table_accessors() {
+        let t = Table::new(
+            "t",
+            vec![Column::int("id", vec![1, 2, 3]), Column::int("x", vec![10, 20, 30])],
+        );
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.col_id("x"), Some(1));
+        assert_eq!(t.col("x").as_int().unwrap()[2], 30);
+        assert_eq!(t.col("id").value_at(0), Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unequal_columns_panic() {
+        let _ = Table::new("t", vec![Column::int("a", vec![1]), Column::int("b", vec![1, 2])]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the storage substrate: histogram estimation
+//! laws, index consistency, and dictionary-encoding invariants.
+
+use neo_storage::{BTreeIndex, EquiDepthHistogram, McvStats, StrColumn};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    /// est_lt is monotone non-decreasing in its argument and bounded [0,1].
+    #[test]
+    fn histogram_lt_is_monotone(mut values in proptest::collection::vec(-1000i64..1000, 1..300),
+                                probes in proptest::collection::vec(-1100i64..1100, 2..10)) {
+        values.sort_unstable();
+        let h = EquiDepthHistogram::build(&values, 16);
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut prev = 0.0f64;
+        for p in sorted {
+            let e = h.est_lt(p);
+            prop_assert!((0.0..=1.0).contains(&e));
+            prop_assert!(e + 1e-12 >= prev, "est_lt not monotone at {p}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    /// est_between(min, max) covers (almost) everything; degenerate ranges
+    /// are empty.
+    #[test]
+    fn histogram_between_bounds(values in proptest::collection::vec(-500i64..500, 1..200)) {
+        let h = EquiDepthHistogram::build(&values, 8);
+        let full = h.est_between(h.min(), h.max());
+        prop_assert!(full > 0.5, "full range estimate {full}");
+        prop_assert_eq!(h.est_between(10, 9), 0.0);
+    }
+
+    /// MCV estimates sum to ~1 over all distinct codes.
+    #[test]
+    fn mcv_mass_sums_to_one(codes in proptest::collection::vec(0u32..20, 1..300)) {
+        let dict_len = 20;
+        let m = McvStats::build(&codes, dict_len, 5);
+        let total: f64 = (0..dict_len as u32)
+            .filter(|c| codes.contains(c))
+            .map(|c| m.est_eq_code(c))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 0.05, "mass {total}");
+    }
+
+    /// Index lookup returns exactly the rows holding the key; ranges agree
+    /// with a linear scan.
+    #[test]
+    fn index_agrees_with_scan(values in proptest::collection::vec(-50i64..50, 0..200),
+                              lo in -60i64..60, width in 0i64..40) {
+        let idx = BTreeIndex::build(&values);
+        let hi = lo + width;
+        let mut expected: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= lo && v <= hi)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut got = idx.range(lo, hi);
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+        if let Some(&v) = values.first() {
+            prop_assert!(idx.lookup(v).contains(&0));
+        }
+    }
+
+    /// Dictionary encoding: decode(intern(s)) == s, and codes are dense.
+    #[test]
+    fn dictionary_roundtrip(words in proptest::collection::vec("[a-z]{1,8}", 1..50)) {
+        let mut col = StrColumn::new();
+        for w in &words {
+            col.push(w);
+        }
+        for (row, w) in words.iter().enumerate() {
+            prop_assert_eq!(col.decode(col.codes[row]), w.as_str());
+        }
+        let distinct: std::collections::HashSet<&String> = words.iter().collect();
+        prop_assert_eq!(col.dict_len(), distinct.len());
+        prop_assert!(col.codes.iter().all(|&c| (c as usize) < col.dict_len()));
+    }
+
+    /// codes_containing returns exactly the dictionary entries that contain
+    /// the needle, case-insensitively.
+    #[test]
+    fn contains_matches_linear_search(words in proptest::collection::vec("[a-cA-C]{1,5}", 1..40),
+                                      needle in "[a-c]{1,2}") {
+        let mut col = StrColumn::new();
+        for w in &words {
+            col.push(w);
+        }
+        let got: std::collections::HashSet<u32> =
+            col.codes_containing(&needle).into_iter().collect();
+        for code in 0..col.dict_len() as u32 {
+            let matches = col.decode(code).to_lowercase().contains(&needle.to_lowercase());
+            prop_assert_eq!(got.contains(&code), matches);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: bootstrap Neo from the PostgreSQL-like expert on a small
+//! IMDB-like database, train for a few episodes, and compare the plans it
+//! picks against the expert.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use neo::{CostKind, FeaturizationChoice, Neo, NeoConfig, NetConfig};
+use neo_engine::{true_latency, CardinalityOracle, Engine};
+use neo_expert::postgres_expert;
+use neo_query::workload::job;
+use neo_storage::datagen::imdb;
+
+fn main() {
+    // 1. A database and a workload (paper §6.1: sample workload + DBMS).
+    println!("generating IMDB-like database ...");
+    let db = imdb::generate(0.1, 42);
+    println!("  {} tables, {} rows", db.num_tables(), db.total_rows());
+    let workload = job::generate(&db, 42);
+    let (train, test): (Vec<_>, Vec<_>) = {
+        let (tr, te) = workload.split_random(0.2, 42);
+        // Keep the example fast: medium-size queries only.
+        (
+            tr.into_iter().filter(|q| q.num_relations() <= 8).take(30).collect(),
+            te.into_iter().filter(|q| q.num_relations() <= 8).take(8).collect(),
+        )
+    };
+    println!("  {} training queries, {} test queries", train.len(), test.len());
+
+    // 2. Bootstrap from the expert (learning from demonstration, §2).
+    let cfg = NeoConfig {
+        featurization: FeaturizationChoice::Histogram,
+        net: NetConfig {
+            query_layers: vec![64, 32, 16],
+            conv_channels: vec![24, 24, 16],
+            head_layers: vec![32, 16],
+            lr: 2e-3,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        },
+        bootstrap_epochs: 5,
+        search_base_expansions: 8,
+        cost_kind: CostKind::WorkloadLatency,
+        ..Default::default()
+    };
+    println!("bootstrapping Neo from the PostgreSQL-like expert ...");
+    let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, train, cfg);
+
+    // 3. A few reinforcement-learning episodes (§6.3.1).
+    for episode in 1..=5 {
+        let stats = neo.run_episode(episode);
+        println!(
+            "episode {episode}: loss {:.4}, training-set latency {:.0} ms",
+            stats.mean_loss, stats.train_latency_ms
+        );
+    }
+
+    // 4. Head-to-head on the held-out test set.
+    println!("\n{:<8} {:>14} {:>14} {:>8}", "query", "expert (ms)", "neo (ms)", "ratio");
+    let profile = Engine::PostgresLike.profile();
+    let mut oracle = CardinalityOracle::new();
+    let (mut expert_total, mut neo_total) = (0.0, 0.0);
+    for q in &test {
+        let expert_plan = postgres_expert(&db, q);
+        let expert_ms = true_latency(&db, q, &profile, &mut oracle, &expert_plan);
+        let (neo_plan, _) = neo.plan_query(q);
+        let neo_ms = true_latency(&db, q, &profile, &mut oracle, &neo_plan);
+        expert_total += expert_ms;
+        neo_total += neo_ms;
+        println!("{:<8} {:>14.1} {:>14.1} {:>8.2}", q.id, expert_ms, neo_ms, neo_ms / expert_ms);
+    }
+    println!(
+        "\ntotals: expert {expert_total:.0} ms, neo {neo_total:.0} ms ({:.2}x)",
+        neo_total / expert_total
+    );
+    println!("(After a handful of episodes Neo should be at or below the expert.)");
+
+    // 5. EXPLAIN one of Neo's plans.
+    let q = &test[0];
+    let (plan, stats) = neo.plan_query(q);
+    println!(
+        "\nEXPLAIN for test query {} ({} expansions, {} plans scored):",
+        q.id, stats.expansions, stats.scored
+    );
+    println!("{}", neo_query::explain(&db, q, &plan));
+}

@@ -1,0 +1,86 @@
+//! Robustness demo (paper §6.4.3): how plan quality degrades — or doesn't —
+//! as cardinality estimates get worse.
+//!
+//! Compares the traditional Selinger optimizer and Neo when their
+//! cardinality information is corrupted by 0 / 2 / 5 orders of magnitude.
+//! The DP optimizer follows its estimates off a cliff; Neo, whose value
+//! network was trained on *observed latencies*, keeps choosing reasonable
+//! plans because the corrupted feature is only one of many inputs.
+//!
+//! ```text
+//! cargo run --release --example robustness
+//! ```
+
+use neo::{AuxCardSource, FeaturizationChoice, Neo, NeoConfig, NetConfig};
+use neo_engine::{true_latency, CardinalityOracle, Engine};
+use neo_expert::{ErrorInjector, HistogramEstimator, SelingerOptimizer};
+use neo_query::workload::job;
+use neo_storage::datagen::imdb;
+
+fn main() {
+    println!("generating IMDB-like database + workload ...");
+    let db = imdb::generate(0.1, 11);
+    let workload = job::generate(&db, 11);
+    let queries: Vec<_> = workload
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() >= 4 && q.num_relations() <= 8)
+        .take(16)
+        .cloned()
+        .collect();
+
+    println!("training Neo (with a PostgreSQL-estimate feature) ...");
+    let cfg = NeoConfig {
+        featurization: FeaturizationChoice::Histogram,
+        net: NetConfig {
+            query_layers: vec![64, 32, 16],
+            conv_channels: vec![24, 24, 16],
+            head_layers: vec![32, 16],
+            lr: 2e-3,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        },
+        aux_card: AuxCardSource::PostgresEstimate,
+        bootstrap_epochs: 5,
+        search_base_expansions: 8,
+        ..Default::default()
+    };
+    let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), cfg);
+    for ep in 1..=4 {
+        neo.run_episode(ep);
+    }
+
+    let profile = Engine::PostgresLike.profile();
+    println!(
+        "\n{:>22} {:>18} {:>18}",
+        "injected error", "Selinger total (ms)", "Neo total (ms)"
+    );
+    for orders in [0.0, 2.0, 5.0] {
+        // Traditional optimizer with corrupted estimates.
+        let mut oracle = CardinalityOracle::new();
+        let mut selinger_total = 0.0;
+        for (i, q) in queries.iter().enumerate() {
+            let mut est = ErrorInjector {
+                inner: HistogramEstimator::new(),
+                orders,
+                seed: 1000 + i as u64,
+            };
+            let plan = SelingerOptimizer::default().optimize(&db, q, &profile, &mut est);
+            selinger_total += true_latency(&db, q, &profile, &mut oracle, &plan);
+        }
+        // Neo with the same corruption injected into its cardinality feature.
+        neo.cfg.aux_error_orders = orders;
+        let mut neo_total = 0.0;
+        for q in &queries {
+            let (plan, _) = neo.plan_query(q);
+            neo_total += true_latency(&db, q, &profile, &mut neo.oracle, &plan);
+        }
+        println!(
+            "{:>18} oom {:>18.0} {:>18.0}",
+            orders, selinger_total, neo_total
+        );
+    }
+    println!(
+        "\n(The Selinger optimizer degrades steeply with error; Neo's choices barely\n move — it learned how much to trust the estimate. Paper §6.4.3 / Fig. 14.)"
+    );
+}

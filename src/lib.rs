@@ -1,0 +1,1 @@
+//! Root library for the workspace examples package (intentionally thin).

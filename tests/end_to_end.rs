@@ -1,0 +1,168 @@
+//! End-to-end integration: the full Neo pipeline (datagen → workload →
+//! expert bootstrap → value-network training → DNN-guided search →
+//! execution) on a small IMDB-like database.
+
+use neo::{CostKind, FeaturizationChoice, Neo, NeoConfig, NetConfig};
+use neo_engine::{true_latency, CardinalityOracle, Engine, Executor};
+use neo_expert::postgres_expert;
+use neo_query::workload::job;
+use neo_query::Query;
+use neo_storage::datagen::imdb;
+use neo_storage::Database;
+
+fn tiny_cfg(feat: FeaturizationChoice) -> NeoConfig {
+    NeoConfig {
+        featurization: feat,
+        net: NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 3e-3,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        },
+        bootstrap_epochs: 4,
+        epochs_per_episode: 1,
+        batch_size: 32,
+        max_samples_per_retrain: 512,
+        search_base_expansions: 8,
+        emb_dim: 8,
+        emb_epochs: 1,
+        cost_kind: CostKind::WorkloadLatency,
+        ..Default::default()
+    }
+}
+
+fn setup() -> (Database, Vec<Query>) {
+    let db = imdb::generate(0.03, 17);
+    let queries: Vec<Query> = job::generate(&db, 17)
+        .queries
+        .into_iter()
+        .filter(|q| q.num_relations() <= 6)
+        .take(8)
+        .collect();
+    (db, queries)
+}
+
+/// Neo's chosen plans must be executable and compute exactly the same
+/// result as the expert's plans — the "semantic correctness" guarantee the
+/// paper delegates to plan validity (§2).
+#[test]
+fn neo_plans_compute_identical_results_to_expert() {
+    let (db, queries) = setup();
+    let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), tiny_cfg(FeaturizationChoice::Histogram));
+    neo.run_episode(1);
+    for q in &queries {
+        let (neo_plan, _) = neo.plan_query(q);
+        let expert_plan = postgres_expert(&db, q);
+        let ex = Executor::new(&db, q);
+        let a = ex.execute_count(&neo_plan).expect("neo plan executes");
+        let b = ex.execute_count(&expert_plan).expect("expert plan executes");
+        assert_eq!(a, b, "query {}: neo {} vs expert {}", q.id, neo_plan.describe(), expert_plan.describe());
+    }
+}
+
+/// Every featurization variant must run the whole pipeline.
+#[test]
+fn all_featurizations_run_end_to_end() {
+    let (db, queries) = setup();
+    for feat in [
+        FeaturizationChoice::OneHot,
+        FeaturizationChoice::Histogram,
+        FeaturizationChoice::RVectorNoJoins,
+        FeaturizationChoice::RVectorJoins,
+    ] {
+        let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), tiny_cfg(feat));
+        let stats = neo.run_episode(1);
+        assert!(stats.mean_loss.is_finite(), "{feat:?}");
+        let lat = neo.evaluate(&queries[..2]);
+        assert!(lat.iter().all(|l| l.is_finite() && *l > 0.0), "{feat:?}");
+    }
+}
+
+/// Training must reduce value-prediction loss on the demonstration data.
+#[test]
+fn bootstrap_training_reduces_loss() {
+    let (db, queries) = setup();
+    let mut cfg = tiny_cfg(FeaturizationChoice::Histogram);
+    cfg.bootstrap_epochs = 1;
+    let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, queries, cfg);
+    let first = neo.retrain(1);
+    let mut last = first;
+    for _ in 0..6 {
+        last = neo.retrain(1);
+    }
+    assert!(
+        last < first,
+        "loss should fall with training: first {first}, last {last}"
+    );
+}
+
+/// The corrective feedback loop (paper §2): a plan that executed terribly
+/// must get a worse predicted value after retraining on that experience.
+#[test]
+fn corrective_feedback_penalizes_bad_plans() {
+    let (db, queries) = setup();
+    let q = queries[0].clone();
+    let mut neo =
+        Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), tiny_cfg(FeaturizationChoice::Histogram));
+
+    // Find the worst complete plan among a few random rollouts.
+    use rand::{Rng, SeedableRng};
+    let ctx = neo_query::QueryContext::new(&db, &q);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut worst: Option<(f64, neo_query::PlanNode)> = None;
+    let profile = Engine::PostgresLike.profile();
+    let mut oracle = CardinalityOracle::new();
+    for _ in 0..6 {
+        let mut p = neo_query::PartialPlan::initial(&q);
+        while !p.is_complete() {
+            let kids = neo_query::children(&p, &ctx);
+            p = kids[rng.gen_range(0..kids.len())].clone();
+        }
+        let tree = p.as_complete().unwrap().clone();
+        let lat = true_latency(&db, &q, &profile, &mut oracle, &tree);
+        if worst.as_ref().is_none_or(|(w, _)| lat > *w) {
+            worst = Some((lat, tree));
+        }
+    }
+    let (bad_latency, bad_plan) = worst.unwrap();
+    let good_latency = neo.experience.best_cost(&q.id).unwrap();
+    if bad_latency < 3.0 * good_latency {
+        return; // all rollouts were decent; nothing to assert against
+    }
+    let state = neo_query::PartialPlan::from_tree(bad_plan.clone());
+    let before = neo.predict_state(&q, &state);
+    neo.execute_and_learn(&q, bad_plan);
+    for _ in 0..8 {
+        neo.retrain(1);
+    }
+    let after = neo.predict_state(&q, &state);
+    assert!(
+        after > before - 0.1,
+        "bad plan should not look better after learning its true cost: {before} -> {after}"
+    );
+    // And the good (expert) plan must now score better than the bad one.
+    let good_state =
+        neo_query::PartialPlan::from_tree(neo.experience.best_plan(&q.id).unwrap().clone());
+    let good_score = neo.predict_state(&q, &good_state);
+    let bad_score = neo.predict_state(&q, &state);
+    assert!(
+        good_score < bad_score,
+        "expert plan ({good_score}) should score below catastrophic plan ({bad_score})"
+    );
+}
+
+/// Relative-cost training must keep baselines for newly extended queries.
+#[test]
+fn extend_training_with_relative_cost() {
+    let (db, queries) = setup();
+    let mut cfg = tiny_cfg(FeaturizationChoice::Histogram);
+    cfg.cost_kind = CostKind::Relative;
+    let (head, tail) = queries.split_at(5);
+    let mut neo = Neo::bootstrap(&db, Engine::MsSqlLike, head.to_vec(), cfg);
+    neo.extend_training(tail.to_vec());
+    let stats = neo.run_episode(1);
+    assert!(stats.mean_loss.is_finite());
+    assert_eq!(neo.experience.num_queries(), queries.len());
+}

@@ -1,0 +1,142 @@
+//! Property-based invariants spanning crates: plan-space soundness,
+//! executor/oracle agreement, featurization well-formedness, and latency
+//! model sanity, under randomized plans and queries.
+
+use neo::{Featurization, Featurizer};
+use neo_engine::{true_latency, CardinalityOracle, Engine, Executor};
+use neo_query::{children, PartialPlan, Query, QueryContext};
+use neo_storage::datagen::imdb;
+use neo_storage::Database;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A shared small database + workload (building one per proptest case
+/// would dominate runtime).
+fn fixture() -> &'static (Database, Vec<Query>) {
+    static FIXTURE: OnceLock<(Database, Vec<Query>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let db = imdb::generate(0.02, 99);
+        let queries: Vec<Query> = neo_query::workload::job::generate(&db, 99)
+            .queries
+            .into_iter()
+            .filter(|q| q.num_relations() <= 6)
+            .collect();
+        (db, queries)
+    })
+}
+
+/// Builds a random complete plan by walking the children relation.
+fn random_plan(q: &Query, ctx: &QueryContext, choices: &[u8]) -> PartialPlan {
+    let mut p = PartialPlan::initial(q);
+    let mut i = 0;
+    while !p.is_complete() {
+        let kids = children(&p, ctx);
+        assert!(!kids.is_empty(), "children() must keep incomplete plans extendable");
+        let pick = choices.get(i).copied().unwrap_or(0) as usize % kids.len();
+        p = kids.into_iter().nth(pick).unwrap();
+        i += 1;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..Default::default() })]
+
+    /// Any sequence of child choices terminates in a complete plan covering
+    /// exactly R(q) — the search space is sound and complete.
+    #[test]
+    fn children_walk_always_terminates(qi in 0usize..20, choices in proptest::collection::vec(any::<u8>(), 40)) {
+        let (db, queries) = fixture();
+        let q = &queries[qi % queries.len()];
+        let ctx = QueryContext::new(db, q);
+        let p = random_plan(q, &ctx, &choices);
+        prop_assert!(p.is_complete());
+        prop_assert_eq!(p.rel_mask(), (1u64 << q.num_relations()) - 1);
+    }
+
+    /// Every randomly-built plan executes, and its result count equals the
+    /// oracle's cardinality for the full relation set — regardless of join
+    /// order, operators, or access paths.
+    #[test]
+    fn executor_matches_oracle_for_any_plan(qi in 0usize..20, choices in proptest::collection::vec(any::<u8>(), 40)) {
+        let (db, queries) = fixture();
+        let q = &queries[qi % queries.len()];
+        let ctx = QueryContext::new(db, q);
+        let p = random_plan(q, &ctx, &choices);
+        let tree = p.as_complete().unwrap();
+        let ex = Executor::new(db, q);
+        let count = ex.execute_count(tree).expect("plan executes") as f64;
+        let mut oracle = CardinalityOracle::new();
+        let full = (1u64 << q.num_relations()) - 1;
+        prop_assert_eq!(count, oracle.cardinality(db, q, full));
+    }
+
+    /// Featurized plans always produce valid topologies with the declared
+    /// channel count, and join rows carry exactly one operator bit.
+    #[test]
+    fn plan_encoding_is_well_formed(qi in 0usize..20, choices in proptest::collection::vec(any::<u8>(), 40), steps in 0usize..12) {
+        let (db, queries) = fixture();
+        let q = &queries[qi % queries.len()];
+        let ctx = QueryContext::new(db, q);
+        // A partial plan: stop the walk early.
+        let mut p = PartialPlan::initial(q);
+        for i in 0..steps {
+            if p.is_complete() { break; }
+            let kids = children(&p, &ctx);
+            let pick = choices.get(i).copied().unwrap_or(0) as usize % kids.len();
+            p = kids.into_iter().nth(pick).unwrap();
+        }
+        let f = Featurizer::new(db, Featurization::OneHot);
+        let enc = f.encode_plan(q, &p, None);
+        prop_assert!(enc.topo.validate().is_ok());
+        prop_assert_eq!(enc.feats.cols(), f.plan_channels());
+        prop_assert_eq!(enc.feats.rows(), p.num_nodes());
+        for i in 0..enc.feats.rows() {
+            let row = enc.feats.row(i);
+            let op_bits: f32 = row[..3].iter().sum();
+            let is_join = enc.topo.left[i] != neo_nn::NO_CHILD;
+            prop_assert_eq!(op_bits, if is_join { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// Latency is strictly positive, finite, and invariant across repeated
+    /// evaluations (the executor substitute must be deterministic).
+    #[test]
+    fn latency_model_is_positive_and_deterministic(qi in 0usize..20, choices in proptest::collection::vec(any::<u8>(), 40)) {
+        let (db, queries) = fixture();
+        let q = &queries[qi % queries.len()];
+        let ctx = QueryContext::new(db, q);
+        let p = random_plan(q, &ctx, &choices);
+        let tree = p.as_complete().unwrap();
+        let mut oracle = CardinalityOracle::new();
+        for engine in Engine::ALL {
+            let profile = engine.profile();
+            let a = true_latency(db, q, &profile, &mut oracle, tree);
+            let b = true_latency(db, q, &profile, &mut oracle, tree);
+            prop_assert!(a.is_finite() && a > 0.0);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The subplan relation is reflexive along any construction path: every
+    /// prefix of a children-walk is a subplan of the final plan.
+    #[test]
+    fn construction_prefixes_are_subplans(qi in 0usize..20, choices in proptest::collection::vec(any::<u8>(), 40)) {
+        let (db, queries) = fixture();
+        let q = &queries[qi % queries.len()];
+        let ctx = QueryContext::new(db, q);
+        let mut p = PartialPlan::initial(q);
+        let mut prefixes = vec![p.clone()];
+        let mut i = 0;
+        while !p.is_complete() {
+            let kids = children(&p, &ctx);
+            let pick = choices.get(i).copied().unwrap_or(0) as usize % kids.len();
+            p = kids.into_iter().nth(pick).unwrap();
+            prefixes.push(p.clone());
+            i += 1;
+        }
+        for prefix in &prefixes {
+            prop_assert!(prefix.subplan_of(&p), "{} not a subplan of {}", prefix.describe(), p.describe());
+        }
+    }
+}
