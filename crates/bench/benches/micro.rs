@@ -25,7 +25,12 @@ fn synthetic_tree(n: usize, channels: usize) -> (Matrix, TreeTopology) {
         left[me] = if i == 0 { 0 } else { (n + i - 1) as u32 };
         right[me] = (i + 1) as u32;
     }
-    let topo = TreeTopology { left, right, tree_of: vec![0; nodes], num_trees: 1 };
+    let topo = TreeTopology {
+        left,
+        right,
+        tree_of: vec![0; nodes],
+        num_trees: 1,
+    };
     let mut feats = Matrix::zeros(nodes, channels);
     for i in 0..nodes {
         feats.set(i, i % channels, 1.0);
@@ -70,6 +75,40 @@ fn bench_value_net(c: &mut Criterion) {
     });
 }
 
+/// The tentpole comparison: legacy per-call `predict` (query MLP re-run
+/// every call) vs the search-scoped `InferenceSession` (query MLP cached,
+/// zero-allocation scratch reuse) at batch size 64.
+fn bench_batched_inference(c: &mut Criterion) {
+    let (db, queries) = job_fixture();
+    let q = queries.iter().find(|q| q.num_relations() == 8).unwrap();
+    let f = Featurizer::new(&db, Featurization::Histogram);
+    let net = ValueNet::new(f.query_dim(), f.plan_channels(), NetConfig::default(), 7);
+    let qenc = f.encode_query(&db, q);
+    let ctx = QueryContext::new(&db, q);
+    // 64 distinct partial plans, breadth-first from the initial state.
+    let mut pool = vec![PartialPlan::initial(q)];
+    let mut i = 0;
+    while pool.len() < 64 {
+        let kids = children(&pool[i], &ctx);
+        pool.extend(kids);
+        i += 1;
+    }
+    pool.truncate(64);
+    let encs: Vec<_> = pool.iter().map(|p| f.encode_plan(q, p, None)).collect();
+    let qrefs: Vec<&[f32]> = vec![&qenc; encs.len()];
+    let prefs: Vec<_> = encs.iter().collect();
+    c.bench_function("value_net_predict_batch64", |b| {
+        b.iter(|| std::hint::black_box(net.predict(&qrefs, &prefs)))
+    });
+    let mut session = net.session(&qenc);
+    c.bench_function("inference_session_score_batch64", |b| {
+        b.iter(|| {
+            let s = session.score(&prefs);
+            std::hint::black_box(s.len())
+        })
+    });
+}
+
 fn bench_search(c: &mut Criterion) {
     let (db, queries) = job_fixture();
     let q = queries.iter().find(|q| q.num_relations() == 8).unwrap();
@@ -95,6 +134,20 @@ fn bench_search(c: &mut Criterion) {
             ))
         })
     });
+    for k in [1usize, neo::DEFAULT_WAVEFRONT] {
+        c.bench_function(&format!("best_first_search_8rel_30exp_wavefront{k}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(neo::best_first_search(
+                    &net,
+                    &f,
+                    &db,
+                    q,
+                    SearchBudget::expansions(30).with_wavefront(k),
+                    None,
+                ))
+            })
+        });
+    }
 }
 
 fn bench_executor(c: &mut Criterion) {
@@ -153,7 +206,11 @@ fn bench_oracle_and_estimator(c: &mut Criterion) {
 fn bench_word2vec(c: &mut Criterion) {
     let db = imdb::generate(0.02, 5);
     let corpus = neo_embedding::build_corpus(&db, neo_embedding::CorpusKind::Normalized);
-    let cfg = neo_embedding::W2vConfig { dim: 16, epochs: 1, ..Default::default() };
+    let cfg = neo_embedding::W2vConfig {
+        dim: 16,
+        epochs: 1,
+        ..Default::default()
+    };
     c.bench_function("word2vec_epoch_normalized_tiny", |b| {
         b.iter(|| std::hint::black_box(neo_embedding::train(&corpus, &cfg, 3)))
     });
@@ -169,7 +226,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_tree_conv, bench_value_net, bench_search, bench_executor,
-              bench_oracle_and_estimator, bench_word2vec
+    targets = bench_tree_conv, bench_value_net, bench_batched_inference, bench_search,
+              bench_executor, bench_oracle_and_estimator, bench_word2vec
 }
 criterion_main!(benches);

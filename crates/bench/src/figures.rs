@@ -40,7 +40,10 @@ pub fn fig9_to_11_filtered(preset: &Preset, kinds: &[WorkloadKind]) {
     }
 
     section("Figure 9: relative query performance vs native optimizer (lower is better)");
-    println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "workload", "PostgreSQL", "SQLite", "SQL Server", "Oracle");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "PostgreSQL", "SQLite", "SQL Server", "Oracle"
+    );
     for &kind in kinds {
         let row: Vec<f64> = Engine::ALL
             .iter()
@@ -64,10 +67,14 @@ pub fn fig9_to_11_filtered(preset: &Preset, kinds: &[WorkloadKind]) {
 
     section("Figure 10: learning curves (normalized test latency vs native optimizer)");
     for rec in &records {
-        println!("\n--- {} on {} (PostgreSQL-plans baseline = {:.3}) ---",
+        println!(
+            "\n--- {} on {} (PostgreSQL-plans baseline = {:.3}) ---",
             rec.workload,
             rec.engine.name(),
-            rec.curve.first().map(|c| c.norm_vs_native / c.norm_vs_pg.max(1e-9)).unwrap_or(f64::NAN),
+            rec.curve
+                .first()
+                .map(|c| c.norm_vs_native / c.norm_vs_pg.max(1e-9))
+                .unwrap_or(f64::NAN),
         );
         println!(
             "{:>4} {:>13} {:>13} {:>13} {:>13} {:>9}",
@@ -76,7 +83,12 @@ pub fn fig9_to_11_filtered(preset: &Preset, kinds: &[WorkloadKind]) {
         for c in &rec.curve {
             println!(
                 "{:>4} {:>13.3} {:>13.3} {:>13.3} {:>13.3} {:>9.4}",
-                c.episode, c.median_vs_native, c.norm_vs_native, c.median_vs_pg, c.norm_vs_pg, c.loss
+                c.episode,
+                c.median_vs_native,
+                c.norm_vs_native,
+                c.median_vs_pg,
+                c.norm_vs_pg,
+                c.loss
             );
         }
     }
@@ -104,7 +116,9 @@ pub fn fig9_to_11_filtered(preset: &Preset, kinds: &[WorkloadKind]) {
 /// Figure 12: featurization ablation on JOB across all four engines.
 pub fn fig12(preset: &Preset) {
     let db = build_db(WorkloadKind::Job, preset);
-    section("Figure 12: Neo's performance per featurization (JOB, relative to native; lower is better)");
+    section(
+        "Figure 12: Neo's performance per featurization (JOB, relative to native; lower is better)",
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>12}",
         "featurization", "PostgreSQL", "SQLite", "SQL Server", "Oracle"
@@ -112,7 +126,11 @@ pub fn fig12(preset: &Preset) {
     for feat in FeaturizationChoice::ALL {
         let mut row = Vec::new();
         for engine in Engine::ALL {
-            eprintln!("[fig12] {} on {} ...", featurization_name(feat), engine.name());
+            eprintln!(
+                "[fig12] {} on {} ...",
+                featurization_name(feat),
+                engine.name()
+            );
             let rec = run_learning(&db, WorkloadKind::Job, engine, feat, preset, preset.seed);
             row.push(rec.final_relative());
         }
@@ -146,13 +164,23 @@ pub fn fig13(preset: &Preset) {
     let feats: &[FeaturizationChoice] = if full_mode {
         &FeaturizationChoice::ALL
     } else {
-        &[FeaturizationChoice::RVectorJoins, FeaturizationChoice::OneHot]
+        &[
+            FeaturizationChoice::RVectorJoins,
+            FeaturizationChoice::OneHot,
+        ]
     };
-    let engines: &[Engine] =
-        if full_mode { &Engine::ALL } else { &[Engine::PostgresLike, Engine::MsSqlLike] };
+    let engines: &[Engine] = if full_mode {
+        &Engine::ALL
+    } else {
+        &[Engine::PostgresLike, Engine::MsSqlLike]
+    };
     for &feat in feats {
         for &engine in engines {
-            eprintln!("[fig13] {} on {} ...", featurization_name(feat), engine.name());
+            eprintln!(
+                "[fig13] {} on {} ...",
+                featurization_name(feat),
+                engine.name()
+            );
             let mut cfg = preset.neo.clone();
             cfg.featurization = feat;
             cfg.seed = preset.seed;
@@ -222,12 +250,7 @@ pub fn fig14(preset: &Preset) {
             let (mut small, mut large) = (Vec::new(), Vec::new());
             for s in samples.iter().take(400) {
                 let q = by_id[s.query_id.as_str()];
-                let joins = s
-                    .state
-                    .roots
-                    .iter()
-                    .map(count_joins)
-                    .sum::<usize>();
+                let joins = s.state.roots.iter().map(count_joins).sum::<usize>();
                 let v = neo.predict_state(q, &s.state) as f64;
                 if joins <= 3 {
                     small.push(v);
@@ -235,7 +258,12 @@ pub fn fig14(preset: &Preset) {
                     large.push(v);
                 }
             }
-            println!("{:>8} {:>18.4} {:>18.4}", orders, variance(&small), variance(&large));
+            println!(
+                "{:>8} {:>18.4} {:>18.4}",
+                orders,
+                variance(&small),
+                variance(&large)
+            );
         }
     }
     println!(
@@ -284,7 +312,10 @@ pub fn fig15(preset: &Preset) {
     }
 
     section("Figure 15: per-query difference from PostgreSQL (seconds; positive = Neo faster)");
-    println!("{:>8} {:>16} {:>16}", "query", "workload cost", "relative cost");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "query", "workload cost", "relative cost"
+    );
     let mut rows: Vec<(&String, &[f64; 3])> = per_query.iter().collect();
     rows.sort_by(|a, b| {
         let da = a.1[0] - a.1[1];
@@ -307,7 +338,9 @@ pub fn fig15(preset: &Preset) {
         println!("{:>8} {:>16.3} {:>16.3}", id, dwl, drel);
     }
     println!("\nTotal workload acceleration: {tot_wl:.2}s (workload cost) vs {tot_rel:.2}s (relative cost)");
-    println!("Queries regressed vs PostgreSQL: {reg_wl} (workload cost) vs {reg_rel} (relative cost)");
+    println!(
+        "Queries regressed vs PostgreSQL: {reg_wl} (workload cost) vs {reg_rel} (relative cost)"
+    );
 }
 
 /// Figure 16: search time cutoff vs plan quality, grouped by join count,
@@ -410,7 +443,9 @@ pub fn table2(preset: &Preset) {
         p2.neo.emb_epochs.max(4),
         p2.seed,
     );
-    let neo::Featurization::RVector { featurizer, .. } = feat else { unreachable!() };
+    let neo::Featurization::RVector { featurizer, .. } = feat else {
+        unreachable!()
+    };
     let emb = &featurizer.embedding;
 
     // The Fig. 8 query shape: title ⋈ movie_keyword ⋈ keyword ⋈ movie_info
@@ -437,16 +472,23 @@ pub fn table2(preset: &Preset) {
     let mi_type = db.tables[mi].col_id("info_type_id").unwrap();
 
     section("Table 2: similarity vs cardinality (correlated keywords score higher on both)");
-    println!("{:<10} {:<10} {:>12} {:>14}", "keyword", "genre", "similarity", "cardinality");
+    println!(
+        "{:<10} {:<10} {:>12} {:>14}",
+        "keyword", "genre", "similarity", "cardinality"
+    );
     let mut oracle = CardinalityOracle::new();
-    for (word, genres) in
-        [("love", ["romance", "action", "horror"]), ("fight", ["action", "romance", "horror"])]
-    {
+    for (word, genres) in [
+        ("love", ["romance", "action", "horror"]),
+        ("fight", ["action", "romance", "horror"]),
+    ] {
         for genre in genres {
             // Similarity: mean vector of matched keyword tokens vs genre.
             let s = db.tables[kw].columns[kw_col].as_str().unwrap();
-            let matched: Vec<String> =
-                s.codes_containing(word).into_iter().map(|c| s.decode(c).to_string()).collect();
+            let matched: Vec<String> = s
+                .codes_containing(word)
+                .into_iter()
+                .map(|c| s.decode(c).to_string())
+                .collect();
             let mv = emb.mean_vector(matched.iter());
             let sim = emb
                 .vector(genre)
@@ -458,14 +500,22 @@ pub fn table2(preset: &Preset) {
                 tables: tables.clone(),
                 joins: joins.clone(),
                 predicates: vec![
-                    Predicate::StrContains { table: kw, col: kw_col, needle: word.into() },
+                    Predicate::StrContains {
+                        table: kw,
+                        col: kw_col,
+                        needle: word.into(),
+                    },
                     Predicate::IntCmp {
                         table: mi,
                         col: mi_type,
                         op: neo_query::CmpOp::Eq,
                         value: 2,
                     },
-                    Predicate::StrEq { table: mi, col: mi_info, value: genre.into() },
+                    Predicate::StrEq {
+                        table: mi,
+                        col: mi_info,
+                        value: genre.into(),
+                    },
                 ],
                 agg: Default::default(),
             };
@@ -491,7 +541,10 @@ pub fn ablation_demo(preset: &Preset) {
 
     section("Ablation (paper 6.3.3): is demonstration even necessary?");
     println!("{:<28} {:>10}", "variant / episode", "vs PG");
-    for (label, demo) in [("with demonstration", true), ("no demonstration (timeout)", false)] {
+    for (label, demo) in [
+        ("with demonstration", true),
+        ("no demonstration (timeout)", false),
+    ] {
         eprintln!("[ablation-demo] {label} ...");
         let mut cfg = preset.neo.clone();
         cfg.demonstration = demo;
@@ -542,7 +595,12 @@ pub fn executor_vs_model(preset: &Preset) {
     let mut pairs: Vec<(f64, f64)> = Vec::new();
     let profile = Engine::PostgresLike.profile();
     let mut oracle = CardinalityOracle::new();
-    for q in wl.queries.iter().filter(|q| q.num_relations() <= 6).take(12) {
+    for q in wl
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() <= 6)
+        .take(12)
+    {
         let ctx = neo_query::QueryContext::new(&db, q);
         let ex = Executor::new(&db, q);
         for _ in 0..5 {
@@ -585,7 +643,12 @@ fn spearman(pairs: &[(f64, f64)]) -> f64 {
     let rb = rank(pairs.iter().map(|p| p.1).collect());
     let ma = mean(&ra);
     let mb = mean(&rb);
-    let cov: f64 = ra.iter().zip(&rb).map(|(a, b)| (a - ma) * (b - mb)).sum::<f64>() / n as f64;
+    let cov: f64 = ra
+        .iter()
+        .zip(&rb)
+        .map(|(a, b)| (a - ma) * (b - mb))
+        .sum::<f64>()
+        / n as f64;
     let sa = variance(&ra).sqrt();
     let sb = variance(&rb).sqrt();
     cov / (sa * sb).max(1e-12)
@@ -603,7 +666,10 @@ pub fn stats(preset: &Preset) {
             db.num_tables(),
             db.total_rows()
         ));
-        println!("{:<18} {:>10} {:>8} {:>8}", "table", "rows", "cols", "indexes");
+        println!(
+            "{:<18} {:>10} {:>8} {:>8}",
+            "table", "rows", "cols", "indexes"
+        );
         for (t, table) in db.tables.iter().enumerate() {
             let idx = db.indexed.iter().filter(|(ti, _)| *ti == t).count();
             println!(
@@ -630,12 +696,20 @@ pub fn stats(preset: &Preset) {
         let mut oracle = CardinalityOracle::new();
         let mut est = neo_expert::HistogramEstimator::new();
         let mut qerrs = Vec::new();
-        for q in wl.queries.iter().filter(|q| q.num_relations() <= 7).take(15) {
+        for q in wl
+            .queries
+            .iter()
+            .filter(|q| q.num_relations() <= 7)
+            .take(15)
+        {
             let full = (1u64 << q.num_relations()) - 1;
             let truth = oracle.cardinality(&db, q, full).max(1.0);
             let guess = neo_expert::CardEstimator::join(&mut est, &db, q, full).max(1.0);
             qerrs.push((guess / truth).max(truth / guess));
         }
-        println!("histogram estimator mean q-error (<=7 rel): {:.1}", mean(&qerrs));
+        println!(
+            "histogram estimator mean q-error (<=7 rel): {:.1}",
+            mean(&qerrs)
+        );
     }
 }

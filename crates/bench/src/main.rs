@@ -16,6 +16,7 @@
 //!   ablation-demo     is demonstration even necessary? (paper 6.3.3)
 //!   ablation-treeconv tree convolution vs structure-blind network
 //!   executor-vs-model latency-model fidelity vs the real executor
+//!   bench-search      inference/search throughput -> BENCH_search.json
 //!   all               everything above, in order
 //! ```
 
@@ -65,6 +66,32 @@ fn main() {
         "ablation-demo" => figures::ablation_demo(&preset),
         "ablation-treeconv" => figures::ablation_treeconv(&preset),
         "executor-vs-model" => figures::executor_vs_model(&preset),
+        "bench-search" => {
+            // Inference/search throughput (ISSUE 1): legacy per-expansion
+            // predict vs the batched InferenceSession, plus end-to-end
+            // wavefront search under the paper's 250 ms cutoff. Writes
+            // BENCH_search.json so the perf trajectory is tracked per PR.
+            let scale = if args.iter().any(|a| a == "--full") {
+                0.12
+            } else {
+                0.05
+            };
+            neo_bench::section("search/inference throughput (BENCH_search.json)");
+            let report = neo_bench::harness::run_search_bench(scale, preset.seed);
+            print!("{}", report.to_json());
+            let path = "BENCH_search.json";
+            std::fs::write(path, report.to_json()).expect("write BENCH_search.json");
+            eprintln!(
+                "speedup {:.2}x (old {:.0} plans/s -> best batched {:.0} plans/s); wrote {path}",
+                report.speedup,
+                report.old_path.plans_per_sec,
+                report
+                    .new_path
+                    .iter()
+                    .map(|p| p.plans_per_sec)
+                    .fold(0.0f64, f64::max),
+            );
+        }
         "all" => {
             figures::fig9_to_11(&preset);
             figures::fig12(&preset);
@@ -82,7 +109,7 @@ fn main() {
             eprintln!("unknown command {cmd:?}");
             eprintln!(
                 "commands: stats fig9-11 fig12 fig13 fig14 fig15 fig16 fig17 table2 \
-                 ablation-demo ablation-treeconv executor-vs-model all"
+                 ablation-demo ablation-treeconv executor-vs-model bench-search all"
             );
             std::process::exit(2);
         }

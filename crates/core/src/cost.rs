@@ -31,13 +31,19 @@ pub struct CostFn {
 impl CostFn {
     /// A workload-latency cost function (no baselines needed).
     pub fn workload() -> Self {
-        CostFn { kind: CostKind::WorkloadLatency, base: HashMap::new() }
+        CostFn {
+            kind: CostKind::WorkloadLatency,
+            base: HashMap::new(),
+        }
     }
 
     /// A relative cost function over the given per-query baselines
     /// (typically the latency of the expert's plan).
     pub fn relative(base: HashMap<String, f64>) -> Self {
-        CostFn { kind: CostKind::Relative, base }
+        CostFn {
+            kind: CostKind::Relative,
+            base,
+        }
     }
 
     /// Registers (or updates) a query's baseline latency.
@@ -80,7 +86,7 @@ mod tests {
         let mut c = CostFn::relative(HashMap::new());
         c.set_base("q", 200.0);
         assert!((c.cost("q", 100.0) - 500.0).abs() < 1e-9); // 1000 * 0.5
-        // Better-than-baseline < 1000 < worse-than-baseline.
+                                                            // Better-than-baseline < 1000 < worse-than-baseline.
         assert!(c.cost("q", 100.0) < 1_000.0);
         assert!(c.cost("q", 400.0) > 1_000.0);
     }

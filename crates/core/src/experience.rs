@@ -68,7 +68,11 @@ impl Experience {
 
     /// The best experienced plan for a query.
     pub fn best_plan(&self, query_id: &str) -> Option<&PlanNode> {
-        self.by_query.get(query_id)?.iter().min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap()).map(|e| &e.plan)
+        self.by_query
+            .get(query_id)?
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+            .map(|e| &e.plan)
     }
 
     /// Total number of stored (query, plan) pairs.
@@ -83,14 +87,19 @@ impl Experience {
 
     /// All stored costs (used to fit target normalization).
     pub fn all_costs(&self) -> Vec<f64> {
-        self.by_query.values().flat_map(|v| v.iter().map(|e| e.cost)).collect()
+        self.by_query
+            .values()
+            .flat_map(|v| v.iter().map(|e| e.cost))
+            .collect()
     }
 
     /// Derives the deduplicated training set for the given queries.
     pub fn training_samples(&self, queries: &[&Query]) -> Vec<TrainingSample> {
         let mut out = Vec::new();
         for q in queries {
-            let Some(eps) = self.by_query.get(&q.id) else { continue };
+            let Some(eps) = self.by_query.get(&q.id) else {
+                continue;
+            };
             // Min-aggregate target per distinct subtree.
             let mut min_by_subtree: HashMap<String, (PlanNode, f64)> = HashMap::new();
             let mut overall = f64::INFINITY;
@@ -119,7 +128,10 @@ impl Experience {
                 let mut roots = vec![subtree.clone()];
                 for rel in 0..n {
                     if mask & (1 << rel) == 0 {
-                        roots.push(PlanNode::Scan { rel, scan: ScanType::Unspecified });
+                        roots.push(PlanNode::Scan {
+                            rel,
+                            scan: ScanType::Unspecified,
+                        });
                     }
                 }
                 out.push(TrainingSample {
@@ -139,11 +151,18 @@ mod tests {
     use neo_query::{JoinOp, PlanNode, ScanType};
 
     fn leaf(rel: usize) -> PlanNode {
-        PlanNode::Scan { rel, scan: ScanType::Table }
+        PlanNode::Scan {
+            rel,
+            scan: ScanType::Table,
+        }
     }
 
     fn join(op: JoinOp, l: PlanNode, r: PlanNode) -> PlanNode {
-        PlanNode::Join { op, left: Box::new(l), right: Box::new(r) }
+        PlanNode::Join {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     fn query3() -> Query {
@@ -152,8 +171,18 @@ mod tests {
             family: "f".into(),
             tables: vec![0, 1, 2],
             joins: vec![
-                neo_query::JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 },
-                neo_query::JoinEdge { left_table: 2, left_col: 1, right_table: 1, right_col: 0 },
+                neo_query::JoinEdge {
+                    left_table: 1,
+                    left_col: 1,
+                    right_table: 0,
+                    right_col: 0,
+                },
+                neo_query::JoinEdge {
+                    left_table: 2,
+                    left_col: 1,
+                    right_table: 1,
+                    right_col: 0,
+                },
             ],
             predicates: vec![],
             agg: Default::default(),
@@ -187,7 +216,10 @@ mod tests {
             .expect("shared-subtree state present");
         assert_eq!(s.target, 40.0);
         // Initial state targets the overall best.
-        let init = samples.iter().find(|s| s.state == PartialPlan::initial(&q)).unwrap();
+        let init = samples
+            .iter()
+            .find(|s| s.state == PartialPlan::initial(&q))
+            .unwrap();
         assert_eq!(init.target, 40.0);
     }
 
@@ -195,9 +227,18 @@ mod tests {
     fn states_cover_remaining_relations_with_unspecified_scans() {
         let q = query3();
         let mut e = Experience::new();
-        e.add("q", join(JoinOp::Hash, join(JoinOp::Hash, leaf(0), leaf(1)), leaf(2)), 10.0);
+        e.add(
+            "q",
+            join(JoinOp::Hash, join(JoinOp::Hash, leaf(0), leaf(1)), leaf(2)),
+            10.0,
+        );
         for s in e.training_samples(&[&q]) {
-            assert_eq!(s.state.rel_mask(), 0b111, "state must cover R(q): {}", s.state.describe());
+            assert_eq!(
+                s.state.rel_mask(),
+                0b111,
+                "state must cover R(q): {}",
+                s.state.describe()
+            );
         }
     }
 

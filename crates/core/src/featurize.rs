@@ -63,6 +63,23 @@ pub struct EncodedPlan {
     pub topo: TreeTopology,
 }
 
+impl EncodedPlan {
+    /// An empty encoding, ready to be filled by
+    /// [`Featurizer::encode_plan_into`]. Pools of these are reused across
+    /// search batches so the steady-state encode path stops allocating.
+    pub fn empty() -> Self {
+        EncodedPlan {
+            feats: Matrix::zeros(0, 0),
+            topo: TreeTopology {
+                left: Vec::new(),
+                right: Vec::new(),
+                tree_of: Vec::new(),
+                num_trees: 0,
+            },
+        }
+    }
+}
+
 /// Featurizes queries and plans for one database.
 pub struct Featurizer {
     kind: Featurization,
@@ -137,9 +154,12 @@ impl Featurizer {
                 // multiple predicates on the same attribute.
                 for p in &query.predicates {
                     let slot = join_graph + db.attr_id(p.table(), p.col());
-                    let sel =
-                        neo_expert::HistogramEstimator::predicate_selectivity(db, p) as f32;
-                    out[slot] = if out[slot] == 0.0 { sel.max(1e-6) } else { out[slot] * sel };
+                    let sel = neo_expert::HistogramEstimator::predicate_selectivity(db, p) as f32;
+                    out[slot] = if out[slot] == 0.0 {
+                        sel.max(1e-6)
+                    } else {
+                        out[slot] * sel
+                    };
                 }
             }
             Featurization::RVector { featurizer, .. } => {
@@ -163,8 +183,24 @@ impl Featurizer {
         &self,
         query: &Query,
         plan: &PartialPlan,
-        mut aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+        aux: Option<&mut dyn FnMut(RelMask) -> f32>,
     ) -> EncodedPlan {
+        let mut out = EncodedPlan::empty();
+        self.encode_plan_into(query, plan, aux, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`Self::encode_plan`]: fills `out` in
+    /// place, reusing its feature-matrix and topology allocations. The
+    /// search hot loop keeps a pool of [`EncodedPlan`]s and re-encodes into
+    /// them every batch.
+    pub fn encode_plan_into(
+        &self,
+        query: &Query,
+        plan: &PartialPlan,
+        mut aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+        out: &mut EncodedPlan,
+    ) {
         assert_eq!(
             self.aux_card_channel,
             aux.is_some(),
@@ -172,19 +208,27 @@ impl Featurizer {
         );
         let n = plan.num_nodes();
         let c = self.plan_channels();
-        let mut feats = Matrix::zeros(n, c);
-        let mut topo = TreeTopology {
-            left: vec![NO_CHILD; n],
-            right: vec![NO_CHILD; n],
-            tree_of: vec![0; n],
-            num_trees: plan.roots.len(),
-        };
+        out.feats.resize(n, c);
+        out.topo.left.clear();
+        out.topo.left.resize(n, NO_CHILD);
+        out.topo.right.clear();
+        out.topo.right.resize(n, NO_CHILD);
+        out.topo.tree_of.clear();
+        out.topo.tree_of.resize(n, 0);
+        out.topo.num_trees = plan.roots.len();
         let mut next = 0usize;
         for (tree, root) in plan.roots.iter().enumerate() {
-            self.encode_node(query, root, tree as u32, &mut next, &mut feats, &mut topo, &mut aux);
+            self.encode_node(
+                query,
+                root,
+                tree as u32,
+                &mut next,
+                &mut out.feats,
+                &mut out.topo,
+                &mut aux,
+            );
         }
         debug_assert_eq!(next, n);
-        EncodedPlan { feats, topo }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -248,7 +292,12 @@ mod tests {
     fn setup() -> (Database, Query) {
         let db = imdb::generate(0.02, 1);
         let wl = job::generate(&db, 1);
-        let q = wl.queries.iter().find(|q| q.num_relations() == 4).unwrap().clone();
+        let q = wl
+            .queries
+            .iter()
+            .find(|q| q.num_relations() == 4)
+            .unwrap()
+            .clone();
         (db, q)
     }
 
@@ -340,13 +389,28 @@ mod tests {
             op: JoinOp::Loop,
             left: Box::new(PlanNode::Join {
                 op: JoinOp::Merge,
-                left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-                right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+                left: Box::new(PlanNode::Scan {
+                    rel: 0,
+                    scan: ScanType::Table,
+                }),
+                right: Box::new(PlanNode::Scan {
+                    rel: 1,
+                    scan: ScanType::Table,
+                }),
             }),
-            right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+            right: Box::new(PlanNode::Scan {
+                rel: 2,
+                scan: ScanType::Index,
+            }),
         };
         let plan = PartialPlan {
-            roots: vec![tree, PlanNode::Scan { rel: 3, scan: ScanType::Unspecified }],
+            roots: vec![
+                tree,
+                PlanNode::Scan {
+                    rel: 3,
+                    scan: ScanType::Unspecified,
+                },
+            ],
         };
         let enc = f.encode_plan(&q, &plan, None);
         assert_eq!(enc.feats.rows(), 6);

@@ -49,5 +49,5 @@ pub use featurize::{EncodedPlan, Featurization, Featurizer};
 pub use runner::{
     build_featurization, AuxCardSource, EpisodeStats, FeaturizationChoice, Neo, NeoConfig,
 };
-pub use search::{best_first_search, SearchBudget, SearchStats};
-pub use value_net::{NetConfig, ValueNet};
+pub use search::{best_first_search, SearchBudget, SearchStats, DEFAULT_WAVEFRONT};
+pub use value_net::{InferenceSession, NetConfig, ValueNet};

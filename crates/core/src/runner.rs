@@ -141,15 +141,30 @@ pub fn build_featurization(
             let start = Instant::now();
             let corpus = build_corpus(
                 db,
-                if joins { CorpusKind::Denormalized } else { CorpusKind::Normalized },
+                if joins {
+                    CorpusKind::Denormalized
+                } else {
+                    CorpusKind::Normalized
+                },
             );
             // Hub sentences interleave tokens from several referencing
             // tables, so cross-table co-occurrence needs a wider window.
             let window = if joins { 10 } else { 5 };
-            let cfg = W2vConfig { dim: emb_dim, epochs: emb_epochs, window, ..Default::default() };
+            let cfg = W2vConfig {
+                dim: emb_dim,
+                epochs: emb_epochs,
+                window,
+                ..Default::default()
+            };
             let emb = neo_embedding::train(&corpus, &cfg, seed);
             let ms = start.elapsed().as_secs_f64() * 1e3;
-            (Featurization::RVector { featurizer: Rc::new(RVectorFeaturizer::new(emb)), joins }, ms)
+            (
+                Featurization::RVector {
+                    featurizer: Rc::new(RVectorFeaturizer::new(emb)),
+                    joins,
+                },
+                ms,
+            )
         }
     }
 }
@@ -211,8 +226,12 @@ impl<'a> Neo<'a> {
             build_featurization(db, cfg.featurization, cfg.emb_dim, cfg.emb_epochs, cfg.seed);
         let mut featurizer = Featurizer::new(db, kind);
         featurizer.aux_card_channel = cfg.aux_card != AuxCardSource::Off;
-        let net =
-            ValueNet::new(featurizer.query_dim(), featurizer.plan_channels(), cfg.net.clone(), cfg.seed);
+        let net = ValueNet::new(
+            featurizer.query_dim(),
+            featurizer.plan_channels(),
+            cfg.net.clone(),
+            cfg.seed,
+        );
         let mut neo = Neo {
             db,
             engine,
@@ -311,15 +330,22 @@ impl<'a> Neo<'a> {
         for q in &self.train_queries {
             qenc.insert(&q.id, self.featurizer.encode_query(self.db, q));
         }
-        let by_id: std::collections::HashMap<&str, &Query> =
-            self.train_queries.iter().map(|q| (q.id.as_str(), q)).collect();
+        let by_id: std::collections::HashMap<&str, &Query> = self
+            .train_queries
+            .iter()
+            .map(|q| (q.id.as_str(), q))
+            .collect();
         let encoded: Vec<(usize, crate::featurize::EncodedPlan)> = samples
             .iter()
             .enumerate()
             .map(|(i, s)| {
                 let q = by_id[s.query_id.as_str()];
                 let mut aux = self.aux_closure(q);
-                (i, self.featurizer.encode_plan(q, &s.state, aux.as_mut().map(|f| &mut **f as _)))
+                (
+                    i,
+                    self.featurizer
+                        .encode_plan(q, &s.state, aux.as_mut().map(|f| &mut **f as _)),
+                )
             })
             .collect();
 
@@ -330,8 +356,10 @@ impl<'a> Neo<'a> {
             let take = idx.len().min(self.cfg.max_samples_per_retrain);
             let mut losses = Vec::new();
             for chunk in idx[..take].chunks(self.cfg.batch_size) {
-                let qrefs: Vec<&[f32]> =
-                    chunk.iter().map(|&i| qenc[samples[i].query_id.as_str()].as_slice()).collect();
+                let qrefs: Vec<&[f32]> = chunk
+                    .iter()
+                    .map(|&i| qenc[samples[i].query_id.as_str()].as_slice())
+                    .collect();
                 let prefs: Vec<&crate::featurize::EncodedPlan> =
                     chunk.iter().map(|&i| &encoded[i].1).collect();
                 let targets: Vec<f64> = chunk.iter().map(|&i| samples[i].target).collect();
@@ -423,7 +451,11 @@ impl<'a> Neo<'a> {
             let (plan, _) = self.plan_query(q);
             total += self.execute_and_learn(q, plan);
         }
-        EpisodeStats { episode, mean_loss, train_latency_ms: total }
+        EpisodeStats {
+            episode,
+            mean_loss,
+            train_latency_ms: total,
+        }
     }
 
     /// Latency of Neo's chosen plan for each query (no learning).
@@ -442,7 +474,9 @@ impl<'a> Neo<'a> {
     pub fn predict_state(&mut self, query: &Query, state: &neo_query::PartialPlan) -> f32 {
         let qenc = self.featurizer.encode_query(self.db, query);
         let mut aux = self.aux_closure(query);
-        let enc = self.featurizer.encode_plan(query, state, aux.as_mut().map(|f| &mut **f as _));
+        let enc = self
+            .featurizer
+            .encode_plan(query, state, aux.as_mut().map(|f| &mut **f as _));
         self.net.predict(&[&qenc], &[&enc])[0]
     }
 }
@@ -517,8 +551,10 @@ mod tests {
         let db = imdb::generate(0.05, 1);
         let queries = small_workload(&db, 6);
         let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), quick_cfg());
-        let expert_total: f64 =
-            queries.iter().map(|q| neo.experience.best_cost(&q.id).unwrap()).sum();
+        let expert_total: f64 = queries
+            .iter()
+            .map(|q| neo.experience.best_cost(&q.id).unwrap())
+            .sum();
         let mut last = f64::INFINITY;
         for ep in 0..4 {
             last = neo.run_episode(ep).train_latency_ms;

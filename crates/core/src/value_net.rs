@@ -14,7 +14,10 @@
 //! preserves the search ordering.
 
 use crate::featurize::EncodedPlan;
-use neo_nn::{clip_grad_norm, Adam, LeakyRelu, Matrix, Mlp, Param, TreeConv, TreeTopology};
+use neo_nn::{
+    clip_grad_norm, Adam, DynamicPooling, LeakyRelu, Matrix, Mlp, Param, Scratch, TreeConv,
+    TreeTopology, NO_CHILD,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -103,7 +106,16 @@ impl ValueNet {
         hsizes.push(1);
         let head = Mlp::new(&hsizes, true, false, &mut rng);
         let opt = Adam::new(cfg.lr);
-        ValueNet { query_mlp, convs, conv_acts, head, opt, cfg, target_mean: 0.0, target_std: 1.0 }
+        ValueNet {
+            query_mlp,
+            convs,
+            conv_acts,
+            head,
+            opt,
+            cfg,
+            target_mean: 0.0,
+            target_std: 1.0,
+        }
     }
 
     /// Total trainable parameter count.
@@ -171,11 +183,21 @@ impl ValueNet {
             q.row_mut(i).copy_from_slice(query_encs[i]);
             let n = plan.feats.rows();
             for r in 0..n {
-                feats.row_mut(node_off as usize + r).copy_from_slice(plan.feats.row(r));
+                feats
+                    .row_mut(node_off as usize + r)
+                    .copy_from_slice(plan.feats.row(r));
                 let l = plan.topo.left[r];
                 let rr = plan.topo.right[r];
-                topo.left.push(if l == neo_nn::NO_CHILD { l } else { l + node_off });
-                topo.right.push(if rr == neo_nn::NO_CHILD { rr } else { rr + node_off });
+                topo.left.push(if l == neo_nn::NO_CHILD {
+                    l
+                } else {
+                    l + node_off
+                });
+                topo.right.push(if rr == neo_nn::NO_CHILD {
+                    rr
+                } else {
+                    rr + node_off
+                });
                 topo.tree_of.push(i as u32);
             }
             node_off += n as u32;
@@ -187,21 +209,89 @@ impl ValueNet {
     /// Scores a batch of plans (inference): returns normalized predicted
     /// values, one per plan. Lower is better; the scale is the standardized
     /// ln-cost space.
+    ///
+    /// Shares the specialized first-convolution path with
+    /// [`InferenceSession::score`], so the two agree bitwise.
     pub fn predict(&self, query_encs: &[&[f32]], plans: &[&EncodedPlan]) -> Vec<f32> {
         let (q, feats, mut topo) = Self::batch(query_encs, plans);
         if self.cfg.ignore_structure {
             sever(&mut topo);
         }
         let qout = self.query_mlp.forward_inference(&q);
-        let aug = augment(&feats, &qout, &topo);
-        let mut h = aug;
-        for (conv, act) in self.convs.iter().zip(&self.conv_acts) {
-            h = act.apply(&conv.forward_inference(&h, &topo));
+        let mut h;
+        if let Some(conv1) = self.convs.first() {
+            let plan_c = feats.cols();
+            let mut wplan = Matrix::zeros(0, 0);
+            conv1_plan_rows(conv1, plan_c, &mut wplan);
+            let mut variants = Matrix::zeros(4 * topo.num_trees, conv1.cout());
+            for t in 0..topo.num_trees {
+                conv1_query_variants(conv1, qout.row(t), plan_c, &mut variants, t * 4);
+            }
+            let mut pack = Matrix::zeros(0, 0);
+            let mut side = Matrix::zeros(0, 0);
+            let mut y = Matrix::zeros(0, 0);
+            conv1_specialized_forward(
+                &wplan, &variants, &feats, &topo, true, &mut pack, &mut side, &mut y,
+            );
+            h = self.conv_acts[0].apply(&y);
+            for (conv, act) in self.convs.iter().zip(&self.conv_acts).skip(1) {
+                h = act.apply(&conv.forward_inference(&h, &topo));
+            }
+        } else {
+            h = augment(&feats, &qout, &topo);
         }
         let pool = neo_nn::DynamicPooling::new();
         let pooled = pool.forward_inference(&h, &topo);
         let out = self.head.forward_inference(&pooled);
         out.data().to_vec()
+    }
+
+    /// Opens a search-scoped inference session for one query.
+    ///
+    /// The query-level MLP runs **once**, here; every subsequent
+    /// [`InferenceSession::score`] call reuses the cached query vector and
+    /// a private [`Scratch`] buffer pool, so steady-state scoring performs
+    /// no query-MLP work and no heap allocation. [`Self::predict`], by
+    /// contrast, re-runs the query MLP over `n` identical rows on every
+    /// call — the pre-batching hot-path cost this session design removes.
+    pub fn session(&self, query_enc: &[f32]) -> InferenceSession<'_> {
+        let q = Matrix::from_row(query_enc);
+        let qout = self.query_mlp.forward_inference(&q);
+        // Pre-resolve the first convolution against this query: extract its
+        // plan-channel rows and fold the query-channel rows (+ bias) into
+        // the four child-presence variants. Every subsequent batch then
+        // multiplies sparse plan channels only.
+        let (conv1_wplan, conv1_variants) = match self.convs.first() {
+            Some(conv1) => {
+                let plan_c = conv1.cin() - qout.cols();
+                let mut wplan = Matrix::zeros(0, 0);
+                conv1_plan_rows(conv1, plan_c, &mut wplan);
+                let mut variants = Matrix::zeros(4, conv1.cout());
+                conv1_query_variants(conv1, qout.row(0), plan_c, &mut variants, 0);
+                (wplan, variants)
+            }
+            None => (Matrix::zeros(0, 0), Matrix::zeros(0, 0)),
+        };
+        InferenceSession {
+            net: self,
+            qout,
+            conv1_wplan,
+            conv1_variants,
+            topo: TreeTopology {
+                left: Vec::new(),
+                right: Vec::new(),
+                tree_of: Vec::new(),
+                num_trees: 0,
+            },
+            scratch: Scratch::new(),
+            scores: Vec::new(),
+        }
+    }
+
+    /// Read-only access to the submodules `(query_mlp, convs, conv_acts,
+    /// head)` — used by the bench harness's legacy-pipeline baseline.
+    pub fn parts(&self) -> (&Mlp, &[TreeConv], &[LeakyRelu], &Mlp) {
+        (&self.query_mlp, &self.convs, &self.conv_acts, &self.head)
     }
 
     /// Denormalizes a predicted value back to cost units (ms).
@@ -284,10 +374,265 @@ impl ValueNet {
     }
 }
 
+/// A search-scoped inference engine over one query (see
+/// [`ValueNet::session`]).
+///
+/// Holds the query vector produced by a single run of the query-level MLP
+/// plus reusable batch/scratch buffers. After a warm-up call at the largest
+/// batch size, [`Self::score`] touches the allocator zero times per batch —
+/// the property `neo`'s `zero_alloc` regression test pins down.
+pub struct InferenceSession<'n> {
+    net: &'n ValueNet,
+    /// Cached query-MLP output, `1 x qe`.
+    qout: Matrix,
+    /// Plan-channel rows of the first conv filterbank, `3c x cout`.
+    conv1_wplan: Matrix,
+    /// Query contribution to the first conv per child-presence mask
+    /// (bias folded), `4 x cout`.
+    conv1_variants: Matrix,
+    /// Reused batch topology (forest of all plans in the batch).
+    topo: TreeTopology,
+    /// Reused layer buffers.
+    scratch: Scratch,
+    /// Reused output staging.
+    scores: Vec<f32>,
+}
+
+impl InferenceSession<'_> {
+    /// Scores a batch of encoded plans, lowest predicted value = best.
+    /// Matches [`ValueNet::predict`] exactly (same kernels, same
+    /// per-row arithmetic), without re-running the query MLP.
+    pub fn score(&mut self, plans: &[&EncodedPlan]) -> &[f32] {
+        self.score_with(plans.len(), |i| plans[i])
+    }
+
+    /// [`Self::score`] over a contiguous pool slice — lets callers keep a
+    /// reusable `Vec<EncodedPlan>` without building a per-batch `Vec<&_>`.
+    pub fn score_pool(&mut self, plans: &[EncodedPlan]) -> &[f32] {
+        self.score_with(plans.len(), |i| &plans[i])
+    }
+
+    fn score_with<'p>(&mut self, n_plans: usize, get: impl Fn(usize) -> &'p EncodedPlan) -> &[f32] {
+        self.scores.clear();
+        if n_plans == 0 {
+            return &self.scores;
+        }
+        let channels = get(0).feats.cols();
+        let qe = self.qout.cols();
+        let total_nodes: usize = (0..n_plans).map(|i| get(i).feats.rows()).sum();
+        let sever = self.net.cfg.ignore_structure;
+        let specialized = !self.net.convs.is_empty();
+        // Stack the batch forest. With the specialized first conv the query
+        // channels never materialize per node (their contribution is
+        // pre-folded into `conv1_variants`); without convolutions, fall
+        // back to explicit spatial replication.
+        let width = if specialized { channels } else { channels + qe };
+        let aug = &mut self.scratch.a;
+        aug.resize(total_nodes, width);
+        let qrow = self.qout.row(0);
+        self.topo.left.clear();
+        self.topo.right.clear();
+        self.topo.tree_of.clear();
+        self.topo.num_trees = n_plans;
+        let mut node_off = 0u32;
+        for i in 0..n_plans {
+            let plan = get(i);
+            let n = plan.feats.rows();
+            for r in 0..n {
+                let row = aug.row_mut(node_off as usize + r);
+                row[..channels].copy_from_slice(plan.feats.row(r));
+                if !specialized {
+                    row[channels..].copy_from_slice(qrow);
+                }
+                let (l, rr) = if sever {
+                    (NO_CHILD, NO_CHILD)
+                } else {
+                    (plan.topo.left[r], plan.topo.right[r])
+                };
+                self.topo
+                    .left
+                    .push(if l == NO_CHILD { l } else { l + node_off });
+                self.topo
+                    .right
+                    .push(if rr == NO_CHILD { rr } else { rr + node_off });
+                self.topo.tree_of.push(i as u32);
+            }
+            node_off += n as u32;
+        }
+
+        if specialized {
+            conv1_specialized_forward(
+                &self.conv1_wplan,
+                &self.conv1_variants,
+                &self.scratch.a,
+                &self.topo,
+                false,
+                &mut self.scratch.gather,
+                &mut self.scratch.side,
+                &mut self.scratch.b,
+            );
+            std::mem::swap(&mut self.scratch.a, &mut self.scratch.b);
+            // Remaining convolutions: ping-pong a/b, pack buffers shared.
+            // Each layer's activation is applied lazily: layer L's leaky
+            // ReLU runs fused ahead of layer L+1, and the *last* layer's
+            // activation moves past pooling below.
+            for (li, conv) in self.net.convs.iter().enumerate().skip(1) {
+                self.net.conv_acts[li - 1].apply_inplace(&mut self.scratch.a);
+                conv.forward_into(
+                    &self.scratch.a,
+                    &self.topo,
+                    &mut self.scratch.gather,
+                    &mut self.scratch.side,
+                    &mut self.scratch.b,
+                );
+                std::mem::swap(&mut self.scratch.a, &mut self.scratch.b);
+            }
+        }
+        let pool = DynamicPooling::new();
+        pool.forward_inference_into(&self.scratch.a, &self.topo, &mut self.scratch.pooled);
+        if specialized {
+            // Leaky ReLU is strictly monotone, so max-pool-then-activate is
+            // bitwise identical to activate-then-max-pool — applied to
+            // `num_trees` rows instead of every node.
+            self.net
+                .conv_acts
+                .last()
+                .expect("convs non-empty")
+                .apply_inplace(&mut self.scratch.pooled);
+        }
+        self.net.head.forward_inference_into(
+            &self.scratch.pooled,
+            &mut self.scratch.tmp,
+            &mut self.scratch.out,
+        );
+        self.scores.extend_from_slice(self.scratch.out.data());
+        &self.scores
+    }
+}
+
 /// Removes all child links (the structure ablation).
 fn sever(topo: &mut TreeTopology) {
     topo.left.iter_mut().for_each(|l| *l = neo_nn::NO_CHILD);
     topo.right.iter_mut().for_each(|r| *r = neo_nn::NO_CHILD);
+}
+
+// --- Specialized first tree-convolution -----------------------------------
+//
+// Spatial replication appends the *same* query vector to every node of a
+// plan, so in the first convolution the query channels of the gathered
+// `(parent; left; right)` triple contribute one of only four values per
+// tree — selected by which children exist. Splitting the filterbank into
+// plan-channel rows and query-channel rows therefore turns the dominant
+// dense half of the first layer into a per-query precomputation:
+//
+//   y_i = [p_p; p_l; p_r] · W_plan  +  v[tree(i), mask(i)]
+//
+// with `v` folding the bias and the query rows of `W`. The remaining
+// per-node matmul runs over sparse one-hot plan channels only, where the
+// kernel's zero-skip does most of the work. Inference only — training
+// keeps the straightforward full-width path (it needs the gathered input
+// cached for backprop anyway).
+
+/// Extracts the plan-channel rows of a first-conv filterbank into a
+/// `3*plan_c x cout` matrix (rows `[0,c)`, `[cin,cin+c)`, `[2cin,2cin+c)`).
+fn conv1_plan_rows(conv: &TreeConv, plan_c: usize, out: &mut Matrix) {
+    let cin = conv.cin();
+    let cout = conv.cout();
+    out.resize(3 * plan_c, cout);
+    for part in 0..3 {
+        for r in 0..plan_c {
+            out.row_mut(part * plan_c + r)
+                .copy_from_slice(conv.w.value.row(part * cin + r));
+        }
+    }
+}
+
+/// Writes the four query-contribution variants for one query vector into
+/// four consecutive rows of `out` starting at `base`: index by the
+/// child-presence mask `left as usize | (right as usize) << 1`. The conv
+/// bias is folded in.
+fn conv1_query_variants(
+    conv: &TreeConv,
+    qrow: &[f32],
+    plan_c: usize,
+    out: &mut Matrix,
+    base: usize,
+) {
+    let cin = conv.cin();
+    let cout = conv.cout();
+    let qe = cin - plan_c;
+    debug_assert_eq!(qrow.len(), qe, "query width vs conv channels");
+    // part contributions: p (parent, always present), l, r.
+    let mut parts = [vec![0.0f32; cout], vec![0.0f32; cout], vec![0.0f32; cout]];
+    for (part, acc) in parts.iter_mut().enumerate() {
+        for (e, &qv) in qrow.iter().enumerate() {
+            if qv == 0.0 {
+                continue;
+            }
+            let wrow = conv.w.value.row(part * cin + plan_c + e);
+            for (a, &w) in acc.iter_mut().zip(wrow) {
+                *a += qv * w;
+            }
+        }
+    }
+    let bias = conv.b.value.data();
+    for mask in 0..4usize {
+        let row = out.row_mut(base + mask);
+        for j in 0..cout {
+            let mut v = bias[j] + parts[0][j];
+            if mask & 1 != 0 {
+                v += parts[1][j];
+            }
+            if mask & 2 != 0 {
+                v += parts[2][j];
+            }
+            row[j] = v;
+        }
+    }
+}
+
+/// Applies the specialized first convolution in packed-children form:
+/// multiplies the node plan-channels against the parent band of the
+/// pre-extracted plan rows, adds packed child-row products against the
+/// left/right bands via the shared [`TreeConv::add_packed_children_bands`]
+/// (missing children cost nothing), and finally adds the
+/// per-(tree, child-mask) query variant. `variant_rows_per_tree` is true
+/// when `variants` holds four rows per tree (multi-query batches) and
+/// false when one shared group of four rows serves every tree
+/// (single-query sessions). `pack` and `side` are scratch buffers.
+#[allow(clippy::too_many_arguments)] // kernel plumbing: weights + topo + 3 buffers
+fn conv1_specialized_forward(
+    wplan: &Matrix,
+    variants: &Matrix,
+    x: &Matrix,
+    topo: &TreeTopology,
+    variant_rows_per_tree: bool,
+    pack: &mut Matrix,
+    side: &mut Matrix,
+    y: &mut Matrix,
+) {
+    let n = topo.num_nodes();
+    let c = x.cols();
+    debug_assert_eq!(wplan.rows(), 3 * c);
+    y.resize(n, wplan.cols());
+    // Freshly zero-resized output: accumulate == overwrite, minus a pass.
+    x.matmul_into_rows(wplan, 0, y, true);
+    TreeConv::add_packed_children_bands(wplan, [c, 2 * c], x, topo, pack, side, y);
+    for i in 0..n {
+        let l = topo.left[i] != neo_nn::NO_CHILD;
+        let r = topo.right[i] != neo_nn::NO_CHILD;
+        let mask = l as usize | ((r as usize) << 1);
+        let base = if variant_rows_per_tree {
+            topo.tree_of[i] as usize * 4
+        } else {
+            0
+        };
+        let vrow = variants.row(base + mask);
+        let yrow = y.row_mut(i);
+        for (o, &v) in yrow.iter_mut().zip(vrow) {
+            *o += v;
+        }
+    }
 }
 
 /// Spatial replication (paper Fig. 5): appends the plan's query vector to
@@ -355,13 +700,22 @@ mod tests {
         let qe = f.encode_query(&db, q);
         let ctx = QueryContext::new(&db, q);
         let kids = neo_query::children(&PartialPlan::initial(q), &ctx);
-        let encs: Vec<_> = kids.iter().take(5).map(|k| f.encode_plan(q, k, None)).collect();
+        let encs: Vec<_> = kids
+            .iter()
+            .take(5)
+            .map(|k| f.encode_plan(q, k, None))
+            .collect();
         let qrefs: Vec<&[f32]> = vec![&qe; encs.len()];
         let prefs: Vec<_> = encs.iter().collect();
         let batched = net.predict(&qrefs, &prefs);
         for (i, enc) in encs.iter().enumerate() {
             let single = net.predict(&[&qe], &[enc]);
-            assert!((batched[i] - single[0]).abs() < 1e-4, "{} vs {}", batched[i], single[0]);
+            assert!(
+                (batched[i] - single[0]).abs() < 1e-4,
+                "{} vs {}",
+                batched[i],
+                single[0]
+            );
         }
     }
 
@@ -377,8 +731,14 @@ mod tests {
         let ctx = QueryContext::new(&db, q);
         // Make 6 distinct plans by different first moves.
         let kids = neo_query::children(&PartialPlan::initial(q), &ctx);
-        let plans: Vec<_> = kids.iter().take(6).map(|k| f.encode_plan(q, k, None)).collect();
-        let costs: Vec<f64> = (0..6).map(|i| 100.0 * (i as f64 + 1.0) * (i as f64 + 1.0)).collect();
+        let plans: Vec<_> = kids
+            .iter()
+            .take(6)
+            .map(|k| f.encode_plan(q, k, None))
+            .collect();
+        let costs: Vec<f64> = (0..6)
+            .map(|i| 100.0 * (i as f64 + 1.0) * (i as f64 + 1.0))
+            .collect();
         net.fit_normalization(&costs);
         let qrefs: Vec<&[f32]> = vec![&qe; plans.len()];
         let prefs: Vec<_> = plans.iter().collect();
@@ -391,6 +751,74 @@ mod tests {
         let preds = net.predict(&qrefs, &prefs);
         for i in 1..preds.len() {
             assert!(preds[i] > preds[i - 1] - 0.2, "ordering broken: {preds:?}");
+        }
+    }
+
+    /// ISSUE 1 acceptance: `InferenceSession` scores must match plain
+    /// `ValueNet::predict` to within 1e-6 (they share kernels, so in
+    /// practice they agree bitwise).
+    #[test]
+    fn session_matches_predict() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = &wl.queries[0];
+        let (f, net) = tiny_net(&db);
+        let qe = f.encode_query(&db, q);
+        let ctx = QueryContext::new(&db, q);
+        let kids = neo_query::children(&PartialPlan::initial(q), &ctx);
+        let encs: Vec<_> = kids.iter().map(|k| f.encode_plan(q, k, None)).collect();
+        let qrefs: Vec<&[f32]> = vec![&qe; encs.len()];
+        let prefs: Vec<_> = encs.iter().collect();
+        let expected = net.predict(&qrefs, &prefs);
+
+        let mut session = net.session(&qe);
+        // Batched in one call.
+        let got = session.score(&prefs).to_vec();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-6, "session {g} vs predict {e}");
+        }
+        // And across repeated calls with varying batch sizes (buffer reuse
+        // must not leak state between batches).
+        for chunk in prefs.chunks(3) {
+            let part = session.score(chunk);
+            for (i, g) in part.iter().enumerate() {
+                let e = net.predict(&[&qe], &[chunk[i]])[0];
+                assert!((g - e).abs() < 1e-6, "chunked {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_respects_ignore_structure() {
+        let db = imdb::generate(0.02, 1);
+        let wl = job::generate(&db, 1);
+        let q = &wl.queries[0];
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        let cfg = NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 1e-2,
+            grad_clip: 5.0,
+            ignore_structure: true,
+        };
+        let net = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 42);
+        let qe = f.encode_query(&db, q);
+        let ctx = QueryContext::new(&db, q);
+        let kids = neo_query::children(&PartialPlan::initial(q), &ctx);
+        let encs: Vec<_> = kids
+            .iter()
+            .take(4)
+            .map(|k| f.encode_plan(q, k, None))
+            .collect();
+        let qrefs: Vec<&[f32]> = vec![&qe; encs.len()];
+        let prefs: Vec<_> = encs.iter().collect();
+        let expected = net.predict(&qrefs, &prefs);
+        let mut session = net.session(&qe);
+        let got = session.score(&prefs);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-6, "severed {g} vs {e}");
         }
     }
 

@@ -6,7 +6,7 @@ use neo::{
     best_first_search, CostKind, Featurization, Featurizer, Neo, NeoConfig, NetConfig,
     SearchBudget, ValueNet,
 };
-use neo_engine::{true_latency, CardinalityOracle, Engine};
+use neo_engine::{true_latency, Engine};
 use neo_query::workload::job;
 use neo_storage::datagen::imdb;
 
@@ -54,7 +54,13 @@ fn trained_search_matches_best_experience() {
     for q in &queries {
         let best = neo.experience.best_cost(&q.id).unwrap();
         let (plan, _) = neo.plan_query(q);
-        let lat = true_latency(&db, q, &Engine::PostgresLike.profile(), &mut neo.oracle, &plan);
+        let lat = true_latency(
+            &db,
+            q,
+            &Engine::PostgresLike.profile(),
+            &mut neo.oracle,
+            &plan,
+        );
         // Small-query latencies are startup-dominated (a few ms), so allow
         // both a relative factor and an absolute slack.
         if lat <= best * 3.0 + 5.0 {
@@ -76,10 +82,20 @@ fn untrained_search_is_always_valid() {
     let wl = job::generate(&db, 23);
     let f = Featurizer::new(&db, Featurization::OneHot);
     let net = ValueNet::new(f.query_dim(), f.plan_channels(), tiny_net_cfg(), 9);
-    for q in wl.queries.iter().filter(|q| q.num_relations() <= 10).take(15) {
+    for q in wl
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() <= 10)
+        .take(15)
+    {
         let (plan, _) = best_first_search(&net, &f, &db, q, SearchBudget::expansions(10), None);
         assert!(plan.fully_specified());
-        assert_eq!(plan.rel_mask(), (1u64 << q.num_relations()) - 1, "query {}", q.id);
+        assert_eq!(
+            plan.rel_mask(),
+            (1u64 << q.num_relations()) - 1,
+            "query {}",
+            q.id
+        );
         // And the executor accepts it.
         let ex = neo_engine::Executor::new(&db, q);
         assert!(ex.execute_count(&plan).is_ok(), "query {}", q.id);
@@ -101,7 +117,10 @@ fn hurry_up_labeling_is_accurate() {
         assert!(p_small.fully_specified());
         let (p_large, s_large) =
             best_first_search(&net, &f, &db, q, SearchBudget::expansions(400), None);
-        assert!(!s_large.hurried, "400 expansions complete a 4-relation query");
+        assert!(
+            !s_large.hurried,
+            "400 expansions complete a 4-relation query"
+        );
         assert!(p_large.fully_specified());
         assert!(s_large.scored > s_small.scored);
     }

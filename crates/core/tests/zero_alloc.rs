@@ -1,0 +1,172 @@
+//! ISSUE 1 acceptance: steady-state batched inference performs **zero**
+//! heap allocations in the nn forward path.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! pass has grown every scratch buffer to its steady-state size, repeated
+//! `InferenceSession::score` calls must not allocate (or free) at all.
+//! `neo_nn::realloc_events` cross-checks the same property at the
+//! `Matrix::resize` level.
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_query::{children, PartialPlan, QueryContext};
+use neo_storage::datagen::imdb;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocation events while the
+/// *current thread* is armed. Arming is thread-local so harness threads
+/// (libtest plumbing, sibling tests spawning) cannot be misattributed to
+/// the scored loop; the counters themselves stay global for reading.
+struct CountingAlloc;
+
+std::thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+/// Safe inside the allocator: the thread-local is const-initialized (no
+/// lazy allocation), and `try_with` tolerates TLS teardown.
+fn armed() -> bool {
+    ARMED.try_with(|a| a.get()).unwrap_or(false)
+}
+
+fn set_armed(on: bool) {
+    ARMED.with(|a| a.set(on));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if armed() {
+            FREES.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// The counters are process-global, so the two tests must not overlap.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn reset_counters() {
+    ALLOCS.store(0, Ordering::SeqCst);
+    FREES.store(0, Ordering::SeqCst);
+}
+
+#[test]
+fn steady_state_scoring_is_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+    reset_counters();
+    let db = imdb::generate(0.02, 1);
+    let wl = neo_query::workload::job::generate(&db, 1);
+    let q = wl.queries.iter().find(|q| q.num_relations() == 8).unwrap();
+    let f = Featurizer::new(&db, Featurization::OneHot);
+    let cfg = NetConfig {
+        query_layers: vec![32, 16],
+        conv_channels: vec![16, 16, 8],
+        head_layers: vec![16],
+        lr: 1e-2,
+        grad_clip: 5.0,
+        ignore_structure: false,
+    };
+    let net = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 11);
+    let qenc = f.encode_query(&db, q);
+
+    // A realistic batch: all children of the initial state (~tens of
+    // plans), pre-encoded so only the nn forward path is measured.
+    let ctx = QueryContext::new(&db, q);
+    let kids = children(&PartialPlan::initial(q), &ctx);
+    assert!(
+        kids.len() >= 16,
+        "want a non-trivial batch, got {}",
+        kids.len()
+    );
+    let encs: Vec<_> = kids.iter().map(|k| f.encode_plan(q, k, None)).collect();
+    let refs: Vec<_> = encs.iter().collect();
+
+    let mut session = net.session(&qenc);
+    // Warm-up: grows every scratch buffer to steady-state size.
+    let warm = session.score(&refs).to_vec();
+    let _ = session.score(&refs);
+    let resize_growth = neo_nn::realloc_events();
+
+    set_armed(true);
+    for _ in 0..10 {
+        let scores = session.score(&refs);
+        assert_eq!(scores.len(), refs.len());
+        std::hint::black_box(scores);
+    }
+    set_armed(false);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    let frees = FREES.load(Ordering::SeqCst);
+    assert_eq!(allocs, 0, "steady-state score() allocated {allocs} times");
+    assert_eq!(frees, 0, "steady-state score() freed {frees} times");
+    assert_eq!(
+        neo_nn::realloc_events(),
+        resize_growth,
+        "scratch buffers grew after warm-up"
+    );
+
+    // Still numerically correct after the armed runs.
+    let again = session.score(&refs);
+    for (a, b) in again.iter().zip(&warm) {
+        assert_eq!(a, b, "steady-state scores drifted");
+    }
+}
+
+/// Smaller batches after a big warm-up must also stay allocation-free
+/// (buffers shrink logically but keep their capacity).
+#[test]
+fn shrinking_batches_stay_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+    reset_counters();
+    let db = imdb::generate(0.02, 2);
+    let wl = neo_query::workload::job::generate(&db, 2);
+    let q = wl.queries.iter().find(|q| q.num_relations() == 6).unwrap();
+    let f = Featurizer::new(&db, Featurization::OneHot);
+    let cfg = NetConfig {
+        query_layers: vec![16, 8],
+        conv_channels: vec![8, 8],
+        head_layers: vec![8],
+        lr: 1e-2,
+        grad_clip: 5.0,
+        ignore_structure: false,
+    };
+    let net = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 5);
+    let qenc = f.encode_query(&db, q);
+    let ctx = QueryContext::new(&db, q);
+    let kids = children(&PartialPlan::initial(q), &ctx);
+    let encs: Vec<_> = kids.iter().map(|k| f.encode_plan(q, k, None)).collect();
+    let refs: Vec<_> = encs.iter().collect();
+
+    let mut session = net.session(&qenc);
+    let _ = session.score(&refs); // warm up at the largest size
+
+    set_armed(true);
+    let before = (ALLOCS.load(Ordering::SeqCst), FREES.load(Ordering::SeqCst));
+    for take in [refs.len(), refs.len() / 2, 3, 1] {
+        let _ = session.score(&refs[..take.max(1)]);
+    }
+    set_armed(false);
+    let after = (ALLOCS.load(Ordering::SeqCst), FREES.load(Ordering::SeqCst));
+    assert_eq!(before, after, "shrinking batches hit the allocator");
+}

@@ -1,0 +1,291 @@
+#![warn(missing_docs)]
+//! Vendored, API-compatible subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! workspace ships a minimal timing harness covering the surface used by
+//! `crates/bench/benches/micro.rs`: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], the builder knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`), and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up for `warm_up_time`, the
+//! per-iteration cost is estimated, and then `sample_size` samples are taken
+//! (each a batch of iterations sized so the whole measurement fits in
+//! `measurement_time`). The median per-iteration time is reported. This is
+//! deliberately simpler than upstream criterion (no outlier analysis or
+//! HTML reports) but produces comparable medians and honors CLI name
+//! filters (`cargo bench -- <filter>`).
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted upon —
+/// the shim always times routine-only, per batch of one input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher<'c> {
+    cfg: &'c Config,
+    /// Collected per-iteration nanosecond estimates (one per sample).
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: estimate the per-iteration cost.
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut iters_done = 0u64;
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters_done += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        let samples = self.cfg.sample_size.max(2);
+        let budget = self.cfg.measurement_time.as_secs_f64() / samples as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut spent = Duration::ZERO;
+        let mut iters_done = 0u64;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += start.elapsed();
+            iters_done += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = spent.as_secs_f64() / iters_done as f64;
+
+        let samples = self.cfg.sample_size.max(2);
+        let budget = self.cfg.measurement_time.as_secs_f64() / samples as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 100_000);
+        for _ in 0..samples {
+            let mut ns_total = 0.0;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                ns_total += start.elapsed().as_secs_f64() * 1e9;
+            }
+            self.samples_ns.push(ns_total / batch as f64);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Benchmark registry + configuration (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    cfg: Config,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; `--bench`/`--exact` style flags are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            cfg: Config::default(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let mut ns = b.samples_ns;
+        if ns.is_empty() {
+            println!("{id:<50} (no samples)");
+            return self;
+        }
+        ns.sort_by(f64::total_cmp);
+        let median = ns[ns.len() / 2];
+        let lo = ns[0];
+        let hi = ns[ns.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        self
+    }
+
+    /// Upstream-API shim: final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn1, fn2)` or
+/// the long form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None; // the test harness's own args are not bench filters
+        c
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = tiny();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = tiny();
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = tiny();
+        c.filter = Some("matmul".into());
+        let mut runs = 0u64;
+        c.bench_function("unrelated", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_ns(3_200_000_000.0), "3.200 s");
+    }
+}

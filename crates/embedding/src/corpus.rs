@@ -184,9 +184,11 @@ pub fn build_corpus(db: &Database, kind: CorpusKind) -> Corpus {
                     for &rref in lookup_rows(db, tt, tc, key).iter().take(1) {
                         tk.row_tokens(db, tt, rref as usize, &mut scratch);
                         for fk2 in db.foreign_keys.iter().filter(|f| f.from_table == tt) {
-                            let key2 =
-                                db.tables[tt].columns[fk2.from_col].as_int().unwrap()[rref as usize];
-                            for &r2 in lookup_rows(db, fk2.to_table, fk2.to_col, key2).iter().take(1)
+                            let key2 = db.tables[tt].columns[fk2.from_col].as_int().unwrap()
+                                [rref as usize];
+                            for &r2 in lookup_rows(db, fk2.to_table, fk2.to_col, key2)
+                                .iter()
+                                .take(1)
                             {
                                 tk.row_tokens(db, fk2.to_table, r2 as usize, &mut scratch);
                             }
@@ -206,8 +208,11 @@ pub fn build_corpus(db: &Database, kind: CorpusKind) -> Corpus {
     // Hub sentences: merge the neighbourhoods of heavily-referenced tables.
     if kind == CorpusKind::Denormalized {
         for (hub, table) in db.tables.iter().enumerate() {
-            let referencing: Vec<_> =
-                db.foreign_keys.iter().filter(|fk| fk.to_table == hub).collect();
+            let referencing: Vec<_> = db
+                .foreign_keys
+                .iter()
+                .filter(|fk| fk.to_table == hub)
+                .collect();
             if referencing.len() < 2 {
                 continue;
             }
@@ -217,12 +222,17 @@ pub fn build_corpus(db: &Database, kind: CorpusKind) -> Corpus {
                 tk.row_tokens(db, hub, row, &mut scratch);
                 let key = table.columns[hub_key_col].as_int().unwrap()[row];
                 for fk in &referencing {
-                    for &rref in lookup_rows(db, fk.from_table, fk.from_col, key).iter().take(4) {
+                    for &rref in lookup_rows(db, fk.from_table, fk.from_col, key)
+                        .iter()
+                        .take(4)
+                    {
                         tk.row_tokens(db, fk.from_table, rref as usize, &mut scratch);
                         // One forward hop from the referencing row (e.g.
                         // movie_keyword -> keyword).
-                        for fk2 in
-                            db.foreign_keys.iter().filter(|f| f.from_table == fk.from_table)
+                        for fk2 in db
+                            .foreign_keys
+                            .iter()
+                            .filter(|f| f.from_table == fk.from_table)
                         {
                             if fk2.to_table == hub {
                                 continue;
@@ -230,8 +240,9 @@ pub fn build_corpus(db: &Database, kind: CorpusKind) -> Corpus {
                             let key2 = db.tables[fk.from_table].columns[fk2.from_col]
                                 .as_int()
                                 .unwrap()[rref as usize];
-                            for &r2 in
-                                lookup_rows(db, fk2.to_table, fk2.to_col, key2).iter().take(1)
+                            for &r2 in lookup_rows(db, fk2.to_table, fk2.to_col, key2)
+                                .iter()
+                                .take(1)
                             {
                                 tk.row_tokens(db, fk2.to_table, r2 as usize, &mut scratch);
                             }
@@ -309,7 +320,10 @@ mod tests {
             .iter()
             .filter(|s| s.contains(&romance) && s.iter().any(|t| love_set.contains(t)))
             .count();
-        assert!(both > 10, "only {both} sentences co-occur romance with love-*");
+        assert!(
+            both > 10,
+            "only {both} sentences co-occur romance with love-*"
+        );
     }
 
     #[test]
@@ -325,8 +339,14 @@ mod tests {
         let db = imdb::generate(0.02, 1);
         let corpus = build_corpus(&db, CorpusKind::Normalized);
         // production_year (90 distinct) must be bucketed, not exact.
-        assert!(corpus.vocab.iter().any(|t| t.starts_with("production_year~")));
-        assert!(corpus.vocab.iter().all(|t| !t.starts_with("production_year:")));
+        assert!(corpus
+            .vocab
+            .iter()
+            .any(|t| t.starts_with("production_year~")));
+        assert!(corpus
+            .vocab
+            .iter()
+            .all(|t| !t.starts_with("production_year:")));
     }
 
     #[test]

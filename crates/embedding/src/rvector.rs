@@ -53,7 +53,9 @@ impl RVectorFeaturizer {
         out[op_slot] = 1.0;
 
         let (tokens, matched): (Vec<String>, usize) = match p {
-            Predicate::IntCmp { table, col, value, .. } => {
+            Predicate::IntCmp {
+                table, col, value, ..
+            } => {
                 let name = &db.tables[*table].columns[*col].name;
                 (int_tokens(db, *table, *col, name, &[*value]), 1)
             }
@@ -63,7 +65,9 @@ impl RVectorFeaturizer {
             }
             Predicate::StrEq { value, .. } => (vec![value.clone()], 1),
             Predicate::StrContains { table, col, needle } => {
-                let s = db.tables[*table].columns[*col].as_str().expect("str column");
+                let s = db.tables[*table].columns[*col]
+                    .as_str()
+                    .expect("str column");
                 let toks: Vec<String> = s
                     .codes_containing(needle)
                     .into_iter()
@@ -118,7 +122,15 @@ mod tests {
 
     fn small_featurizer(db: &Database) -> RVectorFeaturizer {
         let corpus = build_corpus(db, CorpusKind::Normalized);
-        let emb = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 1);
+        let emb = train(
+            &corpus,
+            &W2vConfig {
+                dim: 8,
+                epochs: 1,
+                ..Default::default()
+            },
+            1,
+        );
         RVectorFeaturizer::new(emb)
     }
 
@@ -135,11 +147,21 @@ mod tests {
         let f = small_featurizer(&db);
         let t = db.table_id("movie_info").unwrap();
         let c = db.tables[t].col_id("info").unwrap();
-        let v = f.featurize(&db, &Predicate::StrEq { table: t, col: c, value: "romance".into() });
+        let v = f.featurize(
+            &db,
+            &Predicate::StrEq {
+                table: t,
+                col: c,
+                value: "romance".into(),
+            },
+        );
         assert_eq!(v[0], 1.0); // Eq slot
         assert_eq!(v[NUM_OPS], 1.0); // one matched token
         let emb = &v[NUM_OPS + 1..NUM_OPS + 1 + 8];
-        assert!(emb.iter().any(|&x| x != 0.0), "embedding all-zero for known token");
+        assert!(
+            emb.iter().any(|&x| x != 0.0),
+            "embedding all-zero for known token"
+        );
     }
 
     #[test]
@@ -149,8 +171,14 @@ mod tests {
         let f = small_featurizer(&db);
         let t = db.table_id("keyword").unwrap();
         let c = db.tables[t].col_id("keyword").unwrap();
-        let v =
-            f.featurize(&db, &Predicate::StrContains { table: t, col: c, needle: "love".into() });
+        let v = f.featurize(
+            &db,
+            &Predicate::StrContains {
+                table: t,
+                col: c,
+                needle: "love".into(),
+            },
+        );
         assert_eq!(v[6], 1.0); // Contains slot
         assert!(v[NUM_OPS] > 1.0, "love should match several keywords");
     }
@@ -161,7 +189,14 @@ mod tests {
         let f = small_featurizer(&db);
         let t = db.table_id("movie_info").unwrap();
         let c = db.tables[t].col_id("info").unwrap();
-        let v = f.featurize(&db, &Predicate::StrEq { table: t, col: c, value: "zzz".into() });
+        let v = f.featurize(
+            &db,
+            &Predicate::StrEq {
+                table: t,
+                col: c,
+                value: "zzz".into(),
+            },
+        );
         let emb = &v[NUM_OPS + 1..NUM_OPS + 1 + 8];
         assert!(emb.iter().all(|&x| x == 0.0));
     }
@@ -172,9 +207,20 @@ mod tests {
         let f = small_featurizer(&db);
         let t = db.table_id("title").unwrap();
         let c = db.tables[t].col_id("production_year").unwrap();
-        let v = f.featurize(&db, &Predicate::IntBetween { table: t, col: c, lo: 1990, hi: 2005 });
+        let v = f.featurize(
+            &db,
+            &Predicate::IntBetween {
+                table: t,
+                col: c,
+                lo: 1990,
+                hi: 2005,
+            },
+        );
         assert_eq!(v[5], 1.0); // Between slot
         let emb = &v[NUM_OPS + 1..NUM_OPS + 1 + 8];
-        assert!(emb.iter().any(|&x| x != 0.0), "year bucket tokens should be embedded");
+        assert!(
+            emb.iter().any(|&x| x != 0.0),
+            "year bucket tokens should be embedded"
+        );
     }
 }

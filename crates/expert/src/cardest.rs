@@ -49,13 +49,18 @@ impl HistogramEstimator {
             },
             (Predicate::IntBetween { lo, hi, .. }, ColumnStats::Int(h)) => h.est_between(*lo, *hi),
             (Predicate::StrEq { value, .. }, ColumnStats::Str(m)) => {
-                match db.tables[p.table()].columns[p.col()].as_str().and_then(|s| s.code_of(value)) {
+                match db.tables[p.table()].columns[p.col()]
+                    .as_str()
+                    .and_then(|s| s.code_of(value))
+                {
                     Some(code) => m.est_eq_code(code),
                     None => 0.0,
                 }
             }
             (Predicate::StrContains { needle, .. }, ColumnStats::Str(m)) => {
-                let s = db.tables[p.table()].columns[p.col()].as_str().expect("str column");
+                let s = db.tables[p.table()].columns[p.col()]
+                    .as_str()
+                    .expect("str column");
                 m.est_in_codes(&s.codes_containing(needle))
             }
             _ => panic!("predicate/stats type mismatch"),
@@ -104,7 +109,9 @@ impl CardEstimator for HistogramEstimator {
             };
             if mask & (1 << a) != 0 && mask & (1 << b) != 0 {
                 let dl = db.stats[e.left_table].columns[e.left_col].distinct().max(1) as f64;
-                let dr = db.stats[e.right_table].columns[e.right_col].distinct().max(1) as f64;
+                let dr = db.stats[e.right_table].columns[e.right_col]
+                    .distinct()
+                    .max(1) as f64;
                 card /= dl.max(dr);
             }
         }
@@ -247,7 +254,12 @@ mod tests {
         let mut est2 = HistogramEstimator::new();
         let mut oracle2 = CardinalityOracle::new();
         let mut job_err = Vec::new();
-        for q in iwl.queries.iter().filter(|q| q.num_relations() <= 7).take(40) {
+        for q in iwl
+            .queries
+            .iter()
+            .filter(|q| q.num_relations() <= 7)
+            .take(40)
+        {
             let full = (1u64 << q.num_relations()) - 1;
             let truth = oracle2.cardinality(&idb, q, full).max(1.0);
             let guess = est2.join(&idb, q, full).max(1.0);
@@ -273,7 +285,10 @@ mod tests {
         let full = (1u64 << q.num_relations()) - 1;
         let mut oracle = CardinalityOracle::new();
         let truth = oracle.cardinality(&db, q, full).max(1.0);
-        let mut est = SamplingEstimator { oracle: &mut oracle, max_rel_error: 1.5 };
+        let mut est = SamplingEstimator {
+            oracle: &mut oracle,
+            max_rel_error: 1.5,
+        };
         let a = est.join(&db, q, full);
         let b = est.join(&db, q, full);
         assert_eq!(a, b);
@@ -288,20 +303,35 @@ mod tests {
         let q = &wl.queries[0];
         let full = (1u64 << q.num_relations()) - 1;
         let base = HistogramEstimator::new();
-        let mut inj0 = ErrorInjector { inner: base, orders: 0.0, seed: 1 };
+        let mut inj0 = ErrorInjector {
+            inner: base,
+            orders: 0.0,
+            seed: 1,
+        };
         let clean = inj0.join(&db, q, full);
         let mut worst2 = 1.0f64;
         let mut worst5 = 1.0f64;
         for seed in 0..20 {
-            let mut inj2 = ErrorInjector { inner: HistogramEstimator::new(), orders: 2.0, seed };
-            let mut inj5 = ErrorInjector { inner: HistogramEstimator::new(), orders: 5.0, seed };
+            let mut inj2 = ErrorInjector {
+                inner: HistogramEstimator::new(),
+                orders: 2.0,
+                seed,
+            };
+            let mut inj5 = ErrorInjector {
+                inner: HistogramEstimator::new(),
+                orders: 5.0,
+                seed,
+            };
             let e2 = inj2.join(&db, q, full);
             let e5 = inj5.join(&db, q, full);
             worst2 = worst2.max((e2 / clean).max(clean / e2));
             worst5 = worst5.max((e5 / clean).max(clean / e5));
         }
         assert!(worst2 > 3.0, "2-order error too small: {worst2}");
-        assert!(worst5 > worst2, "5-order ({worst5}) should exceed 2-order ({worst2})");
+        assert!(
+            worst5 > worst2,
+            "5-order ({worst5}) should exceed 2-order ({worst2})"
+        );
     }
 
     #[test]

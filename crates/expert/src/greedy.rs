@@ -24,7 +24,11 @@ pub fn greedy_optimize(
     let ctx = QueryContext::new(db, query);
 
     let start = (0..n)
-        .min_by(|&a, &b| est.base(db, query, a).partial_cmp(&est.base(db, query, b)).unwrap())
+        .min_by(|&a, &b| {
+            est.base(db, query, a)
+                .partial_cmp(&est.base(db, query, b))
+                .unwrap()
+        })
         .expect("non-empty query");
     let card = est.base(db, query, start);
     let (mut node, mut info) = best_scan(db, query, profile, &ctx, start, card);
@@ -53,7 +57,11 @@ pub fn greedy_optimize(
                         None
                     };
                     let rr = if inl.is_some() {
-                        CostedNode { card: rcard, cost: 0.0, order: None }
+                        CostedNode {
+                            card: rcard,
+                            cost: 0.0,
+                            order: None,
+                        }
                     } else {
                         rinfo.clone()
                     };
@@ -92,10 +100,22 @@ fn best_scan(
     if ctx.index_ok[rel] {
         let i = cost_scan(db, query, profile, rel, ScanType::Index, card);
         if i.cost < t.cost {
-            return (PlanNode::Scan { rel, scan: ScanType::Index }, i);
+            return (
+                PlanNode::Scan {
+                    rel,
+                    scan: ScanType::Index,
+                },
+                i,
+            );
         }
     }
-    (PlanNode::Scan { rel, scan: ScanType::Table }, t)
+    (
+        PlanNode::Scan {
+            rel,
+            scan: ScanType::Table,
+        },
+        t,
+    )
 }
 
 #[cfg(test)]
@@ -115,7 +135,12 @@ mod tests {
         for q in &wl.queries {
             let plan = greedy_optimize(&db, q, &profile, &mut est);
             assert!(plan.fully_specified());
-            assert_eq!(plan.rel_mask(), (1u64 << q.num_relations()) - 1, "query {}", q.id);
+            assert_eq!(
+                plan.rel_mask(),
+                (1u64 << q.num_relations()) - 1,
+                "query {}",
+                q.id
+            );
         }
     }
 

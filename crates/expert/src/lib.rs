@@ -22,8 +22,8 @@ pub mod native;
 pub mod selinger;
 
 pub use cardest::{
-    deterministic_error_factor, CardEstimator, ErrorInjector, EstimateProvider,
-    HistogramEstimator, SamplingEstimator,
+    deterministic_error_factor, CardEstimator, ErrorInjector, EstimateProvider, HistogramEstimator,
+    SamplingEstimator,
 };
 pub use greedy::greedy_optimize;
 pub use native::{native_optimize, optimize_with, postgres_expert};

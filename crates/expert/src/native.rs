@@ -30,22 +30,40 @@ pub fn native_optimize(
     match engine {
         Engine::PostgresLike => {
             let mut est = HistogramEstimator::new();
-            SelingerOptimizer { bushy: false, bushy_limit: 10, dp_limit: 12 }
-                .optimize(db, query, &profile, &mut est)
+            SelingerOptimizer {
+                bushy: false,
+                bushy_limit: 10,
+                dp_limit: 12,
+            }
+            .optimize(db, query, &profile, &mut est)
         }
         Engine::SqliteLike => {
             let mut est = HistogramEstimator::new();
             greedy_optimize(db, query, &profile, &mut est)
         }
         Engine::MsSqlLike => {
-            let mut est = SamplingEstimator { oracle, max_rel_error: 1.6 };
-            SelingerOptimizer { bushy: true, bushy_limit: 10, dp_limit: 13 }
-                .optimize(db, query, &profile, &mut est)
+            let mut est = SamplingEstimator {
+                oracle,
+                max_rel_error: 1.6,
+            };
+            SelingerOptimizer {
+                bushy: true,
+                bushy_limit: 10,
+                dp_limit: 13,
+            }
+            .optimize(db, query, &profile, &mut est)
         }
         Engine::OracleLike => {
-            let mut est = SamplingEstimator { oracle, max_rel_error: 1.8 };
-            SelingerOptimizer { bushy: true, bushy_limit: 10, dp_limit: 13 }
-                .optimize(db, query, &profile, &mut est)
+            let mut est = SamplingEstimator {
+                oracle,
+                max_rel_error: 1.8,
+            };
+            SelingerOptimizer {
+                bushy: true,
+                bushy_limit: 10,
+                dp_limit: 13,
+            }
+            .optimize(db, query, &profile, &mut est)
         }
     }
 }
@@ -56,8 +74,12 @@ pub fn native_optimize(
 pub fn postgres_expert(db: &Database, query: &Query) -> PlanNode {
     let mut est = HistogramEstimator::new();
     let profile = Engine::PostgresLike.profile();
-    SelingerOptimizer { bushy: false, bushy_limit: 10, dp_limit: 12 }
-        .optimize(db, query, &profile, &mut est)
+    SelingerOptimizer {
+        bushy: false,
+        bushy_limit: 10,
+        dp_limit: 12,
+    }
+    .optimize(db, query, &profile, &mut est)
 }
 
 /// Convenience: estimated-cost optimizer with an explicit estimator
@@ -104,7 +126,12 @@ mod tests {
         let mut oracle = CardinalityOracle::new();
         let profile = Engine::MsSqlLike.profile();
         let (mut pg_total, mut ms_total) = (0.0f64, 0.0f64);
-        for q in wl.queries.iter().filter(|q| q.num_relations() <= 8).take(25) {
+        for q in wl
+            .queries
+            .iter()
+            .filter(|q| q.num_relations() <= 8)
+            .take(25)
+        {
             let pg_plan = native_optimize(&db, q, Engine::PostgresLike, &mut oracle);
             let ms_plan = native_optimize(&db, q, Engine::MsSqlLike, &mut oracle);
             pg_total += true_latency(&db, q, &profile, &mut oracle, &pg_plan);

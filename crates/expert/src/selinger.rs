@@ -29,7 +29,11 @@ pub struct SelingerOptimizer {
 
 impl Default for SelingerOptimizer {
     fn default() -> Self {
-        SelingerOptimizer { bushy: false, bushy_limit: 10, dp_limit: 12 }
+        SelingerOptimizer {
+            bushy: false,
+            bushy_limit: 10,
+            dp_limit: 12,
+        }
     }
 }
 
@@ -78,12 +82,18 @@ impl SelingerOptimizer {
         for rel in 0..n {
             let card = est.base(db, query, rel);
             let mut entries = vec![Entry {
-                node: PlanNode::Scan { rel, scan: ScanType::Table },
+                node: PlanNode::Scan {
+                    rel,
+                    scan: ScanType::Table,
+                },
                 info: cost_scan(db, query, profile, rel, ScanType::Table, card),
             }];
             if ctx.index_ok[rel] {
                 entries.push(Entry {
-                    node: PlanNode::Scan { rel, scan: ScanType::Index },
+                    node: PlanNode::Scan {
+                        rel,
+                        scan: ScanType::Index,
+                    },
                     info: cost_scan(db, query, profile, rel, ScanType::Index, card),
                 });
             }
@@ -105,7 +115,18 @@ impl SelingerOptimizer {
                     let t = mask & !s;
                     if t != 0 && ctx.connected(s, t) {
                         if let (Some(ls), Some(rs)) = (best.get(&s), best.get(&t)) {
-                            join_candidates(db, query, profile, est, ctx, s, t, ls, rs, &mut entries);
+                            join_candidates(
+                                db,
+                                query,
+                                profile,
+                                est,
+                                ctx,
+                                s,
+                                t,
+                                ls,
+                                rs,
+                                &mut entries,
+                            );
                         }
                     }
                     s = (s - 1) & mask;
@@ -133,7 +154,8 @@ impl SelingerOptimizer {
 
         best.get(&full)
             .and_then(|e| {
-                e.iter().min_by(|a, b| a.info.cost.partial_cmp(&b.info.cost).unwrap())
+                e.iter()
+                    .min_by(|a, b| a.info.cost.partial_cmp(&b.info.cost).unwrap())
             })
             .map(|e| e.node.clone())
             // Disconnected subsets never block us: queries are validated
@@ -168,7 +190,11 @@ fn join_candidates(
                 };
                 let rinfo = if inl.is_some() {
                     // INL replaces the inner scan cost with probes.
-                    CostedNode { card: re.info.card, cost: 0.0, order: None }
+                    CostedNode {
+                        card: re.info.card,
+                        cost: 0.0,
+                        order: None,
+                    }
                 } else {
                     re.info.clone()
                 };
@@ -192,9 +218,9 @@ fn prune(mut entries: Vec<Entry>) -> Vec<Entry> {
     entries.sort_by(|a, b| a.info.cost.partial_cmp(&b.info.cost).unwrap());
     let mut kept: Vec<Entry> = Vec::new();
     for e in entries {
-        let dominated = kept
-            .iter()
-            .any(|k| k.info.cost <= e.info.cost && (k.info.order == e.info.order || e.info.order.is_none()));
+        let dominated = kept.iter().any(|k| {
+            k.info.cost <= e.info.cost && (k.info.order == e.info.order || e.info.order.is_none())
+        });
         if !dominated {
             kept.push(e);
         }
@@ -253,7 +279,13 @@ mod tests {
                 let kids = neo_query::children(&p, &ctx);
                 p = kids[rng.gen_range(0..kids.len())].clone();
             }
-            lats.push(true_latency(&db, q, &profile, &mut oracle, p.as_complete().unwrap()));
+            lats.push(true_latency(
+                &db,
+                q,
+                &profile,
+                &mut oracle,
+                p.as_complete().unwrap(),
+            ));
         }
         lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = lats[lats.len() / 2];
@@ -268,17 +300,30 @@ mod tests {
         for q in wl.queries.iter().filter(|q| q.num_relations() <= 7).take(5) {
             let mut est1 = HistogramEstimator::new();
             let mut est2 = HistogramEstimator::new();
-            let ld = SelingerOptimizer { bushy: false, ..Default::default() }
-                .optimize(&db, q, &profile, &mut est1);
-            let bushy = SelingerOptimizer { bushy: true, ..Default::default() }
-                .optimize(&db, q, &profile, &mut est2);
+            let ld = SelingerOptimizer {
+                bushy: false,
+                ..Default::default()
+            }
+            .optimize(&db, q, &profile, &mut est1);
+            let bushy = SelingerOptimizer {
+                bushy: true,
+                ..Default::default()
+            }
+            .optimize(&db, q, &profile, &mut est2);
             // Compare estimated costs under the same estimator.
             let mut est = HistogramEstimator::new();
-            let mut prov =
-                crate::cardest::EstimateProvider { db: &db, query: q, est: &mut est };
+            let mut prov = crate::cardest::EstimateProvider {
+                db: &db,
+                query: q,
+                est: &mut est,
+            };
             let c_ld = neo_engine::plan_latency(&db, q, &profile, &mut prov, &ld);
             let c_b = neo_engine::plan_latency(&db, q, &profile, &mut prov, &bushy);
-            assert!(c_b <= c_ld + 1e-6, "bushy {c_b} > left-deep {c_ld} for {}", q.id);
+            assert!(
+                c_b <= c_ld + 1e-6,
+                "bushy {c_b} > left-deep {c_ld} for {}",
+                q.id
+            );
         }
     }
 
@@ -288,7 +333,10 @@ mod tests {
         let wl = job::generate(&db, 7);
         let q = wl.queries.iter().find(|q| q.num_relations() >= 14).unwrap();
         let profile = Engine::PostgresLike.profile();
-        let opt = SelingerOptimizer { dp_limit: 12, ..Default::default() };
+        let opt = SelingerOptimizer {
+            dp_limit: 12,
+            ..Default::default()
+        };
         let mut est = HistogramEstimator::new();
         let plan = opt.optimize(&db, q, &profile, &mut est);
         check_complete(&plan, q);

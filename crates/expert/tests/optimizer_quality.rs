@@ -2,10 +2,10 @@
 //! over greedy under a shared estimator, operator/access-path sanity, and
 //! behaviour across all three schemas.
 
+use neo_engine::{plan_latency, CardinalityOracle, Engine};
 use neo_expert::{
     greedy_optimize, EstimateProvider, HistogramEstimator, SamplingEstimator, SelingerOptimizer,
 };
-use neo_engine::{plan_latency, CardinalityOracle, Engine};
 use neo_query::workload::{corp, job, tpch};
 use neo_storage::datagen;
 
@@ -16,14 +16,23 @@ fn dp_never_worse_than_greedy_on_estimated_cost() {
     let db = datagen::imdb::generate(0.05, 21);
     let wl = job::generate(&db, 21);
     let profile = Engine::PostgresLike.profile();
-    for q in wl.queries.iter().filter(|q| q.num_relations() <= 9).take(20) {
+    for q in wl
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() <= 9)
+        .take(20)
+    {
         let mut est1 = HistogramEstimator::new();
         let dp = SelingerOptimizer::default().optimize(&db, q, &profile, &mut est1);
         let mut est2 = HistogramEstimator::new();
         let greedy = greedy_optimize(&db, q, &profile, &mut est2);
 
         let mut est = HistogramEstimator::new();
-        let mut prov = EstimateProvider { db: &db, query: q, est: &mut est };
+        let mut prov = EstimateProvider {
+            db: &db,
+            query: q,
+            est: &mut est,
+        };
         let c_dp = plan_latency(&db, q, &profile, &mut prov, &dp);
         let c_greedy = plan_latency(&db, q, &profile, &mut prov, &greedy);
         assert!(
@@ -73,12 +82,20 @@ fn estimator_quality_translates_to_plan_quality() {
     let mut oracle = CardinalityOracle::new();
     let opt = SelingerOptimizer::default();
     let (mut hist_total, mut exact_total) = (0.0f64, 0.0f64);
-    for q in wl.queries.iter().filter(|q| q.num_relations() <= 8).take(20) {
+    for q in wl
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() <= 8)
+        .take(20)
+    {
         let mut hist = HistogramEstimator::new();
         let p1 = opt.optimize(&db, q, &profile, &mut hist);
         hist_total += neo_engine::true_latency(&db, q, &profile, &mut oracle, &p1);
         // max_rel_error ~ 1.0 means "perfect estimates".
-        let mut exact = SamplingEstimator { oracle: &mut oracle, max_rel_error: 1.0001 };
+        let mut exact = SamplingEstimator {
+            oracle: &mut oracle,
+            max_rel_error: 1.0001,
+        };
         let p2 = opt.optimize(&db, q, &profile, &mut exact);
         exact_total += neo_engine::true_latency(&db, q, &profile, &mut oracle, &p2);
     }

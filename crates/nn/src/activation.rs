@@ -13,7 +13,10 @@ pub struct LeakyRelu {
 
 impl Default for LeakyRelu {
     fn default() -> Self {
-        LeakyRelu { slope: 0.01, cache: None }
+        LeakyRelu {
+            slope: 0.01,
+            cache: None,
+        }
     }
 }
 
@@ -32,13 +35,18 @@ impl LeakyRelu {
     /// Forward pass without caching (inference only).
     pub fn apply(&self, x: &Matrix) -> Matrix {
         let mut out = x.clone();
+        self.apply_inplace(&mut out);
+        out
+    }
+
+    /// Allocation-free inference: rectifies `x` in place.
+    pub fn apply_inplace(&self, x: &mut Matrix) {
         let s = self.slope;
-        for v in out.data_mut() {
+        for v in x.data_mut() {
             if *v < 0.0 {
                 *v *= s;
             }
         }
-        out
     }
 
     /// Backward pass: multiplies the upstream gradient by the local slope.
@@ -46,7 +54,10 @@ impl LeakyRelu {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.cache.take().expect("LeakyRelu::backward before forward");
+        let x = self
+            .cache
+            .take()
+            .expect("LeakyRelu::backward before forward");
         assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()));
         let mut dx = dy.clone();
         let s = self.slope;

@@ -22,7 +22,13 @@ impl Adam {
     /// Creates an Adam optimizer with the conventional defaults
     /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Current timestep.

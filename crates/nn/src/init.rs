@@ -10,7 +10,9 @@ use rand::Rng;
 /// standard choice for rectifier activations.
 pub fn he_uniform(rows: usize, cols: usize, fan_in: usize, rng: &mut StdRng) -> Matrix {
     let bound = (6.0 / fan_in.max(1) as f32).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -18,7 +20,9 @@ pub fn he_uniform(rows: usize, cols: usize, fan_in: usize, rng: &mut StdRng) -> 
 /// `b = sqrt(6 / (fan_in + fan_out))`. Used for the output layer.
 pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
     let bound = (6.0 / (rows + cols).max(1) as f32).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -50,6 +54,9 @@ mod tests {
     fn init_is_deterministic_per_seed() {
         let mut a = StdRng::seed_from_u64(3);
         let mut b = StdRng::seed_from_u64(3);
-        assert_eq!(he_uniform(4, 4, 4, &mut a).data(), he_uniform(4, 4, 4, &mut b).data());
+        assert_eq!(
+            he_uniform(4, 4, 4, &mut a).data(),
+            he_uniform(4, 4, 4, &mut b).data()
+        );
     }
 }

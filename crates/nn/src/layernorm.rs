@@ -24,7 +24,12 @@ impl LayerNorm {
     pub fn new(dim: usize) -> Self {
         let gain = Param::new(Matrix::from_vec(1, dim, vec![1.0; dim]));
         let bias = Param::new(Matrix::zeros(1, dim));
-        LayerNorm { gain, bias, eps: 1e-5, cache: None }
+        LayerNorm {
+            gain,
+            bias,
+            eps: 1e-5,
+            cache: None,
+        }
     }
 
     /// Forward pass with caching for backprop.
@@ -37,6 +42,26 @@ impl LayerNorm {
     /// Forward pass without caching (inference only).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         self.normalize(x).0
+    }
+
+    /// Allocation-free inference: normalizes each row of `x` in place and
+    /// applies gain/bias. Numerically identical to
+    /// [`Self::forward_inference`].
+    pub fn forward_inference_inplace(&self, x: &mut Matrix) {
+        let d = x.cols();
+        assert_eq!(d, self.gain.value.cols(), "LayerNorm dim mismatch");
+        let gain = self.gain.value.data();
+        let bias = self.bias.value.data();
+        let eps = self.eps;
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = gain[c] * ((*v - mean) * inv_std) + bias[c];
+            }
+        }
     }
 
     fn normalize(&self, x: &Matrix) -> (Matrix, Matrix, Vec<f32>) {
@@ -71,7 +96,10 @@ impl LayerNorm {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let (xhat, inv_stds) = self.cache.take().expect("LayerNorm::backward before forward");
+        let (xhat, inv_stds) = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward before forward");
         let (n, d) = (dy.rows(), dy.cols());
         assert_eq!((xhat.rows(), xhat.cols()), (n, d));
         let gain = self.gain.value.data().to_vec();
@@ -91,17 +119,15 @@ impl LayerNorm {
         }
         // Input gradient (standard layer-norm backward):
         // dx = (1/std) * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
-        for r in 0..n {
+        for (r, &inv_std) in inv_stds.iter().enumerate().take(n) {
             let dyr = dy.row(r);
             let xr = xhat.row(r);
-            let inv_std = inv_stds[r];
             let mut dxhat = vec![0.0f32; d];
             for c in 0..d {
                 dxhat[c] = dyr[c] * gain[c];
             }
             let mean_dxhat = dxhat.iter().sum::<f32>() / d as f32;
-            let mean_dxhat_x =
-                dxhat.iter().zip(xr).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+            let mean_dxhat_x = dxhat.iter().zip(xr).map(|(a, b)| a * b).sum::<f32>() / d as f32;
             let dxr = dx.row_mut(r);
             for c in 0..d {
                 dxr[c] = inv_std * (dxhat[c] - mean_dxhat - xr[c] * mean_dxhat_x);
@@ -159,7 +185,10 @@ mod tests {
         let x0 = Matrix::from_row(&[0.5, -1.2, 2.0, 0.1, -0.4]);
         // Loss = sum of outputs (so dy = ones).
         let mut ln = LayerNorm::new(dim);
-        ln.gain.value.data_mut().copy_from_slice(&[1.1, 0.9, 1.3, 0.7, 1.0]);
+        ln.gain
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.1, 0.9, 1.3, 0.7, 1.0]);
         let _ = ln.forward(&x0);
         let dx = ln.backward(&Matrix::from_row(&[1.0; 5]));
 
@@ -189,7 +218,7 @@ mod tests {
         let analytic_dgain = ln.gain.grad.data().to_vec();
 
         let eps = 1e-2f32;
-        for c in 0..3 {
+        for (c, &analytic) in analytic_dgain.iter().enumerate() {
             let mut ln2 = LayerNorm::new(3);
             ln2.gain.value.data_mut()[c] += eps;
             let fp: f32 = ln2.forward_inference(&x0).data().iter().sum();
@@ -198,9 +227,8 @@ mod tests {
             let fm: f32 = ln3.forward_inference(&x0).data().iter().sum();
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
-                (analytic_dgain[c] - numeric).abs() < 2e-2,
-                "c={c} analytic={} numeric={numeric}",
-                analytic_dgain[c]
+                (analytic - numeric).abs() < 2e-2,
+                "c={c} analytic={analytic} numeric={numeric}"
             );
         }
     }

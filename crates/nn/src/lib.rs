@@ -28,6 +28,7 @@ pub mod linear;
 pub mod loss;
 pub mod network;
 pub mod param;
+pub mod scratch;
 pub mod serialize;
 pub mod tensor;
 pub mod treeconv;
@@ -38,6 +39,7 @@ pub use layernorm::LayerNorm;
 pub use linear::Linear;
 pub use network::Mlp;
 pub use param::{clip_grad_norm, Param};
+pub use scratch::Scratch;
 pub use serialize::{read_params, write_params};
-pub use tensor::Matrix;
+pub use tensor::{realloc_events, Matrix};
 pub use treeconv::{DynamicPooling, TreeConv, TreeTopology, NO_CHILD};

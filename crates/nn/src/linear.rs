@@ -48,13 +48,26 @@ impl Linear {
         y
     }
 
+    /// Allocation-free inference: writes `x W + b` into `y`, which is
+    /// resized (reusing its buffer) to `x.rows() x out_dim`.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
+        y.resize(x.rows(), self.out_dim());
+        // `resize` just zero-filled `y`: accumulating is overwriting, and
+        // skips the kernel's own redundant zeroing pass.
+        x.matmul_into(&self.w.value, y, true);
+        y.add_row_broadcast(&self.b.value);
+    }
+
     /// Backward pass: accumulates `dW = x^T dy`, `db = colsum(dy)` and
     /// returns `dx = dy W^T`.
     ///
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.cache_input.take().expect("Linear::backward before forward");
+        let x = self
+            .cache_input
+            .take()
+            .expect("Linear::backward before forward");
         let dw = x.matmul_tn(dy);
         self.w.grad.add_assign(&dw);
         self.b.grad.add_assign(&dy.col_sum());
@@ -108,7 +121,8 @@ mod tests {
         let dy = Matrix::from_vec(2, 2, vec![1.0; 4]);
         let dx = lin.backward(&dy);
 
-        let loss = |lin: &Linear, x: &Matrix| -> f32 { lin.forward_inference(x).data().iter().sum() };
+        let loss =
+            |lin: &Linear, x: &Matrix| -> f32 { lin.forward_inference(x).data().iter().sum() };
         let eps = 1e-3f32;
 
         // Weight grads.
@@ -119,7 +133,10 @@ mod tests {
             lm.w.value.data_mut()[i] -= eps;
             let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
             let analytic = lin.w.grad.data()[i];
-            assert!((analytic - numeric).abs() < 1e-2, "w[{i}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "w[{i}]: {analytic} vs {numeric}"
+            );
         }
         // Bias grads.
         for i in 0..lin.b.value.len() {
@@ -129,7 +146,10 @@ mod tests {
             lm.b.value.data_mut()[i] -= eps;
             let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
             let analytic = lin.b.grad.data()[i];
-            assert!((analytic - numeric).abs() < 1e-2, "b[{i}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "b[{i}]: {analytic} vs {numeric}"
+            );
         }
         // Input grads.
         for i in 0..x.len() {
@@ -139,7 +159,10 @@ mod tests {
             xm.data_mut()[i] -= eps;
             let numeric = (loss(&lin, &xp) - loss(&lin, &xm)) / (2.0 * eps);
             let analytic = dx.data()[i];
-            assert!((analytic - numeric).abs() < 1e-2, "x[{i}]: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "x[{i}]: {analytic} vs {numeric}"
+            );
         }
     }
 

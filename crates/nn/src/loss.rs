@@ -12,7 +12,12 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
     let n = pred.len().max(1) as f32;
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0f32;
-    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
+        .zip(target.data())
+    {
         let d = p - t;
         loss += d * d;
         *g = 2.0 * d / n;
@@ -27,7 +32,12 @@ pub fn huber(pred: &Matrix, target: &Matrix, delta: f32) -> (f32, Matrix) {
     let n = pred.len().max(1) as f32;
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0f32;
-    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
+        .zip(target.data())
+    {
         let d = p - t;
         if d.abs() <= delta {
             loss += 0.5 * d * d;

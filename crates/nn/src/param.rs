@@ -21,7 +21,12 @@ impl Param {
     /// Wraps an initial value, allocating zeroed gradient and moment buffers.
     pub fn new(value: Matrix) -> Self {
         let (r, c) = (value.rows(), value.cols());
-        Param { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
     }
 
     /// Clears the accumulated gradient.

@@ -1,0 +1,78 @@
+//! Caller-owned scratch buffers for allocation-free inference.
+//!
+//! Every layer in this crate has an `*_into` / `*_inplace` inference
+//! variant that writes into a caller-supplied [`Matrix`] instead of
+//! returning a fresh one. [`Scratch`] bundles the buffers a full
+//! value-network forward pass needs; because [`Matrix::resize`] reuses
+//! allocations, a `Scratch` that has seen its largest batch once never
+//! touches the allocator again — the property the search hot loop relies
+//! on (verified by the zero-allocation tests in the `neo` crate and by
+//! [`crate::tensor::realloc_events`]).
+//!
+//! The fields are public on purpose: a forward pass borrows several
+//! buffers mutably at once (e.g. ping-pong activations plus a gather
+//! buffer), which field borrows express naturally and index-based pools
+//! cannot without unsafe.
+
+use crate::tensor::Matrix;
+
+/// Reusable buffers for one inference pipeline.
+///
+/// Buffer roles follow the value-network forward pass, but nothing
+/// enforces that — any `*_into` method accepts any buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    /// Ping activation buffer (e.g. the augmented node features).
+    pub a: Matrix,
+    /// Pong activation buffer.
+    pub b: Matrix,
+    /// Packed child-row buffer for tree convolution.
+    pub gather: Matrix,
+    /// Child-contribution output buffer for tree convolution.
+    pub side: Matrix,
+    /// Per-tree pooled features.
+    pub pooled: Matrix,
+    /// MLP ping-pong temporary.
+    pub tmp: Matrix,
+    /// Final layer output.
+    pub out: Matrix,
+}
+
+impl Scratch {
+    /// Creates an empty scratch pool; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total `f32` capacity currently held across all buffers.
+    pub fn capacity(&self) -> usize {
+        self.a.capacity()
+            + self.b.capacity()
+            + self.gather.capacity()
+            + self.side.capacity()
+            + self.pooled.capacity()
+            + self.tmp.capacity()
+            + self.out.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_then_stabilize() {
+        let mut s = Scratch::new();
+        s.a.resize(64, 32);
+        s.b.resize(64, 32);
+        let grown = s.capacity();
+        assert!(grown >= 2 * 64 * 32);
+        // Capacity (not the process-global realloc counter, which other
+        // tests bump concurrently) proves the buffers stopped growing.
+        for _ in 0..10 {
+            s.a.resize(32, 16);
+            s.b.resize(64, 32);
+        }
+        assert_eq!(s.capacity(), grown);
+    }
+}

@@ -37,7 +37,10 @@ pub fn read_params(r: &mut impl Read, params: &mut [&mut Param]) -> io::Result<(
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic: not a neo-nn checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic: not a neo-nn checkpoint",
+        ));
     }
     let mut count = [0u8; 4];
     r.read_exact(&mut count)?;
@@ -45,7 +48,10 @@ pub fn read_params(r: &mut impl Read, params: &mut [&mut Param]) -> io::Result<(
     if count != params.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("checkpoint has {count} tensors, model expects {}", params.len()),
+            format!(
+                "checkpoint has {count} tensors, model expects {}",
+                params.len()
+            ),
         ));
     }
     for p in params.iter_mut() {
@@ -80,7 +86,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_values() {
-        let a = Param::new(Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 7.25, -0.125]));
+        let a = Param::new(Matrix::from_vec(
+            2,
+            3,
+            vec![1.0, -2.0, 3.5, 0.0, 7.25, -0.125],
+        ));
         let b = Param::new(Matrix::from_vec(1, 2, vec![9.0, -9.0]));
         let mut buf = Vec::new();
         write_params(&mut buf, &[&a, &b]).unwrap();

@@ -150,10 +150,93 @@ impl TreeConv {
 
     /// Forward pass without caching (inference only).
     pub fn forward_inference(&self, x: &Matrix, topo: &TreeTopology) -> Matrix {
-        let g = self.gather(x, topo);
-        let mut y = g.matmul(&self.w.value);
-        y.add_row_broadcast(&self.b.value);
+        let mut pack = Matrix::zeros(0, 0);
+        let mut side = Matrix::zeros(0, 0);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, topo, &mut pack, &mut side, &mut y);
         y
+    }
+
+    /// Allocation-free packed-children inference.
+    ///
+    /// Instead of materializing the `n x 3cin` gathered matrix (two thirds
+    /// of which are zero-padding wherever children are missing — roughly
+    /// half of all forest nodes are leaves), this splits the filterbank
+    /// into its parent/left/right row bands and computes
+    ///
+    /// ```text
+    /// y  = x · W_p + b            (every node)
+    /// y[i] += x[left(i)]  · W_l   (only nodes with a left child)
+    /// y[i] += x[right(i)] · W_r   (only nodes with a right child)
+    /// ```
+    ///
+    /// The child terms multiply a *packed* matrix of just the referenced
+    /// child rows against the corresponding row band of `W`
+    /// ([`Matrix::matmul_into_rows`]), so missing children cost nothing.
+    /// `pack` and `side` are caller-owned scratch buffers, resized in
+    /// place.
+    pub fn forward_into(
+        &self,
+        x: &Matrix,
+        topo: &TreeTopology,
+        pack: &mut Matrix,
+        side: &mut Matrix,
+        y: &mut Matrix,
+    ) {
+        let n = topo.num_nodes();
+        let c = self.cin;
+        assert_eq!(x.rows(), n, "feature/topology node count mismatch");
+        assert_eq!(x.cols(), c, "TreeConv input channels");
+        y.resize(n, self.cout());
+        // `resize` just zero-filled `y`, so accumulating is overwriting —
+        // and skips the kernel's own redundant zeroing pass.
+        x.matmul_into_rows(&self.w.value, 0, y, true);
+        y.add_row_broadcast(&self.b.value);
+        Self::add_packed_children_bands(&self.w.value, [c, 2 * c], x, topo, pack, side, y);
+    }
+
+    /// The child half of a packed-children convolution, shared by
+    /// [`TreeConv::forward_into`] and the `neo` crate's query-specialized
+    /// first layer: for each child side, packs the referenced child rows of
+    /// `x`, multiplies them against the row band of `w` starting at
+    /// `band_offsets[side]`, and scatter-adds the products onto the parent
+    /// rows of `y`.
+    pub fn add_packed_children_bands(
+        w: &Matrix,
+        band_offsets: [usize; 2],
+        x: &Matrix,
+        topo: &TreeTopology,
+        pack: &mut Matrix,
+        side: &mut Matrix,
+        y: &mut Matrix,
+    ) {
+        let c = x.cols();
+        for (child_of, band) in [&topo.left, &topo.right].into_iter().zip(band_offsets) {
+            let n_side = child_of.iter().filter(|&&ch| ch != NO_CHILD).count();
+            if n_side == 0 {
+                continue;
+            }
+            pack.resize(n_side, c);
+            let mut j = 0;
+            for &ch in child_of {
+                if ch != NO_CHILD {
+                    pack.row_mut(j).copy_from_slice(x.row(ch as usize));
+                    j += 1;
+                }
+            }
+            side.resize(n_side, y.cols());
+            // Freshly zero-resized output: accumulate == overwrite.
+            pack.matmul_into_rows(w, band, side, true);
+            let mut j = 0;
+            for (i, &ch) in child_of.iter().enumerate() {
+                if ch != NO_CHILD {
+                    for (o, &v) in y.row_mut(i).iter_mut().zip(side.row(j)) {
+                        *o += v;
+                    }
+                    j += 1;
+                }
+            }
+        }
     }
 
     /// Backward pass: accumulates filterbank gradients and scatters the
@@ -162,7 +245,10 @@ impl TreeConv {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix, topo: &TreeTopology) -> Matrix {
-        let g = self.cache_gather.take().expect("TreeConv::backward before forward");
+        let g = self
+            .cache_gather
+            .take()
+            .expect("TreeConv::backward before forward");
         let n = topo.num_nodes();
         let c = self.cin;
         assert_eq!(dy.rows(), n);
@@ -257,12 +343,36 @@ impl DynamicPooling {
         self.pool(x, topo).0
     }
 
+    /// Allocation-free inference: pools into `out` (resized in place),
+    /// skipping the argmax bookkeeping that only backprop needs.
+    pub fn forward_inference_into(&self, x: &Matrix, topo: &TreeTopology, out: &mut Matrix) {
+        let (n, c) = (x.rows(), x.cols());
+        assert_eq!(n, topo.num_nodes());
+        out.resize(topo.num_trees, c);
+        out.data_mut()
+            .iter_mut()
+            .for_each(|v| *v = f32::NEG_INFINITY);
+        for i in 0..n {
+            let tree = topo.tree_of[i] as usize;
+            let row = x.row(i);
+            let orow = out.row_mut(tree);
+            for (&v, o) in row.iter().zip(orow.iter_mut()) {
+                if v > *o {
+                    *o = v;
+                }
+            }
+        }
+    }
+
     /// Backward pass: routes each pooled gradient to its argmax node.
     ///
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let (argmax, n) = self.cache_argmax.take().expect("DynamicPooling::backward before forward");
+        let (argmax, n) = self
+            .cache_argmax
+            .take()
+            .expect("DynamicPooling::backward before forward");
         let c = dy.cols();
         let mut dx = Matrix::zeros(n, c);
         for t in 0..dy.rows() {
@@ -343,7 +453,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut conv = TreeConv::new(2, 1, &mut rng);
         // Output at a leaf should only involve e_p.
-        conv.w.value.data_mut().copy_from_slice(&[1.0, 1.0, 5.0, 5.0, 7.0, 7.0]);
+        conv.w
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.0, 1.0, 5.0, 5.0, 7.0, 7.0]);
         let topo = tri_topology();
         let x = Matrix::from_vec(3, 2, vec![0.0, 0.0, 1.0, 2.0, 0.0, 0.0]);
         let y = conv.forward_inference(&x, &topo);
@@ -405,7 +518,10 @@ mod tests {
         let loss = |conv: &TreeConv, x: &Matrix| -> f32 {
             let pool = DynamicPooling::new();
             let y = conv.forward_inference(x, &tri_topology());
-            pool.forward_inference(&y, &tri_topology()).data().iter().sum()
+            pool.forward_inference(&y, &tri_topology())
+                .data()
+                .iter()
+                .sum()
         };
 
         let y = conv.forward(&x, &topo);

@@ -1,0 +1,348 @@
+#![warn(missing_docs)]
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! workspace ships a small randomized-testing harness covering the surface
+//! its property tests use: the [`proptest!`] macro (with
+//! `#![proptest_config(..)]`), range / `any::<T>()` / char-class-regex
+//! string strategies, [`collection::vec`], [`Strategy::prop_map`], and the
+//! `prop_assert!` family.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case panics
+//! with the seed-deterministic inputs baked into the assertion message
+//! context. Cases are generated from a fixed seed, so failures reproduce
+//! exactly across runs.
+
+use rand::rngs::StdRng;
+
+/// Runner configuration (field subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; the shim has no rejection
+    /// sampling, so this is never consulted (it also keeps
+    /// `..Default::default()` at call sites meaningful).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Full-domain strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniform over the whole domain of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! any_int_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+any_int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+/// Char-class regex string strategy: supports exactly the `[class]{m,n}`
+/// shape (ranges and singletons inside the class, one quantifier), which is
+/// what this workspace's property tests use — e.g. `"[a-cA-C]{1,5}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?}"));
+        let len = rand::Rng::gen_range(rng, lo..=hi);
+        (0..len)
+            .map(|_| chars[rand::Rng::gen_range(rng, 0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, m, n). `{m,n}` defaults to `{1,1}`.
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let quant = &rest[close + 1..];
+    if quant.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let inner = quant.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match inner.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = inner.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((chars, lo, hi))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Element-count specification: a fixed length or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name so each property gets its own stream, with
+    // the case index mixed in; fully deterministic across runs.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::SeedableRng::seed_from_u64(h ^ ((case as u64) << 32))
+}
+
+/// Declares property tests: each function runs `config.cases` times with
+/// fresh strategy-drawn arguments.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($argp:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::__case_rng(stringify!($name), case);
+                    $(
+                        let $argp = $crate::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reads like proptest's macro (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn class_pattern_parsing() {
+        let (chars, lo, hi) = super::parse_class_pattern("[a-c]{1,2}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (1, 2));
+        let (chars, lo, hi) = super::parse_class_pattern("[a-cA-C]{1,5}").unwrap();
+        assert_eq!(chars.len(), 6);
+        assert_eq!((lo, hi), (1, 5));
+        let (chars, lo, hi) = super::parse_class_pattern("[xyz]").unwrap();
+        assert_eq!(chars, vec!['x', 'y', 'z']);
+        assert_eq!((lo, hi), (1, 1));
+        assert!(super::parse_class_pattern("abc").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_pattern() {
+        let mut rng = crate::__case_rng("string_strategy", 0);
+        for _ in 0..200 {
+            let s = "[a-c]{1,2}".generate(&mut rng);
+            assert!((1..=2).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let a = collection::vec(0i64..100, 3..10).generate(&mut crate::__case_rng("d", 7));
+        let b = collection::vec(0i64..100, 3..10).generate(&mut crate::__case_rng("d", 7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..Default::default() })]
+
+        /// The macro itself: ranges respected, vec sizes respected, map works.
+        #[test]
+        fn macro_end_to_end(x in 0usize..10, mut v in collection::vec(any::<u8>(), 2..5),
+                            s in "[a-b]{1,3}") {
+            prop_assert!(x < 10);
+            v.sort_unstable();
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+        }
+
+        #[test]
+        fn prop_map_composes(m in collection::vec(-1.0f32..1.0, 4).prop_map(|v| v.len())) {
+            prop_assert_eq!(m, 4);
+        }
+    }
+}

@@ -36,9 +36,7 @@ fn render(db: &Database, query: &Query, node: &PlanNode, depth: usize, out: &mut
                 .predicates
                 .iter()
                 .filter(|p| p.table() == query.tables[*rel])
-                .map(|p| {
-                    p.describe(table, &db.tables[query.tables[*rel]].columns[p.col()].name)
-                })
+                .map(|p| p.describe(table, &db.tables[query.tables[*rel]].columns[p.col()].name))
                 .collect();
             let _ = write!(out, "{pad}{kind} {table}");
             if !preds.is_empty() {
@@ -99,7 +97,10 @@ mod tests {
     use neo_storage::{Column, ForeignKey, Table};
 
     fn setup() -> (Database, Query) {
-        let a = Table::new("users", vec![Column::int("id", vec![1]), Column::int("age", vec![30])]);
+        let a = Table::new(
+            "users",
+            vec![Column::int("id", vec![1]), Column::int("age", vec![30])],
+        );
         let b = Table::new(
             "orders",
             vec![Column::int("id", vec![1]), Column::int("user_id", vec![1])],
@@ -107,14 +108,24 @@ mod tests {
         let db = Database::build(
             "t",
             vec![a, b],
-            vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+            vec![ForeignKey {
+                from_table: 1,
+                from_col: 1,
+                to_table: 0,
+                to_col: 0,
+            }],
             vec![(0, 0), (1, 1)],
         );
         let q = Query {
             id: "q".into(),
             family: "f".into(),
             tables: vec![0, 1],
-            joins: vec![JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 }],
+            joins: vec![JoinEdge {
+                left_table: 1,
+                left_col: 1,
+                right_table: 0,
+                right_col: 0,
+            }],
             predicates: vec![Predicate::IntCmp {
                 table: 0,
                 col: 1,
@@ -131,11 +142,20 @@ mod tests {
         let (db, q) = setup();
         let plan = PlanNode::Join {
             op: JoinOp::Hash,
-            left: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
-            right: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Index }),
+            left: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Table,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Index,
+            }),
         };
         let text = explain(&db, &q, &plan);
-        assert!(text.contains("Hash Join (orders.user_id = users.id)"), "{text}");
+        assert!(
+            text.contains("Hash Join (orders.user_id = users.id)"),
+            "{text}"
+        );
         assert!(text.contains("Seq Scan on orders"), "{text}");
         assert!(text.contains("Index Scan on users"), "{text}");
         assert!(text.contains("users.age > 21"), "{text}");
@@ -146,8 +166,14 @@ mod tests {
         let (db, q) = setup();
         let plan = PlanNode::Join {
             op: JoinOp::Loop,
-            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Table,
+            }),
         };
         let text = explain(&db, &q, &plan);
         let lines: Vec<&str> = text.lines().collect();

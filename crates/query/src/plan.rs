@@ -143,8 +143,16 @@ impl PlanNode {
                 a == b && (*sa == ScanType::Unspecified || sa == sb)
             }
             (
-                PlanNode::Join { op: oa, left: la, right: ra },
-                PlanNode::Join { op: ob, left: lb, right: rb },
+                PlanNode::Join {
+                    op: oa,
+                    left: la,
+                    right: ra,
+                },
+                PlanNode::Join {
+                    op: ob,
+                    left: lb,
+                    right: rb,
+                },
             ) => oa == ob && la.matches_root(lb) && ra.matches_root(rb),
             _ => false,
         }
@@ -212,7 +220,10 @@ impl PartialPlan {
     pub fn initial(query: &Query) -> Self {
         PartialPlan {
             roots: (0..query.num_relations())
-                .map(|rel| PlanNode::Scan { rel, scan: ScanType::Unspecified })
+                .map(|rel| PlanNode::Scan {
+                    rel,
+                    scan: ScanType::Unspecified,
+                })
                 .collect(),
         }
     }
@@ -229,7 +240,10 @@ impl PartialPlan {
 
     /// Union of all root relation masks.
     pub fn rel_mask(&self) -> RelMask {
-        self.roots.iter().map(|r| r.rel_mask()).fold(0, |a, b| a | b)
+        self.roots
+            .iter()
+            .map(|r| r.rel_mask())
+            .fold(0, |a, b| a | b)
     }
 
     /// Total node count across the forest.
@@ -260,7 +274,9 @@ impl PartialPlan {
     /// from `self` by specifying scans and joining trees. Equivalently,
     /// every root tree of `self` must be subsumed somewhere in `other`.
     pub fn subplan_of(&self, other: &PartialPlan) -> bool {
-        self.roots.iter().all(|r| other.roots.iter().any(|o| r.subsumed_by(o)))
+        self.roots
+            .iter()
+            .all(|r| other.roots.iter().any(|o| r.subsumed_by(o)))
     }
 }
 
@@ -298,7 +314,10 @@ impl QueryContext {
             }
             index_ok[i] = cols.iter().any(|&c| db.has_index(t, c));
         }
-        QueryContext { adjacency, index_ok }
+        QueryContext {
+            adjacency,
+            index_ok,
+        }
     }
 
     /// True when some join edge connects the two (disjoint) relation sets —
@@ -339,7 +358,11 @@ pub fn children(plan: &PartialPlan, ctx: &QueryContext) -> Vec<PartialPlan> {
             };
             for &scan in options {
                 let mut new_plan = plan.clone();
-                replace_at(&mut new_plan.roots[root_idx], path, PlanNode::Scan { rel, scan });
+                replace_at(
+                    &mut new_plan.roots[root_idx],
+                    path,
+                    PlanNode::Scan { rel, scan },
+                );
                 out.push(new_plan);
             }
         });
@@ -375,11 +398,7 @@ pub fn children(plan: &PartialPlan, ctx: &QueryContext) -> Vec<PartialPlan> {
 
 /// Depth-first walk that invokes `f(path, rel)` for every unspecified scan;
 /// `path` is the sequence of left(false)/right(true) turns from the root.
-fn specify_scans(
-    node: &PlanNode,
-    path: &mut Vec<bool>,
-    f: &mut impl FnMut(&[bool], usize),
-) {
+fn specify_scans(node: &PlanNode, path: &mut Vec<bool>, f: &mut impl FnMut(&[bool], usize)) {
     match node {
         PlanNode::Scan { rel, scan } => {
             if *scan == ScanType::Unspecified {
@@ -426,7 +445,10 @@ mod tests {
         for i in 0..n {
             tables.push(Table::new(
                 &format!("t{i}"),
-                vec![Column::int("id", vec![1, 2]), Column::int("prev", vec![1, 1])],
+                vec![
+                    Column::int("id", vec![1, 2]),
+                    Column::int("prev", vec![1, 1]),
+                ],
             ));
         }
         let mut fks = Vec::new();
@@ -434,7 +456,12 @@ mod tests {
         for i in 0..n {
             indexed.push((i, 0));
             if i > 0 {
-                fks.push(ForeignKey { from_table: i, from_col: 1, to_table: i - 1, to_col: 0 });
+                fks.push(ForeignKey {
+                    from_table: i,
+                    from_col: 1,
+                    to_table: i - 1,
+                    to_col: 0,
+                });
                 indexed.push((i, 1));
             }
         }
@@ -447,7 +474,12 @@ mod tests {
             family: "f".into(),
             tables: (0..n).collect(),
             joins: (1..n)
-                .map(|i| JoinEdge { left_table: i, left_col: 1, right_table: i - 1, right_col: 0 })
+                .map(|i| JoinEdge {
+                    left_table: i,
+                    left_col: 1,
+                    right_table: i - 1,
+                    right_col: 0,
+                })
                 .collect(),
             predicates: vec![],
             agg: Aggregate::CountStar,
@@ -503,8 +535,14 @@ mod tests {
         let ctx = QueryContext::new(&db, &q);
         let tree = PlanNode::Join {
             op: JoinOp::Hash,
-            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Index }),
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Index,
+            }),
         };
         let p = PartialPlan::from_tree(tree);
         assert!(p.is_complete());
@@ -538,8 +576,14 @@ mod tests {
         let ctx = QueryContext::new(&db, &q);
         let tree = PlanNode::Join {
             op: JoinOp::Merge,
-            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Unspecified }),
-            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Unspecified,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Table,
+            }),
         };
         let p = PartialPlan::from_tree(tree);
         let kids = children(&p, &ctx);
@@ -558,12 +602,24 @@ mod tests {
                     op: JoinOp::Loop,
                     left: Box::new(PlanNode::Join {
                         op: JoinOp::Merge,
-                        left: Box::new(PlanNode::Scan { rel: 3, scan: ScanType::Table }),
-                        right: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+                        left: Box::new(PlanNode::Scan {
+                            rel: 3,
+                            scan: ScanType::Table,
+                        }),
+                        right: Box::new(PlanNode::Scan {
+                            rel: 0,
+                            scan: ScanType::Table,
+                        }),
                     }),
-                    right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+                    right: Box::new(PlanNode::Scan {
+                        rel: 2,
+                        scan: ScanType::Index,
+                    }),
                 },
-                PlanNode::Scan { rel: 1, scan: ScanType::Unspecified },
+                PlanNode::Scan {
+                    rel: 1,
+                    scan: ScanType::Unspecified,
+                },
             ],
         };
         let complete = PartialPlan::from_tree(PlanNode::Join {
@@ -572,12 +628,24 @@ mod tests {
                 op: JoinOp::Loop,
                 left: Box::new(PlanNode::Join {
                     op: JoinOp::Merge,
-                    left: Box::new(PlanNode::Scan { rel: 3, scan: ScanType::Table }),
-                    right: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+                    left: Box::new(PlanNode::Scan {
+                        rel: 3,
+                        scan: ScanType::Table,
+                    }),
+                    right: Box::new(PlanNode::Scan {
+                        rel: 0,
+                        scan: ScanType::Table,
+                    }),
                 }),
-                right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+                right: Box::new(PlanNode::Scan {
+                    rel: 2,
+                    scan: ScanType::Index,
+                }),
             }),
-            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Table,
+            }),
         });
         assert!(sub.subplan_of(&complete));
         assert!(!complete.subplan_of(&sub));
@@ -587,13 +655,25 @@ mod tests {
     fn subplan_rejects_different_operator() {
         let a = PartialPlan::from_tree(PlanNode::Join {
             op: JoinOp::Hash,
-            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Table,
+            }),
         });
         let b = PartialPlan::from_tree(PlanNode::Join {
             op: JoinOp::Merge,
-            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Table,
+            }),
         });
         assert!(!a.subplan_of(&b));
     }
@@ -602,11 +682,20 @@ mod tests {
     fn subtrees_count() {
         let tree = PlanNode::Join {
             op: JoinOp::Hash,
-            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            }),
             right: Box::new(PlanNode::Join {
                 op: JoinOp::Loop,
-                left: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
-                right: Box::new(PlanNode::Scan { rel: 2, scan: ScanType::Index }),
+                left: Box::new(PlanNode::Scan {
+                    rel: 1,
+                    scan: ScanType::Table,
+                }),
+                right: Box::new(PlanNode::Scan {
+                    rel: 2,
+                    scan: ScanType::Index,
+                }),
             }),
         };
         assert_eq!(tree.subtrees().len(), 5);
@@ -617,8 +706,14 @@ mod tests {
     fn describe_roundtrip_shape() {
         let tree = PlanNode::Join {
             op: JoinOp::Merge,
-            left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-            right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Index }),
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 1,
+                scan: ScanType::Index,
+            }),
         };
         assert_eq!(tree.describe(), "MJ(T(0),I(1))");
     }

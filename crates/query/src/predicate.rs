@@ -121,16 +121,36 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let p = Predicate::IntCmp { table: 3, col: 2, op: CmpOp::Lt, value: 5 };
+        let p = Predicate::IntCmp {
+            table: 3,
+            col: 2,
+            op: CmpOp::Lt,
+            value: 5,
+        };
         assert_eq!(p.table(), 3);
         assert_eq!(p.col(), 2);
     }
 
     #[test]
     fn describe_renders_sql_like() {
-        let p = Predicate::StrContains { table: 0, col: 1, needle: "love".into() };
-        assert_eq!(p.describe("keyword", "keyword"), "keyword.keyword ILIKE '%love%'");
-        let q = Predicate::IntBetween { table: 0, col: 0, lo: 1990, hi: 2000 };
-        assert_eq!(q.describe("title", "production_year"), "title.production_year BETWEEN 1990 AND 2000");
+        let p = Predicate::StrContains {
+            table: 0,
+            col: 1,
+            needle: "love".into(),
+        };
+        assert_eq!(
+            p.describe("keyword", "keyword"),
+            "keyword.keyword ILIKE '%love%'"
+        );
+        let q = Predicate::IntBetween {
+            table: 0,
+            col: 0,
+            lo: 1990,
+            hi: 2000,
+        };
+        assert_eq!(
+            q.describe("title", "production_year"),
+            "title.production_year BETWEEN 1990 AND 2000"
+        );
     }
 }

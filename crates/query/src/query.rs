@@ -134,7 +134,10 @@ impl Query {
         }
         for p in &self.predicates {
             if self.rel_of(p.table()).is_none() {
-                return Err(format!("predicate references non-member table {}", p.table()));
+                return Err(format!(
+                    "predicate references non-member table {}",
+                    p.table()
+                ));
             }
             if p.col() >= db.tables[p.table()].num_cols() {
                 return Err("predicate column out of range".into());
@@ -151,7 +154,11 @@ impl Query {
 
     /// SQL-ish rendering for logs and examples.
     pub fn to_sql(&self, db: &Database) -> String {
-        let froms: Vec<String> = self.tables.iter().map(|&t| db.tables[t].name.clone()).collect();
+        let froms: Vec<String> = self
+            .tables
+            .iter()
+            .map(|&t| db.tables[t].name.clone())
+            .collect();
         let mut conds: Vec<String> = self
             .joins
             .iter()
@@ -166,15 +173,25 @@ impl Query {
             })
             .collect();
         for p in &self.predicates {
-            conds.push(p.describe(&db.tables[p.table()].name, &db.tables[p.table()].columns[p.col()].name));
+            conds.push(p.describe(
+                &db.tables[p.table()].name,
+                &db.tables[p.table()].columns[p.col()].name,
+            ));
         }
         let agg = match &self.agg {
             Aggregate::CountStar => "count(*)".to_string(),
             Aggregate::Sum { table, col } => {
-                format!("sum({}.{})", db.tables[*table].name, db.tables[*table].columns[*col].name)
+                format!(
+                    "sum({}.{})",
+                    db.tables[*table].name, db.tables[*table].columns[*col].name
+                )
             }
         };
-        format!("SELECT {agg} FROM {} WHERE {};", froms.join(", "), conds.join(" AND "))
+        format!(
+            "SELECT {agg} FROM {} WHERE {};",
+            froms.join(", "),
+            conds.join(" AND ")
+        )
     }
 }
 
@@ -184,15 +201,34 @@ mod tests {
     use neo_storage::{Column, ForeignKey, Table};
 
     fn db3() -> Database {
-        let a = Table::new("a", vec![Column::int("id", vec![1]), Column::int("x", vec![1])]);
-        let b = Table::new("b", vec![Column::int("id", vec![1]), Column::int("a_id", vec![1])]);
-        let c = Table::new("c", vec![Column::int("id", vec![1]), Column::int("b_id", vec![1])]);
+        let a = Table::new(
+            "a",
+            vec![Column::int("id", vec![1]), Column::int("x", vec![1])],
+        );
+        let b = Table::new(
+            "b",
+            vec![Column::int("id", vec![1]), Column::int("a_id", vec![1])],
+        );
+        let c = Table::new(
+            "c",
+            vec![Column::int("id", vec![1]), Column::int("b_id", vec![1])],
+        );
         Database::build(
             "t",
             vec![a, b, c],
             vec![
-                ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 },
-                ForeignKey { from_table: 2, from_col: 1, to_table: 1, to_col: 0 },
+                ForeignKey {
+                    from_table: 1,
+                    from_col: 1,
+                    to_table: 0,
+                    to_col: 0,
+                },
+                ForeignKey {
+                    from_table: 2,
+                    from_col: 1,
+                    to_table: 1,
+                    to_col: 0,
+                },
             ],
             vec![],
         )
@@ -204,8 +240,18 @@ mod tests {
             family: "f1".into(),
             tables: vec![0, 1, 2],
             joins: vec![
-                JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 },
-                JoinEdge { left_table: 2, left_col: 1, right_table: 1, right_col: 0 },
+                JoinEdge {
+                    left_table: 1,
+                    left_col: 1,
+                    right_table: 0,
+                    right_col: 0,
+                },
+                JoinEdge {
+                    left_table: 2,
+                    left_col: 1,
+                    right_table: 1,
+                    right_col: 0,
+                },
             ],
             predicates: vec![],
             agg: Aggregate::CountStar,

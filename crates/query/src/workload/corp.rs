@@ -20,10 +20,20 @@ pub const NUM_FAMILIES: usize = 25;
 
 /// Generates a Corp-like workload with `count` queries.
 pub fn generate(db: &Database, seed: u64, count: usize) -> Workload {
-    assert_eq!(db.name, "corp", "Corp workload requires the Corp-like database");
+    assert_eq!(
+        db.name, "corp",
+        "Corp workload requires the Corp-like database"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0);
     let fact = db.table_id("fact_sales").unwrap();
-    let dims = ["dim_date", "dim_customer", "dim_product", "dim_region", "dim_channel", "dim_employee"];
+    let dims = [
+        "dim_date",
+        "dim_customer",
+        "dim_product",
+        "dim_region",
+        "dim_channel",
+        "dim_employee",
+    ];
     // Snowflake extensions keyed by the dim that enables them.
     let snowflake: &[(&str, &str)] = &[
         ("dim_region", "country"),
@@ -78,7 +88,10 @@ pub fn generate(db: &Database, seed: u64, count: usize) -> Workload {
             }
         }
     }
-    Workload { name: "corp".into(), queries }
+    Workload {
+        name: "corp".into(),
+        queries,
+    }
 }
 
 fn dashboard_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Predicate> {
@@ -127,26 +140,22 @@ fn dashboard_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Ve
                 col: col("name"),
                 value: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].into(),
             }),
-            "dim_product" => {
-                if rng.gen_bool(0.5) {
-                    let lo = rng.gen_range(5..1_500) as i64;
-                    out.push(Predicate::IntBetween {
-                        table: t,
-                        col: col("list_price"),
-                        lo,
-                        hi: lo + rng.gen_range(50..400) as i64,
-                    });
-                }
+            "dim_product" if rng.gen_bool(0.5) => {
+                let lo = rng.gen_range(5..1_500) as i64;
+                out.push(Predicate::IntBetween {
+                    table: t,
+                    col: col("list_price"),
+                    lo,
+                    hi: lo + rng.gen_range(50..400) as i64,
+                });
             }
-            "fact_sales" => {
-                if rng.gen_bool(0.4) {
-                    out.push(Predicate::IntCmp {
-                        table: t,
-                        col: col("amount"),
-                        op: CmpOp::Gt,
-                        value: rng.gen_range(100..4_000) as i64,
-                    });
-                }
+            "fact_sales" if rng.gen_bool(0.4) => {
+                out.push(Predicate::IntCmp {
+                    table: t,
+                    col: col("amount"),
+                    op: CmpOp::Gt,
+                    value: rng.gen_range(100..4_000) as i64,
+                });
             }
             _ => {}
         }
@@ -162,7 +171,12 @@ fn dashboard_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Ve
                 value: rng.gen_range(5..18) as i64,
             });
         } else {
-            out.push(Predicate::IntCmp { table: t, col: 0, op: CmpOp::Ge, value: 0 });
+            out.push(Predicate::IntCmp {
+                table: t,
+                col: 0,
+                op: CmpOp::Ge,
+                value: 0,
+            });
         }
     }
     out

@@ -21,7 +21,14 @@ pub fn generate(db: &Database, seed: u64) -> Workload {
     assert_eq!(db.name, "imdb", "Ext-JOB requires the IMDB-like database");
     let mut rng = StdRng::seed_from_u64(seed ^ 0xE27);
     // Hubs deliberately different from JOB's title-grown graphs.
-    let hubs = ["name", "movie_link", "cast_info", "person_info", "movie_companies", "aka_title"];
+    let hubs = [
+        "name",
+        "movie_link",
+        "cast_info",
+        "person_info",
+        "movie_companies",
+        "aka_title",
+    ];
     let mut queries = Vec::new();
     for i in 0..NUM_QUERIES {
         let hub = db.table_id(hubs[i % hubs.len()]).unwrap();
@@ -44,7 +51,10 @@ pub fn generate(db: &Database, seed: u64) -> Workload {
         debug_assert!(q.validate(db).is_ok(), "{:?}", q.validate(db));
         queries.push(q);
     }
-    Workload { name: "ext_job".into(), queries }
+    Workload {
+        name: "ext_job".into(),
+        queries,
+    }
 }
 
 /// Predicates using columns JOB never predicates on.
@@ -60,11 +70,15 @@ fn novel_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Pr
                 vec![Predicate::StrContains {
                     table: t,
                     col: col("title"),
-                    needle: GENRE_VOCAB[g][rng.gen_range(0..5)].to_string(),
+                    needle: GENRE_VOCAB[g][rng.gen_range(0..5usize)].to_string(),
                 }]
             }
             "aka_title" => {
-                vec![Predicate::StrContains { table: t, col: col("title"), needle: "aka_1".into() }]
+                vec![Predicate::StrContains {
+                    table: t,
+                    col: col("title"),
+                    needle: "aka_1".into(),
+                }]
             }
             "char_name" => {
                 vec![Predicate::StrContains {
@@ -76,12 +90,14 @@ fn novel_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Pr
             "role_type" => vec![Predicate::StrEq {
                 table: t,
                 col: col("role"),
-                value: ["director", "writer", "producer", "composer"][rng.gen_range(0..4)].into(),
+                value: ["director", "writer", "producer", "composer"][rng.gen_range(0..4usize)]
+                    .into(),
             }],
             "link_type" => vec![Predicate::StrEq {
                 table: t,
                 col: col("link"),
-                value: ["remake_of", "follows", "spoofs", "references"][rng.gen_range(0..4)].into(),
+                value: ["remake_of", "follows", "spoofs", "references"][rng.gen_range(0..4usize)]
+                    .into(),
             }],
             "movie_link" => vec![Predicate::IntCmp {
                 table: t,
@@ -91,7 +107,12 @@ fn novel_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Pr
             }],
             "movie_info" => vec![
                 // Novel: predicate the *rating* rows rather than genres.
-                Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 3 },
+                Predicate::IntCmp {
+                    table: t,
+                    col: col("info_type_id"),
+                    op: CmpOp::Eq,
+                    value: 3,
+                },
                 Predicate::StrContains {
                     table: t,
                     col: col("info"),
@@ -104,7 +125,12 @@ fn novel_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Pr
                 needle: format!("person_{}", rng.gen_range(1..8)),
             }],
             "person_info" => vec![
-                Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 5 },
+                Predicate::IntCmp {
+                    table: t,
+                    col: col("info_type_id"),
+                    op: CmpOp::Eq,
+                    value: 5,
+                },
                 Predicate::StrEq {
                     table: t,
                     col: col("info"),
@@ -124,7 +150,12 @@ fn novel_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<Pr
         // Guarantee at least one predicate: every Ext-JOB graph contains
         // its hub, all of which have options above — but guard anyway with
         // a fallback range on the first table's id column.
-        out.push(Predicate::IntCmp { table: tables[0], col: 0, op: CmpOp::Ge, value: 0 });
+        out.push(Predicate::IntCmp {
+            table: tables[0],
+            col: 0,
+            op: CmpOp::Ge,
+            value: 0,
+        });
     }
     out
 }
@@ -166,8 +197,11 @@ mod tests {
         let jobwl = job::generate(&db, 1);
         let job_graphs: std::collections::HashSet<_> =
             jobwl.queries.iter().map(|q| q.tables.clone()).collect();
-        let novel =
-            ext.queries.iter().filter(|q| !job_graphs.contains(&q.tables)).count();
+        let novel = ext
+            .queries
+            .iter()
+            .filter(|q| !job_graphs.contains(&q.tables))
+            .count();
         assert!(novel >= 20, "only {novel} of 24 Ext-JOB graphs are novel");
     }
 }

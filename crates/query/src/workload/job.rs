@@ -19,7 +19,10 @@ pub const NUM_FAMILIES: usize = 33;
 /// # Panics
 /// Panics if `db` is not the IMDB-like database.
 pub fn generate(db: &Database, seed: u64) -> Workload {
-    assert_eq!(db.name, "imdb", "JOB workload requires the IMDB-like database");
+    assert_eq!(
+        db.name, "imdb",
+        "JOB workload requires the IMDB-like database"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let title = db.table_id("title").expect("title table");
 
@@ -50,7 +53,10 @@ pub fn generate(db: &Database, seed: u64) -> Workload {
             queries.push(q);
         }
     }
-    Workload { name: "job".into(), queries }
+    Workload {
+        name: "job".into(),
+        queries,
+    }
 }
 
 /// Samples 1–4 predicates over the member tables, using the
@@ -60,8 +66,11 @@ pub(crate) fn sample_imdb_predicates(
     tables: &[usize],
     rng: &mut StdRng,
 ) -> Vec<Predicate> {
-    let mut candidates: Vec<usize> =
-        tables.iter().copied().filter(|&t| has_predicate_options(db, t)).collect();
+    let mut candidates: Vec<usize> = tables
+        .iter()
+        .copied()
+        .filter(|&t| has_predicate_options(db, t))
+        .collect();
     // Shuffle candidates and take up to a random count.
     for i in (1..candidates.len()).rev() {
         let j = rng.gen_range(0..=i);
@@ -98,7 +107,12 @@ fn predicates_for_table(db: &Database, t: usize, rng: &mut StdRng) -> Vec<Predic
             if rng.gen_bool(0.7) {
                 let lo = 1950 + rng.gen_range(0..60) as i64;
                 let hi = lo + rng.gen_range(3..25) as i64;
-                vec![Predicate::IntBetween { table: t, col: col("production_year"), lo, hi }]
+                vec![Predicate::IntBetween {
+                    table: t,
+                    col: col("production_year"),
+                    lo,
+                    hi,
+                }]
             } else {
                 vec![Predicate::IntCmp {
                     table: t,
@@ -113,7 +127,12 @@ fn predicates_for_table(db: &Database, t: usize, rng: &mut StdRng) -> Vec<Predic
             // info-type row and predicate its value.
             if rng.gen_bool(0.6) {
                 vec![
-                    Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 2 },
+                    Predicate::IntCmp {
+                        table: t,
+                        col: col("info_type_id"),
+                        op: CmpOp::Eq,
+                        value: 2,
+                    },
                     Predicate::StrEq {
                         table: t,
                         col: col("info"),
@@ -122,7 +141,12 @@ fn predicates_for_table(db: &Database, t: usize, rng: &mut StdRng) -> Vec<Predic
                 ]
             } else {
                 vec![
-                    Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 5 },
+                    Predicate::IntCmp {
+                        table: t,
+                        col: col("info_type_id"),
+                        op: CmpOp::Eq,
+                        value: 5,
+                    },
                     Predicate::StrEq {
                         table: t,
                         col: col("info"),
@@ -133,8 +157,12 @@ fn predicates_for_table(db: &Database, t: usize, rng: &mut StdRng) -> Vec<Predic
         }
         "keyword" => {
             let g = rng.gen_range(0..GENRE_VOCAB.len());
-            let w = GENRE_VOCAB[g][rng.gen_range(0..5)];
-            vec![Predicate::StrContains { table: t, col: col("keyword"), needle: w.to_string() }]
+            let w = GENRE_VOCAB[g][rng.gen_range(0..5usize)];
+            vec![Predicate::StrContains {
+                table: t,
+                col: col("keyword"),
+                needle: w.to_string(),
+            }]
         }
         "name" => vec![Predicate::StrEq {
             table: t,
@@ -159,7 +187,12 @@ fn predicates_for_table(db: &Database, t: usize, rng: &mut StdRng) -> Vec<Predic
             value: rng.gen_range(0..4) as i64,
         }],
         "person_info" => vec![
-            Predicate::IntCmp { table: t, col: col("info_type_id"), op: CmpOp::Eq, value: 5 },
+            Predicate::IntCmp {
+                table: t,
+                col: col("info_type_id"),
+                op: CmpOp::Eq,
+                value: 5,
+            },
             Predicate::StrEq {
                 table: t,
                 col: col("info"),
@@ -169,7 +202,7 @@ fn predicates_for_table(db: &Database, t: usize, rng: &mut StdRng) -> Vec<Predic
         "kind_type" => vec![Predicate::StrEq {
             table: t,
             col: col("kind"),
-            value: ["movie", "tv_series", "video"][rng.gen_range(0..3)].to_string(),
+            value: ["movie", "tv_series", "video"][rng.gen_range(0..3usize)].to_string(),
         }],
         other => unreachable!("no predicate options for {other}"),
     }

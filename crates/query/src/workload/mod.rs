@@ -39,8 +39,14 @@ impl Workload {
         let mut idx: Vec<usize> = (0..self.queries.len()).collect();
         idx.shuffle(&mut rng);
         let n_test = ((self.queries.len() as f64) * test_frac).round() as usize;
-        let test: Vec<Query> = idx[..n_test].iter().map(|&i| self.queries[i].clone()).collect();
-        let train: Vec<Query> = idx[n_test..].iter().map(|&i| self.queries[i].clone()).collect();
+        let test: Vec<Query> = idx[..n_test]
+            .iter()
+            .map(|&i| self.queries[i].clone())
+            .collect();
+        let train: Vec<Query> = idx[n_test..]
+            .iter()
+            .map(|&i| self.queries[i].clone())
+            .collect();
         (train, test)
     }
 
@@ -71,7 +77,11 @@ impl Workload {
 
     /// Largest relation count over the workload.
     pub fn max_relations(&self) -> usize {
-        self.queries.iter().map(|q| q.num_relations()).max().unwrap_or(0)
+        self.queries
+            .iter()
+            .map(|q| q.num_relations())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -153,7 +163,11 @@ mod tests {
                 predicates: vec![],
                 agg: Default::default(),
             };
-            assert!(q.validate(&db).is_ok(), "size {size}: {:?}", q.validate(&db));
+            assert!(
+                q.validate(&db).is_ok(),
+                "size {size}: {:?}",
+                q.validate(&db)
+            );
         }
     }
 

@@ -14,38 +14,49 @@ use rand::{Rng, SeedableRng};
 
 /// The 22 template table sets, shaped after the TPC-H reference queries.
 const TEMPLATES: [&[&str]; 22] = [
-    &["lineitem", "orders"],                                                    // Q1-ish
-    &["part", "partsupp", "supplier", "nation", "region"],                      // Q2
-    &["customer", "orders", "lineitem"],                                        // Q3
-    &["orders", "lineitem"],                                                    // Q4
-    &["customer", "orders", "lineitem", "supplier", "nation", "region"],        // Q5
-    &["lineitem", "part"],                                                      // Q6-ish
-    &["supplier", "lineitem", "orders", "customer", "nation"],                  // Q7
-    &["part", "lineitem", "supplier", "orders", "customer", "nation", "region"], // Q8
-    &["part", "partsupp", "lineitem", "supplier", "orders", "nation"],          // Q9
-    &["customer", "orders", "lineitem", "nation"],                              // Q10
-    &["partsupp", "supplier", "nation"],                                        // Q11
-    &["orders", "lineitem", "customer"],                                        // Q12
-    &["customer", "orders"],                                                    // Q13
-    &["lineitem", "part", "orders"],                                            // Q14
-    &["supplier", "lineitem", "orders"],                                        // Q15
-    &["partsupp", "part", "supplier"],                                          // Q16
-    &["lineitem", "part", "partsupp"],                                          // Q17
-    &["customer", "orders", "lineitem", "nation", "region"],                    // Q18
-    &["lineitem", "part", "supplier"],                                          // Q19
-    &["supplier", "nation", "partsupp", "part"],                                // Q20
-    &["supplier", "lineitem", "orders", "nation"],                              // Q21
-    &["customer", "orders", "nation"],                                          // Q22
+    &["lineitem", "orders"],                               // Q1-ish
+    &["part", "partsupp", "supplier", "nation", "region"], // Q2
+    &["customer", "orders", "lineitem"],                   // Q3
+    &["orders", "lineitem"],                               // Q4
+    &[
+        "customer", "orders", "lineitem", "supplier", "nation", "region",
+    ], // Q5
+    &["lineitem", "part"],                                 // Q6-ish
+    &["supplier", "lineitem", "orders", "customer", "nation"], // Q7
+    &[
+        "part", "lineitem", "supplier", "orders", "customer", "nation", "region",
+    ], // Q8
+    &[
+        "part", "partsupp", "lineitem", "supplier", "orders", "nation",
+    ], // Q9
+    &["customer", "orders", "lineitem", "nation"],         // Q10
+    &["partsupp", "supplier", "nation"],                   // Q11
+    &["orders", "lineitem", "customer"],                   // Q12
+    &["customer", "orders"],                               // Q13
+    &["lineitem", "part", "orders"],                       // Q14
+    &["supplier", "lineitem", "orders"],                   // Q15
+    &["partsupp", "part", "supplier"],                     // Q16
+    &["lineitem", "part", "partsupp"],                     // Q17
+    &["customer", "orders", "lineitem", "nation", "region"], // Q18
+    &["lineitem", "part", "supplier"],                     // Q19
+    &["supplier", "nation", "partsupp", "part"],           // Q20
+    &["supplier", "lineitem", "orders", "nation"],         // Q21
+    &["customer", "orders", "nation"],                     // Q22
 ];
 
 /// Generates the 100-query TPC-H-like workload.
 pub fn generate(db: &Database, seed: u64) -> Workload {
-    assert_eq!(db.name, "tpch", "TPC-H workload requires the TPC-H-like database");
+    assert_eq!(
+        db.name, "tpch",
+        "TPC-H workload requires the TPC-H-like database"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x79c4);
     let mut queries = Vec::new();
     for (fam, names) in TEMPLATES.iter().enumerate() {
-        let mut tables: Vec<usize> =
-            names.iter().map(|n| db.table_id(n).unwrap_or_else(|| panic!("table {n}"))).collect();
+        let mut tables: Vec<usize> = names
+            .iter()
+            .map(|n| db.table_id(n).unwrap_or_else(|| panic!("table {n}")))
+            .collect();
         tables.sort_unstable();
         let joins = induced_join_edges(db, &tables);
         // 12 templates × 5 variants + 10 × 4 = 100.
@@ -63,7 +74,10 @@ pub fn generate(db: &Database, seed: u64) -> Workload {
             queries.push(q);
         }
     }
-    Workload { name: "tpch".into(), queries }
+    Workload {
+        name: "tpch".into(),
+        queries,
+    }
 }
 
 /// Uniform-friendly predicates: ranges and equalities over independent
@@ -136,7 +150,7 @@ fn uniform_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<
             "region" => out.push(Predicate::StrEq {
                 table: t,
                 col: col("name"),
-                value: ["ASIA", "EUROPE", "AMERICA"][rng.gen_range(0..3)].into(),
+                value: ["ASIA", "EUROPE", "AMERICA"][rng.gen_range(0..3usize)].into(),
             }),
             "nation" => {}
             _ => {}
@@ -146,7 +160,12 @@ fn uniform_predicates(db: &Database, tables: &[usize], rng: &mut StdRng) -> Vec<
         // Every template contains at least one predicable table; fall back
         // to a quantity range if the coin flips all skipped.
         let t = tables[0];
-        out.push(Predicate::IntCmp { table: t, col: 0, op: CmpOp::Ge, value: 0 });
+        out.push(Predicate::IntCmp {
+            table: t,
+            col: 0,
+            op: CmpOp::Ge,
+            value: 0,
+        });
     }
     out
 }
@@ -179,7 +198,11 @@ mod tests {
         let db = tpch::generate(0.05, 1);
         let wl = generate(&db, 3);
         let (train, test) = wl.split_by_family(0.2, 11);
-        assert!(test.len() >= 12 && test.len() <= 28, "test size {}", test.len());
+        assert!(
+            test.len() >= 12 && test.len() <= 28,
+            "test size {}",
+            test.len()
+        );
         assert_eq!(train.len() + test.len(), 100);
     }
 }

@@ -15,8 +15,9 @@ fn initial_children_count_matches_closed_form() {
     for q in wl.queries.iter().take(20) {
         let ctx = QueryContext::new(&db, q);
         let kids = children(&PartialPlan::initial(q), &ctx);
-        let scans: usize =
-            (0..q.num_relations()).map(|r| if ctx.index_ok[r] { 2 } else { 1 }).sum();
+        let scans: usize = (0..q.num_relations())
+            .map(|r| if ctx.index_ok[r] { 2 } else { 1 })
+            .sum();
         // Distinct connected relation pairs (multiple edges between the
         // same pair still yield one set of merge children).
         let mut pairs = std::collections::HashSet::new();
@@ -114,9 +115,18 @@ fn explain_covers_all_workloads() {
     let tpch_db = tpch::generate(0.05, 3);
     let corp_db = corp::generate(0.01, 3);
     let cases = vec![
-        (&imdb_db, neo_query::workload::job::generate(&imdb_db, 3).queries),
-        (&tpch_db, neo_query::workload::tpch::generate(&tpch_db, 3).queries),
-        (&corp_db, neo_query::workload::corp::generate(&corp_db, 3, 20).queries),
+        (
+            &imdb_db,
+            neo_query::workload::job::generate(&imdb_db, 3).queries,
+        ),
+        (
+            &tpch_db,
+            neo_query::workload::tpch::generate(&tpch_db, 3).queries,
+        ),
+        (
+            &corp_db,
+            neo_query::workload::corp::generate(&corp_db, 3, 20).queries,
+        ),
     ];
     for (db, queries) in cases {
         for q in queries.iter().take(10) {
@@ -145,7 +155,11 @@ fn explain_covers_all_workloads() {
                     q.id
                 );
             }
-            assert!(!text.contains("cross"), "unexpected cross join in {}:\n{text}", q.id);
+            assert!(
+                !text.contains("cross"),
+                "unexpected cross join in {}:\n{text}",
+                q.id
+            );
         }
     }
 }

@@ -53,9 +53,18 @@ impl Database {
         indexed: Vec<(usize, usize)>,
     ) -> Self {
         for fk in &foreign_keys {
-            assert!(fk.from_table < tables.len() && fk.to_table < tables.len(), "FK table range");
-            assert!(fk.from_col < tables[fk.from_table].num_cols(), "FK from_col range");
-            assert!(fk.to_col < tables[fk.to_table].num_cols(), "FK to_col range");
+            assert!(
+                fk.from_table < tables.len() && fk.to_table < tables.len(),
+                "FK table range"
+            );
+            assert!(
+                fk.from_col < tables[fk.from_table].num_cols(),
+                "FK from_col range"
+            );
+            assert!(
+                fk.to_col < tables[fk.to_table].num_cols(),
+                "FK to_col range"
+            );
         }
         let stats = tables.iter().map(TableStats::build).collect();
         let mut indexes = HashMap::new();
@@ -65,7 +74,9 @@ impl Database {
                 ColumnData::Int(v) => {
                     indexes.insert((t, c), BTreeIndex::build(v));
                 }
-                ColumnData::Str(_) => panic!("index on string column {}.{}", tables[t].name, col.name),
+                ColumnData::Str(_) => {
+                    panic!("index on string column {}.{}", tables[t].name, col.name)
+                }
             }
         }
         let mut attr_base = Vec::with_capacity(tables.len());
@@ -74,7 +85,16 @@ impl Database {
             attr_base.push(acc);
             acc += t.num_cols();
         }
-        Database { name: name.to_string(), tables, foreign_keys, indexed, indexes, stats, attr_base, num_attrs: acc }
+        Database {
+            name: name.to_string(),
+            tables,
+            foreign_keys,
+            indexed,
+            indexes,
+            stats,
+            attr_base,
+            num_attrs: acc,
+        }
     }
 
     /// Number of tables.
@@ -104,7 +124,9 @@ impl Database {
     /// # Panics
     /// Panics when absent.
     pub fn table(&self, name: &str) -> &Table {
-        &self.tables[self.table_id(name).unwrap_or_else(|| panic!("no table {name}"))]
+        &self.tables[self
+            .table_id(name)
+            .unwrap_or_else(|| panic!("no table {name}"))]
     }
 
     /// The index on `(table, col)`, if one was built.
@@ -120,9 +142,9 @@ impl Database {
 
     /// The foreign key joining tables `a` and `b`, in either direction.
     pub fn fk_between(&self, a: usize, b: usize) -> Option<&ForeignKey> {
-        self.foreign_keys
-            .iter()
-            .find(|fk| (fk.from_table == a && fk.to_table == b) || (fk.from_table == b && fk.to_table == a))
+        self.foreign_keys.iter().find(|fk| {
+            (fk.from_table == a && fk.to_table == b) || (fk.from_table == b && fk.to_table == a)
+        })
     }
 
     /// Total row count over all tables (dataset "size" proxy used by the
@@ -138,12 +160,29 @@ mod tests {
     use crate::table::Column;
 
     fn small_db() -> Database {
-        let a = Table::new("a", vec![Column::int("id", vec![1, 2, 3]), Column::int("x", vec![7, 8, 9])]);
-        let b = Table::new("b", vec![Column::int("id", vec![1, 2]), Column::int("a_id", vec![1, 1])]);
+        let a = Table::new(
+            "a",
+            vec![
+                Column::int("id", vec![1, 2, 3]),
+                Column::int("x", vec![7, 8, 9]),
+            ],
+        );
+        let b = Table::new(
+            "b",
+            vec![
+                Column::int("id", vec![1, 2]),
+                Column::int("a_id", vec![1, 1]),
+            ],
+        );
         Database::build(
             "test",
             vec![a, b],
-            vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+            vec![ForeignKey {
+                from_table: 1,
+                from_col: 1,
+                to_table: 0,
+                to_col: 0,
+            }],
             vec![(0, 0), (1, 1)],
         )
     }

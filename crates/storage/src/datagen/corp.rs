@@ -16,20 +16,68 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Sales channels. Channel affinity to product categories is planted.
-pub const CHANNELS: [&str; 8] =
-    ["online", "retail", "partner", "wholesale", "mobile", "catalog", "outlet", "enterprise"];
+pub const CHANNELS: [&str; 8] = [
+    "online",
+    "retail",
+    "partner",
+    "wholesale",
+    "mobile",
+    "catalog",
+    "outlet",
+    "enterprise",
+];
 
 /// Product category names.
 pub const CATEGORIES: [&str; 25] = [
-    "electronics", "apparel", "grocery", "furniture", "toys", "sports", "beauty", "automotive",
-    "garden", "books", "music", "office", "jewelry", "footwear", "appliances", "hardware",
-    "pharmacy", "pet", "baby", "crafts", "luggage", "outdoor", "seasonal", "software", "services",
+    "electronics",
+    "apparel",
+    "grocery",
+    "furniture",
+    "toys",
+    "sports",
+    "beauty",
+    "automotive",
+    "garden",
+    "books",
+    "music",
+    "office",
+    "jewelry",
+    "footwear",
+    "appliances",
+    "hardware",
+    "pharmacy",
+    "pet",
+    "baby",
+    "crafts",
+    "luggage",
+    "outdoor",
+    "seasonal",
+    "software",
+    "services",
 ];
 
 /// Countries for customers/regions.
 pub const COUNTRIES: [&str; 20] = [
-    "usa", "canada", "mexico", "brazil", "uk", "france", "germany", "spain", "italy", "poland",
-    "india", "china", "japan", "korea", "australia", "egypt", "nigeria", "kenya", "turkey", "uae",
+    "usa",
+    "canada",
+    "mexico",
+    "brazil",
+    "uk",
+    "france",
+    "germany",
+    "spain",
+    "italy",
+    "poland",
+    "india",
+    "china",
+    "japan",
+    "korea",
+    "australia",
+    "egypt",
+    "nigeria",
+    "kenya",
+    "turkey",
+    "uae",
 ];
 
 /// Customer segments.
@@ -64,7 +112,10 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "country",
-            vec![Column::int("id", (0..COUNTRIES.len() as i64).collect()), Column::str("name", s)],
+            vec![
+                Column::int("id", (0..COUNTRIES.len() as i64).collect()),
+                Column::str("name", s),
+            ],
         )
     };
 
@@ -75,7 +126,10 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "product_category",
-            vec![Column::int("id", (0..CATEGORIES.len() as i64).collect()), Column::str("name", s)],
+            vec![
+                Column::int("id", (0..CATEGORIES.len() as i64).collect()),
+                Column::str("name", s),
+            ],
         )
     };
 
@@ -86,7 +140,10 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "dim_channel",
-            vec![Column::int("id", (0..CHANNELS.len() as i64).collect()), Column::str("name", s)],
+            vec![
+                Column::int("id", (0..CHANNELS.len() as i64).collect()),
+                Column::str("name", s),
+            ],
         )
     };
 
@@ -113,14 +170,15 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     };
 
     // Regions snowflake to country.
-    let region_country: Vec<usize> =
-        (0..n_region).map(|_| country_zipf.sample(&mut rng)).collect();
+    let region_country: Vec<usize> = (0..n_region)
+        .map(|_| country_zipf.sample(&mut rng))
+        .collect();
     let dim_region = {
         let mut names = StrColumn::new();
         let mut country_ids = Vec::new();
-        for r in 0..n_region {
+        for (r, &country) in region_country.iter().enumerate() {
             names.push(&format!("region_{r}"));
-            country_ids.push(region_country[r] as i64);
+            country_ids.push(country as i64);
         }
         Table::new(
             "dim_region",
@@ -137,16 +195,17 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     }
 
     // Customers: country + segment.
-    let customer_country: Vec<usize> =
-        (0..n_customer).map(|_| country_zipf.sample(&mut rng)).collect();
+    let customer_country: Vec<usize> = (0..n_customer)
+        .map(|_| country_zipf.sample(&mut rng))
+        .collect();
     let dim_customer = {
         let mut names = StrColumn::new();
         let mut segs = StrColumn::new();
         let mut country_ids = Vec::new();
-        for c in 0..n_customer {
+        for (c, &country) in customer_country.iter().enumerate() {
             names.push(&format!("customer_{c}"));
             segs.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]);
-            country_ids.push(customer_country[c] as i64);
+            country_ids.push(country as i64);
         }
         Table::new(
             "dim_customer",
@@ -186,13 +245,15 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     // Channel affinity: category k prefers channel k % |CHANNELS|.
     let affine_channel = |cat: usize| cat % CHANNELS.len();
 
-    let employee_region: Vec<usize> = (0..n_employee).map(|_| rng.gen_range(0..n_region)).collect();
+    let employee_region: Vec<usize> = (0..n_employee)
+        .map(|_| rng.gen_range(0..n_region))
+        .collect();
     let dim_employee = {
         let mut names = StrColumn::new();
         let mut region_ids = Vec::new();
-        for e in 0..n_employee {
+        for (e, &region) in employee_region.iter().enumerate() {
             names.push(&format!("employee_{e}"));
-            region_ids.push(employee_region[e] as i64);
+            region_ids.push(region as i64);
         }
         Table::new(
             "dim_employee",
@@ -279,7 +340,12 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     let cid = |t: usize, n: &str| tables[t].col_id(n).unwrap();
     let fk = |ft: &str, fc: &str, tt: &str, tc: &str| {
         let (a, b) = (tid(ft), tid(tt));
-        ForeignKey { from_table: a, from_col: cid(a, fc), to_table: b, to_col: cid(b, tc) }
+        ForeignKey {
+            from_table: a,
+            from_col: cid(a, fc),
+            to_table: b,
+            to_col: cid(b, tc),
+        }
     };
     let foreign_keys = vec![
         fk("dim_region", "country_id", "country", "id"),

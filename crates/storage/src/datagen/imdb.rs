@@ -29,14 +29,35 @@ use rand::{Rng, SeedableRng};
 /// The latent genres. Also the domain of `movie_info.info` rows with
 /// `info_type = 'genres'`.
 pub const GENRES: [&str; 10] = [
-    "romance", "action", "horror", "comedy", "drama", "sci-fi", "documentary", "thriller",
-    "adventure", "crime",
+    "romance",
+    "action",
+    "horror",
+    "comedy",
+    "drama",
+    "sci-fi",
+    "documentary",
+    "thriller",
+    "adventure",
+    "crime",
 ];
 
 /// Production-country tokens.
 pub const COUNTRIES: [&str; 15] = [
-    "usa", "france", "china", "india", "uk", "germany", "japan", "italy", "spain", "canada",
-    "korea", "brazil", "russia", "mexico", "australia",
+    "usa",
+    "france",
+    "china",
+    "india",
+    "uk",
+    "germany",
+    "japan",
+    "italy",
+    "spain",
+    "canada",
+    "korea",
+    "brazil",
+    "russia",
+    "mexico",
+    "australia",
 ];
 
 /// Per-genre keyword vocabulary: keyword names embed these words, giving
@@ -85,18 +106,31 @@ pub fn generate(scale: f64, seed: u64) -> Database {
 
     // ---- latent per-movie attributes --------------------------------
     let movie_genre: Vec<usize> = (0..n_title).map(|_| genre_zipf.sample(&mut rng)).collect();
-    let movie_country: Vec<usize> = (0..n_title).map(|_| country_zipf.sample(&mut rng)).collect();
+    let movie_country: Vec<usize> = (0..n_title)
+        .map(|_| country_zipf.sample(&mut rng))
+        .collect();
 
     // ---- small dimension tables --------------------------------------
     let kind_type = {
-        let kinds = ["movie", "tv_series", "video", "episode", "video_game", "short", "tv_movie"];
+        let kinds = [
+            "movie",
+            "tv_series",
+            "video",
+            "episode",
+            "video_game",
+            "short",
+            "tv_movie",
+        ];
         let mut s = StrColumn::new();
         for k in kinds {
             s.push(k);
         }
         Table::new(
             "kind_type",
-            vec![Column::int("id", (0..kinds.len() as i64).collect()), Column::str("kind", s)],
+            vec![
+                Column::int("id", (0..kinds.len() as i64).collect()),
+                Column::str("kind", s),
+            ],
         )
     };
     let info_type = {
@@ -106,13 +140,26 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "info_type",
-            vec![Column::int("id", (0..INFO_TYPES.len() as i64).collect()), Column::str("info", s)],
+            vec![
+                Column::int("id", (0..INFO_TYPES.len() as i64).collect()),
+                Column::str("info", s),
+            ],
         )
     };
     let role_type = {
         let roles = [
-            "actor", "actress", "producer", "writer", "cinematographer", "composer", "costume",
-            "director", "editor", "guest", "miscellaneous", "production_designer",
+            "actor",
+            "actress",
+            "producer",
+            "writer",
+            "cinematographer",
+            "composer",
+            "costume",
+            "director",
+            "editor",
+            "guest",
+            "miscellaneous",
+            "production_designer",
         ];
         let mut s = StrColumn::new();
         for r in roles {
@@ -120,14 +167,31 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "role_type",
-            vec![Column::int("id", (0..roles.len() as i64).collect()), Column::str("role", s)],
+            vec![
+                Column::int("id", (0..roles.len() as i64).collect()),
+                Column::str("role", s),
+            ],
         )
     };
     let link_type = {
         let links = [
-            "follows", "followed_by", "remake_of", "remade_as", "references", "referenced_in",
-            "spoofs", "spoofed_in", "features", "featured_in", "spin_off_from", "spin_off",
-            "version_of", "similar_to", "edited_into", "edited_from", "alternate_language",
+            "follows",
+            "followed_by",
+            "remake_of",
+            "remade_as",
+            "references",
+            "referenced_in",
+            "spoofs",
+            "spoofed_in",
+            "features",
+            "featured_in",
+            "spin_off_from",
+            "spin_off",
+            "version_of",
+            "similar_to",
+            "edited_into",
+            "edited_from",
+            "alternate_language",
             "unknown",
         ];
         let mut s = StrColumn::new();
@@ -136,18 +200,29 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "link_type",
-            vec![Column::int("id", (0..links.len() as i64).collect()), Column::str("link", s)],
+            vec![
+                Column::int("id", (0..links.len() as i64).collect()),
+                Column::str("link", s),
+            ],
         )
     };
     let company_type = {
-        let kinds = ["distributors", "production_companies", "special_effects", "miscellaneous"];
+        let kinds = [
+            "distributors",
+            "production_companies",
+            "special_effects",
+            "miscellaneous",
+        ];
         let mut s = StrColumn::new();
         for k in kinds {
             s.push(k);
         }
         Table::new(
             "company_type",
-            vec![Column::int("id", (0..kinds.len() as i64).collect()), Column::str("kind", s)],
+            vec![
+                Column::int("id", (0..kinds.len() as i64).collect()),
+                Column::str("kind", s),
+            ],
         )
     };
 
@@ -185,7 +260,10 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "keyword",
-            vec![Column::int("id", (0..n_keyword as i64).collect()), Column::str("keyword", s)],
+            vec![
+                Column::int("id", (0..n_keyword as i64).collect()),
+                Column::str("keyword", s),
+            ],
         )
     };
     // Per-genre keyword clusters + intra-cluster popularity skew.
@@ -225,13 +303,17 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         }
         Table::new(
             "char_name",
-            vec![Column::int("id", (0..n_char as i64).collect()), Column::str("name", s)],
+            vec![
+                Column::int("id", (0..n_char as i64).collect()),
+                Column::str("name", s),
+            ],
         )
     };
 
     // ---- company_name: country correlated with the movies it produces -
-    let company_country: Vec<usize> =
-        (0..n_company).map(|_| country_zipf.sample(&mut rng)).collect();
+    let company_country: Vec<usize> = (0..n_company)
+        .map(|_| country_zipf.sample(&mut rng))
+        .collect();
     let company_name = {
         let mut names = StrColumn::new();
         let mut cc = StrColumn::new();
@@ -278,7 +360,11 @@ pub fn generate(scale: f64, seed: u64) -> Database {
 
             movie_ids.push(m as i64);
             type_ids.push(rating_type_id);
-            infos.push(&format!("{}.{}", rng.gen_range(1..10), rng.gen_range(0..10)));
+            infos.push(&format!(
+                "{}.{}",
+                rng.gen_range(1..10),
+                rng.gen_range(0..10)
+            ));
         }
         let n = movie_ids.len() as i64;
         Table::new(
@@ -296,8 +382,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     let movie_keyword = {
         let mut movie_ids = Vec::new();
         let mut keyword_ids = Vec::new();
-        for m in 0..n_title {
-            let g = movie_genre[m];
+        for (m, &g) in movie_genre.iter().enumerate() {
             for _ in 0..3 {
                 let k = if rng.gen_bool(KEYWORD_AFFINITY) {
                     cluster[g][cluster_zipf[g].sample(&mut rng)]
@@ -326,8 +411,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         let mut person_ids = Vec::new();
         let mut role_ids = Vec::new();
         let mut char_ids = Vec::new();
-        for m in 0..n_title {
-            let c = movie_country[m];
+        for (m, &c) in movie_country.iter().enumerate() {
             for _ in 0..5 {
                 let p = if rng.gen_bool(CAST_COUNTRY_AFFINITY) && !persons_by_country[c].is_empty()
                 {
@@ -360,8 +444,7 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         let mut movie_ids = Vec::new();
         let mut company_ids = Vec::new();
         let mut type_ids = Vec::new();
-        for m in 0..n_title {
-            let c = movie_country[m];
+        for (m, &c) in movie_country.iter().enumerate() {
             let count = 1 + usize::from(rng.gen_bool(0.5));
             for _ in 0..count {
                 let comp = if rng.gen_bool(COMPANY_COUNTRY_AFFINITY)
@@ -445,9 +528,8 @@ pub fn generate(scale: f64, seed: u64) -> Database {
         let mut movie_ids = Vec::new();
         let mut linked_ids = Vec::new();
         let mut type_ids = Vec::new();
-        for m in 0..n_title {
+        for (m, &g) in movie_genre.iter().enumerate() {
             if rng.gen_bool(0.25) {
-                let g = movie_genre[m];
                 let linked = if rng.gen_bool(0.8) && movies_by_genre[g].len() > 1 {
                     movies_by_genre[g][rng.gen_range(0..movies_by_genre[g].len())]
                 } else {
@@ -494,7 +576,12 @@ pub fn generate(scale: f64, seed: u64) -> Database {
     let cid = |t: usize, n: &str| tables[t].col_id(n).unwrap();
     let fk = |ft: &str, fc: &str, tt: &str, tc: &str| {
         let (a, b) = (tid(ft), tid(tt));
-        ForeignKey { from_table: a, from_col: cid(a, fc), to_table: b, to_col: cid(b, tc) }
+        ForeignKey {
+            from_table: a,
+            from_col: cid(a, fc),
+            to_table: b,
+            to_col: cid(b, tc),
+        }
     };
     let foreign_keys = vec![
         fk("title", "kind_id", "kind_type", "id"),
@@ -544,7 +631,14 @@ mod tests {
     fn has_seventeen_tables() {
         let db = tiny();
         assert_eq!(db.num_tables(), 17);
-        for name in ["title", "cast_info", "movie_info", "movie_keyword", "keyword", "name"] {
+        for name in [
+            "title",
+            "cast_info",
+            "movie_info",
+            "movie_keyword",
+            "keyword",
+            "name",
+        ] {
             assert!(db.table_id(name).is_some(), "missing {name}");
         }
     }
@@ -563,11 +657,17 @@ mod tests {
     fn foreign_keys_reference_valid_rows() {
         let db = tiny();
         for fk in &db.foreign_keys {
-            let from = db.tables[fk.from_table].columns[fk.from_col].as_int().unwrap();
+            let from = db.tables[fk.from_table].columns[fk.from_col]
+                .as_int()
+                .unwrap();
             let to = db.tables[fk.to_table].columns[fk.to_col].as_int().unwrap();
             let max_to = *to.iter().max().unwrap();
             for &v in from {
-                assert!(v >= 0 && v <= max_to, "dangling FK value {v} in {}", db.tables[fk.from_table].name);
+                assert!(
+                    v >= 0 && v <= max_to,
+                    "dangling FK value {v} in {}",
+                    db.tables[fk.from_table].name
+                );
             }
         }
     }
@@ -635,8 +735,8 @@ mod tests {
         let names = db.table("name");
         let birth = names.col("birth_country").as_str().unwrap();
         let fr_code = birth.code_of("france").unwrap();
-        let base_rate = birth.codes.iter().filter(|&&c| c == fr_code).count() as f64
-            / names.num_rows() as f64;
+        let base_rate =
+            birth.codes.iter().filter(|&&c| c == fr_code).count() as f64 / names.num_rows() as f64;
         let ci = db.table("cast_info");
         let ci_movie = ci.col("movie_id").as_int().unwrap();
         let ci_person = ci.col("person_id").as_int().unwrap();
@@ -650,7 +750,10 @@ mod tests {
             }
         }
         let rate = fr_cast as f64 / total.max(1) as f64;
-        assert!(rate > 3.0 * base_rate, "conditional {rate} vs base {base_rate}");
+        assert!(
+            rate > 3.0 * base_rate,
+            "conditional {rate} vs base {base_rate}"
+        );
     }
 
     #[test]

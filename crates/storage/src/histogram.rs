@@ -31,7 +31,12 @@ impl EquiDepthHistogram {
             }
         }
         if sorted.is_empty() {
-            return EquiDepthHistogram { bounds: vec![0, 0], counts: vec![0], total: 0, distinct: 0 };
+            return EquiDepthHistogram {
+                bounds: vec![0, 0],
+                counts: vec![0],
+                total: 0,
+                distinct: 0,
+            };
         }
         let buckets = num_buckets.max(1).min(sorted.len());
         let depth = sorted.len().div_ceil(buckets);
@@ -44,7 +49,12 @@ impl EquiDepthHistogram {
             counts.push((end - i) as u64);
             i = end;
         }
-        EquiDepthHistogram { bounds, counts, total, distinct }
+        EquiDepthHistogram {
+            bounds,
+            counts,
+            total,
+            distinct,
+        }
     }
 
     /// Total rows summarized.
@@ -137,14 +147,23 @@ impl McvStats {
         for &c in codes {
             counts[c as usize] += 1;
         }
-        let mut pairs: Vec<(u32, u64)> =
-            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i as u32, c)).collect();
+        let mut pairs: Vec<(u32, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
         let distinct = pairs.len() as u64;
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         pairs.truncate(k);
         let covered: u64 = pairs.iter().map(|(_, c)| c).sum();
         let total = codes.len() as u64;
-        McvStats { entries: pairs, total, distinct, rest: total - covered }
+        McvStats {
+            entries: pairs,
+            total,
+            distinct,
+            rest: total - covered,
+        }
     }
 
     /// Total rows summarized.
@@ -180,7 +199,11 @@ impl McvStats {
     /// underestimated — exactly the PostgreSQL failure mode the paper
     /// exploits.
     pub fn est_in_codes(&self, codes: &[u32]) -> f64 {
-        codes.iter().map(|&c| self.est_eq_code(c)).sum::<f64>().min(1.0)
+        codes
+            .iter()
+            .map(|&c| self.est_eq_code(c))
+            .sum::<f64>()
+            .min(1.0)
     }
 }
 

@@ -18,7 +18,10 @@ impl BTreeIndex {
         for (row, &v) in values.iter().enumerate() {
             map.entry(v).or_default().push(row as u32);
         }
-        BTreeIndex { map, len: values.len() }
+        BTreeIndex {
+            map,
+            len: values.len(),
+        }
     }
 
     /// Row ids with key exactly `v`.

@@ -47,13 +47,18 @@ impl TableStats {
             .columns
             .iter()
             .map(|c| match &c.data {
-                ColumnData::Int(v) => ColumnStats::Int(EquiDepthHistogram::build(v, DEFAULT_BUCKETS)),
+                ColumnData::Int(v) => {
+                    ColumnStats::Int(EquiDepthHistogram::build(v, DEFAULT_BUCKETS))
+                }
                 ColumnData::Str(s) => {
                     ColumnStats::Str(McvStats::build(&s.codes, s.dict_len(), DEFAULT_MCVS))
                 }
             })
             .collect();
-        TableStats { row_count: table.num_rows() as u64, columns }
+        TableStats {
+            row_count: table.num_rows() as u64,
+            columns,
+        }
     }
 }
 
@@ -68,7 +73,10 @@ mod tests {
         s.push("a");
         s.push("b");
         s.push("a");
-        let t = Table::new("t", vec![Column::int("id", vec![1, 2, 3]), Column::str("tag", s)]);
+        let t = Table::new(
+            "t",
+            vec![Column::int("id", vec![1, 2, 3]), Column::str("tag", s)],
+        );
         let stats = TableStats::build(&t);
         assert_eq!(stats.row_count, 3);
         assert_eq!(stats.columns.len(), 2);

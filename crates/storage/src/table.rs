@@ -116,12 +116,18 @@ pub struct Column {
 impl Column {
     /// New integer column.
     pub fn int(name: &str, values: Vec<i64>) -> Self {
-        Column { name: name.to_string(), data: ColumnData::Int(values) }
+        Column {
+            name: name.to_string(),
+            data: ColumnData::Int(values),
+        }
     }
 
     /// New string column.
     pub fn str(name: &str, values: StrColumn) -> Self {
-        Column { name: name.to_string(), data: ColumnData::Str(values) }
+        Column {
+            name: name.to_string(),
+            data: ColumnData::Str(values),
+        }
     }
 
     /// Integer payload accessor.
@@ -167,10 +173,18 @@ impl Table {
         if let Some(first) = columns.first() {
             let n = first.data.len();
             for c in &columns {
-                assert_eq!(c.data.len(), n, "column {} length mismatch in table {name}", c.name);
+                assert_eq!(
+                    c.data.len(),
+                    n,
+                    "column {} length mismatch in table {name}",
+                    c.name
+                );
             }
         }
-        Table { name: name.to_string(), columns }
+        Table {
+            name: name.to_string(),
+            columns,
+        }
     }
 
     /// Number of rows.
@@ -193,7 +207,9 @@ impl Table {
     /// # Panics
     /// Panics if absent (programming error in workload construction).
     pub fn col(&self, name: &str) -> &Column {
-        &self.columns[self.col_id(name).unwrap_or_else(|| panic!("no column {name} in {}", self.name))]
+        &self.columns[self
+            .col_id(name)
+            .unwrap_or_else(|| panic!("no column {name} in {}", self.name))]
     }
 }
 
@@ -229,7 +245,10 @@ mod tests {
     fn table_accessors() {
         let t = Table::new(
             "t",
-            vec![Column::int("id", vec![1, 2, 3]), Column::int("x", vec![10, 20, 30])],
+            vec![
+                Column::int("id", vec![1, 2, 3]),
+                Column::int("x", vec![10, 20, 30]),
+            ],
         );
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.num_cols(), 2);
@@ -241,6 +260,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn unequal_columns_panic() {
-        let _ = Table::new("t", vec![Column::int("a", vec![1]), Column::int("b", vec![1, 2])]);
+        let _ = Table::new(
+            "t",
+            vec![Column::int("a", vec![1]), Column::int("b", vec![1, 2])],
+        );
     }
 }

@@ -15,7 +15,11 @@ use neo_storage::datagen::imdb;
 fn main() {
     let db = imdb::generate(0.05, 3);
     let workload = job::generate(&db, 3);
-    let q = workload.queries.iter().find(|q| q.num_relations() == 4).unwrap();
+    let q = workload
+        .queries
+        .iter()
+        .find(|q| q.num_relations() == 4)
+        .unwrap();
     println!("query {}:\n  {}", q.id, q.to_sql(&db));
 
     // 1. All join algorithms compute the same result.
@@ -28,10 +32,7 @@ fn main() {
         while !plan.is_complete() {
             let kids = children(&plan, &ctx);
             // Prefer the first child that uses only table scans + `op`.
-            let pick = kids
-                .iter()
-                .position(|k| all_ops_are(k, op))
-                .unwrap_or(0);
+            let pick = kids.iter().position(|k| all_ops_are(k, op)).unwrap_or(0);
             plan = kids.into_iter().nth(pick).unwrap();
         }
         let n = ex.execute_count(plan.as_complete().unwrap()).unwrap();
@@ -41,8 +42,12 @@ fn main() {
     // 2. Four engines, four native optimizers, one query set.
     println!("\nnative optimizers on 10 correlated queries (total true latency):");
     let mut oracle = CardinalityOracle::new();
-    let queries: Vec<_> =
-        workload.queries.iter().filter(|q| q.num_relations() <= 7).take(10).collect();
+    let queries: Vec<_> = workload
+        .queries
+        .iter()
+        .filter(|q| q.num_relations() <= 7)
+        .take(10)
+        .collect();
     for engine in Engine::ALL {
         let profile = engine.profile();
         let mut total = 0.0;

@@ -22,11 +22,21 @@ fn main() {
         let (tr, te) = workload.split_random(0.2, 42);
         // Keep the example fast: medium-size queries only.
         (
-            tr.into_iter().filter(|q| q.num_relations() <= 8).take(30).collect(),
-            te.into_iter().filter(|q| q.num_relations() <= 8).take(8).collect(),
+            tr.into_iter()
+                .filter(|q| q.num_relations() <= 8)
+                .take(30)
+                .collect(),
+            te.into_iter()
+                .filter(|q| q.num_relations() <= 8)
+                .take(8)
+                .collect(),
         )
     };
-    println!("  {} training queries, {} test queries", train.len(), test.len());
+    println!(
+        "  {} training queries, {} test queries",
+        train.len(),
+        test.len()
+    );
 
     // 2. Bootstrap from the expert (learning from demonstration, §2).
     let cfg = NeoConfig {
@@ -57,7 +67,10 @@ fn main() {
     }
 
     // 4. Head-to-head on the held-out test set.
-    println!("\n{:<8} {:>14} {:>14} {:>8}", "query", "expert (ms)", "neo (ms)", "ratio");
+    println!(
+        "\n{:<8} {:>14} {:>14} {:>8}",
+        "query", "expert (ms)", "neo (ms)", "ratio"
+    );
     let profile = Engine::PostgresLike.profile();
     let mut oracle = CardinalityOracle::new();
     let (mut expert_total, mut neo_total) = (0.0, 0.0);
@@ -68,7 +81,13 @@ fn main() {
         let neo_ms = true_latency(&db, q, &profile, &mut oracle, &neo_plan);
         expert_total += expert_ms;
         neo_total += neo_ms;
-        println!("{:<8} {:>14.1} {:>14.1} {:>8.2}", q.id, expert_ms, neo_ms, neo_ms / expert_ms);
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>8.2}",
+            q.id,
+            expert_ms,
+            neo_ms,
+            neo_ms / expert_ms
+        );
     }
     println!(
         "\ntotals: expert {expert_total:.0} ms, neo {neo_total:.0} ms ({:.2}x)",

@@ -21,8 +21,21 @@ fn main() {
 
     println!("building partially denormalized corpus + training word2vec ...");
     let corpus = build_corpus(&db, CorpusKind::Denormalized);
-    println!("  {} sentences, {} distinct tokens", corpus.sentences.len(), corpus.vocab.len());
-    let emb = train(&corpus, &W2vConfig { dim: 32, epochs: 4, window: 10, ..Default::default() }, 7);
+    println!(
+        "  {} sentences, {} distinct tokens",
+        corpus.sentences.len(),
+        corpus.vocab.len()
+    );
+    let emb = train(
+        &corpus,
+        &W2vConfig {
+            dim: 32,
+            epochs: 4,
+            window: 10,
+            ..Default::default()
+        },
+        7,
+    );
 
     // Semantic neighbourhoods (paper Fig. 7's clusters).
     for probe in ["romance", "action", "france"] {
@@ -92,30 +105,49 @@ fn main() {
     );
     let sims_of = |word: &str, genre: &str| {
         let s = db.tables[kw].col("keyword").as_str().unwrap();
-        let matched: Vec<String> =
-            s.codes_containing(word).into_iter().map(|c| s.decode(c).to_string()).collect();
+        let matched: Vec<String> = s
+            .codes_containing(word)
+            .into_iter()
+            .map(|c| s.decode(c).to_string())
+            .collect();
         cosine(&emb.mean_vector(matched.iter()), emb.vector(genre).unwrap())
     };
-    println!("  mean-matched similarity love~romance: {:.3}", sims_of("love", "romance"));
-    println!("  mean-matched similarity love~horror:  {:.3}", sims_of("love", "horror"));
+    println!(
+        "  mean-matched similarity love~romance: {:.3}",
+        sims_of("love", "romance")
+    );
+    println!(
+        "  mean-matched similarity love~horror:  {:.3}",
+        sims_of("love", "horror")
+    );
 
     // Plan consequence: loop joins (what an underestimating optimizer picks)
     // vs hash joins on the same join order.
     let rel = |t: usize| q.rel_of(t).unwrap();
-    let build = |op: JoinOp| {
-        PlanNode::Join {
+    let build = |op: JoinOp| PlanNode::Join {
+        op,
+        left: Box::new(PlanNode::Join {
             op,
             left: Box::new(PlanNode::Join {
-                op,
-                left: Box::new(PlanNode::Join {
-                    op: JoinOp::Hash,
-                    left: Box::new(PlanNode::Scan { rel: rel(mk), scan: ScanType::Table }),
-                    right: Box::new(PlanNode::Scan { rel: kwr(&q, kw), scan: ScanType::Table }),
+                op: JoinOp::Hash,
+                left: Box::new(PlanNode::Scan {
+                    rel: rel(mk),
+                    scan: ScanType::Table,
                 }),
-                right: Box::new(PlanNode::Scan { rel: rel(title), scan: ScanType::Table }),
+                right: Box::new(PlanNode::Scan {
+                    rel: kwr(&q, kw),
+                    scan: ScanType::Table,
+                }),
             }),
-            right: Box::new(PlanNode::Scan { rel: rel(mi), scan: ScanType::Table }),
-        }
+            right: Box::new(PlanNode::Scan {
+                rel: rel(title),
+                scan: ScanType::Table,
+            }),
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: rel(mi),
+            scan: ScanType::Table,
+        }),
     };
     let profile = Engine::PostgresLike.profile();
     let hash_ms = true_latency(&db, &q, &profile, &mut oracle, &build(JoinOp::Hash));

@@ -50,15 +50,29 @@ fn setup() -> (Database, Vec<Query>) {
 #[test]
 fn neo_plans_compute_identical_results_to_expert() {
     let (db, queries) = setup();
-    let mut neo = Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), tiny_cfg(FeaturizationChoice::Histogram));
+    let mut neo = Neo::bootstrap(
+        &db,
+        Engine::PostgresLike,
+        queries.clone(),
+        tiny_cfg(FeaturizationChoice::Histogram),
+    );
     neo.run_episode(1);
     for q in &queries {
         let (neo_plan, _) = neo.plan_query(q);
         let expert_plan = postgres_expert(&db, q);
         let ex = Executor::new(&db, q);
         let a = ex.execute_count(&neo_plan).expect("neo plan executes");
-        let b = ex.execute_count(&expert_plan).expect("expert plan executes");
-        assert_eq!(a, b, "query {}: neo {} vs expert {}", q.id, neo_plan.describe(), expert_plan.describe());
+        let b = ex
+            .execute_count(&expert_plan)
+            .expect("expert plan executes");
+        assert_eq!(
+            a,
+            b,
+            "query {}: neo {} vs expert {}",
+            q.id,
+            neo_plan.describe(),
+            expert_plan.describe()
+        );
     }
 }
 
@@ -104,8 +118,12 @@ fn bootstrap_training_reduces_loss() {
 fn corrective_feedback_penalizes_bad_plans() {
     let (db, queries) = setup();
     let q = queries[0].clone();
-    let mut neo =
-        Neo::bootstrap(&db, Engine::PostgresLike, queries.clone(), tiny_cfg(FeaturizationChoice::Histogram));
+    let mut neo = Neo::bootstrap(
+        &db,
+        Engine::PostgresLike,
+        queries.clone(),
+        tiny_cfg(FeaturizationChoice::Histogram),
+    );
 
     // Find the worst complete plan among a few random rollouts.
     use rand::{Rng, SeedableRng};

@@ -8,11 +8,19 @@ use neo_storage::{Column, Database, ForeignKey, Table};
 
 fn two_table_db() -> Database {
     let a = Table::new("a", vec![Column::int("id", vec![0, 1])]);
-    let b = Table::new("b", vec![Column::int("id", vec![0]), Column::int("a_id", vec![0])]);
+    let b = Table::new(
+        "b",
+        vec![Column::int("id", vec![0]), Column::int("a_id", vec![0])],
+    );
     Database::build(
         "t",
         vec![a, b],
-        vec![ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 0 }],
+        vec![ForeignKey {
+            from_table: 1,
+            from_col: 1,
+            to_table: 0,
+            to_col: 0,
+        }],
         vec![(0, 0)],
     )
 }
@@ -22,7 +30,12 @@ fn base_query() -> Query {
         id: "q".into(),
         family: "f".into(),
         tables: vec![0, 1],
-        joins: vec![JoinEdge { left_table: 1, left_col: 1, right_table: 0, right_col: 0 }],
+        joins: vec![JoinEdge {
+            left_table: 1,
+            left_col: 1,
+            right_table: 0,
+            right_col: 0,
+        }],
         predicates: vec![],
         agg: Aggregate::CountStar,
     }
@@ -38,7 +51,10 @@ fn validate_rejects_each_malformation() {
 
     let mut oob_table = base_query();
     oob_table.tables = vec![0, 7];
-    assert!(oob_table.validate(&db).unwrap_err().contains("out of range"));
+    assert!(oob_table
+        .validate(&db)
+        .unwrap_err()
+        .contains("out of range"));
 
     let mut dup_tables = base_query();
     dup_tables.tables = vec![0, 0];
@@ -56,7 +72,10 @@ fn validate_rejects_each_malformation() {
         op: neo_query::CmpOp::Eq,
         value: 1,
     });
-    assert!(oob_pred.validate(&db).unwrap_err().contains("column out of range"));
+    assert!(oob_pred
+        .validate(&db)
+        .unwrap_err()
+        .contains("column out of range"));
 }
 
 #[test]
@@ -68,17 +87,32 @@ fn executor_reports_structured_errors() {
     // Unspecified scan.
     let unspec = PlanNode::Join {
         op: JoinOp::Hash,
-        left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Unspecified }),
-        right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+        left: Box::new(PlanNode::Scan {
+            rel: 0,
+            scan: ScanType::Unspecified,
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: 1,
+            scan: ScanType::Table,
+        }),
     };
-    assert_eq!(ex.execute(&unspec).unwrap_err(), ExecError::UnspecifiedScan(0));
+    assert_eq!(
+        ex.execute(&unspec).unwrap_err(),
+        ExecError::UnspecifiedScan(0)
+    );
 
     // Index scan where no index exists on any column of the relation:
     // relation 1 ('b') has no index at all in this database.
     let noindex = PlanNode::Join {
         op: JoinOp::Hash,
-        left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-        right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Index }),
+        left: Box::new(PlanNode::Scan {
+            rel: 0,
+            scan: ScanType::Table,
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: 1,
+            scan: ScanType::Index,
+        }),
     };
     assert_eq!(ex.execute(&noindex).unwrap_err(), ExecError::NoIndex(1));
 }
@@ -88,13 +122,26 @@ fn executor_rejects_cross_products() {
     // Two tables with NO join edge in the query.
     let a = Table::new("a", vec![Column::int("id", vec![0])]);
     let b = Table::new("b", vec![Column::int("id", vec![0])]);
-    let c = Table::new("c", vec![Column::int("a_id", vec![0]), Column::int("b_id", vec![0])]);
+    let c = Table::new(
+        "c",
+        vec![Column::int("a_id", vec![0]), Column::int("b_id", vec![0])],
+    );
     let db = Database::build(
         "t",
         vec![a, b, c],
         vec![
-            ForeignKey { from_table: 2, from_col: 0, to_table: 0, to_col: 0 },
-            ForeignKey { from_table: 2, from_col: 1, to_table: 1, to_col: 0 },
+            ForeignKey {
+                from_table: 2,
+                from_col: 0,
+                to_table: 0,
+                to_col: 0,
+            },
+            ForeignKey {
+                from_table: 2,
+                from_col: 1,
+                to_table: 1,
+                to_col: 0,
+            },
         ],
         vec![],
     );
@@ -103,8 +150,18 @@ fn executor_rejects_cross_products() {
         family: "f".into(),
         tables: vec![0, 1, 2],
         joins: vec![
-            JoinEdge { left_table: 2, left_col: 0, right_table: 0, right_col: 0 },
-            JoinEdge { left_table: 2, left_col: 1, right_table: 1, right_col: 0 },
+            JoinEdge {
+                left_table: 2,
+                left_col: 0,
+                right_table: 0,
+                right_col: 0,
+            },
+            JoinEdge {
+                left_table: 2,
+                left_col: 1,
+                right_table: 1,
+                right_col: 0,
+            },
         ],
         predicates: vec![],
         agg: Aggregate::CountStar,
@@ -113,8 +170,14 @@ fn executor_rejects_cross_products() {
     // Joining a and b directly has no connecting edge.
     let cross = PlanNode::Join {
         op: JoinOp::Hash,
-        left: Box::new(PlanNode::Scan { rel: 0, scan: ScanType::Table }),
-        right: Box::new(PlanNode::Scan { rel: 1, scan: ScanType::Table }),
+        left: Box::new(PlanNode::Scan {
+            rel: 0,
+            scan: ScanType::Table,
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: 1,
+            scan: ScanType::Table,
+        }),
     };
     assert_eq!(ex.execute(&cross).unwrap_err(), ExecError::CrossProduct);
 }
@@ -123,7 +186,12 @@ fn executor_rejects_cross_products() {
 fn empty_filter_results_flow_through_joins() {
     let db = imdb::generate(0.02, 41);
     let wl = neo_query::workload::job::generate(&db, 41);
-    let mut q = wl.queries.iter().find(|q| q.num_relations() <= 5).unwrap().clone();
+    let mut q = wl
+        .queries
+        .iter()
+        .find(|q| q.num_relations() <= 5)
+        .unwrap()
+        .clone();
     // A predicate no row satisfies.
     let t = q.tables[0];
     q.predicates.push(Predicate::StrEq {
@@ -136,7 +204,10 @@ fn empty_filter_results_flow_through_joins() {
         value: "no-such-value-ever".into(),
     });
     // Guard: only run when the chosen column is a string column.
-    if db.tables[t].columns[q.predicates.last().unwrap().col()].as_str().is_none() {
+    if db.tables[t].columns[q.predicates.last().unwrap().col()]
+        .as_str()
+        .is_none()
+    {
         return;
     }
     let ex = Executor::new(&db, &q);
@@ -149,17 +220,33 @@ fn empty_filter_results_flow_through_joins() {
     assert_eq!(ex.execute_count(p.as_complete().unwrap()).unwrap(), 0);
     // The oracle agrees.
     let mut oracle = neo_engine::CardinalityOracle::new();
-    assert_eq!(oracle.cardinality(&db, &q, (1 << q.num_relations()) - 1), 0.0);
+    assert_eq!(
+        oracle.cardinality(&db, &q, (1 << q.num_relations()) - 1),
+        0.0
+    );
 }
 
 #[test]
 fn latency_model_handles_empty_inputs() {
     let db = imdb::generate(0.02, 41);
     let wl = neo_query::workload::job::generate(&db, 41);
-    let mut q = wl.queries.iter().find(|q| q.num_relations() == 4).unwrap().clone();
+    let mut q = wl
+        .queries
+        .iter()
+        .find(|q| q.num_relations() == 4)
+        .unwrap()
+        .clone();
     let t = q.tables[0];
-    if let Some(col) = db.tables[t].columns.iter().position(|c| c.as_str().is_some()) {
-        q.predicates.push(Predicate::StrEq { table: t, col, value: "nothing".into() });
+    if let Some(col) = db.tables[t]
+        .columns
+        .iter()
+        .position(|c| c.as_str().is_some())
+    {
+        q.predicates.push(Predicate::StrEq {
+            table: t,
+            col,
+            value: "nothing".into(),
+        });
     }
     let mut oracle = neo_engine::CardinalityOracle::new();
     let plan = neo_expert::postgres_expert(&db, &q);
@@ -170,5 +257,8 @@ fn latency_model_handles_empty_inputs() {
         &mut oracle,
         &plan,
     );
-    assert!(lat.is_finite() && lat > 0.0, "empty-result plans still cost scan time");
+    assert!(
+        lat.is_finite() && lat > 0.0,
+        "empty-result plans still cost scan time"
+    );
 }

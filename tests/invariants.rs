@@ -31,7 +31,10 @@ fn random_plan(q: &Query, ctx: &QueryContext, choices: &[u8]) -> PartialPlan {
     let mut i = 0;
     while !p.is_complete() {
         let kids = children(&p, ctx);
-        assert!(!kids.is_empty(), "children() must keep incomplete plans extendable");
+        assert!(
+            !kids.is_empty(),
+            "children() must keep incomplete plans extendable"
+        );
         let pick = choices.get(i).copied().unwrap_or(0) as usize % kids.len();
         p = kids.into_iter().nth(pick).unwrap();
         i += 1;
