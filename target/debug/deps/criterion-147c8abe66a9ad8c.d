@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-147c8abe66a9ad8c.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-147c8abe66a9ad8c.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-147c8abe66a9ad8c.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

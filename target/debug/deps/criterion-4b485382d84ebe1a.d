@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-4b485382d84ebe1a.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-4b485382d84ebe1a: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

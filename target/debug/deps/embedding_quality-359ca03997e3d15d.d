@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/embedding_quality-359ca03997e3d15d.d: crates/embedding/tests/embedding_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libembedding_quality-359ca03997e3d15d.rmeta: crates/embedding/tests/embedding_quality.rs Cargo.toml
+
+crates/embedding/tests/embedding_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

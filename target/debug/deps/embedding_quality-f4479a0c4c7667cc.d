@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/embedding_quality-f4479a0c4c7667cc.d: crates/embedding/tests/embedding_quality.rs
+
+/root/repo/target/debug/deps/embedding_quality-f4479a0c4c7667cc: crates/embedding/tests/embedding_quality.rs
+
+crates/embedding/tests/embedding_quality.rs:

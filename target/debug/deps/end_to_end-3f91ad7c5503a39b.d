@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f91ad7c5503a39b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f91ad7c5503a39b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

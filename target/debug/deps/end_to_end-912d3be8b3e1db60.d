@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-912d3be8b3e1db60.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-912d3be8b3e1db60: tests/end_to_end.rs
+
+tests/end_to_end.rs:

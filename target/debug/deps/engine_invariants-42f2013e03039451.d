@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_invariants-42f2013e03039451.d: crates/engine/tests/engine_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_invariants-42f2013e03039451.rmeta: crates/engine/tests/engine_invariants.rs Cargo.toml
+
+crates/engine/tests/engine_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-a381e125f5a6b731.d: crates/engine/tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-a381e125f5a6b731: crates/engine/tests/engine_invariants.rs
+
+crates/engine/tests/engine_invariants.rs:

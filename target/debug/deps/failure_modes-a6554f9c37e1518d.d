@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-a6554f9c37e1518d.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-a6554f9c37e1518d: tests/failure_modes.rs
+
+tests/failure_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-e88f769e0a119b40.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-e88f769e0a119b40: tests/failure_modes.rs
+
+tests/failure_modes.rs:

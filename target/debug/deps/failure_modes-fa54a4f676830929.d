@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-fa54a4f676830929.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-fa54a4f676830929: tests/failure_modes.rs
+
+tests/failure_modes.rs:

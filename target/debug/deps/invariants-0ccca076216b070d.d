@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-0ccca076216b070d.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-0ccca076216b070d: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-1d52e8f85e828325.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-1d52e8f85e828325: tests/invariants.rs
+
+tests/invariants.rs:

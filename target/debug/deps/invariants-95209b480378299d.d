@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-95209b480378299d.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-95209b480378299d: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neo-141aae13d00dca36.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+/root/repo/target/debug/deps/neo-141aae13d00dca36: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/experience.rs:
+crates/core/src/featurize.rs:
+crates/core/src/runner.rs:
+crates/core/src/search.rs:
+crates/core/src/value_net.rs:

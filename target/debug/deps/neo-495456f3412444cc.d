@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neo-495456f3412444cc.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+/root/repo/target/debug/deps/libneo-495456f3412444cc.rlib: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+/root/repo/target/debug/deps/libneo-495456f3412444cc.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/experience.rs:
+crates/core/src/featurize.rs:
+crates/core/src/runner.rs:
+crates/core/src/search.rs:
+crates/core/src/value_net.rs:

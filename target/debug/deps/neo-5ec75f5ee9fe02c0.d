@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/neo-5ec75f5ee9fe02c0.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo-5ec75f5ee9fe02c0.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/experience.rs:
+crates/core/src/featurize.rs:
+crates/core/src/runner.rs:
+crates/core/src/search.rs:
+crates/core/src/value_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neo_bench-3c298a0e92526afd.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_bench-3c298a0e92526afd.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo_bench-b13cf508f573de98.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/neo_bench-b13cf508f573de98: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

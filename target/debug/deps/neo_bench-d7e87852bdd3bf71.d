@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_bench-d7e87852bdd3bf71.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libneo_bench-d7e87852bdd3bf71.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libneo_bench-d7e87852bdd3bf71.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

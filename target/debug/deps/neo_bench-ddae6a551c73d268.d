@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_bench-ddae6a551c73d268.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libneo_bench-ddae6a551c73d268.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libneo_bench-ddae6a551c73d268.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neo_embedding-8e52b6478254f1dd.d: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/debug/deps/libneo_embedding-8e52b6478254f1dd.rlib: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/debug/deps/libneo_embedding-8e52b6478254f1dd.rmeta: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/corpus.rs:
+crates/embedding/src/rvector.rs:
+crates/embedding/src/word2vec.rs:

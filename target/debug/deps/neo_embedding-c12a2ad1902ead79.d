@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/neo_embedding-c12a2ad1902ead79.d: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/debug/deps/neo_embedding-c12a2ad1902ead79: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/corpus.rs:
+crates/embedding/src/rvector.rs:
+crates/embedding/src/word2vec.rs:

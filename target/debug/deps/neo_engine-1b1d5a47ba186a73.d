@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_engine-1b1d5a47ba186a73.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/debug/deps/libneo_engine-1b1d5a47ba186a73.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/debug/deps/libneo_engine-1b1d5a47ba186a73.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/filter.rs:
+crates/engine/src/latency.rs:
+crates/engine/src/oracle.rs:
+crates/engine/src/profile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_engine-51ca2d587432a3e0.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/debug/deps/libneo_engine-51ca2d587432a3e0.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/debug/deps/libneo_engine-51ca2d587432a3e0.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/filter.rs:
+crates/engine/src/latency.rs:
+crates/engine/src/oracle.rs:
+crates/engine/src/profile.rs:

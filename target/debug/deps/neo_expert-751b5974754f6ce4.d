@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neo_expert-751b5974754f6ce4.d: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+/root/repo/target/debug/deps/libneo_expert-751b5974754f6ce4.rlib: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+/root/repo/target/debug/deps/libneo_expert-751b5974754f6ce4.rmeta: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+crates/expert/src/lib.rs:
+crates/expert/src/cardest.rs:
+crates/expert/src/greedy.rs:
+crates/expert/src/native.rs:
+crates/expert/src/selinger.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_expert-c99de5a0ce122990.d: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+/root/repo/target/debug/deps/neo_expert-c99de5a0ce122990: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+crates/expert/src/lib.rs:
+crates/expert/src/cardest.rs:
+crates/expert/src/greedy.rs:
+crates/expert/src/native.rs:
+crates/expert/src/selinger.rs:

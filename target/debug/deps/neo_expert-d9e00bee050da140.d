@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neo_expert-d9e00bee050da140.d: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_expert-d9e00bee050da140.rmeta: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs Cargo.toml
+
+crates/expert/src/lib.rs:
+crates/expert/src/cardest.rs:
+crates/expert/src/greedy.rs:
+crates/expert/src/native.rs:
+crates/expert/src/selinger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

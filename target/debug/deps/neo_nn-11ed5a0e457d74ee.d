@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/neo_nn-11ed5a0e457d74ee.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+/root/repo/target/debug/deps/libneo_nn-11ed5a0e457d74ee.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+/root/repo/target/debug/deps/libneo_nn-11ed5a0e457d74ee.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layernorm.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/network.rs:
+crates/nn/src/param.rs:
+crates/nn/src/scratch.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/treeconv.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/neo_nn-65c07c3064052c2f.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_nn-65c07c3064052c2f.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layernorm.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/network.rs:
+crates/nn/src/param.rs:
+crates/nn/src/scratch.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/treeconv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/neo_nn-b6b259aa8b6cfa6d.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+/root/repo/target/debug/deps/neo_nn-b6b259aa8b6cfa6d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layernorm.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/network.rs:
+crates/nn/src/param.rs:
+crates/nn/src/scratch.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/treeconv.rs:

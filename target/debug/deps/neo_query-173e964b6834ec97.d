@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/neo_query-173e964b6834ec97.d: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_query-173e964b6834ec97.rmeta: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/explain.rs:
+crates/query/src/plan.rs:
+crates/query/src/predicate.rs:
+crates/query/src/query.rs:
+crates/query/src/workload/mod.rs:
+crates/query/src/workload/corp.rs:
+crates/query/src/workload/ext_job.rs:
+crates/query/src/workload/job.rs:
+crates/query/src/workload/tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neo_query-e0e40b85b852592a.d: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs
+
+/root/repo/target/debug/deps/libneo_query-e0e40b85b852592a.rlib: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs
+
+/root/repo/target/debug/deps/libneo_query-e0e40b85b852592a.rmeta: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs
+
+crates/query/src/lib.rs:
+crates/query/src/explain.rs:
+crates/query/src/plan.rs:
+crates/query/src/predicate.rs:
+crates/query/src/query.rs:
+crates/query/src/workload/mod.rs:
+crates/query/src/workload/corp.rs:
+crates/query/src/workload/ext_job.rs:
+crates/query/src/workload/job.rs:
+crates/query/src/workload/tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_repro-47391b2e49f7dffe.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/neo_repro-47391b2e49f7dffe: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

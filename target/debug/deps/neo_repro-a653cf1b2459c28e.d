@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_repro-a653cf1b2459c28e.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_repro-a653cf1b2459c28e.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

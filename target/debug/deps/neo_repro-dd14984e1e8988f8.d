@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_repro-dd14984e1e8988f8.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/neo_repro-dd14984e1e8988f8: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/neo_storage-4fcec4a5dd2d5ffa.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libneo_storage-4fcec4a5dd2d5ffa.rlib: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/libneo_storage-4fcec4a5dd2d5ffa.rmeta: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/datagen/mod.rs:
+crates/storage/src/datagen/corp.rs:
+crates/storage/src/datagen/imdb.rs:
+crates/storage/src/datagen/tpch.rs:
+crates/storage/src/histogram.rs:
+crates/storage/src/index.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/neo_storage-d2444e1c23d84acf.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_storage-d2444e1c23d84acf.rmeta: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/datagen/mod.rs:
+crates/storage/src/datagen/corp.rs:
+crates/storage/src/datagen/imdb.rs:
+crates/storage/src/datagen/tpch.rs:
+crates/storage/src/histogram.rs:
+crates/storage/src/index.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

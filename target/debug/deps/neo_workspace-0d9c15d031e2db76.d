@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_workspace-0d9c15d031e2db76.d: src/lib.rs
+
+/root/repo/target/debug/deps/neo_workspace-0d9c15d031e2db76: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_workspace-138d7c5bea981c3c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_workspace-138d7c5bea981c3c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

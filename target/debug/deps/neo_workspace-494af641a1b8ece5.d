@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo_workspace-494af641a1b8ece5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneo_workspace-494af641a1b8ece5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libneo_workspace-494af641a1b8ece5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_workspace-d662188950ec5811.d: src/lib.rs
+
+/root/repo/target/debug/deps/neo_workspace-d662188950ec5811: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo_workspace-db75e78047611ec7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneo_workspace-db75e78047611ec7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libneo_workspace-db75e78047611ec7.rmeta: src/lib.rs
+
+src/lib.rs:

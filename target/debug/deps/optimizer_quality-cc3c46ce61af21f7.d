@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_quality-cc3c46ce61af21f7.d: crates/expert/tests/optimizer_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_quality-cc3c46ce61af21f7.rmeta: crates/expert/tests/optimizer_quality.rs Cargo.toml
+
+crates/expert/tests/optimizer_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_quality-e727345a2aa11500.d: crates/expert/tests/optimizer_quality.rs
+
+/root/repo/target/debug/deps/optimizer_quality-e727345a2aa11500: crates/expert/tests/optimizer_quality.rs
+
+crates/expert/tests/optimizer_quality.rs:

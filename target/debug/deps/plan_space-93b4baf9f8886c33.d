@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_space-93b4baf9f8886c33.d: crates/query/tests/plan_space.rs
+
+/root/repo/target/debug/deps/plan_space-93b4baf9f8886c33: crates/query/tests/plan_space.rs
+
+crates/query/tests/plan_space.rs:

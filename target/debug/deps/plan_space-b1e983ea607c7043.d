@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_space-b1e983ea607c7043.d: crates/query/tests/plan_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_space-b1e983ea607c7043.rmeta: crates/query/tests/plan_space.rs Cargo.toml
+
+crates/query/tests/plan_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2bc881bec85f628e.d: crates/storage/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2bc881bec85f628e: crates/storage/tests/properties.rs
+
+crates/storage/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2f0927683f648607.d: crates/storage/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2f0927683f648607.rmeta: crates/storage/tests/properties.rs Cargo.toml
+
+crates/storage/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a8745272e67c97a6.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a8745272e67c97a6: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

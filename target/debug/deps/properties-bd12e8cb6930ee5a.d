@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bd12e8cb6930ee5a.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bd12e8cb6930ee5a: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

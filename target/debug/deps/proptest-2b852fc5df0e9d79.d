@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2b852fc5df0e9d79.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-2b852fc5df0e9d79: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-61f8a6edd5bb1e60.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-61f8a6edd5bb1e60.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-61f8a6edd5bb1e60.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

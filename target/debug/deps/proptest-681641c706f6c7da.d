@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-681641c706f6c7da.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-681641c706f6c7da.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-681641c706f6c7da.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-08fa5756bf5d3cbe.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-08fa5756bf5d3cbe: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-369904102c3c6f29.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-369904102c3c6f29.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-369904102c3c6f29.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-825afd3b1bc59457.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-825afd3b1bc59457.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-825afd3b1bc59457.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

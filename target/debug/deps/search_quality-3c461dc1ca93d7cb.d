@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_quality-3c461dc1ca93d7cb.d: crates/core/tests/search_quality.rs
+
+/root/repo/target/debug/deps/search_quality-3c461dc1ca93d7cb: crates/core/tests/search_quality.rs
+
+crates/core/tests/search_quality.rs:

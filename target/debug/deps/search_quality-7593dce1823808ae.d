@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_quality-7593dce1823808ae.d: crates/core/tests/search_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_quality-7593dce1823808ae.rmeta: crates/core/tests/search_quality.rs Cargo.toml
+
+crates/core/tests/search_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

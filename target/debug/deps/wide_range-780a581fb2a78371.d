@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wide_range-780a581fb2a78371.d: crates/rand/tests/wide_range.rs
+
+/root/repo/target/debug/deps/wide_range-780a581fb2a78371: crates/rand/tests/wide_range.rs
+
+crates/rand/tests/wide_range.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-161f7bb163679769.d: crates/core/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-161f7bb163679769: crates/core/tests/zero_alloc.rs
+
+crates/core/tests/zero_alloc.rs:

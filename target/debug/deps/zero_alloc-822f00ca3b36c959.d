@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-822f00ca3b36c959.d: crates/core/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-822f00ca3b36c959.rmeta: crates/core/tests/zero_alloc.rs Cargo.toml
+
+crates/core/tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-faa72d2384f0f0b5.d: crates/core/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-faa72d2384f0f0b5: crates/core/tests/zero_alloc.rs
+
+crates/core/tests/zero_alloc.rs:

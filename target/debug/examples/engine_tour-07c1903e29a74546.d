@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_tour-07c1903e29a74546.d: examples/engine_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_tour-07c1903e29a74546.rmeta: examples/engine_tour.rs Cargo.toml
+
+examples/engine_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

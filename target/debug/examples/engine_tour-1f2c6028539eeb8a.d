@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_tour-1f2c6028539eeb8a.d: examples/engine_tour.rs
+
+/root/repo/target/debug/examples/engine_tour-1f2c6028539eeb8a: examples/engine_tour.rs
+
+examples/engine_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_tour-f9757a460e6457f5.d: examples/engine_tour.rs
+
+/root/repo/target/debug/examples/engine_tour-f9757a460e6457f5: examples/engine_tour.rs
+
+examples/engine_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-213327fb8a7ca2c4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-213327fb8a7ca2c4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-657e4ff6a79093ac.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-657e4ff6a79093ac: examples/quickstart.rs
+
+examples/quickstart.rs:

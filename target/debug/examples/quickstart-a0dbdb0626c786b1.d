@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a0dbdb0626c786b1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a0dbdb0626c786b1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robustness-24d881280eb8ee1e.d: examples/robustness.rs
+
+/root/repo/target/debug/examples/robustness-24d881280eb8ee1e: examples/robustness.rs
+
+examples/robustness.rs:

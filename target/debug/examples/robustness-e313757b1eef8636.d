@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robustness-e313757b1eef8636.d: examples/robustness.rs
+
+/root/repo/target/debug/examples/robustness-e313757b1eef8636: examples/robustness.rs
+
+examples/robustness.rs:

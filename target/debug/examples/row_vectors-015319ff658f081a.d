@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/row_vectors-015319ff658f081a.d: examples/row_vectors.rs
+
+/root/repo/target/debug/examples/row_vectors-015319ff658f081a: examples/row_vectors.rs
+
+examples/row_vectors.rs:

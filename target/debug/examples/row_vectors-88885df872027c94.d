@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/row_vectors-88885df872027c94.d: examples/row_vectors.rs Cargo.toml
+
+/root/repo/target/debug/examples/librow_vectors-88885df872027c94.rmeta: examples/row_vectors.rs Cargo.toml
+
+examples/row_vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/row_vectors-e21f68cb34126994.d: examples/row_vectors.rs
+
+/root/repo/target/debug/examples/row_vectors-e21f68cb34126994: examples/row_vectors.rs
+
+examples/row_vectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/row_vectors-ef5fd37bded9c6c8.d: examples/row_vectors.rs
+
+/root/repo/target/debug/examples/row_vectors-ef5fd37bded9c6c8: examples/row_vectors.rs
+
+examples/row_vectors.rs:

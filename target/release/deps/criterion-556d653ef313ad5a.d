@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-556d653ef313ad5a.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-556d653ef313ad5a: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ce47087259da0b08.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ce47087259da0b08.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ce47087259da0b08.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/embedding_quality-57ae24e5518cf5f9.d: crates/embedding/tests/embedding_quality.rs
+
+/root/repo/target/release/deps/embedding_quality-57ae24e5518cf5f9: crates/embedding/tests/embedding_quality.rs
+
+crates/embedding/tests/embedding_quality.rs:

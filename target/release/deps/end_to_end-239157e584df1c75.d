@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-239157e584df1c75.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-239157e584df1c75: tests/end_to_end.rs
+
+tests/end_to_end.rs:

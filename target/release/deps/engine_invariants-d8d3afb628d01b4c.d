@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_invariants-d8d3afb628d01b4c.d: crates/engine/tests/engine_invariants.rs
+
+/root/repo/target/release/deps/engine_invariants-d8d3afb628d01b4c: crates/engine/tests/engine_invariants.rs
+
+crates/engine/tests/engine_invariants.rs:

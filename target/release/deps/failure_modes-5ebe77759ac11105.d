@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_modes-5ebe77759ac11105.d: tests/failure_modes.rs
+
+/root/repo/target/release/deps/failure_modes-5ebe77759ac11105: tests/failure_modes.rs
+
+tests/failure_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-b4c28c90a1531e68.d: tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-b4c28c90a1531e68: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-6d65b756822495e2.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-6d65b756822495e2: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

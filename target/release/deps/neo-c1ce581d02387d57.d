@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/neo-c1ce581d02387d57.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+/root/repo/target/release/deps/libneo-c1ce581d02387d57.rlib: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+/root/repo/target/release/deps/libneo-c1ce581d02387d57.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/experience.rs:
+crates/core/src/featurize.rs:
+crates/core/src/runner.rs:
+crates/core/src/search.rs:
+crates/core/src/value_net.rs:

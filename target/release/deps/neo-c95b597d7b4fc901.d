@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neo-c95b597d7b4fc901.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+/root/repo/target/release/deps/neo-c95b597d7b4fc901: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/experience.rs crates/core/src/featurize.rs crates/core/src/runner.rs crates/core/src/search.rs crates/core/src/value_net.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/experience.rs:
+crates/core/src/featurize.rs:
+crates/core/src/runner.rs:
+crates/core/src/search.rs:
+crates/core/src/value_net.rs:

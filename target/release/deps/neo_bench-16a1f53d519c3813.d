@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/neo_bench-16a1f53d519c3813.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libneo_bench-16a1f53d519c3813.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libneo_bench-16a1f53d519c3813.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

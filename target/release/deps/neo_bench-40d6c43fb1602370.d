@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo_bench-40d6c43fb1602370.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/neo_bench-40d6c43fb1602370: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/neo_embedding-12f7570001b9b5fd.d: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/release/deps/libneo_embedding-12f7570001b9b5fd.rlib: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/release/deps/libneo_embedding-12f7570001b9b5fd.rmeta: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/corpus.rs:
+crates/embedding/src/rvector.rs:
+crates/embedding/src/word2vec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/neo_embedding-6f61fee9ceb166a9.d: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/release/deps/neo_embedding-6f61fee9ceb166a9: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/corpus.rs:
+crates/embedding/src/rvector.rs:
+crates/embedding/src/word2vec.rs:

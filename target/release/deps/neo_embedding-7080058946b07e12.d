@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/neo_embedding-7080058946b07e12.d: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/release/deps/libneo_embedding-7080058946b07e12.rlib: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+/root/repo/target/release/deps/libneo_embedding-7080058946b07e12.rmeta: crates/embedding/src/lib.rs crates/embedding/src/corpus.rs crates/embedding/src/rvector.rs crates/embedding/src/word2vec.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/corpus.rs:
+crates/embedding/src/rvector.rs:
+crates/embedding/src/word2vec.rs:

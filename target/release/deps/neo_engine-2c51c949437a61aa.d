@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neo_engine-2c51c949437a61aa.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/release/deps/libneo_engine-2c51c949437a61aa.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/release/deps/libneo_engine-2c51c949437a61aa.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/filter.rs:
+crates/engine/src/latency.rs:
+crates/engine/src/oracle.rs:
+crates/engine/src/profile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neo_engine-35d7689da47c59db.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/release/deps/libneo_engine-35d7689da47c59db.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/release/deps/libneo_engine-35d7689da47c59db.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/filter.rs:
+crates/engine/src/latency.rs:
+crates/engine/src/oracle.rs:
+crates/engine/src/profile.rs:

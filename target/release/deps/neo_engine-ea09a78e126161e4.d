@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/neo_engine-ea09a78e126161e4.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+/root/repo/target/release/deps/neo_engine-ea09a78e126161e4: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/filter.rs crates/engine/src/latency.rs crates/engine/src/oracle.rs crates/engine/src/profile.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/filter.rs:
+crates/engine/src/latency.rs:
+crates/engine/src/oracle.rs:
+crates/engine/src/profile.rs:

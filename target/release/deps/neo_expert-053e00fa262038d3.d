@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neo_expert-053e00fa262038d3.d: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+/root/repo/target/release/deps/libneo_expert-053e00fa262038d3.rlib: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+/root/repo/target/release/deps/libneo_expert-053e00fa262038d3.rmeta: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+crates/expert/src/lib.rs:
+crates/expert/src/cardest.rs:
+crates/expert/src/greedy.rs:
+crates/expert/src/native.rs:
+crates/expert/src/selinger.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/neo_expert-fb836f58387ff0ad.d: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+/root/repo/target/release/deps/neo_expert-fb836f58387ff0ad: crates/expert/src/lib.rs crates/expert/src/cardest.rs crates/expert/src/greedy.rs crates/expert/src/native.rs crates/expert/src/selinger.rs
+
+crates/expert/src/lib.rs:
+crates/expert/src/cardest.rs:
+crates/expert/src/greedy.rs:
+crates/expert/src/native.rs:
+crates/expert/src/selinger.rs:

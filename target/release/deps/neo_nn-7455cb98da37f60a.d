@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/neo_nn-7455cb98da37f60a.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+/root/repo/target/release/deps/libneo_nn-7455cb98da37f60a.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+/root/repo/target/release/deps/libneo_nn-7455cb98da37f60a.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/adam.rs crates/nn/src/init.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/network.rs crates/nn/src/param.rs crates/nn/src/scratch.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs crates/nn/src/treeconv.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layernorm.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/network.rs:
+crates/nn/src/param.rs:
+crates/nn/src/scratch.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/treeconv.rs:

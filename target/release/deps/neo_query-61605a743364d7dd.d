@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/neo_query-61605a743364d7dd.d: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs
+
+/root/repo/target/release/deps/libneo_query-61605a743364d7dd.rlib: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs
+
+/root/repo/target/release/deps/libneo_query-61605a743364d7dd.rmeta: crates/query/src/lib.rs crates/query/src/explain.rs crates/query/src/plan.rs crates/query/src/predicate.rs crates/query/src/query.rs crates/query/src/workload/mod.rs crates/query/src/workload/corp.rs crates/query/src/workload/ext_job.rs crates/query/src/workload/job.rs crates/query/src/workload/tpch.rs
+
+crates/query/src/lib.rs:
+crates/query/src/explain.rs:
+crates/query/src/plan.rs:
+crates/query/src/predicate.rs:
+crates/query/src/query.rs:
+crates/query/src/workload/mod.rs:
+crates/query/src/workload/corp.rs:
+crates/query/src/workload/ext_job.rs:
+crates/query/src/workload/job.rs:
+crates/query/src/workload/tpch.rs:

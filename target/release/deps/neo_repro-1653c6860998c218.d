@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/neo_repro-1653c6860998c218.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/neo_repro-1653c6860998c218: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

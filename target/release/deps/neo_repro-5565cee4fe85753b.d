@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/neo_repro-5565cee4fe85753b.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/neo_repro-5565cee4fe85753b: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

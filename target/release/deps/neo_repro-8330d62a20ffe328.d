@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/neo_repro-8330d62a20ffe328.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/neo_repro-8330d62a20ffe328: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/neo_storage-3ba542c4fd0f8195.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libneo_storage-3ba542c4fd0f8195.rlib: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/libneo_storage-3ba542c4fd0f8195.rmeta: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/datagen/mod.rs:
+crates/storage/src/datagen/corp.rs:
+crates/storage/src/datagen/imdb.rs:
+crates/storage/src/datagen/tpch.rs:
+crates/storage/src/histogram.rs:
+crates/storage/src/index.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

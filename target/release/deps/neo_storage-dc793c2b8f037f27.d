@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/neo_storage-dc793c2b8f037f27.d: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/neo_storage-dc793c2b8f037f27: crates/storage/src/lib.rs crates/storage/src/database.rs crates/storage/src/datagen/mod.rs crates/storage/src/datagen/corp.rs crates/storage/src/datagen/imdb.rs crates/storage/src/datagen/tpch.rs crates/storage/src/histogram.rs crates/storage/src/index.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/database.rs:
+crates/storage/src/datagen/mod.rs:
+crates/storage/src/datagen/corp.rs:
+crates/storage/src/datagen/imdb.rs:
+crates/storage/src/datagen/tpch.rs:
+crates/storage/src/histogram.rs:
+crates/storage/src/index.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/value.rs:

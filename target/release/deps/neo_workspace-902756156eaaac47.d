@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo_workspace-902756156eaaac47.d: src/lib.rs
+
+/root/repo/target/release/deps/libneo_workspace-902756156eaaac47.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libneo_workspace-902756156eaaac47.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/neo_workspace-d88ed7f4e828ca7c.d: src/lib.rs
+
+/root/repo/target/release/deps/neo_workspace-d88ed7f4e828ca7c: src/lib.rs
+
+src/lib.rs:

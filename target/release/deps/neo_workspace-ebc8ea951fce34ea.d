@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo_workspace-ebc8ea951fce34ea.d: src/lib.rs
+
+/root/repo/target/release/deps/libneo_workspace-ebc8ea951fce34ea.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libneo_workspace-ebc8ea951fce34ea.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer_quality-37b8f985558782db.d: crates/expert/tests/optimizer_quality.rs
+
+/root/repo/target/release/deps/optimizer_quality-37b8f985558782db: crates/expert/tests/optimizer_quality.rs
+
+crates/expert/tests/optimizer_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plan_space-8c4553138417f2ee.d: crates/query/tests/plan_space.rs
+
+/root/repo/target/release/deps/plan_space-8c4553138417f2ee: crates/query/tests/plan_space.rs
+
+crates/query/tests/plan_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-1a9e3f3c7a20e1cb.d: crates/storage/tests/properties.rs
+
+/root/repo/target/release/deps/properties-1a9e3f3c7a20e1cb: crates/storage/tests/properties.rs
+
+crates/storage/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-ed2b30bda0a010c6.d: crates/nn/tests/properties.rs
+
+/root/repo/target/release/deps/properties-ed2b30bda0a010c6: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

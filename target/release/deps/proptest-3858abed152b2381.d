@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3858abed152b2381.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3858abed152b2381.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3858abed152b2381.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-9f1eafefd2f73184.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-9f1eafefd2f73184: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

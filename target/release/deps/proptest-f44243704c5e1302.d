@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-f44243704c5e1302.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-f44243704c5e1302.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-f44243704c5e1302.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

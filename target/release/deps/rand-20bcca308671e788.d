@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-20bcca308671e788.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-20bcca308671e788: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

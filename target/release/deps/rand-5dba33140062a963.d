@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5dba33140062a963.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5dba33140062a963.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5dba33140062a963.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

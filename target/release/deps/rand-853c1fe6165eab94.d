@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-853c1fe6165eab94.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-853c1fe6165eab94.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-853c1fe6165eab94.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_quality-4c5ec5281b774c3b.d: crates/core/tests/search_quality.rs
+
+/root/repo/target/release/deps/search_quality-4c5ec5281b774c3b: crates/core/tests/search_quality.rs
+
+crates/core/tests/search_quality.rs:

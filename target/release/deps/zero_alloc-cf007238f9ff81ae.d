@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zero_alloc-cf007238f9ff81ae.d: crates/core/tests/zero_alloc.rs
+
+/root/repo/target/release/deps/zero_alloc-cf007238f9ff81ae: crates/core/tests/zero_alloc.rs
+
+crates/core/tests/zero_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_tour-e6ee4809b4c64a5f.d: examples/engine_tour.rs
+
+/root/repo/target/release/examples/engine_tour-e6ee4809b4c64a5f: examples/engine_tour.rs
+
+examples/engine_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_matmul-95c2cfd40fce5f84.d: examples/probe_matmul.rs
+
+/root/repo/target/release/examples/probe_matmul-95c2cfd40fce5f84: examples/probe_matmul.rs
+
+examples/probe_matmul.rs:

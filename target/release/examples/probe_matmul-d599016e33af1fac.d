@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_matmul-d599016e33af1fac.d: examples/probe_matmul.rs
+
+/root/repo/target/release/examples/probe_matmul-d599016e33af1fac: examples/probe_matmul.rs
+
+examples/probe_matmul.rs:

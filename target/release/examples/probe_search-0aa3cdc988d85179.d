@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_search-0aa3cdc988d85179.d: examples/probe_search.rs
+
+/root/repo/target/release/examples/probe_search-0aa3cdc988d85179: examples/probe_search.rs
+
+examples/probe_search.rs:

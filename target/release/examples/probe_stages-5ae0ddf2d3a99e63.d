@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_stages-5ae0ddf2d3a99e63.d: examples/probe_stages.rs
+
+/root/repo/target/release/examples/probe_stages-5ae0ddf2d3a99e63: examples/probe_stages.rs
+
+examples/probe_stages.rs:

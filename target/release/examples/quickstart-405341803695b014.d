@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-405341803695b014.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-405341803695b014: examples/quickstart.rs
+
+examples/quickstart.rs:

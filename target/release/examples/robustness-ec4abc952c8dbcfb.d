@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/robustness-ec4abc952c8dbcfb.d: examples/robustness.rs
+
+/root/repo/target/release/examples/robustness-ec4abc952c8dbcfb: examples/robustness.rs
+
+examples/robustness.rs:

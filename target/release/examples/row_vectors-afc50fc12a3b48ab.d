@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/row_vectors-afc50fc12a3b48ab.d: examples/row_vectors.rs
+
+/root/repo/target/release/examples/row_vectors-afc50fc12a3b48ab: examples/row_vectors.rs
+
+examples/row_vectors.rs:
