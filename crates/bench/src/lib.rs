@@ -14,11 +14,13 @@
 
 pub mod figures;
 pub mod harness;
+pub mod serve_bench;
 
 pub use harness::{
     build_db, build_workload, run_learning, split_workload, CurvePoint, Preset, RunRecord,
     WorkloadKind,
 };
+pub use serve_bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
 
 /// Prints a horizontal rule + section title.
 pub fn section(title: &str) {

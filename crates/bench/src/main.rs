@@ -2,9 +2,10 @@
 //! evaluation (see DESIGN.md §3 for the experiment index).
 //!
 //! ```text
-//! neo-repro <command> [--quick|--full] [--episodes N] [--seed S]
+//! neo-repro <command> [--quick|--full] [--episodes N] [--seed S] [--workers W]
 //!
 //! commands:
+//!   stats             dataset/workload summary statistics
 //!   fig9-11           overall performance, learning curves, training time
 //!   fig12             featurization ablation
 //!   fig13             Ext-JOB generalization
@@ -17,7 +18,16 @@
 //!   ablation-treeconv tree convolution vs structure-blind network
 //!   executor-vs-model latency-model fidelity vs the real executor
 //!   bench-search      inference/search throughput -> BENCH_search.json
+//!   serve-bench       multi-query serving throughput -> BENCH_serve.json
+//!                     (--workers W sets the top concurrency level,
+//!                      --smoke runs the tiny CI preset)
 //!   all               everything above, in order
+//!
+//! flags (shared across commands):
+//!   --quick | --full  experiment sizing preset (default --quick)
+//!   --episodes N      training episodes override
+//!   --seed S          master seed (datasets, workloads, nets)
+//!   --workers W       serve-bench concurrency ceiling (default 4)
 //! ```
 
 use neo_bench::figures;
@@ -92,6 +102,44 @@ fn main() {
                     .fold(0.0f64, f64::max),
             );
         }
+        "serve-bench" => {
+            // Multi-query serving throughput (ISSUE 2): cold scaling across
+            // worker counts, a 50%-repeat mixed workload through the sharded
+            // plan cache, and the single-threaded determinism check. Writes
+            // BENCH_serve.json.
+            let workers = args
+                .iter()
+                .position(|a| a == "--workers")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4usize);
+            let cfg = if args.iter().any(|a| a == "--smoke") {
+                neo_bench::ServeBenchConfig::smoke(preset.seed)
+            } else {
+                neo_bench::ServeBenchConfig::standard(preset.seed, workers)
+            };
+            neo_bench::section("multi-query serving throughput (BENCH_serve.json)");
+            let report = neo_bench::run_serve_bench(&cfg);
+            print!("{}", report.to_json());
+            let path = "BENCH_serve.json";
+            std::fs::write(path, report.to_json()).expect("write BENCH_serve.json");
+            let cold_best = report.cold.last().expect("cold points");
+            let mixed_best = report.mixed.last().expect("mixed points");
+            eprintln!(
+                "cold scaling {:.2}x at {} workers ({} core(s) available); \
+                 mixed hit rate {:.2}, hit speedup {:.0}x, plans match: {}; wrote {path}",
+                cold_best.speedup_vs_1,
+                cold_best.workers,
+                report.available_parallelism,
+                mixed_best.hit_rate,
+                report.hit_speedup,
+                report.plans_match_single_threaded,
+            );
+            assert!(
+                report.plans_match_single_threaded,
+                "multi-threaded serving diverged from single-threaded plans"
+            );
+        }
         "all" => {
             figures::fig9_to_11(&preset);
             figures::fig12(&preset);
@@ -106,12 +154,23 @@ fn main() {
             figures::executor_vs_model(&preset);
         }
         _ => {
-            eprintln!("unknown command {cmd:?}");
+            if cmd != "help" && cmd != "--help" && cmd != "-h" {
+                eprintln!("unknown command {cmd:?}");
+            }
             eprintln!(
-                "commands: stats fig9-11 fig12 fig13 fig14 fig15 fig16 fig17 table2 \
-                 ablation-demo ablation-treeconv executor-vs-model bench-search all"
+                "usage: neo-repro <command> [--quick|--full] [--episodes N] [--seed S] \
+                 [--workers W]\n\
+                 commands: stats fig9-11 fig12 fig13 fig14 fig15 fig16 fig17 table2 \
+                 ablation-demo ablation-treeconv executor-vs-model bench-search \
+                 serve-bench all\n\
+                 serve-bench flags: --workers W (top concurrency level, default 4), \
+                 --smoke (tiny CI preset)"
             );
-            std::process::exit(2);
+            std::process::exit(if cmd == "help" || cmd == "--help" || cmd == "-h" {
+                0
+            } else {
+                2
+            });
         }
     }
 }

@@ -1,0 +1,487 @@
+//! The `serve-bench` harness (ISSUE 2): replays a mixed query workload —
+//! cold, repeated, and parameter-perturbed queries — through the
+//! `neo-serve` [`OptimizerService`] at several concurrency levels and
+//! writes `BENCH_serve.json`.
+//!
+//! Three measurements per worker level:
+//!
+//! * **cold scaling** — cache disabled, every query searches; reports
+//!   queries-optimized/sec and the speedup over one worker (near-linear on
+//!   a multi-core host; bounded by [`std::thread::available_parallelism`],
+//!   which the report records so single-core CI numbers read correctly);
+//! * **mixed workload** — cache enabled, a 50%-repeat stream; reports
+//!   throughput, cache hit rate, and p50/p99 per-query optimize latency;
+//! * **determinism** — the multi-threaded service's plan choices are
+//!   compared byte-for-byte against single-threaded `best_first_search`
+//!   reference runs.
+
+use neo::{
+    best_first_search, Featurization, Featurizer, NetConfig, SearchBudget, ValueNet,
+    DEFAULT_WAVEFRONT,
+};
+use neo_query::{workload::job, PlanNode, Predicate, Query};
+use neo_serve::{OptimizerService, ServeConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Search budget base used by every service in the bench (the runner's
+/// budget rule adds `3 * |R(q)|`).
+const BASE_EXPANSIONS: usize = 12;
+
+/// Sizing knobs for one serve-bench run.
+#[derive(Clone, Debug)]
+pub struct ServeBenchConfig {
+    /// IMDB dataset scale.
+    pub scale: f64,
+    /// Master seed (dataset + workload).
+    pub seed: u64,
+    /// Worker counts to measure (first entry should be 1: it is the
+    /// scaling baseline).
+    pub worker_levels: Vec<usize>,
+    /// Distinct cold queries in the stream.
+    pub cold_queries: usize,
+    /// Stream replication factor for the cold-scaling measurement (more
+    /// work per measurement = steadier wall-clocks).
+    pub cold_replicas: usize,
+}
+
+impl ServeBenchConfig {
+    /// The default sizing: seconds of wall-clock, minutes nowhere.
+    pub fn standard(seed: u64, max_workers: usize) -> Self {
+        ServeBenchConfig {
+            scale: 0.05,
+            seed,
+            worker_levels: worker_ladder(max_workers),
+            cold_queries: 16,
+            cold_replicas: 3,
+        }
+    }
+
+    /// CI smoke sizing: a handful of queries, two worker levels.
+    pub fn smoke(seed: u64) -> Self {
+        ServeBenchConfig {
+            scale: 0.02,
+            seed,
+            worker_levels: vec![1, 2],
+            cold_queries: 6,
+            cold_replicas: 1,
+        }
+    }
+}
+
+/// `[1, 2, 4, …, max]` (powers of two, `max` appended when skipped;
+/// `max` is clamped to ≥ 1 so `--workers 0` degrades to a 1-worker run).
+fn worker_ladder(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut levels = Vec::new();
+    let mut w = 1;
+    while w <= max {
+        levels.push(w);
+        w *= 2;
+    }
+    if *levels.last().expect("max >= 1") != max {
+        levels.push(max);
+    }
+    levels
+}
+
+/// One cold-scaling measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ColdPoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Wall-clock for the whole stream, ms.
+    pub wall_ms: f64,
+    /// Queries optimized per second.
+    pub qps: f64,
+    /// Throughput over the 1-worker baseline.
+    pub speedup_vs_1: f64,
+}
+
+/// One mixed-workload measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct MixedPoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Wall-clock for the whole stream, ms.
+    pub wall_ms: f64,
+    /// Queries optimized per second.
+    pub qps: f64,
+    /// Cache hit rate over the stream.
+    pub hit_rate: f64,
+    /// Median per-query optimize latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query optimize latency, ms.
+    pub p99_ms: f64,
+    /// Median cache-hit latency, ms (0 when the stream produced no hits).
+    pub p50_hit_ms: f64,
+    /// Median search (miss) latency, ms.
+    pub p50_search_ms: f64,
+}
+
+/// Results of one serve-bench run (serialized to `BENCH_serve.json`).
+#[derive(Clone, Debug)]
+pub struct ServeBenchReport {
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// the hard ceiling on any observed scaling.
+    pub available_parallelism: usize,
+    /// Distinct cold queries.
+    pub cold_queries: usize,
+    /// Cold-scaling stream length.
+    pub cold_stream_len: usize,
+    /// Mixed stream length.
+    pub mixed_stream_len: usize,
+    /// Fraction of the mixed stream that repeats an earlier query.
+    pub repeat_fraction: f64,
+    /// Cold scaling per worker level (cache disabled).
+    pub cold: Vec<ColdPoint>,
+    /// Mixed workload per worker level (cache enabled).
+    pub mixed: Vec<MixedPoint>,
+    /// Median search latency over median hit latency at the highest
+    /// worker level — what a cache hit saves.
+    pub hit_speedup: f64,
+    /// Multi-threaded plan choices byte-identical to single-threaded
+    /// reference searches.
+    pub plans_match_single_threaded: bool,
+}
+
+/// Perturbs one predicate constant — the "parameterized query" shape: same
+/// template, different literal, so the fingerprint (and possibly the best
+/// plan) changes.
+fn perturb(q: &Query, delta: i64) -> Query {
+    let mut out = q.clone();
+    out.id = format!("{}~{delta}", q.id);
+    if let Some(p) = out.predicates.first_mut() {
+        match p {
+            Predicate::IntCmp { value, .. } => *value += delta,
+            Predicate::IntBetween { hi, .. } => *hi += delta,
+            Predicate::StrEq { value, .. } => value.push('~'),
+            Predicate::StrContains { needle, .. } => needle.push('~'),
+        }
+    }
+    out
+}
+
+/// Builds the service fixture: dataset, workload subset, featurizer, and
+/// an untrained (frozen) network — serving throughput does not depend on
+/// the weights, and an untrained net keeps the bench self-contained.
+struct Fixture {
+    db: Arc<neo_storage::Database>,
+    featurizer: Arc<Featurizer>,
+    net: Arc<ValueNet>,
+    cold: Vec<Query>,
+}
+
+fn fixture(cfg: &ServeBenchConfig) -> Fixture {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(cfg.scale, cfg.seed));
+    let cold: Vec<Query> = job::generate(&db, cfg.seed)
+        .queries
+        .into_iter()
+        .filter(|q| q.num_relations() <= 8)
+        .take(cfg.cold_queries)
+        .collect();
+    assert!(!cold.is_empty(), "workload subset is empty");
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig::default(),
+        cfg.seed,
+    ));
+    Fixture {
+        db,
+        featurizer,
+        net,
+        cold,
+    }
+}
+
+fn service(fx: &Fixture, workers: usize, use_cache: bool) -> OptimizerService {
+    OptimizerService::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        ServeConfig {
+            workers,
+            cache_shards: 16,
+            use_cache,
+            search_base_expansions: BASE_EXPANSIONS,
+            wavefront: DEFAULT_WAVEFRONT,
+        },
+    )
+}
+
+/// `p`-quantile of unsorted latencies (nearest-rank).
+fn quantile(values: &mut [f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let idx = ((values.len() as f64 * p).ceil() as usize).clamp(1, values.len()) - 1;
+    values[idx]
+}
+
+/// Runs the full serve bench.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let fx = fixture(cfg);
+    let seed = cfg.seed;
+
+    // --- Cold-scaling stream: every query distinct per replica pass
+    // (cache disabled anyway), shuffled deterministically.
+    let mut cold_stream: Vec<Query> = Vec::new();
+    for r in 0..cfg.cold_replicas.max(1) {
+        let mut pass = fx.cold.clone();
+        shuffle(&mut pass, seed ^ (r as u64) << 8);
+        cold_stream.extend(pass);
+    }
+
+    // --- Mixed stream (50% repeats): one cold pass + an equal number of
+    // perturbed variants in a first phase, then repeats of phase-1 cold
+    // queries as the second phase. Repeats only follow their originals, so
+    // the ideal hit rate is exactly the repeat fraction.
+    let n = fx.cold.len();
+    let mut phase1: Vec<Query> = fx.cold.clone();
+    phase1.extend(fx.cold.iter().take(n / 2).map(|q| perturb(q, 3)));
+    shuffle(&mut phase1, seed ^ 0xC01D);
+    let mut repeats: Vec<Query> = Vec::new();
+    let mut i = 0;
+    while repeats.len() < phase1.len() {
+        repeats.push(fx.cold[i % n].clone());
+        i += 1;
+    }
+    shuffle(&mut repeats, seed ^ 0x4EA7);
+    let mixed_stream: Vec<Query> = phase1.iter().chain(repeats.iter()).cloned().collect();
+    let repeat_fraction = repeats.len() as f64 / mixed_stream.len() as f64;
+
+    // --- Single-threaded reference plans for the determinism check.
+    let reference: Vec<PlanNode> = mixed_stream
+        .iter()
+        .map(|q| {
+            let budget = SearchBudget::expansions(BASE_EXPANSIONS + 3 * q.num_relations())
+                .with_wavefront(DEFAULT_WAVEFRONT);
+            best_first_search(&fx.net, &fx.featurizer, &fx.db, q, budget, None).0
+        })
+        .collect();
+
+    // --- Cold scaling (cache disabled).
+    let mut cold_points: Vec<ColdPoint> = Vec::new();
+    for &w in &cfg.worker_levels {
+        let svc = service(&fx, w, false);
+        // Warm-up pass: thread spawn, scratch growth, allocator steady state.
+        svc.optimize_stream(&cold_stream[..cold_stream.len().min(fx.cold.len())]);
+        let start = Instant::now();
+        let outcomes = svc.optimize_stream(&cold_stream);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(outcomes.len(), cold_stream.len());
+        let qps = cold_stream.len() as f64 / (wall_ms / 1e3).max(1e-9);
+        let speedup = cold_points.first().map_or(1.0, |b| qps / b.qps.max(1e-9));
+        cold_points.push(ColdPoint {
+            workers: w,
+            wall_ms,
+            qps,
+            speedup_vs_1: speedup,
+        });
+    }
+
+    // --- Mixed workload (cache enabled), plus the determinism check at
+    // the highest concurrency.
+    let mut mixed_points: Vec<MixedPoint> = Vec::new();
+    let mut plans_match = true;
+    for &w in &cfg.worker_levels {
+        let svc = service(&fx, w, true);
+        // Warm-up on throwaway perturbed variants (thread spawn, scratch
+        // growth), then flush the cache so the timed stream starts cold —
+        // the hit rate below comes from the timed outcomes only.
+        let warmup: Vec<Query> = fx
+            .cold
+            .iter()
+            .enumerate()
+            .map(|(i, q)| perturb(q, 1_000 + i as i64))
+            .collect();
+        svc.optimize_stream(&warmup);
+        svc.begin_refinement_epoch();
+        let start = Instant::now();
+        let outcomes = svc.optimize_stream(&mixed_stream);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let hit_rate =
+            outcomes.iter().filter(|o| o.cache_hit).count() as f64 / outcomes.len().max(1) as f64;
+        let mut all: Vec<f64> = outcomes.iter().map(|o| o.optimize_ms).collect();
+        let mut hits: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.cache_hit)
+            .map(|o| o.optimize_ms)
+            .collect();
+        let mut searches: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| !o.cache_hit)
+            .map(|o| o.optimize_ms)
+            .collect();
+        for (o, expected) in outcomes.iter().zip(&reference) {
+            if &o.plan != expected {
+                plans_match = false;
+            }
+        }
+        mixed_points.push(MixedPoint {
+            workers: w,
+            wall_ms,
+            qps: mixed_stream.len() as f64 / (wall_ms / 1e3).max(1e-9),
+            hit_rate,
+            p50_ms: quantile(&mut all, 0.50),
+            p99_ms: quantile(&mut all, 0.99),
+            p50_hit_ms: quantile(&mut hits, 0.50),
+            p50_search_ms: quantile(&mut searches, 0.50),
+        });
+    }
+
+    let last = mixed_points.last().expect("at least one worker level");
+    let hit_speedup = if last.p50_hit_ms > 0.0 {
+        last.p50_search_ms / last.p50_hit_ms
+    } else {
+        0.0
+    };
+
+    ServeBenchReport {
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        cold_queries: fx.cold.len(),
+        cold_stream_len: cold_stream.len(),
+        mixed_stream_len: mixed_stream.len(),
+        repeat_fraction,
+        cold: cold_points,
+        mixed: mixed_points,
+        hit_speedup,
+        plans_match_single_threaded: plans_match,
+    }
+}
+
+/// Deterministic shuffle of the query list (seeded vendored `StdRng`, the
+/// same pattern the runner uses for retrain sampling).
+fn shuffle(queries: &mut [Query], seed: u64) {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    queries.shuffle(&mut rng);
+}
+
+impl ServeBenchReport {
+    /// Pretty-printed JSON (hand-rolled; no serde in the offline build).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str(&format!("  \"cold_queries\": {},\n", self.cold_queries));
+        s.push_str(&format!(
+            "  \"cold_stream_len\": {},\n",
+            self.cold_stream_len
+        ));
+        s.push_str(&format!(
+            "  \"mixed_stream_len\": {},\n",
+            self.mixed_stream_len
+        ));
+        s.push_str(&format!(
+            "  \"repeat_fraction\": {:.3},\n",
+            self.repeat_fraction
+        ));
+        s.push_str("  \"cold\": [\n");
+        for (i, p) in self.cold.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workers\": {}, \"wall_ms\": {:.1}, \"qps\": {:.1}, \
+                 \"speedup_vs_1\": {:.2}}}{}\n",
+                p.workers,
+                p.wall_ms,
+                p.qps,
+                p.speedup_vs_1,
+                if i + 1 < self.cold.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"mixed\": [\n");
+        for (i, p) in self.mixed.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workers\": {}, \"wall_ms\": {:.1}, \"qps\": {:.1}, \
+                 \"hit_rate\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"p50_hit_ms\": {:.4}, \"p50_search_ms\": {:.3}}}{}\n",
+                p.workers,
+                p.wall_ms,
+                p.qps,
+                p.hit_rate,
+                p.p50_ms,
+                p.p99_ms,
+                p.p50_hit_ms,
+                p.p50_search_ms,
+                if i + 1 < self.mixed.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"hit_speedup\": {:.1},\n", self.hit_speedup));
+        s.push_str(&format!(
+            "  \"plans_match_single_threaded\": {}\n",
+            self.plans_match_single_threaded
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_ladder_shapes() {
+        assert_eq!(worker_ladder(4), vec![1, 2, 4]);
+        assert_eq!(worker_ladder(6), vec![1, 2, 4, 6]);
+        assert_eq!(worker_ladder(1), vec![1]);
+        assert_eq!(worker_ladder(0), vec![1], "--workers 0 clamps, not panics");
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&mut v, 0.5), 2.0);
+        assert_eq!(quantile(&mut v, 0.99), 4.0);
+        assert_eq!(quantile(&mut [], 0.5), 0.0);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let db = neo_storage::datagen::imdb::generate(0.02, 3);
+        let base: Vec<Query> = job::generate(&db, 3).queries.into_iter().take(8).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        shuffle(&mut a, 77);
+        shuffle(&mut b, 77);
+        assert_eq!(
+            a.iter().map(|q| &q.id).collect::<Vec<_>>(),
+            b.iter().map(|q| &q.id).collect::<Vec<_>>()
+        );
+        let mut ids: Vec<&String> = a.iter().map(|q| &q.id).collect();
+        ids.sort();
+        let mut orig: Vec<&String> = base.iter().map(|q| &q.id).collect();
+        orig.sort();
+        assert_eq!(ids, orig, "shuffle must be a permutation");
+    }
+
+    /// End-to-end smoke: the smoke preset finishes in seconds, reports a
+    /// plausible hit rate, and the determinism check passes.
+    #[test]
+    fn smoke_run_reports_sane_numbers() {
+        let report = run_serve_bench(&ServeBenchConfig::smoke(3));
+        assert_eq!(report.cold.len(), 2);
+        assert_eq!(report.mixed.len(), 2);
+        assert!(report.plans_match_single_threaded);
+        let last = report.mixed.last().unwrap();
+        assert!(
+            last.hit_rate >= 0.4,
+            "hit rate {:.2} too low for a 50%-repeat stream",
+            last.hit_rate
+        );
+        assert!(report.cold.iter().all(|p| p.qps > 0.0));
+        let json = report.to_json();
+        assert!(json.contains("\"plans_match_single_threaded\": true"));
+    }
+}

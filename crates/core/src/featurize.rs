@@ -16,7 +16,7 @@ use neo_embedding::RVectorFeaturizer;
 use neo_nn::{Matrix, TreeTopology, NO_CHILD};
 use neo_query::{PartialPlan, PlanNode, Query, RelMask, ScanType};
 use neo_storage::Database;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which column-predicate representation to use (paper §3.2, Fig. 12).
 #[derive(Clone)]
@@ -29,8 +29,9 @@ pub enum Featurization {
     /// embedding was trained on the partially denormalized ("joins")
     /// corpus — used only for reporting.
     RVector {
-        /// The trained predicate featurizer.
-        featurizer: Rc<RVectorFeaturizer>,
+        /// The trained predicate featurizer. `Arc` (not `Rc`) so a
+        /// `Featurizer` can be shared across `neo-serve` worker threads.
+        featurizer: Arc<RVectorFeaturizer>,
         /// Whether partial denormalization was used.
         joins: bool,
     },
@@ -299,6 +300,17 @@ mod tests {
             .unwrap()
             .clone();
         (db, q)
+    }
+
+    /// The featurizer is shared read-only across `neo-serve` workers; the
+    /// `Arc<RVectorFeaturizer>` inside `Featurization` keeps it `Send +
+    /// Sync` (an `Rc` here previously pinned everything to one thread).
+    #[test]
+    fn featurizer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Featurizer>();
+        assert_send_sync::<Featurization>();
+        assert_send_sync::<EncodedPlan>();
     }
 
     #[test]

@@ -49,5 +49,7 @@ pub use featurize::{EncodedPlan, Featurization, Featurizer};
 pub use runner::{
     build_featurization, AuxCardSource, EpisodeStats, FeaturizationChoice, Neo, NeoConfig,
 };
-pub use search::{best_first_search, SearchBudget, SearchStats, DEFAULT_WAVEFRONT};
+pub use search::{
+    best_first_search, best_first_search_with_scratch, SearchBudget, SearchStats, DEFAULT_WAVEFRONT,
+};
 pub use value_net::{InferenceSession, NetConfig, ValueNet};

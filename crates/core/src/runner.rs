@@ -23,7 +23,7 @@ use neo_storage::Database;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Featurization choice (paper Fig. 12's four variants).
@@ -160,7 +160,7 @@ pub fn build_featurization(
             let ms = start.elapsed().as_secs_f64() * 1e3;
             (
                 Featurization::RVector {
-                    featurizer: Rc::new(RVectorFeaturizer::new(emb)),
+                    featurizer: Arc::new(RVectorFeaturizer::new(emb)),
                     joins,
                 },
                 ms,

@@ -22,6 +22,7 @@
 
 use crate::featurize::{EncodedPlan, Featurizer};
 use crate::value_net::{InferenceSession, ValueNet};
+use neo_nn::Scratch;
 use neo_query::{children, PartialPlan, PlanNode, Query, QueryContext, RelMask};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -202,8 +203,26 @@ pub fn best_first_search(
     db: &neo_storage::Database,
     query: &Query,
     budget: SearchBudget,
-    mut aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+    aux: Option<&mut dyn FnMut(RelMask) -> f32>,
 ) -> (PlanNode, SearchStats) {
+    let (plan, stats, _) =
+        best_first_search_with_scratch(net, featurizer, db, query, budget, aux, Scratch::new());
+    (plan, stats)
+}
+
+/// [`best_first_search`] with a caller-supplied [`Scratch`] buffer set,
+/// returned (grown) after the search. The `neo-serve` workers route every
+/// search through a shared [`neo_nn::ScratchPool`] so inference-buffer
+/// growth is paid once per worker instead of once per query.
+pub fn best_first_search_with_scratch(
+    net: &ValueNet,
+    featurizer: &Featurizer,
+    db: &neo_storage::Database,
+    query: &Query,
+    budget: SearchBudget,
+    mut aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+    scratch: Scratch,
+) -> (PlanNode, SearchStats, Scratch) {
     let start = Instant::now();
     let ctx = QueryContext::new(db, query);
     let qenc = featurizer.encode_query(db, query);
@@ -213,7 +232,7 @@ pub fn best_first_search(
     let mut visited: HashSet<u128> = HashSet::new();
     let mut best_complete: Option<(f32, PlanNode)> = None;
     let mut scorer = Scorer {
-        session: net.session(&qenc),
+        session: net.session_with_scratch(&qenc, scratch),
         featurizer,
         pool: Vec::new(),
     };
@@ -304,7 +323,7 @@ pub fn best_first_search(
 
     stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     if let Some((_, tree)) = best_complete {
-        return (tree, stats);
+        return (tree, stats, scorer.session.into_scratch());
     }
 
     // "Hurry-up" mode (paper §4.2): greedily descend from the most
@@ -332,7 +351,11 @@ pub fn best_first_search(
         plan = kids.into_iter().nth(best).unwrap();
     }
     stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    (plan.roots.into_iter().next().unwrap(), stats)
+    (
+        plan.roots.into_iter().next().unwrap(),
+        stats,
+        scorer.session.into_scratch(),
+    )
 }
 
 #[cfg(test)]

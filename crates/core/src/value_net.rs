@@ -255,6 +255,20 @@ impl ValueNet {
     /// contrast, re-runs the query MLP over `n` identical rows on every
     /// call — the pre-batching hot-path cost this session design removes.
     pub fn session(&self, query_enc: &[f32]) -> InferenceSession<'_> {
+        self.session_with_scratch(query_enc, Scratch::new())
+    }
+
+    /// [`Self::session`] with a caller-supplied [`Scratch`] buffer pool —
+    /// the multi-query serving path: a worker thread checks a `Scratch`
+    /// out of a shared [`neo_nn::ScratchPool`], runs one search, then
+    /// recovers the (grown) buffers via [`InferenceSession::into_scratch`]
+    /// and returns them, so buffer growth is paid once per worker rather
+    /// than once per query.
+    pub fn session_with_scratch(
+        &self,
+        query_enc: &[f32],
+        scratch: Scratch,
+    ) -> InferenceSession<'_> {
         let q = Matrix::from_row(query_enc);
         let qout = self.query_mlp.forward_inference(&q);
         // Pre-resolve the first convolution against this query: extract its
@@ -283,7 +297,7 @@ impl ValueNet {
                 tree_of: Vec::new(),
                 num_trees: 0,
             },
-            scratch: Scratch::new(),
+            scratch,
             scores: Vec::new(),
         }
     }
@@ -399,6 +413,12 @@ pub struct InferenceSession<'n> {
 }
 
 impl InferenceSession<'_> {
+    /// Consumes the session and recovers its [`Scratch`] buffers (for
+    /// return to a [`neo_nn::ScratchPool`] between queries).
+    pub fn into_scratch(self) -> Scratch {
+        self.scratch
+    }
+
     /// Scores a batch of encoded plans, lowest predicted value = best.
     /// Matches [`ValueNet::predict`] exactly (same kernels, same
     /// per-row arithmetic), without re-running the query MLP.
@@ -668,6 +688,19 @@ mod tests {
         };
         let net = ValueNet::new(f.query_dim(), f.plan_channels(), cfg, 42);
         (f, net)
+    }
+
+    /// ISSUE 2: a frozen `ValueNet` must be shareable across `neo-serve`
+    /// worker threads (`&ValueNet` handed to concurrent searches), and a
+    /// session must be movable onto a worker. Compile-time properties, but
+    /// pinned here so a reintroduced `Rc`/`Cell` fails loudly.
+    #[test]
+    fn value_net_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<ValueNet>();
+        assert_send_sync::<NetConfig>();
+        assert_send::<InferenceSession<'static>>();
     }
 
     #[test]

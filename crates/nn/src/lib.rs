@@ -39,7 +39,7 @@ pub use layernorm::LayerNorm;
 pub use linear::Linear;
 pub use network::Mlp;
 pub use param::{clip_grad_norm, Param};
-pub use scratch::Scratch;
+pub use scratch::{Scratch, ScratchPool};
 pub use serialize::{read_params, write_params};
 pub use tensor::{realloc_events, Matrix};
 pub use treeconv::{DynamicPooling, TreeConv, TreeTopology, NO_CHILD};

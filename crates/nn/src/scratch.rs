@@ -15,6 +15,7 @@
 //! cannot without unsafe.
 
 use crate::tensor::Matrix;
+use std::sync::Mutex;
 
 /// Reusable buffers for one inference pipeline.
 ///
@@ -56,6 +57,49 @@ impl Scratch {
     }
 }
 
+/// A thread-safe free-list of [`Scratch`] buffer sets for multi-query
+/// serving: each worker checks a `Scratch` out for the duration of one
+/// search and returns it afterwards, so buffer growth is paid once per
+/// *worker*, not once per *query*. The pool is `Send + Sync`; the lock is
+/// held only for the O(1) push/pop, never during inference.
+///
+/// Checking out from an empty pool creates a fresh empty `Scratch`
+/// (buffers grow on first use), so the pool never blocks on capacity.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a scratch set out of the pool (or a fresh one when empty).
+    pub fn checkout(&self) -> Scratch {
+        self.free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch set to the pool, keeping its grown buffers for
+    /// the next checkout.
+    pub fn give_back(&self, scratch: Scratch) {
+        self.free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .push(scratch);
+    }
+
+    /// Number of scratch sets currently checked in.
+    pub fn available(&self) -> usize {
+        self.free.lock().expect("scratch pool lock poisoned").len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +118,30 @@ mod tests {
             s.b.resize(64, 32);
         }
         assert_eq!(s.capacity(), grown);
+    }
+
+    #[test]
+    fn pool_recycles_grown_buffers_across_threads() {
+        let pool = std::sync::Arc::new(ScratchPool::new());
+        let mut s = pool.checkout();
+        s.a.resize(64, 32);
+        let grown = s.capacity();
+        pool.give_back(s);
+        assert_eq!(pool.available(), 1);
+        // A checkout from another thread sees the same grown buffers.
+        let p2 = pool.clone();
+        let cap = std::thread::spawn(move || {
+            let s = p2.checkout();
+            let cap = s.capacity();
+            p2.give_back(s);
+            cap
+        })
+        .join()
+        .unwrap();
+        assert_eq!(cap, grown);
+        assert_eq!(pool.available(), 1);
+        // Empty pool: checkout still succeeds with a fresh scratch.
+        let fresh = ScratchPool::new().checkout();
+        assert_eq!(fresh.capacity(), 0);
     }
 }

@@ -1,0 +1,290 @@
+//! Canonical structural query fingerprints.
+//!
+//! A [`QueryFingerprint`] is a 128-bit digest of the *semantic content* of a
+//! [`Query`] — its relation set, join graph, predicates, and aggregate —
+//! computed over a canonical ordering of every unordered collection. Two
+//! queries that differ only in the textual order of their join list or
+//! predicate list (or in `id`/`family` labels) therefore fingerprint
+//! identically, while any change to a predicate constant, comparison
+//! operator, joined column, or table set produces a different digest.
+//!
+//! This is the key of the `neo-serve` plan cache: repeated or isomorphic
+//! queries hit the cache and skip the value-network search entirely, while
+//! parameter-perturbed variants (different constants ⇒ different optimal
+//! plans) are deliberately treated as distinct.
+//!
+//! The digest doubles two independent FNV-1a streams (the same construction
+//! as the search's visited-set `plan_key`), so accidental collisions are
+//! ignorable at serving scale (~2⁻¹²⁸ per pair).
+
+use crate::predicate::{CmpOp, Predicate};
+use crate::query::{Aggregate, JoinEdge, Query};
+
+/// A 128-bit canonical structural digest of a query. Cheap to copy, hash,
+/// and compare; usable directly as a cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryFingerprint(pub u128);
+
+impl QueryFingerprint {
+    /// Shard selector: maps the fingerprint onto one of `n` shards with a
+    /// multiplicative mix of the high bits, so consecutive fingerprints
+    /// spread evenly regardless of `n`.
+    pub fn shard(self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let h = (self.0 >> 64) as u64 ^ (self.0 as u64).rotate_left(31);
+        (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+    }
+}
+
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Two independent FNV-1a streams over `u64` tokens.
+#[derive(Clone, Copy)]
+struct Digest(u64, u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(OFFSET_A, OFFSET_B)
+    }
+
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(PRIME);
+        self.1 = (self.1 ^ v.rotate_left(17))
+            .wrapping_mul(PRIME)
+            .rotate_left(13);
+    }
+
+    fn mix_str(&mut self, s: &str) {
+        self.mix(s.len() as u64);
+        // 8 bytes per token keeps the stream short without losing content.
+        for chunk in s.as_bytes().chunks(8) {
+            let mut v = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                v |= (b as u64) << (8 * i);
+            }
+            self.mix(v);
+        }
+    }
+
+    fn value(self) -> u128 {
+        ((self.0 as u128) << 64) | self.1 as u128
+    }
+}
+
+/// Canonical token sequence of one join edge: endpoints sorted so that the
+/// (table, col) pair ordering — not the textual left/right position —
+/// determines the encoding. `a ⋈ b` and `b ⋈ a` tokenize identically.
+fn edge_tokens(e: &JoinEdge) -> [u64; 4] {
+    let l = (e.left_table as u64, e.left_col as u64);
+    let r = (e.right_table as u64, e.right_col as u64);
+    let (lo, hi) = if l <= r { (l, r) } else { (r, l) };
+    [lo.0, lo.1, hi.0, hi.1]
+}
+
+/// Digest of one predicate (variant tag + fields, constants included).
+fn predicate_digest(p: &Predicate) -> u128 {
+    let mut d = Digest::new();
+    match p {
+        Predicate::IntCmp {
+            table,
+            col,
+            op,
+            value,
+        } => {
+            d.mix(0x01);
+            d.mix(*table as u64);
+            d.mix(*col as u64);
+            d.mix(match op {
+                CmpOp::Eq => 0,
+                CmpOp::Lt => 1,
+                CmpOp::Le => 2,
+                CmpOp::Gt => 3,
+                CmpOp::Ge => 4,
+            });
+            d.mix(*value as u64);
+        }
+        Predicate::IntBetween { table, col, lo, hi } => {
+            d.mix(0x02);
+            d.mix(*table as u64);
+            d.mix(*col as u64);
+            d.mix(*lo as u64);
+            d.mix(*hi as u64);
+        }
+        Predicate::StrEq { table, col, value } => {
+            d.mix(0x03);
+            d.mix(*table as u64);
+            d.mix(*col as u64);
+            d.mix_str(value);
+        }
+        Predicate::StrContains { table, col, needle } => {
+            d.mix(0x04);
+            d.mix(*table as u64);
+            d.mix(*col as u64);
+            d.mix_str(needle);
+        }
+    }
+    d.value()
+}
+
+/// Computes the canonical structural fingerprint of a query.
+///
+/// Invariant under: join-list order, per-edge endpoint order, predicate
+/// order, and the `id`/`family` labels. Sensitive to: the table set, the
+/// join graph (tables *and* columns), every predicate (including literal
+/// constants), and the aggregate.
+pub fn fingerprint(query: &Query) -> QueryFingerprint {
+    let mut d = Digest::new();
+
+    // Relation set: `Query` guarantees `tables` sorted + unique, so this
+    // is already canonical. Separator tags keep sections prefix-free.
+    d.mix(0xA0);
+    d.mix(query.tables.len() as u64);
+    for &t in &query.tables {
+        d.mix(t as u64);
+    }
+
+    // Join graph: canonicalize each edge, then sort the edge list.
+    d.mix(0xA1);
+    let mut edges: Vec<[u64; 4]> = query.joins.iter().map(edge_tokens).collect();
+    edges.sort_unstable();
+    d.mix(edges.len() as u64);
+    for e in &edges {
+        for &v in e {
+            d.mix(v);
+        }
+    }
+
+    // Predicates: digest each independently, sort the digests. Sorting
+    // *digests* (not the predicates themselves) sidesteps any ordering
+    // ambiguity between variants while staying order-invariant.
+    d.mix(0xA2);
+    let mut preds: Vec<u128> = query.predicates.iter().map(predicate_digest).collect();
+    preds.sort_unstable();
+    d.mix(preds.len() as u64);
+    for p in &preds {
+        d.mix((p >> 64) as u64);
+        d.mix(*p as u64);
+    }
+
+    // Aggregate.
+    d.mix(0xA3);
+    match &query.agg {
+        Aggregate::CountStar => d.mix(0x10),
+        Aggregate::Sum { table, col } => {
+            d.mix(0x11);
+            d.mix(*table as u64);
+            d.mix(*col as u64);
+        }
+    }
+
+    QueryFingerprint(d.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_query() -> Query {
+        Query {
+            id: "q1".into(),
+            family: "f".into(),
+            tables: vec![0, 1, 2],
+            joins: vec![
+                JoinEdge {
+                    left_table: 1,
+                    left_col: 1,
+                    right_table: 0,
+                    right_col: 0,
+                },
+                JoinEdge {
+                    left_table: 2,
+                    left_col: 1,
+                    right_table: 1,
+                    right_col: 0,
+                },
+            ],
+            predicates: vec![
+                Predicate::IntCmp {
+                    table: 0,
+                    col: 1,
+                    op: CmpOp::Lt,
+                    value: 7,
+                },
+                Predicate::StrContains {
+                    table: 2,
+                    col: 0,
+                    needle: "abc".into(),
+                },
+            ],
+            agg: Aggregate::CountStar,
+        }
+    }
+
+    #[test]
+    fn invariant_under_list_reordering_and_labels() {
+        let q = base_query();
+        let mut r = q.clone();
+        r.joins.reverse();
+        r.predicates.reverse();
+        r.id = "renamed".into();
+        r.family = "other".into();
+        assert_eq!(fingerprint(&q), fingerprint(&r));
+    }
+
+    #[test]
+    fn invariant_under_edge_endpoint_swap() {
+        let q = base_query();
+        let mut r = q.clone();
+        for e in &mut r.joins {
+            std::mem::swap(&mut e.left_table, &mut e.right_table);
+            std::mem::swap(&mut e.left_col, &mut e.right_col);
+        }
+        assert_eq!(fingerprint(&q), fingerprint(&r));
+    }
+
+    #[test]
+    fn sensitive_to_constants_and_structure() {
+        let q = base_query();
+        let mut c = q.clone();
+        if let Predicate::IntCmp { value, .. } = &mut c.predicates[0] {
+            *value = 8;
+        }
+        assert_ne!(fingerprint(&q), fingerprint(&c), "perturbed constant");
+
+        let mut s = q.clone();
+        if let Predicate::StrContains { needle, .. } = &mut s.predicates[1] {
+            *needle = "abd".into();
+        }
+        assert_ne!(fingerprint(&q), fingerprint(&s), "perturbed needle");
+
+        let mut j = q.clone();
+        j.joins[0].left_col = 0;
+        assert_ne!(fingerprint(&q), fingerprint(&j), "changed join column");
+
+        let mut o = q.clone();
+        if let Predicate::IntCmp { op, .. } = &mut o.predicates[0] {
+            *op = CmpOp::Le;
+        }
+        assert_ne!(fingerprint(&q), fingerprint(&o), "changed operator");
+
+        let mut a = q.clone();
+        a.agg = Aggregate::Sum { table: 0, col: 0 };
+        assert_ne!(fingerprint(&q), fingerprint(&a), "changed aggregate");
+
+        let mut dropped = q.clone();
+        dropped.predicates.pop();
+        assert_ne!(fingerprint(&q), fingerprint(&dropped), "dropped predicate");
+    }
+
+    #[test]
+    fn shard_spreads_and_is_stable() {
+        let q = base_query();
+        let f = fingerprint(&q);
+        assert_eq!(f.shard(16), f.shard(16));
+        assert!(f.shard(16) < 16);
+        assert_eq!(f.shard(1), 0);
+    }
+}

@@ -11,15 +11,20 @@
 //!   relation `P_i ⊂ P_j`, and the `Children(P_i)` neighbourhood that
 //!   Neo's best-first search expands (§4.2);
 //! * [`workload`] — the JOB-like, Ext-JOB, TPC-H-like and Corp-like
-//!   workload generators (§6.1, §6.4.2).
+//!   workload generators (§6.1, §6.4.2);
+//! * [`fingerprint`] — canonical 128-bit structural query digests,
+//!   invariant under join/predicate list order — the key of the
+//!   `neo-serve` plan cache.
 
 pub mod explain;
+pub mod fingerprint;
 pub mod plan;
 pub mod predicate;
 pub mod query;
 pub mod workload;
 
 pub use explain::explain;
+pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use plan::{children, JoinOp, PartialPlan, PlanNode, QueryContext, RelMask, ScanType};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{Aggregate, JoinEdge, Query};

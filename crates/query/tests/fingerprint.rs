@@ -1,0 +1,129 @@
+//! Property tests for canonical query fingerprints (the `neo-serve` plan
+//! cache key): invariance under every reordering the canonicalization
+//! claims to absorb, and sensitivity to parameter perturbation, across the
+//! real JOB-like workload.
+
+use neo_query::workload::job;
+use neo_query::{fingerprint, Predicate, Query};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+/// One shared workload for all cases — IMDB generation is the expensive
+/// part, and the properties only need query variety, not db variety.
+fn queries() -> &'static Vec<Query> {
+    static QUERIES: OnceLock<Vec<Query>> = OnceLock::new();
+    QUERIES.get_or_init(|| {
+        let db = neo_storage::datagen::imdb::generate(0.02, 7);
+        job::generate(&db, 7).queries
+    })
+}
+
+/// Applies a seed-determined reordering of the join list, per-edge endpoint
+/// swaps, and a reordering of the predicate list — all semantics-preserving.
+fn scramble(q: &Query, seed: u64) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = q.clone();
+    out.joins.shuffle(&mut rng);
+    for e in &mut out.joins {
+        if rng.gen_range(0..2) == 1 {
+            std::mem::swap(&mut e.left_table, &mut e.right_table);
+            std::mem::swap(&mut e.left_col, &mut e.right_col);
+        }
+    }
+    out.predicates.shuffle(&mut rng);
+    out.id = format!("{}-scrambled", q.id);
+    out
+}
+
+/// Perturbs one predicate constant (the serve-bench "parameterized query"
+/// transformation); returns `None` when the query has no predicates.
+fn perturb(q: &Query, seed: u64) -> Option<Query> {
+    if q.predicates.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = q.clone();
+    let i = rng.gen_range(0..out.predicates.len());
+    match &mut out.predicates[i] {
+        Predicate::IntCmp { value, .. } => *value += 1,
+        Predicate::IntBetween { hi, .. } => *hi += 1,
+        Predicate::StrEq { value, .. } => value.push('~'),
+        Predicate::StrContains { needle, .. } => needle.push('~'),
+    }
+    Some(out)
+}
+
+/// The canonical structural form of a query, independent of the digest:
+/// sorted tables, sorted normalized join edges, sorted predicate
+/// renderings, and the aggregate. Used to adjudicate digest collisions.
+fn canonical(q: &Query) -> (Vec<usize>, Vec<[usize; 4]>, Vec<String>, String) {
+    let mut edges: Vec<[usize; 4]> = q
+        .joins
+        .iter()
+        .map(|e| {
+            let l = [e.left_table, e.left_col];
+            let r = [e.right_table, e.right_col];
+            let (lo, hi) = if l <= r { (l, r) } else { (r, l) };
+            [lo[0], lo[1], hi[0], hi[1]]
+        })
+        .collect();
+    edges.sort_unstable();
+    let mut preds: Vec<String> = q.predicates.iter().map(|p| format!("{p:?}")).collect();
+    preds.sort_unstable();
+    (q.tables.clone(), edges, preds, format!("{:?}", q.agg))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    /// ISSUE 2 satellite: fingerprints are invariant under predicate /
+    /// join-list reordering (and endpoint swaps, and id relabeling).
+    #[test]
+    fn fingerprint_invariant_under_reordering(qi in 0usize..113, seed in 0u64..1_000_000) {
+        let qs = queries();
+        let q = &qs[qi % qs.len()];
+        let scrambled = scramble(q, seed);
+        prop_assert_eq!(
+            fingerprint(q),
+            fingerprint(&scrambled),
+            "query {} seed {}",
+            &q.id,
+            seed
+        );
+    }
+
+    /// Perturbing any predicate constant must change the fingerprint —
+    /// parameterized variants must not hit each other's cache entries.
+    #[test]
+    fn fingerprint_sensitive_to_constant_perturbation(qi in 0usize..113, seed in 0u64..1_000_000) {
+        let qs = queries();
+        let q = &qs[qi % qs.len()];
+        if let Some(p) = perturb(q, seed) {
+            prop_assert_ne!(fingerprint(q), fingerprint(&p), "query {} seed {}", &q.id, seed);
+        }
+    }
+
+    /// Structurally distinct workload queries never collide (113 queries,
+    /// all pairs). Equal digests are only acceptable between queries whose
+    /// *canonical structure* — not their fingerprints, which would be
+    /// circular — is identical (duplicate generation).
+    #[test]
+    fn fingerprints_distinct_across_workload(_case in 0u64..1) {
+        let qs = queries();
+        let mut seen: std::collections::HashMap<_, &Query> = std::collections::HashMap::new();
+        for q in qs.iter() {
+            if let Some(prev) = seen.insert(fingerprint(q), q) {
+                prop_assert_eq!(
+                    canonical(prev),
+                    canonical(q),
+                    "digest collision between structurally different {} and {}",
+                    &prev.id,
+                    &q.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The sharded, epoch-invalidated plan cache.
+//!
+//! Keys are canonical structural [`QueryFingerprint`]s
+//! ([`neo_query::fingerprint`]), so a repeated or isomorphic query (same
+//! tables, join graph, predicates — regardless of list order or id labels)
+//! returns its previously chosen plan without touching the value network.
+//! Parameter-perturbed variants fingerprint differently by design and
+//! always miss: a changed constant changes the optimal plan.
+//!
+//! **Sharding.** The map is split into `S` independently locked shards
+//! selected by a multiplicative hash of the fingerprint, so concurrent
+//! workers rarely contend on the same mutex; each lock is held only for
+//! the probe/insert itself, never during search.
+//!
+//! **Epoch invalidation.** The cache carries a monotonically increasing
+//! epoch. Retraining the value network (the runner's refinement loop)
+//! calls [`PlanCache::advance_epoch`], which bumps the epoch and flushes
+//! every shard — plans chosen under the old weights are stale, not merely
+//! cold. Searches *in flight across* an epoch bump are handled by stamping
+//! each insert with the epoch observed when its search started: a stale
+//! insert is rejected at the door, and a stale entry that raced its way in
+//! is discarded (and evicted) on probe.
+
+use neo_query::{PlanNode, QueryFingerprint};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default shard count: comfortably above any worker count this crate
+/// targets, tiny footprint when idle.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A cached plan stamped with the epoch of the weights that chose it.
+/// The plan sits behind an `Arc` so a hit hands out a pointer bump under
+/// the shard lock instead of a deep tree clone.
+#[derive(Clone, Debug)]
+struct Entry {
+    plan: Arc<PlanNode>,
+    epoch: u64,
+}
+
+/// Monotonic counters describing cache traffic since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that returned a current-epoch plan.
+    pub hits: u64,
+    /// Probes that found nothing (or only a stale entry).
+    pub misses: u64,
+    /// Accepted insertions.
+    pub insertions: u64,
+    /// Insertions rejected for carrying a stale epoch.
+    pub stale_rejections: u64,
+    /// `advance_epoch` calls.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hits over probes (0.0 when no probes happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded plan cache. All methods take `&self`; the cache is meant to
+/// be shared (behind an `Arc`) by every worker of an optimizer service.
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<QueryFingerprint, Entry>>>,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    stale_rejections: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache with `shards` independently locked shards (≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            stale_rejections: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch. Capture this *before* starting a search and pass
+    /// it to [`Self::insert`] so plans computed under superseded weights
+    /// cannot pollute the fresh cache.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, fp: QueryFingerprint) -> &Mutex<HashMap<QueryFingerprint, Entry>> {
+        &self.shards[fp.shard(self.shards.len())]
+    }
+
+    /// Probes the cache. A current-epoch entry is a hit; a stale entry is
+    /// evicted and counted as a miss. The returned `Arc` keeps the hit
+    /// path O(1) under the shard lock (no plan-tree clone).
+    pub fn get(&self, fp: QueryFingerprint) -> Option<Arc<PlanNode>> {
+        let epoch = self.epoch();
+        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        match shard.get(&fp) {
+            Some(e) if e.epoch == epoch => {
+                let plan = Arc::clone(&e.plan);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            Some(_) => {
+                // Raced in from a search that straddled an epoch bump.
+                shard.remove(&fp);
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a plan computed by a search that *started* at
+    /// `search_epoch`. Rejected when the epoch has moved on since — the
+    /// plan was chosen by superseded weights.
+    pub fn insert(&self, fp: QueryFingerprint, plan: PlanNode, search_epoch: u64) {
+        if self.epoch() != search_epoch {
+            self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let entry = Entry {
+            plan: Arc::new(plan),
+            epoch: search_epoch,
+        };
+        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        shard.insert(fp, entry);
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a new epoch (call after every value-network refinement):
+    /// bumps the epoch counter, then flushes every shard. Returns the new
+    /// epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        let new = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        new
+    }
+
+    /// Total entries across shards (stale entries included until evicted).
+    pub fn len(&self) -> usize {
+        self.shard_sizes().iter().sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entry count per shard (diagnostics; the serve bench reports the
+    /// spread to show the fingerprint hash distributes).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .collect()
+    }
+
+    /// True when any shard mutex is poisoned (a worker panicked while
+    /// holding it) — the concurrency sanity test asserts this stays false.
+    pub fn any_poisoned(&self) -> bool {
+        self.shards.iter().any(|s| s.is_poisoned())
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::{PlanNode, ScanType};
+
+    fn fp(x: u128) -> QueryFingerprint {
+        QueryFingerprint(x)
+    }
+
+    fn plan(rel: usize) -> PlanNode {
+        PlanNode::Scan {
+            rel,
+            scan: ScanType::Table,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = PlanCache::new(4);
+        assert_eq!(c.get(fp(1)), None);
+        c.insert(fp(1), plan(0), c.epoch());
+        assert_eq!(c.get(fp(1)).as_deref(), Some(&plan(0)));
+        assert_eq!(c.get(fp(2)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 2, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_epoch_flushes_every_shard() {
+        let c = PlanCache::new(8);
+        // Spread entries over all shards.
+        for i in 0..256u128 {
+            c.insert(fp(i * 0x9E37_79B9_7F4A_7C15), plan(0), 0);
+        }
+        assert!(c.shard_sizes().iter().all(|&n| n > 0), "all shards filled");
+        let e = c.advance_epoch();
+        assert_eq!(e, 1);
+        assert!(c.is_empty(), "epoch bump must flush all shards");
+        assert!(c.shard_sizes().iter().all(|&n| n == 0));
+        assert_eq!(c.get(fp(0x9E37_79B9_7F4A_7C15)), None);
+    }
+
+    #[test]
+    fn stale_insert_rejected_and_stale_entry_evicted() {
+        let c = PlanCache::new(2);
+        let old_epoch = c.epoch();
+        c.advance_epoch();
+        // A search that started before the bump finishes now: rejected.
+        c.insert(fp(7), plan(1), old_epoch);
+        assert_eq!(c.get(fp(7)), None);
+        assert_eq!(c.stats().stale_rejections, 1);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(PlanCache::new(4));
+        let handles: Vec<_> = (0..4u128)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..64 {
+                        let key = fp(t * 1000 + i);
+                        c.insert(key, plan(t as usize), c.epoch());
+                        assert!(c.get(key).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!c.any_poisoned());
+        assert_eq!(c.len(), 4 * 64);
+    }
+}

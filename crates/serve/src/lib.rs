@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # neo-serve — concurrent multi-query optimization service
+//!
+//! Neo is meant to sit in front of an execution engine and optimize a
+//! *stream* of queries (paper Fig. 1), not one query per process. This
+//! crate turns the core library into that service:
+//!
+//! * [`pool::WorkerPool`] — a vendored fixed-size worker pool (no external
+//!   dependencies, the workspace's shim pattern);
+//! * [`cache::PlanCache`] — a sharded plan cache keyed by canonical
+//!   structural [`neo_query::fingerprint`]s, with epoch-based invalidation
+//!   tied to the runner's refinement loop;
+//! * [`service::OptimizerService`] — one frozen [`neo::ValueNet`] shared
+//!   (read-only) by all in-flight searches, each running its own
+//!   [`neo::InferenceSession`]-backed wavefront search with scratch
+//!   buffers recycled per worker through a [`neo_nn::ScratchPool`].
+//!
+//! Cache hits return previously chosen plans for repeated/isomorphic
+//! queries with zero neural-network work; parameter-perturbed queries
+//! fingerprint differently and re-search. Search is deterministic, so
+//! concurrent serving chooses byte-identical plans to single-threaded
+//! runs.
+//!
+//! ```no_run
+//! use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+//! use neo_serve::{OptimizerService, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(neo_storage::datagen::imdb::generate(0.05, 42));
+//! let workload = neo_query::workload::job::generate(&db, 42);
+//! let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+//! let net = Arc::new(ValueNet::new(
+//!     featurizer.query_dim(),
+//!     featurizer.plan_channels(),
+//!     NetConfig::default(),
+//!     42,
+//! ));
+//! let service = OptimizerService::new(db, featurizer, net, ServeConfig::default());
+//! let outcomes = service.optimize_stream(&workload.queries);
+//! let hit_rate = service.cache_stats().hit_rate();
+//! println!("optimized {} queries, hit rate {hit_rate:.2}", outcomes.len());
+//! ```
+
+pub mod cache;
+pub mod pool;
+pub mod service;
+
+pub use cache::{CacheStats, PlanCache, DEFAULT_SHARDS};
+pub use pool::WorkerPool;
+pub use service::{OptimizeOutcome, OptimizerService, ServeConfig};

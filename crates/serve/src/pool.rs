@@ -1,0 +1,139 @@
+//! A vendored fixed-size worker pool (no external dependencies, following
+//! the workspace's shim pattern — see `crates/rand`, `crates/criterion`).
+//!
+//! `N` OS threads share one injector queue: a [`std::sync::mpsc`] channel
+//! whose receiver sits behind a mutex, so an idle worker blocks on
+//! `recv()` and wakes exactly when a job arrives. Jobs are boxed `FnOnce`
+//! closures; results travel through whatever channel the closure captures
+//! (the optimizer service uses a per-stream `mpsc` back-channel).
+//!
+//! Dropping the pool closes the injector and joins every worker, so jobs
+//! already submitted always finish — a clean shutdown is part of the
+//! service contract, not a best-effort detail.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads consuming boxed jobs from a shared
+/// queue.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one). Threads are named
+    /// `neo-serve-worker-<i>` for debuggability.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("neo-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to dequeue; run unlocked so
+                        // workers execute jobs concurrently.
+                        let job = {
+                            let guard = rx.lock().expect("worker queue lock poisoned");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // injector closed: shut down
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; it runs on the first idle worker. Never blocks the
+    /// caller (the queue is unbounded).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("worker pool has no live workers");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the sender makes every blocked `recv()` return Err.
+        drop(self.tx.take());
+        for h in self.workers.drain(..) {
+            // A worker that panicked already reported itself via the job's
+            // result channel (or the test harness); don't double-panic the
+            // pool teardown.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn drop_joins_and_finishes_submitted_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Pool dropped here: must drain the queue before joining.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,234 @@
+//! The multi-query optimization service: a frozen [`ValueNet`] shared by a
+//! fixed worker pool, fronted by the sharded [`PlanCache`].
+//!
+//! Per query, a worker: (1) fingerprints the query and probes the cache —
+//! a hit returns the previously chosen plan with **zero** neural-network
+//! work; (2) on a miss, opens an [`InferenceSession`]-backed wavefront
+//! search (`best_first_search_with_scratch`) against the shared network,
+//! with scratch buffers recycled through a [`ScratchPool`] so steady-state
+//! serving performs no inference-buffer growth; (3) inserts the chosen
+//! plan stamped with the epoch its search started under.
+//!
+//! Search is deterministic (no RNG, stable tie-breaking), so concurrent
+//! serving chooses byte-identical plans to a single-threaded run — the
+//! concurrency sanity test and `serve-bench` both pin this down.
+//!
+//! [`InferenceSession`]: neo::InferenceSession
+//! [`ValueNet`]: neo::ValueNet
+//! [`ScratchPool`]: neo_nn::ScratchPool
+
+use crate::cache::{CacheStats, PlanCache, DEFAULT_SHARDS};
+use crate::pool::WorkerPool;
+use neo::{best_first_search_with_scratch, Featurizer, SearchBudget, SearchStats, ValueNet};
+use neo_nn::ScratchPool;
+use neo_query::{fingerprint, PlanNode, Query, QueryFingerprint};
+use neo_storage::Database;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads optimizing queries concurrently.
+    pub workers: usize,
+    /// Plan-cache shard count.
+    pub cache_shards: usize,
+    /// Enables the plan cache (off = every query searches; used by the
+    /// bench's cold-scaling measurement).
+    pub use_cache: bool,
+    /// Search budget: expansions = `search_base_expansions + 3 * |R(q)|`
+    /// (the runner's budget rule, deterministic across runs).
+    pub search_base_expansions: usize,
+    /// Wavefront width `K` for every search.
+    pub wavefront: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache_shards: DEFAULT_SHARDS,
+            use_cache: true,
+            search_base_expansions: 12,
+            wavefront: neo::DEFAULT_WAVEFRONT,
+        }
+    }
+}
+
+/// The result of optimizing one query through the service.
+#[derive(Clone, Debug)]
+pub struct OptimizeOutcome {
+    /// The query's id (as submitted).
+    pub query_id: String,
+    /// Canonical structural fingerprint (the cache key).
+    pub fingerprint: QueryFingerprint,
+    /// The chosen physical plan.
+    pub plan: PlanNode,
+    /// True when the plan came from the cache (no NN work performed).
+    pub cache_hit: bool,
+    /// Wall-clock optimize latency, milliseconds (cache probe included).
+    pub optimize_ms: f64,
+    /// Search statistics (`None` on a cache hit).
+    pub search: Option<SearchStats>,
+}
+
+/// State shared between the caller and every worker.
+struct Shared {
+    db: Arc<Database>,
+    featurizer: Arc<Featurizer>,
+    net: Arc<ValueNet>,
+    cache: PlanCache,
+    scratch: ScratchPool,
+    cfg: ServeConfig,
+}
+
+impl Shared {
+    /// The full optimize path for one query, run on whichever thread calls
+    /// it (a pool worker for streams, the caller for [`OptimizerService::
+    /// optimize`]).
+    fn optimize_one(&self, query: &Query) -> OptimizeOutcome {
+        let start = Instant::now();
+        let fp = fingerprint(query);
+        let search_epoch = self.cache.epoch();
+        if self.cfg.use_cache {
+            if let Some(plan) = self.cache.get(fp) {
+                return OptimizeOutcome {
+                    query_id: query.id.clone(),
+                    fingerprint: fp,
+                    // Clone the tree *outside* the shard lock (`get`
+                    // returns an Arc) to keep cache critical sections O(1).
+                    plan: (*plan).clone(),
+                    cache_hit: true,
+                    optimize_ms: start.elapsed().as_secs_f64() * 1e3,
+                    search: None,
+                };
+            }
+        }
+        let budget =
+            SearchBudget::expansions(self.cfg.search_base_expansions + 3 * query.num_relations())
+                .with_wavefront(self.cfg.wavefront);
+        let scratch = self.scratch.checkout();
+        let (plan, stats, scratch) = best_first_search_with_scratch(
+            &self.net,
+            &self.featurizer,
+            &self.db,
+            query,
+            budget,
+            None,
+            scratch,
+        );
+        self.scratch.give_back(scratch);
+        if self.cfg.use_cache {
+            self.cache.insert(fp, plan.clone(), search_epoch);
+        }
+        OptimizeOutcome {
+            query_id: query.id.clone(),
+            fingerprint: fp,
+            plan,
+            cache_hit: false,
+            optimize_ms: start.elapsed().as_secs_f64() * 1e3,
+            search: Some(stats),
+        }
+    }
+}
+
+/// The concurrent multi-query optimization service.
+pub struct OptimizerService {
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+}
+
+impl OptimizerService {
+    /// Builds a service over a frozen network. The featurizer must not
+    /// have the aux-cardinality channel enabled (serving passes no aux
+    /// provider).
+    ///
+    /// # Panics
+    /// Panics if `featurizer.aux_card_channel` is set.
+    pub fn new(
+        db: Arc<Database>,
+        featurizer: Arc<Featurizer>,
+        net: Arc<ValueNet>,
+        cfg: ServeConfig,
+    ) -> Self {
+        assert!(
+            !featurizer.aux_card_channel,
+            "serving does not support the aux cardinality channel"
+        );
+        let pool = WorkerPool::new(cfg.workers);
+        OptimizerService {
+            shared: Arc::new(Shared {
+                db,
+                featurizer,
+                net,
+                cache: PlanCache::new(cfg.cache_shards),
+                scratch: ScratchPool::new(),
+                cfg,
+            }),
+            pool,
+        }
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Optimizes one query synchronously on the calling thread (the pool
+    /// stays free for concurrent streams).
+    pub fn optimize(&self, query: &Query) -> OptimizeOutcome {
+        self.shared.optimize_one(query)
+    }
+
+    /// Optimizes a stream of queries across the worker pool, blocking
+    /// until all are done. Results are returned in submission order;
+    /// *execution* order is whatever the pool schedules.
+    pub fn optimize_stream(&self, queries: &[Query]) -> Vec<OptimizeOutcome> {
+        let (tx, rx) = channel::<(usize, OptimizeOutcome)>();
+        for (i, q) in queries.iter().enumerate() {
+            let shared = Arc::clone(&self.shared);
+            let q = q.clone();
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let outcome = shared.optimize_one(&q);
+                // The receiver outlives all senders unless the caller
+                // panicked; nothing useful to do with the error then.
+                let _ = tx.send((i, outcome));
+            });
+        }
+        drop(tx);
+        let mut results: Vec<(usize, OptimizeOutcome)> = rx.iter().collect();
+        results.sort_by_key(|(i, _)| *i);
+        // A worker that panicked drops its sender without reporting; a
+        // truncated result vector must fail loudly, not silently misalign
+        // against the submission order.
+        assert_eq!(
+            results.len(),
+            queries.len(),
+            "worker(s) died before reporting: {} of {} outcomes received",
+            results.len(),
+            queries.len()
+        );
+        results.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Signals that the value network was refined (retrained): bumps the
+    /// cache epoch and flushes every shard, so all subsequent queries
+    /// re-search under the new weights. Returns the new epoch.
+    pub fn begin_refinement_epoch(&self) -> u64 {
+        self.shared.cache.advance_epoch()
+    }
+
+    /// The plan cache (stats, epoch, poison checks).
+    pub fn cache(&self) -> &PlanCache {
+        &self.shared.cache
+    }
+
+    /// Convenience passthrough of [`PlanCache::stats`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+}

@@ -1,0 +1,163 @@
+//! Plan-cache semantics through the full service (ISSUE 2 satellite):
+//! hit/miss on identical vs perturbed queries, and epoch invalidation
+//! flushing all shards.
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_query::{workload::job, Predicate, Query};
+use neo_serve::{OptimizerService, ServeConfig};
+use std::sync::Arc;
+
+fn service(workers: usize) -> (OptimizerService, Vec<Query>) {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, 5));
+    let queries: Vec<Query> = job::generate(&db, 5)
+        .queries
+        .into_iter()
+        .filter(|q| q.num_relations() <= 6)
+        .take(6)
+        .collect();
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::OneHot));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 1e-2,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        },
+        5,
+    ));
+    let cfg = ServeConfig {
+        workers,
+        cache_shards: 8,
+        ..Default::default()
+    };
+    (OptimizerService::new(db, featurizer, net, cfg), queries)
+}
+
+/// Perturbs the first integer predicate constant (or appends to a string
+/// one), keeping structure identical.
+fn perturbed(q: &Query) -> Query {
+    let mut out = q.clone();
+    out.id = format!("{}-perturbed", q.id);
+    match out
+        .predicates
+        .first_mut()
+        .expect("JOB queries carry predicates")
+    {
+        Predicate::IntCmp { value, .. } => *value += 3,
+        Predicate::IntBetween { hi, .. } => *hi += 3,
+        Predicate::StrEq { value, .. } => value.push('x'),
+        Predicate::StrContains { needle, .. } => needle.push('x'),
+    }
+    out
+}
+
+#[test]
+fn identical_query_hits_perturbed_query_misses() {
+    let (service, queries) = service(1);
+    let q = &queries[0];
+
+    let cold = service.optimize(q);
+    assert!(!cold.cache_hit, "first sight must search");
+    assert!(cold.search.is_some());
+
+    let warm = service.optimize(q);
+    assert!(warm.cache_hit, "identical repeat must hit");
+    assert!(warm.search.is_none(), "a hit performs no NN work");
+    assert_eq!(warm.plan, cold.plan, "cached plan is the searched plan");
+
+    // Same structure, different id + reordered lists: still a hit.
+    let mut iso = q.clone();
+    iso.id = "isomorphic".into();
+    iso.joins.reverse();
+    iso.predicates.reverse();
+    let iso_out = service.optimize(&iso);
+    assert!(iso_out.cache_hit, "isomorphic repeat must hit");
+    assert_eq!(iso_out.plan, cold.plan);
+
+    // Perturbed constant: different fingerprint, fresh search.
+    let p = perturbed(q);
+    let p_out = service.optimize(&p);
+    assert!(!p_out.cache_hit, "perturbed constants must miss");
+    assert_ne!(p_out.fingerprint, cold.fingerprint);
+
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.insertions, 2); // cold + perturbed
+}
+
+#[test]
+fn epoch_invalidation_flushes_all_shards_and_forces_research() {
+    let (service, queries) = service(2);
+    // Fill the cache across shards.
+    let outcomes = service.optimize_stream(&queries);
+    assert!(outcomes.iter().all(|o| !o.cache_hit));
+    let filled: usize = service.cache().len();
+    assert_eq!(filled, queries.len());
+    assert!(
+        service
+            .cache()
+            .shard_sizes()
+            .iter()
+            .filter(|&&n| n > 0)
+            .count()
+            > 1,
+        "queries should spread over multiple shards: {:?}",
+        service.cache().shard_sizes()
+    );
+
+    // Warm pass: everything hits.
+    let warm = service.optimize_stream(&queries);
+    assert!(warm.iter().all(|o| o.cache_hit));
+
+    // Refinement epoch: every shard flushed, epoch bumped.
+    let epoch = service.begin_refinement_epoch();
+    assert_eq!(epoch, 1);
+    assert!(service.cache().is_empty(), "flush must cover all shards");
+    assert!(service.cache().shard_sizes().iter().all(|&n| n == 0));
+
+    // Post-flush pass: all searches again, then hits return.
+    let cold_again = service.optimize_stream(&queries);
+    assert!(cold_again.iter().all(|o| !o.cache_hit));
+    let warm_again = service.optimize_stream(&queries);
+    assert!(warm_again.iter().all(|o| o.cache_hit));
+    assert!(!service.cache().any_poisoned());
+}
+
+#[test]
+fn cache_disabled_never_hits() {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, 5));
+    let q = job::generate(&db, 5)
+        .queries
+        .into_iter()
+        .find(|q| q.num_relations() <= 5)
+        .unwrap();
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::OneHot));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig {
+            query_layers: vec![16, 8],
+            conv_channels: vec![8, 8],
+            head_layers: vec![8],
+            lr: 1e-2,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        },
+        5,
+    ));
+    let cfg = ServeConfig {
+        workers: 1,
+        use_cache: false,
+        ..Default::default()
+    };
+    let service = OptimizerService::new(db, featurizer, net, cfg);
+    let a = service.optimize(&q);
+    let b = service.optimize(&q);
+    assert!(!a.cache_hit && !b.cache_hit);
+    assert_eq!(a.plan, b.plan, "search stays deterministic");
+    assert_eq!(service.cache_stats().insertions, 0);
+}

@@ -1,0 +1,136 @@
+//! Loom-free concurrency sanity test (ISSUE 2 satellite, wired into CI's
+//! regular `cargo test`): several workers optimize a shared workload
+//! concurrently; afterwards no lock may be poisoned and every chosen plan
+//! must be byte-identical to a single-threaded reference run.
+
+use neo::{
+    best_first_search, Featurization, Featurizer, NetConfig, SearchBudget, ValueNet,
+    DEFAULT_WAVEFRONT,
+};
+use neo_query::{workload::job, Query};
+use neo_serve::{OptimizerService, ServeConfig};
+use std::sync::Arc;
+
+struct Fixture {
+    db: Arc<neo_storage::Database>,
+    featurizer: Arc<Featurizer>,
+    net: Arc<ValueNet>,
+    queries: Vec<Query>,
+}
+
+fn fixture() -> Fixture {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, 11));
+    let queries: Vec<Query> = job::generate(&db, 11)
+        .queries
+        .into_iter()
+        .filter(|q| q.num_relations() <= 7)
+        .take(10)
+        .collect();
+    assert!(queries.len() >= 8, "fixture needs a real workload");
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::OneHot));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 1e-2,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        },
+        11,
+    ));
+    Fixture {
+        db,
+        featurizer,
+        net,
+        queries,
+    }
+}
+
+#[test]
+fn concurrent_serving_matches_single_threaded_search() {
+    let fx = fixture();
+    let base_expansions = 12;
+
+    // Single-threaded reference: plain best_first_search per query, the
+    // same budget rule the service applies.
+    let reference: Vec<_> = fx
+        .queries
+        .iter()
+        .map(|q| {
+            let budget = SearchBudget::expansions(base_expansions + 3 * q.num_relations())
+                .with_wavefront(DEFAULT_WAVEFRONT);
+            best_first_search(&fx.net, &fx.featurizer, &fx.db, q, budget, None).0
+        })
+        .collect();
+
+    // A stream with every query repeated (hits exercise the cache under
+    // contention), optimized by a 4-worker service.
+    let mut stream = fx.queries.clone();
+    stream.extend(fx.queries.iter().cloned());
+    let service = OptimizerService::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        ServeConfig {
+            workers: 4,
+            cache_shards: 8,
+            search_base_expansions: base_expansions,
+            ..Default::default()
+        },
+    );
+    let outcomes = service.optimize_stream(&stream);
+    assert_eq!(outcomes.len(), stream.len());
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let expected = &reference[i % fx.queries.len()];
+        assert_eq!(
+            &outcome.plan, expected,
+            "query {} diverged from the single-threaded plan (hit={})",
+            outcome.query_id, outcome.cache_hit
+        );
+    }
+
+    assert!(!service.cache().any_poisoned(), "no lock may be poisoned");
+    let stats = service.cache_stats();
+    // Every query was seen twice; at least the strictly-later repeats of
+    // already-completed searches must hit (races on in-flight duplicates
+    // may legitimately re-search).
+    assert!(stats.hits > 0, "repeats produced no cache hits: {stats:?}");
+    assert_eq!(stats.hits + stats.misses, stream.len() as u64);
+}
+
+#[test]
+fn many_streams_from_many_threads_share_one_service() {
+    let fx = fixture();
+    let service = Arc::new(OptimizerService::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        ServeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    ));
+    // Four client threads all submit the same workload concurrently (the
+    // "millions of users" shape at miniature scale); plans must agree.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let queries = fx.queries.clone();
+            std::thread::spawn(move || {
+                queries
+                    .iter()
+                    .map(|q| service.optimize(q).plan)
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let results: Vec<Vec<_>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "clients disagreed on plans");
+    }
+    assert!(!service.cache().any_poisoned());
+}
