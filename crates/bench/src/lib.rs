@@ -14,12 +14,14 @@
 
 pub mod figures;
 pub mod harness;
+pub mod learn_bench;
 pub mod serve_bench;
 
 pub use harness::{
     build_db, build_workload, run_learning, split_workload, CurvePoint, Preset, RunRecord,
     WorkloadKind,
 };
+pub use learn_bench::{run_learn_bench, LearnBenchConfig, LearnBenchReport};
 pub use serve_bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
 
 /// Prints a horizontal rule + section title.

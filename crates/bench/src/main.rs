@@ -21,7 +21,14 @@
 //!   serve-bench       multi-query serving throughput -> BENCH_serve.json
 //!                     (--workers W sets the top concurrency level,
 //!                      --smoke runs the tiny CI preset)
-//!   all               everything above, in order
+//!   learn-bench       closed-loop online learning -> BENCH_learn.json
+//!                     (plan-quality trajectory vs the Selinger expert,
+//!                      serving throughput under concurrent retraining,
+//!                      hot-swap latency; --smoke for the CI preset)
+//!   all               every figure/table experiment above, in order
+//!                     (the bench-* / *-bench commands run separately:
+//!                      they write JSON reports and assert their own
+//!                      acceptance criteria)
 //!
 //! flags (shared across commands):
 //!   --quick | --full  experiment sizing preset (default --quick)
@@ -140,6 +147,66 @@ fn main() {
                 "multi-threaded serving diverged from single-threaded plans"
             );
         }
+        "learn-bench" => {
+            // Closed-loop online learning (ISSUE 3): plan-quality
+            // trajectory across background retrain generations vs the
+            // Selinger expert baseline, serving throughput with a
+            // concurrent trainer, and hot-swap latency. Writes
+            // BENCH_learn.json.
+            let workers = args
+                .iter()
+                .position(|a| a == "--workers")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4usize);
+            let cfg = if args.iter().any(|a| a == "--smoke") {
+                neo_bench::LearnBenchConfig::smoke(preset.seed)
+            } else {
+                neo_bench::LearnBenchConfig::standard(preset.seed, workers)
+            };
+            neo_bench::section("closed-loop online learning (BENCH_learn.json)");
+            let report = neo_bench::run_learn_bench(&cfg);
+            print!("{}", report.to_json());
+            let path = "BENCH_learn.json";
+            std::fs::write(path, report.to_json()).expect("write BENCH_learn.json");
+            eprintln!(
+                "trajectory {:.1} ms (gen 0, untrained) -> {:.1} ms (gen {}) = {:.2}x better; \
+                 expert {:.1} ms (final at {:.2}x, envelope {:.1}x: {}); \
+                 throughput {:.0} qps frozen vs {:.0} qps while retraining \
+                 ({:.0}%, CPU fair-share bound {:.0}% on {} core(s)); \
+                 swap {:.0} us mean; wrote {path}",
+                report.gen0_mean_ms,
+                report.final_mean_ms,
+                report.generations,
+                report.improvement_vs_gen0,
+                report.expert_mean_ms,
+                report.final_mean_ms / report.expert_mean_ms.max(1e-9),
+                report.envelope_factor,
+                if report.within_expert_envelope {
+                    "within"
+                } else {
+                    "OUTSIDE"
+                },
+                report.throughput_frozen_qps,
+                report.throughput_training_qps,
+                report.throughput_ratio * 100.0,
+                report.cpu_share_bound * 100.0,
+                report.available_parallelism,
+                report.swap_mean_us,
+            );
+            assert!(
+                report.final_mean_ms < report.gen0_mean_ms,
+                "closed loop failed to improve on the untrained model"
+            );
+            assert!(
+                report.stable_after_final_swap,
+                "post-swap serving is not deterministic"
+            );
+            assert!(
+                report.checkpoint_roundtrip_ok,
+                "checkpoint save -> load -> predict round-trip failed"
+            );
+        }
         "all" => {
             figures::fig9_to_11(&preset);
             figures::fig12(&preset);
@@ -162,8 +229,10 @@ fn main() {
                  [--workers W]\n\
                  commands: stats fig9-11 fig12 fig13 fig14 fig15 fig16 fig17 table2 \
                  ablation-demo ablation-treeconv executor-vs-model bench-search \
-                 serve-bench all\n\
+                 serve-bench learn-bench all\n\
                  serve-bench flags: --workers W (top concurrency level, default 4), \
+                 --smoke (tiny CI preset)\n\
+                 learn-bench flags: --workers W (service workers, default 4), \
                  --smoke (tiny CI preset)"
             );
             std::process::exit(if cmd == "help" || cmd == "--help" || cmd == "-h" {

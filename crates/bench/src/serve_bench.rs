@@ -207,6 +207,7 @@ fn service(fx: &Fixture, workers: usize, use_cache: bool) -> OptimizerService {
             use_cache,
             search_base_expansions: BASE_EXPANSIONS,
             wavefront: DEFAULT_WAVEFRONT,
+            ..Default::default()
         },
     )
 }

@@ -33,27 +33,74 @@ pub struct TrainingSample {
     pub target: f64,
 }
 
+/// Default cap on retained plans per query (see [`Experience::add`]).
+///
+/// The value network's targets are *min*-aggregated, so the high-cost tail
+/// of a query's episode list contributes almost nothing after the first few
+/// episodes — but an unbounded list grows linearly with training episodes
+/// (and with serving feedback, once the closed loop runs for days). Best-k
+/// retention keeps the store O(queries), not O(executions).
+pub const DEFAULT_PLANS_PER_QUERY: usize = 16;
+
 /// The experience store, per query.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Experience {
     by_query: HashMap<String, Vec<Episode>>,
+    max_plans_per_query: usize,
+}
+
+impl Default for Experience {
+    fn default() -> Self {
+        Experience {
+            by_query: HashMap::new(),
+            max_plans_per_query: DEFAULT_PLANS_PER_QUERY,
+        }
+    }
 }
 
 impl Experience {
-    /// Creates an empty store.
+    /// Creates an empty store with the default per-query plan cap.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty store retaining at most `k` (≥ 1) plans per query.
+    pub fn with_plan_cap(k: usize) -> Self {
+        Experience {
+            by_query: HashMap::new(),
+            max_plans_per_query: k.max(1),
+        }
+    }
+
+    /// The per-query plan retention cap.
+    pub fn plan_cap(&self) -> usize {
+        self.max_plans_per_query
+    }
+
     /// Records an executed plan. Duplicate plans keep the minimum cost
     /// (the latency model is deterministic, so duplicates carry no new
-    /// information).
+    /// information). When a query exceeds the plan cap, the worst-cost
+    /// plan is dropped — best-k retention, so [`Self::best_plan`] /
+    /// [`Self::best_cost`] and the min-aggregated
+    /// [`Self::training_samples`] targets are unaffected by eviction.
     pub fn add(&mut self, query_id: &str, plan: PlanNode, cost: f64) {
         let eps = self.by_query.entry(query_id.to_string()).or_default();
         if let Some(e) = eps.iter_mut().find(|e| e.plan == plan) {
             e.cost = e.cost.min(cost);
         } else {
             eps.push(Episode { plan, cost });
+        }
+        if eps.len() > self.max_plans_per_query {
+            // Evict the worst-cost episode (the latest among ties). The
+            // freshly added plan evicts itself when it *is* the worst —
+            // correct for best-k semantics.
+            let worst = eps
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).unwrap())
+                .map(|(i, _)| i)
+                .expect("non-empty episode list");
+            eps.remove(worst);
         }
     }
 
@@ -248,6 +295,58 @@ mod tests {
         let q = query3();
         assert_eq!(e.training_samples(&[&q]).len(), 0);
         assert_eq!(e.best_cost("nope"), None);
+    }
+
+    #[test]
+    fn plan_cap_bounds_growth_and_keeps_best() {
+        let mut e = Experience::with_plan_cap(3);
+        assert_eq!(e.plan_cap(), 3);
+        // 10 distinct plans with distinct costs; only the 3 cheapest stay.
+        for i in 0..10usize {
+            let op = if i % 2 == 0 {
+                JoinOp::Hash
+            } else {
+                JoinOp::Merge
+            };
+            let plan = join(op, leaf(i % 4), leaf(4 + i / 2));
+            e.add("q", plan, 100.0 - i as f64);
+        }
+        assert_eq!(e.num_plans(), 3, "cap must bound retained plans");
+        assert_eq!(e.best_cost("q"), Some(91.0), "cheapest plan retained");
+        let mut costs = e.all_costs();
+        costs.sort_by(f64::total_cmp);
+        assert_eq!(costs, vec![91.0, 92.0, 93.0], "best-k retention");
+    }
+
+    #[test]
+    fn plan_cap_never_evicts_the_best_plan() {
+        let mut e = Experience::with_plan_cap(2);
+        let best = join(JoinOp::Hash, leaf(0), leaf(1));
+        e.add("q", best.clone(), 1.0);
+        for i in 0..20usize {
+            e.add(
+                "q",
+                join(JoinOp::Merge, leaf(i % 3), leaf(3 + i % 5)),
+                50.0 + i as f64,
+            );
+        }
+        assert_eq!(e.num_plans(), 2);
+        assert_eq!(e.best_plan("q"), Some(&best));
+        assert_eq!(e.best_cost("q"), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_adds_do_not_evict_under_cap() {
+        let mut e = Experience::with_plan_cap(2);
+        let a = join(JoinOp::Hash, leaf(0), leaf(1));
+        let b = join(JoinOp::Merge, leaf(0), leaf(1));
+        e.add("q", a.clone(), 10.0);
+        e.add("q", b, 20.0);
+        // Re-adding an existing plan (any cost) must not push the store
+        // over the cap or evict anything.
+        e.add("q", a, 30.0);
+        assert_eq!(e.num_plans(), 2);
+        assert_eq!(e.best_cost("q"), Some(10.0));
     }
 
     #[test]

@@ -41,15 +41,18 @@ pub mod experience;
 pub mod featurize;
 pub mod runner;
 pub mod search;
+pub mod train;
 pub mod value_net;
 
 pub use cost::{CostFn, CostKind};
-pub use experience::{Experience, TrainingSample};
+pub use experience::{Experience, TrainingSample, DEFAULT_PLANS_PER_QUERY};
 pub use featurize::{EncodedPlan, Featurization, Featurizer};
 pub use runner::{
     build_featurization, AuxCardSource, EpisodeStats, FeaturizationChoice, Neo, NeoConfig,
 };
 pub use search::{
-    best_first_search, best_first_search_with_scratch, SearchBudget, SearchStats, DEFAULT_WAVEFRONT,
+    best_first_search, best_first_search_seeded_with_scratch, best_first_search_with_scratch,
+    SearchBudget, SearchStats, DEFAULT_WAVEFRONT,
 };
+pub use train::TrainingSet;
 pub use value_net::{InferenceSession, NetConfig, ValueNet};

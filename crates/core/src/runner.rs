@@ -14,6 +14,7 @@ use crate::cost::{CostFn, CostKind};
 use crate::experience::Experience;
 use crate::featurize::{Featurization, Featurizer};
 use crate::search::{best_first_search, SearchBudget, SearchStats};
+use crate::train::TrainingSet;
 use crate::value_net::{NetConfig, ValueNet};
 use neo_embedding::{build_corpus, CorpusKind, RVectorFeaturizer, W2vConfig};
 use neo_engine::{true_latency, CardinalityOracle, Engine, EngineProfile};
@@ -21,7 +22,6 @@ use neo_expert::{deterministic_error_factor, postgres_expert, CardEstimator, His
 use neo_query::{PlanNode, Query, RelMask};
 use neo_storage::Database;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
@@ -317,6 +317,10 @@ impl<'a> Neo<'a> {
 
     /// Retrains the value network from experience for `epochs` passes.
     /// Returns the mean batch loss of the final epoch.
+    ///
+    /// Composed from the reusable steps in [`crate::train`] —
+    /// [`TrainingSet::encode`] + [`TrainingSet::train_epochs`] — which the
+    /// `neo-learn` background trainer shares for incremental retraining.
     pub fn retrain(&mut self, epochs: usize) -> f32 {
         let start = Instant::now();
         let refs: Vec<&Query> = self.train_queries.iter().collect();
@@ -325,48 +329,26 @@ impl<'a> Neo<'a> {
             return 0.0;
         }
         self.net.fit_normalization(&self.experience.all_costs());
-        // Cache query encodings and plan encodings once per retrain.
-        let mut qenc: std::collections::HashMap<&str, Vec<f32>> = Default::default();
-        for q in &self.train_queries {
-            qenc.insert(&q.id, self.featurizer.encode_query(self.db, q));
-        }
-        let by_id: std::collections::HashMap<&str, &Query> = self
-            .train_queries
-            .iter()
-            .map(|q| (q.id.as_str(), q))
-            .collect();
-        let encoded: Vec<(usize, crate::featurize::EncodedPlan)> = samples
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let q = by_id[s.query_id.as_str()];
-                let mut aux = self.aux_closure(q);
-                (
-                    i,
-                    self.featurizer
-                        .encode_plan(q, &s.state, aux.as_mut().map(|f| &mut **f as _)),
-                )
-            })
-            .collect();
-
-        let mut idx: Vec<usize> = (0..samples.len()).collect();
-        let mut mean_loss = 0.0f32;
-        for _ in 0..epochs.max(1) {
-            idx.shuffle(&mut self.rng);
-            let take = idx.len().min(self.cfg.max_samples_per_retrain);
-            let mut losses = Vec::new();
-            for chunk in idx[..take].chunks(self.cfg.batch_size) {
-                let qrefs: Vec<&[f32]> = chunk
-                    .iter()
-                    .map(|&i| qenc[samples[i].query_id.as_str()].as_slice())
-                    .collect();
-                let prefs: Vec<&crate::featurize::EncodedPlan> =
-                    chunk.iter().map(|&i| &encoded[i].1).collect();
-                let targets: Vec<f64> = chunk.iter().map(|&i| samples[i].target).collect();
-                losses.push(self.net.train_batch(&qrefs, &prefs, &targets));
-            }
-            mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
-        }
+        let set = if self.cfg.aux_card == AuxCardSource::Off {
+            TrainingSet::encode(&self.featurizer, self.db, &refs, &samples, None)
+        } else {
+            let mut factory =
+                |q: &Query| self.aux_closure(q).expect("aux channel enabled but closed");
+            TrainingSet::encode(
+                &self.featurizer,
+                self.db,
+                &refs,
+                &samples,
+                Some(&mut factory),
+            )
+        };
+        let mean_loss = set.train_epochs(
+            &mut self.net,
+            epochs,
+            self.cfg.batch_size,
+            self.cfg.max_samples_per_retrain,
+            &mut self.rng,
+        );
         self.nn_wall_ms += start.elapsed().as_secs_f64() * 1e3;
         mean_loss
     }

@@ -88,6 +88,8 @@ pub struct SearchStats {
     pub wall_ms: f64,
     /// Whether hurry-up mode was needed to complete the plan.
     pub hurried: bool,
+    /// Whether a warm-start seed plan was installed as the incumbent.
+    pub seeded: bool,
 }
 
 /// Heap entry ordered so the *lowest* predicted value pops first.
@@ -220,7 +222,35 @@ pub fn best_first_search_with_scratch(
     db: &neo_storage::Database,
     query: &Query,
     budget: SearchBudget,
+    aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+    scratch: Scratch,
+) -> (PlanNode, SearchStats, Scratch) {
+    best_first_search_seeded_with_scratch(net, featurizer, db, query, budget, aux, None, scratch)
+}
+
+/// [`best_first_search_with_scratch`] with an optional **warm-start seed**:
+/// a complete plan previously chosen for this query (typically under a
+/// superseded model generation — see `neo-serve`'s epoch demotion). The
+/// seed is scored under the *current* network as an incumbent that
+/// challenges whatever the search produces — including a hurry-up descent,
+/// which still runs (and still sets `stats.hurried`) when the budget pops
+/// no complete plan, so a retrained model can displace the previous
+/// generation's answer. The search can never return a plan the network
+/// considers worse than the seed, and remains fully deterministic: the
+/// result is the predicted-value argmin over `{seed} ∪ {complete plans
+/// found or descended to}`.
+///
+/// A seed that does not cover exactly the query's relations (or is not
+/// fully specified) is ignored rather than trusted.
+#[allow(clippy::too_many_arguments)] // the seeded serving entry point: budget + aux + seed + scratch
+pub fn best_first_search_seeded_with_scratch(
+    net: &ValueNet,
+    featurizer: &Featurizer,
+    db: &neo_storage::Database,
+    query: &Query,
+    budget: SearchBudget,
     mut aux: Option<&mut dyn FnMut(RelMask) -> f32>,
+    seed: Option<&PlanNode>,
     scratch: Scratch,
 ) -> (PlanNode, SearchStats, Scratch) {
     let start = Instant::now();
@@ -245,6 +275,26 @@ pub fn best_first_search_with_scratch(
         plan: initial,
     });
     seq += 1;
+
+    // The warm-start incumbent, kept *outside* `best_complete`: it
+    // challenges whatever the search produces (including a hurry-up
+    // descent) at the end, but must not suppress the search's own
+    // mechanisms — a budget too small to pop a complete plan still runs
+    // hurry-up under the *current* network, so a retrained model can
+    // displace the previous generation's plan.
+    let mut seed_incumbent: Option<(f32, PlanNode)> = None;
+    if let Some(tree) = seed {
+        let full: RelMask = (1u64 << query.num_relations()) - 1;
+        if tree.fully_specified() && tree.rel_mask() == full {
+            let sp = PartialPlan::from_tree(tree.clone());
+            let s = scorer.score_batch(query, std::slice::from_ref(&sp), &mut aux, &mut stats)[0];
+            seed_incumbent = Some((s, tree.clone()));
+            // The incumbent counts as visited: re-deriving it organically
+            // cannot improve on itself.
+            visited.insert(plan_key(&sp));
+            stats.seeded = true;
+        }
+    }
 
     let out_of_budget = |stats: &SearchStats, start: &Instant| -> bool {
         if let Some(me) = budget.max_expansions {
@@ -322,8 +372,14 @@ pub fn best_first_search_with_scratch(
     }
 
     stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    if let Some((_, tree)) = best_complete {
-        return (tree, stats, scorer.session.into_scratch());
+    if let Some((score, tree)) = best_complete {
+        // The organically found optimum, unless the seed incumbent still
+        // scores strictly better under the current network.
+        let chosen = match seed_incumbent {
+            Some((seed_score, seed_tree)) if seed_score < score => seed_tree,
+            _ => tree,
+        };
+        return (chosen, stats, scorer.session.into_scratch());
     }
 
     // "Hurry-up" mode (paper §4.2): greedily descend from the most
@@ -350,12 +406,23 @@ pub fn best_first_search_with_scratch(
             .unwrap();
         plan = kids.into_iter().nth(best).unwrap();
     }
+    let descended = plan.roots.into_iter().next().unwrap();
+    let chosen = match seed_incumbent {
+        Some((seed_score, seed_tree)) => {
+            // Score the descended plan and let the incumbent challenge it:
+            // the returned plan is the current network's argmin of the two.
+            let dp = PartialPlan::from_tree(descended.clone());
+            let ds = scorer.score_batch(query, std::slice::from_ref(&dp), &mut aux, &mut stats)[0];
+            if seed_score < ds {
+                seed_tree
+            } else {
+                descended
+            }
+        }
+        None => descended,
+    };
     stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    (
-        plan.roots.into_iter().next().unwrap(),
-        stats,
-        scorer.session.into_scratch(),
-    )
+    (chosen, stats, scorer.session.into_scratch())
 }
 
 #[cfg(test)]

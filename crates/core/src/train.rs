@@ -1,0 +1,243 @@
+//! Reusable value-network training steps (paper §4.1), factored out of the
+//! runner's monolithic `retrain` so that *incremental* retraining — the
+//! closed-loop background trainer in `neo-learn` — can share the exact
+//! same encode/shuffle/minibatch/Adam pipeline without dragging in the
+//! whole [`crate::runner::Neo`] harness.
+//!
+//! The split is: [`TrainingSet::encode`] turns derived
+//! [`TrainingSample`]s into cached query/plan encodings once, and
+//! [`TrainingSet::train_epochs`] runs any number of shuffled minibatch
+//! epochs over them against a [`ValueNet`]. The runner's `retrain` is now a
+//! thin composition of the two; a background trainer calls them against a
+//! *clone* of the serving network.
+
+use crate::experience::TrainingSample;
+use crate::featurize::{EncodedPlan, Featurizer};
+use crate::value_net::ValueNet;
+use neo_query::{Query, RelMask};
+use neo_storage::Database;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// A per-query aux-feature closure (the optional cardinality channel).
+pub type AuxFn<'a> = Box<dyn FnMut(RelMask) -> f32 + 'a>;
+
+/// An encoded, training-ready sample set: query encodings computed once
+/// per distinct query, plan encodings once per sample.
+pub struct TrainingSet {
+    /// One encoding per distinct query, indexed by [`Self::query_of`].
+    query_encs: Vec<Vec<f32>>,
+    /// Per sample: index into [`Self::query_encs`].
+    query_of: Vec<usize>,
+    /// Per sample: the encoded partial-plan state.
+    plans: Vec<EncodedPlan>,
+    /// Per sample: the raw (ms) min-aggregated target cost.
+    targets: Vec<f64>,
+}
+
+impl TrainingSet {
+    /// Encodes `samples` (derived from experience for `queries`) into a
+    /// reusable training set. `aux_factory`, when provided, builds the
+    /// per-query aux-cardinality closure (must be provided exactly when
+    /// the featurizer's aux channel is enabled).
+    ///
+    /// # Panics
+    /// Panics if a sample references a query not present in `queries`.
+    pub fn encode<'a>(
+        featurizer: &Featurizer,
+        db: &Database,
+        queries: &[&Query],
+        samples: &[TrainingSample],
+        mut aux_factory: Option<&mut (dyn FnMut(&Query) -> AuxFn<'a> + '_)>,
+    ) -> TrainingSet {
+        let idx_of: HashMap<&str, usize> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.id.as_str(), i))
+            .collect();
+        let query_encs: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| featurizer.encode_query(db, q))
+            .collect();
+        let mut query_of = Vec::with_capacity(samples.len());
+        let mut plans = Vec::with_capacity(samples.len());
+        let mut targets = Vec::with_capacity(samples.len());
+        for s in samples {
+            let qi = *idx_of
+                .get(s.query_id.as_str())
+                .expect("sample references an unknown query");
+            let q = queries[qi];
+            let mut aux = aux_factory.as_mut().map(|f| f(q));
+            plans.push(featurizer.encode_plan(q, &s.state, aux.as_mut().map(|f| &mut **f as _)));
+            query_of.push(qi);
+            targets.push(s.target);
+        }
+        TrainingSet {
+            query_encs,
+            query_of,
+            plans,
+            targets,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when there is nothing to train on.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Runs `epochs` shuffled minibatch passes over (up to `max_samples`
+    /// of) the set against `net`, returning the mean batch loss of the
+    /// final epoch (0.0 on an empty set).
+    ///
+    /// This is the exact training step the runner's `retrain` performs;
+    /// callers own normalization ([`ValueNet::fit_normalization`]) because
+    /// the right cost population depends on the experience store, not on
+    /// this sample subset.
+    pub fn train_epochs(
+        &self,
+        net: &mut ValueNet,
+        epochs: usize,
+        batch_size: usize,
+        max_samples: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let batch_size = batch_size.max(1);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut mean_loss = 0.0f32;
+        for _ in 0..epochs.max(1) {
+            idx.shuffle(rng);
+            let take = idx.len().min(max_samples.max(1));
+            let mut losses = Vec::new();
+            for chunk in idx[..take].chunks(batch_size) {
+                let qrefs: Vec<&[f32]> = chunk
+                    .iter()
+                    .map(|&i| self.query_encs[self.query_of[i]].as_slice())
+                    .collect();
+                let prefs: Vec<&EncodedPlan> = chunk.iter().map(|&i| &self.plans[i]).collect();
+                let targets: Vec<f64> = chunk.iter().map(|&i| self.targets[i]).collect();
+                losses.push(net.train_batch(&qrefs, &prefs, &targets));
+            }
+            mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
+        }
+        mean_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experience::Experience;
+    use crate::featurize::Featurization;
+    use crate::value_net::NetConfig;
+    use neo_expert::postgres_expert;
+    use neo_query::workload::job;
+    use neo_storage::datagen::imdb;
+    use rand::SeedableRng;
+
+    fn fixture() -> (
+        neo_storage::Database,
+        Vec<Query>,
+        Featurizer,
+        ValueNet,
+        Experience,
+    ) {
+        let db = imdb::generate(0.02, 1);
+        let queries: Vec<Query> = job::generate(&db, 1)
+            .queries
+            .into_iter()
+            .filter(|q| q.num_relations() <= 5)
+            .take(4)
+            .collect();
+        let f = Featurizer::new(&db, Featurization::Histogram);
+        let net = ValueNet::new(
+            f.query_dim(),
+            f.plan_channels(),
+            NetConfig {
+                query_layers: vec![32, 16],
+                conv_channels: vec![16, 8],
+                head_layers: vec![16],
+                lr: 5e-3,
+                grad_clip: 5.0,
+                ignore_structure: false,
+            },
+            7,
+        );
+        let mut exp = Experience::new();
+        for (i, q) in queries.iter().enumerate() {
+            exp.add(&q.id, postgres_expert(&db, q), 100.0 * (i + 1) as f64);
+        }
+        (db, queries, f, net, exp)
+    }
+
+    #[test]
+    fn encode_then_train_reduces_loss() {
+        let (db, queries, f, mut net, exp) = fixture();
+        let refs: Vec<&Query> = queries.iter().collect();
+        let samples = exp.training_samples(&refs);
+        assert!(!samples.is_empty());
+        net.fit_normalization(&exp.all_costs());
+        let set = TrainingSet::encode(&f, &db, &refs, &samples, None);
+        assert_eq!(set.len(), samples.len());
+        let mut rng = StdRng::seed_from_u64(9);
+        let first = set.train_epochs(&mut net, 1, 16, usize::MAX, &mut rng);
+        let mut last = first;
+        for _ in 0..30 {
+            last = set.train_epochs(&mut net, 1, 16, usize::MAX, &mut rng);
+        }
+        assert!(last.is_finite() && first.is_finite());
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn empty_set_trains_to_zero_loss_without_touching_net() {
+        let (db, queries, f, mut net, _) = fixture();
+        let refs: Vec<&Query> = queries.iter().collect();
+        let set = TrainingSet::encode(&f, &db, &refs, &[], None);
+        assert!(set.is_empty());
+        let qe = f.encode_query(&db, &queries[0]);
+        let enc = f.encode_plan(
+            &queries[0],
+            &neo_query::PartialPlan::initial(&queries[0]),
+            None,
+        );
+        let before = net.predict(&[&qe], &[&enc])[0];
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(set.train_epochs(&mut net, 3, 16, usize::MAX, &mut rng), 0.0);
+        assert_eq!(net.predict(&[&qe], &[&enc])[0], before);
+    }
+
+    #[test]
+    fn training_a_clone_leaves_the_original_untouched() {
+        let (db, queries, f, net, exp) = fixture();
+        let refs: Vec<&Query> = queries.iter().collect();
+        let samples = exp.training_samples(&refs);
+        let qe = f.encode_query(&db, &queries[0]);
+        let enc = f.encode_plan(
+            &queries[0],
+            &neo_query::PartialPlan::initial(&queries[0]),
+            None,
+        );
+        let before = net.predict(&[&qe], &[&enc])[0];
+
+        let mut clone = net.clone();
+        clone.fit_normalization(&exp.all_costs());
+        let set = TrainingSet::encode(&f, &db, &refs, &samples, None);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            set.train_epochs(&mut clone, 1, 16, usize::MAX, &mut rng);
+        }
+        // The trainer-side clone moved...
+        assert_ne!(clone.predict(&[&qe], &[&enc])[0], before);
+        // ...while the serving-side original is bit-identical.
+        assert_eq!(net.predict(&[&qe], &[&enc])[0], before);
+    }
+}

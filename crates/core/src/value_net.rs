@@ -71,6 +71,12 @@ impl NetConfig {
 }
 
 /// The value network.
+///
+/// `Clone` deep-copies every parameter (plus the Adam moments), which is
+/// what the background trainer relies on: it trains a private clone while
+/// serving threads keep scoring on the original, then publishes the clone
+/// as a new frozen model generation.
+#[derive(Clone)]
 pub struct ValueNet {
     query_mlp: Mlp,
     convs: Vec<TreeConv>,
@@ -319,11 +325,18 @@ impl ValueNet {
     }
 
     /// Recomputes target normalization from a set of raw costs.
+    ///
+    /// Order-insensitive: the logs are sorted before the (non-associative)
+    /// float summation, so callers feeding costs out of a `HashMap`
+    /// (e.g. [`crate::Experience::all_costs`]) get bit-identical
+    /// normalization across processes — which keeps whole training runs,
+    /// and therefore chosen plans, reproducible.
     pub fn fit_normalization(&mut self, costs: &[f64]) {
         if costs.is_empty() {
             return;
         }
-        let logs: Vec<f32> = costs.iter().map(|c| c.max(1e-3).ln() as f32).collect();
+        let mut logs: Vec<f32> = costs.iter().map(|c| c.max(1e-3).ln() as f32).collect();
+        logs.sort_by(f32::total_cmp);
         let mean = logs.iter().sum::<f32>() / logs.len() as f32;
         let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f32>() / logs.len() as f32;
         self.target_mean = mean;

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! # neo-learn — closed-loop online learning for the serving layer
+//!
+//! Neo's defining contribution (paper Fig. 1, §4) is the runtime loop:
+//! execute the chosen plan, record its latency as experience, retrain the
+//! value network, and redeploy it — the optimizer improves *while
+//! serving*. This crate is that bridge between the offline runner
+//! ([`neo::Neo::run_episode`]) and the concurrent service
+//! ([`neo_serve::OptimizerService`]):
+//!
+//! * [`sink::ExperienceSink`] — sharded, low-contention staging of
+//!   `(fingerprint, query, plan, latency)` observations pushed by serving
+//!   workers after execution (it implements
+//!   [`neo_serve::ExecutionFeedback`]);
+//! * [`replay::ReplayBuffer`] — capacity-bounded retention: the best plan
+//!   ever observed per query plus a bounded tail of recent runner-ups
+//!   (paper §4.2's experience set, kept O(working set));
+//! * [`trainer::BackgroundTrainer`] — a dedicated thread that snapshots
+//!   the buffer, trains a **clone** of the served network with the same
+//!   minibatch steps the runner uses ([`neo::TrainingSet`]), checkpoints
+//!   it ([`neo::ValueNet::save`]), and hot-publishes it through the
+//!   service's swap-on-read model slot. In-flight searches finish on the
+//!   network they started with; cached plans of the previous generation
+//!   are demoted to warm-start search seeds, not discarded.
+//!
+//! ```no_run
+//! use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+//! use neo_learn::{BackgroundTrainer, ExperienceSink, ReplayConfig, TrainerConfig};
+//! use neo_serve::{OptimizerService, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(neo_storage::datagen::imdb::generate(0.05, 42));
+//! let workload = neo_query::workload::job::generate(&db, 42);
+//! let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+//! let net = Arc::new(ValueNet::new(
+//!     featurizer.query_dim(),
+//!     featurizer.plan_channels(),
+//!     NetConfig::default(),
+//!     42,
+//! ));
+//! let service = Arc::new(OptimizerService::new(
+//!     db, featurizer, net, ServeConfig::default(),
+//! ));
+//! let sink = Arc::new(ExperienceSink::default());
+//! service.set_feedback(Arc::clone(&sink) as _);
+//! let trainer = BackgroundTrainer::spawn(
+//!     Arc::clone(&service),
+//!     Arc::clone(&sink),
+//!     ReplayConfig::default(),
+//!     TrainerConfig { auto: true, ..Default::default() },
+//! );
+//! for q in &workload.queries {
+//!     let outcome = service.optimize(q);
+//!     let latency_ms = 12.3; // measured by the execution engine
+//!     service.report_execution(q, &outcome.plan, latency_ms);
+//! }
+//! drop(trainer); // stops the trainer thread and joins it
+//! ```
+
+pub mod replay;
+pub mod sink;
+pub mod trainer;
+
+pub use replay::{canonical_id, ReplayBuffer, ReplayConfig};
+pub use sink::{ExperienceRecord, ExperienceSink, DEFAULT_SINK_SHARDS};
+pub use trainer::{BackgroundTrainer, GenerationStats, TrainerConfig};

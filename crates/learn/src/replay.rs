@@ -1,0 +1,370 @@
+//! The replay buffer: bounded retention of execution experience between
+//! retraining generations (paper §4.2's experience set, kept serving-shape).
+//!
+//! Per query fingerprint the buffer retains the **best plan ever
+//! observed** (the paper's min-aggregation means the best plan dominates
+//! the training signal) plus a bounded tail of the **most recent
+//! runner-ups** — enough contrast for the value network to learn what
+//! *not* to choose, without growing with the number of executions. The
+//! query population itself is capacity-bounded with
+//! least-recently-updated eviction, so a service meeting an endless stream
+//! of one-off queries trains on the live working set, not on history.
+//!
+//! [`ReplayBuffer::snapshot`] freezes the buffer into a
+//! ([`Vec<Query>`], [`neo::Experience`]) pair ready for
+//! [`neo::TrainingSet::encode`]. The snapshot is **deterministic**: slots
+//! are emitted in fingerprint order and query ids are canonicalized to the
+//! fingerprint (two distinct parameterizations sharing a textual id can
+//! never collide in the experience store).
+
+use crate::sink::ExperienceRecord;
+use neo::Experience;
+use neo_query::{PlanNode, Query, QueryFingerprint};
+use std::collections::HashMap;
+
+/// Sizing of the replay buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayConfig {
+    /// Maximum distinct query fingerprints retained (LRU-evicted beyond).
+    pub max_queries: usize,
+    /// Runner-up plans retained per query besides the best (recent tail).
+    pub runners_per_query: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            max_queries: 1024,
+            runners_per_query: 7,
+        }
+    }
+}
+
+/// One retained (plan, best observed latency) pair.
+#[derive(Clone, Debug)]
+struct Retained {
+    plan: PlanNode,
+    latency_ms: f64,
+}
+
+/// Per-fingerprint retention slot.
+struct QuerySlot {
+    query: Query,
+    best: Retained,
+    /// Most recent runner-ups, oldest first; length ≤ `runners_per_query`.
+    runners: Vec<Retained>,
+    /// Monotonic recency stamp (for LRU eviction of whole queries).
+    last_touch: u64,
+}
+
+/// The capacity-bounded replay buffer.
+pub struct ReplayBuffer {
+    cfg: ReplayConfig,
+    slots: HashMap<QueryFingerprint, QuerySlot>,
+    tick: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates an empty buffer.
+    pub fn new(cfg: ReplayConfig) -> Self {
+        ReplayBuffer {
+            cfg: ReplayConfig {
+                max_queries: cfg.max_queries.max(1),
+                runners_per_query: cfg.runners_per_query,
+            },
+            slots: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Distinct queries retained.
+    pub fn num_queries(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total retained plans (best + runner-ups) across queries.
+    pub fn num_plans(&self) -> usize {
+        self.slots.values().map(|s| 1 + s.runners.len()).sum()
+    }
+
+    /// Best observed latency for a fingerprint.
+    pub fn best_latency(&self, fp: QueryFingerprint) -> Option<f64> {
+        self.slots.get(&fp).map(|s| s.best.latency_ms)
+    }
+
+    /// Best observed plan for a fingerprint.
+    pub fn best_plan(&self, fp: QueryFingerprint) -> Option<&PlanNode> {
+        self.slots.get(&fp).map(|s| &s.best.plan)
+    }
+
+    /// Folds one observation in, applying the retention policy.
+    pub fn insert(&mut self, record: ExperienceRecord) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ExperienceRecord {
+            fingerprint,
+            query,
+            plan,
+            latency_ms,
+        } = record;
+
+        if !self.slots.contains_key(&fingerprint) && self.slots.len() >= self.cfg.max_queries {
+            self.evict_lru();
+        }
+        let runners_cap = self.cfg.runners_per_query;
+        match self.slots.entry(fingerprint) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(QuerySlot {
+                    query,
+                    best: Retained { plan, latency_ms },
+                    runners: Vec::new(),
+                    last_touch: tick,
+                });
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let slot = o.get_mut();
+                slot.last_touch = tick;
+                if plan == slot.best.plan {
+                    // Re-execution of the incumbent: keep the min latency
+                    // (the latency model is deterministic; a real engine
+                    // would see noise, and min matches Experience::add).
+                    slot.best.latency_ms = slot.best.latency_ms.min(latency_ms);
+                } else if latency_ms < slot.best.latency_ms {
+                    // New champion: the old best becomes the most recent
+                    // runner-up, and any stale copy of the new champion in
+                    // the runner tail is dropped (a runner slot must not
+                    // duplicate the best plan).
+                    let old = std::mem::replace(&mut slot.best, Retained { plan, latency_ms });
+                    slot.runners.retain(|r| r.plan != slot.best.plan);
+                    Self::push_runner(&mut slot.runners, old, runners_cap);
+                } else {
+                    Self::push_runner(
+                        &mut slot.runners,
+                        Retained { plan, latency_ms },
+                        runners_cap,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Appends a runner-up, deduplicating by plan (keeping the min latency
+    /// and refreshing recency) and dropping the oldest beyond the cap.
+    fn push_runner(runners: &mut Vec<Retained>, r: Retained, cap: usize) {
+        if cap == 0 {
+            return;
+        }
+        if let Some(pos) = runners.iter().position(|x| x.plan == r.plan) {
+            let mut existing = runners.remove(pos);
+            existing.latency_ms = existing.latency_ms.min(r.latency_ms);
+            runners.push(existing);
+        } else {
+            runners.push(r);
+            if runners.len() > cap {
+                runners.remove(0);
+            }
+        }
+    }
+
+    /// Evicts the least-recently-updated query (fingerprint order breaks
+    /// ties deterministically).
+    fn evict_lru(&mut self) {
+        let victim = self
+            .slots
+            .iter()
+            .min_by_key(|(fp, s)| (s.last_touch, **fp))
+            .map(|(fp, _)| *fp);
+        if let Some(fp) = victim {
+            self.slots.remove(&fp);
+        }
+    }
+
+    /// Freezes the buffer into a training view: the retained queries (ids
+    /// canonicalized to their fingerprints, emitted in fingerprint order)
+    /// and a [`neo::Experience`] holding every retained (plan, latency)
+    /// with the same plan cap this buffer enforces.
+    pub fn snapshot(&self) -> (Vec<Query>, Experience) {
+        let mut fps: Vec<QueryFingerprint> = self.slots.keys().copied().collect();
+        fps.sort();
+        let mut queries = Vec::with_capacity(fps.len());
+        let mut experience = Experience::with_plan_cap(1 + self.cfg.runners_per_query.max(1));
+        for fp in fps {
+            let slot = &self.slots[&fp];
+            let mut q = slot.query.clone();
+            q.id = canonical_id(fp);
+            experience.add(&q.id, slot.best.plan.clone(), slot.best.latency_ms);
+            for r in &slot.runners {
+                experience.add(&q.id, r.plan.clone(), r.latency_ms);
+            }
+            queries.push(q);
+        }
+        (queries, experience)
+    }
+}
+
+/// The canonical per-fingerprint query id used inside snapshots.
+pub fn canonical_id(fp: QueryFingerprint) -> String {
+    format!("fp{:032x}", fp.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::{JoinOp, ScanType};
+
+    fn fp(x: u128) -> QueryFingerprint {
+        QueryFingerprint(x)
+    }
+
+    fn plan(rel: usize) -> PlanNode {
+        PlanNode::Scan {
+            rel,
+            scan: ScanType::Table,
+        }
+    }
+
+    fn join(l: usize, r: usize) -> PlanNode {
+        PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(plan(l)),
+            right: Box::new(plan(r)),
+        }
+    }
+
+    fn rec(key: u128, p: PlanNode, latency_ms: f64) -> ExperienceRecord {
+        ExperienceRecord {
+            fingerprint: fp(key),
+            query: Query {
+                id: format!("q{key}"),
+                family: "t".into(),
+                tables: vec![0, 1],
+                joins: vec![],
+                predicates: vec![],
+                agg: Default::default(),
+            },
+            plan: p,
+            latency_ms,
+        }
+    }
+
+    fn buffer(max_queries: usize, runners: usize) -> ReplayBuffer {
+        ReplayBuffer::new(ReplayConfig {
+            max_queries,
+            runners_per_query: runners,
+        })
+    }
+
+    #[test]
+    fn best_plan_is_always_retained() {
+        let mut b = buffer(8, 2);
+        b.insert(rec(1, join(0, 1), 50.0));
+        b.insert(rec(1, join(1, 2), 10.0)); // new champion
+        b.insert(rec(1, join(2, 3), 99.0));
+        b.insert(rec(1, join(3, 4), 98.0));
+        b.insert(rec(1, join(4, 5), 97.0)); // pushes out oldest runner-up
+        assert_eq!(b.best_latency(fp(1)), Some(10.0));
+        assert_eq!(b.best_plan(fp(1)), Some(&join(1, 2)));
+        // 1 best + at most 2 runners.
+        assert_eq!(b.num_plans(), 3);
+    }
+
+    #[test]
+    fn runner_tail_keeps_most_recent() {
+        let mut b = buffer(8, 2);
+        b.insert(rec(1, join(0, 1), 10.0)); // best
+        b.insert(rec(1, join(1, 2), 20.0));
+        b.insert(rec(1, join(2, 3), 30.0));
+        b.insert(rec(1, join(3, 4), 40.0)); // evicts join(1,2)
+        let (_, exp) = b.snapshot();
+        let costs = {
+            let mut c = exp.all_costs();
+            c.sort_by(f64::total_cmp);
+            c
+        };
+        assert_eq!(costs, vec![10.0, 30.0, 40.0], "recent tail retained");
+    }
+
+    #[test]
+    fn reexecuting_best_keeps_min_latency() {
+        let mut b = buffer(8, 2);
+        b.insert(rec(1, join(0, 1), 10.0));
+        b.insert(rec(1, join(0, 1), 30.0));
+        assert_eq!(b.best_latency(fp(1)), Some(10.0));
+        assert_eq!(b.num_plans(), 1, "duplicates never grow the buffer");
+    }
+
+    #[test]
+    fn dethroned_best_becomes_most_recent_runner() {
+        let mut b = buffer(8, 1);
+        b.insert(rec(1, join(0, 1), 50.0));
+        b.insert(rec(1, join(1, 2), 10.0));
+        let (_, exp) = b.snapshot();
+        let mut costs = exp.all_costs();
+        costs.sort_by(f64::total_cmp);
+        assert_eq!(costs, vec![10.0, 50.0], "old best kept as runner-up");
+    }
+
+    #[test]
+    fn promoting_a_runner_to_champion_drops_its_stale_copy() {
+        let mut b = buffer(8, 3);
+        b.insert(rec(1, join(0, 1), 20.0)); // best
+        b.insert(rec(1, join(1, 2), 50.0)); // runner
+                                            // The runner is re-observed faster and becomes champion: its old
+                                            // 50 ms copy must leave the tail (one plan, one slot).
+        b.insert(rec(1, join(1, 2), 10.0));
+        assert_eq!(b.best_plan(fp(1)), Some(&join(1, 2)));
+        assert_eq!(b.best_latency(fp(1)), Some(10.0));
+        assert_eq!(b.num_plans(), 2, "no duplicate of the champion");
+        let (_, exp) = b.snapshot();
+        let mut costs = exp.all_costs();
+        costs.sort_by(f64::total_cmp);
+        assert_eq!(costs, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn query_capacity_evicts_least_recently_updated() {
+        let mut b = buffer(2, 1);
+        b.insert(rec(1, plan(0), 1.0));
+        b.insert(rec(2, plan(0), 2.0));
+        b.insert(rec(1, plan(1), 3.0)); // touch fp 1 -> fp 2 is LRU
+        b.insert(rec(3, plan(0), 4.0)); // evicts fp 2
+        assert_eq!(b.num_queries(), 2);
+        assert!(b.best_latency(fp(1)).is_some());
+        assert_eq!(b.best_latency(fp(2)), None, "LRU query evicted");
+        assert!(b.best_latency(fp(3)).is_some());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_canonically_keyed() {
+        let mut a = buffer(8, 2);
+        let mut b = buffer(8, 2);
+        // Same content, different insertion interleavings across queries.
+        for r in [
+            rec(7, join(0, 1), 5.0),
+            rec(3, join(1, 2), 6.0),
+            rec(7, join(2, 3), 7.0),
+        ] {
+            a.insert(r);
+        }
+        for r in [
+            rec(3, join(1, 2), 6.0),
+            rec(7, join(0, 1), 5.0),
+            rec(7, join(2, 3), 7.0),
+        ] {
+            b.insert(r);
+        }
+        let (qa, ea) = a.snapshot();
+        let (qb, eb) = b.snapshot();
+        assert_eq!(
+            qa.iter().map(|q| &q.id).collect::<Vec<_>>(),
+            qb.iter().map(|q| &q.id).collect::<Vec<_>>()
+        );
+        assert_eq!(qa[0].id, canonical_id(fp(3)), "fingerprint order");
+        let mut ca = ea.all_costs();
+        let mut cb = eb.all_costs();
+        ca.sort_by(f64::total_cmp);
+        cb.sort_by(f64::total_cmp);
+        assert_eq!(ca, cb);
+        assert_eq!(ea.num_queries(), 2);
+    }
+}

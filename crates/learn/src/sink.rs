@@ -1,0 +1,204 @@
+//! The experience sink: where serving workers drop execution observations.
+//!
+//! Serving threads call [`ExperienceSink::push`] (via the
+//! [`neo_serve::ExecutionFeedback`] hook) after a chosen plan executes;
+//! the background trainer calls [`ExperienceSink::drain`] at the start of
+//! each generation. The sink is sharded by fingerprint — the same
+//! multiplicative shard selector the plan cache uses — so concurrent
+//! pushes from different queries almost never contend on the same mutex,
+//! and each push holds its shard lock only for one `Vec::push`.
+//!
+//! The sink is a staging buffer, not a store: retention policy (best plan
+//! per query, bounded runner-up tail) lives in [`crate::replay`].
+
+use neo_query::{PlanNode, Query, QueryFingerprint};
+use neo_serve::ExecutionFeedback;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default sink shard count (matches the plan cache's default).
+pub const DEFAULT_SINK_SHARDS: usize = 16;
+
+/// One observed execution: the query, the plan the service chose for it,
+/// and the measured latency.
+#[derive(Clone, Debug)]
+pub struct ExperienceRecord {
+    /// Canonical structural fingerprint of the query (the replay key).
+    pub fingerprint: QueryFingerprint,
+    /// The executed query.
+    pub query: Query,
+    /// The executed plan.
+    pub plan: PlanNode,
+    /// Observed execution latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// A sharded, low-contention staging buffer of execution observations.
+pub struct ExperienceSink {
+    shards: Vec<Mutex<Vec<ExperienceRecord>>>,
+    pushed: AtomicU64,
+    drained: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Default for ExperienceSink {
+    fn default() -> Self {
+        Self::new(DEFAULT_SINK_SHARDS)
+    }
+}
+
+impl ExperienceSink {
+    /// Creates a sink with `shards` independently locked shards (≥ 1).
+    pub fn new(shards: usize) -> Self {
+        ExperienceSink {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            pushed: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stages one observation. Lock scope: a single `Vec::push`.
+    ///
+    /// Latencies arrive from *external* measurement (unlike the offline
+    /// runner's deterministic latency model), so a non-finite or negative
+    /// value is rejected here at the boundary: one NaN target would
+    /// otherwise poison the next background retrain and hot-publish a
+    /// NaN-weighted model service-wide.
+    pub fn push(&self, record: ExperienceRecord) {
+        if !record.latency_ms.is_finite() || record.latency_ms < 0.0 {
+            self.rejected.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let shard = record.fingerprint.shard(self.shards.len());
+        self.shards[shard]
+            .lock()
+            .expect("sink shard poisoned")
+            .push(record);
+        self.pushed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Observations rejected for carrying a non-finite or negative
+    /// latency.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Acquire)
+    }
+
+    /// Observations staged and not yet drained.
+    pub fn pending(&self) -> u64 {
+        self.pushed
+            .load(Ordering::Acquire)
+            .saturating_sub(self.drained.load(Ordering::Acquire))
+    }
+
+    /// Total observations ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Acquire)
+    }
+
+    /// Takes every staged observation (shard-major order), leaving the
+    /// sink empty. Called by the trainer once per generation.
+    pub fn drain(&self) -> Vec<ExperienceRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("sink shard poisoned");
+            out.append(&mut guard);
+        }
+        self.drained.fetch_add(out.len() as u64, Ordering::Release);
+        out
+    }
+}
+
+impl ExecutionFeedback for ExperienceSink {
+    fn record(&self, fp: QueryFingerprint, query: &Query, plan: &PlanNode, latency_ms: f64) {
+        self.push(ExperienceRecord {
+            fingerprint: fp,
+            query: query.clone(),
+            plan: plan.clone(),
+            latency_ms,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::ScanType;
+
+    fn record(key: u128, latency_ms: f64) -> ExperienceRecord {
+        ExperienceRecord {
+            fingerprint: QueryFingerprint(key),
+            query: Query {
+                id: format!("q{key}"),
+                family: "t".into(),
+                tables: vec![0],
+                joins: vec![],
+                predicates: vec![],
+                agg: Default::default(),
+            },
+            plan: PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Table,
+            },
+            latency_ms,
+        }
+    }
+
+    #[test]
+    fn push_drain_roundtrip_and_counters() {
+        let sink = ExperienceSink::new(4);
+        assert_eq!(sink.pending(), 0);
+        for i in 0..10u128 {
+            sink.push(record(i * 0x9E37_79B9_7F4A_7C15, i as f64));
+        }
+        assert_eq!(sink.pending(), 10);
+        assert_eq!(sink.pushed(), 10);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 10);
+        assert_eq!(sink.pending(), 0);
+        assert!(sink.drain().is_empty(), "drain empties the sink");
+        // Every pushed latency came back exactly once.
+        let mut lats: Vec<f64> = drained.iter().map(|r| r.latency_ms).collect();
+        lats.sort_by(f64::total_cmp);
+        assert_eq!(lats, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_finite_or_negative_latencies_are_rejected_at_the_boundary() {
+        let sink = ExperienceSink::new(2);
+        sink.push(record(1, f64::NAN));
+        sink.push(record(2, f64::INFINITY));
+        sink.push(record(3, -1.0));
+        sink.push(record(4, 5.0));
+        assert_eq!(sink.pending(), 1, "only the finite latency is staged");
+        assert_eq!(sink.rejected(), 3);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].latency_ms, 5.0);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let sink = std::sync::Arc::new(ExperienceSink::new(8));
+        let handles: Vec<_> = (0..4u128)
+            .map(|t| {
+                let sink = std::sync::Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..100u128 {
+                        sink.push(record(t * 10_000 + i, 1.0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.pending(), 400);
+        assert_eq!(sink.drain().len(), 400);
+    }
+}

@@ -1,0 +1,355 @@
+//! The background trainer: the thread that closes the paper's Fig. 1 loop
+//! inside a live service.
+//!
+//! Each **generation** it (1) drains the [`ExperienceSink`] into the
+//! [`ReplayBuffer`], (2) snapshots the buffer into a deterministic
+//! training view, (3) clones the currently served [`ValueNet`] and runs
+//! shuffled minibatch Adam epochs on the clone ([`neo::TrainingSet`], the
+//! same steps the offline runner uses) while workers keep serving on the
+//! original, (4) checkpoints the trained clone
+//! ([`neo::ValueNet::save`], optionally to disk), and (5) publishes it via
+//! [`OptimizerService::publish_model`] — an atomic slot swap plus a cache
+//! epoch bump that demotes cached plans to warm-start search seeds.
+//! Serving never blocks on training: the only shared state touched while
+//! training is the snapshot copy, and the swap itself is a pointer store.
+//!
+//! Generations run on demand ([`BackgroundTrainer::request_generation`])
+//! and — when [`TrainerConfig::auto`] is set — automatically whenever
+//! enough new experience has accumulated. Training is deterministic per
+//! generation given the same replay content: the minibatch RNG is seeded
+//! from `cfg.seed ^ generation`.
+
+use crate::replay::{ReplayBuffer, ReplayConfig};
+use crate::sink::ExperienceSink;
+use neo::{TrainingSet, ValueNet};
+use neo_query::Query;
+use neo_serve::OptimizerService;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Background-trainer configuration.
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Minibatch epochs per generation.
+    pub epochs_per_generation: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Cap on samples per epoch (replay subsampling, as in the runner).
+    pub max_samples_per_generation: usize,
+    /// Auto mode: run a generation whenever this many new observations
+    /// are pending in the sink.
+    pub min_new_records: u64,
+    /// Auto-mode poll interval while idle, milliseconds.
+    pub poll_interval_ms: u64,
+    /// Enables auto mode (explicit [`BackgroundTrainer::request_generation`]
+    /// works either way).
+    pub auto: bool,
+    /// Master seed for the per-generation minibatch shuffles.
+    pub seed: u64,
+    /// When set, every generation's checkpoint is also written to
+    /// `<dir>/gen-<N>.ckpt` (the latest checkpoint is always retrievable
+    /// in-memory via [`BackgroundTrainer::latest_checkpoint`]).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs_per_generation: 4,
+            batch_size: 64,
+            max_samples_per_generation: 2048,
+            min_new_records: 64,
+            poll_interval_ms: 20,
+            auto: false,
+            seed: 42,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// What one background generation did.
+#[derive(Clone, Debug)]
+pub struct GenerationStats {
+    /// The model generation this retrain published (matches
+    /// [`OptimizerService::model_generation`] right after the swap); 0 is
+    /// never used (generation 0 is the construction-time model).
+    pub model_generation: u64,
+    /// Observations drained from the sink this generation.
+    pub drained: usize,
+    /// Distinct queries in the training snapshot.
+    pub queries: usize,
+    /// Training samples derived from the snapshot.
+    pub samples: usize,
+    /// Mean batch loss of the final epoch.
+    pub mean_loss: f32,
+    /// Wall-clock spent encoding + training, milliseconds.
+    pub train_ms: f64,
+    /// Wall-clock of the publish (slot swap + cache epoch bump),
+    /// microseconds — the serving-visible cost of a hot swap.
+    pub swap_us: f64,
+}
+
+struct TrainerState {
+    /// Explicitly requested generations (monotonic).
+    requested: u64,
+    /// Completed generation runs (monotonic; includes auto-triggered).
+    completed: u64,
+    stopping: bool,
+    history: Vec<GenerationStats>,
+    latest_checkpoint: Option<Vec<u8>>,
+}
+
+struct TrainerShared {
+    service: Arc<OptimizerService>,
+    sink: Arc<ExperienceSink>,
+    buffer: Mutex<ReplayBuffer>,
+    cfg: TrainerConfig,
+    state: Mutex<TrainerState>,
+    cv: Condvar,
+}
+
+/// Handle to the dedicated trainer thread. Dropping it stops the thread
+/// (finishing any in-flight generation) and joins it.
+pub struct BackgroundTrainer {
+    shared: Arc<TrainerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BackgroundTrainer {
+    /// Spawns the trainer thread against a service and its sink. The sink
+    /// should also be attached to the service as its execution-feedback
+    /// target (`service.set_feedback(sink.clone())`) so served executions
+    /// flow in.
+    pub fn spawn(
+        service: Arc<OptimizerService>,
+        sink: Arc<ExperienceSink>,
+        replay: ReplayConfig,
+        cfg: TrainerConfig,
+    ) -> Self {
+        let shared = Arc::new(TrainerShared {
+            service,
+            sink,
+            buffer: Mutex::new(ReplayBuffer::new(replay)),
+            cfg,
+            state: Mutex::new(TrainerState {
+                requested: 0,
+                completed: 0,
+                stopping: false,
+                history: Vec::new(),
+                latest_checkpoint: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("neo-learn-trainer".into())
+            .spawn(move || trainer_loop(&thread_shared))
+            .expect("spawn trainer thread");
+        BackgroundTrainer {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Asks for one more generation (returns immediately; pair with
+    /// [`Self::wait_for_generation`]).
+    pub fn request_generation(&self) {
+        let mut st = self.shared.state.lock().expect("trainer state poisoned");
+        st.requested += 1;
+        self.shared.cv.notify_all();
+    }
+
+    /// Blocks until at least `n` generations have completed (or the
+    /// timeout passes). Returns whether the target was reached.
+    pub fn wait_for_generation(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("trainer state poisoned");
+        while st.completed < n {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("trainer state poisoned");
+            st = guard;
+        }
+        true
+    }
+
+    /// Completed generation runs so far.
+    pub fn completed_generations(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("trainer state poisoned")
+            .completed
+    }
+
+    /// Per-generation statistics, oldest first.
+    pub fn history(&self) -> Vec<GenerationStats> {
+        self.shared
+            .state
+            .lock()
+            .expect("trainer state poisoned")
+            .history
+            .clone()
+    }
+
+    /// The serialized checkpoint of the most recently published model
+    /// ([`neo::ValueNet::save`] format), if any generation has run.
+    pub fn latest_checkpoint(&self) -> Option<Vec<u8>> {
+        self.shared
+            .state
+            .lock()
+            .expect("trainer state poisoned")
+            .latest_checkpoint
+            .clone()
+    }
+
+    /// Restores a checkpoint (as returned by [`Self::latest_checkpoint`]
+    /// or written to the checkpoint dir) into `net`. The network must
+    /// have been built with the same architecture.
+    pub fn load_checkpoint(bytes: &[u8], net: &mut ValueNet) -> std::io::Result<()> {
+        net.load(&mut &bytes[..])
+    }
+
+    /// Signals the thread to stop and joins it (idempotent; also runs on
+    /// drop).
+    pub fn stop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("trainer state poisoned");
+            st.stopping = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BackgroundTrainer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn trainer_loop(shared: &TrainerShared) {
+    loop {
+        // Wait for work: an explicit request, auto-mode pressure, or stop.
+        {
+            let mut st = shared.state.lock().expect("trainer state poisoned");
+            loop {
+                if st.stopping {
+                    return;
+                }
+                if st.requested > st.completed {
+                    break;
+                }
+                if shared.cfg.auto && shared.sink.pending() >= shared.cfg.min_new_records {
+                    // Auto trigger: account it as if requested, so the
+                    // loop condition stays monotone.
+                    st.requested = st.completed + 1;
+                    break;
+                }
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(
+                        st,
+                        Duration::from_millis(shared.cfg.poll_interval_ms.max(1)),
+                    )
+                    .expect("trainer state poisoned");
+                st = guard;
+            }
+        }
+
+        let stats = run_generation(shared);
+
+        let mut st = shared.state.lock().expect("trainer state poisoned");
+        st.completed += 1;
+        if let Some(s) = stats {
+            st.history.push(s);
+        }
+        shared.cv.notify_all();
+    }
+}
+
+/// One generation: drain → fold → snapshot → train a clone → checkpoint →
+/// publish. Returns `None` when there was nothing to train on (no
+/// publish happens; the served model is untouched).
+fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
+    let cfg = &shared.cfg;
+    let drained_records = shared.sink.drain();
+    let drained = drained_records.len();
+    let (queries, experience) = {
+        let mut buffer = shared.buffer.lock().expect("replay buffer poisoned");
+        for r in drained_records {
+            buffer.insert(r);
+        }
+        buffer.snapshot()
+    };
+    let refs: Vec<&Query> = queries.iter().collect();
+    let samples = experience.training_samples(&refs);
+    if samples.is_empty() {
+        return None;
+    }
+
+    let train_start = Instant::now();
+    // Train a clone; serving continues on the published original.
+    let mut net: ValueNet = (*shared.service.model()).clone();
+    net.fit_normalization(&experience.all_costs());
+    let set = TrainingSet::encode(
+        shared.service.featurizer(),
+        shared.service.db(),
+        &refs,
+        &samples,
+        None,
+    );
+    let upcoming_generation = shared.service.model_generation() + 1;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ upcoming_generation);
+    let mean_loss = set.train_epochs(
+        &mut net,
+        cfg.epochs_per_generation,
+        cfg.batch_size,
+        cfg.max_samples_per_generation,
+        &mut rng,
+    );
+    let train_ms = train_start.elapsed().as_secs_f64() * 1e3;
+
+    // Checkpoint before publishing: a generation that is live has always
+    // been persisted first.
+    let mut checkpoint = Vec::new();
+    net.save(&mut checkpoint).expect("serialize checkpoint");
+    if let Some(dir) = &cfg.checkpoint_dir {
+        // Best-effort: persistence failures must not take down serving.
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("gen-{upcoming_generation:06}.ckpt"));
+            let _ = std::fs::write(path, &checkpoint);
+        }
+    }
+
+    let swap_start = Instant::now();
+    let model_generation = shared.service.publish_model(Arc::new(net));
+    let swap_us = swap_start.elapsed().as_secs_f64() * 1e6;
+
+    {
+        let mut st = shared.state.lock().expect("trainer state poisoned");
+        st.latest_checkpoint = Some(checkpoint);
+    }
+
+    Some(GenerationStats {
+        model_generation,
+        drained,
+        queries: queries.len(),
+        samples: samples.len(),
+        mean_loss,
+        train_ms,
+        swap_us,
+    })
+}

@@ -1,0 +1,236 @@
+//! End-to-end tests of the closed learning loop (ISSUE 3): serve →
+//! execute → collect → background-retrain → hot-swap → serve again.
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_engine::{true_latency, CardinalityOracle, Engine};
+use neo_learn::{BackgroundTrainer, ExperienceSink, ReplayConfig, TrainerConfig};
+use neo_query::{workload::job, PartialPlan, Query};
+use neo_serve::{OptimizerService, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn net_cfg() -> NetConfig {
+    NetConfig {
+        query_layers: vec![32, 16],
+        conv_channels: vec![16, 8],
+        head_layers: vec![16],
+        lr: 5e-3,
+        grad_clip: 5.0,
+        ignore_structure: false,
+    }
+}
+
+struct Fixture {
+    db: Arc<neo_storage::Database>,
+    featurizer: Arc<Featurizer>,
+    queries: Vec<Query>,
+    service: Arc<OptimizerService>,
+    sink: Arc<ExperienceSink>,
+}
+
+fn fixture(seed: u64, workers: usize) -> Fixture {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, seed));
+    let queries: Vec<Query> = job::generate(&db, seed)
+        .queries
+        .into_iter()
+        .filter(|q| (4..=6).contains(&q.num_relations()))
+        .take(6)
+        .collect();
+    assert!(queries.len() >= 4, "fixture needs a real workload");
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        net_cfg(),
+        seed,
+    ));
+    let service = Arc::new(OptimizerService::new(
+        Arc::clone(&db),
+        Arc::clone(&featurizer),
+        net,
+        ServeConfig {
+            workers,
+            search_base_expansions: 12,
+            ..Default::default()
+        },
+    ));
+    let sink = Arc::new(ExperienceSink::default());
+    assert!(service.set_feedback(Arc::clone(&sink) as _));
+    Fixture {
+        db,
+        featurizer,
+        queries,
+        service,
+        sink,
+    }
+}
+
+/// Serves every query once, executes the chosen plans on the latency
+/// model, and reports the observations back through the service.
+fn serve_and_execute(fx: &Fixture, oracle: &mut CardinalityOracle) -> f64 {
+    let profile = Engine::PostgresLike.profile();
+    let outcomes = fx.service.optimize_stream(&fx.queries);
+    let mut total = 0.0;
+    for (q, o) in fx.queries.iter().zip(&outcomes) {
+        let latency = true_latency(&fx.db, q, &profile, oracle, &o.plan);
+        total += latency;
+        fx.service
+            .report_execution_with_fingerprint(o.fingerprint, q, &o.plan, latency);
+    }
+    total / fx.queries.len() as f64
+}
+
+#[test]
+fn closed_loop_retrains_and_hot_swaps_generations() {
+    let fx = fixture(5, 2);
+    let trainer = BackgroundTrainer::spawn(
+        Arc::clone(&fx.service),
+        Arc::clone(&fx.sink),
+        ReplayConfig::default(),
+        TrainerConfig {
+            epochs_per_generation: 3,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let mut oracle = CardinalityOracle::new();
+    assert_eq!(fx.service.model_generation(), 0);
+
+    for g in 1..=3u64 {
+        serve_and_execute(&fx, &mut oracle);
+        trainer.request_generation();
+        assert!(
+            trainer.wait_for_generation(g, WAIT),
+            "generation {g} never completed"
+        );
+        assert_eq!(fx.service.model_generation(), g, "hot swap must publish");
+    }
+
+    let history = trainer.history();
+    assert_eq!(history.len(), 3);
+    for (i, h) in history.iter().enumerate() {
+        assert_eq!(h.model_generation, i as u64 + 1);
+        assert!(h.samples > 0, "retrain must see derived samples");
+        assert!(h.mean_loss.is_finite());
+        assert!(h.swap_us >= 0.0);
+    }
+    // Losses on the same (converging) experience should trend down from
+    // first to last retrain — the signature of actual learning.
+    assert!(
+        history.last().unwrap().mean_loss <= history[0].mean_loss * 2.0,
+        "loss diverged across generations: {history:?}"
+    );
+    // Every cached plan of the final epoch was demoted from earlier ones;
+    // the cache itself holds only current-generation entries.
+    assert!(!fx.service.cache().any_poisoned());
+}
+
+#[test]
+fn concurrent_serving_never_blocks_and_never_tears_during_retraining() {
+    let fx = fixture(9, 4);
+    let mut trainer = BackgroundTrainer::spawn(
+        Arc::clone(&fx.service),
+        Arc::clone(&fx.sink),
+        ReplayConfig::default(),
+        TrainerConfig {
+            epochs_per_generation: 2,
+            auto: true,
+            min_new_records: 4,
+            poll_interval_ms: 1,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let mut oracle = CardinalityOracle::new();
+    // Keep serving while the auto trainer retrains and swaps behind us.
+    for _ in 0..6 {
+        let mean = serve_and_execute(&fx, &mut oracle);
+        assert!(mean.is_finite() && mean > 0.0);
+    }
+    assert!(
+        trainer.wait_for_generation(1, WAIT),
+        "auto mode must have retrained at least once"
+    );
+    // Quiesce: stop the trainer so the served generation is stable, then
+    // check the torn-read guard — re-serving the workload twice must
+    // agree with itself (the served model is one consistent generation).
+    trainer.stop();
+    let a: Vec<_> = fx
+        .queries
+        .iter()
+        .map(|q| fx.service.optimize(q).plan)
+        .collect();
+    let b: Vec<_> = fx
+        .queries
+        .iter()
+        .map(|q| fx.service.optimize(q).plan)
+        .collect();
+    assert_eq!(a, b);
+    assert!(!fx.service.cache().any_poisoned());
+}
+
+#[test]
+fn checkpoint_roundtrip_restores_identical_predictions() {
+    let fx = fixture(13, 1);
+    let ckpt_dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("learn-ckpt");
+    let trainer = BackgroundTrainer::spawn(
+        Arc::clone(&fx.service),
+        Arc::clone(&fx.sink),
+        ReplayConfig::default(),
+        TrainerConfig {
+            epochs_per_generation: 2,
+            seed: 13,
+            checkpoint_dir: Some(ckpt_dir.clone()),
+            ..Default::default()
+        },
+    );
+    let mut oracle = CardinalityOracle::new();
+    serve_and_execute(&fx, &mut oracle);
+    trainer.request_generation();
+    assert!(trainer.wait_for_generation(1, WAIT));
+
+    // In-memory checkpoint: restore into a fresh, differently-seeded net.
+    let bytes = trainer.latest_checkpoint().expect("checkpoint captured");
+    let mut restored = ValueNet::new(
+        fx.featurizer.query_dim(),
+        fx.featurizer.plan_channels(),
+        net_cfg(),
+        999,
+    );
+    BackgroundTrainer::load_checkpoint(&bytes, &mut restored).unwrap();
+
+    let served = fx.service.model();
+    for q in &fx.queries {
+        let qe = fx.featurizer.encode_query(&fx.db, q);
+        let enc = fx.featurizer.encode_plan(q, &PartialPlan::initial(q), None);
+        let a = served.predict(&[&qe], &[&enc])[0];
+        let b = restored.predict(&[&qe], &[&enc])[0];
+        assert_eq!(a, b, "checkpoint must restore bit-identical predictions");
+    }
+
+    // On-disk checkpoint: the same bytes landed in the checkpoint dir.
+    let disk = std::fs::read(ckpt_dir.join("gen-000001.ckpt")).expect("checkpoint file written");
+    assert_eq!(disk, bytes);
+}
+
+#[test]
+fn generations_without_experience_do_not_publish() {
+    let fx = fixture(17, 1);
+    let trainer = BackgroundTrainer::spawn(
+        Arc::clone(&fx.service),
+        Arc::clone(&fx.sink),
+        ReplayConfig::default(),
+        TrainerConfig::default(),
+    );
+    trainer.request_generation();
+    assert!(trainer.wait_for_generation(1, WAIT));
+    assert_eq!(
+        fx.service.model_generation(),
+        0,
+        "nothing to train on -> no swap"
+    );
+    assert!(trainer.history().is_empty());
+    assert!(trainer.latest_checkpoint().is_none());
+}

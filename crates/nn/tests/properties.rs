@@ -108,3 +108,79 @@ proptest! {
         }
     }
 }
+
+/// Trainer-side clone guarantee (PR 3's background trainer): cloning a
+/// module deep-copies its parameters, so training the clone never aliases
+/// into — or perturbs — the original. `Matrix` is `Vec`-backed, which makes
+/// this true by construction; this test pins it against a future switch to
+/// shared storage.
+#[test]
+fn cloned_module_parameters_do_not_alias() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mlp = Mlp::new(&[4, 8, 2], true, false, &mut rng);
+    let mut copy = mlp.clone();
+
+    let x = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.1).collect());
+    let before = mlp.forward_inference(&x);
+
+    // Mutate every parameter of the clone.
+    for p in copy.params_mut() {
+        let rows = p.value.rows();
+        let cols = p.value.cols();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = p.value.get(r, c);
+                p.value.set(r, c, v + 1.0);
+            }
+        }
+    }
+
+    // The original's parameters and outputs are bit-identical.
+    let after = mlp.forward_inference(&x);
+    assert_eq!(before.data(), after.data(), "clone mutation leaked");
+    // And the clone genuinely moved.
+    let moved = copy.forward_inference(&x);
+    assert_ne!(moved.data(), after.data());
+}
+
+/// Checkpoint round-trip for a cloned-and-trained module: parameters
+/// written from a clone restore bit-identically into a fresh module of the
+/// same architecture (the background trainer's persistence path).
+#[test]
+fn checkpoint_roundtrip_from_a_clone() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let original = Mlp::new(&[3, 6, 1], true, false, &mut rng);
+    let mut clone = original.clone();
+    // "Train" the clone: nudge every parameter off the original.
+    for p in clone.params_mut() {
+        let (rows, cols) = (p.value.rows(), p.value.cols());
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = p.value.get(r, c);
+                p.value.set(r, c, v * 0.75 + 0.01);
+            }
+        }
+    }
+
+    let mut buf = Vec::new();
+    {
+        let refs: Vec<&neo_nn::Param> = clone.params_mut().into_iter().map(|p| &*p).collect();
+        neo_nn::write_params(&mut buf, &refs).unwrap();
+    }
+    // Read into a differently-seeded fresh module.
+    let mut rng2 = StdRng::seed_from_u64(1234);
+    let mut fresh = Mlp::new(&[3, 6, 1], true, false, &mut rng2);
+    let x = Matrix::from_vec(2, 3, vec![0.3, -0.1, 0.7, 1.0, 0.0, -0.5]);
+    assert_ne!(
+        fresh.forward_inference(&x).data(),
+        clone.forward_inference(&x).data()
+    );
+    neo_nn::read_params(&mut &buf[..], &mut fresh.params_mut()).unwrap();
+    assert_eq!(
+        fresh.forward_inference(&x).data(),
+        clone.forward_inference(&x).data()
+    );
+    // The original never moved.
+    let o1 = original.forward_inference(&x);
+    assert_ne!(o1.data(), clone.forward_inference(&x).data());
+}

@@ -1,4 +1,4 @@
-//! The sharded, epoch-invalidated plan cache.
+//! The sharded, capacity-bounded, epoch-invalidated plan cache.
 //!
 //! Keys are canonical structural [`QueryFingerprint`]s
 //! ([`neo_query::fingerprint`]), so a repeated or isomorphic query (same
@@ -12,14 +12,28 @@
 //! workers rarely contend on the same mutex; each lock is held only for
 //! the probe/insert itself, never during search.
 //!
-//! **Epoch invalidation.** The cache carries a monotonically increasing
-//! epoch. Retraining the value network (the runner's refinement loop)
-//! calls [`PlanCache::advance_epoch`], which bumps the epoch and flushes
-//! every shard — plans chosen under the old weights are stale, not merely
-//! cold. Searches *in flight across* an epoch bump are handled by stamping
-//! each insert with the epoch observed when its search started: a stale
-//! insert is rejected at the door, and a stale entry that raced its way in
-//! is discarded (and evicted) on probe.
+//! **Capacity + CLOCK eviction.** Each shard holds at most
+//! `capacity_per_shard` entries in a slot ring with second-chance (CLOCK)
+//! replacement: a probe sets the slot's reference bit; when a full shard
+//! needs room, the clock hand sweeps the ring, clearing reference bits and
+//! evicting the first unreferenced slot. Recently re-used plans survive;
+//! one-off queries are recycled first. Evictions are counted in
+//! [`CacheStats::evictions`].
+//!
+//! **Epoch invalidation + seed demotion.** The cache carries a
+//! monotonically increasing epoch. Publishing a refined value network
+//! (see `OptimizerService::publish_model`) calls
+//! [`PlanCache::advance_epoch`], which bumps the epoch and flushes every
+//! shard — but the flushed plans are **demoted to search seeds**, not
+//! discarded: a subsequent miss for the same fingerprint retrieves the
+//! previous best plan via [`PlanCache::seed`] and hands it to the
+//! seeded search as the incumbent, so post-swap searches start from the
+//! last generation's answer instead of from scratch (the paper's
+//! experience carries across retraining; ROADMAP's "cross-epoch plan
+//! reuse as search seeds"). Searches *in flight across* an epoch bump are
+//! handled by stamping each insert with the epoch observed when its search
+//! started: a stale insert is rejected at the door, and a stale entry that
+//! raced its way in is discarded (and evicted) on probe.
 
 use neo_query::{PlanNode, QueryFingerprint};
 use std::collections::HashMap;
@@ -30,6 +44,12 @@ use std::sync::{Arc, Mutex};
 /// targets, tiny footprint when idle.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// Default per-shard entry capacity. With [`DEFAULT_SHARDS`] shards this
+/// bounds the cache at 16k plans — plenty for a working set of distinct
+/// query templates, small enough that a pathological stream of one-off
+/// queries cannot grow memory without bound.
+pub const DEFAULT_SHARD_CAPACITY: usize = 1024;
+
 /// A cached plan stamped with the epoch of the weights that chose it.
 /// The plan sits behind an `Arc` so a hit hands out a pointer bump under
 /// the shard lock instead of a deep tree clone.
@@ -37,6 +57,56 @@ pub const DEFAULT_SHARDS: usize = 16;
 struct Entry {
     plan: Arc<PlanNode>,
     epoch: u64,
+    /// The model generation whose weights chose this plan — returned with
+    /// hits so an outcome is always labeled with the generation that
+    /// actually produced it, even when a probe races a model publish.
+    generation: u64,
+}
+
+/// One CLOCK ring slot: an occupied slot carries its key (for reverse
+/// lookup on eviction) and a reference bit granting one extra sweep of
+/// life per probe.
+struct Slot {
+    key: Option<QueryFingerprint>,
+    entry: Option<Entry>,
+    referenced: bool,
+}
+
+/// A demoted plan serving as a warm-start seed, stamped with the epoch of
+/// the entry it was demoted from (so the next bump can prune seeds that
+/// did not come from the epoch just finishing).
+struct SeedEntry {
+    plan: Arc<PlanNode>,
+    epoch: u64,
+}
+
+/// One independently locked shard: index + CLOCK ring + demoted seeds.
+struct Shard {
+    index: HashMap<QueryFingerprint, usize>,
+    slots: Vec<Slot>,
+    /// Slot indices freed by stale-entry eviction, reusable before the
+    /// ring grows or the clock hand sweeps.
+    vacant: Vec<usize>,
+    hand: usize,
+    /// The last finished epoch's demoted plans: fingerprint → previous
+    /// best plan, served as warm-start search seeds. Entries arrive from
+    /// two paths — the `advance_epoch` sweep and probes that race it —
+    /// and each bump prunes seeds not stamped with the epoch that just
+    /// finished (bounded by construction: at most `capacity` entries
+    /// existed per epoch).
+    seeds: HashMap<QueryFingerprint, SeedEntry>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            vacant: Vec::new(),
+            hand: 0,
+            seeds: HashMap::new(),
+        }
+    }
 }
 
 /// Monotonic counters describing cache traffic since construction.
@@ -52,6 +122,11 @@ pub struct CacheStats {
     pub stale_rejections: u64,
     /// `advance_epoch` calls.
     pub invalidations: u64,
+    /// Entries displaced by CLOCK replacement (capacity pressure only;
+    /// epoch flushes demote rather than evict and are not counted here).
+    pub evictions: u64,
+    /// Seeds handed out to warm-start post-epoch searches.
+    pub seed_hits: u64,
 }
 
 impl CacheStats {
@@ -69,27 +144,40 @@ impl CacheStats {
 /// The sharded plan cache. All methods take `&self`; the cache is meant to
 /// be shared (behind an `Arc`) by every worker of an optimizer service.
 pub struct PlanCache {
-    shards: Vec<Mutex<HashMap<QueryFingerprint, Entry>>>,
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
     epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     stale_rejections: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
+    seed_hits: AtomicU64,
 }
 
 impl PlanCache {
-    /// Creates a cache with `shards` independently locked shards (≥ 1).
+    /// Creates a cache with `shards` independently locked shards (≥ 1) at
+    /// the default per-shard capacity.
     pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// Creates a cache with `shards` shards of at most `capacity_per_shard`
+    /// entries each (both clamped to ≥ 1).
+    pub fn with_capacity(shards: usize, capacity_per_shard: usize) -> Self {
         let shards = shards.max(1);
         PlanCache {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
             epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             stale_rejections: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            seed_hits: AtomicU64::new(0),
         }
     }
 
@@ -105,42 +193,119 @@ impl PlanCache {
         self.shards.len()
     }
 
-    fn shard(&self, fp: QueryFingerprint) -> &Mutex<HashMap<QueryFingerprint, Entry>> {
+    /// Maximum entries per shard.
+    pub fn capacity_per_shard(&self) -> usize {
+        self.capacity_per_shard
+    }
+
+    fn shard(&self, fp: QueryFingerprint) -> &Mutex<Shard> {
         &self.shards[fp.shard(self.shards.len())]
     }
 
-    /// Probes the cache. A current-epoch entry is a hit; a stale entry is
-    /// evicted and counted as a miss. The returned `Arc` keeps the hit
-    /// path O(1) under the shard lock (no plan-tree clone).
+    /// Probes the cache. A current-epoch entry is a hit (and gets its
+    /// CLOCK reference bit set); a stale entry is evicted and counted as a
+    /// miss. The returned `Arc` keeps the hit path O(1) under the shard
+    /// lock (no plan-tree clone).
     pub fn get(&self, fp: QueryFingerprint) -> Option<Arc<PlanNode>> {
+        self.get_with_generation(fp).map(|(plan, _)| plan)
+    }
+
+    /// [`Self::get`] also returning the model generation whose weights
+    /// chose the cached plan (stamped at insert) — the serving path labels
+    /// hit outcomes with it, so the label stays truthful even when a probe
+    /// races a model publish.
+    pub fn get_with_generation(&self, fp: QueryFingerprint) -> Option<(Arc<PlanNode>, u64)> {
         let epoch = self.epoch();
         let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
-        match shard.get(&fp) {
-            Some(e) if e.epoch == epoch => {
-                let plan = Arc::clone(&e.plan);
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(plan)
+        let hit = match shard.index.get(&fp).copied() {
+            Some(si) => {
+                let slot = &mut shard.slots[si];
+                match &slot.entry {
+                    Some(e) if e.epoch == epoch => {
+                        slot.referenced = true;
+                        Some((Arc::clone(&e.plan), e.generation))
+                    }
+                    _ => {
+                        // A stale entry found by a probe that raced
+                        // `advance_epoch`'s shard sweep: vacate the slot,
+                        // but *demote* the plan to a warm-start seed — the
+                        // same fate the sweep would have given it — so the
+                        // "demoted, not discarded" invariant holds on
+                        // every path out of an epoch. The epoch stamp lets
+                        // the (possibly still in-flight) sweep's prune
+                        // keep this seed.
+                        if let Some(e) = slot.entry.take() {
+                            slot.key = None;
+                            slot.referenced = false;
+                            shard.seeds.insert(
+                                fp,
+                                SeedEntry {
+                                    plan: e.plan,
+                                    epoch: e.epoch,
+                                },
+                            );
+                        }
+                        shard.index.remove(&fp);
+                        shard.vacant.push(si);
+                        None
+                    }
+                }
             }
-            Some(_) => {
-                // Raced in from a search that straddled an epoch bump.
-                shard.remove(&fp);
-                drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+            None => None,
+        };
+        drop(shard);
+        match hit {
+            Some(found) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(found)
             }
             None => {
-                drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
+    /// Retrieves the warm-start seed demoted from a previous epoch for
+    /// this fingerprint, if any. Deliberately non-consuming: concurrent
+    /// duplicate searches for the same fingerprint must both see the same
+    /// seed, or their results could diverge. [`CacheStats::seed_hits`]
+    /// counts every handout (one per seeded search).
+    pub fn seed(&self, fp: QueryFingerprint) -> Option<Arc<PlanNode>> {
+        let shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let seed = shard.seeds.get(&fp).map(|s| Arc::clone(&s.plan));
+        drop(shard);
+        if seed.is_some() {
+            self.seed_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        seed
+    }
+
+    /// Total demoted seeds currently held across shards.
+    pub fn num_seeds(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").seeds.len())
+            .sum()
+    }
+
     /// Inserts a plan computed by a search that *started* at
     /// `search_epoch`. Rejected when the epoch has moved on since — the
-    /// plan was chosen by superseded weights.
+    /// plan was chosen by superseded weights. At capacity, CLOCK
+    /// replacement frees a slot (second chance for referenced entries).
     pub fn insert(&self, fp: QueryFingerprint, plan: PlanNode, search_epoch: u64) {
+        self.insert_from_generation(fp, plan, search_epoch, 0);
+    }
+
+    /// [`Self::insert`] stamped with the model generation that chose the
+    /// plan (returned by [`Self::get_with_generation`] on a hit).
+    pub fn insert_from_generation(
+        &self,
+        fp: QueryFingerprint,
+        plan: PlanNode,
+        search_epoch: u64,
+        generation: u64,
+    ) {
         if self.epoch() != search_epoch {
             self.stale_rejections.fetch_add(1, Ordering::Relaxed);
             return;
@@ -148,20 +313,93 @@ impl PlanCache {
         let entry = Entry {
             plan: Arc::new(plan),
             epoch: search_epoch,
+            generation,
         };
+        let mut evicted = 0u64;
         let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
-        shard.insert(fp, entry);
+        if let Some(&si) = shard.index.get(&fp) {
+            // Re-insert over the existing slot (a racing duplicate search,
+            // or a refresh): replace in place, grant a reference.
+            let slot = &mut shard.slots[si];
+            slot.entry = Some(entry);
+            slot.referenced = true;
+        } else {
+            let si = if let Some(si) = shard.vacant.pop() {
+                si
+            } else if shard.slots.len() < self.capacity_per_shard {
+                shard.slots.push(Slot {
+                    key: None,
+                    entry: None,
+                    referenced: false,
+                });
+                shard.slots.len() - 1
+            } else {
+                // CLOCK sweep: clear reference bits until an unreferenced
+                // occupied slot is found. Terminates within two laps.
+                loop {
+                    let hand = shard.hand;
+                    shard.hand = (shard.hand + 1) % shard.slots.len();
+                    let slot = &mut shard.slots[hand];
+                    match (slot.key, slot.referenced) {
+                        (Some(_), true) => slot.referenced = false,
+                        (Some(victim), false) => {
+                            shard.index.remove(&victim);
+                            evicted += 1;
+                            break hand;
+                        }
+                        (None, _) => break hand,
+                    }
+                }
+            };
+            let slot = &mut shard.slots[si];
+            slot.key = Some(fp);
+            slot.entry = Some(entry);
+            slot.referenced = false;
+            shard.index.insert(fp, si);
+        }
         drop(shard);
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Starts a new epoch (call after every value-network refinement):
-    /// bumps the epoch counter, then flushes every shard. Returns the new
-    /// epoch.
+    /// bumps the epoch counter, then flushes every shard, **demoting** the
+    /// flushed plans to warm-start seeds for their fingerprints (replacing
+    /// the previous epoch's seeds). Returns the new epoch.
     pub fn advance_epoch(&self) -> u64 {
         let new = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            // Merge-then-prune rather than wholesale replacement: probes
+            // racing this sweep demote stale entries into `seeds`
+            // themselves (see `get_with_generation`), and those demotions
+            // must survive. The epoch stamp distinguishes "demoted from
+            // the epoch just finishing" (kept) from leftovers of earlier
+            // epochs (pruned), keeping the map bounded per epoch.
+            let mut demoted: Vec<(QueryFingerprint, SeedEntry)> =
+                Vec::with_capacity(shard.index.len());
+            for slot in &mut shard.slots {
+                if let (Some(fp), Some(entry)) = (slot.key.take(), slot.entry.take()) {
+                    demoted.push((
+                        fp,
+                        SeedEntry {
+                            plan: entry.plan,
+                            epoch: entry.epoch,
+                        },
+                    ));
+                }
+                slot.referenced = false;
+            }
+            shard.index.clear();
+            shard.slots.clear();
+            shard.vacant.clear();
+            shard.hand = 0;
+            for (fp, seed) in demoted {
+                shard.seeds.insert(fp, seed);
+            }
+            shard.seeds.retain(|_, s| s.epoch + 1 >= new);
         }
         self.invalidations.fetch_add(1, Ordering::Relaxed);
         new
@@ -182,7 +420,7 @@ impl PlanCache {
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().expect("cache shard poisoned").index.len())
             .collect()
     }
 
@@ -200,6 +438,8 @@ impl PlanCache {
             insertions: self.insertions.load(Ordering::Relaxed),
             stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            seed_hits: self.seed_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -257,6 +497,90 @@ mod tests {
         assert_eq!(c.get(fp(7)), None);
         assert_eq!(c.stats().stale_rejections, 1);
         assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn hits_report_the_inserting_generation_not_the_current_one() {
+        let c = PlanCache::new(2);
+        c.insert_from_generation(fp(1), plan(0), 0, 3);
+        // A later probe (even if the model slot has moved on) sees the
+        // generation whose weights chose the plan.
+        assert_eq!(c.get_with_generation(fp(1)), Some((Arc::new(plan(0)), 3)));
+        // The 3-arg insert defaults to generation 0.
+        c.insert(fp(2), plan(1), 0);
+        assert_eq!(c.get_with_generation(fp(2)).unwrap().1, 0);
+    }
+
+    #[test]
+    fn epoch_bump_demotes_entries_to_seeds() {
+        let c = PlanCache::new(4);
+        c.insert(fp(10), plan(3), 0);
+        c.insert(fp(20), plan(5), 0);
+        assert_eq!(c.num_seeds(), 0);
+        c.advance_epoch();
+        // Entries are gone from the cache proper...
+        assert_eq!(c.get(fp(10)), None);
+        // ...but demoted to warm-start seeds.
+        assert_eq!(c.num_seeds(), 2);
+        assert_eq!(c.seed(fp(10)).as_deref(), Some(&plan(3)));
+        assert_eq!(c.seed(fp(20)).as_deref(), Some(&plan(5)));
+        assert_eq!(c.seed(fp(99)), None);
+        assert_eq!(c.stats().seed_hits, 2);
+        // Next bump replaces the seed set with the (empty) current entries.
+        c.advance_epoch();
+        assert_eq!(c.num_seeds(), 0);
+        assert_eq!(c.seed(fp(10)), None);
+    }
+
+    #[test]
+    fn capacity_bound_enforced_with_clock_eviction() {
+        // One shard, capacity 4, so eviction order is fully observable.
+        let c = PlanCache::with_capacity(1, 4);
+        for i in 0..4u128 {
+            c.insert(fp(i), plan(i as usize), 0);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.stats().evictions, 0);
+        // Reference fp(0) and fp(1): they earn a second chance.
+        assert!(c.get(fp(0)).is_some());
+        assert!(c.get(fp(1)).is_some());
+        // Two more inserts must evict the two *unreferenced* entries.
+        c.insert(fp(100), plan(9), 0);
+        c.insert(fp(101), plan(9), 0);
+        assert_eq!(c.len(), 4, "capacity must hold");
+        assert_eq!(c.stats().evictions, 2);
+        assert!(c.get(fp(0)).is_some(), "referenced entry survived");
+        assert!(c.get(fp(1)).is_some(), "referenced entry survived");
+        assert!(c.get(fp(2)).is_none(), "unreferenced entry evicted");
+        assert!(c.get(fp(3)).is_none(), "unreferenced entry evicted");
+        assert!(c.get(fp(100)).is_some() && c.get(fp(101)).is_some());
+    }
+
+    #[test]
+    fn clock_sweep_eventually_evicts_even_all_referenced() {
+        let c = PlanCache::with_capacity(1, 3);
+        for i in 0..3u128 {
+            c.insert(fp(i), plan(0), 0);
+            assert!(c.get(fp(i)).is_some()); // everything referenced
+        }
+        // The sweep clears all bits on the first lap, evicts on the second.
+        c.insert(fp(50), plan(1), 0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(fp(50)).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_fingerprint_does_not_grow_or_evict() {
+        let c = PlanCache::with_capacity(1, 2);
+        c.insert(fp(1), plan(0), 0);
+        c.insert(fp(2), plan(1), 0);
+        for _ in 0..10 {
+            c.insert(fp(1), plan(2), 0);
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(fp(1)).as_deref(), Some(&plan(2)), "replaced in place");
     }
 
     #[test]

@@ -7,19 +7,26 @@
 //!
 //! * [`pool::WorkerPool`] — a vendored fixed-size worker pool (no external
 //!   dependencies, the workspace's shim pattern);
-//! * [`cache::PlanCache`] — a sharded plan cache keyed by canonical
-//!   structural [`neo_query::fingerprint`]s, with epoch-based invalidation
-//!   tied to the runner's refinement loop;
-//! * [`service::OptimizerService`] — one frozen [`neo::ValueNet`] shared
-//!   (read-only) by all in-flight searches, each running its own
+//! * [`cache::PlanCache`] — a sharded, capacity-bounded (second-chance
+//!   CLOCK eviction) plan cache keyed by canonical structural
+//!   [`neo_query::fingerprint`]s, with epoch-based invalidation that
+//!   demotes superseded plans to warm-start search seeds;
+//! * [`slot::ModelSlot`] — the swap-on-read model slot: workers serve a
+//!   frozen [`neo::ValueNet`] generation while a background trainer
+//!   publishes the next one ([`service::OptimizerService::publish_model`]);
+//! * [`service::OptimizerService`] — the served model shared (read-only)
+//!   by all in-flight searches, each running its own
 //!   [`neo::InferenceSession`]-backed wavefront search with scratch
-//!   buffers recycled per worker through a [`neo_nn::ScratchPool`].
+//!   buffers recycled per worker through a [`neo_nn::ScratchPool`], plus
+//!   the [`service::ExecutionFeedback`] path that feeds observed plan
+//!   latencies back to the `neo-learn` trainer (the paper's Fig. 1 loop).
 //!
 //! Cache hits return previously chosen plans for repeated/isomorphic
 //! queries with zero neural-network work; parameter-perturbed queries
 //! fingerprint differently and re-search. Search is deterministic, so
 //! concurrent serving chooses byte-identical plans to single-threaded
-//! runs.
+//! runs per model generation (in-flight searches straddling a model swap
+//! finish on the network they started with).
 //!
 //! ```no_run
 //! use neo::{Featurization, Featurizer, NetConfig, ValueNet};
@@ -44,7 +51,9 @@
 pub mod cache;
 pub mod pool;
 pub mod service;
+pub mod slot;
 
-pub use cache::{CacheStats, PlanCache, DEFAULT_SHARDS};
+pub use cache::{CacheStats, PlanCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY};
 pub use pool::WorkerPool;
-pub use service::{OptimizeOutcome, OptimizerService, ServeConfig};
+pub use service::{ExecutionFeedback, OptimizeOutcome, OptimizerService, ServeConfig};
+pub use slot::ModelSlot;

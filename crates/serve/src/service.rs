@@ -1,31 +1,53 @@
-//! The multi-query optimization service: a frozen [`ValueNet`] shared by a
-//! fixed worker pool, fronted by the sharded [`PlanCache`].
+//! The multi-query optimization service: a swappable frozen [`ValueNet`]
+//! shared by a fixed worker pool, fronted by the sharded [`PlanCache`],
+//! with an execution-feedback path feeding the closed learning loop.
 //!
 //! Per query, a worker: (1) fingerprints the query and probes the cache —
 //! a hit returns the previously chosen plan with **zero** neural-network
-//! work; (2) on a miss, opens an [`InferenceSession`]-backed wavefront
-//! search (`best_first_search_with_scratch`) against the shared network,
-//! with scratch buffers recycled through a [`ScratchPool`] so steady-state
-//! serving performs no inference-buffer growth; (3) inserts the chosen
+//! work; (2) on a miss, loads the current model generation **once** from
+//! the [`ModelSlot`] and opens an [`InferenceSession`]-backed wavefront
+//! search (`best_first_search_seeded_with_scratch`) against it, warm-
+//! started by any seed plan demoted from the previous epoch, with scratch
+//! buffers recycled through a [`ScratchPool`]; (3) inserts the chosen
 //! plan stamped with the epoch its search started under.
 //!
 //! Search is deterministic (no RNG, stable tie-breaking), so concurrent
-//! serving chooses byte-identical plans to a single-threaded run — the
-//! concurrency sanity test and `serve-bench` both pin this down.
+//! serving chooses byte-identical plans to a single-threaded run **per
+//! model generation and seed state** — an in-flight search straddling a
+//! [`OptimizerService::publish_model`] swap finishes on the network it
+//! started with, and its now-stale cache insert is rejected by the epoch
+//! stamp. The swap-path test pins exactly this: every concurrently chosen
+//! plan equals the single-threaded reference of *some* generation, never a
+//! torn blend.
+//!
+//! After executing a chosen plan, callers report the observed latency via
+//! [`OptimizerService::report_execution`]; an attached
+//! [`ExecutionFeedback`] sink (the `neo-learn` experience sink) collects
+//! these records for the background trainer, which eventually calls
+//! [`OptimizerService::publish_model`] — closing the paper's Fig. 1 loop.
 //!
 //! [`InferenceSession`]: neo::InferenceSession
 //! [`ValueNet`]: neo::ValueNet
 //! [`ScratchPool`]: neo_nn::ScratchPool
 
-use crate::cache::{CacheStats, PlanCache, DEFAULT_SHARDS};
+use crate::cache::{CacheStats, PlanCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY};
 use crate::pool::WorkerPool;
-use neo::{best_first_search_with_scratch, Featurizer, SearchBudget, SearchStats, ValueNet};
+use crate::slot::ModelSlot;
+use neo::{best_first_search_seeded_with_scratch, Featurizer, SearchBudget, SearchStats, ValueNet};
 use neo_nn::ScratchPool;
 use neo_query::{fingerprint, PlanNode, Query, QueryFingerprint};
 use neo_storage::Database;
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Where executed-plan observations go: the serving side of the learning
+/// loop. Implemented by `neo-learn`'s `ExperienceSink`; must be cheap and
+/// non-blocking — it is called from serving threads.
+pub trait ExecutionFeedback: Send + Sync {
+    /// Records one observed execution of `plan` for `query`.
+    fn record(&self, fp: QueryFingerprint, query: &Query, plan: &PlanNode, latency_ms: f64);
+}
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -34,9 +56,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Plan-cache shard count.
     pub cache_shards: usize,
+    /// Plan-cache capacity per shard (CLOCK eviction beyond this).
+    pub cache_capacity_per_shard: usize,
     /// Enables the plan cache (off = every query searches; used by the
     /// bench's cold-scaling measurement).
     pub use_cache: bool,
+    /// Reuse plans demoted by epoch bumps as warm-start search seeds
+    /// (cross-epoch plan reuse; only effective when the cache is on).
+    pub use_seeds: bool,
     /// Search budget: expansions = `search_base_expansions + 3 * |R(q)|`
     /// (the runner's budget rule, deterministic across runs).
     pub search_base_expansions: usize,
@@ -51,7 +78,9 @@ impl Default for ServeConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_shards: DEFAULT_SHARDS,
+            cache_capacity_per_shard: DEFAULT_SHARD_CAPACITY,
             use_cache: true,
+            use_seeds: true,
             search_base_expansions: 12,
             wavefront: neo::DEFAULT_WAVEFRONT,
         }
@@ -69,9 +98,13 @@ pub struct OptimizeOutcome {
     pub plan: PlanNode,
     /// True when the plan came from the cache (no NN work performed).
     pub cache_hit: bool,
+    /// The model generation whose weights chose this plan (for a cache
+    /// hit: the generation current when the probe succeeded).
+    pub model_generation: u64,
     /// Wall-clock optimize latency, milliseconds (cache probe included).
     pub optimize_ms: f64,
-    /// Search statistics (`None` on a cache hit).
+    /// Search statistics (`None` on a cache hit; `stats.seeded` reports
+    /// whether a demoted plan warm-started the search).
     pub search: Option<SearchStats>,
 }
 
@@ -79,9 +112,10 @@ pub struct OptimizeOutcome {
 struct Shared {
     db: Arc<Database>,
     featurizer: Arc<Featurizer>,
-    net: Arc<ValueNet>,
+    model: ModelSlot,
     cache: PlanCache,
     scratch: ScratchPool,
+    feedback: OnceLock<Arc<dyn ExecutionFeedback>>,
     cfg: ServeConfig,
 }
 
@@ -92,9 +126,12 @@ impl Shared {
     fn optimize_one(&self, query: &Query) -> OptimizeOutcome {
         let start = Instant::now();
         let fp = fingerprint(query);
+        // Epoch before model: if the epoch read is stale relative to a
+        // concurrent publish, the insert below is rejected by its stamp —
+        // never the other way around (see `publish_model`'s ordering).
         let search_epoch = self.cache.epoch();
         if self.cfg.use_cache {
-            if let Some(plan) = self.cache.get(fp) {
+            if let Some((plan, chosen_by)) = self.cache.get_with_generation(fp) {
                 return OptimizeOutcome {
                     query_id: query.id.clone(),
                     fingerprint: fp,
@@ -102,33 +139,52 @@ impl Shared {
                     // returns an Arc) to keep cache critical sections O(1).
                     plan: (*plan).clone(),
                     cache_hit: true,
+                    // The generation stamped at insert — not the slot's
+                    // current one, which may already have moved past the
+                    // weights that chose this plan (probe racing a
+                    // publish whose epoch bump hasn't landed yet).
+                    model_generation: chosen_by,
                     optimize_ms: start.elapsed().as_secs_f64() * 1e3,
                     search: None,
                 };
             }
         }
+        // Miss path only: the slot load (RwLock read + Arc clone) stays off
+        // the hit path, which touches nothing but its cache shard. Loading
+        // *after* the epoch read preserves the publish consistency
+        // argument: a plan chosen by a newer net than the epoch implies is
+        // either rejected at insert (epoch moved) or flushed by the bump.
+        let (net, model_generation) = self.model.load();
         let budget =
             SearchBudget::expansions(self.cfg.search_base_expansions + 3 * query.num_relations())
                 .with_wavefront(self.cfg.wavefront);
+        let seed = if self.cfg.use_cache && self.cfg.use_seeds {
+            self.cache.seed(fp)
+        } else {
+            None
+        };
         let scratch = self.scratch.checkout();
-        let (plan, stats, scratch) = best_first_search_with_scratch(
-            &self.net,
+        let (plan, stats, scratch) = best_first_search_seeded_with_scratch(
+            &net,
             &self.featurizer,
             &self.db,
             query,
             budget,
             None,
+            seed.as_deref(),
             scratch,
         );
         self.scratch.give_back(scratch);
         if self.cfg.use_cache {
-            self.cache.insert(fp, plan.clone(), search_epoch);
+            self.cache
+                .insert_from_generation(fp, plan.clone(), search_epoch, model_generation);
         }
         OptimizeOutcome {
             query_id: query.id.clone(),
             fingerprint: fp,
             plan,
             cache_hit: false,
+            model_generation,
             optimize_ms: start.elapsed().as_secs_f64() * 1e3,
             search: Some(stats),
         }
@@ -142,9 +198,9 @@ pub struct OptimizerService {
 }
 
 impl OptimizerService {
-    /// Builds a service over a frozen network. The featurizer must not
-    /// have the aux-cardinality channel enabled (serving passes no aux
-    /// provider).
+    /// Builds a service over an initial frozen network (generation 0).
+    /// The featurizer must not have the aux-cardinality channel enabled
+    /// (serving passes no aux provider).
     ///
     /// # Panics
     /// Panics if `featurizer.aux_card_channel` is set.
@@ -163,9 +219,10 @@ impl OptimizerService {
             shared: Arc::new(Shared {
                 db,
                 featurizer,
-                net,
-                cache: PlanCache::new(cfg.cache_shards),
+                model: ModelSlot::new(net),
+                cache: PlanCache::with_capacity(cfg.cache_shards, cfg.cache_capacity_per_shard),
                 scratch: ScratchPool::new(),
+                feedback: OnceLock::new(),
                 cfg,
             }),
             pool,
@@ -175,6 +232,16 @@ impl OptimizerService {
     /// Worker-thread count.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// The database the service optimizes for.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.shared.db
+    }
+
+    /// The featurizer shared by every search.
+    pub fn featurizer(&self) -> &Arc<Featurizer> {
+        &self.shared.featurizer
     }
 
     /// Optimizes one query synchronously on the calling thread (the pool
@@ -215,14 +282,71 @@ impl OptimizerService {
         results.into_iter().map(|(_, o)| o).collect()
     }
 
-    /// Signals that the value network was refined (retrained): bumps the
-    /// cache epoch and flushes every shard, so all subsequent queries
-    /// re-search under the new weights. Returns the new epoch.
+    /// The currently served model.
+    pub fn model(&self) -> Arc<ValueNet> {
+        self.shared.model.load().0
+    }
+
+    /// The current model generation (0 = the construction-time network).
+    pub fn model_generation(&self) -> u64 {
+        self.shared.model.generation()
+    }
+
+    /// Publishes a refined model: swaps it into the slot (in-flight
+    /// searches finish on the network they started with), then begins a
+    /// refinement epoch — flushing the cache with its entries demoted to
+    /// warm-start seeds. Returns the new model generation.
+    ///
+    /// Ordering matters: the model swap happens *before* the epoch bump,
+    /// so a plan inserted under the new epoch was necessarily computed by
+    /// the new network; an old-network plan finishing late carries a
+    /// pre-bump epoch stamp and is rejected.
+    pub fn publish_model(&self, net: Arc<ValueNet>) -> u64 {
+        let generation = self.shared.model.publish(net);
+        self.shared.cache.advance_epoch();
+        generation
+    }
+
+    /// Signals that the value network was refined in place elsewhere (no
+    /// slot swap): bumps the cache epoch, demoting every cached plan to a
+    /// warm-start seed, so all subsequent queries re-search. Returns the
+    /// new epoch. ([`Self::publish_model`] calls this path implicitly.)
     pub fn begin_refinement_epoch(&self) -> u64 {
         self.shared.cache.advance_epoch()
     }
 
-    /// The plan cache (stats, epoch, poison checks).
+    /// Attaches the execution-feedback sink (once per service). Returns
+    /// `false` when a sink was already attached.
+    pub fn set_feedback(&self, sink: Arc<dyn ExecutionFeedback>) -> bool {
+        self.shared.feedback.set(sink).is_ok()
+    }
+
+    /// Reports the observed execution latency of a plan this service
+    /// chose; forwarded to the attached [`ExecutionFeedback`] sink (a
+    /// no-op when none is attached). Callers holding the
+    /// [`OptimizeOutcome`] should prefer
+    /// [`Self::report_execution_with_fingerprint`] with
+    /// `outcome.fingerprint` — this convenience wrapper re-derives it.
+    pub fn report_execution(&self, query: &Query, plan: &PlanNode, latency_ms: f64) {
+        self.report_execution_with_fingerprint(fingerprint(query), query, plan, latency_ms);
+    }
+
+    /// [`Self::report_execution`] with the fingerprint already in hand
+    /// (every [`OptimizeOutcome`] carries it), skipping the canonical
+    /// re-walk of the query on the feedback path.
+    pub fn report_execution_with_fingerprint(
+        &self,
+        fp: QueryFingerprint,
+        query: &Query,
+        plan: &PlanNode,
+        latency_ms: f64,
+    ) {
+        if let Some(sink) = self.shared.feedback.get() {
+            sink.record(fp, query, plan, latency_ms);
+        }
+    }
+
+    /// The plan cache (stats, epoch, seeds, poison checks).
     pub fn cache(&self) -> &PlanCache {
         &self.shared.cache
     }

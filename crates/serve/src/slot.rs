@@ -1,0 +1,131 @@
+//! The swap-on-read model slot: how a live service changes its brain.
+//!
+//! Serving workers read a frozen [`ValueNet`] behind an `Arc`; the
+//! background trainer publishes a newly trained network by swapping the
+//! `Arc` in this slot. A search loads the slot **once** at its start and
+//! keeps that `Arc` until it finishes, so an in-flight search straddling a
+//! swap completes on the network it started with — plans stay
+//! deterministic *per model generation*, never a torn blend of two.
+//!
+//! The slot stores `(Arc<ValueNet>, generation)` under one `RwLock`, so a
+//! load observes a consistent pair (the generation labels which reference
+//! model produced a plan — the swap-path tests key on it). The lock is held
+//! only for the pointer clone: nanoseconds, uncontended in steady state,
+//! never across NN work.
+
+use neo::ValueNet;
+use std::sync::{Arc, RwLock};
+
+/// A shared, swappable slot holding the currently served model and its
+/// monotonically increasing generation number (0 = the model the service
+/// was built with).
+pub struct ModelSlot {
+    inner: RwLock<(Arc<ValueNet>, u64)>,
+}
+
+impl ModelSlot {
+    /// Wraps the initial model as generation 0.
+    pub fn new(net: Arc<ValueNet>) -> Self {
+        ModelSlot {
+            inner: RwLock::new((net, 0)),
+        }
+    }
+
+    /// Loads the current model and its generation as one consistent pair.
+    /// Callers keep the returned `Arc` for the duration of a search.
+    pub fn load(&self) -> (Arc<ValueNet>, u64) {
+        let guard = self.inner.read().expect("model slot poisoned");
+        (Arc::clone(&guard.0), guard.1)
+    }
+
+    /// Atomically replaces the served model, bumping the generation.
+    /// Returns the new generation. In-flight searches keep the `Arc` they
+    /// loaded; the old network is freed when the last of them finishes.
+    pub fn publish(&self, net: Arc<ValueNet>) -> u64 {
+        let mut guard = self.inner.write().expect("model slot poisoned");
+        guard.0 = net;
+        guard.1 += 1;
+        guard.1
+    }
+
+    /// The current generation without loading the model.
+    pub fn generation(&self) -> u64 {
+        self.inner.read().expect("model slot poisoned").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo::{Featurization, Featurizer, NetConfig};
+
+    fn tiny_net(seed: u64) -> Arc<ValueNet> {
+        let db = neo_storage::datagen::imdb::generate(0.02, 1);
+        let f = Featurizer::new(&db, Featurization::OneHot);
+        Arc::new(ValueNet::new(
+            f.query_dim(),
+            f.plan_channels(),
+            NetConfig {
+                query_layers: vec![16, 8],
+                conv_channels: vec![8],
+                head_layers: vec![8],
+                lr: 1e-2,
+                grad_clip: 5.0,
+                ignore_structure: false,
+            },
+            seed,
+        ))
+    }
+
+    #[test]
+    fn publish_bumps_generation_and_swaps_pointer() {
+        let a = tiny_net(1);
+        let b = tiny_net(2);
+        let slot = ModelSlot::new(Arc::clone(&a));
+        let (m0, g0) = slot.load();
+        assert_eq!(g0, 0);
+        assert!(Arc::ptr_eq(&m0, &a));
+        assert_eq!(slot.publish(Arc::clone(&b)), 1);
+        let (m1, g1) = slot.load();
+        assert_eq!(g1, 1);
+        assert!(Arc::ptr_eq(&m1, &b));
+        // The old generation's Arc held by an "in-flight search" stays
+        // valid after the swap.
+        assert!(Arc::ptr_eq(&m0, &a));
+        assert_eq!(slot.generation(), 1);
+    }
+
+    #[test]
+    fn concurrent_loads_see_consistent_pairs() {
+        let nets: Vec<Arc<ValueNet>> = (0..4).map(tiny_net).collect();
+        let slot = Arc::new(ModelSlot::new(Arc::clone(&nets[0])));
+        let ptrs: Vec<usize> = nets.iter().map(|n| Arc::as_ptr(n) as usize).collect();
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                let ptrs = ptrs.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let (net, generation) = slot.load();
+                        // The pair must be consistent: the pointer at
+                        // generation g is exactly nets[g].
+                        assert_eq!(
+                            Arc::as_ptr(&net) as usize,
+                            ptrs[generation as usize],
+                            "torn (model, generation) pair"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for net in nets.iter().skip(1) {
+            slot.publish(Arc::clone(net));
+            std::thread::yield_now();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(slot.generation(), 3);
+    }
+}
