@@ -1,0 +1,548 @@
+//! The `cluster-bench` harness (ISSUE 4): drives a multi-node
+//! optimization fleet — shared checkpoint store, centralized training,
+//! crash-recovering followers — and writes `BENCH_cluster.json`.
+//!
+//! Four measurements:
+//!
+//! * **fleet scaling** — per-node and aggregate optimize throughput for
+//!   1/2/4-node fleets (every node drives the same replicated stream
+//!   concurrently; on a single-core container the aggregate is core-bound
+//!   and `available_parallelism` is recorded, as in `serve-bench`);
+//! * **generation-convergence lag** — wall-clock from a leader publish
+//!   until every follower's background poller has adopted the generation;
+//! * **cross-node plan equality** — after each generation, every node
+//!   re-optimizes the workload and must choose **byte-identical** plans
+//!   (asserted in-binary: the fleet-wide determinism invariant);
+//! * **restart recovery** — a follower is killed and rebuilt from nothing
+//!   but the store; it must come back at the manifest's generation,
+//!   warm, with zero retraining anywhere.
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_cluster::{CheckpointStore, Cluster, ClusterConfig, FsCheckpointStore};
+use neo_engine::{true_latency, CardinalityOracle, Engine};
+use neo_learn::{ReplayConfig, TrainerConfig};
+use neo_query::{workload::job, PlanNode, Query};
+use neo_serve::{join_named, ServeConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Search budget base (the runner's budget rule adds `3 * |R(q)|`).
+const BASE_EXPANSIONS: usize = 12;
+
+/// How long to wait for a background generation / fleet convergence.
+const FLEET_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Sizing knobs for one cluster-bench run.
+#[derive(Clone, Debug)]
+pub struct ClusterBenchConfig {
+    /// IMDB dataset scale.
+    pub scale: f64,
+    /// Master seed (dataset, workload, net).
+    pub seed: u64,
+    /// Served workload size (distinct queries).
+    pub queries: usize,
+    /// Background generations the leader trains per fleet size.
+    pub generations: usize,
+    /// Minibatch epochs per generation.
+    pub epochs_per_generation: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Worker threads per node.
+    pub workers_per_node: usize,
+    /// Fleet sizes to measure (e.g. `[1, 2, 4]`).
+    pub node_counts: Vec<usize>,
+    /// Stream replication for the throughput measurement.
+    pub throughput_replicas: usize,
+    /// Follower manifest-poll interval, ms.
+    pub poll_interval_ms: u64,
+}
+
+impl ClusterBenchConfig {
+    /// Default sizing: 1/2/4 nodes (clamped to `--nodes`), seconds of
+    /// wall-clock per fleet size.
+    pub fn standard(seed: u64, nodes: usize, workers: usize) -> Self {
+        let max = nodes.max(1);
+        ClusterBenchConfig {
+            scale: 0.05,
+            seed,
+            queries: 8,
+            generations: 3,
+            epochs_per_generation: 20,
+            batch_size: 16,
+            workers_per_node: workers.max(1),
+            node_counts: [1usize, 2, 4]
+                .iter()
+                .copied()
+                .filter(|&n| n <= max)
+                .collect(),
+            throughput_replicas: 8,
+            poll_interval_ms: 5,
+        }
+    }
+
+    /// CI smoke sizing.
+    pub fn smoke(seed: u64) -> Self {
+        ClusterBenchConfig {
+            scale: 0.02,
+            seed,
+            queries: 5,
+            generations: 2,
+            epochs_per_generation: 10,
+            batch_size: 16,
+            workers_per_node: 2,
+            node_counts: vec![1, 2],
+            throughput_replicas: 2,
+            poll_interval_ms: 5,
+        }
+    }
+}
+
+/// One fleet size's measurements.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Fleet size (leader included).
+    pub nodes: usize,
+    /// Search-bound queries/sec per node (every optimize is a genuine
+    /// wavefront search; epoch bumped per replica pass), node order.
+    pub per_node_search_qps: Vec<f64>,
+    /// Search-bound fleet total: queries served / wall of the slowest
+    /// node, all nodes driven concurrently.
+    pub aggregate_search_qps: f64,
+    /// Hit-bound fleet total: the replicated stream against warm caches
+    /// (repeat-traffic capacity).
+    pub aggregate_hit_qps: f64,
+    /// Fleet-wide cache hit rate during the hit-bound pass (~1.0 by
+    /// construction; recorded so the two regimes are interpretable).
+    pub warm_hit_rate: f64,
+    /// Mean wall-clock from leader publish to full fleet convergence, ms.
+    pub convergence_lag_ms_mean: f64,
+    /// Worst observed convergence lag, ms.
+    pub convergence_lag_ms_max: f64,
+    /// The generation every node ended on (asserted equal in-binary).
+    pub final_generation: u64,
+    /// Cross-node plan byte-equality held for every generation.
+    pub plans_identical: bool,
+}
+
+/// Restart-recovery measurements (largest fleet).
+#[derive(Clone, Debug)]
+pub struct RestartPoint {
+    /// Fleet size the restart ran in.
+    pub nodes: usize,
+    /// The leader's generation at kill time.
+    pub leader_generation: u64,
+    /// The generation the rebuilt node recovered to from the store.
+    pub recovered_generation: u64,
+    /// Wall-clock of kill → rebuilt-and-serving, ms.
+    pub recovery_ms: f64,
+    /// Whether recovery triggered any retraining (must be false).
+    pub retrained_during_recovery: bool,
+    /// The recovered node's plans match the leader's byte-for-byte.
+    pub plans_match_after_recovery: bool,
+}
+
+/// Results of one cluster-bench run (serialized to `BENCH_cluster.json`).
+#[derive(Clone, Debug)]
+pub struct ClusterBenchReport {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+    /// Served workload size.
+    pub queries: usize,
+    /// Worker threads per node.
+    pub workers_per_node: usize,
+    /// Generations trained per fleet size.
+    pub generations: usize,
+    /// Per-fleet-size measurements.
+    pub scaling: Vec<ScalingPoint>,
+    /// The restart-recovery experiment.
+    pub restart: RestartPoint,
+}
+
+fn net_cfg() -> NetConfig {
+    NetConfig {
+        query_layers: vec![64, 32],
+        conv_channels: vec![32, 16],
+        head_layers: vec![32],
+        lr: 5e-3,
+        grad_clip: 5.0,
+        ignore_structure: false,
+    }
+}
+
+struct Fixture {
+    db: Arc<neo_storage::Database>,
+    featurizer: Arc<Featurizer>,
+    net: Arc<ValueNet>,
+    queries: Vec<Query>,
+}
+
+fn fixture(cfg: &ClusterBenchConfig) -> Fixture {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(cfg.scale, cfg.seed));
+    let queries: Vec<Query> = job::generate(&db, cfg.seed)
+        .queries
+        .into_iter()
+        .filter(|q| (4..=8).contains(&q.num_relations()))
+        .take(cfg.queries)
+        .collect();
+    assert!(!queries.is_empty(), "workload subset is empty");
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        net_cfg(),
+        cfg.seed,
+    ));
+    Fixture {
+        db,
+        featurizer,
+        net,
+        queries,
+    }
+}
+
+fn cluster_cfg(cfg: &ClusterBenchConfig, nodes: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        serve: ServeConfig {
+            workers: cfg.workers_per_node,
+            // Seeds off: cross-node byte-equality then holds
+            // unconditionally, including for restart-recovered nodes with
+            // no seed history (see `neo_cluster::ClusterConfig` docs).
+            use_seeds: false,
+            search_base_expansions: BASE_EXPANSIONS,
+            ..Default::default()
+        },
+        trainer: TrainerConfig {
+            epochs_per_generation: cfg.epochs_per_generation,
+            batch_size: cfg.batch_size,
+            seed: cfg.seed,
+            ..Default::default()
+        },
+        replay: ReplayConfig::default(),
+        poll_interval_ms: cfg.poll_interval_ms,
+        auto_poll: true,
+    }
+}
+
+/// A scratch store directory unique to this run + fleet size.
+fn store_dir(cfg: &ClusterBenchConfig, nodes: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "neo-cluster-bench-{}-{}-n{nodes}",
+        std::process::id(),
+        cfg.seed
+    ))
+}
+
+/// Serves the workload on every node (reporting observations with
+/// predictions into the fleet sink), trains one generation, waits for
+/// fleet-wide convergence, and checks cross-node plan equality. Returns
+/// (lag_ms, plans_identical).
+fn run_generation(
+    cluster: &Cluster,
+    fx: &Fixture,
+    oracle: &mut CardinalityOracle,
+    generation: u64,
+) -> (f64, bool) {
+    let profile = Engine::PostgresLike.profile();
+    for i in 0..cluster.len() {
+        let svc = cluster.node(i).service();
+        let outcomes = svc.optimize_stream(&fx.queries);
+        for (q, o) in fx.queries.iter().zip(&outcomes) {
+            let latency = true_latency(&fx.db, q, &profile, oracle, &o.plan);
+            svc.report_outcome(q, o, latency);
+        }
+    }
+    cluster.leader().trainer().request_generation();
+    assert!(
+        cluster
+            .leader()
+            .trainer()
+            .wait_for_generation(generation, FLEET_TIMEOUT),
+        "generation {generation} never completed"
+    );
+    let lag_start = Instant::now();
+    assert!(
+        cluster.wait_converged(generation, FLEET_TIMEOUT),
+        "fleet never converged to generation {generation}"
+    );
+    let lag_ms = lag_start.elapsed().as_secs_f64() * 1e3;
+
+    let plans = plans_per_node(cluster, fx);
+    let identical = plans.iter().all(|p| p == &plans[0]);
+    assert!(
+        identical,
+        "cross-node plan divergence at generation {generation}"
+    );
+    (lag_ms, identical)
+}
+
+/// Every node's chosen plans for the workload at its current generation.
+fn plans_per_node(cluster: &Cluster, fx: &Fixture) -> Vec<Vec<PlanNode>> {
+    (0..cluster.len())
+        .map(|i| {
+            cluster
+                .node(i)
+                .service()
+                .optimize_stream(&fx.queries)
+                .into_iter()
+                .map(|o| o.plan)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the full cluster bench.
+pub fn run_cluster_bench(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
+    assert!(!cfg.node_counts.is_empty(), "no fleet sizes requested");
+    let largest = *cfg.node_counts.iter().max().unwrap();
+    // Fail before minutes of work, not at the final report: the
+    // restart-recovery experiment needs a follower to kill.
+    assert!(
+        largest >= 2,
+        "cluster-bench needs a fleet size >= 2 for the restart-recovery \
+         experiment (largest requested fleet: {largest} node(s); pass --nodes 2 or more)"
+    );
+    let fx = fixture(cfg);
+    let mut scaling = Vec::new();
+    let mut restart: Option<RestartPoint> = None;
+
+    for &nodes in &cfg.node_counts {
+        let dir = store_dir(cfg, nodes);
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: Arc<dyn CheckpointStore> =
+            Arc::new(FsCheckpointStore::open(&dir).expect("open store dir"));
+        let mut cluster = Cluster::new(
+            Arc::clone(&fx.db),
+            Arc::clone(&fx.featurizer),
+            Arc::clone(&fx.net),
+            store,
+            cluster_cfg(cfg, nodes),
+        )
+        .expect("assemble cluster");
+        let mut oracle = CardinalityOracle::new();
+
+        // --- Train + converge + equality-check, generation by generation.
+        let mut lags = Vec::new();
+        let mut identical_all = true;
+        for g in 1..=cfg.generations as u64 {
+            let (lag_ms, identical) = run_generation(&cluster, &fx, &mut oracle, g);
+            lags.push(lag_ms);
+            identical_all &= identical;
+        }
+        let node_generations: Vec<u64> = cluster.generations();
+        let final_generation = cluster.leader().generation();
+        assert!(
+            node_generations.iter().all(|&g| g == final_generation),
+            "fleet ended divergent: {node_generations:?}"
+        );
+
+        // --- Concurrent throughput, two regimes, every node driven at
+        // once (one driver thread per node):
+        //
+        // * **search-bound**: each replica pass begins with an epoch bump,
+        //   so every optimize is a genuine wavefront search — the fleet's
+        //   NN-work capacity;
+        // * **hit-bound**: the replicated stream against warm caches —
+        //   the fleet's repeat-traffic capacity (hit rate recorded; ~1.0
+        //   by construction).
+        let drive = |search_bound: bool| -> Vec<f64> {
+            let handles: Vec<_> = (0..cluster.len())
+                .map(|i| {
+                    let svc = Arc::clone(cluster.node(i).service());
+                    let queries = fx.queries.clone();
+                    let replicas = cfg.throughput_replicas.max(1);
+                    std::thread::Builder::new()
+                        .name(format!("cluster-bench-driver-{i}"))
+                        .spawn(move || {
+                            let start = Instant::now();
+                            for _ in 0..replicas {
+                                if search_bound {
+                                    svc.begin_refinement_epoch();
+                                }
+                                svc.optimize_stream(&queries);
+                            }
+                            start.elapsed().as_secs_f64()
+                        })
+                        .expect("spawn driver thread")
+                })
+                .collect();
+            handles.into_iter().map(join_named).collect()
+        };
+        let per_node_stream = (cfg.throughput_replicas.max(1) * fx.queries.len()) as f64;
+        let aggregate = |walls: &[f64]| -> f64 {
+            let slowest = walls.iter().copied().fold(0.0f64, f64::max);
+            cluster.len() as f64 * per_node_stream / slowest.max(1e-9)
+        };
+
+        let search_walls = drive(true);
+        let per_node_search_qps: Vec<f64> = search_walls
+            .iter()
+            .map(|w| per_node_stream / w.max(1e-9))
+            .collect();
+        let aggregate_search_qps = aggregate(&search_walls);
+
+        let hits_before = (0..cluster.len())
+            .map(|i| cluster.node(i).service().cache_stats())
+            .collect::<Vec<_>>();
+        let hit_walls = drive(false);
+        let aggregate_hit_qps = aggregate(&hit_walls);
+        let (hits, probes) = (0..cluster.len())
+            .map(|i| {
+                let after = cluster.node(i).service().cache_stats();
+                (
+                    after.hits - hits_before[i].hits,
+                    (after.hits + after.misses) - (hits_before[i].hits + hits_before[i].misses),
+                )
+            })
+            .fold((0u64, 0u64), |(h, p), (dh, dp)| (h + dh, p + dp));
+
+        scaling.push(ScalingPoint {
+            nodes,
+            per_node_search_qps,
+            aggregate_search_qps,
+            aggregate_hit_qps,
+            warm_hit_rate: hits as f64 / (probes.max(1)) as f64,
+            convergence_lag_ms_mean: crate::mean(&lags),
+            convergence_lag_ms_max: lags.iter().copied().fold(0.0f64, f64::max),
+            final_generation,
+            plans_identical: identical_all,
+        });
+
+        // --- Restart recovery, on the largest fleet with followers.
+        if nodes == largest && nodes >= 2 {
+            let leader_generation = cluster.leader().generation();
+            let trained_before = cluster.leader().trainer().completed_generations();
+            let reference_plans = plans_per_node(&cluster, &fx);
+            let recovery_start = Instant::now();
+            cluster.restart_follower(1).expect("restart follower");
+            let recovery_ms = recovery_start.elapsed().as_secs_f64() * 1e3;
+            let recovered_generation = cluster.node(1).generation();
+            assert_eq!(
+                cluster.node(1).recovered_generation(),
+                Some(leader_generation),
+                "restarted node did not recover from the store"
+            );
+            let retrained = cluster.leader().trainer().completed_generations() != trained_before;
+            assert!(!retrained, "restart triggered a retrain");
+            let recovered_plans: Vec<PlanNode> = cluster
+                .node(1)
+                .service()
+                .optimize_stream(&fx.queries)
+                .into_iter()
+                .map(|o| o.plan)
+                .collect();
+            let plans_match = recovered_plans == reference_plans[0];
+            assert!(plans_match, "recovered node disagrees on plans");
+            restart = Some(RestartPoint {
+                nodes,
+                leader_generation,
+                recovered_generation,
+                recovery_ms,
+                retrained_during_recovery: retrained,
+                plans_match_after_recovery: plans_match,
+            });
+        }
+
+        drop(cluster);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    ClusterBenchReport {
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        queries: fx.queries.len(),
+        workers_per_node: cfg.workers_per_node,
+        generations: cfg.generations,
+        scaling,
+        restart: restart.expect("node_counts must include a multi-node fleet (≥ 2)"),
+    }
+}
+
+impl ClusterBenchReport {
+    /// Pretty-printed JSON (hand-rolled; no serde in the offline build).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str(&format!("  \"queries\": {},\n", self.queries));
+        s.push_str(&format!(
+            "  \"workers_per_node\": {},\n",
+            self.workers_per_node
+        ));
+        s.push_str(&format!("  \"generations\": {},\n", self.generations));
+        s.push_str("  \"scaling\": [\n");
+        for (i, p) in self.scaling.iter().enumerate() {
+            let qps = p
+                .per_node_search_qps
+                .iter()
+                .map(|q| format!("{q:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let gens = p.final_generation;
+            s.push_str(&format!(
+                "    {{\"nodes\": {}, \"per_node_search_qps\": [{qps}], \
+                 \"aggregate_search_qps\": {:.1}, \"aggregate_hit_qps\": {:.1}, \
+                 \"warm_hit_rate\": {:.3}, \
+                 \"convergence_lag_ms_mean\": {:.2}, \"convergence_lag_ms_max\": {:.2}, \
+                 \"final_generation\": {gens}, \"plans_identical\": {}}}{}\n",
+                p.nodes,
+                p.aggregate_search_qps,
+                p.aggregate_hit_qps,
+                p.warm_hit_rate,
+                p.convergence_lag_ms_mean,
+                p.convergence_lag_ms_max,
+                p.plans_identical,
+                if i + 1 < self.scaling.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        let r = &self.restart;
+        s.push_str(&format!(
+            "  \"restart\": {{\"nodes\": {}, \"leader_generation\": {}, \
+             \"recovered_generation\": {}, \"recovery_ms\": {:.2}, \
+             \"retrained_during_recovery\": {}, \"plans_match_after_recovery\": {}}}\n",
+            r.nodes,
+            r.leader_generation,
+            r.recovered_generation,
+            r.recovery_ms,
+            r.retrained_during_recovery,
+            r.plans_match_after_recovery
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end smoke: a 1-node and a 2-node fleet train, converge, and
+    /// agree on plans; the killed follower recovers warm from the store.
+    #[test]
+    fn smoke_fleet_trains_converges_and_recovers() {
+        let report = run_cluster_bench(&ClusterBenchConfig::smoke(7));
+        assert_eq!(report.scaling.len(), 2);
+        for p in &report.scaling {
+            assert!(p.plans_identical);
+            assert_eq!(p.final_generation, 2);
+            assert!(p.aggregate_search_qps > 0.0);
+            assert!(p.aggregate_hit_qps > 0.0);
+            assert_eq!(p.per_node_search_qps.len(), p.nodes);
+        }
+        assert_eq!(report.restart.nodes, 2);
+        assert_eq!(
+            report.restart.recovered_generation,
+            report.restart.leader_generation
+        );
+        assert!(!report.restart.retrained_during_recovery);
+        assert!(report.restart.plans_match_after_recovery);
+        let json = report.to_json();
+        assert!(json.contains("\"plans_identical\": true"));
+        assert!(json.contains("\"retrained_during_recovery\": false"));
+    }
+}

@@ -275,7 +275,7 @@ pub fn run_learn_bench(cfg: &LearnBenchConfig) -> LearnBenchReport {
         for (q, o) in fx.queries.iter().zip(&outcomes) {
             let latency = true_latency(&fx.db, q, &profile, &mut oracle, &o.plan);
             total += latency;
-            svc.report_execution_with_fingerprint(o.fingerprint, q, &o.plan, latency);
+            svc.report_outcome(q, o, latency);
         }
         let mean = total / fx.queries.len() as f64;
         let (mean_loss, samples, swap_us) = stats_by_generation
@@ -397,7 +397,7 @@ pub fn run_learn_bench(cfg: &LearnBenchConfig) -> LearnBenchReport {
     // during the measured phase.
     for (q, o) in fx.queries.iter().zip(&outcomes) {
         let latency = true_latency(&fx.db, q, &profile, &mut oracle, &o.plan);
-        tsvc.report_execution_with_fingerprint(o.fingerprint, q, &o.plan, latency);
+        tsvc.report_outcome(q, o, latency);
     }
     let ttrainer = BackgroundTrainer::spawn(
         Arc::clone(&tsvc),

@@ -12,11 +12,13 @@
 //! in quick mode; absolute numbers differ by construction (see
 //! EXPERIMENTS.md).
 
+pub mod cluster_bench;
 pub mod figures;
 pub mod harness;
 pub mod learn_bench;
 pub mod serve_bench;
 
+pub use cluster_bench::{run_cluster_bench, ClusterBenchConfig, ClusterBenchReport};
 pub use harness::{
     build_db, build_workload, run_learning, split_workload, CurvePoint, Preset, RunRecord,
     WorkloadKind,

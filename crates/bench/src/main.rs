@@ -25,6 +25,13 @@
 //!                     (plan-quality trajectory vs the Selinger expert,
 //!                      serving throughput under concurrent retraining,
 //!                      hot-swap latency; --smoke for the CI preset)
+//!   cluster-bench     multi-node optimization fleet -> BENCH_cluster.json
+//!                     (per-node/aggregate qps for 1/2/4-node fleets,
+//!                      generation-convergence lag, cross-node plan
+//!                      byte-equality, restart recovery from the shared
+//!                      checkpoint store; --nodes N caps the fleet sizes,
+//!                      --workers W sets workers per node, --smoke for
+//!                      the CI preset)
 //!   all               every figure/table experiment above, in order
 //!                     (the bench-* / *-bench commands run separately:
 //!                      they write JSON reports and assert their own
@@ -34,7 +41,8 @@
 //!   --quick | --full  experiment sizing preset (default --quick)
 //!   --episodes N      training episodes override
 //!   --seed S          master seed (datasets, workloads, nets)
-//!   --workers W       serve-bench concurrency ceiling (default 4)
+//!   --workers W       serve-bench concurrency ceiling / workers per node
+//!   --nodes N         cluster-bench fleet-size ceiling (default 4)
 //! ```
 
 use neo_bench::figures;
@@ -207,6 +215,64 @@ fn main() {
                 "checkpoint save -> load -> predict round-trip failed"
             );
         }
+        "cluster-bench" => {
+            // Multi-node optimization fleet (ISSUE 4): shared checkpoint
+            // store, centralized training, crash-recovering followers.
+            // Writes BENCH_cluster.json; the fleet invariants (generation
+            // convergence, cross-node plan byte-equality, warm restart
+            // recovery) are asserted inside the binary.
+            let workers = args
+                .iter()
+                .position(|a| a == "--workers")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2usize);
+            let nodes = args
+                .iter()
+                .position(|a| a == "--nodes")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4usize);
+            let cfg = if args.iter().any(|a| a == "--smoke") {
+                neo_bench::ClusterBenchConfig::smoke(preset.seed)
+            } else {
+                neo_bench::ClusterBenchConfig::standard(preset.seed, nodes, workers)
+            };
+            neo_bench::section("multi-node optimization fleet (BENCH_cluster.json)");
+            let report = neo_bench::run_cluster_bench(&cfg);
+            print!("{}", report.to_json());
+            let path = "BENCH_cluster.json";
+            std::fs::write(path, report.to_json()).expect("write BENCH_cluster.json");
+            let largest = report.scaling.last().expect("scaling points");
+            eprintln!(
+                "fleet {} nodes: aggregate {:.0} qps search-bound / {:.0} qps warm-hit \
+                 ({} core(s) available), \
+                 convergence lag mean {:.1} ms / max {:.1} ms, \
+                 all nodes at generation {}, plans byte-identical: {}; \
+                 restart recovered to generation {} in {:.1} ms \
+                 (retrained: {}); wrote {path}",
+                largest.nodes,
+                largest.aggregate_search_qps,
+                largest.aggregate_hit_qps,
+                report.available_parallelism,
+                largest.convergence_lag_ms_mean,
+                largest.convergence_lag_ms_max,
+                largest.final_generation,
+                largest.plans_identical,
+                report.restart.recovered_generation,
+                report.restart.recovery_ms,
+                report.restart.retrained_during_recovery,
+            );
+            assert!(
+                report.scaling.iter().all(|p| p.plans_identical),
+                "cross-node plan divergence"
+            );
+            assert!(
+                !report.restart.retrained_during_recovery
+                    && report.restart.plans_match_after_recovery,
+                "restart recovery was not warm"
+            );
+        }
         "all" => {
             figures::fig9_to_11(&preset);
             figures::fig12(&preset);
@@ -226,13 +292,16 @@ fn main() {
             }
             eprintln!(
                 "usage: neo-repro <command> [--quick|--full] [--episodes N] [--seed S] \
-                 [--workers W]\n\
+                 [--workers W] [--nodes N]\n\
                  commands: stats fig9-11 fig12 fig13 fig14 fig15 fig16 fig17 table2 \
                  ablation-demo ablation-treeconv executor-vs-model bench-search \
-                 serve-bench learn-bench all\n\
+                 serve-bench learn-bench cluster-bench all\n\
                  serve-bench flags: --workers W (top concurrency level, default 4), \
                  --smoke (tiny CI preset)\n\
                  learn-bench flags: --workers W (service workers, default 4), \
+                 --smoke (tiny CI preset)\n\
+                 cluster-bench flags: --nodes N (fleet-size ceiling, default 4), \
+                 --workers W (workers per node, default 2), --seed S, \
                  --smoke (tiny CI preset)"
             );
             std::process::exit(if cmd == "help" || cmd == "--help" || cmd == "-h" {

@@ -1,0 +1,244 @@
+//! Fleet assembly: one leader plus N−1 followers over a shared store and
+//! a shared experience sink.
+//!
+//! [`Cluster`] is the convenience wiring used by the tests and the
+//! `cluster-bench` harness. Real deployments can assemble
+//! [`ClusterNode`]s by hand (e.g. nodes in separate processes sharing an
+//! [`FsCheckpointStore`](crate::FsCheckpointStore) directory); nothing in
+//! the node depends on this struct.
+
+use crate::node::{ClusterNode, NodeConfig};
+use crate::store::CheckpointStore;
+use neo::{Featurizer, ValueNet};
+use neo_learn::{ExperienceSink, ReplayConfig, TrainerConfig};
+use neo_serve::ServeConfig;
+use neo_storage::Database;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fleet-level configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Total nodes including the leader (≥ 1).
+    pub nodes: usize,
+    /// Per-node serving configuration.
+    ///
+    /// Note on `use_seeds`: cross-node plan byte-equality per generation
+    /// holds *unconditionally* with seeds off (every post-swap search is
+    /// unseeded and search is deterministic per generation). With seeds
+    /// on it holds when nodes served the same queries under the same
+    /// generation sequence — seeds are then themselves
+    /// generation-deterministic — but a node that joined late starts
+    /// seedless and may legitimately return a different (never worse
+    /// under the current net) plan.
+    pub serve: ServeConfig,
+    /// Leader trainer configuration.
+    pub trainer: TrainerConfig,
+    /// Leader replay retention.
+    pub replay: ReplayConfig,
+    /// Follower manifest-poll interval.
+    pub poll_interval_ms: u64,
+    /// Spawn follower pollers at construction.
+    pub auto_poll: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            serve: ServeConfig::default(),
+            trainer: TrainerConfig::default(),
+            replay: ReplayConfig::default(),
+            poll_interval_ms: 20,
+            auto_poll: false,
+        }
+    }
+}
+
+/// A fleet of [`ClusterNode`]s sharing one checkpoint store and one
+/// experience sink. Node 0 is the leader.
+pub struct Cluster {
+    nodes: Vec<ClusterNode>,
+    sink: Arc<ExperienceSink>,
+    store: Arc<dyn CheckpointStore>,
+    // Retained for follower respawns (simulated crash recovery).
+    db: Arc<Database>,
+    featurizer: Arc<Featurizer>,
+    initial_net: Arc<ValueNet>,
+    cfg: ClusterConfig,
+}
+
+impl Cluster {
+    /// Assembles the fleet: every node serves over `cfg.serve` workers and
+    /// forwards feedback into one shared sink; the leader trains on the
+    /// merged experience and publishes to `store`. All nodes share the
+    /// initial network (generation 0) unless the store already holds
+    /// generations, in which case every node recovers to its latest.
+    pub fn new(
+        db: Arc<Database>,
+        featurizer: Arc<Featurizer>,
+        net: Arc<ValueNet>,
+        store: Arc<dyn CheckpointStore>,
+        cfg: ClusterConfig,
+    ) -> io::Result<Self> {
+        assert!(cfg.nodes >= 1, "a fleet needs at least the leader");
+        let sink = Arc::new(ExperienceSink::default());
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        nodes.push(ClusterNode::leader(
+            Arc::clone(&db),
+            Arc::clone(&featurizer),
+            Arc::clone(&net),
+            NodeConfig {
+                name: "node-0".into(),
+                serve: cfg.serve.clone(),
+                poll_interval_ms: cfg.poll_interval_ms,
+                auto_poll: false,
+            },
+            cfg.trainer.clone(),
+            cfg.replay,
+            Arc::clone(&store),
+            Arc::clone(&sink),
+        )?);
+        for i in 1..cfg.nodes {
+            nodes.push(Self::spawn_follower_inner(
+                &db,
+                &featurizer,
+                &net,
+                &store,
+                &sink,
+                &cfg,
+                i,
+            )?);
+        }
+        Ok(Cluster {
+            nodes,
+            sink,
+            store,
+            db,
+            featurizer,
+            initial_net: net,
+            cfg,
+        })
+    }
+
+    fn spawn_follower_inner(
+        db: &Arc<Database>,
+        featurizer: &Arc<Featurizer>,
+        net: &Arc<ValueNet>,
+        store: &Arc<dyn CheckpointStore>,
+        sink: &Arc<ExperienceSink>,
+        cfg: &ClusterConfig,
+        index: usize,
+    ) -> io::Result<ClusterNode> {
+        ClusterNode::follower(
+            Arc::clone(db),
+            Arc::clone(featurizer),
+            Arc::clone(net),
+            NodeConfig {
+                name: format!("node-{index}"),
+                serve: cfg.serve.clone(),
+                poll_interval_ms: cfg.poll_interval_ms,
+                auto_poll: cfg.auto_poll,
+            },
+            Arc::clone(store),
+            Arc::clone(sink),
+        )
+    }
+
+    /// Node count (leader included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fleet is leader-only.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes; index 0 is the leader.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// The leader.
+    pub fn leader(&self) -> &ClusterNode {
+        &self.nodes[0]
+    }
+
+    /// A node by index (0 = leader).
+    pub fn node(&self, i: usize) -> &ClusterNode {
+        &self.nodes[i]
+    }
+
+    /// The shared experience sink (the leader trains from it).
+    pub fn sink(&self) -> &Arc<ExperienceSink> {
+        &self.sink
+    }
+
+    /// The shared checkpoint store.
+    pub fn store(&self) -> &Arc<dyn CheckpointStore> {
+        &self.store
+    }
+
+    /// Every node's currently served generation, node order.
+    pub fn generations(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.generation()).collect()
+    }
+
+    /// One explicit sync on every follower (the leader publishes what it
+    /// trains and needs none). Returns the per-node adopted generations.
+    pub fn sync_followers(&self) -> io::Result<Vec<Option<u64>>> {
+        self.nodes
+            .iter()
+            .skip(1)
+            .map(|n| n.sync())
+            .collect::<io::Result<Vec<_>>>()
+    }
+
+    /// Blocks until every node serves `generation` (or the timeout
+    /// passes); followers without a running poller are synced explicitly.
+    /// Returns whether the fleet converged.
+    pub fn wait_converged(&self, generation: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.nodes.iter().all(|n| n.generation() >= generation) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            if !self.cfg.auto_poll {
+                let _ = self.sync_followers();
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Simulates a follower crash + restart: drops node `i` (its pool,
+    /// poller, cache, and model go with it) and rebuilds it from nothing
+    /// but the shared store — the new node recovers to the manifest's
+    /// generation before serving ([`ClusterNode::recovered_generation`]).
+    ///
+    /// # Panics
+    /// Panics for `i == 0` (the leader holds the fleet's trainer; leader
+    /// failover is a future seam, see ROADMAP).
+    pub fn restart_follower(&mut self, i: usize) -> io::Result<()> {
+        assert!(i != 0, "restart_follower: node 0 is the leader");
+        // Kill first, then rebuild: the replacement must see only durable
+        // store state, and the old node's worker pool should be gone
+        // before the new one spawns.
+        drop(self.nodes.remove(i));
+        let node = Self::spawn_follower_inner(
+            &self.db,
+            &self.featurizer,
+            &self.initial_net,
+            &self.store,
+            &self.sink,
+            &self.cfg,
+            i,
+        )?;
+        self.nodes.insert(i, node);
+        Ok(())
+    }
+}

@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+//! # neo-cluster — the multi-node optimization fleet
+//!
+//! The ROADMAP's north star is a service for millions of users; one
+//! node's worker pool is not that. This crate scales the closed learning
+//! loop (`neo-learn` over `neo-serve`) **across nodes** while keeping the
+//! fleet's defining invariant: every node converges to the same model
+//! generation, and — search being deterministic per generation — chooses
+//! **byte-identical plans** for the same query fingerprint. An optimizer
+//! fleet that disagrees with itself is a fleet of regressions waiting for
+//! a retry ("Query Optimization in the Wild" calls fleet-wide plan
+//! consistency the make-or-break property of industrial deployments).
+//!
+//! Architecture (one leader, N−1 followers, one store):
+//!
+//! * [`CheckpointStore`] — the durable, shared generation store
+//!   ([`FsCheckpointStore`]: atomic tmp→fsync→rename publish of framed
+//!   `gen-N.ckpt` files plus a `MANIFEST` naming the latest;
+//!   [`MemCheckpointStore`] for in-process fleets and tests). Checkpoint
+//!   frames carry a magic/version/length/checksum header
+//!   ([`neo::checkpoint`]), so torn or corrupt files are rejected, never
+//!   loaded.
+//! * [`ClusterNode`] — an [`neo_serve::OptimizerService`] +
+//!   fleet-feedback wiring. The **leader** aggregates experience
+//!   forwarded by every node (one fingerprint-sharded
+//!   [`neo_learn::ExperienceSink`] merged into one replay buffer), runs
+//!   the fleet's only [`neo_learn::BackgroundTrainer`], and publishes
+//!   each generation to the store *before* it may serve — a generation
+//!   the fleet cannot fetch never goes live. **Followers** poll the
+//!   manifest and hot-swap through their local model slot
+//!   ([`neo_serve::OptimizerService::publish_model_as`]), demoting cached
+//!   plans to warm-start seeds exactly as a local publish would.
+//! * **Crash recovery = routine sync:** a node constructed over a
+//!   non-empty store loads the manifest's generation before serving its
+//!   first query, so a killed-and-restarted node comes back warm at the
+//!   fleet's current generation with zero retraining
+//!   ([`ClusterNode::recovered_generation`]).
+//! * [`Cluster`] — convenience assembly of leader + followers over one
+//!   store and sink, used by the tests and `cluster-bench`.
+//!
+//! ```no_run
+//! use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+//! use neo_cluster::{Cluster, ClusterConfig, FsCheckpointStore};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(neo_storage::datagen::imdb::generate(0.05, 42));
+//! let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+//! let net = Arc::new(ValueNet::new(
+//!     featurizer.query_dim(),
+//!     featurizer.plan_channels(),
+//!     NetConfig::default(),
+//!     42,
+//! ));
+//! let store = Arc::new(FsCheckpointStore::open("/mnt/shared/neo-ckpt").unwrap());
+//! let cluster = Cluster::new(
+//!     db,
+//!     featurizer,
+//!     net,
+//!     store,
+//!     ClusterConfig { nodes: 4, auto_poll: true, ..Default::default() },
+//! )
+//! .unwrap();
+//! let workload = neo_query::workload::job::generate(cluster.leader().service().db(), 42);
+//! for (i, q) in workload.queries.iter().enumerate() {
+//!     // Route queries to any node: same generation ⇒ same plan.
+//!     let node = cluster.node(i % cluster.len());
+//!     let outcome = node.service().optimize(q);
+//!     node.service().report_outcome(q, &outcome, 12.3 /* measured */);
+//! }
+//! cluster.leader().trainer().request_generation();
+//! ```
+
+pub mod fleet;
+pub mod node;
+pub mod store;
+
+pub use fleet::{Cluster, ClusterConfig};
+pub use node::{ClusterNode, NodeConfig};
+pub use store::{
+    CheckpointStore, FsCheckpointStore, MemCheckpointStore, MANIFEST_HEADER, MANIFEST_NAME,
+};

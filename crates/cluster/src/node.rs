@@ -1,0 +1,303 @@
+//! One node of the optimization fleet: an [`OptimizerService`] wired to
+//! the shared [`CheckpointStore`].
+//!
+//! Every node serves queries from its own worker pool and forwards its
+//! execution feedback into the fleet's shared experience sink. What a
+//! node does with *models* depends on its role:
+//!
+//! * the **leader** runs the fleet's only [`BackgroundTrainer`] against
+//!   the merged experience and publishes each trained generation to the
+//!   store *before* serving it (a [`GenerationObserver`] with veto power
+//!   — a generation the fleet cannot fetch never goes live anywhere);
+//! * a **follower** polls the store's manifest ([`ClusterNode::sync`],
+//!   optionally on a background thread) and adopts new generations
+//!   through its service's swap hook
+//!   ([`OptimizerService::publish_model_as`]) — the same swap-then-
+//!   epoch-bump path a local publish takes, so cached plans demote to
+//!   warm-start seeds identically.
+//!
+//! **Crash recovery is the same code path as a routine sync.** A node
+//! constructed over a non-empty store immediately loads the manifest's
+//! generation before serving anything — so a killed-and-restarted node
+//! comes back warm at the fleet's current generation with zero
+//! retraining, and a node that missed ten generations while partitioned
+//! just jumps to the newest one (generations are cumulative snapshots,
+//! not deltas).
+
+use crate::store::CheckpointStore;
+use neo::{checkpoint, ValueNet};
+use neo_learn::{
+    BackgroundTrainer, ExperienceSink, GenerationObserver, ReplayConfig, TrainerConfig,
+};
+use neo_serve::{join_named_or_ignore_during_unwind, OptimizerService, ServeConfig};
+use neo_storage::Database;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-node configuration.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Node name (thread names, diagnostics).
+    pub name: String,
+    /// The node-local serving configuration.
+    pub serve: ServeConfig,
+    /// Manifest poll interval for the follower's background poller.
+    pub poll_interval_ms: u64,
+    /// Spawn the background poller at construction (followers only;
+    /// explicit [`ClusterNode::sync`] works either way).
+    pub auto_poll: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            name: "node".into(),
+            serve: ServeConfig::default(),
+            poll_interval_ms: 20,
+            auto_poll: false,
+        }
+    }
+}
+
+/// The leader's persist-before-publish hook: each trained generation goes
+/// to the shared store first; a store failure vetoes the publish.
+struct StorePublisher {
+    store: Arc<dyn CheckpointStore>,
+}
+
+impl GenerationObserver for StorePublisher {
+    fn on_checkpoint(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
+        self.store.publish(generation, framed)
+    }
+}
+
+/// State shared between a node and its background poller thread.
+struct NodeShared {
+    name: String,
+    service: Arc<OptimizerService>,
+    store: Arc<dyn CheckpointStore>,
+    /// Architecture template for decoding checkpoints: `load` requires a
+    /// network of the right shape, and every fleet generation shares the
+    /// construction-time architecture.
+    template: ValueNet,
+    /// Background-poller interval.
+    poll_interval: Duration,
+    /// Manifest reads / checkpoint loads that failed (the node keeps
+    /// serving its current generation through store hiccups).
+    sync_failures: AtomicU64,
+}
+
+impl NodeShared {
+    /// One pull from the store: adopt the manifest's generation if it is
+    /// ahead of the locally served one. Returns the adopted generation,
+    /// or `None` when already current (or the store is empty).
+    fn sync(&self) -> io::Result<Option<u64>> {
+        let Some(latest) = self.store.latest_generation()? else {
+            return Ok(None);
+        };
+        if latest <= self.service.model_generation() {
+            return Ok(None);
+        }
+        let framed = self.store.load(latest)?;
+        let decoded = checkpoint::decode(&framed)?;
+        let mut net = self.template.clone();
+        net.load(&mut decoded.payload())?;
+        // `publish_model_as` re-checks monotonicity under the slot lock, so
+        // a concurrent manual sync racing the poller cannot double-apply or
+        // regress; losing the race is not an error.
+        Ok(self
+            .service
+            .publish_model_as(Arc::new(net), latest)
+            .then_some(latest))
+    }
+}
+
+/// One member of the fleet. Construct with [`ClusterNode::leader`] or
+/// [`ClusterNode::follower`]; both recover to the store's latest
+/// generation before serving.
+pub struct ClusterNode {
+    shared: Arc<NodeShared>,
+    /// The fleet trainer (leader only).
+    trainer: Option<BackgroundTrainer>,
+    poller: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
+    recovered_generation: Option<u64>,
+}
+
+impl ClusterNode {
+    /// Builds the fleet **leader**: serves queries, trains the fleet's
+    /// model on the merged experience in `sink` (attach the same sink to
+    /// every node's service), and publishes each generation to `store`
+    /// before swapping it in. A leader constructed over a non-empty store
+    /// first recovers to the latest published generation and mints
+    /// subsequent generations after it.
+    #[allow(clippy::too_many_arguments)] // the leader owns the full loop: serving + training + store
+    pub fn leader(
+        db: Arc<Database>,
+        featurizer: Arc<neo::Featurizer>,
+        net: Arc<ValueNet>,
+        cfg: NodeConfig,
+        trainer_cfg: TrainerConfig,
+        replay: ReplayConfig,
+        store: Arc<dyn CheckpointStore>,
+        sink: Arc<ExperienceSink>,
+    ) -> io::Result<Self> {
+        let mut node = Self::build(db, featurizer, net, cfg, store, Arc::clone(&sink))?;
+        let observer = Arc::new(StorePublisher {
+            store: Arc::clone(&node.shared.store),
+        });
+        node.trainer = Some(BackgroundTrainer::spawn_with_observer(
+            Arc::clone(&node.shared.service),
+            sink,
+            replay,
+            trainer_cfg,
+            Some(observer),
+        ));
+        Ok(node)
+    }
+
+    /// Builds a **follower**: serves queries, forwards execution feedback
+    /// into the fleet sink, and adopts generations from the store
+    /// (immediately at construction — crash recovery — and then via
+    /// [`Self::sync`] or the background poller).
+    pub fn follower(
+        db: Arc<Database>,
+        featurizer: Arc<neo::Featurizer>,
+        net: Arc<ValueNet>,
+        cfg: NodeConfig,
+        store: Arc<dyn CheckpointStore>,
+        sink: Arc<ExperienceSink>,
+    ) -> io::Result<Self> {
+        let auto_poll = cfg.auto_poll;
+        let mut node = Self::build(db, featurizer, net, cfg, store, sink)?;
+        if auto_poll {
+            node.start_polling();
+        }
+        Ok(node)
+    }
+
+    fn build(
+        db: Arc<Database>,
+        featurizer: Arc<neo::Featurizer>,
+        net: Arc<ValueNet>,
+        cfg: NodeConfig,
+        store: Arc<dyn CheckpointStore>,
+        sink: Arc<ExperienceSink>,
+    ) -> io::Result<Self> {
+        let template = (*net).clone();
+        let service = Arc::new(OptimizerService::new(db, featurizer, net, cfg.serve));
+        assert!(
+            service.set_feedback(sink as _),
+            "fresh service already had feedback attached"
+        );
+        let shared = Arc::new(NodeShared {
+            name: cfg.name,
+            service,
+            store,
+            template,
+            poll_interval: Duration::from_millis(cfg.poll_interval_ms.max(1)),
+            sync_failures: AtomicU64::new(0),
+        });
+        // Warm recovery: a (re)started node adopts the fleet's latest
+        // published generation before it serves a single query — no
+        // retraining, and the (empty) cache is demoted to seeds exactly as
+        // a live swap would.
+        let recovered_generation = shared.sync()?;
+        Ok(ClusterNode {
+            shared,
+            trainer: None,
+            poller: None,
+            recovered_generation,
+        })
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The node's optimizer service (optimize queries, report feedback).
+    pub fn service(&self) -> &Arc<OptimizerService> {
+        &self.shared.service
+    }
+
+    /// The model generation this node currently serves.
+    pub fn generation(&self) -> u64 {
+        self.shared.service.model_generation()
+    }
+
+    /// The generation recovered from the store at construction, if the
+    /// store was non-empty — the "restart lands warm" witness.
+    pub fn recovered_generation(&self) -> Option<u64> {
+        self.recovered_generation
+    }
+
+    /// Store syncs that failed (manifest unreadable, checkpoint corrupt);
+    /// the node keeps serving its current generation through them.
+    pub fn sync_failures(&self) -> u64 {
+        self.shared.sync_failures.load(Ordering::Relaxed)
+    }
+
+    /// Whether this node is the fleet leader (owns the trainer).
+    pub fn is_leader(&self) -> bool {
+        self.trainer.is_some()
+    }
+
+    /// The leader's trainer handle (request/wait/history/checkpoints).
+    ///
+    /// # Panics
+    /// Panics on a follower.
+    pub fn trainer(&self) -> &BackgroundTrainer {
+        self.trainer
+            .as_ref()
+            .expect("trainer(): this node is a follower")
+    }
+
+    /// One explicit store pull; see [`NodeShared::sync`]. The leader
+    /// normally never needs this (it publishes what it trains), but a
+    /// recovering leader uses the same path at construction.
+    pub fn sync(&self) -> io::Result<Option<u64>> {
+        self.shared.sync()
+    }
+
+    /// Spawns the background manifest poller (idempotent). Errors are
+    /// counted ([`Self::sync_failures`]) and retried next interval.
+    pub fn start_polling(&mut self) {
+        if self.poller.is_some() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&self.shared);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("neo-cluster-poll-{}", shared.name))
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Acquire) {
+                    if shared.sync().is_err() {
+                        shared.sync_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(shared.poll_interval);
+                }
+            })
+            .expect("spawn poller thread");
+        self.poller = Some((stop, handle));
+    }
+
+    /// Stops the background poller (if running) and joins it, propagating
+    /// a poller panic with its thread name.
+    pub fn stop_polling(&mut self) {
+        if let Some((stop, handle)) = self.poller.take() {
+            stop.store(true, Ordering::Release);
+            join_named_or_ignore_during_unwind(handle);
+        }
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        self.stop_polling();
+        // The trainer (if any) stops and joins in its own Drop.
+    }
+}

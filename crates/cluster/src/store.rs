@@ -1,0 +1,399 @@
+//! The shared checkpoint store: how model generations travel between
+//! nodes (and survive them).
+//!
+//! The fleet's single source of truth is a tiny content-addressed-by-
+//! generation store: the leader publishes each trained generation as a
+//! framed checkpoint (`neo::checkpoint`: magic + version + length +
+//! checksum) plus a `MANIFEST` naming the latest generation; followers
+//! poll the manifest and fetch what they're missing. Everything a node
+//! needs to serve the fleet's current model is in the store — which is
+//! exactly what makes a killed-and-restarted node recover warm.
+//!
+//! [`FsCheckpointStore`] is the filesystem implementation with **atomic
+//! publish**: the checkpoint is written to `gen-N.ckpt.tmp`, fsynced, and
+//! renamed to `gen-N.ckpt`; only then is the manifest rewritten the same
+//! way (`MANIFEST.tmp` → fsync → rename). A reader therefore never
+//! observes a manifest pointing at a missing or half-written generation:
+//! either the rename happened (and the fsynced checkpoint is fully
+//! there) or the old manifest still points at the previous generation.
+//! A torn or bit-rotted checkpoint file that slips through anyway (e.g.
+//! a copy truncated in transit) is caught by the frame's length+checksum
+//! header at [`CheckpointStore::load`] time and rejected with a clean
+//! error instead of being deserialized into garbage weights.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// First line of a valid `MANIFEST` file.
+pub const MANIFEST_HEADER: &str = "neo-cluster-manifest v1";
+
+/// Filename of the manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Where the fleet's model generations live. Implementations must be
+/// safe to share across nodes/threads; `publish` is only ever called by
+/// the fleet leader (single writer), `latest_generation`/`load` by
+/// everyone.
+pub trait CheckpointStore: Send + Sync {
+    /// Durably publishes `framed` (a `neo::checkpoint` frame) as
+    /// generation `generation` and advances the manifest to it.
+    /// Generations must advance strictly monotonically; re-publishing an
+    /// old or current generation is an error (the leader is the only
+    /// minter of generation numbers).
+    fn publish(&self, generation: u64, framed: &[u8]) -> io::Result<()>;
+
+    /// The latest published generation per the manifest, `None` for an
+    /// empty (never-published) store.
+    fn latest_generation(&self) -> io::Result<Option<u64>>;
+
+    /// Loads the framed checkpoint of `generation`, verifying its
+    /// integrity header. Torn, corrupt, or headerless bytes are rejected
+    /// with [`io::ErrorKind::InvalidData`].
+    fn load(&self, generation: u64) -> io::Result<Vec<u8>>;
+
+    /// Loads the latest generation (manifest read + fetch), `None` for an
+    /// empty store.
+    fn load_latest(&self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        match self.latest_generation()? {
+            Some(g) => Ok(Some((g, self.load(g)?))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Verifies that `framed` is a complete, checksum-valid checkpoint frame.
+fn verify_frame(framed: &[u8], context: &str) -> io::Result<()> {
+    let decoded = neo::checkpoint::decode(framed)
+        .map_err(|e| io::Error::new(e.kind(), format!("{context}: {e}")))?;
+    if !decoded.verified() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{context}: headerless bytes (the store holds framed checkpoints only)"),
+        ));
+    }
+    Ok(())
+}
+
+fn regression_error(generation: u64, latest: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!(
+            "generation regression: publishing {generation} over already-published {latest} \
+             (generations are minted monotonically by the leader)"
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem implementation
+// ---------------------------------------------------------------------------
+
+/// A directory of `gen-N.ckpt` files plus a `MANIFEST`, published
+/// atomically (tmp + fsync + rename). Suitable for any shared filesystem
+/// visible to all nodes.
+pub struct FsCheckpointStore {
+    dir: PathBuf,
+}
+
+impl FsCheckpointStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FsCheckpointStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a generation's checkpoint file.
+    pub fn checkpoint_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:06}.ckpt"))
+    }
+
+    /// Best-effort directory fsync, so the renames themselves are durable
+    /// (ignored on filesystems that reject directory handles).
+    fn sync_dir(&self) {
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+
+    /// Writes `bytes` to `<name>.tmp`, fsyncs, and renames onto `name` —
+    /// the atomic-publish step used for both checkpoints and the
+    /// manifest.
+    fn write_atomic(&self, name: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = name.with_extension(match name.extension() {
+            Some(e) => format!("{}.tmp", e.to_string_lossy()),
+            None => "tmp".to_string(),
+        });
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, name)?;
+        self.sync_dir();
+        Ok(())
+    }
+}
+
+impl CheckpointStore for FsCheckpointStore {
+    fn publish(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
+        verify_frame(framed, "refusing to publish invalid checkpoint")?;
+        if let Some(latest) = self.latest_generation()? {
+            if generation <= latest {
+                return Err(regression_error(generation, latest));
+            }
+        }
+        // Checkpoint first, manifest second: a crash between the two
+        // leaves a reachable store whose manifest still names the previous
+        // (fully published) generation.
+        self.write_atomic(&self.checkpoint_path(generation), framed)?;
+        let manifest = format!("{MANIFEST_HEADER}\nlatest={generation}\n");
+        self.write_atomic(&self.dir.join(MANIFEST_NAME), manifest.as_bytes())
+    }
+
+    fn latest_generation(&self) -> io::Result<Option<u64>> {
+        let text = match std::fs::read_to_string(self.dir.join(MANIFEST_NAME)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed manifest: missing '{MANIFEST_HEADER}' header"),
+            ));
+        }
+        let latest = lines
+            .next()
+            .and_then(|l| l.strip_prefix("latest="))
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "malformed manifest: missing 'latest=<generation>' line",
+                )
+            })?;
+        Ok(Some(latest))
+    }
+
+    fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
+        let path = self.checkpoint_path(generation);
+        let bytes = std::fs::read(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!(
+                    "checkpoint for generation {generation} ({}): {e}",
+                    path.display()
+                ),
+            )
+        })?;
+        verify_frame(
+            &bytes,
+            &format!(
+                "checkpoint for generation {generation} ({})",
+                path.display()
+            ),
+        )?;
+        Ok(bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation
+// ---------------------------------------------------------------------------
+
+/// An in-process store (one `Mutex<BTreeMap>`), for tests and
+/// single-process fleets. Frames are verified with the same rules as the
+/// filesystem store so the two are interchangeable in tests.
+#[derive(Default)]
+pub struct MemCheckpointStore {
+    generations: Mutex<BTreeMap<u64, Vec<u8>>>,
+}
+
+impl MemCheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for MemCheckpointStore {
+    fn publish(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
+        verify_frame(framed, "refusing to publish invalid checkpoint")?;
+        let mut map = self.generations.lock().expect("store poisoned");
+        if let Some((&latest, _)) = map.last_key_value() {
+            if generation <= latest {
+                return Err(regression_error(generation, latest));
+            }
+        }
+        map.insert(generation, framed.to_vec());
+        Ok(())
+    }
+
+    fn latest_generation(&self) -> io::Result<Option<u64>> {
+        Ok(self
+            .generations
+            .lock()
+            .expect("store poisoned")
+            .last_key_value()
+            .map(|(&g, _)| g))
+    }
+
+    fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
+        let map = self.generations.lock().expect("store poisoned");
+        let bytes = map.get(&generation).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("generation {generation} not in store"),
+            )
+        })?;
+        verify_frame(bytes, &format!("checkpoint for generation {generation}"))?;
+        Ok(bytes.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory per test invocation, removed on drop.
+    pub(crate) struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "neo-cluster-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+
+        pub(crate) fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn framed(tag: u8) -> Vec<u8> {
+        neo::checkpoint::frame(&[tag; 32])
+    }
+
+    fn stores(tmp: &TempDir) -> Vec<Box<dyn CheckpointStore>> {
+        vec![
+            Box::new(FsCheckpointStore::open(tmp.path()).unwrap()),
+            Box::new(MemCheckpointStore::new()),
+        ]
+    }
+
+    #[test]
+    fn publish_load_roundtrip_and_manifest_advance() {
+        let tmp = TempDir::new("roundtrip");
+        for store in stores(&tmp) {
+            assert_eq!(store.latest_generation().unwrap(), None);
+            assert!(store.load_latest().unwrap().is_none());
+            store.publish(1, &framed(1)).unwrap();
+            store.publish(2, &framed(2)).unwrap();
+            assert_eq!(store.latest_generation().unwrap(), Some(2));
+            assert_eq!(store.load(1).unwrap(), framed(1));
+            let (g, bytes) = store.load_latest().unwrap().unwrap();
+            assert_eq!((g, bytes), (2, framed(2)));
+        }
+    }
+
+    #[test]
+    fn generation_regression_is_rejected() {
+        let tmp = TempDir::new("regression");
+        for store in stores(&tmp) {
+            store.publish(3, &framed(3)).unwrap();
+            for stale in [3, 2] {
+                let err = store.publish(stale, &framed(9)).unwrap_err();
+                assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "gen {stale}");
+            }
+            // The store still serves generation 3 untouched.
+            assert_eq!(store.load(3).unwrap(), framed(3));
+        }
+    }
+
+    #[test]
+    fn unframed_bytes_are_refused_at_publish() {
+        let tmp = TempDir::new("unframed");
+        for store in stores(&tmp) {
+            let err = store.publish(1, b"raw weights, no header").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert_eq!(store.latest_generation().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_and_torn_checkpoint_files_are_rejected_at_load() {
+        let tmp = TempDir::new("corrupt");
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        store.publish(1, &framed(1)).unwrap();
+
+        // Bit flip in the payload: checksum mismatch.
+        let path = store.checkpoint_path(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.load(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Torn write: file truncated mid-payload.
+        std::fs::write(&path, &framed(1)[..10]).unwrap();
+        let err = store.load(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+        // Missing generation (manifest pointing into the void).
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(store.load(1).unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(store.latest_generation().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn malformed_manifest_is_a_clean_error() {
+        let tmp = TempDir::new("manifest");
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        std::fs::write(tmp.path().join(MANIFEST_NAME), "what is this\n").unwrap();
+        let err = store.latest_generation().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::write(
+            tmp.path().join(MANIFEST_NAME),
+            format!("{MANIFEST_HEADER}\n"),
+        )
+        .unwrap();
+        let err = store.latest_generation().unwrap_err();
+        assert!(err.to_string().contains("latest="), "{err}");
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_publish() {
+        let tmp = TempDir::new("tmpfiles");
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        store.publish(1, &framed(1)).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(tmp.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+}

@@ -1,0 +1,364 @@
+//! Fleet invariants (ISSUE 4): generation convergence, cross-node plan
+//! byte-equality, corrupt-checkpoint rejection, and warm crash recovery.
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_cluster::{CheckpointStore, Cluster, ClusterConfig, FsCheckpointStore, MemCheckpointStore};
+use neo_engine::{true_latency, CardinalityOracle, Engine};
+use neo_learn::{ReplayConfig, TrainerConfig};
+use neo_query::{PlanNode, Query};
+use neo_serve::ServeConfig;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+/// A unique scratch directory per test, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "neo-cluster-it-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+struct Fixture {
+    db: Arc<neo_storage::Database>,
+    featurizer: Arc<Featurizer>,
+    net: Arc<ValueNet>,
+    queries: Vec<Query>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, seed));
+    let queries: Vec<Query> = neo_query::workload::job::generate(&db, seed)
+        .queries
+        .into_iter()
+        .filter(|q| (4..=6).contains(&q.num_relations()))
+        .take(5)
+        .collect();
+    assert!(queries.len() >= 4, "fixture needs a real workload");
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig {
+            query_layers: vec![32, 16],
+            conv_channels: vec![16, 8],
+            head_layers: vec![16],
+            lr: 5e-3,
+            grad_clip: 5.0,
+            ignore_structure: false,
+        },
+        seed,
+    ));
+    Fixture {
+        db,
+        featurizer,
+        net,
+        queries,
+    }
+}
+
+fn cluster_cfg(nodes: usize, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        serve: ServeConfig {
+            workers: 2,
+            // Seeds off so plan byte-equality holds unconditionally —
+            // including for late joiners with no seed history (see
+            // `ClusterConfig::serve` docs).
+            use_seeds: false,
+            search_base_expansions: 12,
+            ..Default::default()
+        },
+        trainer: TrainerConfig {
+            epochs_per_generation: 3,
+            seed,
+            ..Default::default()
+        },
+        replay: ReplayConfig::default(),
+        poll_interval_ms: 5,
+        auto_poll: false,
+    }
+}
+
+/// Serves the workload on `node`, executes chosen plans on the latency
+/// model, and reports the observations (with predictions) into the fleet
+/// sink.
+fn serve_and_report(cluster: &Cluster, node: usize, fx: &Fixture, oracle: &mut CardinalityOracle) {
+    let profile = Engine::PostgresLike.profile();
+    let svc = cluster.node(node).service();
+    let outcomes = svc.optimize_stream(&fx.queries);
+    for (q, o) in fx.queries.iter().zip(&outcomes) {
+        let latency = true_latency(&fx.db, q, &profile, oracle, &o.plan);
+        svc.report_outcome(q, o, latency);
+    }
+}
+
+/// Every node's plans for the workload, via fresh searches at its current
+/// generation.
+fn plans_per_node(cluster: &Cluster, fx: &Fixture) -> Vec<Vec<PlanNode>> {
+    (0..cluster.len())
+        .map(|i| {
+            cluster
+                .node(i)
+                .service()
+                .optimize_stream(&fx.queries)
+                .into_iter()
+                .map(|o| o.plan)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_converges_to_leader_generation_with_identical_plans() {
+    let tmp = TempDir::new("converge");
+    let fx = fixture(11);
+    let store: Arc<dyn CheckpointStore> = Arc::new(FsCheckpointStore::open(tmp.path()).unwrap());
+    let cluster = Cluster::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        store,
+        cluster_cfg(3, 11),
+    )
+    .unwrap();
+    assert_eq!(cluster.generations(), vec![0, 0, 0], "fresh fleet at gen 0");
+
+    let mut oracle = CardinalityOracle::new();
+    for round in 0..2u64 {
+        // Experience arrives from *every* node (the fingerprint-sharded
+        // merge), then the leader trains and publishes.
+        for node in 0..cluster.len() {
+            serve_and_report(&cluster, node, &fx, &mut oracle);
+        }
+        cluster.leader().trainer().request_generation();
+        assert!(
+            cluster
+                .leader()
+                .trainer()
+                .wait_for_generation(round + 1, WAIT),
+            "generation {} never completed",
+            round + 1
+        );
+        assert!(
+            cluster.wait_converged(round + 1, WAIT),
+            "fleet failed to converge to generation {}",
+            round + 1
+        );
+        let generations = cluster.generations();
+        assert!(
+            generations.iter().all(|&g| g == round + 1),
+            "nodes diverged: {generations:?}"
+        );
+        // The fleet invariant: same generation ⇒ byte-identical plans.
+        let plans = plans_per_node(&cluster, &fx);
+        for (i, node_plans) in plans.iter().enumerate().skip(1) {
+            assert_eq!(
+                node_plans,
+                &plans[0],
+                "node {i} chose different plans than the leader at generation {}",
+                round + 1
+            );
+        }
+    }
+    assert_eq!(cluster.leader().trainer().persist_failures(), 0);
+    assert_eq!(
+        cluster.store().latest_generation().unwrap(),
+        Some(2),
+        "both generations persisted"
+    );
+}
+
+#[test]
+fn restarted_follower_recovers_warm_to_the_manifest_generation() {
+    let tmp = TempDir::new("restart");
+    let fx = fixture(13);
+    let store: Arc<dyn CheckpointStore> = Arc::new(FsCheckpointStore::open(tmp.path()).unwrap());
+    let mut cluster = Cluster::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        store,
+        cluster_cfg(2, 13),
+    )
+    .unwrap();
+
+    let mut oracle = CardinalityOracle::new();
+    for node in 0..cluster.len() {
+        serve_and_report(&cluster, node, &fx, &mut oracle);
+    }
+    for g in 1..=2u64 {
+        cluster.leader().trainer().request_generation();
+        assert!(cluster.leader().trainer().wait_for_generation(g, WAIT));
+    }
+    let leader_generation = cluster.leader().generation();
+    assert_eq!(leader_generation, 2);
+    let trained_before = cluster.leader().trainer().completed_generations();
+
+    // Kill the follower and bring up its replacement from nothing but the
+    // shared store.
+    cluster.restart_follower(1).unwrap();
+    let restarted = cluster.node(1);
+    assert_eq!(
+        restarted.recovered_generation(),
+        Some(leader_generation),
+        "restart did not recover from the store"
+    );
+    assert_eq!(
+        restarted.generation(),
+        leader_generation,
+        "restarted node serves a stale generation"
+    );
+    // Warm means warm: recovery triggered no retraining anywhere.
+    assert_eq!(
+        cluster.leader().trainer().completed_generations(),
+        trained_before,
+        "restart caused a retrain"
+    );
+    // And the recovered node agrees with the fleet byte-for-byte.
+    let plans = plans_per_node(&cluster, &fx);
+    assert_eq!(plans[1], plans[0], "recovered node disagrees on plans");
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_and_node_keeps_serving() {
+    let tmp = TempDir::new("corrupt-sync");
+    let fx = fixture(17);
+    let fs_store = Arc::new(FsCheckpointStore::open(tmp.path()).unwrap());
+    let store: Arc<dyn CheckpointStore> = Arc::clone(&fs_store) as _;
+    let cluster = Cluster::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        store,
+        cluster_cfg(2, 17),
+    )
+    .unwrap();
+
+    let mut oracle = CardinalityOracle::new();
+    serve_and_report(&cluster, 0, &fx, &mut oracle);
+    cluster.leader().trainer().request_generation();
+    assert!(cluster.leader().trainer().wait_for_generation(1, WAIT));
+
+    // Corrupt generation 1 on disk (a torn replication, say) before the
+    // follower ever fetches it.
+    let path = fs_store.checkpoint_path(1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = cluster.node(1).sync().unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    assert_eq!(
+        cluster.node(1).generation(),
+        0,
+        "corrupt checkpoint must not be adopted"
+    );
+
+    // Restore the true bytes: the follower recovers on the next sync.
+    let good = cluster.store().load_latest();
+    assert!(
+        good.is_err(),
+        "store-level load also rejects the corruption"
+    );
+    std::fs::write(
+        &path,
+        neo::checkpoint::frame(&{
+            // Re-derive the payload from the leader's in-memory checkpoint.
+            let framed = cluster.leader().trainer().latest_checkpoint().unwrap();
+            neo::checkpoint::decode(&framed).unwrap().payload().to_vec()
+        }),
+    )
+    .unwrap();
+    assert_eq!(cluster.node(1).sync().unwrap(), Some(1));
+    assert_eq!(cluster.node(1).generation(), 1);
+}
+
+#[test]
+fn a_generation_the_store_rejects_never_goes_live() {
+    // A store that accepts nothing: the persist-before-publish contract
+    // must keep every generation off the serving path.
+    struct BrokenStore;
+    impl CheckpointStore for BrokenStore {
+        fn publish(&self, _generation: u64, _framed: &[u8]) -> io::Result<()> {
+            Err(io::Error::other("disk on fire"))
+        }
+        fn latest_generation(&self) -> io::Result<Option<u64>> {
+            Ok(None)
+        }
+        fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("generation {generation} not in store"),
+            ))
+        }
+    }
+
+    let fx = fixture(19);
+    let cluster = Cluster::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        Arc::new(BrokenStore),
+        cluster_cfg(1, 19),
+    )
+    .unwrap();
+    let mut oracle = CardinalityOracle::new();
+    serve_and_report(&cluster, 0, &fx, &mut oracle);
+    cluster.leader().trainer().request_generation();
+    // The generation *runs* (completes) but is vetoed before publishing.
+    assert!(cluster.leader().trainer().wait_for_generation(1, WAIT));
+    assert_eq!(cluster.leader().generation(), 0, "vetoed generation served");
+    assert_eq!(cluster.leader().trainer().persist_failures(), 1);
+    assert!(cluster.leader().trainer().latest_checkpoint().is_none());
+}
+
+#[test]
+fn mem_and_fs_stores_are_interchangeable_for_a_fleet() {
+    let fx = fixture(23);
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemCheckpointStore::new());
+    let cluster = Cluster::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        store,
+        ClusterConfig {
+            auto_poll: true,
+            ..cluster_cfg(2, 23)
+        },
+    )
+    .unwrap();
+    let mut oracle = CardinalityOracle::new();
+    serve_and_report(&cluster, 0, &fx, &mut oracle);
+    cluster.leader().trainer().request_generation();
+    assert!(cluster.leader().trainer().wait_for_generation(1, WAIT));
+    // The background poller (no explicit sync here) converges the fleet.
+    assert!(
+        cluster.wait_converged(1, WAIT),
+        "poller never adopted generation 1"
+    );
+    assert_eq!(cluster.node(1).sync_failures(), 0);
+}

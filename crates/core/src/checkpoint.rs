@@ -1,0 +1,219 @@
+//! Framed, integrity-checked checkpoint encoding.
+//!
+//! A raw [`ValueNet::save`](crate::ValueNet::save) byte stream has no
+//! self-description: a truncated copy, a partially written file, or a file
+//! from an unrelated tool all "load" into garbage weights that would then
+//! be hot-published service-wide. Every checkpoint that crosses a process
+//! or machine boundary (the background trainer's `gen-N.ckpt` files, the
+//! cluster checkpoint store) is therefore wrapped in a small header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"NEOC"
+//! 4       1     format version (currently 1)
+//! 5       8     payload length, u64 little-endian
+//! 13      8     FNV-1a 64 checksum of the payload, u64 little-endian
+//! 21      n     payload (the ValueNet::save stream)
+//! ```
+//!
+//! [`decode`] verifies magic, version, length, and checksum, rejecting
+//! torn or corrupt frames with a descriptive [`std::io::Error`]. For
+//! compatibility with checkpoints written before the header existed,
+//! byte streams that do *not* start with the magic are passed through
+//! unverified as version-0 "legacy" payloads — the version byte in the
+//! header is what lets future formats evolve without breaking either.
+
+use std::io::{self, Read, Write};
+
+/// Leading magic of a framed checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"NEOC";
+
+/// Current frame format version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+/// Total header size in bytes (magic + version + length + checksum).
+pub const CHECKPOINT_HEADER_LEN: usize = 4 + 1 + 8 + 8;
+
+/// FNV-1a 64 over a byte slice — tiny, dependency-free, and plenty to
+/// detect torn writes and bit rot (this is an integrity check, not an
+/// adversarial MAC).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Wraps `payload` in a framed checkpoint (header + payload).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CHECKPOINT_HEADER_LEN + payload.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.push(CHECKPOINT_VERSION);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes a framed checkpoint to `w`.
+pub fn write_framed(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&frame(payload))
+}
+
+/// Reads and verifies one framed checkpoint from `r`, returning the
+/// payload. Fails on wrong magic, unknown version, truncation, trailing
+/// bytes beyond the declared length (torn/concatenated writes), or a
+/// checksum mismatch.
+pub fn read_framed(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    match decode(&bytes)? {
+        Decoded::Framed(payload) => Ok(payload.to_vec()),
+        Decoded::Legacy(_) => Err(bad("checkpoint has no frame header".into())),
+    }
+}
+
+/// A decoded checkpoint byte stream.
+#[derive(Debug)]
+pub enum Decoded<'a> {
+    /// A verified version-1 frame; the slice is the payload.
+    Framed(&'a [u8]),
+    /// A headerless pre-frame checkpoint, passed through unverified.
+    Legacy(&'a [u8]),
+}
+
+impl<'a> Decoded<'a> {
+    /// The payload either way.
+    pub fn payload(&self) -> &'a [u8] {
+        match self {
+            Decoded::Framed(p) | Decoded::Legacy(p) => p,
+        }
+    }
+
+    /// Whether the payload came from a verified frame.
+    pub fn verified(&self) -> bool {
+        matches!(self, Decoded::Framed(_))
+    }
+}
+
+/// Decodes a checkpoint byte stream: a stream starting with
+/// [`CHECKPOINT_MAGIC`] must be a complete, checksum-valid frame; anything
+/// else is treated as a legacy headerless payload (version 0) and passed
+/// through.
+pub fn decode(bytes: &[u8]) -> io::Result<Decoded<'_>> {
+    if bytes.len() < 4 || bytes[..4] != CHECKPOINT_MAGIC {
+        return Ok(Decoded::Legacy(bytes));
+    }
+    if bytes.len() < CHECKPOINT_HEADER_LEN {
+        return Err(bad(format!(
+            "truncated checkpoint header: {} of {CHECKPOINT_HEADER_LEN} bytes",
+            bytes.len()
+        )));
+    }
+    let version = bytes[4];
+    if version != CHECKPOINT_VERSION {
+        return Err(bad(format!(
+            "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[5..13].try_into().unwrap()) as usize;
+    let declared_sum = u64::from_le_bytes(bytes[13..21].try_into().unwrap());
+    let payload = &bytes[CHECKPOINT_HEADER_LEN..];
+    if payload.len() < len {
+        return Err(bad(format!(
+            "torn checkpoint: header declares {len} payload bytes, {} present",
+            payload.len()
+        )));
+    }
+    if payload.len() > len {
+        return Err(bad(format!(
+            "oversized checkpoint: header declares {len} payload bytes, {} present",
+            payload.len()
+        )));
+    }
+    let actual = checksum(payload);
+    if actual != declared_sum {
+        return Err(bad(format!(
+            "checkpoint checksum mismatch: header {declared_sum:#018x}, payload {actual:#018x}"
+        )));
+    }
+    Ok(Decoded::Framed(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"value net bytes".to_vec();
+        let framed = frame(&payload);
+        assert_eq!(framed.len(), CHECKPOINT_HEADER_LEN + payload.len());
+        let decoded = decode(&framed).unwrap();
+        assert!(decoded.verified());
+        assert_eq!(decoded.payload(), &payload[..]);
+        assert_eq!(read_framed(&mut &framed[..]).unwrap(), payload);
+    }
+
+    #[test]
+    fn legacy_headerless_bytes_pass_through() {
+        // A raw ValueNet::save stream starts with the f32 target_mean —
+        // never the magic.
+        let legacy = vec![0u8, 0, 0, 0, 1, 2, 3];
+        let decoded = decode(&legacy).unwrap();
+        assert!(!decoded.verified());
+        assert_eq!(decoded.payload(), &legacy[..]);
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let framed = frame(b"0123456789");
+        for cut in [4, CHECKPOINT_HEADER_LEN - 1, framed.len() - 1] {
+            let err = decode(&framed[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut framed = frame(b"0123456789");
+        let last = framed.len() - 1;
+        framed[last] ^= 0x40;
+        let err = decode(&framed).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_header_fields_are_rejected() {
+        let framed = frame(b"payload");
+        // Unknown version.
+        let mut v = framed.clone();
+        v[4] = 9;
+        assert!(decode(&v).unwrap_err().to_string().contains("version"));
+        // Length larger than the payload (torn write).
+        let mut l = framed.clone();
+        l[5] = l[5].wrapping_add(1);
+        assert!(decode(&l).unwrap_err().to_string().contains("torn"));
+        // Trailing junk beyond the declared length.
+        let mut t = framed;
+        t.push(0xFF);
+        assert!(decode(&t).unwrap_err().to_string().contains("oversized"));
+    }
+
+    #[test]
+    fn empty_payload_frames_cleanly() {
+        let framed = frame(&[]);
+        assert_eq!(decode(&framed).unwrap().payload(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+}

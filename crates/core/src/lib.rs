@@ -36,6 +36,7 @@
 //! println!("test latency total: {:.1} ms", latencies.iter().sum::<f64>());
 //! ```
 
+pub mod checkpoint;
 pub mod cost;
 pub mod experience;
 pub mod featurize;

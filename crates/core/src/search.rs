@@ -90,6 +90,11 @@ pub struct SearchStats {
     pub hurried: bool,
     /// Whether a warm-start seed plan was installed as the incumbent.
     pub seeded: bool,
+    /// The network's predicted (normalized) value of the *chosen* plan —
+    /// denormalize with [`ValueNet::to_cost`] for a predicted latency. The
+    /// serving layer reports it alongside the observed execution latency so
+    /// the replay buffer can prioritize by regret.
+    pub best_score: f32,
 }
 
 /// Heap entry ordered so the *lowest* predicted value pops first.
@@ -376,8 +381,14 @@ pub fn best_first_search_seeded_with_scratch(
         // The organically found optimum, unless the seed incumbent still
         // scores strictly better under the current network.
         let chosen = match seed_incumbent {
-            Some((seed_score, seed_tree)) if seed_score < score => seed_tree,
-            _ => tree,
+            Some((seed_score, seed_tree)) if seed_score < score => {
+                stats.best_score = seed_score;
+                seed_tree
+            }
+            _ => {
+                stats.best_score = score;
+                tree
+            }
         };
         return (chosen, stats, scorer.session.into_scratch());
     }
@@ -385,41 +396,46 @@ pub fn best_first_search_seeded_with_scratch(
     // "Hurry-up" mode (paper §4.2): greedily descend from the most
     // promising known partial plan until a complete plan is reached.
     stats.hurried = true;
+    let mut descended_score = s0;
     let mut plan = if exhausted {
         // All reachable states were visited without finding a complete plan
         // (cannot happen for well-formed queries); restart the descent.
         PartialPlan::initial(query)
     } else {
         heap.pop()
-            .map(|c| c.plan)
+            .map(|c| {
+                descended_score = c.score;
+                c.plan
+            })
             .unwrap_or_else(|| PartialPlan::initial(query))
     };
     while !plan.is_complete() {
         let kids = children(&plan, &ctx);
         debug_assert!(!kids.is_empty(), "incomplete plan without children");
         let scores = scorer.score_batch(query, &kids, &mut aux, &mut stats);
-        let best = scores
+        let (best, best_score) = scores
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
+            .map(|(i, s)| (i, *s))
             .unwrap();
+        descended_score = best_score;
         plan = kids.into_iter().nth(best).unwrap();
     }
     let descended = plan.roots.into_iter().next().unwrap();
+    // The incumbent challenges the descent: the returned plan is the
+    // current network's argmin of the two. `descended_score` is the final
+    // descent step's score for exactly this plan, so no extra forward
+    // pass is needed.
     let chosen = match seed_incumbent {
-        Some((seed_score, seed_tree)) => {
-            // Score the descended plan and let the incumbent challenge it:
-            // the returned plan is the current network's argmin of the two.
-            let dp = PartialPlan::from_tree(descended.clone());
-            let ds = scorer.score_batch(query, std::slice::from_ref(&dp), &mut aux, &mut stats)[0];
-            if seed_score < ds {
-                seed_tree
-            } else {
-                descended
-            }
+        Some((seed_score, seed_tree)) if seed_score < descended_score => {
+            stats.best_score = seed_score;
+            seed_tree
         }
-        None => descended,
+        _ => {
+            stats.best_score = descended_score;
+            descended
+        }
     };
     stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     (chosen, stats, scorer.session.into_scratch())

@@ -63,4 +63,4 @@ pub mod trainer;
 
 pub use replay::{canonical_id, ReplayBuffer, ReplayConfig};
 pub use sink::{ExperienceRecord, ExperienceSink, DEFAULT_SINK_SHARDS};
-pub use trainer::{BackgroundTrainer, GenerationStats, TrainerConfig};
+pub use trainer::{BackgroundTrainer, GenerationObserver, GenerationStats, TrainerConfig};

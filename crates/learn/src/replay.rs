@@ -3,10 +3,17 @@
 //!
 //! Per query fingerprint the buffer retains the **best plan ever
 //! observed** (the paper's min-aggregation means the best plan dominates
-//! the training signal) plus a bounded tail of the **most recent
-//! runner-ups** — enough contrast for the value network to learn what
-//! *not* to choose, without growing with the number of executions. The
-//! query population itself is capacity-bounded with
+//! the training signal) plus a bounded tail of **high-regret runner-ups**
+//! — enough contrast for the value network to learn what *not* to choose,
+//! without growing with the number of executions. When the tail is over
+//! capacity it evicts the record with the **lowest regret**
+//! `|observed − predicted|` (prioritized replay: the observation the
+//! current model already predicts well carries the least training signal;
+//! ties fall back to oldest-first, and records without a prediction —
+//! expert demonstrations, pre-regret feedback — count as maximally
+//! surprising and are evicted last). Best-plan retention is unaffected:
+//! the champion is stored outside the tail and is never evicted by
+//! regret. The query population itself is capacity-bounded with
 //! least-recently-updated eviction, so a service meeting an endless stream
 //! of one-off queries trains on the live working set, not on history.
 //!
@@ -40,18 +47,25 @@ impl Default for ReplayConfig {
     }
 }
 
-/// One retained (plan, best observed latency) pair.
+/// One retained (plan, best observed latency) pair with its replay
+/// priority.
 #[derive(Clone, Debug)]
 struct Retained {
     plan: PlanNode,
     latency_ms: f64,
+    /// Regret `|observed − predicted|` of the observation (ms):
+    /// how badly the model that chose this plan mispredicted it.
+    /// `f64::INFINITY` when no prediction accompanied the record — its
+    /// surprise is unknown, so it is the last to be evicted.
+    regret: f64,
 }
 
 /// Per-fingerprint retention slot.
 struct QuerySlot {
     query: Query,
     best: Retained,
-    /// Most recent runner-ups, oldest first; length ≤ `runners_per_query`.
+    /// Runner-ups, oldest first; length ≤ `runners_per_query`. Over
+    /// capacity the lowest-regret record is evicted (oldest on ties).
     runners: Vec<Retained>,
     /// Monotonic recency stamp (for LRU eviction of whole queries).
     last_touch: u64,
@@ -106,7 +120,11 @@ impl ReplayBuffer {
             query,
             plan,
             latency_ms,
+            predicted_ms,
         } = record;
+        let regret = predicted_ms
+            .map(|p| (latency_ms - p).abs())
+            .unwrap_or(f64::INFINITY);
 
         if !self.slots.contains_key(&fingerprint) && self.slots.len() >= self.cfg.max_queries {
             self.evict_lru();
@@ -116,7 +134,11 @@ impl ReplayBuffer {
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(QuerySlot {
                     query,
-                    best: Retained { plan, latency_ms },
+                    best: Retained {
+                        plan,
+                        latency_ms,
+                        regret,
+                    },
                     runners: Vec::new(),
                     last_touch: tick,
                 });
@@ -127,20 +149,33 @@ impl ReplayBuffer {
                 if plan == slot.best.plan {
                     // Re-execution of the incumbent: keep the min latency
                     // (the latency model is deterministic; a real engine
-                    // would see noise, and min matches Experience::add).
+                    // would see noise, and min matches Experience::add) and
+                    // the strongest surprise signal seen for it.
                     slot.best.latency_ms = slot.best.latency_ms.min(latency_ms);
+                    slot.best.regret = max_regret(slot.best.regret, regret);
                 } else if latency_ms < slot.best.latency_ms {
-                    // New champion: the old best becomes the most recent
-                    // runner-up, and any stale copy of the new champion in
-                    // the runner tail is dropped (a runner slot must not
-                    // duplicate the best plan).
-                    let old = std::mem::replace(&mut slot.best, Retained { plan, latency_ms });
+                    // New champion: the old best is demoted into the runner
+                    // tail (carrying its own regret), and any stale copy of
+                    // the new champion in the tail is dropped (a runner slot
+                    // must not duplicate the best plan).
+                    let old = std::mem::replace(
+                        &mut slot.best,
+                        Retained {
+                            plan,
+                            latency_ms,
+                            regret,
+                        },
+                    );
                     slot.runners.retain(|r| r.plan != slot.best.plan);
                     Self::push_runner(&mut slot.runners, old, runners_cap);
                 } else {
                     Self::push_runner(
                         &mut slot.runners,
-                        Retained { plan, latency_ms },
+                        Retained {
+                            plan,
+                            latency_ms,
+                            regret,
+                        },
                         runners_cap,
                     );
                 }
@@ -148,8 +183,14 @@ impl ReplayBuffer {
         }
     }
 
-    /// Appends a runner-up, deduplicating by plan (keeping the min latency
-    /// and refreshing recency) and dropping the oldest beyond the cap.
+    /// Appends a runner-up, deduplicating by plan (keeping the min
+    /// latency, the max regret, and — by moving the record to the tail's
+    /// end — refreshing its recency, so the oldest-first tie-break still
+    /// means *least recently observed*), then — beyond the cap —
+    /// evicting the record with the **lowest regret** (oldest first on
+    /// ties). The incoming record competes like any other: a new
+    /// low-regret observation arriving at a full tail of higher-regret
+    /// records is itself the one dropped.
     fn push_runner(runners: &mut Vec<Retained>, r: Retained, cap: usize) {
         if cap == 0 {
             return;
@@ -157,11 +198,18 @@ impl ReplayBuffer {
         if let Some(pos) = runners.iter().position(|x| x.plan == r.plan) {
             let mut existing = runners.remove(pos);
             existing.latency_ms = existing.latency_ms.min(r.latency_ms);
+            existing.regret = max_regret(existing.regret, r.regret);
             runners.push(existing);
         } else {
             runners.push(r);
             if runners.len() > cap {
-                runners.remove(0);
+                let victim = runners
+                    .iter()
+                    .enumerate()
+                    .min_by(|(ia, a), (ib, b)| a.regret.total_cmp(&b.regret).then(ia.cmp(ib)))
+                    .map(|(i, _)| i)
+                    .expect("tail over cap is non-empty");
+                runners.remove(victim);
             }
         }
     }
@@ -207,6 +255,16 @@ pub fn canonical_id(fp: QueryFingerprint) -> String {
     format!("fp{:032x}", fp.0)
 }
 
+/// Total-order max of two regrets (unlike `f64::max`, never lets a NaN
+/// from a pathological prediction silently shrink a priority).
+fn max_regret(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == std::cmp::Ordering::Greater {
+        a
+    } else {
+        b
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +302,14 @@ mod tests {
             },
             plan: p,
             latency_ms,
+            predicted_ms: None,
+        }
+    }
+
+    fn rec_pred(key: u128, p: PlanNode, latency_ms: f64, predicted_ms: f64) -> ExperienceRecord {
+        ExperienceRecord {
+            predicted_ms: Some(predicted_ms),
+            ..rec(key, p, latency_ms)
         }
     }
 
@@ -269,19 +335,93 @@ mod tests {
     }
 
     #[test]
-    fn runner_tail_keeps_most_recent() {
+    fn unpredicted_records_tie_break_oldest_first() {
+        // All records carry no prediction (infinite regret), so eviction
+        // falls back to oldest-first — the pre-regret recency behaviour.
         let mut b = buffer(8, 2);
         b.insert(rec(1, join(0, 1), 10.0)); // best
         b.insert(rec(1, join(1, 2), 20.0));
         b.insert(rec(1, join(2, 3), 30.0));
-        b.insert(rec(1, join(3, 4), 40.0)); // evicts join(1,2)
+        b.insert(rec(1, join(3, 4), 40.0)); // evicts join(1,2): oldest tie
         let (_, exp) = b.snapshot();
         let costs = {
             let mut c = exp.all_costs();
             c.sort_by(f64::total_cmp);
             c
         };
-        assert_eq!(costs, vec![10.0, 30.0, 40.0], "recent tail retained");
+        assert_eq!(costs, vec![10.0, 30.0, 40.0], "oldest tie evicted");
+    }
+
+    #[test]
+    fn reobserving_a_runner_refreshes_its_recency_for_the_tie_break() {
+        let mut b = buffer(8, 2);
+        b.insert(rec(1, join(0, 1), 10.0)); // best
+        b.insert(rec(1, join(1, 2), 20.0));
+        b.insert(rec(1, join(2, 3), 30.0));
+        b.insert(rec(1, join(1, 2), 20.0)); // re-observed: now the newest
+        b.insert(rec(1, join(3, 4), 40.0)); // ties on regret: evicts 30
+        let (_, exp) = b.snapshot();
+        let costs = {
+            let mut c = exp.all_costs();
+            c.sort_by(f64::total_cmp);
+            c
+        };
+        assert_eq!(costs, vec![10.0, 20.0, 40.0], "least recent tie evicted");
+    }
+
+    #[test]
+    fn runner_tail_evicts_lowest_regret_first() {
+        let mut b = buffer(8, 2);
+        b.insert(rec_pred(1, join(0, 1), 10.0, 10.0)); // best, regret 0
+                                                       // Tail: regret 25 and regret 1.
+        b.insert(rec_pred(1, join(1, 2), 50.0, 25.0));
+        b.insert(rec_pred(1, join(2, 3), 30.0, 29.0));
+        // A high-regret record evicts the well-predicted 30 ms one, not the
+        // oldest.
+        b.insert(rec_pred(1, join(3, 4), 40.0, 80.0));
+        let (_, exp) = b.snapshot();
+        let costs = {
+            let mut c = exp.all_costs();
+            c.sort_by(f64::total_cmp);
+            c
+        };
+        assert_eq!(costs, vec![10.0, 40.0, 50.0], "lowest-regret evicted");
+    }
+
+    #[test]
+    fn incoming_low_regret_record_loses_to_a_surprising_tail() {
+        let mut b = buffer(8, 2);
+        b.insert(rec_pred(1, join(0, 1), 10.0, 10.0)); // best
+        b.insert(rec_pred(1, join(1, 2), 50.0, 10.0)); // regret 40
+        b.insert(rec_pred(1, join(2, 3), 60.0, 10.0)); // regret 50
+                                                       // The newcomer is the least surprising → it is the one dropped.
+        b.insert(rec_pred(1, join(3, 4), 40.0, 39.0));
+        let (_, exp) = b.snapshot();
+        let costs = {
+            let mut c = exp.all_costs();
+            c.sort_by(f64::total_cmp);
+            c
+        };
+        assert_eq!(costs, vec![10.0, 50.0, 60.0], "low-regret newcomer dropped");
+    }
+
+    #[test]
+    fn regret_eviction_never_touches_the_best_plan() {
+        let mut b = buffer(8, 1);
+        // The best plan is perfectly predicted (regret 0) while the tail
+        // churns with high-regret records: the champion must survive.
+        b.insert(rec_pred(1, join(0, 1), 5.0, 5.0));
+        for i in 0..10u64 {
+            b.insert(rec_pred(
+                1,
+                join(1 + i as usize, 2 + i as usize),
+                100.0,
+                10.0,
+            ));
+        }
+        assert_eq!(b.best_plan(fp(1)), Some(&join(0, 1)));
+        assert_eq!(b.best_latency(fp(1)), Some(5.0));
+        assert_eq!(b.num_plans(), 2, "1 best + 1 runner");
     }
 
     #[test]

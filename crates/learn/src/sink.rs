@@ -31,6 +31,13 @@ pub struct ExperienceRecord {
     pub plan: PlanNode,
     /// Observed execution latency, milliseconds.
     pub latency_ms: f64,
+    /// The optimizer's own predicted latency for this plan at optimize
+    /// time (ms), when it searched rather than hit the cache. Replay
+    /// retention prioritizes the runner-up tail by the record's regret
+    /// `|latency_ms − predicted_ms|`; records without a prediction carry
+    /// maximal priority (their surprise is unknown, so they are the last
+    /// to be evicted).
+    pub predicted_ms: Option<f64>,
 }
 
 /// A sharded, low-contention staging buffer of execution observations.
@@ -115,12 +122,20 @@ impl ExperienceSink {
 }
 
 impl ExecutionFeedback for ExperienceSink {
-    fn record(&self, fp: QueryFingerprint, query: &Query, plan: &PlanNode, latency_ms: f64) {
+    fn record(
+        &self,
+        fp: QueryFingerprint,
+        query: &Query,
+        plan: &PlanNode,
+        latency_ms: f64,
+        predicted_ms: Option<f64>,
+    ) {
         self.push(ExperienceRecord {
             fingerprint: fp,
             query: query.clone(),
             plan: plan.clone(),
             latency_ms,
+            predicted_ms,
         });
     }
 }
@@ -146,6 +161,7 @@ mod tests {
                 scan: ScanType::Table,
             },
             latency_ms,
+            predicted_ms: None,
         }
     }
 
@@ -196,7 +212,7 @@ mod tests {
             })
             .collect();
         for h in handles {
-            h.join().unwrap();
+            neo_serve::join_named(h);
         }
         assert_eq!(sink.pending(), 400);
         assert_eq!(sink.drain().len(), 400);

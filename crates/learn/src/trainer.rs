@@ -21,7 +21,7 @@
 
 use crate::replay::{ReplayBuffer, ReplayConfig};
 use crate::sink::ExperienceSink;
-use neo::{TrainingSet, ValueNet};
+use neo::{checkpoint, TrainingSet, ValueNet};
 use neo_query::Query;
 use neo_serve::OptimizerService;
 use rand::rngs::StdRng;
@@ -30,6 +30,23 @@ use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Observes every trained generation **before** it is published to the
+/// serving slot, with veto power: an `Err` keeps the generation entirely
+/// unpublished (the served model is untouched and the failure is counted
+/// in [`BackgroundTrainer::persist_failures`]).
+///
+/// This is the durability seam the cluster leader plugs into: its observer
+/// writes the framed checkpoint to the shared [`CheckpointStore`] first,
+/// so a generation that is live *anywhere* in the fleet has always been
+/// persisted — followers and restarted nodes can always fetch it.
+///
+/// [`CheckpointStore`]: https://docs.rs/neo-cluster
+pub trait GenerationObserver: Send + Sync {
+    /// Called with the framed checkpoint bytes ([`neo::checkpoint`]
+    /// format) of the generation about to be published.
+    fn on_checkpoint(&self, generation: u64, framed: &[u8]) -> std::io::Result<()>;
+}
 
 /// Background-trainer configuration.
 #[derive(Clone, Debug)]
@@ -101,6 +118,7 @@ struct TrainerState {
     stopping: bool,
     history: Vec<GenerationStats>,
     latest_checkpoint: Option<Vec<u8>>,
+    persist_failures: u64,
 }
 
 struct TrainerShared {
@@ -108,6 +126,7 @@ struct TrainerShared {
     sink: Arc<ExperienceSink>,
     buffer: Mutex<ReplayBuffer>,
     cfg: TrainerConfig,
+    observer: Option<Arc<dyn GenerationObserver>>,
     state: Mutex<TrainerState>,
     cv: Condvar,
 }
@@ -130,17 +149,32 @@ impl BackgroundTrainer {
         replay: ReplayConfig,
         cfg: TrainerConfig,
     ) -> Self {
+        Self::spawn_with_observer(service, sink, replay, cfg, None)
+    }
+
+    /// [`Self::spawn`] with a [`GenerationObserver`] that sees (and may
+    /// veto) every generation before it is published — the cluster
+    /// leader's persist-before-publish hook.
+    pub fn spawn_with_observer(
+        service: Arc<OptimizerService>,
+        sink: Arc<ExperienceSink>,
+        replay: ReplayConfig,
+        cfg: TrainerConfig,
+        observer: Option<Arc<dyn GenerationObserver>>,
+    ) -> Self {
         let shared = Arc::new(TrainerShared {
             service,
             sink,
             buffer: Mutex::new(ReplayBuffer::new(replay)),
             cfg,
+            observer,
             state: Mutex::new(TrainerState {
                 requested: 0,
                 completed: 0,
                 stopping: false,
                 history: Vec::new(),
                 latest_checkpoint: None,
+                persist_failures: 0,
             }),
             cv: Condvar::new(),
         });
@@ -202,8 +236,9 @@ impl BackgroundTrainer {
             .clone()
     }
 
-    /// The serialized checkpoint of the most recently published model
-    /// ([`neo::ValueNet::save`] format), if any generation has run.
+    /// The framed checkpoint of the most recently published model
+    /// ([`neo::checkpoint`] header wrapping the [`neo::ValueNet::save`]
+    /// stream), if any generation has run.
     pub fn latest_checkpoint(&self) -> Option<Vec<u8>> {
         self.shared
             .state
@@ -213,15 +248,33 @@ impl BackgroundTrainer {
             .clone()
     }
 
+    /// Generations whose checkpoint could not be persisted (the
+    /// [`GenerationObserver`] returned an error); those generations were
+    /// *not* published.
+    pub fn persist_failures(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("trainer state poisoned")
+            .persist_failures
+    }
+
     /// Restores a checkpoint (as returned by [`Self::latest_checkpoint`]
     /// or written to the checkpoint dir) into `net`. The network must
-    /// have been built with the same architecture.
+    /// have been built with the same architecture. Framed checkpoints are
+    /// integrity-verified first ([`neo::checkpoint::decode`]): torn or
+    /// corrupt bytes are rejected with a descriptive error instead of
+    /// being silently loaded as garbage weights; headerless pre-frame
+    /// checkpoints still load.
     pub fn load_checkpoint(bytes: &[u8], net: &mut ValueNet) -> std::io::Result<()> {
-        net.load(&mut &bytes[..])
+        let decoded = checkpoint::decode(bytes)?;
+        net.load(&mut decoded.payload())
     }
 
     /// Signals the thread to stop and joins it (idempotent; also runs on
-    /// drop).
+    /// drop). A trainer thread that panicked re-panics here with its
+    /// thread name and message (unless this stop is itself part of an
+    /// unwind).
     pub fn stop(&mut self) {
         {
             let mut st = self.shared.state.lock().expect("trainer state poisoned");
@@ -229,7 +282,7 @@ impl BackgroundTrainer {
             self.shared.cv.notify_all();
         }
         if let Some(h) = self.handle.take() {
-            let _ = h.join();
+            neo_serve::join_named_or_ignore_during_unwind(h);
         }
     }
 }
@@ -323,14 +376,32 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
     let train_ms = train_start.elapsed().as_secs_f64() * 1e3;
 
     // Checkpoint before publishing: a generation that is live has always
-    // been persisted first.
-    let mut checkpoint = Vec::new();
-    net.save(&mut checkpoint).expect("serialize checkpoint");
+    // been persisted first. The checkpoint is framed (magic + version +
+    // length + checksum, `neo::checkpoint`) so torn or corrupt copies are
+    // rejected at load time instead of restoring garbage weights.
+    let mut payload = Vec::new();
+    net.save(&mut payload).expect("serialize checkpoint");
+    let framed = checkpoint::frame(&payload);
     if let Some(dir) = &cfg.checkpoint_dir {
         // Best-effort: persistence failures must not take down serving.
         if std::fs::create_dir_all(dir).is_ok() {
             let path = dir.join(format!("gen-{upcoming_generation:06}.ckpt"));
-            let _ = std::fs::write(path, &checkpoint);
+            let _ = std::fs::write(path, &framed);
+        }
+    }
+    if let Some(observer) = &shared.observer {
+        // The observer (e.g. the cluster's shared checkpoint store) must
+        // accept the generation before it may serve: publishing a model the
+        // rest of the fleet can never fetch would fork the fleet's
+        // generation history.
+        if let Err(e) = observer.on_checkpoint(upcoming_generation, &framed) {
+            eprintln!(
+                "neo-learn: generation {upcoming_generation} not published: \
+                 checkpoint persistence failed: {e}"
+            );
+            let mut st = shared.state.lock().expect("trainer state poisoned");
+            st.persist_failures += 1;
+            return None;
         }
     }
 
@@ -340,7 +411,7 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
 
     {
         let mut st = shared.state.lock().expect("trainer state poisoned");
-        st.latest_checkpoint = Some(checkpoint);
+        st.latest_checkpoint = Some(framed);
     }
 
     Some(GenerationStats {

@@ -76,8 +76,7 @@ fn serve_and_execute(fx: &Fixture, oracle: &mut CardinalityOracle) -> f64 {
     for (q, o) in fx.queries.iter().zip(&outcomes) {
         let latency = true_latency(&fx.db, q, &profile, oracle, &o.plan);
         total += latency;
-        fx.service
-            .report_execution_with_fingerprint(o.fingerprint, q, &o.plan, latency);
+        fx.service.report_outcome(q, o, latency);
     }
     total / fx.queries.len() as f64
 }

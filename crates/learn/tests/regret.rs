@@ -1,0 +1,106 @@
+//! Property tests for regret-prioritized replay retention (ISSUE 4
+//! satellite): however the regret priorities fall, eviction must never
+//! drop a query's best plan, the tail stays bounded, and the snapshot
+//! always carries the champion.
+
+use neo_learn::{ExperienceRecord, ReplayBuffer, ReplayConfig};
+use neo_query::{JoinOp, PlanNode, Query, QueryFingerprint, ScanType};
+use proptest::prelude::*;
+
+fn plan(a: usize, b: usize) -> PlanNode {
+    PlanNode::Join {
+        op: JoinOp::Hash,
+        left: Box::new(PlanNode::Scan {
+            rel: a,
+            scan: ScanType::Table,
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: b,
+            scan: ScanType::Table,
+        }),
+    }
+}
+
+fn record(
+    key: u64,
+    a: usize,
+    b: usize,
+    latency_ms: f64,
+    predicted_ms: Option<f64>,
+) -> ExperienceRecord {
+    ExperienceRecord {
+        fingerprint: QueryFingerprint(key as u128),
+        query: Query {
+            id: format!("q{key}"),
+            family: "prop".into(),
+            tables: vec![0, 1],
+            joins: vec![],
+            predicates: vec![],
+            agg: Default::default(),
+        },
+        plan: plan(a, b),
+        latency_ms,
+        predicted_ms,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..Default::default() })]
+
+    /// Arbitrary insert sequences with arbitrary predictions: the best
+    /// plan per query is exactly the argmin of everything observed, the
+    /// runner tail never exceeds its cap or duplicates the best plan, and
+    /// the snapshot always contains the best latency.
+    #[test]
+    fn regret_eviction_never_drops_a_best_plan(
+        raw in collection::vec((0u64..3, 0usize..4, 0usize..4, 1u64..200, 0u64..60), 1..120),
+        runners in 0usize..4,
+    ) {
+        let mut buffer = ReplayBuffer::new(ReplayConfig {
+            max_queries: 64, // larger than the 3 keys: no whole-query LRU here
+            runners_per_query: runners,
+        });
+        // Reference model: per key, the (latency, plan) argmin in insert
+        // order (ties keep the earlier plan, matching min-latency
+        // retention).
+        let mut best: std::collections::HashMap<u64, (f64, PlanNode)> = Default::default();
+        for &(key, a, b, lat, pred) in &raw {
+            let latency = lat as f64;
+            // pred == 0 means "no prediction" (infinite regret); otherwise
+            // predictions range over 1..60 ms to produce diverse regrets.
+            let predicted = (pred > 0).then_some(pred as f64);
+            buffer.insert(record(key, a, b, latency, predicted));
+            let e = best.entry(key).or_insert((latency, plan(a, b)));
+            if latency < e.0 {
+                *e = (latency, plan(a, b));
+            }
+        }
+        let (queries, experience) = buffer.snapshot();
+        prop_assert_eq!(queries.len(), best.len());
+        for (key, (min_latency, best_plan)) in &best {
+            let fp = QueryFingerprint(*key as u128);
+            prop_assert_eq!(
+                buffer.best_latency(fp), Some(*min_latency),
+                "key {}: champion latency lost", key
+            );
+            prop_assert_eq!(
+                buffer.best_plan(fp), Some(best_plan),
+                "key {}: champion plan lost", key
+            );
+        }
+        // Tail bound: at most 1 best + `runners` runner-ups per query.
+        prop_assert!(
+            buffer.num_plans() <= best.len() * (1 + runners),
+            "{} plans retained for {} queries (cap {} each)",
+            buffer.num_plans(), best.len(), 1 + runners
+        );
+        // The snapshot's per-query cost minimum is the champion's latency.
+        for (key, (min_latency, _)) in &best {
+            let id = neo_learn::canonical_id(QueryFingerprint(*key as u128));
+            prop_assert_eq!(
+                experience.best_cost(&id), Some(*min_latency),
+                "key {}: snapshot lost the champion latency", key
+            );
+        }
+    }
+}

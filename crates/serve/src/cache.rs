@@ -599,7 +599,7 @@ mod tests {
             })
             .collect();
         for h in handles {
-            h.join().unwrap();
+            crate::join_named(h);
         }
         assert!(!c.any_poisoned());
         assert_eq!(c.len(), 4 * 64);

@@ -1,0 +1,85 @@
+//! Panic-propagating thread joins that keep the thread's name.
+//!
+//! `handle.join().unwrap()` on a panicked thread produces a nested
+//! `Any { .. }` unwrap panic that says nothing about *which* thread died
+//! or why. Every long-lived thread in this workspace is spawned with a
+//! name (`neo-serve-worker-3`, `neo-learn-trainer`, `neo-cluster-poll-a`);
+//! [`join_named`] surfaces that name plus the original panic message, so a
+//! worker panic reads as a diagnosable error instead of a shrug.
+
+use std::thread::JoinHandle;
+
+/// Extracts a human-readable message from a panic payload (the two types
+/// `panic!` actually produces, with a fallback for exotic payloads).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Joins a thread, propagating a panic as a new panic that names the
+/// thread and carries the original message.
+///
+/// # Panics
+/// Panics (with context) when the joined thread panicked.
+pub fn join_named<T>(handle: JoinHandle<T>) -> T {
+    let name = handle.thread().name().unwrap_or("<unnamed>").to_string();
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => panic!("thread '{name}' panicked: {}", panic_message(&*payload)),
+    }
+}
+
+/// [`join_named`] for shutdown paths that may themselves run during an
+/// unwind (e.g. `Drop` impls): when the current thread is already
+/// panicking, the join error is swallowed instead of aborting the process
+/// with a double panic; otherwise it propagates with the thread's name.
+pub fn join_named_or_ignore_during_unwind<T>(handle: JoinHandle<T>) -> Option<T> {
+    if std::thread::panicking() {
+        handle.join().ok()
+    } else {
+        Some(join_named(handle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_named_returns_value() {
+        let h = std::thread::Builder::new()
+            .name("ok-thread".into())
+            .spawn(|| 41 + 1)
+            .unwrap();
+        assert_eq!(join_named(h), 42);
+    }
+
+    #[test]
+    fn join_named_propagates_panic_with_thread_name() {
+        let h = std::thread::Builder::new()
+            .name("doomed-thread".into())
+            .spawn(|| panic!("original message"))
+            .unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join_named(h)))
+            .expect_err("join of a panicked thread must panic");
+        let msg = panic_message(&*err);
+        assert!(
+            msg.contains("doomed-thread") && msg.contains("original message"),
+            "uninformative join panic: {msg}"
+        );
+    }
+
+    #[test]
+    fn unnamed_threads_still_get_a_diagnosable_message() {
+        let h = std::thread::spawn(|| panic!("boom {}", 7));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join_named(h)))
+            .expect_err("must propagate");
+        let msg = panic_message(&*err);
+        assert!(msg.contains("<unnamed>") && msg.contains("boom 7"), "{msg}");
+    }
+}

@@ -49,11 +49,13 @@
 //! ```
 
 pub mod cache;
+pub mod join;
 pub mod pool;
 pub mod service;
 pub mod slot;
 
 pub use cache::{CacheStats, PlanCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY};
+pub use join::{join_named, join_named_or_ignore_during_unwind};
 pub use pool::WorkerPool;
 pub use service::{ExecutionFeedback, OptimizeOutcome, OptimizerService, ServeConfig};
 pub use slot::ModelSlot;

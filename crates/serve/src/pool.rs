@@ -78,10 +78,11 @@ impl Drop for WorkerPool {
         // Closing the sender makes every blocked `recv()` return Err.
         drop(self.tx.take());
         for h in self.workers.drain(..) {
-            // A worker that panicked already reported itself via the job's
-            // result channel (or the test harness); don't double-panic the
-            // pool teardown.
-            let _ = h.join();
+            // A panicked worker surfaces as a named, diagnosable panic —
+            // unless this teardown is itself running during an unwind (the
+            // caller already knows something died; a double panic would
+            // abort and eat both messages).
+            crate::join_named_or_ignore_during_unwind(h);
         }
     }
 }

@@ -46,7 +46,18 @@ use std::time::Instant;
 /// non-blocking — it is called from serving threads.
 pub trait ExecutionFeedback: Send + Sync {
     /// Records one observed execution of `plan` for `query`.
-    fn record(&self, fp: QueryFingerprint, query: &Query, plan: &PlanNode, latency_ms: f64);
+    /// `predicted_ms` is the optimizer's own latency prediction for the
+    /// plan at optimize time (when it searched rather than hit the cache);
+    /// the replay buffer uses `|observed − predicted|` as the record's
+    /// regret priority.
+    fn record(
+        &self,
+        fp: QueryFingerprint,
+        query: &Query,
+        plan: &PlanNode,
+        latency_ms: f64,
+        predicted_ms: Option<f64>,
+    );
 }
 
 /// Service configuration.
@@ -103,6 +114,11 @@ pub struct OptimizeOutcome {
     pub model_generation: u64,
     /// Wall-clock optimize latency, milliseconds (cache probe included).
     pub optimize_ms: f64,
+    /// The model's predicted latency (ms) for the chosen plan under the
+    /// generation that chose it — the denormalized search score. `None` on
+    /// a cache hit (no network was consulted). Report it back with the
+    /// observed latency so replay retention can prioritize by regret.
+    pub predicted_ms: Option<f64>,
     /// Search statistics (`None` on a cache hit; `stats.seeded` reports
     /// whether a demoted plan warm-started the search).
     pub search: Option<SearchStats>,
@@ -145,6 +161,7 @@ impl Shared {
                     // publish whose epoch bump hasn't landed yet).
                     model_generation: chosen_by,
                     optimize_ms: start.elapsed().as_secs_f64() * 1e3,
+                    predicted_ms: None,
                     search: None,
                 };
             }
@@ -186,6 +203,7 @@ impl Shared {
             cache_hit: false,
             model_generation,
             optimize_ms: start.elapsed().as_secs_f64() * 1e3,
+            predicted_ms: Some(net.to_cost(stats.best_score)),
             search: Some(stats),
         }
     }
@@ -307,6 +325,22 @@ impl OptimizerService {
         generation
     }
 
+    /// Adopts an externally trained model *as* `generation` — the cluster
+    /// follower's swap hook, where generations are minted by the fleet
+    /// leader and read from the shared checkpoint store rather than counted
+    /// locally. Same swap-then-bump ordering and seed-demotion semantics as
+    /// [`Self::publish_model`]; a restarted node recovering from the store
+    /// goes through exactly this path. Returns `false` (and does nothing,
+    /// not even the epoch bump) when `generation` does not advance the
+    /// slot, so re-delivered or stale checkpoints are no-ops.
+    pub fn publish_model_as(&self, net: Arc<ValueNet>, generation: u64) -> bool {
+        if !self.shared.model.publish_as(net, generation) {
+            return false;
+        }
+        self.shared.cache.advance_epoch();
+        true
+    }
+
     /// Signals that the value network was refined in place elsewhere (no
     /// slot swap): bumps the cache epoch, demoting every cached plan to a
     /// warm-start seed, so all subsequent queries re-search. Returns the
@@ -342,7 +376,23 @@ impl OptimizerService {
         latency_ms: f64,
     ) {
         if let Some(sink) = self.shared.feedback.get() {
-            sink.record(fp, query, plan, latency_ms);
+            sink.record(fp, query, plan, latency_ms, None);
+        }
+    }
+
+    /// Reports the observed execution latency of an [`OptimizeOutcome`]
+    /// this service produced — the preferred feedback path: it reuses the
+    /// outcome's fingerprint and forwards the optimizer's own latency
+    /// prediction, which replay retention turns into a regret priority.
+    pub fn report_outcome(&self, query: &Query, outcome: &OptimizeOutcome, latency_ms: f64) {
+        if let Some(sink) = self.shared.feedback.get() {
+            sink.record(
+                outcome.fingerprint,
+                query,
+                &outcome.plan,
+                latency_ms,
+                outcome.predicted_ms,
+            );
         }
     }
 

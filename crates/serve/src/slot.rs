@@ -48,6 +48,23 @@ impl ModelSlot {
         guard.1
     }
 
+    /// Installs `net` *as* an externally assigned generation — the cluster
+    /// follower path, where generation numbers are minted by the leader and
+    /// read back from the checkpoint store, not counted locally. Succeeds
+    /// only when `generation` advances the slot (strictly greater than the
+    /// current one), so a stale manifest read or a re-delivered checkpoint
+    /// can never roll a node backwards; returns whether the install
+    /// happened.
+    pub fn publish_as(&self, net: Arc<ValueNet>, generation: u64) -> bool {
+        let mut guard = self.inner.write().expect("model slot poisoned");
+        if generation <= guard.1 {
+            return false;
+        }
+        guard.0 = net;
+        guard.1 = generation;
+        true
+    }
+
     /// The current generation without loading the model.
     pub fn generation(&self) -> u64 {
         self.inner.read().expect("model slot poisoned").1
@@ -124,8 +141,27 @@ mod tests {
             std::thread::yield_now();
         }
         for r in readers {
-            r.join().unwrap();
+            crate::join_named(r);
         }
         assert_eq!(slot.generation(), 3);
+    }
+
+    #[test]
+    fn publish_as_adopts_external_generations_monotonically() {
+        let a = tiny_net(1);
+        let b = tiny_net(2);
+        let c = tiny_net(3);
+        let slot = ModelSlot::new(a);
+        // A follower adopting the leader's generation 5 from the store.
+        assert!(slot.publish_as(Arc::clone(&b), 5));
+        assert_eq!(slot.generation(), 5);
+        assert!(Arc::ptr_eq(&slot.load().0, &b));
+        // Stale or replayed generations never roll the node backwards.
+        assert!(!slot.publish_as(Arc::clone(&c), 5));
+        assert!(!slot.publish_as(Arc::clone(&c), 3));
+        assert_eq!(slot.generation(), 5);
+        assert!(Arc::ptr_eq(&slot.load().0, &b));
+        // A locally counted publish continues from the adopted number.
+        assert_eq!(slot.publish(c), 6);
     }
 }

@@ -128,7 +128,7 @@ fn many_streams_from_many_threads_share_one_service() {
             })
         })
         .collect();
-    let results: Vec<Vec<_>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let results: Vec<Vec<_>> = handles.into_iter().map(neo_serve::join_named).collect();
     for r in &results[1..] {
         assert_eq!(r, &results[0], "clients disagreed on plans");
     }

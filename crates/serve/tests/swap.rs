@@ -127,7 +127,7 @@ fn concurrent_optimize_during_swaps_matches_some_generation_exactly() {
     };
 
     let outcomes = service.optimize_stream(&stream);
-    publisher.join().unwrap();
+    neo_serve::join_named(publisher);
 
     assert_eq!(outcomes.len(), stream.len());
     let mut seen_generations = std::collections::HashSet::new();
