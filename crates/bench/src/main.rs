@@ -29,9 +29,11 @@
 //!                     (per-node/aggregate qps for 1/2/4-node fleets,
 //!                      generation-convergence lag, cross-node plan
 //!                      byte-equality, restart recovery from the shared
-//!                      checkpoint store; --nodes N caps the fleet sizes,
-//!                      --workers W sets workers per node, --smoke for
-//!                      the CI preset)
+//!                      checkpoint store, and the leader-kill failover
+//!                      experiment: lease takeover latency, term fencing,
+//!                      no generation fork, bounded store retention;
+//!                      --nodes N caps the fleet sizes, --workers W sets
+//!                      workers per node, --smoke for the CI preset)
 //!   all               every figure/table experiment above, in order
 //!                     (the bench-* / *-bench commands run separately:
 //!                      they write JSON reports and assert their own
@@ -263,6 +265,21 @@ fn main() {
                 report.restart.recovery_ms,
                 report.restart.retrained_during_recovery,
             );
+            let f = &report.failover;
+            eprintln!(
+                "failover: leader killed at generation {}, {} promoted in {:.0} ms \
+                 (term {} -> {}), history advanced to generation {}, \
+                 survivors identical: {}; retain kept {} checkpoint(s), {} tmp file(s)",
+                f.generation_at_kill,
+                f.promoted_node,
+                f.promotion_ms,
+                f.old_term,
+                f.new_term,
+                f.post_failover_generation,
+                f.survivors_identical,
+                f.retained_checkpoints,
+                f.tmp_files,
+            );
             assert!(
                 report.scaling.iter().all(|p| p.plans_identical),
                 "cross-node plan divergence"
@@ -271,6 +288,13 @@ fn main() {
                 !report.restart.retrained_during_recovery
                     && report.restart.plans_match_after_recovery,
                 "restart recovery was not warm"
+            );
+            assert!(
+                f.new_term > f.old_term
+                    && f.post_failover_generation > f.generation_at_kill
+                    && f.survivors_identical
+                    && f.tmp_files == 0,
+                "leader failover forked or littered the fleet history"
             );
         }
         "all" => {

@@ -37,10 +37,22 @@ pub struct ClusterConfig {
     pub trainer: TrainerConfig,
     /// Leader replay retention.
     pub replay: ReplayConfig,
-    /// Follower manifest-poll interval.
+    /// Background tick interval (follower manifest polls, leader lease
+    /// renewals).
     pub poll_interval_ms: u64,
-    /// Spawn follower pollers at construction.
+    /// Spawn the background tick threads at construction (required for
+    /// lease renewal and automatic failover).
     pub auto_poll: bool,
+    /// Leader-lease TTL, milliseconds (see [`NodeConfig::lease_ttl_ms`]).
+    pub lease_ttl_ms: u64,
+    /// Make every node a failover candidate: when the leader's lease
+    /// expires, one survivor claims the next term and promotes itself,
+    /// training over the same shared sink (requires `auto_poll`).
+    pub failover: bool,
+    /// Store retention: after each publish the leader keeps the manifest
+    /// generation plus `keep_last − 1` predecessors and collects the rest
+    /// (see [`NodeConfig::retain_generations`]). `None` = unbounded.
+    pub retain_generations: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -52,6 +64,9 @@ impl Default for ClusterConfig {
             replay: ReplayConfig::default(),
             poll_interval_ms: 20,
             auto_poll: false,
+            lease_ttl_ms: 500,
+            failover: false,
+            retain_generations: None,
         }
     }
 }
@@ -89,12 +104,7 @@ impl Cluster {
             Arc::clone(&db),
             Arc::clone(&featurizer),
             Arc::clone(&net),
-            NodeConfig {
-                name: "node-0".into(),
-                serve: cfg.serve.clone(),
-                poll_interval_ms: cfg.poll_interval_ms,
-                auto_poll: false,
-            },
+            Self::node_cfg(&cfg, 0),
             cfg.trainer.clone(),
             cfg.replay,
             Arc::clone(&store),
@@ -122,6 +132,24 @@ impl Cluster {
         })
     }
 
+    /// Uniform per-node config: every node is a candidate when the fleet
+    /// runs with failover, so leadership can land anywhere (including
+    /// back on a recovered ex-leader). Without failover the constructed
+    /// leader gets no tick thread — there are no candidates to renew the
+    /// lease against, and a 5 ms store-file poll on the serving node is
+    /// pure overhead (it is the follower pollers that need `auto_poll`).
+    fn node_cfg(cfg: &ClusterConfig, index: usize) -> NodeConfig {
+        NodeConfig {
+            name: format!("node-{index}"),
+            serve: cfg.serve.clone(),
+            poll_interval_ms: cfg.poll_interval_ms,
+            auto_poll: cfg.auto_poll && (index != 0 || cfg.failover),
+            lease_ttl_ms: cfg.lease_ttl_ms,
+            failover: cfg.failover,
+            retain_generations: cfg.retain_generations,
+        }
+    }
+
     fn spawn_follower_inner(
         db: &Arc<Database>,
         featurizer: &Arc<Featurizer>,
@@ -131,16 +159,16 @@ impl Cluster {
         cfg: &ClusterConfig,
         index: usize,
     ) -> io::Result<ClusterNode> {
-        ClusterNode::follower(
+        // Candidates carry the fleet's training assets so a promotion
+        // trains with the same epochs/batch/seed the constructed leader
+        // used.
+        ClusterNode::candidate(
             Arc::clone(db),
             Arc::clone(featurizer),
             Arc::clone(net),
-            NodeConfig {
-                name: format!("node-{index}"),
-                serve: cfg.serve.clone(),
-                poll_interval_ms: cfg.poll_interval_ms,
-                auto_poll: cfg.auto_poll,
-            },
+            Self::node_cfg(cfg, index),
+            cfg.trainer.clone(),
+            cfg.replay,
             Arc::clone(store),
             Arc::clone(sink),
         )
@@ -161,9 +189,60 @@ impl Cluster {
         &self.nodes
     }
 
-    /// The leader.
+    /// The constructed leader (node 0). With failover enabled leadership
+    /// can move; prefer [`Self::current_leader`] after any kill or lease
+    /// churn.
     pub fn leader(&self) -> &ClusterNode {
         &self.nodes[0]
+    }
+
+    /// Index of the node currently holding leadership (running the fleet
+    /// trainer), if any — `None` mid-failover, between a leader's death
+    /// and a candidate's promotion.
+    pub fn leader_index(&self) -> Option<usize> {
+        self.nodes.iter().position(|n| n.is_leader())
+    }
+
+    /// The node currently holding leadership, if any.
+    pub fn current_leader(&self) -> Option<&ClusterNode> {
+        self.leader_index().map(|i| &self.nodes[i])
+    }
+
+    /// Mutable access to a node (0 = the constructed leader) — for
+    /// node-lifecycle operations like [`ClusterNode::resign`] or manual
+    /// [`ClusterNode::start_polling`].
+    pub fn node_mut(&mut self, i: usize) -> &mut ClusterNode {
+        &mut self.nodes[i]
+    }
+
+    /// Blocks until some node holds leadership (or the timeout passes).
+    /// Returns the leader's index. The wait is pure observation — with
+    /// failover + auto-poll the candidates promote themselves.
+    pub fn wait_for_leader(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(i) = self.leader_index() {
+                return Some(i);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Kills node `i` outright — drops it with **no replacement**: its
+    /// pool, tick thread, trainer, cache, and model die with it, and its
+    /// lease (if it led) is *not* released, exactly like a crash. The
+    /// remaining nodes shift down one index. With failover enabled a
+    /// surviving candidate claims the expired lease and the fleet keeps
+    /// training.
+    pub fn kill_node(&mut self, i: usize) {
+        assert!(
+            self.nodes.len() > 1,
+            "kill_node: refusing to empty the fleet"
+        );
+        drop(self.nodes.remove(i));
     }
 
     /// A node by index (0 = leader).
@@ -221,10 +300,15 @@ impl Cluster {
     /// generation before serving ([`ClusterNode::recovered_generation`]).
     ///
     /// # Panics
-    /// Panics for `i == 0` (the leader holds the fleet's trainer; leader
-    /// failover is a future seam, see ROADMAP).
+    /// Panics when node `i` currently leads — killing the leader is
+    /// [`Self::kill_node`] territory (the lease protocol elects a
+    /// successor; a restarted replacement joins as a candidate).
     pub fn restart_follower(&mut self, i: usize) -> io::Result<()> {
-        assert!(i != 0, "restart_follower: node 0 is the leader");
+        assert!(
+            !self.nodes[i].is_leader(),
+            "restart_follower: node {i} is the current leader; use kill_node and let \
+             the lease protocol fail over"
+        );
         // Kill first, then rebuild: the replacement must see only durable
         // store state, and the old node's worker pool should be gone
         // before the new one spawns.

@@ -11,7 +11,8 @@
 //! a retry ("Query Optimization in the Wild" calls fleet-wide plan
 //! consistency the make-or-break property of industrial deployments).
 //!
-//! Architecture (one leader, N−1 followers, one store):
+//! Architecture (one leader, N−1 followers, one store — with leadership
+//! itself being store state):
 //!
 //! * [`CheckpointStore`] — the durable, shared generation store
 //!   ([`FsCheckpointStore`]: atomic tmp→fsync→rename publish of framed
@@ -28,13 +29,29 @@
 //!   each generation to the store *before* it may serve — a generation
 //!   the fleet cannot fetch never goes live. **Followers** poll the
 //!   manifest and hot-swap through their local model slot
-//!   ([`neo_serve::OptimizerService::publish_model_as`]), demoting cached
+//!   ([`neo_serve::OptimizerService::publish_model_from`]), demoting cached
 //!   plans to warm-start seeds exactly as a local publish would.
 //! * **Crash recovery = routine sync:** a node constructed over a
 //!   non-empty store loads the manifest's generation before serving its
 //!   first query, so a killed-and-restarted node comes back warm at the
 //!   fleet's current generation with zero retraining
 //!   ([`ClusterNode::recovered_generation`]).
+//! * **Leader failover:** leadership is a store-serialized lease (a
+//!   `LEADER` file written with the manifest's tmp→fsync→rename
+//!   discipline, holding `(holder, term, expiry)`). The leader renews it
+//!   from its tick thread; when the leader dies the lease expires and a
+//!   surviving candidate claims the next **term**, promoting itself —
+//!   spinning up its own trainer over the same merged sink. A deposed
+//!   leader's late publish is fenced by the term
+//!   ([`CheckpointStore::publish_fenced`]), and generation minting stays
+//!   store-serialized (monotonic), so the fleet's generation history
+//!   never forks.
+//! * **Retention:** long-lived stores stay bounded —
+//!   [`CheckpointStore::retain`] keeps the manifest's generation plus its
+//!   `keep_last − 1` predecessors and collects older history, orphaned
+//!   checkpoints from crashed publishes, and stale `*.tmp` litter; wired
+//!   into every leader publish via
+//!   [`NodeConfig::retain_generations`](NodeConfig).
 //! * [`Cluster`] — convenience assembly of leader + followers over one
 //!   store and sink, used by the tests and `cluster-bench`.
 //!
@@ -77,5 +94,6 @@ pub mod store;
 pub use fleet::{Cluster, ClusterConfig};
 pub use node::{ClusterNode, NodeConfig};
 pub use store::{
-    CheckpointStore, FsCheckpointStore, MemCheckpointStore, MANIFEST_HEADER, MANIFEST_NAME,
+    CheckpointStore, FsCheckpointStore, LeaderLease, Manifest, MemCheckpointStore, LEASE_HEADER,
+    LEASE_NAME, MANIFEST_HEADER, MANIFEST_NAME,
 };

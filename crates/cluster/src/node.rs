@@ -3,18 +3,29 @@
 //!
 //! Every node serves queries from its own worker pool and forwards its
 //! execution feedback into the fleet's shared experience sink. What a
-//! node does with *models* depends on its role:
+//! node does with *models* depends on its role — and the role is
+//! **store state**, not construction-time fate:
 //!
-//! * the **leader** runs the fleet's only [`BackgroundTrainer`] against
-//!   the merged experience and publishes each trained generation to the
-//!   store *before* serving it (a [`GenerationObserver`] with veto power
-//!   — a generation the fleet cannot fetch never goes live anywhere);
+//! * the **leader** holds the store's `LEADER` lease (renewed from the
+//!   background tick thread), runs the fleet's only
+//!   [`BackgroundTrainer`] against the merged experience, and publishes
+//!   each trained generation to the store *before* serving it (a
+//!   [`GenerationObserver`] with veto power — a generation the fleet
+//!   cannot fetch never goes live anywhere). Publishes are fenced by the
+//!   lease **term**, and each successful publish runs the store's
+//!   retention GC ([`CheckpointStore::retain`]) when
+//!   [`NodeConfig::retain_generations`] is set;
 //! * a **follower** polls the store's manifest ([`ClusterNode::sync`],
-//!   optionally on a background thread) and adopts new generations
-//!   through its service's swap hook
-//!   ([`OptimizerService::publish_model_as`]) — the same swap-then-
+//!   eagerly at tick-thread start and then every interval) and adopts new
+//!   generations through its service's swap hook
+//!   ([`OptimizerService::publish_model_from`]) — the same swap-then-
 //!   epoch-bump path a local publish takes, so cached plans demote to
-//!   warm-start seeds identically.
+//!   warm-start seeds identically. A follower with
+//!   [`NodeConfig::failover`] set is a **candidate**: when the lease
+//!   expires it claims the next term and promotes itself, spinning up its
+//!   own trainer over the same merged sink — the fleet keeps learning
+//!   across the old leader's death, and the dead leader's late publishes
+//!   are fenced by the minted term.
 //!
 //! **Crash recovery is the same code path as a routine sync.** A node
 //! constructed over a non-empty store immediately loads the manifest's
@@ -32,23 +43,50 @@ use neo_learn::{
 use neo_serve::{join_named_or_ignore_during_unwind, OptimizerService, ServeConfig};
 use neo_storage::Database;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Wall-clock milliseconds for lease arithmetic (the store compares
+/// caller-supplied instants, so every node of a fleet must use the same
+/// clock — across processes that is the system clock).
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// Per-node configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
-    /// Node name (thread names, diagnostics).
+    /// Node name (thread names, diagnostics, lease holder id — must be
+    /// unique per fleet).
     pub name: String,
     /// The node-local serving configuration.
     pub serve: ServeConfig,
-    /// Manifest poll interval for the follower's background poller.
+    /// Tick interval for the background thread (manifest poll on
+    /// followers, lease renewal on the leader).
     pub poll_interval_ms: u64,
-    /// Spawn the background poller at construction (followers only;
-    /// explicit [`ClusterNode::sync`] works either way).
+    /// Spawn the background tick thread at construction. Required for a
+    /// long-lived leader (lease renewal) and for follower auto-adoption;
+    /// explicit [`ClusterNode::sync`] works either way.
     pub auto_poll: bool,
+    /// Leader-lease time-to-live, milliseconds. The leader renews every
+    /// tick; a candidate can claim the lease once `lease_ttl_ms` elapses
+    /// after the last renewal. Must comfortably exceed
+    /// `poll_interval_ms`.
+    pub lease_ttl_ms: u64,
+    /// Makes this node a failover **candidate**: a follower that claims
+    /// the expired lease and promotes itself to leader (spinning up its
+    /// own trainer over the shared sink).
+    pub failover: bool,
+    /// When set, every successful store publish is followed by
+    /// [`CheckpointStore::retain`] with this `keep_last` — the manifest's
+    /// generation plus `keep_last − 1` predecessors survive; older
+    /// history, orphaned checkpoints, and stale tmp litter are collected.
+    pub retain_generations: Option<usize>,
 }
 
 impl Default for NodeConfig {
@@ -58,23 +96,49 @@ impl Default for NodeConfig {
             serve: ServeConfig::default(),
             poll_interval_ms: 20,
             auto_poll: false,
+            lease_ttl_ms: 500,
+            failover: false,
+            retain_generations: None,
         }
     }
 }
 
 /// The leader's persist-before-publish hook: each trained generation goes
-/// to the shared store first; a store failure vetoes the publish.
+/// to the shared store first — fenced by the lease term — and a store
+/// failure vetoes the publish. After a successful persist the retention
+/// GC runs (best-effort: a GC hiccup never vetoes a durably persisted
+/// generation).
 struct StorePublisher {
     store: Arc<dyn CheckpointStore>,
+    /// The lease term this leadership stint publishes under.
+    term: u64,
+    retain_generations: Option<usize>,
+    /// Running count of GC-collected checkpoints (shared with the node).
+    gc_removed: Arc<AtomicU64>,
 }
 
 impl GenerationObserver for StorePublisher {
     fn on_checkpoint(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
-        self.store.publish(generation, framed)
+        self.store.publish_fenced(generation, self.term, framed)?;
+        if let Some(keep) = self.retain_generations {
+            if let Ok(removed) = self.store.retain(keep) {
+                self.gc_removed.fetch_add(removed as u64, Ordering::Relaxed);
+            }
+        }
+        Ok(())
     }
 }
 
-/// State shared between a node and its background poller thread.
+/// Tick-thread control: a `Condvar`-signalled stop flag, so dropping a
+/// node interrupts the wait immediately instead of stalling up to a full
+/// poll interval on a bare sleep.
+struct PollControl {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// State shared between a node, its background tick thread, and (while
+/// leading) its trainer's observer.
 struct NodeShared {
     name: String,
     service: Arc<OptimizerService>,
@@ -83,46 +147,191 @@ struct NodeShared {
     /// network of the right shape, and every fleet generation shares the
     /// construction-time architecture.
     template: ValueNet,
-    /// Background-poller interval.
+    /// Background tick interval.
     poll_interval: Duration,
     /// Manifest reads / checkpoint loads that failed (the node keeps
     /// serving its current generation through store hiccups).
     sync_failures: AtomicU64,
+    /// The fleet sink (feedback merge; the trainer of whoever leads
+    /// drains it).
+    sink: Arc<ExperienceSink>,
+    /// Training assets used when this node leads (at construction for a
+    /// constructed leader, at promotion for a candidate).
+    trainer_cfg: TrainerConfig,
+    replay_cfg: ReplayConfig,
+    lease_ttl_ms: u64,
+    failover: bool,
+    retain_generations: Option<usize>,
+    /// The lease term this node currently publishes under (0 = not
+    /// leading).
+    held_term: AtomicU64,
+    /// Times this node promoted itself to leader (lease claims, the
+    /// constructed-leader acquisition included).
+    promotions: AtomicU64,
+    /// Checkpoints collected by the retention GC under this node's
+    /// leadership.
+    gc_removed: Arc<AtomicU64>,
+    /// The fleet trainer while this node leads. Behind a mutex so the
+    /// tick thread can promote/demote; handles are `Arc` so accessors
+    /// never hold the lock across a wait.
+    trainer: Mutex<Option<Arc<BackgroundTrainer>>>,
 }
 
 impl NodeShared {
-    /// One pull from the store: adopt the manifest's generation if it is
-    /// ahead of the locally served one. Returns the adopted generation,
-    /// or `None` when already current (or the store is empty).
+    /// One pull from the store: adopt the manifest's generation (and its
+    /// minting term) if it is ahead of the locally served one. Returns
+    /// the adopted generation, or `None` when already current (or the
+    /// store is empty).
     fn sync(&self) -> io::Result<Option<u64>> {
-        let Some(latest) = self.store.latest_generation()? else {
+        let Some(manifest) = self.store.manifest()? else {
             return Ok(None);
         };
-        if latest <= self.service.model_generation() {
+        if manifest.generation <= self.service.model_generation() {
             return Ok(None);
         }
-        let framed = self.store.load(latest)?;
+        let framed = self.store.load(manifest.generation)?;
         let decoded = checkpoint::decode(&framed)?;
         let mut net = self.template.clone();
         net.load(&mut decoded.payload())?;
-        // `publish_model_as` re-checks monotonicity under the slot lock, so
-        // a concurrent manual sync racing the poller cannot double-apply or
-        // regress; losing the race is not an error.
+        // `publish_model_from` re-checks monotonicity under the slot lock,
+        // so a concurrent manual sync racing the poller cannot double-apply
+        // or regress; losing the race is not an error.
         Ok(self
             .service
-            .publish_model_as(Arc::new(net), latest)
-            .then_some(latest))
+            .publish_model_from(Arc::new(net), manifest.generation, manifest.term)
+            .then_some(manifest.generation))
+    }
+
+    /// Spins up this node's trainer under lease `term` (idempotent while
+    /// already leading). The trainer publishes through a fenced
+    /// [`StorePublisher`] and is labeled with the term, so everything it
+    /// mints is attributable to this leadership stint.
+    fn promote(&self, term: u64) {
+        let mut slot = self.trainer.lock().expect("trainer slot poisoned");
+        if slot.is_some() {
+            return;
+        }
+        let observer = Arc::new(StorePublisher {
+            store: Arc::clone(&self.store),
+            term,
+            retain_generations: self.retain_generations,
+            gc_removed: Arc::clone(&self.gc_removed),
+        });
+        let mut trainer_cfg = self.trainer_cfg.clone();
+        trainer_cfg.term = term;
+        let trainer = BackgroundTrainer::spawn_with_observer(
+            Arc::clone(&self.service),
+            Arc::clone(&self.sink),
+            self.replay_cfg,
+            trainer_cfg,
+            Some(observer),
+        );
+        *slot = Some(Arc::new(trainer));
+        self.held_term.store(term, Ordering::Release);
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Steps down: stops the trainer (drain-then-stop — its last
+    /// persisted generation is adopted or vetoed before the join), clears
+    /// the held term, and reconciles with the store so an ex-leader is
+    /// never left behind the history its successor continues.
+    fn demote(&self) {
+        let taken = self.trainer.lock().expect("trainer slot poisoned").take();
+        self.held_term.store(0, Ordering::Release);
+        // Dropping the handle stops and joins the trainer thread (unless
+        // an accessor briefly holds another handle, in which case the
+        // join happens when that handle drops).
+        drop(taken);
+        if self.sync().is_err() {
+            self.sync_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One background tick: every node syncs from the store (a healthy
+    /// leader's sync is a no-op manifest read, but a leader that came up
+    /// behind the store's history — or whose in-flight generation lost a
+    /// publish race — adopts the latest generation here instead of
+    /// wedging on regression errors forever); then leaders renew the
+    /// lease (stepping down on deposition) and candidates claim an
+    /// expired one.
+    fn tick(&self) {
+        if self.sync().is_err() {
+            self.sync_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        let held = self.held_term.load(Ordering::Acquire);
+        if held > 0 {
+            self.leader_tick(held);
+            return;
+        }
+        if self.failover {
+            // `try_acquire_lease` refuses a live lease held by someone
+            // else, so this is a cheap read until the leader actually
+            // dies.
+            match self
+                .store
+                .try_acquire_lease(&self.name, now_ms(), self.lease_ttl_ms)
+            {
+                Ok(Some(lease)) => self.promote(lease.term),
+                Ok(None) => {}
+                Err(_) => {
+                    self.sync_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// The leading node's half of [`Self::tick`]: keep the lease alive,
+    /// step down when deposed.
+    fn leader_tick(&self, held: u64) {
+        // Renew-at-half-TTL: every renewal is a tmp+fsync+rename of the
+        // lease file, so skip the write while more than half the TTL
+        // remains (the read is cheap). A read hiccup just falls through
+        // to the renewal attempt, which re-reads under the store's lock.
+        let now = now_ms();
+        if let Ok(Some(lease)) = self.store.read_lease() {
+            if lease.holder == self.name
+                && lease.term == held
+                && lease.expires_at_ms.saturating_sub(now) > self.lease_ttl_ms / 2
+            {
+                return;
+            }
+        }
+        match self
+            .store
+            .try_acquire_lease(&self.name, now, self.lease_ttl_ms)
+        {
+            Ok(Some(lease)) if lease.term == held => {} // renewed
+            Ok(Some(lease)) => {
+                // Our own lease expired (a tick stalled past the TTL) and
+                // re-acquiring minted a fresh term — no successor
+                // intervened (we hold the live lease), but the old term
+                // is dead: anything the old-term trainer still publishes
+                // must be fenceable. Re-elect ourselves in place — drain
+                // the old trainer, then restart under the minted term —
+                // instead of demoting and leaving the fleet leaderless
+                // behind our own live lease.
+                self.demote();
+                self.promote(lease.term);
+            }
+            Ok(None) => {
+                // Deposed: a successor holds a live newer-term lease.
+                self.demote();
+            }
+            Err(_) => {
+                // Store hiccup: keep serving and training; if the outage
+                // outlives the TTL a successor will fence us.
+                self.sync_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
-/// One member of the fleet. Construct with [`ClusterNode::leader`] or
-/// [`ClusterNode::follower`]; both recover to the store's latest
-/// generation before serving.
+/// One member of the fleet. Construct with [`ClusterNode::leader`],
+/// [`ClusterNode::follower`], or [`ClusterNode::candidate`]; all recover
+/// to the store's latest generation before serving.
 pub struct ClusterNode {
     shared: Arc<NodeShared>,
-    /// The fleet trainer (leader only).
-    trainer: Option<BackgroundTrainer>,
-    poller: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
+    poller: Option<(Arc<PollControl>, JoinHandle<()>)>,
     recovered_generation: Option<u64>,
 }
 
@@ -130,9 +339,12 @@ impl ClusterNode {
     /// Builds the fleet **leader**: serves queries, trains the fleet's
     /// model on the merged experience in `sink` (attach the same sink to
     /// every node's service), and publishes each generation to `store`
-    /// before swapping it in. A leader constructed over a non-empty store
-    /// first recovers to the latest published generation and mints
-    /// subsequent generations after it.
+    /// before swapping it in. Claims the store's leader lease first —
+    /// refused with [`io::ErrorKind::WouldBlock`] when another node holds
+    /// a live lease (build a [`Self::candidate`] instead and let the
+    /// protocol elect). A leader constructed over a non-empty store first
+    /// recovers to the latest published generation and mints subsequent
+    /// generations after it.
     #[allow(clippy::too_many_arguments)] // the leader owns the full loop: serving + training + store
     pub fn leader(
         db: Arc<Database>,
@@ -144,24 +356,46 @@ impl ClusterNode {
         store: Arc<dyn CheckpointStore>,
         sink: Arc<ExperienceSink>,
     ) -> io::Result<Self> {
-        let mut node = Self::build(db, featurizer, net, cfg, store, Arc::clone(&sink))?;
-        let observer = Arc::new(StorePublisher {
-            store: Arc::clone(&node.shared.store),
-        });
-        node.trainer = Some(BackgroundTrainer::spawn_with_observer(
-            Arc::clone(&node.shared.service),
-            sink,
-            replay,
-            trainer_cfg,
-            Some(observer),
-        ));
+        let auto_poll = cfg.auto_poll;
+        // A leader renewing from the tick thread has the same thrash
+        // constraint as a candidate (see `build`); a leader *without* a
+        // tick thread deliberately lets its lease expire (single-leader
+        // test setups), which is allowed.
+        assert!(
+            !auto_poll || cfg.lease_ttl_ms > cfg.poll_interval_ms,
+            "lease_ttl_ms ({}) must exceed poll_interval_ms ({}) for an auto-polling leader",
+            cfg.lease_ttl_ms,
+            cfg.poll_interval_ms
+        );
+        let mut node = Self::build(db, featurizer, net, cfg, trainer_cfg, replay, store, sink)?;
+        let lease = node
+            .shared
+            .store
+            .try_acquire_lease(&node.shared.name, now_ms(), node.shared.lease_ttl_ms)?
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!(
+                        "leader({}): the store's lease is live under another holder; \
+                         construct a candidate and let the lease protocol elect",
+                        node.shared.name
+                    ),
+                )
+            })?;
+        node.shared.promote(lease.term);
+        if auto_poll {
+            node.start_polling();
+        }
         Ok(node)
     }
 
     /// Builds a **follower**: serves queries, forwards execution feedback
     /// into the fleet sink, and adopts generations from the store
     /// (immediately at construction — crash recovery — and then via
-    /// [`Self::sync`] or the background poller).
+    /// [`Self::sync`] or the background tick thread). A follower with
+    /// [`NodeConfig::failover`] set promotes with *default* training
+    /// configuration; use [`Self::candidate`] to control what a promoted
+    /// node trains with.
     pub fn follower(
         db: Arc<Database>,
         featurizer: Arc<neo::Featurizer>,
@@ -170,26 +404,74 @@ impl ClusterNode {
         store: Arc<dyn CheckpointStore>,
         sink: Arc<ExperienceSink>,
     ) -> io::Result<Self> {
+        Self::candidate(
+            db,
+            featurizer,
+            net,
+            cfg,
+            TrainerConfig::default(),
+            ReplayConfig::default(),
+            store,
+            sink,
+        )
+    }
+
+    /// A follower carrying the training assets it would lead with: when
+    /// [`NodeConfig::failover`] is set and the leader's lease expires,
+    /// the node claims the next term and spins up its own
+    /// [`BackgroundTrainer`] (same merged sink, fenced store publishes).
+    #[allow(clippy::too_many_arguments)] // a candidate is a whole latent leader
+    pub fn candidate(
+        db: Arc<Database>,
+        featurizer: Arc<neo::Featurizer>,
+        net: Arc<ValueNet>,
+        cfg: NodeConfig,
+        trainer_cfg: TrainerConfig,
+        replay: ReplayConfig,
+        store: Arc<dyn CheckpointStore>,
+        sink: Arc<ExperienceSink>,
+    ) -> io::Result<Self> {
         let auto_poll = cfg.auto_poll;
-        let mut node = Self::build(db, featurizer, net, cfg, store, sink)?;
+        let mut node = Self::build(db, featurizer, net, cfg, trainer_cfg, replay, store, sink)?;
         if auto_poll {
             node.start_polling();
         }
         Ok(node)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         db: Arc<Database>,
         featurizer: Arc<neo::Featurizer>,
         net: Arc<ValueNet>,
         cfg: NodeConfig,
+        trainer_cfg: TrainerConfig,
+        replay_cfg: ReplayConfig,
         store: Arc<dyn CheckpointStore>,
         sink: Arc<ExperienceSink>,
     ) -> io::Result<Self> {
+        // Misconfiguration fails loudly, not silently: a candidate whose
+        // promotion path never runs (no tick thread) would quietly leave
+        // the fleet leaderless forever after a crash, and a lease that
+        // can expire between ticks would thrash demote/re-elect cycles.
+        if cfg.failover {
+            assert!(
+                cfg.auto_poll,
+                "NodeConfig {{ failover: true }} requires auto_poll: promotion happens on \
+                 the background tick thread"
+            );
+            assert!(
+                cfg.lease_ttl_ms > cfg.poll_interval_ms,
+                "lease_ttl_ms ({}) must exceed poll_interval_ms ({}): a lease shorter than \
+                 the tick interval expires between renewals and thrashes leadership",
+                cfg.lease_ttl_ms,
+                cfg.poll_interval_ms
+            );
+        }
         let template = (*net).clone();
         let service = Arc::new(OptimizerService::new(db, featurizer, net, cfg.serve));
         assert!(
-            service.set_feedback(sink as _),
+            service.set_feedback(Arc::clone(&sink) as _),
             "fresh service already had feedback attached"
         );
         let shared = Arc::new(NodeShared {
@@ -199,6 +481,16 @@ impl ClusterNode {
             template,
             poll_interval: Duration::from_millis(cfg.poll_interval_ms.max(1)),
             sync_failures: AtomicU64::new(0),
+            sink,
+            trainer_cfg,
+            replay_cfg,
+            lease_ttl_ms: cfg.lease_ttl_ms.max(1),
+            failover: cfg.failover,
+            retain_generations: cfg.retain_generations,
+            held_term: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            gc_removed: Arc::new(AtomicU64::new(0)),
+            trainer: Mutex::new(None),
         });
         // Warm recovery: a (re)started node adopts the fleet's latest
         // published generation before it serves a single query — no
@@ -207,7 +499,6 @@ impl ClusterNode {
         let recovered_generation = shared.sync()?;
         Ok(ClusterNode {
             shared,
-            trainer: None,
             poller: None,
             recovered_generation,
         })
@@ -228,6 +519,13 @@ impl ClusterNode {
         self.shared.service.model_generation()
     }
 
+    /// The lease term that minted the served generation (0 before any
+    /// termed publish reached this node) — the cross-node provenance
+    /// witness: survivors of a failover all serve the successor's term.
+    pub fn served_term(&self) -> u64 {
+        self.shared.service.model_term()
+    }
+
     /// The generation recovered from the store at construction, if the
     /// store was non-empty — the "restart lands warm" witness.
     pub fn recovered_generation(&self) -> Option<u64> {
@@ -240,19 +538,54 @@ impl ClusterNode {
         self.shared.sync_failures.load(Ordering::Relaxed)
     }
 
-    /// Whether this node is the fleet leader (owns the trainer).
+    /// Whether this node currently leads (holds the lease and runs the
+    /// trainer).
     pub fn is_leader(&self) -> bool {
-        self.trainer.is_some()
+        self.shared
+            .trainer
+            .lock()
+            .expect("trainer slot poisoned")
+            .is_some()
     }
 
-    /// The leader's trainer handle (request/wait/history/checkpoints).
+    /// The lease term this node currently publishes under (0 when not
+    /// leading).
+    pub fn term(&self) -> u64 {
+        self.shared.held_term.load(Ordering::Acquire)
+    }
+
+    /// How many times this node promoted itself to leader (construction-
+    /// time acquisition included).
+    pub fn promotions(&self) -> u64 {
+        self.shared.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints collected by the retention GC under this node's
+    /// leadership stints.
+    pub fn gc_removed(&self) -> u64 {
+        self.shared.gc_removed.load(Ordering::Relaxed)
+    }
+
+    /// The trainer handle while this node leads (request/wait/history/
+    /// checkpoints). The handle is a clone; keep it short-lived — a
+    /// demotion joins the trainer only once the last handle drops.
     ///
     /// # Panics
-    /// Panics on a follower.
-    pub fn trainer(&self) -> &BackgroundTrainer {
-        self.trainer
-            .as_ref()
-            .expect("trainer(): this node is a follower")
+    /// Panics when this node is not currently the leader.
+    pub fn trainer(&self) -> Arc<BackgroundTrainer> {
+        self.try_trainer()
+            .expect("trainer(): this node is not currently the leader")
+    }
+
+    /// [`Self::trainer`] without the panic: `None` when this node is not
+    /// currently leading — for callers racing leadership churn (a node
+    /// can demote between an `is_leader` check and the handle grab).
+    pub fn try_trainer(&self) -> Option<Arc<BackgroundTrainer>> {
+        self.shared
+            .trainer
+            .lock()
+            .expect("trainer slot poisoned")
+            .clone()
     }
 
     /// One explicit store pull; see [`NodeShared::sync`]. The leader
@@ -262,34 +595,72 @@ impl ClusterNode {
         self.shared.sync()
     }
 
-    /// Spawns the background manifest poller (idempotent). Errors are
-    /// counted ([`Self::sync_failures`]) and retried next interval.
+    /// Steps down voluntarily: releases the lease (clean handoff — the
+    /// next candidate claims it without waiting out the TTL), stops the
+    /// trainer with drain-then-stop semantics, and re-syncs. A no-op on a
+    /// non-leader. The tick thread is quiesced around the release/demote
+    /// pair so a concurrent renewal cannot re-mint the lease mid-resign;
+    /// afterwards this node competes like any other candidate — the
+    /// protocol may legitimately re-elect it.
+    pub fn resign(&mut self) -> io::Result<bool> {
+        if self.term() == 0 {
+            return Ok(false);
+        }
+        let had_poller = self.poller.is_some();
+        self.stop_polling();
+        let result = (|| {
+            let released = self.shared.store.release_lease(&self.shared.name)?;
+            self.shared.demote();
+            Ok(released)
+        })();
+        if had_poller {
+            self.start_polling();
+        }
+        result
+    }
+
+    /// Spawns the background tick thread (idempotent): followers sync the
+    /// manifest — once eagerly before the first wait — and candidates
+    /// watch the lease; the leader renews it. Errors are counted
+    /// ([`Self::sync_failures`]) and retried next interval.
     pub fn start_polling(&mut self) {
         if self.poller.is_some() {
             return;
         }
-        let stop = Arc::new(AtomicBool::new(false));
+        let control = Arc::new(PollControl {
+            stop: Mutex::new(false),
+            cv: Condvar::new(),
+        });
         let shared = Arc::clone(&self.shared);
-        let thread_stop = Arc::clone(&stop);
+        let thread_control = Arc::clone(&control);
         let handle = std::thread::Builder::new()
             .name(format!("neo-cluster-poll-{}", shared.name))
-            .spawn(move || {
-                while !thread_stop.load(Ordering::Acquire) {
-                    if shared.sync().is_err() {
-                        shared.sync_failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                    std::thread::sleep(shared.poll_interval);
+            .spawn(move || loop {
+                // Tick first (the eager initial sync), wait after — and
+                // the wait is a condvar, so a stop request interrupts it
+                // immediately instead of sleeping out the interval.
+                shared.tick();
+                let stopped = thread_control.stop.lock().expect("poll control poisoned");
+                let (stopped, _) = thread_control
+                    .cv
+                    .wait_timeout_while(stopped, shared.poll_interval, |stop| !*stop)
+                    .expect("poll control poisoned");
+                if *stopped {
+                    return;
                 }
             })
             .expect("spawn poller thread");
-        self.poller = Some((stop, handle));
+        self.poller = Some((control, handle));
     }
 
-    /// Stops the background poller (if running) and joins it, propagating
-    /// a poller panic with its thread name.
+    /// Stops the background tick thread (if running) and joins it,
+    /// propagating a poller panic with its thread name. The condvar stop
+    /// signal returns the thread mid-wait, so this costs at most one
+    /// in-flight tick, never a full poll interval.
     pub fn stop_polling(&mut self) {
-        if let Some((stop, handle)) = self.poller.take() {
-            stop.store(true, Ordering::Release);
+        if let Some((control, handle)) = self.poller.take() {
+            *control.stop.lock().expect("poll control poisoned") = true;
+            control.cv.notify_all();
             join_named_or_ignore_during_unwind(handle);
         }
     }
@@ -297,7 +668,19 @@ impl ClusterNode {
 
 impl Drop for ClusterNode {
     fn drop(&mut self) {
+        // Tick thread first (it can promote/demote), then the trainer:
+        // taking it out of the shared slot stops and joins it with
+        // drain-then-stop semantics. The lease is *not* released — drop
+        // is indistinguishable from a crash to the rest of the fleet, and
+        // failover must work for crashes; call [`ClusterNode::resign`]
+        // first for a clean handoff.
         self.stop_polling();
-        // The trainer (if any) stops and joins in its own Drop.
+        let taken = self
+            .shared
+            .trainer
+            .lock()
+            .expect("trainer slot poisoned")
+            .take();
+        drop(taken);
     }
 }

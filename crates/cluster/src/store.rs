@@ -20,6 +20,45 @@
 //! a copy truncated in transit) is caught by the frame's length+checksum
 //! header at [`CheckpointStore::load`] time and rejected with a clean
 //! error instead of being deserialized into garbage weights.
+//!
+//! # Leader lease and term fencing
+//!
+//! Which node is allowed to *write* is itself store state: a `LEADER`
+//! file (written with the same tmp/fsync/rename discipline as the
+//! manifest) holding `(holder, term, expires_at_ms)`. The leader renews
+//! it ahead of expiry; when the leader dies, the lease expires and any
+//! candidate follower claims it via [`CheckpointStore::try_acquire_lease`],
+//! which mints the next **term**. Publishes from a deposed leader are
+//! fenced: [`CheckpointStore::publish_fenced`] refuses to write under a
+//! term lower than the lease's current one. Even in the razor-thin race
+//! where a deposed leader's publish slips past the fence check, the
+//! fleet's generation history cannot fork: generation minting is
+//! serialized by the store (on [`FsCheckpointStore`] a per-handle op
+//! lock guards the monotonicity check + write; [`MemCheckpointStore`]
+//! holds its map lock across both), so exactly one publisher wins a
+//! generation and the loser gets a clean regression error instead of
+//! overwriting anything.
+//!
+//! Filesystem caveat: the op lock serializes lease claims and publishes
+//! only *within* a process (which covers fleets sharing one
+//! `Arc<FsCheckpointStore>` — the shipped deployment). Across processes,
+//! `try_acquire_lease` falls back to write-then-read-back confirmation,
+//! and a publish's check-then-write is unserialized — a true
+//! cross-process CAS would need `O_EXCL`/`link(2)` tricks. The backstops
+//! for that regime: rename atomicity keeps every *visible* file whole,
+//! and the frame checksum turns a genuinely simultaneous same-generation
+//! write into a detected, transient load failure (the next generation
+//! heals it) rather than silently divergent weights.
+//!
+//! # Retention
+//!
+//! Long-lived stores are bounded by [`CheckpointStore::retain`]: keep the
+//! manifest's generation plus its `keep_last − 1` newest predecessors,
+//! delete everything else — unreferenced `gen-*.ckpt` files *newer* than
+//! the manifest (litter from a publish that crashed between checkpoint
+//! rename and manifest rewrite) and stale `*.tmp` files included. The
+//! manifest's generation is never deleted, under any interleaving of
+//! publishes and GC runs.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -32,21 +71,89 @@ pub const MANIFEST_HEADER: &str = "neo-cluster-manifest v1";
 /// Filename of the manifest inside a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
 
+/// First line of a valid `LEADER` lease file.
+pub const LEASE_HEADER: &str = "neo-cluster-lease v1";
+
+/// Filename of the leader lease inside a store directory.
+pub const LEASE_NAME: &str = "LEADER";
+
+/// What the manifest names: the latest published generation and the term
+/// of the leader that minted it (0 for publishes outside the lease
+/// protocol, and for manifests written before terms existed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// The latest fully published generation.
+    pub generation: u64,
+    /// The lease term under which it was published.
+    pub term: u64,
+}
+
+/// The leader lease: who may publish, under which fenced term, and until
+/// when. Time is caller-supplied milliseconds (wall clock in production,
+/// a counter in tests), so expiry logic is deterministic under test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaderLease {
+    /// The holder's node name.
+    pub holder: String,
+    /// Monotonic fencing term: minted +1 on every takeover, stable across
+    /// renewals by the same holder.
+    pub term: u64,
+    /// Expiry instant, milliseconds (same clock the caller passes to
+    /// [`CheckpointStore::try_acquire_lease`]).
+    pub expires_at_ms: u64,
+}
+
+impl LeaderLease {
+    /// Whether the lease has expired at `now_ms` (an expired lease is
+    /// claimable by any candidate).
+    pub fn expired(&self, now_ms: u64) -> bool {
+        now_ms >= self.expires_at_ms
+    }
+}
+
 /// Where the fleet's model generations live. Implementations must be
-/// safe to share across nodes/threads; `publish` is only ever called by
-/// the fleet leader (single writer), `latest_generation`/`load` by
-/// everyone.
+/// safe to share across nodes/threads; `publish*` is only ever called by
+/// the current lease holder (single writer per term),
+/// `latest_generation`/`load` by everyone.
 pub trait CheckpointStore: Send + Sync {
     /// Durably publishes `framed` (a `neo::checkpoint` frame) as
-    /// generation `generation` and advances the manifest to it.
-    /// Generations must advance strictly monotonically; re-publishing an
-    /// old or current generation is an error (the leader is the only
-    /// minter of generation numbers).
-    fn publish(&self, generation: u64, framed: &[u8]) -> io::Result<()>;
+    /// generation `generation` minted under lease `term`, and advances
+    /// the manifest to it. Generations must advance strictly
+    /// monotonically; re-publishing an old or current generation is an
+    /// error (the store is the fleet's single serialized generation
+    /// minter).
+    fn publish_term(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()>;
+
+    /// [`Self::publish_term`] under term 0 — the pre-failover API, kept
+    /// for stores used outside the lease protocol.
+    fn publish(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
+        self.publish_term(generation, 0, framed)
+    }
+
+    /// A fenced publish: refused outright when the store's lease carries
+    /// a term greater than `term` — a deposed leader's late publish never
+    /// lands. (An expired-but-unclaimed lease does not fence its own
+    /// holder; only a successor's higher term does.) The shipped
+    /// implementations override this to hold their op lock across the
+    /// fence check *and* the publish, so a lease claim can never slip
+    /// between the two in-process; this default is the unserialized
+    /// fallback for third-party stores.
+    fn publish_fenced(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        if let Some(lease) = self.read_lease()? {
+            fence_check(generation, term, &lease)?;
+        }
+        self.publish_term(generation, term, framed)
+    }
+
+    /// The manifest (latest generation + minting term), `None` for an
+    /// empty (never-published) store.
+    fn manifest(&self) -> io::Result<Option<Manifest>>;
 
     /// The latest published generation per the manifest, `None` for an
-    /// empty (never-published) store.
-    fn latest_generation(&self) -> io::Result<Option<u64>>;
+    /// empty store.
+    fn latest_generation(&self) -> io::Result<Option<u64>> {
+        Ok(self.manifest()?.map(|m| m.generation))
+    }
 
     /// Loads the framed checkpoint of `generation`, verifying its
     /// integrity header. Torn, corrupt, or headerless bytes are rejected
@@ -61,6 +168,49 @@ pub trait CheckpointStore: Send + Sync {
             None => Ok(None),
         }
     }
+
+    /// The current leader lease, `None` when no lease was ever written
+    /// (an *expired* lease is still returned — expiry is the caller's
+    /// judgement via [`LeaderLease::expired`] with its own clock).
+    fn read_lease(&self) -> io::Result<Option<LeaderLease>>;
+
+    /// Claims or renews the leader lease at `now_ms` for `ttl_ms`:
+    ///
+    /// * a live lease held by `holder` → renewed (same term, extended
+    ///   expiry);
+    /// * no lease, or an expired one (any holder — an expired lease is a
+    ///   dead leadership, even one's own) → taken over, minting
+    ///   `term + 1`;
+    /// * a live lease held by someone else → `Ok(None)` (not an error;
+    ///   candidates simply retry next poll).
+    ///
+    /// Serialized by the store, so two candidates racing an expired lease
+    /// mint distinct terms and exactly one of them holds the result.
+    /// Terms never restart: every takeover continues the stored term
+    /// sequence, so a fenced publish can never be un-fenced.
+    fn try_acquire_lease(
+        &self,
+        holder: &str,
+        now_ms: u64,
+        ttl_ms: u64,
+    ) -> io::Result<Option<LeaderLease>>;
+
+    /// Releases the lease iff currently held by `holder` (clean handoff;
+    /// a crashed leader never calls this — its lease just expires). The
+    /// lease is *expired in place*, never deleted: the term sequence must
+    /// survive so the next claim still mints a fencing `term + 1`.
+    /// Returns whether a lease was released.
+    fn release_lease(&self, holder: &str) -> io::Result<bool>;
+
+    /// Retention GC: keeps the manifest's generation plus its
+    /// `keep_last − 1` newest predecessors (`keep_last` is clamped to
+    /// ≥ 1); deletes every other checkpoint — older history *and*
+    /// unreferenced generations newer than the manifest (litter from a
+    /// publish that crashed between checkpoint rename and manifest
+    /// rewrite) — plus any stale `*.tmp` files. The manifest-referenced
+    /// generation is never deleted. Returns the number of checkpoints
+    /// removed.
+    fn retain(&self, keep_last: usize) -> io::Result<usize>;
 }
 
 /// Verifies that `framed` is a complete, checksum-valid checkpoint frame.
@@ -76,6 +226,22 @@ fn verify_frame(framed: &[u8], context: &str) -> io::Result<()> {
     Ok(())
 }
 
+/// The term fence: a publish labeled `term` is refused when `lease`
+/// carries a newer one (the publisher was deposed).
+fn fence_check(generation: u64, term: u64, lease: &LeaderLease) -> io::Result<()> {
+    if lease.term > term {
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            format!(
+                "publish fenced: generation {generation} carries term {term} but the \
+                 lease is held by {:?} at term {} (this leader was deposed)",
+                lease.holder, lease.term
+            ),
+        ));
+    }
+    Ok(())
+}
+
 fn regression_error(generation: u64, latest: u64) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidInput,
@@ -86,23 +252,56 @@ fn regression_error(generation: u64, latest: u64) -> io::Error {
     )
 }
 
+/// Which generations survive a `retain(keep_last)` pass: the manifest's
+/// generation plus its `keep_last − 1` newest existing predecessors.
+/// Shared by both store impls so they agree byte-for-byte on policy.
+fn retained_set(existing: &[u64], manifest_generation: u64, keep_last: usize) -> Vec<u64> {
+    let keep_last = keep_last.max(1);
+    let mut keep: Vec<u64> = existing
+        .iter()
+        .copied()
+        .filter(|&g| g <= manifest_generation)
+        .collect();
+    keep.sort_unstable_by(|a, b| b.cmp(a));
+    keep.truncate(keep_last);
+    // The manifest generation is kept even if its file has gone missing
+    // from the listing (a corrupted store must not get worse under GC).
+    if !keep.contains(&manifest_generation) {
+        keep.push(manifest_generation);
+    }
+    keep
+}
+
 // ---------------------------------------------------------------------------
 // Filesystem implementation
 // ---------------------------------------------------------------------------
 
-/// A directory of `gen-N.ckpt` files plus a `MANIFEST`, published
-/// atomically (tmp + fsync + rename). Suitable for any shared filesystem
-/// visible to all nodes.
+/// A directory of `gen-N.ckpt` files plus a `MANIFEST` and a `LEADER`
+/// lease, all published atomically (tmp + fsync + rename). Suitable for
+/// any shared filesystem visible to all nodes.
 pub struct FsCheckpointStore {
     dir: PathBuf,
+    /// Serializes lease read-modify-write within this process (fleets
+    /// share one store handle, so in-process candidates never race).
+    op_lock: Mutex<()>,
 }
 
 impl FsCheckpointStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, sweeping any
+    /// stale `*.tmp` litter a crashed publisher left behind (a crash
+    /// between tmp write and rename orphans the tmp file forever —
+    /// nothing else ever reclaims it).
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(FsCheckpointStore { dir })
+        let store = FsCheckpointStore {
+            dir,
+            op_lock: Mutex::new(()),
+        };
+        // At open this process has no publish or lease renewal in flight,
+        // so a crashed writer's `LEADER.tmp` is reclaimable here too.
+        store.sweep_tmp_matching(|name| name.ends_with(".tmp"));
+        Ok(store)
     }
 
     /// The store's directory.
@@ -115,6 +314,67 @@ impl FsCheckpointStore {
         self.dir.join(format!("gen-{generation:06}.ckpt"))
     }
 
+    /// Parses `gen-NNNNNN.ckpt` into its generation number.
+    fn parse_generation(name: &str) -> Option<u64> {
+        name.strip_prefix("gen-")?
+            .strip_suffix(".ckpt")?
+            .parse()
+            .ok()
+    }
+
+    /// Every `gen-*.ckpt` generation currently on disk, unordered.
+    fn list_generations(&self) -> io::Result<Vec<u64>> {
+        let mut gens = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(g) = entry
+                .file_name()
+                .to_str()
+                .and_then(FsCheckpointStore::parse_generation)
+            {
+                gens.push(g);
+            }
+        }
+        Ok(gens)
+    }
+
+    /// Deletes stale **publish** tmp litter — `gen-*.ckpt.tmp` and
+    /// `MANIFEST.tmp` left behind by a publisher that crashed between
+    /// write and rename (nothing else ever reclaims them). Best-effort;
+    /// returns how many were removed.
+    ///
+    /// Deliberately *never* touches `LEADER.tmp`: the lease file is
+    /// written concurrently by the leader's tick thread (renewals), so
+    /// sweeping it here could unlink an in-flight renewal's tmp and fail
+    /// the rename. Publish tmps have no such writer: under the lease
+    /// discipline the caller *is* the only live publisher, and its own
+    /// publish is serialized by [`FsCheckpointStore`]'s op lock.
+    /// (A crashed lease write's `LEADER.tmp` is reclaimed by
+    /// [`FsCheckpointStore::open`] instead, where this process has no
+    /// renewal in flight; a concurrently *restarting* peer can in theory
+    /// unlink another process's in-flight tmp there — the writer's
+    /// rename then fails once, is counted, and retries next tick.)
+    pub fn sweep_stale_tmp(&self) -> usize {
+        self.sweep_tmp_matching(|name| {
+            name == "MANIFEST.tmp" || (name.starts_with("gen-") && name.ends_with(".ckpt.tmp"))
+        })
+    }
+
+    fn sweep_tmp_matching(&self, matches: impl Fn(&str) -> bool) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if matches(name) && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Best-effort directory fsync, so the renames themselves are durable
     /// (ignored on filesystems that reject directory handles).
     fn sync_dir(&self) {
@@ -124,8 +384,8 @@ impl FsCheckpointStore {
     }
 
     /// Writes `bytes` to `<name>.tmp`, fsyncs, and renames onto `name` —
-    /// the atomic-publish step used for both checkpoints and the
-    /// manifest.
+    /// the atomic-publish step used for checkpoints, the manifest, and
+    /// the lease.
     fn write_atomic(&self, name: &Path, bytes: &[u8]) -> io::Result<()> {
         let tmp = name.with_extension(match name.extension() {
             Some(e) => format!("{}.tmp", e.to_string_lossy()),
@@ -140,25 +400,63 @@ impl FsCheckpointStore {
         self.sync_dir();
         Ok(())
     }
-}
 
-impl CheckpointStore for FsCheckpointStore {
-    fn publish(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
+    fn write_lease(&self, lease: &LeaderLease) -> io::Result<()> {
+        let text = format!(
+            "{LEASE_HEADER}\nholder={}\nterm={}\nexpires_at_ms={}\n",
+            lease.holder, lease.term, lease.expires_at_ms
+        );
+        self.write_atomic(&self.dir.join(LEASE_NAME), text.as_bytes())
+    }
+
+    /// The publish body, op lock already held by the caller: the
+    /// monotonicity check and the write are one serialized step, so
+    /// in-process racing publishers are decided cleanly — exactly one
+    /// writes a given generation, the other gets the regression error.
+    fn publish_term_locked(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
         verify_frame(framed, "refusing to publish invalid checkpoint")?;
         if let Some(latest) = self.latest_generation()? {
             if generation <= latest {
                 return Err(regression_error(generation, latest));
             }
         }
+        // A crashed predecessor's half-written tmp files must not
+        // accumulate: sweep before adding our own.
+        self.sweep_stale_tmp();
         // Checkpoint first, manifest second: a crash between the two
         // leaves a reachable store whose manifest still names the previous
-        // (fully published) generation.
+        // (fully published) generation; the orphaned checkpoint is
+        // GC-eligible litter for the next `retain`.
         self.write_atomic(&self.checkpoint_path(generation), framed)?;
-        let manifest = format!("{MANIFEST_HEADER}\nlatest={generation}\n");
+        let manifest = format!("{MANIFEST_HEADER}\nlatest={generation}\nterm={term}\n");
         self.write_atomic(&self.dir.join(MANIFEST_NAME), manifest.as_bytes())
     }
+}
 
-    fn latest_generation(&self) -> io::Result<Option<u64>> {
+impl CheckpointStore for FsCheckpointStore {
+    fn publish_term(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        // In-process serialization lives in `publish_term_locked`; across
+        // processes the check is read-then-write (see the module docs) —
+        // the frame checksum bounds the damage of a truly simultaneous
+        // cross-process write to a transient, detected load failure.
+        let _serialize = self.op_lock.lock().expect("store op lock poisoned");
+        self.publish_term_locked(generation, term, framed)
+    }
+
+    fn publish_fenced(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        // Fence check and publish under ONE op-lock acquisition: a lease
+        // claim (which also takes the lock) can never land between the
+        // two, so an in-process deposed leader is always the one that
+        // loses — with the fence error, never by out-racing its
+        // successor's first publish.
+        let _serialize = self.op_lock.lock().expect("store op lock poisoned");
+        if let Some(lease) = self.read_lease()? {
+            fence_check(generation, term, &lease)?;
+        }
+        self.publish_term_locked(generation, term, framed)
+    }
+
+    fn manifest(&self) -> io::Result<Option<Manifest>> {
         let text = match std::fs::read_to_string(self.dir.join(MANIFEST_NAME)) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
@@ -171,17 +469,23 @@ impl CheckpointStore for FsCheckpointStore {
                 format!("malformed manifest: missing '{MANIFEST_HEADER}' header"),
             ));
         }
-        let latest = lines
-            .next()
-            .and_then(|l| l.strip_prefix("latest="))
-            .and_then(|v| v.parse::<u64>().ok())
-            .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "malformed manifest: missing 'latest=<generation>' line",
-                )
-            })?;
-        Ok(Some(latest))
+        let mut latest = None;
+        let mut term = 0;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("latest=") {
+                latest = v.parse::<u64>().ok();
+            } else if let Some(v) = line.strip_prefix("term=") {
+                // Absent in pre-failover manifests: term 0.
+                term = v.parse::<u64>().unwrap_or(0);
+            }
+        }
+        let generation = latest.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed manifest: missing 'latest=<generation>' line",
+            )
+        })?;
+        Ok(Some(Manifest { generation, term }))
     }
 
     fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
@@ -204,18 +508,142 @@ impl CheckpointStore for FsCheckpointStore {
         )?;
         Ok(bytes)
     }
+
+    fn read_lease(&self) -> io::Result<Option<LeaderLease>> {
+        let text = match std::fs::read_to_string(self.dir.join(LEASE_NAME)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(LEASE_HEADER) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed lease: missing '{LEASE_HEADER}' header"),
+            ));
+        }
+        let mut holder = None;
+        let mut term = None;
+        let mut expires = None;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("holder=") {
+                holder = Some(v.to_string());
+            } else if let Some(v) = line.strip_prefix("term=") {
+                term = v.parse::<u64>().ok();
+            } else if let Some(v) = line.strip_prefix("expires_at_ms=") {
+                expires = v.parse::<u64>().ok();
+            }
+        }
+        match (holder, term, expires) {
+            (Some(holder), Some(term), Some(expires_at_ms)) => Ok(Some(LeaderLease {
+                holder,
+                term,
+                expires_at_ms,
+            })),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed lease: need holder=, term=, expires_at_ms= lines",
+            )),
+        }
+    }
+
+    fn try_acquire_lease(
+        &self,
+        holder: &str,
+        now_ms: u64,
+        ttl_ms: u64,
+    ) -> io::Result<Option<LeaderLease>> {
+        let _serialize = self.op_lock.lock().expect("store op lock poisoned");
+        let current = self.read_lease()?;
+        let next = match &current {
+            Some(lease) if lease.holder == holder && !lease.expired(now_ms) => LeaderLease {
+                // Renewal: same term, extended expiry.
+                holder: holder.to_string(),
+                term: lease.term,
+                expires_at_ms: now_ms.saturating_add(ttl_ms),
+            },
+            Some(lease) if !lease.expired(now_ms) => return Ok(None),
+            _ => LeaderLease {
+                // Takeover (or first acquisition): mint the next term —
+                // an expired lease is a dead leadership even when the
+                // holder names match (a restarted ex-leader must fence
+                // its own previous stint's late publishes).
+                holder: holder.to_string(),
+                term: current.as_ref().map_or(0, |l| l.term) + 1,
+                expires_at_ms: now_ms.saturating_add(ttl_ms),
+            },
+        };
+        self.write_lease(&next)?;
+        // Cross-process confirmation: the in-process mutex cannot see a
+        // racing process, but renames are atomic, so reading our own
+        // write back confirms we were the last writer.
+        match self.read_lease()? {
+            Some(observed) if observed == next => Ok(Some(next)),
+            _ => Ok(None),
+        }
+    }
+
+    fn release_lease(&self, holder: &str) -> io::Result<bool> {
+        let _serialize = self.op_lock.lock().expect("store op lock poisoned");
+        match self.read_lease()? {
+            Some(lease) if lease.holder == holder => {
+                // Expire in place — the term sequence must survive.
+                self.write_lease(&LeaderLease {
+                    expires_at_ms: 0,
+                    ..lease
+                })?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn retain(&self, keep_last: usize) -> io::Result<usize> {
+        // Serialized with publishes: without the op lock, a GC racing a
+        // concurrent in-process publish could read the old manifest and
+        // then delete the just-renamed newer checkpoint as an "orphan".
+        let _serialize = self.op_lock.lock().expect("store op lock poisoned");
+        // Tmp litter is not a checkpoint; swept but not counted.
+        self.sweep_stale_tmp();
+        let Some(manifest) = self.manifest()? else {
+            return Ok(0);
+        };
+        let existing = self.list_generations()?;
+        let keep = retained_set(&existing, manifest.generation, keep_last);
+        let mut removed = 0;
+        for g in existing {
+            if !keep.contains(&g) && std::fs::remove_file(self.checkpoint_path(g)).is_ok() {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.sync_dir();
+        }
+        Ok(removed)
+    }
 }
 
 // ---------------------------------------------------------------------------
 // In-memory implementation
 // ---------------------------------------------------------------------------
 
-/// An in-process store (one `Mutex<BTreeMap>`), for tests and
-/// single-process fleets. Frames are verified with the same rules as the
-/// filesystem store so the two are interchangeable in tests.
+/// Everything a [`MemCheckpointStore`] holds, under one lock so every
+/// compound operation — fence check + publish, lease read-modify-write,
+/// manifest read + GC — is a single critical section, mirroring the
+/// filesystem store's op lock.
+#[derive(Default)]
+struct MemInner {
+    /// generation → (minting term, framed checkpoint).
+    generations: BTreeMap<u64, (u64, Vec<u8>)>,
+    lease: Option<LeaderLease>,
+}
+
+/// An in-process store (one mutex over generations + lease), for tests
+/// and single-process fleets. Frames are verified with the same rules as
+/// the filesystem store so the two are interchangeable in tests.
 #[derive(Default)]
 pub struct MemCheckpointStore {
-    generations: Mutex<BTreeMap<u64, Vec<u8>>>,
+    inner: Mutex<MemInner>,
 }
 
 impl MemCheckpointStore {
@@ -225,31 +653,57 @@ impl MemCheckpointStore {
     }
 }
 
-impl CheckpointStore for MemCheckpointStore {
-    fn publish(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
-        verify_frame(framed, "refusing to publish invalid checkpoint")?;
-        let mut map = self.generations.lock().expect("store poisoned");
-        if let Some((&latest, _)) = map.last_key_value() {
-            if generation <= latest {
-                return Err(regression_error(generation, latest));
-            }
+/// The publish body over an already-locked [`MemInner`].
+fn mem_publish_locked(
+    inner: &mut MemInner,
+    generation: u64,
+    term: u64,
+    framed: &[u8],
+) -> io::Result<()> {
+    verify_frame(framed, "refusing to publish invalid checkpoint")?;
+    if let Some((&latest, _)) = inner.generations.last_key_value() {
+        if generation <= latest {
+            return Err(regression_error(generation, latest));
         }
-        map.insert(generation, framed.to_vec());
-        Ok(())
+    }
+    inner
+        .generations
+        .insert(generation, (term, framed.to_vec()));
+    Ok(())
+}
+
+impl CheckpointStore for MemCheckpointStore {
+    fn publish_term(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        mem_publish_locked(&mut inner, generation, term, framed)
     }
 
-    fn latest_generation(&self) -> io::Result<Option<u64>> {
+    fn publish_fenced(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        // One critical section for fence check + publish: a lease claim
+        // cannot land between the two (see the Fs impl for the rationale).
+        let mut inner = self.inner.lock().expect("store poisoned");
+        if let Some(lease) = &inner.lease {
+            fence_check(generation, term, lease)?;
+        }
+        mem_publish_locked(&mut inner, generation, term, framed)
+    }
+
+    fn manifest(&self) -> io::Result<Option<Manifest>> {
         Ok(self
-            .generations
+            .inner
             .lock()
             .expect("store poisoned")
+            .generations
             .last_key_value()
-            .map(|(&g, _)| g))
+            .map(|(&g, &(term, _))| Manifest {
+                generation: g,
+                term,
+            }))
     }
 
     fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
-        let map = self.generations.lock().expect("store poisoned");
-        let bytes = map.get(&generation).ok_or_else(|| {
+        let inner = self.inner.lock().expect("store poisoned");
+        let (_, bytes) = inner.generations.get(&generation).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("generation {generation} not in store"),
@@ -257,6 +711,60 @@ impl CheckpointStore for MemCheckpointStore {
         })?;
         verify_frame(bytes, &format!("checkpoint for generation {generation}"))?;
         Ok(bytes.clone())
+    }
+
+    fn read_lease(&self) -> io::Result<Option<LeaderLease>> {
+        Ok(self.inner.lock().expect("store poisoned").lease.clone())
+    }
+
+    fn try_acquire_lease(
+        &self,
+        holder: &str,
+        now_ms: u64,
+        ttl_ms: u64,
+    ) -> io::Result<Option<LeaderLease>> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        let next = match &inner.lease {
+            Some(lease) if lease.holder == holder && !lease.expired(now_ms) => LeaderLease {
+                holder: holder.to_string(),
+                term: lease.term,
+                expires_at_ms: now_ms.saturating_add(ttl_ms),
+            },
+            Some(lease) if !lease.expired(now_ms) => return Ok(None),
+            current => LeaderLease {
+                holder: holder.to_string(),
+                term: current.as_ref().map_or(0, |l| l.term) + 1,
+                expires_at_ms: now_ms.saturating_add(ttl_ms),
+            },
+        };
+        inner.lease = Some(next.clone());
+        Ok(Some(next))
+    }
+
+    fn release_lease(&self, holder: &str) -> io::Result<bool> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        match &inner.lease {
+            Some(lease) if lease.holder == holder => {
+                inner.lease = Some(LeaderLease {
+                    expires_at_ms: 0,
+                    ..lease.clone()
+                });
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn retain(&self, keep_last: usize) -> io::Result<usize> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        let Some((&latest, _)) = inner.generations.last_key_value() else {
+            return Ok(0);
+        };
+        let existing: Vec<u64> = inner.generations.keys().copied().collect();
+        let keep = retained_set(&existing, latest, keep_last);
+        let before = inner.generations.len();
+        inner.generations.retain(|g, _| keep.contains(g));
+        Ok(before - inner.generations.len())
     }
 }
 
@@ -385,6 +893,24 @@ mod tests {
     }
 
     #[test]
+    fn pre_term_manifests_still_parse_as_term_zero() {
+        let tmp = TempDir::new("legacy-manifest");
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        std::fs::write(
+            tmp.path().join(MANIFEST_NAME),
+            format!("{MANIFEST_HEADER}\nlatest=7\n"),
+        )
+        .unwrap();
+        assert_eq!(
+            store.manifest().unwrap(),
+            Some(Manifest {
+                generation: 7,
+                term: 0
+            })
+        );
+    }
+
+    #[test]
     fn no_tmp_files_survive_a_publish() {
         let tmp = TempDir::new("tmpfiles");
         let store = FsCheckpointStore::open(tmp.path()).unwrap();
@@ -395,5 +921,110 @@ mod tests {
             .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn lease_acquire_renew_expire_takeover() {
+        let tmp = TempDir::new("lease");
+        for store in stores(&tmp) {
+            assert_eq!(store.read_lease().unwrap(), None);
+            // First acquisition mints term 1.
+            let lease = store.try_acquire_lease("a", 1000, 100).unwrap().unwrap();
+            assert_eq!((lease.term, lease.expires_at_ms), (1, 1100));
+            // A live lease blocks other candidates...
+            assert_eq!(store.try_acquire_lease("b", 1050, 100).unwrap(), None);
+            // ...but the incumbent renews at the same term.
+            let renewed = store.try_acquire_lease("a", 1050, 100).unwrap().unwrap();
+            assert_eq!((renewed.term, renewed.expires_at_ms), (1, 1150));
+            // Expiry makes it claimable; takeover mints the next term.
+            let stolen = store.try_acquire_lease("b", 1150, 100).unwrap().unwrap();
+            assert_eq!((stolen.holder.as_str(), stolen.term), ("b", 2));
+            // Release by a non-holder is a no-op; by the holder, the
+            // lease is expired in place — term preserved, never deleted.
+            assert!(!store.release_lease("a").unwrap());
+            assert!(store.release_lease("b").unwrap());
+            let released = store.read_lease().unwrap().unwrap();
+            assert_eq!((released.term, released.expires_at_ms), (2, 0));
+            // Terms never restart: the next claim (even by an old holder)
+            // mints the next term in the stored sequence, so fencing can
+            // never be undone by a release/expiry cycle.
+            let fresh = store.try_acquire_lease("b", 2000, 100).unwrap().unwrap();
+            assert_eq!(fresh.term, 3);
+        }
+    }
+
+    #[test]
+    fn deposed_leader_publish_is_fenced_by_term() {
+        let tmp = TempDir::new("fence");
+        for store in stores(&tmp) {
+            let old = store.try_acquire_lease("old", 0, 100).unwrap().unwrap();
+            store.publish_fenced(1, old.term, &framed(1)).unwrap();
+            // The old leader stalls; a successor takes the lease.
+            let new = store.try_acquire_lease("new", 200, 100).unwrap().unwrap();
+            assert!(new.term > old.term);
+            // The deposed leader's late publish is refused outright.
+            let err = store.publish_fenced(2, old.term, &framed(2)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::PermissionDenied, "{err}");
+            assert_eq!(store.latest_generation().unwrap(), Some(1));
+            // The successor publishes fine, and the manifest records its term.
+            store.publish_fenced(2, new.term, &framed(3)).unwrap();
+            assert_eq!(
+                store.manifest().unwrap(),
+                Some(Manifest {
+                    generation: 2,
+                    term: new.term
+                })
+            );
+            // An expired-but-unclaimed lease does not fence its own holder.
+            store.publish_fenced(3, new.term, &framed(4)).unwrap();
+        }
+    }
+
+    #[test]
+    fn retain_keeps_manifest_generation_plus_predecessors() {
+        let tmp = TempDir::new("retain");
+        for store in stores(&tmp) {
+            for g in 1..=6 {
+                store.publish(g, &framed(g as u8)).unwrap();
+            }
+            assert_eq!(store.retain(3).unwrap(), 3);
+            for g in 1..=3 {
+                assert_eq!(
+                    store.load(g).unwrap_err().kind(),
+                    io::ErrorKind::NotFound,
+                    "generation {g} should be collected"
+                );
+            }
+            for g in 4..=6 {
+                assert_eq!(store.load(g).unwrap(), framed(g as u8));
+            }
+            assert_eq!(store.latest_generation().unwrap(), Some(6));
+            // keep_last is clamped to 1: the manifest generation survives.
+            assert_eq!(store.retain(0).unwrap(), 2);
+            assert_eq!(store.load(6).unwrap(), framed(6));
+            // Idempotent once bounded.
+            assert_eq!(store.retain(1).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_litter() {
+        let tmp = TempDir::new("sweep");
+        {
+            let store = FsCheckpointStore::open(tmp.path()).unwrap();
+            store.publish(1, &framed(1)).unwrap();
+        }
+        // A publisher crashed between tmp write and rename.
+        std::fs::write(tmp.path().join("gen-000002.ckpt.tmp"), b"half a checkpoint").unwrap();
+        std::fs::write(tmp.path().join("MANIFEST.tmp"), b"half a manifest").unwrap();
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        let tmp_files: Vec<_> = std::fs::read_dir(tmp.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(tmp_files.is_empty(), "{tmp_files:?}");
+        // The real store state is untouched.
+        assert_eq!(store.load_latest().unwrap().unwrap().0, 1);
     }
 }

@@ -99,6 +99,7 @@ fn cluster_cfg(nodes: usize, seed: u64) -> ClusterConfig {
         replay: ReplayConfig::default(),
         poll_interval_ms: 5,
         auto_poll: false,
+        ..Default::default()
     }
 }
 
@@ -303,10 +304,10 @@ fn a_generation_the_store_rejects_never_goes_live() {
     // must keep every generation off the serving path.
     struct BrokenStore;
     impl CheckpointStore for BrokenStore {
-        fn publish(&self, _generation: u64, _framed: &[u8]) -> io::Result<()> {
+        fn publish_term(&self, _generation: u64, _term: u64, _framed: &[u8]) -> io::Result<()> {
             Err(io::Error::other("disk on fire"))
         }
-        fn latest_generation(&self) -> io::Result<Option<u64>> {
+        fn manifest(&self) -> io::Result<Option<neo_cluster::Manifest>> {
             Ok(None)
         }
         fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
@@ -314,6 +315,29 @@ fn a_generation_the_store_rejects_never_goes_live() {
                 io::ErrorKind::NotFound,
                 format!("generation {generation} not in store"),
             ))
+        }
+        fn read_lease(&self) -> io::Result<Option<neo_cluster::LeaderLease>> {
+            Ok(None)
+        }
+        fn try_acquire_lease(
+            &self,
+            holder: &str,
+            now_ms: u64,
+            ttl_ms: u64,
+        ) -> io::Result<Option<neo_cluster::LeaderLease>> {
+            // Leases work (the leader can be elected); only checkpoint
+            // durability is on fire.
+            Ok(Some(neo_cluster::LeaderLease {
+                holder: holder.into(),
+                term: 1,
+                expires_at_ms: now_ms.saturating_add(ttl_ms),
+            }))
+        }
+        fn release_lease(&self, _holder: &str) -> io::Result<bool> {
+            Ok(false)
+        }
+        fn retain(&self, _keep_last: usize) -> io::Result<usize> {
+            Ok(0)
         }
     }
 
@@ -334,6 +358,287 @@ fn a_generation_the_store_rejects_never_goes_live() {
     assert_eq!(cluster.leader().generation(), 0, "vetoed generation served");
     assert_eq!(cluster.leader().trainer().persist_failures(), 1);
     assert!(cluster.leader().trainer().latest_checkpoint().is_none());
+}
+
+#[test]
+fn follower_promotes_when_the_leader_dies_and_history_does_not_fork() {
+    let fx = fixture(29);
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemCheckpointStore::new());
+    let mut cluster = Cluster::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        store,
+        ClusterConfig {
+            auto_poll: true,
+            failover: true,
+            lease_ttl_ms: 100,
+            ..cluster_cfg(3, 29)
+        },
+    )
+    .unwrap();
+    assert_eq!(cluster.leader_index(), Some(0));
+    let old_term = cluster.leader().term();
+    assert_eq!(old_term, 1, "constructed leader holds term 1");
+
+    // Close the loop once under the original leader.
+    let mut oracle = CardinalityOracle::new();
+    for node in 0..cluster.len() {
+        serve_and_report(&cluster, node, &fx, &mut oracle);
+    }
+    cluster.leader().trainer().request_generation();
+    assert!(cluster.leader().trainer().wait_for_generation(1, WAIT));
+    assert!(cluster.wait_converged(1, WAIT));
+
+    // Kill the leader like a crash: no resign, the lease just expires.
+    cluster.kill_node(0);
+    let generation_at_kill = cluster.store().latest_generation().unwrap().unwrap();
+    let promoted = cluster
+        .wait_for_leader(WAIT)
+        .expect("no candidate promoted");
+    let successor = cluster.node(promoted);
+    assert!(
+        successor.term() > old_term,
+        "successor must fence the dead leader"
+    );
+    assert!(successor.promotions() >= 1);
+    let new_term = successor.term();
+
+    // The successor keeps the fleet learning over the same merged sink.
+    for node in 0..cluster.len() {
+        serve_and_report(&cluster, node, &fx, &mut oracle);
+    }
+    cluster.node(promoted).trainer().request_generation();
+    assert!(
+        cluster
+            .node(promoted)
+            .trainer()
+            .wait_for_generation(1, WAIT),
+        "successor never trained"
+    );
+    let post = cluster.store().latest_generation().unwrap().unwrap();
+    assert!(post > generation_at_kill, "history did not advance");
+    assert!(cluster.wait_converged(post, WAIT));
+    // No fork: every survivor on the successor's generation and term,
+    // byte-identical plans.
+    for i in 0..cluster.len() {
+        assert_eq!(
+            (cluster.node(i).generation(), cluster.node(i).served_term()),
+            (post, new_term),
+            "node {i} diverged"
+        );
+    }
+    let plans = plans_per_node(&cluster, &fx);
+    for (i, node_plans) in plans.iter().enumerate().skip(1) {
+        assert_eq!(node_plans, &plans[0], "node {i} disagrees after failover");
+    }
+}
+
+#[test]
+fn resigned_leader_demotes_and_rejoins_as_a_follower() {
+    let fx = fixture(31);
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemCheckpointStore::new());
+    let mut cluster = Cluster::new(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        store,
+        ClusterConfig {
+            auto_poll: true,
+            failover: true,
+            lease_ttl_ms: 200,
+            ..cluster_cfg(2, 31)
+        },
+    )
+    .unwrap();
+    let mut oracle = CardinalityOracle::new();
+    for node in 0..cluster.len() {
+        serve_and_report(&cluster, node, &fx, &mut oracle);
+    }
+    cluster.leader().trainer().request_generation();
+    assert!(cluster.leader().trainer().wait_for_generation(1, WAIT));
+    assert!(cluster.wait_converged(1, WAIT));
+
+    // Clean handoff: the lease is released and demotion is immediate;
+    // whichever candidate's tick fires first (the ex-leader included —
+    // every node is a candidate) claims the next term.
+    assert!(cluster.node_mut(0).resign().unwrap());
+    let promoted = cluster
+        .wait_for_leader(WAIT)
+        .expect("no candidate took over");
+    let new_term = cluster.node(promoted).term();
+    assert_eq!(new_term, 2, "a released lease still mints the next term");
+
+    // The loop keeps closing under the new term, and nobody — the
+    // ex-leader included — is left behind the store's history.
+    for node in 0..cluster.len() {
+        serve_and_report(&cluster, node, &fx, &mut oracle);
+    }
+    cluster.node(promoted).trainer().request_generation();
+    assert!(cluster
+        .node(promoted)
+        .trainer()
+        .wait_for_generation(1, WAIT));
+    let post = cluster.store().latest_generation().unwrap().unwrap();
+    assert!(
+        post >= 2,
+        "the successor's generation continues the history"
+    );
+    assert!(
+        cluster.wait_converged(post, WAIT),
+        "a node fell behind the store"
+    );
+    for i in 0..cluster.len() {
+        assert_eq!(cluster.node(i).generation(), post, "node {i} behind");
+        assert_eq!(cluster.node(i).served_term(), new_term, "node {i} term");
+    }
+}
+
+#[test]
+fn deposed_leaders_late_publish_is_fenced_and_it_adopts_the_successor() {
+    use neo_cluster::{ClusterNode, NodeConfig};
+    use neo_learn::ExperienceSink;
+
+    let fx = fixture(37);
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemCheckpointStore::new());
+    let node_cfg = |name: &str| NodeConfig {
+        name: name.into(),
+        serve: ServeConfig {
+            workers: 2,
+            use_seeds: false,
+            search_base_expansions: 12,
+            ..Default::default()
+        },
+        poll_interval_ms: 5,
+        auto_poll: false, // manual control: node A must NOT renew its lease
+        lease_ttl_ms: 50,
+        failover: false,
+        retain_generations: None,
+    };
+    let trainer_cfg = TrainerConfig {
+        epochs_per_generation: 3,
+        seed: 37,
+        ..Default::default()
+    };
+    let node_a = ClusterNode::leader(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        node_cfg("node-a"),
+        trainer_cfg.clone(),
+        ReplayConfig::default(),
+        Arc::clone(&store),
+        Arc::new(ExperienceSink::default()),
+    )
+    .unwrap();
+    assert_eq!(node_a.term(), 1);
+
+    // A second leader while the first's lease is live is refused...
+    let refused = ClusterNode::leader(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        node_cfg("node-b"),
+        trainer_cfg.clone(),
+        ReplayConfig::default(),
+        Arc::clone(&store),
+        Arc::new(ExperienceSink::default()),
+    );
+    let refused = match refused {
+        Ok(_) => panic!("a second leader was accepted over a live lease"),
+        Err(e) => e,
+    };
+    assert_eq!(refused.kind(), io::ErrorKind::WouldBlock);
+
+    // ...but once node A stalls past its TTL (it never renews: no
+    // poller), a successor claims the next term over the same store.
+    std::thread::sleep(Duration::from_millis(80));
+    let node_b = ClusterNode::leader(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        node_cfg("node-b"),
+        trainer_cfg,
+        ReplayConfig::default(),
+        Arc::clone(&store),
+        Arc::new(ExperienceSink::default()),
+    )
+    .unwrap();
+    assert_eq!(node_b.term(), 2);
+
+    // The deposed node A wakes up and tries to publish: the term fences
+    // it — the generation is vetoed, never served, nothing in the store.
+    let profile = Engine::PostgresLike.profile();
+    let mut oracle = CardinalityOracle::new();
+    let svc = node_a.service();
+    let outcomes = svc.optimize_stream(&fx.queries);
+    for (q, o) in fx.queries.iter().zip(&outcomes) {
+        let latency = true_latency(&fx.db, q, &profile, &mut oracle, &o.plan);
+        svc.report_outcome(q, o, latency);
+    }
+    node_a.trainer().request_generation();
+    assert!(node_a.trainer().wait_for_generation(1, WAIT));
+    assert_eq!(node_a.trainer().persist_failures(), 1, "publish not fenced");
+    assert_eq!(node_a.generation(), 0, "fenced generation went live");
+    assert_eq!(store.latest_generation().unwrap(), None);
+
+    // The successor trains and publishes under its term; the deposed node
+    // adopts it through an ordinary sync — one history, no fork.
+    let svc_b = node_b.service();
+    let outcomes = svc_b.optimize_stream(&fx.queries);
+    for (q, o) in fx.queries.iter().zip(&outcomes) {
+        let latency = true_latency(&fx.db, q, &profile, &mut oracle, &o.plan);
+        svc_b.report_outcome(q, o, latency);
+    }
+    node_b.trainer().request_generation();
+    assert!(node_b.trainer().wait_for_generation(1, WAIT));
+    assert_eq!(node_b.generation(), 1);
+    assert_eq!(node_a.sync().unwrap(), Some(1));
+    assert_eq!(node_a.served_term(), 2);
+}
+
+#[test]
+fn dropping_a_node_does_not_stall_on_the_poll_interval() {
+    use neo_cluster::{ClusterNode, NodeConfig};
+    use neo_learn::ExperienceSink;
+    use std::time::Instant;
+
+    let fx = fixture(41);
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemCheckpointStore::new());
+    let sink = Arc::new(ExperienceSink::default());
+    // A pathological interval: with the old bare sleep, construction's
+    // first sync could lag a full period and drop would stall for it.
+    let mut follower = ClusterNode::candidate(
+        Arc::clone(&fx.db),
+        Arc::clone(&fx.featurizer),
+        Arc::clone(&fx.net),
+        NodeConfig {
+            name: "slow-poll".into(),
+            serve: ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            poll_interval_ms: 60_000,
+            auto_poll: false,
+            ..Default::default()
+        },
+        TrainerConfig::default(),
+        ReplayConfig::default(),
+        Arc::clone(&store),
+        sink,
+    )
+    .unwrap();
+    follower.start_polling();
+    // The eager pre-wait tick means a generation published after
+    // construction is adopted without waiting out the interval... for
+    // that we'd need a leader; here we just verify drop is prompt.
+    let start = Instant::now();
+    drop(follower);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "drop stalled {elapsed:?} on a 60 s poll interval"
+    );
 }
 
 #[test]

@@ -67,6 +67,12 @@ pub struct TrainerConfig {
     pub auto: bool,
     /// Master seed for the per-generation minibatch shuffles.
     pub seed: u64,
+    /// The leadership term this trainer publishes under (recorded in the
+    /// service's model slot; 0 outside any lease protocol). The cluster
+    /// spawns one trainer per held term — a promoted follower's trainer
+    /// carries the term it won the lease with, and its store observer
+    /// fences publishes with the same number.
+    pub term: u64,
     /// When set, every generation's checkpoint is also written to
     /// `<dir>/gen-<N>.ckpt` (the latest checkpoint is always retrievable
     /// in-memory via [`BackgroundTrainer::latest_checkpoint`]).
@@ -83,6 +89,7 @@ impl Default for TrainerConfig {
             poll_interval_ms: 20,
             auto: false,
             seed: 42,
+            term: 0,
             checkpoint_dir: None,
         }
     }
@@ -91,10 +98,17 @@ impl Default for TrainerConfig {
 /// What one background generation did.
 #[derive(Clone, Debug)]
 pub struct GenerationStats {
-    /// The model generation this retrain published (matches
-    /// [`OptimizerService::model_generation`] right after the swap); 0 is
-    /// never used (generation 0 is the construction-time model).
+    /// The model generation this retrain minted (matches
+    /// [`OptimizerService::model_generation`] right after the swap when
+    /// `swapped` is true); 0 is never used (generation 0 is the
+    /// construction-time model).
     pub model_generation: u64,
+    /// Whether this trainer's own publish advanced the serving slot.
+    /// `false` means another publisher got to `model_generation` (or
+    /// past it) first: benign when that was a store poller adopting the
+    /// identical persisted bytes, a dropped model when a divergent
+    /// concurrent publisher raced the trainer.
+    pub swapped: bool,
     /// Observations drained from the sink this generation.
     pub drained: usize,
     /// Distinct queries in the training snapshot.
@@ -117,7 +131,11 @@ struct TrainerState {
     completed: u64,
     stopping: bool,
     history: Vec<GenerationStats>,
-    latest_checkpoint: Option<Vec<u8>>,
+    /// The most recently *persisted* generation: `(generation, framed
+    /// checkpoint)`, recorded after the observer accepts it and **before**
+    /// the local swap — the drain-then-stop reconciliation in
+    /// [`BackgroundTrainer::stop`] keys on it.
+    latest_checkpoint: Option<(u64, Vec<u8>)>,
     persist_failures: u64,
 }
 
@@ -240,6 +258,15 @@ impl BackgroundTrainer {
     /// ([`neo::checkpoint`] header wrapping the [`neo::ValueNet::save`]
     /// stream), if any generation has run.
     pub fn latest_checkpoint(&self) -> Option<Vec<u8>> {
+        self.latest_persisted().map(|(_, bytes)| bytes)
+    }
+
+    /// The most recently persisted `(generation, framed checkpoint)` pair
+    /// — recorded after the [`GenerationObserver`] accepted the
+    /// generation and before the serving swap, so during the swap window
+    /// it can run ahead of [`OptimizerService::model_generation`] by one.
+    /// [`Self::stop`] reconciles the two before joining.
+    pub fn latest_persisted(&self) -> Option<(u64, Vec<u8>)> {
         self.shared
             .state
             .lock()
@@ -271,10 +298,15 @@ impl BackgroundTrainer {
         net.load(&mut decoded.payload())
     }
 
-    /// Signals the thread to stop and joins it (idempotent; also runs on
-    /// drop). A trainer thread that panicked re-panics here with its
-    /// thread name and message (unless this stop is itself part of an
-    /// unwind).
+    /// Signals the thread to stop, joins it, and **drains**: if the last
+    /// generation the observer persisted never made it into the serving
+    /// slot (the shutdown raced the window between checkpoint persistence
+    /// and the local swap), it is adopted now — so a stopped ex-leader is
+    /// never left one generation behind its own store. A checkpoint that
+    /// fails to decode is vetoed (left unadopted) rather than loaded as
+    /// garbage. Idempotent; also runs on drop. A trainer thread that
+    /// panicked re-panics here with its thread name and message (unless
+    /// this stop is itself part of an unwind).
     pub fn stop(&mut self) {
         {
             let mut st = self.shared.state.lock().expect("trainer state poisoned");
@@ -283,6 +315,40 @@ impl BackgroundTrainer {
         }
         if let Some(h) = self.handle.take() {
             neo_serve::join_named_or_ignore_during_unwind(h);
+            self.drain_persisted();
+        }
+    }
+
+    /// The drain half of drain-then-stop: adopt (or veto) the last
+    /// persisted generation if the serving slot is still behind it.
+    fn drain_persisted(&self) {
+        let Some((generation, framed)) = self.latest_persisted() else {
+            return;
+        };
+        if generation <= self.shared.service.model_generation() {
+            return;
+        }
+        let adopt = || -> std::io::Result<Arc<ValueNet>> {
+            let decoded = checkpoint::decode(&framed)?;
+            let mut net = (*self.shared.service.model()).clone();
+            net.load(&mut decoded.payload())?;
+            Ok(Arc::new(net))
+        };
+        match adopt() {
+            Ok(net) => {
+                self.shared
+                    .service
+                    .publish_model_from(net, generation, self.shared.cfg.term);
+            }
+            Err(e) => {
+                // Veto: a checkpoint that no longer decodes must not go
+                // live; the node stays on its current generation (a
+                // cluster node re-syncs it from the store instead).
+                eprintln!(
+                    "neo-learn: drain-then-stop could not adopt persisted generation \
+                     {generation}: {e}"
+                );
+            }
         }
     }
 }
@@ -405,17 +471,42 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
         }
     }
 
-    let swap_start = Instant::now();
-    let model_generation = shared.service.publish_model(Arc::new(net));
-    let swap_us = swap_start.elapsed().as_secs_f64() * 1e6;
-
+    // Persisted-before-served bookkeeping *between* the observer ack and
+    // the swap: whatever happens from here on (including a shutdown), the
+    // drain in `stop` can see that this generation exists durably and
+    // reconcile the serving slot with it.
     {
         let mut st = shared.state.lock().expect("trainer state poisoned");
-        st.latest_checkpoint = Some(framed);
+        st.latest_checkpoint = Some((upcoming_generation, framed));
+    }
+
+    // The publish is pinned to the generation number the checkpoint was
+    // persisted under (not a local counter bump): if another publisher —
+    // a store poller adopting this very generation first — already
+    // advanced the slot, the swap is a monotonic no-op over identical
+    // bytes, never a forked renumbering.
+    let swap_start = Instant::now();
+    let swapped =
+        shared
+            .service
+            .publish_model_from(Arc::new(net), upcoming_generation, shared.cfg.term);
+    let swap_us = swap_start.elapsed().as_secs_f64() * 1e6;
+    if !swapped {
+        // Benign when a store poller adopted this very generation first
+        // (identical bytes); a *divergent* concurrent publisher (e.g. a
+        // manual `publish_model` racing the trainer) means the trained
+        // weights were dropped — say so instead of silently reporting
+        // them live.
+        eprintln!(
+            "neo-learn: generation {upcoming_generation} lost the swap race (slot already \
+             at {}); the trained weights serve only if the winner carried the same bytes",
+            shared.service.model_generation()
+        );
     }
 
     Some(GenerationStats {
-        model_generation,
+        model_generation: upcoming_generation,
+        swapped,
         drained,
         queries: queries.len(),
         samples: samples.len(),

@@ -3,10 +3,12 @@
 
 use neo::{Featurization, Featurizer, NetConfig, ValueNet};
 use neo_engine::{true_latency, CardinalityOracle, Engine};
-use neo_learn::{BackgroundTrainer, ExperienceSink, ReplayConfig, TrainerConfig};
+use neo_learn::{
+    BackgroundTrainer, ExperienceSink, GenerationObserver, ReplayConfig, TrainerConfig,
+};
 use neo_query::{workload::job, PartialPlan, Query};
 use neo_serve::{OptimizerService, ServeConfig};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const WAIT: Duration = Duration::from_secs(120);
@@ -212,6 +214,69 @@ fn checkpoint_roundtrip_restores_identical_predictions() {
     // On-disk checkpoint: the same bytes landed in the checkpoint dir.
     let disk = std::fs::read(ckpt_dir.join("gen-000001.ckpt")).expect("checkpoint file written");
     assert_eq!(disk, bytes);
+}
+
+/// Drain-then-stop (ISSUE 5): a stopped trainer must never leave the
+/// service behind its own persisted history — every generation an
+/// observer durably accepted is served (or explicitly vetoed) before the
+/// join returns, even when the stop races an in-flight generation.
+#[test]
+fn stop_never_leaves_the_service_behind_the_last_persisted_generation() {
+    struct CountingObserver {
+        persisted: Mutex<Vec<u64>>,
+    }
+    impl GenerationObserver for CountingObserver {
+        fn on_checkpoint(&self, generation: u64, _framed: &[u8]) -> std::io::Result<()> {
+            self.persisted
+                .lock()
+                .expect("observer poisoned")
+                .push(generation);
+            Ok(())
+        }
+    }
+
+    let fx = fixture(21, 2);
+    let observer = Arc::new(CountingObserver {
+        persisted: Mutex::new(Vec::new()),
+    });
+    let mut trainer = BackgroundTrainer::spawn_with_observer(
+        Arc::clone(&fx.service),
+        Arc::clone(&fx.sink),
+        ReplayConfig::default(),
+        TrainerConfig {
+            epochs_per_generation: 2,
+            auto: true,
+            min_new_records: 1,
+            poll_interval_ms: 1,
+            seed: 21,
+            ..Default::default()
+        },
+        Some(Arc::clone(&observer) as _),
+    );
+    let mut oracle = CardinalityOracle::new();
+    for _ in 0..3 {
+        serve_and_execute(&fx, &mut oracle);
+    }
+    // Stop while the auto trainer may be anywhere in a generation —
+    // including the window between checkpoint persistence and the local
+    // swap, which the drain must reconcile before the join returns.
+    trainer.stop();
+
+    let persisted = observer.persisted.lock().unwrap().clone();
+    assert!(!persisted.is_empty(), "auto trainer never ran a generation");
+    let (last_gen, bytes) = trainer
+        .latest_persisted()
+        .expect("persisted generations must be recorded");
+    assert_eq!(Some(&last_gen), persisted.last());
+    assert_eq!(
+        last_gen,
+        fx.service.model_generation(),
+        "service left behind its own persisted history after stop"
+    );
+    assert_eq!(trainer.latest_checkpoint().unwrap(), bytes);
+    // Persisted generations are contiguous under a single publisher, so
+    // the served generation equals the persist count.
+    assert_eq!(fx.service.model_generation(), persisted.len() as u64);
 }
 
 #[test]

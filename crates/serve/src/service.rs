@@ -325,20 +325,31 @@ impl OptimizerService {
         generation
     }
 
-    /// Adopts an externally trained model *as* `generation` — the cluster
-    /// follower's swap hook, where generations are minted by the fleet
-    /// leader and read from the shared checkpoint store rather than counted
-    /// locally. Same swap-then-bump ordering and seed-demotion semantics as
-    /// [`Self::publish_model`]; a restarted node recovering from the store
-    /// goes through exactly this path. Returns `false` (and does nothing,
-    /// not even the epoch bump) when `generation` does not advance the
-    /// slot, so re-delivered or stale checkpoints are no-ops.
-    pub fn publish_model_as(&self, net: Arc<ValueNet>, generation: u64) -> bool {
-        if !self.shared.model.publish_as(net, generation) {
+    /// Adopts an externally trained model *as* `generation` minted under
+    /// leadership `term` — the cluster swap hook, where generations (and
+    /// the term labeling which leader's trainer produced them, see
+    /// [`Self::model_term`]) come from the shared checkpoint store rather
+    /// than a local counter: a follower's manifest sync, a restarted
+    /// node's warm recovery, and the leader's own generation-pinned
+    /// publish all go through this path. Same swap-then-bump ordering and
+    /// seed-demotion semantics as [`Self::publish_model`]. Returns
+    /// `false` (and does nothing, not even the epoch bump) when
+    /// `generation` does not advance the slot, so re-delivered or stale
+    /// checkpoints are no-ops — advancement is decided by the generation
+    /// alone, never the term.
+    pub fn publish_model_from(&self, net: Arc<ValueNet>, generation: u64, term: u64) -> bool {
+        if !self.shared.model.publish_at(net, generation, term) {
             return false;
         }
         self.shared.cache.advance_epoch();
         true
+    }
+
+    /// The leadership term that minted the served generation (0 when the
+    /// model was published outside any lease protocol) — provenance for
+    /// cluster diagnostics; see [`Self::publish_model_from`].
+    pub fn model_term(&self) -> u64 {
+        self.shared.model.term()
     }
 
     /// Signals that the value network was refined in place elsewhere (no

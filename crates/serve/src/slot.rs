@@ -16,18 +16,34 @@
 use neo::ValueNet;
 use std::sync::{Arc, RwLock};
 
-/// A shared, swappable slot holding the currently served model and its
+/// A shared, swappable slot holding the currently served model, its
 /// monotonically increasing generation number (0 = the model the service
-/// was built with).
+/// was built with), and the leadership **term** that minted the
+/// generation (0 = outside any lease protocol). The term is provenance,
+/// not ordering: slot advancement is decided by the generation alone,
+/// while the term labels *which* leader's trainer produced the served
+/// weights — the witness cluster diagnostics and the failover bench use
+/// to prove the fleet followed one unforked history.
+struct SlotState {
+    net: Arc<ValueNet>,
+    generation: u64,
+    term: u64,
+}
+
+/// See [`SlotState`]: `(model, generation, term)` under one `RwLock`.
 pub struct ModelSlot {
-    inner: RwLock<(Arc<ValueNet>, u64)>,
+    inner: RwLock<SlotState>,
 }
 
 impl ModelSlot {
-    /// Wraps the initial model as generation 0.
+    /// Wraps the initial model as generation 0, term 0.
     pub fn new(net: Arc<ValueNet>) -> Self {
         ModelSlot {
-            inner: RwLock::new((net, 0)),
+            inner: RwLock::new(SlotState {
+                net,
+                generation: 0,
+                term: 0,
+            }),
         }
     }
 
@@ -35,39 +51,50 @@ impl ModelSlot {
     /// Callers keep the returned `Arc` for the duration of a search.
     pub fn load(&self) -> (Arc<ValueNet>, u64) {
         let guard = self.inner.read().expect("model slot poisoned");
-        (Arc::clone(&guard.0), guard.1)
+        (Arc::clone(&guard.net), guard.generation)
     }
 
-    /// Atomically replaces the served model, bumping the generation.
-    /// Returns the new generation. In-flight searches keep the `Arc` they
-    /// loaded; the old network is freed when the last of them finishes.
+    /// Atomically replaces the served model, bumping the generation (the
+    /// term is left as-is: a locally counted publish is the incumbent
+    /// continuing its own history). Returns the new generation. In-flight
+    /// searches keep the `Arc` they loaded; the old network is freed when
+    /// the last of them finishes.
     pub fn publish(&self, net: Arc<ValueNet>) -> u64 {
         let mut guard = self.inner.write().expect("model slot poisoned");
-        guard.0 = net;
-        guard.1 += 1;
-        guard.1
+        guard.net = net;
+        guard.generation += 1;
+        guard.generation
     }
 
-    /// Installs `net` *as* an externally assigned generation — the cluster
-    /// follower path, where generation numbers are minted by the leader and
-    /// read back from the checkpoint store, not counted locally. Succeeds
-    /// only when `generation` advances the slot (strictly greater than the
-    /// current one), so a stale manifest read or a re-delivered checkpoint
-    /// can never roll a node backwards; returns whether the install
-    /// happened.
-    pub fn publish_as(&self, net: Arc<ValueNet>, generation: u64) -> bool {
+    /// Installs `net` *as* an externally assigned generation minted under
+    /// `term` — the cluster path, where generation numbers come from the
+    /// shared checkpoint store (a follower's manifest sync, or the local
+    /// leader's own fenced publish) rather than a local counter. Succeeds
+    /// only when `generation` advances the slot (strictly greater than
+    /// the current one), so a stale manifest read or a re-delivered
+    /// checkpoint can never roll a node backwards — regardless of term,
+    /// which is recorded as provenance, not consulted for ordering.
+    /// Returns whether the install happened.
+    pub fn publish_at(&self, net: Arc<ValueNet>, generation: u64, term: u64) -> bool {
         let mut guard = self.inner.write().expect("model slot poisoned");
-        if generation <= guard.1 {
+        if generation <= guard.generation {
             return false;
         }
-        guard.0 = net;
-        guard.1 = generation;
+        guard.net = net;
+        guard.generation = generation;
+        guard.term = term;
         true
     }
 
     /// The current generation without loading the model.
     pub fn generation(&self) -> u64 {
-        self.inner.read().expect("model slot poisoned").1
+        self.inner.read().expect("model slot poisoned").generation
+    }
+
+    /// The leadership term that minted the served generation (0 when the
+    /// model was published outside any lease protocol).
+    pub fn term(&self) -> u64 {
+        self.inner.read().expect("model slot poisoned").term
     }
 }
 
@@ -147,21 +174,44 @@ mod tests {
     }
 
     #[test]
-    fn publish_as_adopts_external_generations_monotonically() {
+    fn publish_at_adopts_external_generations_monotonically() {
         let a = tiny_net(1);
         let b = tiny_net(2);
         let c = tiny_net(3);
         let slot = ModelSlot::new(a);
         // A follower adopting the leader's generation 5 from the store.
-        assert!(slot.publish_as(Arc::clone(&b), 5));
+        assert!(slot.publish_at(Arc::clone(&b), 5, 1));
         assert_eq!(slot.generation(), 5);
         assert!(Arc::ptr_eq(&slot.load().0, &b));
         // Stale or replayed generations never roll the node backwards.
-        assert!(!slot.publish_as(Arc::clone(&c), 5));
-        assert!(!slot.publish_as(Arc::clone(&c), 3));
+        assert!(!slot.publish_at(Arc::clone(&c), 5, 1));
+        assert!(!slot.publish_at(Arc::clone(&c), 3, 1));
         assert_eq!(slot.generation(), 5);
         assert!(Arc::ptr_eq(&slot.load().0, &b));
         // A locally counted publish continues from the adopted number.
         assert_eq!(slot.publish(c), 6);
+    }
+
+    #[test]
+    fn publish_at_records_the_minting_term() {
+        let a = tiny_net(1);
+        let b = tiny_net(2);
+        let c = tiny_net(3);
+        let slot = ModelSlot::new(a);
+        assert_eq!(slot.term(), 0);
+        // A follower adopting generation 3 minted under term 2.
+        assert!(slot.publish_at(Arc::clone(&b), 3, 2));
+        assert_eq!((slot.generation(), slot.term()), (3, 2));
+        // Advancement is generation-monotonic regardless of term: a
+        // higher term cannot re-deliver an old generation...
+        assert!(!slot.publish_at(Arc::clone(&c), 3, 9));
+        assert_eq!((slot.generation(), slot.term()), (3, 2));
+        // ...and a failed-over successor's next generation lands with its
+        // new term.
+        assert!(slot.publish_at(Arc::clone(&c), 4, 3));
+        assert_eq!((slot.generation(), slot.term()), (4, 3));
+        // A term-less local publish keeps the recorded term.
+        assert_eq!(slot.publish(c), 5);
+        assert_eq!(slot.term(), 3);
     }
 }
