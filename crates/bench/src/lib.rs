@@ -18,7 +18,9 @@ pub mod harness;
 pub mod learn_bench;
 pub mod serve_bench;
 
-pub use cluster_bench::{run_cluster_bench, ClusterBenchConfig, ClusterBenchReport};
+pub use cluster_bench::{
+    run_chaos_bench, run_cluster_bench, ChaosPoint, ClusterBenchConfig, ClusterBenchReport,
+};
 pub use harness::{
     build_db, build_workload, run_learning, split_workload, CurvePoint, Preset, RunRecord,
     WorkloadKind,

@@ -34,6 +34,13 @@
 //!                      no generation fork, bounded store retention;
 //!                      --nodes N caps the fleet sizes, --workers W sets
 //!                      workers per node, --smoke for the CI preset)
+//!   cluster-bench chaos  fleet soak under seeded fault injection ->
+//!                      BENCH_cluster_chaos.json (transient store faults,
+//!                      torn reads, crash litter, then a full outage:
+//!                      asserts no history fork, no corrupt adoption, no
+//!                      lost generation, degraded-leader resign before
+//!                      lease lapse, full recovery; --fault-rate R and
+//!                      --chaos-seed S tune the schedule)
 //!   all               every figure/table experiment above, in order
 //!                     (the bench-* / *-bench commands run separately:
 //!                      they write JSON reports and assert their own
@@ -217,6 +224,79 @@ fn main() {
                 "checkpoint save -> load -> predict round-trip failed"
             );
         }
+        "cluster-bench" if args.get(1).map(String::as_str) == Some("chaos") => {
+            // Chaos soak standalone (ISSUE 6): the fleet's closed loop
+            // under a seeded fault-injecting store, then a full store
+            // outage survived by graceful degradation. All robustness
+            // invariants (no history fork, no corrupt adoption, no lost
+            // generation, resign-before-lease-lapse, full recovery) are
+            // asserted inside the binary; the measured point is written
+            // to BENCH_cluster_chaos.json.
+            let workers = args
+                .iter()
+                .position(|a| a == "--workers")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2usize);
+            let nodes = args
+                .iter()
+                .position(|a| a == "--nodes")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(3usize);
+            let mut cfg = if args.iter().any(|a| a == "--smoke") {
+                neo_bench::ClusterBenchConfig::smoke(preset.seed)
+            } else {
+                neo_bench::ClusterBenchConfig::standard(preset.seed, nodes, workers)
+            };
+            if let Some(rate) = args
+                .iter()
+                .position(|a| a == "--fault-rate")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+            {
+                cfg.chaos_fault_rate = rate;
+            }
+            if let Some(seed) = args
+                .iter()
+                .position(|a| a == "--chaos-seed")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse().ok())
+            {
+                cfg.chaos_seed = seed;
+            }
+            neo_bench::section(
+                "chaos soak: fleet under fault injection (BENCH_cluster_chaos.json)",
+            );
+            let point = neo_bench::run_chaos_bench(&cfg);
+            let json = format!("{{\n  \"chaos\": {}\n}}\n", point.to_json());
+            print!("{json}");
+            let path = "BENCH_cluster_chaos.json";
+            std::fs::write(path, &json).expect("write BENCH_cluster_chaos.json");
+            eprintln!(
+                "chaos: {} nodes soaked {} generation(s) at fault rate {:.0}% (seed {}): \
+                 {} faults / {} torn reads / {} crash litters over {} ops, \
+                 {} retries recovered {} ops, 0 lost generations, history forks: {}; \
+                 outage {:.0} ms degraded the leader (resigned pre-lapse: {}), \
+                 term {} -> {}, fleet recovered healthy: {}; wrote {path}",
+                point.nodes,
+                point.soak_generations,
+                point.fault_rate * 100.0,
+                point.seed,
+                point.injected_faults,
+                point.corrupt_loads,
+                point.crash_publishes,
+                point.ops,
+                point.retry_retries,
+                point.retry_recoveries,
+                point.history_forks,
+                point.outage_ms,
+                point.resigned_before_lease_expiry,
+                point.old_term,
+                point.new_term,
+                point.recovered_all_healthy,
+            );
+        }
         "cluster-bench" => {
             // Multi-node optimization fleet (ISSUE 4): shared checkpoint
             // store, centralized training, crash-recovering followers.
@@ -326,7 +406,11 @@ fn main() {
                  --smoke (tiny CI preset)\n\
                  cluster-bench flags: --nodes N (fleet-size ceiling, default 4), \
                  --workers W (workers per node, default 2), --seed S, \
-                 --smoke (tiny CI preset)"
+                 --smoke (tiny CI preset)\n\
+                 cluster-bench chaos: fault-injected fleet soak -> BENCH_cluster_chaos.json; \
+                 flags: --fault-rate R (per-op transient-fault probability, default 0.12), \
+                 --chaos-seed S (fault schedule seed; same seed + same op sequence \
+                 reproduces the same fault schedule), --nodes/--workers/--smoke as above"
             );
             std::process::exit(if cmd == "help" || cmd == "--help" || cmd == "-h" {
                 0

@@ -1,0 +1,625 @@
+//! Deterministic store fault injection: a [`CheckpointStore`] decorator
+//! that turns any cluster test into a reproducible fault storm.
+//!
+//! [`FaultInjectingStore`] wraps an inner store and, before delegating
+//! each operation, consults a **seeded, per-operation-class schedule**:
+//! every class (publish / load / manifest / lease) draws from its own
+//! `StdRng` stream seeded from `seed ^ class`, so the fault sequence a
+//! given operation sees depends only on the seed and how many operations
+//! of *its class* ran before it — not on thread interleaving across
+//! classes. Same seed + same per-class op sequence ⇒ byte-identical
+//! fault schedule (pinned by a test in `tests/chaos.rs`).
+//!
+//! What it injects:
+//!
+//! * **transient `io::Error`s** (`ErrorKind::Interrupted`) per class at
+//!   [`ChaosConfig::fault_rate`] — always *fail-before*: the inner store
+//!   is untouched, so a retried operation is safe to re-issue;
+//! * **injected latency** ([`ChaosConfig::latency_rate`] /
+//!   [`ChaosConfig::latency_ms`]) — slow I/O without failure;
+//! * **corrupt loads** ([`ChaosConfig::corrupt_load_rate`]): `load`
+//!   returns a torn prefix of the real frame — the caller's checksum
+//!   verification must reject it (exercising "no corrupt checkpoint is
+//!   ever adopted" end to end);
+//! * **crash-before-rename** ([`ChaosConfig::crash_publish_rate`], over
+//!   a filesystem store): a faulted publish also leaves a half-written
+//!   `gen-N.ckpt.tmp` behind, exactly the litter a publisher crashing
+//!   between tmp write and rename orphans;
+//! * **torn `LEADER` writes** ([`ChaosConfig::torn_lease_rate`], over a
+//!   filesystem store): a faulted lease acquisition also truncates the
+//!   on-disk lease file mid-line — the hardened
+//!   [`CheckpointStore::read_lease`] must parse it as expired/absent
+//!   (claimable) instead of error-looping every candidate;
+//! * **outages** ([`FaultInjectingStore::set_outage`]): a runtime toggle
+//!   that fails every operation until lifted — the "store is down longer
+//!   than the lease TTL" scenario the failover protocol must survive.
+//!
+//! Everything injected is counted in [`ChaosStats`], so a bench can
+//! report exactly what storm the fleet rode out.
+
+use crate::store::{CheckpointStore, LeaderLease, Manifest, LEASE_NAME};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The fault classes a store operation can belong to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// `publish*` and `retain` (store mutations by the leader).
+    Publish,
+    /// `load` / `load_latest` checkpoint fetches.
+    Load,
+    /// `manifest` / `latest_generation` reads.
+    Manifest,
+    /// `read_lease` / `try_acquire_lease` / `release_lease`.
+    Lease,
+}
+
+impl OpClass {
+    /// All classes, in [`ChaosStats`] array order.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Publish,
+        OpClass::Load,
+        OpClass::Manifest,
+        OpClass::Lease,
+    ];
+
+    /// This class's position in [`ChaosStats`] arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Publish => 0,
+            OpClass::Load => 1,
+            OpClass::Manifest => 2,
+            OpClass::Lease => 3,
+        }
+    }
+
+    /// Stable per-class seed tag (xored into the schedule seed).
+    fn seed_tag(self) -> u64 {
+        // Distinct odd constants so class streams never collide even
+        // under adversarial seeds.
+        [
+            0x9E37_79B9_7F4A_7C15,
+            0xC2B2_AE3D_27D4_EB4F,
+            0x1656_67B1_9E37_79F9,
+            0x27D4_EB2F_1656_67C5,
+        ][self.index()]
+    }
+
+    /// Lowercase label, used in injected error messages and stats JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Publish => "publish",
+            OpClass::Load => "load",
+            OpClass::Manifest => "manifest",
+            OpClass::Lease => "lease",
+        }
+    }
+}
+
+/// The seeded fault schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic schedule (per-class streams derive from
+    /// it).
+    pub seed: u64,
+    /// Probability that any operation fails with a transient
+    /// `Interrupted` error (inner store untouched).
+    pub fault_rate: f64,
+    /// Probability that a `load` returns a torn prefix of the real frame
+    /// instead of failing cleanly (checksum verification at the caller
+    /// must catch it). Drawn independently of `fault_rate`.
+    pub corrupt_load_rate: f64,
+    /// Given a faulted lease acquisition over a filesystem store: the
+    /// probability the fault also tears the on-disk `LEADER` file
+    /// (truncated mid-line, simulating a torn write).
+    pub torn_lease_rate: f64,
+    /// Given a faulted publish over a filesystem store: the probability
+    /// the fault also leaves `gen-N.ckpt.tmp` litter (a publisher that
+    /// crashed between tmp write and rename).
+    pub crash_publish_rate: f64,
+    /// Probability an operation is delayed by [`Self::latency_ms`]
+    /// before running normally.
+    pub latency_rate: f64,
+    /// Injected delay, milliseconds.
+    pub latency_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC0FF_EE00,
+            fault_rate: 0.1,
+            corrupt_load_rate: 0.05,
+            torn_lease_rate: 0.0,
+            crash_publish_rate: 0.25,
+            latency_rate: 0.05,
+            latency_ms: 1,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A schedule that injects nothing (pass-through decorator).
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            fault_rate: 0.0,
+            corrupt_load_rate: 0.0,
+            torn_lease_rate: 0.0,
+            crash_publish_rate: 0.0,
+            latency_rate: 0.0,
+            latency_ms: 0,
+        }
+    }
+}
+
+/// Per-class and aggregate injection counters (atomics; clone-free
+/// snapshot via [`FaultInjectingStore::stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Operations intercepted per class (faulted or not), class order
+    /// publish/load/manifest/lease.
+    pub ops: [u64; 4],
+    /// Transient faults injected per class (outage faults excluded).
+    pub faults: [u64; 4],
+    /// Loads answered with torn frame bytes.
+    pub corrupt_loads: u64,
+    /// Faulted publishes that also left `.ckpt.tmp` crash litter.
+    pub crash_publishes: u64,
+    /// Faulted lease writes that also tore the on-disk `LEADER` file.
+    pub torn_leases: u64,
+    /// Operations delayed by injected latency.
+    pub delays: u64,
+    /// Operations failed because an outage was active.
+    pub outage_faults: u64,
+}
+
+impl ChaosStats {
+    /// Total transient faults injected across classes (outages excluded).
+    pub fn total_faults(&self) -> u64 {
+        self.faults.iter().sum()
+    }
+
+    /// Total operations intercepted.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    ops: [AtomicU64; 4],
+    faults: [AtomicU64; 4],
+    corrupt_loads: AtomicU64,
+    crash_publishes: AtomicU64,
+    torn_leases: AtomicU64,
+    delays: AtomicU64,
+    outage_faults: AtomicU64,
+}
+
+/// What the schedule decided for one operation.
+struct Verdict {
+    delay_ms: u64,
+    fault: Option<u64>,
+    /// Secondary draw for class-specific damage (torn lease / crash
+    /// litter / corrupt load), pre-drawn so the decision is part of the
+    /// deterministic schedule even when unused.
+    side_effect: bool,
+}
+
+/// A [`CheckpointStore`] decorator injecting a deterministic fault
+/// schedule. See the module docs for the fault catalogue.
+pub struct FaultInjectingStore {
+    inner: Arc<dyn CheckpointStore>,
+    cfg: ChaosConfig,
+    /// Store directory, when the inner store lives on a filesystem —
+    /// enables the on-disk damage modes (torn `LEADER`, crash litter).
+    dir: Option<PathBuf>,
+    /// One independent RNG stream per operation class.
+    rngs: [Mutex<StdRng>; 4],
+    outage: AtomicBool,
+    paused: AtomicBool,
+    stats: StatCells,
+}
+
+impl FaultInjectingStore {
+    /// Wraps `inner` under `cfg`. On-disk damage modes (torn lease,
+    /// crash litter) stay off — use [`Self::over_fs`] for those.
+    pub fn new(inner: Arc<dyn CheckpointStore>, cfg: ChaosConfig) -> Self {
+        Self::build(inner, cfg, None)
+    }
+
+    /// Wraps a filesystem store, enabling the on-disk damage modes
+    /// (torn `LEADER` writes, crash-before-rename `.ckpt.tmp` litter)
+    /// in `dir`.
+    pub fn over_fs(inner: Arc<crate::store::FsCheckpointStore>, cfg: ChaosConfig) -> Self {
+        let dir = inner.dir().to_path_buf();
+        Self::build(inner, cfg, Some(dir))
+    }
+
+    fn build(inner: Arc<dyn CheckpointStore>, cfg: ChaosConfig, dir: Option<PathBuf>) -> Self {
+        let seeded =
+            |class: OpClass| Mutex::new(StdRng::seed_from_u64(cfg.seed ^ class.seed_tag()));
+        FaultInjectingStore {
+            inner,
+            cfg,
+            dir,
+            rngs: [
+                seeded(OpClass::Publish),
+                seeded(OpClass::Load),
+                seeded(OpClass::Manifest),
+                seeded(OpClass::Lease),
+            ],
+            outage: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Pauses/resumes the schedule entirely: while paused the decorator is
+    /// transparent — no faults, no latency, no outage, no op counting, and
+    /// **no schedule draws consumed** (determinism therefore covers the
+    /// unpaused op sequence only). Lets a harness assemble a fleet over
+    /// the wrapped store and then start the storm on a running system.
+    pub fn set_paused(&self, on: bool) {
+        self.paused.store(on, Ordering::Release);
+    }
+
+    /// Starts/stops a total outage: while active, every operation fails
+    /// (`ErrorKind::Interrupted`) without touching the inner store —
+    /// the "store unreachable longer than the lease TTL" scenario.
+    pub fn set_outage(&self, on: bool) {
+        self.outage.store(on, Ordering::Release);
+    }
+
+    /// Whether an outage is currently active.
+    pub fn outage(&self) -> bool {
+        self.outage.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of everything injected so far.
+    pub fn stats(&self) -> ChaosStats {
+        let load = |cells: &[AtomicU64; 4]| {
+            let mut out = [0u64; 4];
+            for (o, c) in out.iter_mut().zip(cells) {
+                *o = c.load(Ordering::Relaxed);
+            }
+            out
+        };
+        ChaosStats {
+            ops: load(&self.stats.ops),
+            faults: load(&self.stats.faults),
+            corrupt_loads: self.stats.corrupt_loads.load(Ordering::Relaxed),
+            crash_publishes: self.stats.crash_publishes.load(Ordering::Relaxed),
+            torn_leases: self.stats.torn_leases.load(Ordering::Relaxed),
+            delays: self.stats.delays.load(Ordering::Relaxed),
+            outage_faults: self.stats.outage_faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The schedule: pre-draws every decision for one operation from the
+    /// class stream (fixed draw count per op, so the stream position —
+    /// and therefore the schedule — depends only on the class op count).
+    fn schedule(&self, class: OpClass) -> Verdict {
+        let mut rng = self.rngs[class.index()]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let delay = rng.gen_bool(self.cfg.latency_rate.clamp(0.0, 1.0));
+        let fault = rng.gen_bool(self.cfg.fault_rate.clamp(0.0, 1.0));
+        let side_rate = match class {
+            OpClass::Publish => self.cfg.crash_publish_rate,
+            OpClass::Load => self.cfg.corrupt_load_rate,
+            OpClass::Lease => self.cfg.torn_lease_rate,
+            OpClass::Manifest => 0.0,
+        };
+        let side_effect = rng.gen_bool(side_rate.clamp(0.0, 1.0));
+        Verdict {
+            delay_ms: if delay { self.cfg.latency_ms } else { 0 },
+            fault: fault.then(|| self.stats.faults[class.index()].load(Ordering::Relaxed) + 1),
+            side_effect,
+        }
+    }
+
+    /// The per-operation gate: counts the op, applies the outage, the
+    /// injected delay, and the scheduled transient fault. `Ok(verdict)`
+    /// means "proceed to the inner store" (side-effect draw included for
+    /// class-specific handling).
+    fn intercept(&self, class: OpClass) -> io::Result<Verdict> {
+        if self.paused.load(Ordering::Acquire) {
+            return Ok(Verdict {
+                delay_ms: 0,
+                fault: None,
+                side_effect: false,
+            });
+        }
+        self.stats.ops[class.index()].fetch_add(1, Ordering::Relaxed);
+        if self.outage.load(Ordering::Acquire) {
+            self.stats.outage_faults.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("chaos: injected outage ({} unavailable)", class.label()),
+            ));
+        }
+        let verdict = self.schedule(class);
+        if verdict.delay_ms > 0 {
+            self.stats.delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(verdict.delay_ms));
+        }
+        Ok(verdict)
+    }
+
+    fn fault_error(&self, class: OpClass, n: u64) -> io::Error {
+        self.stats.faults[class.index()].fetch_add(1, Ordering::Relaxed);
+        io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("chaos: injected transient {} fault #{n}", class.label()),
+        )
+    }
+
+    /// Leaves the crash-before-rename litter of a publish that died
+    /// between tmp write and rename: a half-written checkpoint tmp.
+    fn drop_crash_litter(&self, generation: u64, framed: &[u8]) {
+        if let Some(dir) = &self.dir {
+            let tmp = dir.join(format!("gen-{generation:06}.ckpt.tmp"));
+            let torn = &framed[..framed.len() / 2];
+            if std::fs::write(tmp, torn).is_ok() {
+                self.stats.crash_publishes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Tears the on-disk `LEADER` file mid-line, as a torn write would:
+    /// the content is truncated, not atomic-renamed, so readers see a
+    /// partial lease. Only the *expiry* line is torn (header, holder,
+    /// and term survive) — a real torn write tears at an arbitrary
+    /// offset, but tearing the term line would reset the fencing
+    /// sequence, which is a different (and store-breaking) corruption
+    /// class than the torn-write-during-renewal this simulates.
+    fn tear_lease_file(&self) {
+        let Some(dir) = &self.dir else { return };
+        let path = dir.join(LEASE_NAME);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return;
+        };
+        let Some(cut) = text.find("expires_at_ms=") else {
+            return;
+        };
+        // Keep "expires_at_ms" with no '=' digits: an unparseable,
+        // half-written line.
+        let torn = &text[..cut + "expires_at_ms".len()];
+        if std::fs::write(&path, torn).is_ok() {
+            self.stats.torn_leases.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn publish_gate(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
+        let verdict = self.intercept(OpClass::Publish)?;
+        if let Some(n) = verdict.fault {
+            if verdict.side_effect {
+                self.drop_crash_litter(generation, framed);
+            }
+            return Err(self.fault_error(OpClass::Publish, n));
+        }
+        Ok(())
+    }
+}
+
+impl CheckpointStore for FaultInjectingStore {
+    fn publish_term(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        self.publish_gate(generation, framed)?;
+        self.inner.publish_term(generation, term, framed)
+    }
+
+    fn publish_fenced(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        self.publish_gate(generation, framed)?;
+        self.inner.publish_fenced(generation, term, framed)
+    }
+
+    fn manifest(&self) -> io::Result<Option<Manifest>> {
+        let verdict = self.intercept(OpClass::Manifest)?;
+        if let Some(n) = verdict.fault {
+            return Err(self.fault_error(OpClass::Manifest, n));
+        }
+        self.inner.manifest()
+    }
+
+    fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
+        let verdict = self.intercept(OpClass::Load)?;
+        if let Some(n) = verdict.fault {
+            return Err(self.fault_error(OpClass::Load, n));
+        }
+        let bytes = self.inner.load(generation)?;
+        if verdict.side_effect && bytes.len() > 1 {
+            // A torn frame: the caller's checksum verification must
+            // reject it — this is the "no corrupt checkpoint is ever
+            // adopted" path, exercised end to end.
+            self.stats.corrupt_loads.fetch_add(1, Ordering::Relaxed);
+            return Ok(bytes[..bytes.len() / 2].to_vec());
+        }
+        Ok(bytes)
+    }
+
+    fn read_lease(&self) -> io::Result<Option<LeaderLease>> {
+        let verdict = self.intercept(OpClass::Lease)?;
+        if let Some(n) = verdict.fault {
+            return Err(self.fault_error(OpClass::Lease, n));
+        }
+        self.inner.read_lease()
+    }
+
+    fn try_acquire_lease(
+        &self,
+        holder: &str,
+        now_ms: u64,
+        ttl_ms: u64,
+    ) -> io::Result<Option<LeaderLease>> {
+        let verdict = self.intercept(OpClass::Lease)?;
+        if let Some(n) = verdict.fault {
+            if verdict.side_effect {
+                self.tear_lease_file();
+            }
+            return Err(self.fault_error(OpClass::Lease, n));
+        }
+        self.inner.try_acquire_lease(holder, now_ms, ttl_ms)
+    }
+
+    fn release_lease(&self, holder: &str) -> io::Result<bool> {
+        let verdict = self.intercept(OpClass::Lease)?;
+        if let Some(n) = verdict.fault {
+            return Err(self.fault_error(OpClass::Lease, n));
+        }
+        self.inner.release_lease(holder)
+    }
+
+    fn retain(&self, keep_last: usize) -> io::Result<usize> {
+        let verdict = self.intercept(OpClass::Publish)?;
+        if let Some(n) = verdict.fault {
+            return Err(self.fault_error(OpClass::Publish, n));
+        }
+        self.inner.retain(keep_last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemCheckpointStore;
+
+    fn framed(tag: u8) -> Vec<u8> {
+        neo::checkpoint::frame(&[tag; 32])
+    }
+
+    fn chaotic(cfg: ChaosConfig) -> FaultInjectingStore {
+        FaultInjectingStore::new(Arc::new(MemCheckpointStore::new()), cfg)
+    }
+
+    #[test]
+    fn quiet_schedule_is_a_transparent_decorator() {
+        let store = chaotic(ChaosConfig::quiet(1));
+        store.publish(1, &framed(1)).unwrap();
+        assert_eq!(store.load(1).unwrap(), framed(1));
+        assert_eq!(store.latest_generation().unwrap(), Some(1));
+        let stats = store.stats();
+        assert_eq!(stats.total_faults(), 0);
+        assert!(stats.total_ops() >= 3);
+    }
+
+    #[test]
+    fn faults_are_fail_before_and_transient() {
+        let store = chaotic(ChaosConfig {
+            seed: 42,
+            fault_rate: 0.5,
+            corrupt_load_rate: 0.0,
+            ..ChaosConfig::quiet(42)
+        });
+        // Publish until one lands; every failure must leave the inner
+        // store untouched (strictly monotone history, no gaps adopted).
+        let mut published = 0u64;
+        for _ in 0..64 {
+            match store.publish(published + 1, &framed((published + 1) as u8)) {
+                Ok(()) => published += 1,
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::Interrupted, "{e}"),
+            }
+        }
+        assert!(published > 0, "0.5 fault rate blocked 64 publishes");
+        assert_eq!(store.inner.latest_generation().unwrap(), Some(published));
+        let stats = store.stats();
+        assert!(stats.faults[OpClass::Publish.index()] > 0);
+    }
+
+    #[test]
+    fn corrupt_loads_are_rejected_by_frame_verification() {
+        let store = chaotic(ChaosConfig {
+            seed: 7,
+            corrupt_load_rate: 1.0,
+            ..ChaosConfig::quiet(7)
+        });
+        store.publish(1, &framed(9)).unwrap();
+        let torn = store.load(1).unwrap();
+        assert!(torn.len() < framed(9).len());
+        let err = neo::checkpoint::decode(&torn).expect_err("torn frame must not decode");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(store.stats().corrupt_loads, 1);
+    }
+
+    #[test]
+    fn outage_fails_everything_until_lifted() {
+        let store = chaotic(ChaosConfig::quiet(3));
+        store.publish(1, &framed(1)).unwrap();
+        store.set_outage(true);
+        assert!(store.manifest().is_err());
+        assert!(store.load(1).is_err());
+        assert!(store.try_acquire_lease("a", 0, 100).is_err());
+        store.set_outage(false);
+        assert_eq!(store.load(1).unwrap(), framed(1));
+        assert_eq!(store.stats().outage_faults, 3);
+    }
+
+    #[test]
+    fn same_seed_same_op_sequence_same_schedule() {
+        let run = || -> (Vec<String>, ChaosStats) {
+            let store = chaotic(ChaosConfig {
+                seed: 99,
+                fault_rate: 0.3,
+                corrupt_load_rate: 0.2,
+                ..ChaosConfig::quiet(99)
+            });
+            let mut log = Vec::new();
+            let mut next = 1u64;
+            for _ in 0..40 {
+                match store.publish(next, &framed(next as u8)) {
+                    Ok(()) => {
+                        log.push(format!("publish {next} ok"));
+                        next += 1;
+                    }
+                    Err(e) => log.push(format!("publish {next} err {}", e.kind())),
+                }
+                log.push(format!("{:?}", store.manifest().map_err(|e| e.kind())));
+                if next > 1 {
+                    log.push(format!(
+                        "{:?}",
+                        store.load(next - 1).map_err(|e| e.kind()).map(|b| b.len())
+                    ));
+                }
+            }
+            (log, store.stats())
+        };
+        let (log_a, stats_a) = run();
+        let (log_b, stats_b) = run();
+        assert_eq!(log_a, log_b, "schedule not deterministic");
+        assert_eq!(stats_a, stats_b);
+        assert!(
+            stats_a.total_faults() > 0,
+            "storm too quiet to prove anything"
+        );
+    }
+
+    #[test]
+    fn class_streams_are_independent_of_cross_class_interleaving() {
+        let faults_seen = |interleave: bool| -> [u64; 4] {
+            let store = chaotic(ChaosConfig {
+                seed: 5,
+                fault_rate: 0.4,
+                ..ChaosConfig::quiet(5)
+            });
+            for i in 0..30 {
+                let _ = store.manifest();
+                if interleave {
+                    // Extra lease traffic between manifest reads must not
+                    // shift the manifest class's fault schedule.
+                    let _ = store.read_lease();
+                    let _ = store.try_acquire_lease("x", i, 10);
+                }
+            }
+            store.stats().faults
+        };
+        assert_eq!(
+            faults_seen(false)[OpClass::Manifest.index()],
+            faults_seen(true)[OpClass::Manifest.index()]
+        );
+    }
+}

@@ -10,8 +10,8 @@
 use crate::node::{ClusterNode, NodeConfig};
 use crate::store::CheckpointStore;
 use neo::{Featurizer, ValueNet};
-use neo_learn::{ExperienceSink, ReplayConfig, TrainerConfig};
-use neo_serve::ServeConfig;
+use neo_learn::{ExperienceSink, ReplayConfig, RetryPolicy, TrainerConfig};
+use neo_serve::{HealthPolicy, HealthState, ServeConfig};
 use neo_storage::Database;
 use std::io;
 use std::sync::Arc;
@@ -53,6 +53,11 @@ pub struct ClusterConfig {
     /// generation plus `keep_last − 1` predecessors and collects the rest
     /// (see [`NodeConfig::retain_generations`]). `None` = unbounded.
     pub retain_generations: Option<usize>,
+    /// Per-node retry schedule for tick-path store I/O (see
+    /// [`NodeConfig::retry`]).
+    pub retry: RetryPolicy,
+    /// Per-node health thresholds (see [`NodeConfig::health`]).
+    pub health: HealthPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +72,8 @@ impl Default for ClusterConfig {
             lease_ttl_ms: 500,
             failover: false,
             retain_generations: None,
+            retry: RetryPolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -147,6 +154,8 @@ impl Cluster {
             lease_ttl_ms: cfg.lease_ttl_ms,
             failover: cfg.failover,
             retain_generations: cfg.retain_generations,
+            retry: cfg.retry,
+            health: cfg.health,
         }
     }
 
@@ -263,6 +272,18 @@ impl Cluster {
     /// Every node's currently served generation, node order.
     pub fn generations(&self) -> Vec<u64> {
         self.nodes.iter().map(|n| n.generation()).collect()
+    }
+
+    /// Every node's current health state, node order.
+    pub fn health_states(&self) -> Vec<HealthState> {
+        self.nodes.iter().map(|n| n.health_state()).collect()
+    }
+
+    /// Whether every node currently reports `Healthy`.
+    pub fn all_healthy(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.health_state() == HealthState::Healthy)
     }
 
     /// One explicit sync on every follower (the leader publishes what it

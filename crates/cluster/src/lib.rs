@@ -54,6 +54,14 @@
 //!   [`NodeConfig::retain_generations`](NodeConfig).
 //! * [`Cluster`] — convenience assembly of leader + followers over one
 //!   store and sink, used by the tests and `cluster-bench`.
+//! * **Robustness under faults:** [`FaultInjectingStore`] wraps any store
+//!   in a seeded, deterministic fault schedule (transient errors, injected
+//!   latency, torn `LEADER` writes, corrupt loads, crash-before-rename
+//!   litter, full outages) so the fleet can be soaked under a reproducible
+//!   fault storm. Nodes absorb transients through a bounded
+//!   [`neo_learn::RetryPolicy`] and track sustained unreachability with a
+//!   per-node [`neo_serve::HealthTracker`] — a Degraded leader resigns
+//!   before its lease lapses mid-publish.
 //!
 //! ```no_run
 //! use neo::{Featurization, Featurizer, NetConfig, ValueNet};
@@ -87,13 +95,15 @@
 //! cluster.leader().trainer().request_generation();
 //! ```
 
+pub mod chaos;
 pub mod fleet;
 pub mod node;
 pub mod store;
 
+pub use chaos::{ChaosConfig, ChaosStats, FaultInjectingStore, OpClass};
 pub use fleet::{Cluster, ClusterConfig};
 pub use node::{ClusterNode, NodeConfig};
 pub use store::{
-    CheckpointStore, FsCheckpointStore, LeaderLease, Manifest, MemCheckpointStore, LEASE_HEADER,
-    LEASE_NAME, MANIFEST_HEADER, MANIFEST_NAME,
+    CheckpointStore, FsCheckpointStore, FsStoreStats, LeaderLease, Manifest, MemCheckpointStore,
+    LEASE_HEADER, LEASE_NAME, MANIFEST_HEADER, MANIFEST_NAME,
 };

@@ -34,13 +34,28 @@
 //! retraining, and a node that missed ten generations while partitioned
 //! just jumps to the newest one (generations are cumulative snapshots,
 //! not deltas).
+//!
+//! **Store faults degrade the node gracefully, never silently.** Every
+//! tick-path store operation runs under the node's bounded
+//! [`RetryPolicy`] (exponential backoff + jitter), so a transient hiccup
+//! is absorbed instead of skipping a tick or vetoing work. The tick's
+//! overall verdict — after retries — feeds a per-node
+//! [`HealthTracker`] (`Healthy → Degraded → Isolated`): a **Degraded
+//! leader resigns** (best-effort lease release + drain-then-stop trainer)
+//! rather than letting its lease lapse mid-publish, and an **Isolated
+//! candidate stops standing for election** — a node that cannot reach the
+//! store is the last node that should hold its lease.
 
 use crate::store::CheckpointStore;
 use neo::{checkpoint, ValueNet};
 use neo_learn::{
-    BackgroundTrainer, ExperienceSink, GenerationObserver, ReplayConfig, TrainerConfig,
+    BackgroundTrainer, ExperienceSink, GenerationObserver, ReplayConfig, RetryPolicy,
+    RetrySnapshot, RetryStats, TrainerConfig,
 };
-use neo_serve::{join_named_or_ignore_during_unwind, OptimizerService, ServeConfig};
+use neo_serve::{
+    join_named_or_ignore_during_unwind, HealthPolicy, HealthSnapshot, HealthState, HealthTracker,
+    OptimizerService, ServeConfig,
+};
 use neo_storage::Database;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -87,6 +102,14 @@ pub struct NodeConfig {
     /// generation plus `keep_last − 1` predecessors survive; older
     /// history, orphaned checkpoints, and stale tmp litter are collected.
     pub retain_generations: Option<usize>,
+    /// Bounded retry schedule for tick-path store I/O (sync, lease
+    /// renewal/claim): transient faults are absorbed here before they
+    /// become health verdicts. [`RetryPolicy::none()`] restores
+    /// single-attempt behavior.
+    pub retry: RetryPolicy,
+    /// Thresholds of the node's health state machine, fed one verdict
+    /// per tick (after retries).
+    pub health: HealthPolicy,
 }
 
 impl Default for NodeConfig {
@@ -99,6 +122,8 @@ impl Default for NodeConfig {
             lease_ttl_ms: 500,
             failover: false,
             retain_generations: None,
+            retry: RetryPolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -162,6 +187,12 @@ struct NodeShared {
     lease_ttl_ms: u64,
     failover: bool,
     retain_generations: Option<usize>,
+    /// Retry schedule for tick-path store I/O, plus its accounting.
+    retry: RetryPolicy,
+    retry_stats: RetryStats,
+    /// Per-tick store verdicts (after retries) drive this node's
+    /// `Healthy → Degraded → Isolated` machine.
+    health: HealthTracker,
     /// The lease term this node currently publishes under (0 = not
     /// leading).
     held_term: AtomicU64,
@@ -254,35 +285,66 @@ impl NodeShared {
     /// wedging on regression errors forever); then leaders renew the
     /// lease (stepping down on deposition) and candidates claim an
     /// expired one.
+    ///
+    /// Every store operation runs under the node's [`RetryPolicy`]; the
+    /// tick's single overall verdict — success only if everything
+    /// (eventually) succeeded — feeds the health machine, and a tick that
+    /// leaves a leader Degraded makes it resign rather than limp toward
+    /// a mid-publish lease lapse.
     fn tick(&self) {
-        if self.sync().is_err() {
+        let mut tick_error: Option<String> = None;
+        if let Err(e) = self.retry.run(&self.retry_stats, || self.sync()) {
             self.sync_failures.fetch_add(1, Ordering::Relaxed);
+            tick_error = Some(format!("sync: {e}"));
         }
         let held = self.held_term.load(Ordering::Acquire);
         if held > 0 {
-            self.leader_tick(held);
-            return;
-        }
-        if self.failover {
-            // `try_acquire_lease` refuses a live lease held by someone
-            // else, so this is a cheap read until the leader actually
-            // dies.
-            match self
-                .store
-                .try_acquire_lease(&self.name, now_ms(), self.lease_ttl_ms)
-            {
+            if let Err(e) = self.leader_tick(held) {
+                tick_error.get_or_insert(format!("lease renewal: {e}"));
+            }
+        } else if self.failover && self.health.state() != HealthState::Isolated {
+            // An Isolated candidate does not stand for election — a node
+            // that cannot reach the store is the last node that should
+            // hold its lease. (For everyone else `try_acquire_lease`
+            // refuses a live lease held by someone else, so this stays a
+            // cheap read until the leader actually dies.)
+            match self.retry.run(&self.retry_stats, || {
+                self.store
+                    .try_acquire_lease(&self.name, now_ms(), self.lease_ttl_ms)
+            }) {
                 Ok(Some(lease)) => self.promote(lease.term),
                 Ok(None) => {}
-                Err(_) => {
+                Err(e) => {
                     self.sync_failures.fetch_add(1, Ordering::Relaxed);
+                    tick_error.get_or_insert(format!("lease claim: {e}"));
+                }
+            }
+        }
+        match tick_error {
+            None => {
+                self.health.record_success();
+            }
+            Some(err) => {
+                let state = self.health.record_failure(err);
+                if state >= HealthState::Degraded && self.held_term.load(Ordering::Acquire) > 0 {
+                    // A Degraded leader resigns *before* its lease lapses
+                    // mid-publish: release is best-effort (the store may be
+                    // the very thing that's unreachable — the TTL then
+                    // expires the lease for us), the demotion is not (the
+                    // trainer drains and stops, so nothing keeps publishing
+                    // under a leadership we've renounced).
+                    let _ = self.store.release_lease(&self.name);
+                    self.demote();
                 }
             }
         }
     }
 
     /// The leading node's half of [`Self::tick`]: keep the lease alive,
-    /// step down when deposed.
-    fn leader_tick(&self, held: u64) {
+    /// step down when deposed. `Err` means the renewal attempt itself
+    /// failed (after retries) — deposition and self-re-election are
+    /// `Ok` outcomes of a reachable store.
+    fn leader_tick(&self, held: u64) -> io::Result<()> {
         // Renew-at-half-TTL: every renewal is a tmp+fsync+rename of the
         // lease file, so skip the write while more than half the TTL
         // remains (the read is cheap). A read hiccup just falls through
@@ -293,14 +355,16 @@ impl NodeShared {
                 && lease.term == held
                 && lease.expires_at_ms.saturating_sub(now) > self.lease_ttl_ms / 2
             {
-                return;
+                return Ok(());
             }
         }
-        match self
-            .store
-            .try_acquire_lease(&self.name, now, self.lease_ttl_ms)
-        {
-            Ok(Some(lease)) if lease.term == held => {} // renewed
+        // `now_ms()` is re-read inside the closure: backoff sleeps between
+        // attempts would otherwise renew with an already-stale instant.
+        match self.retry.run(&self.retry_stats, || {
+            self.store
+                .try_acquire_lease(&self.name, now_ms(), self.lease_ttl_ms)
+        }) {
+            Ok(Some(lease)) if lease.term == held => Ok(()), // renewed
             Ok(Some(lease)) => {
                 // Our own lease expired (a tick stalled past the TTL) and
                 // re-acquiring minted a fresh term — no successor
@@ -312,15 +376,20 @@ impl NodeShared {
                 // behind our own live lease.
                 self.demote();
                 self.promote(lease.term);
+                Ok(())
             }
             Ok(None) => {
                 // Deposed: a successor holds a live newer-term lease.
                 self.demote();
+                Ok(())
             }
-            Err(_) => {
-                // Store hiccup: keep serving and training; if the outage
-                // outlives the TTL a successor will fence us.
+            Err(e) => {
+                // Store hiccup outlasting the retry budget: keep serving
+                // and training this tick; the health verdict decides
+                // whether we resign, and if the outage outlives the TTL a
+                // successor will fence us regardless.
                 self.sync_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
             }
         }
     }
@@ -487,6 +556,9 @@ impl ClusterNode {
             lease_ttl_ms: cfg.lease_ttl_ms.max(1),
             failover: cfg.failover,
             retain_generations: cfg.retain_generations,
+            retry: cfg.retry,
+            retry_stats: RetryStats::new(),
+            health: HealthTracker::new(cfg.health),
             held_term: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
             gc_removed: Arc::new(AtomicU64::new(0)),
@@ -533,9 +605,30 @@ impl ClusterNode {
     }
 
     /// Store syncs that failed (manifest unreadable, checkpoint corrupt);
-    /// the node keeps serving its current generation through them.
+    /// the node keeps serving its current generation through them. With a
+    /// retrying policy this counts *exhausted* operations — a fault
+    /// absorbed by a retry is a recovery ([`Self::retry_stats`]), not a
+    /// failure.
     pub fn sync_failures(&self) -> u64 {
         self.shared.sync_failures.load(Ordering::Relaxed)
+    }
+
+    /// This node's current health state (the consecutive-failure machine
+    /// fed one verdict per tick, after retries).
+    pub fn health_state(&self) -> HealthState {
+        self.shared.health.state()
+    }
+
+    /// Full health counters (transitions, degraded/isolated entries,
+    /// recoveries, last error).
+    pub fn health(&self) -> HealthSnapshot {
+        self.shared.health.snapshot()
+    }
+
+    /// Tick-path store-retry accounting: attempts, retries, faults
+    /// recovered by a retry, and operations that exhausted the budget.
+    pub fn retry_stats(&self) -> RetrySnapshot {
+        self.shared.retry_stats.snapshot()
     }
 
     /// Whether this node currently leads (holds the lease and runs the

@@ -63,6 +63,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// First line of a valid `MANIFEST` file.
@@ -276,6 +277,20 @@ fn retained_set(existing: &[u64], manifest_generation: u64, keep_last: usize) ->
 // Filesystem implementation
 // ---------------------------------------------------------------------------
 
+/// Durability/corruption observability counters for one
+/// [`FsCheckpointStore`] handle (see [`FsCheckpointStore::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsStoreStats {
+    /// Directory fsyncs that failed (the rename itself succeeded, so the
+    /// publish is visible, but its durability across a power loss is not
+    /// guaranteed — silently swallowing this hides exactly the failures a
+    /// durability audit needs).
+    pub fsync_failures: u64,
+    /// `LEADER` reads that found a torn/partial lease file and degraded
+    /// it to expired/absent (claimable) instead of erroring.
+    pub torn_lease_reads: u64,
+}
+
 /// A directory of `gen-N.ckpt` files plus a `MANIFEST` and a `LEADER`
 /// lease, all published atomically (tmp + fsync + rename). Suitable for
 /// any shared filesystem visible to all nodes.
@@ -284,6 +299,8 @@ pub struct FsCheckpointStore {
     /// Serializes lease read-modify-write within this process (fleets
     /// share one store handle, so in-process candidates never race).
     op_lock: Mutex<()>,
+    fsync_failures: AtomicU64,
+    torn_lease_reads: AtomicU64,
 }
 
 impl FsCheckpointStore {
@@ -297,6 +314,8 @@ impl FsCheckpointStore {
         let store = FsCheckpointStore {
             dir,
             op_lock: Mutex::new(()),
+            fsync_failures: AtomicU64::new(0),
+            torn_lease_reads: AtomicU64::new(0),
         };
         // At open this process has no publish or lease renewal in flight,
         // so a crashed writer's `LEADER.tmp` is reclaimable here too.
@@ -307,6 +326,14 @@ impl FsCheckpointStore {
     /// The store's directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Durability/corruption counters accumulated by this handle.
+    pub fn stats(&self) -> FsStoreStats {
+        FsStoreStats {
+            fsync_failures: self.fsync_failures.load(Ordering::Relaxed),
+            torn_lease_reads: self.torn_lease_reads.load(Ordering::Relaxed),
+        }
     }
 
     /// Path of a generation's checkpoint file.
@@ -375,11 +402,16 @@ impl FsCheckpointStore {
         removed
     }
 
-    /// Best-effort directory fsync, so the renames themselves are durable
-    /// (ignored on filesystems that reject directory handles).
+    /// Best-effort directory fsync, so the renames themselves are durable.
+    /// Failure (e.g. a filesystem that rejects directory handles, or a
+    /// genuine I/O error) doesn't fail the publish — the rename already
+    /// made it visible — but it is **counted**, never silently dropped:
+    /// a store whose renames aren't durable should show up in
+    /// [`FsCheckpointStore::stats`], not in a post-power-loss autopsy.
     fn sync_dir(&self) {
-        if let Ok(d) = std::fs::File::open(&self.dir) {
-            let _ = d.sync_all();
+        let synced = std::fs::File::open(&self.dir).and_then(|d| d.sync_all());
+        if synced.is_err() {
+            self.fsync_failures.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -517,10 +549,16 @@ impl CheckpointStore for FsCheckpointStore {
         };
         let mut lines = text.lines();
         if lines.next() != Some(LEASE_HEADER) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed lease: missing '{LEASE_HEADER}' header"),
-            ));
+            // Torn from the first line (or outright garbage): there is no
+            // lease to honor. Treating this as an *error* would make every
+            // candidate's claim loop fail forever on one bad write; treating
+            // it as absent makes it claimable, which is safe — the next
+            // successful claim rewrites the file whole. (Worst case, with
+            // the term line also lost, the minted term restarts low; fence
+            // comparisons only ever consult this same file, so fencing
+            // stays internally consistent.)
+            self.torn_lease_reads.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
         }
         let mut holder = None;
         let mut term = None;
@@ -540,10 +578,25 @@ impl CheckpointStore for FsCheckpointStore {
                 term,
                 expires_at_ms,
             })),
-            _ => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "malformed lease: need holder=, term=, expires_at_ms= lines",
-            )),
+            (holder, Some(term), _) => {
+                // Torn after the term line (the common torn-write shape:
+                // lines land in write order). The fencing-critical term
+                // survived, so preserve it in an already-expired lease —
+                // claimable by any candidate, whose takeover mints
+                // `term + 1`, keeping the fence sequence monotonic.
+                self.torn_lease_reads.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(LeaderLease {
+                    holder: holder.unwrap_or_default(),
+                    term,
+                    expires_at_ms: 0,
+                }))
+            }
+            _ => {
+                // Header intact but no parseable term: degrade to absent,
+                // same claimability argument as the missing-header case.
+                self.torn_lease_reads.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
         }
     }
 
@@ -951,6 +1004,56 @@ mod tests {
             let fresh = store.try_acquire_lease("b", 2000, 100).unwrap().unwrap();
             assert_eq!(fresh.term, 3);
         }
+    }
+
+    #[test]
+    fn torn_lease_file_is_claimable_not_an_error_loop() {
+        let tmp = TempDir::new("torn-lease");
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        let lease = store.try_acquire_lease("a", 1000, 100).unwrap().unwrap();
+        assert_eq!(lease.term, 1);
+        let path = tmp.path().join(LEASE_NAME);
+
+        // Torn after the term line (a write that died mid-expiry-line):
+        // the lease reads as already expired with the term preserved, so
+        // a candidate claims it and the fence sequence stays monotonic.
+        std::fs::write(
+            &path,
+            format!("{LEASE_HEADER}\nholder=a\nterm=1\nexpires_at"),
+        )
+        .unwrap();
+        let torn = store.read_lease().unwrap().unwrap();
+        assert_eq!((torn.term, torn.expires_at_ms), (1, 0));
+        let claimed = store.try_acquire_lease("b", 2000, 100).unwrap().unwrap();
+        assert_eq!((claimed.holder.as_str(), claimed.term), ("b", 2));
+
+        // Torn before the term line: nothing worth honoring — absent,
+        // claimable.
+        std::fs::write(&path, format!("{LEASE_HEADER}\nhold")).unwrap();
+        assert_eq!(store.read_lease().unwrap(), None);
+
+        // Torn mid-header (or outright garbage): same.
+        std::fs::write(&path, "neo-clus").unwrap();
+        assert_eq!(store.read_lease().unwrap(), None);
+        std::fs::write(&path, "not a lease at all\n\0\0\0").unwrap();
+        assert_eq!(store.read_lease().unwrap(), None);
+        let reclaimed = store.try_acquire_lease("c", 3000, 100).unwrap().unwrap();
+        assert_eq!(reclaimed.holder, "c");
+
+        // Every degradation was counted, never silently absorbed.
+        assert!(store.stats().torn_lease_reads >= 4);
+    }
+
+    #[test]
+    fn fsync_failures_surface_in_store_stats() {
+        let tmp = TempDir::new("fsync-stats");
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        store.publish(1, &framed(1)).unwrap();
+        // On a healthy filesystem nothing failed — the counter exists and
+        // stays zero (the negative case; the failing case needs an
+        // unsyncable directory, which a unit test can't portably conjure).
+        assert_eq!(store.stats().fsync_failures, 0);
+        assert_eq!(store.stats().torn_lease_reads, 0);
     }
 
     #[test]

@@ -514,6 +514,7 @@ fn deposed_leaders_late_publish_is_fenced_and_it_adopts_the_successor() {
         lease_ttl_ms: 50,
         failover: false,
         retain_generations: None,
+        ..Default::default()
     };
     let trainer_cfg = TrainerConfig {
         epochs_per_generation: 3,

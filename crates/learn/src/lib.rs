@@ -58,9 +58,11 @@
 //! ```
 
 pub mod replay;
+pub mod retry;
 pub mod sink;
 pub mod trainer;
 
 pub use replay::{canonical_id, ReplayBuffer, ReplayConfig};
+pub use retry::{RetryPolicy, RetrySnapshot, RetryStats};
 pub use sink::{ExperienceRecord, ExperienceSink, DEFAULT_SINK_SHARDS};
 pub use trainer::{BackgroundTrainer, GenerationObserver, GenerationStats, TrainerConfig};

@@ -1,0 +1,277 @@
+//! Bounded retry with exponential backoff + jitter for transient store
+//! I/O.
+//!
+//! Every store-facing path in the fleet — follower sync, leader lease
+//! renewal/claim, trainer checkpoint persistence — goes through a
+//! [`RetryPolicy`]: a transient hiccup (the chaos layer's injected
+//! faults, a shared-filesystem blip, a momentary lease-file race) must
+//! not instantly veto a trained generation or silently skip a tick. The
+//! policy is deliberately small: bounded attempts, exponential delays
+//! capped at a ceiling, and seeded jitter (the vendored `rand` shim) so
+//! two nodes that fail together don't retry in lockstep.
+//!
+//! Retries only make sense for operations that are safe to re-issue.
+//! The store operations wrapped here all are: publishes are serialized
+//! and monotonic (a duplicate attempt gets a clean regression error, not
+//! a fork), lease acquisition is a serialized read-modify-write, and
+//! sync is a read. Non-transient errors still surface after the final
+//! attempt — the caller's failure handling (health counters, persist
+//! veto) runs only once the policy is exhausted.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bounded exponential backoff: `attempts` tries total, sleeping
+/// `base_delay_ms * 2^n` (capped at `max_delay_ms`) plus jitter between
+/// consecutive tries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (clamped to ≥ 1).
+    pub attempts: u32,
+    /// Backoff base, milliseconds (delay before the first retry).
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_delay_ms: u64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor
+    /// drawn uniformly from `[1 − jitter/2, 1 + jitter/2]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream (deterministic per policy value, so a
+    /// fixed-seed chaos run retries on a reproducible schedule).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay_ms: 2,
+            max_delay_ms: 50,
+            jitter: 0.5,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy: exactly one attempt, no sleeping — the
+    /// pre-chaos behavior, for callers that do their own scheduling.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The delay before retry number `retry` (0-based), jittered by
+    /// `rng`.
+    fn delay(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << retry.min(16))
+            .min(self.max_delay_ms);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = if jitter > 0.0 {
+            1.0 - jitter / 2.0 + rng.gen_range(0.0..jitter)
+        } else {
+            1.0
+        };
+        Duration::from_micros((exp as f64 * 1000.0 * factor) as u64)
+    }
+
+    /// Runs `op` until it succeeds or the attempt budget is spent,
+    /// recording every outcome in `stats`. Returns the first success or
+    /// the *last* error (earlier errors were, by definition, transient
+    /// enough to retry past).
+    pub fn run<T>(
+        &self,
+        stats: &RetryStats,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let attempts = self.attempts.max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for attempt in 0..attempts {
+            stats.attempts.fetch_add(1, Ordering::Relaxed);
+            match op() {
+                Ok(v) => {
+                    if attempt > 0 {
+                        stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(v);
+                }
+                Err(e) if attempt + 1 == attempts => {
+                    stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                Err(_) => {
+                    stats.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.delay(attempt, &mut rng));
+                }
+            }
+        }
+        unreachable!("attempts >= 1: the loop returns on its last iteration");
+    }
+}
+
+/// Shared retry accounting (atomics: updated from tick threads and the
+/// trainer, read by benches and health reporting).
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    recoveries: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl RetryStats {
+    /// A zeroed stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> RetrySnapshot {
+        RetrySnapshot {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of a [`RetryStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetrySnapshot {
+    /// Individual operation attempts (first tries included).
+    pub attempts: u64,
+    /// Attempts that failed with budget remaining (followed by a backoff
+    /// sleep and another attempt).
+    pub retries: u64,
+    /// Operations that succeeded on a retry — transient faults absorbed
+    /// by the policy.
+    pub recoveries: u64,
+    /// Operations whose final attempt failed — the error the caller saw.
+    pub exhausted: u64,
+}
+
+impl RetrySnapshot {
+    /// Counter-wise difference (`self − earlier`), for windowed views.
+    pub fn since(&self, earlier: &RetrySnapshot) -> RetrySnapshot {
+        RetrySnapshot {
+            attempts: self.attempts - earlier.attempts,
+            retries: self.retries - earlier.retries,
+            recoveries: self.recoveries - earlier.recoveries,
+            exhausted: self.exhausted - earlier.exhausted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn flaky(fail_first: u32) -> impl FnMut() -> io::Result<u32> {
+        let calls = AtomicU32::new(0);
+        move || {
+            let n = calls.fetch_add(1, Ordering::Relaxed);
+            if n < fail_first {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "transient"))
+            } else {
+                Ok(n)
+            }
+        }
+    }
+
+    #[test]
+    fn first_try_success_records_no_retries() {
+        let stats = RetryStats::new();
+        let v = RetryPolicy::default().run(&stats, flaky(0)).unwrap();
+        assert_eq!(v, 0);
+        let s = stats.snapshot();
+        assert_eq!(
+            (s.attempts, s.retries, s.recoveries, s.exhausted),
+            (1, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn transient_failures_are_absorbed_and_counted() {
+        let stats = RetryStats::new();
+        let policy = RetryPolicy {
+            base_delay_ms: 0,
+            ..Default::default()
+        };
+        let v = policy.run(&stats, flaky(2)).unwrap();
+        assert_eq!(v, 2);
+        let s = stats.snapshot();
+        assert_eq!(
+            (s.attempts, s.retries, s.recoveries, s.exhausted),
+            (3, 2, 1, 0)
+        );
+    }
+
+    #[test]
+    fn exhaustion_returns_the_last_error() {
+        let stats = RetryStats::new();
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay_ms: 0,
+            ..Default::default()
+        };
+        let err = policy.run(&stats, flaky(99)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let s = stats.snapshot();
+        assert_eq!(
+            (s.attempts, s.retries, s.recoveries, s.exhausted),
+            (3, 2, 0, 1)
+        );
+    }
+
+    #[test]
+    fn none_policy_is_a_single_attempt() {
+        let stats = RetryStats::new();
+        let err = RetryPolicy::none().run(&stats, flaky(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(stats.snapshot().attempts, 1);
+        assert_eq!(stats.snapshot().exhausted, 1);
+    }
+
+    #[test]
+    fn delays_grow_exponentially_and_cap() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay_ms: 2,
+            max_delay_ms: 10,
+            jitter: 0.0,
+            seed: 7,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let delays: Vec<u128> = (0..5)
+            .map(|n| policy.delay(n, &mut rng).as_millis())
+            .collect();
+        assert_eq!(delays, vec![2, 4, 8, 10, 10]);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_declared_band() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 10,
+            jitter: 0.5,
+            seed: 11,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 0..100 {
+            let d = policy.delay(n % 4, &mut rng).as_secs_f64() * 1e3;
+            assert!((7.5..=12.5).contains(&d), "delay {d} ms out of band");
+        }
+    }
+}

@@ -83,9 +83,13 @@ impl ExperienceSink {
             return;
         }
         let shard = record.fingerprint.shard(self.shards.len());
+        // Poison-recover: the shard holds pure data (a Vec of records) and
+        // the critical section is a single push — a serving worker that
+        // panicked here cannot have left the shard torn, and its panic
+        // must not cascade into every other worker sharing the shard.
         self.shards[shard]
             .lock()
-            .expect("sink shard poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(record);
         self.pushed.fetch_add(1, Ordering::Release);
     }
@@ -113,7 +117,9 @@ impl ExperienceSink {
     pub fn drain(&self) -> Vec<ExperienceRecord> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let mut guard = shard.lock().expect("sink shard poisoned");
+            let mut guard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             out.append(&mut guard);
         }
         self.drained.fetch_add(out.len() as u64, Ordering::Release);

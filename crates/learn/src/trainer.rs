@@ -20,6 +20,7 @@
 //! from `cfg.seed ^ generation`.
 
 use crate::replay::{ReplayBuffer, ReplayConfig};
+use crate::retry::{RetryPolicy, RetrySnapshot, RetryStats};
 use crate::sink::ExperienceSink;
 use neo::{checkpoint, TrainingSet, ValueNet};
 use neo_query::Query;
@@ -77,6 +78,12 @@ pub struct TrainerConfig {
     /// `<dir>/gen-<N>.ckpt` (the latest checkpoint is always retrievable
     /// in-memory via [`BackgroundTrainer::latest_checkpoint`]).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Retry policy for the [`GenerationObserver`] persist call: a
+    /// transient store hiccup is retried with backoff instead of
+    /// instantly vetoing a trained generation. Only a policy-exhausting
+    /// failure counts as a [`BackgroundTrainer::persist_failures`] veto.
+    /// Use [`RetryPolicy::none`] for the old fail-fast behavior.
+    pub persist_retry: RetryPolicy,
 }
 
 impl Default for TrainerConfig {
@@ -91,6 +98,7 @@ impl Default for TrainerConfig {
             seed: 42,
             term: 0,
             checkpoint_dir: None,
+            persist_retry: RetryPolicy::default(),
         }
     }
 }
@@ -145,6 +153,9 @@ struct TrainerShared {
     buffer: Mutex<ReplayBuffer>,
     cfg: TrainerConfig,
     observer: Option<Arc<dyn GenerationObserver>>,
+    /// Accounting for the observer-persist retry loop
+    /// ([`TrainerConfig::persist_retry`]).
+    persist_retry_stats: RetryStats,
     state: Mutex<TrainerState>,
     cv: Condvar,
 }
@@ -186,6 +197,7 @@ impl BackgroundTrainer {
             buffer: Mutex::new(ReplayBuffer::new(replay)),
             cfg,
             observer,
+            persist_retry_stats: RetryStats::new(),
             state: Mutex::new(TrainerState {
                 requested: 0,
                 completed: 0,
@@ -284,6 +296,15 @@ impl BackgroundTrainer {
             .lock()
             .expect("trainer state poisoned")
             .persist_failures
+    }
+
+    /// Retry accounting for checkpoint persistence
+    /// ([`TrainerConfig::persist_retry`]): attempts, backoff retries,
+    /// recoveries (transient faults absorbed without losing the
+    /// generation), and exhaustions (each one also a
+    /// [`Self::persist_failures`] veto).
+    pub fn persist_retry_stats(&self) -> RetrySnapshot {
+        self.shared.persist_retry_stats.snapshot()
     }
 
     /// Restores a checkpoint (as returned by [`Self::latest_checkpoint`]
@@ -459,8 +480,13 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
         // The observer (e.g. the cluster's shared checkpoint store) must
         // accept the generation before it may serve: publishing a model the
         // rest of the fleet can never fetch would fork the fleet's
-        // generation history.
-        if let Err(e) = observer.on_checkpoint(upcoming_generation, &framed) {
+        // generation history. Transient store faults are retried with
+        // backoff (`cfg.persist_retry`) — only an exhausted policy vetoes
+        // minutes of training.
+        let persisted = cfg.persist_retry.run(&shared.persist_retry_stats, || {
+            observer.on_checkpoint(upcoming_generation, &framed)
+        });
+        if let Err(e) = persisted {
             eprintln!(
                 "neo-learn: generation {upcoming_generation} not published: \
                  checkpoint persistence failed: {e}"

@@ -77,10 +77,15 @@ impl ScratchPool {
     }
 
     /// Takes a scratch set out of the pool (or a fresh one when empty).
+    ///
+    /// The free-list lock poison-recovers throughout: it guards a plain
+    /// `Vec` of reusable buffers under O(1) push/pop critical sections, so
+    /// a panicked peer cannot have left it torn — and losing the pool
+    /// would take every serving worker down with that one panic.
     pub fn checkout(&self) -> Scratch {
         self.free
             .lock()
-            .expect("scratch pool lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default()
     }
@@ -90,13 +95,16 @@ impl ScratchPool {
     pub fn give_back(&self, scratch: Scratch) {
         self.free
             .lock()
-            .expect("scratch pool lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(scratch);
     }
 
     /// Number of scratch sets currently checked in.
     pub fn available(&self) -> usize {
-        self.free.lock().expect("scratch pool lock poisoned").len()
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 }
 

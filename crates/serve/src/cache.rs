@@ -202,6 +202,18 @@ impl PlanCache {
         &self.shards[fp.shard(self.shards.len())]
     }
 
+    /// Locks one shard, recovering from poison: shards hold pure cache
+    /// data whose critical sections never leave it logically torn (at
+    /// worst one entry is mid-replacement, which the next probe self-heals
+    /// by evicting), and one panicked worker must not cascade its panic
+    /// into every other worker hashing to the same shard. Poisoning is
+    /// still *observable* via [`PlanCache::any_poisoned`].
+    fn lock_shard(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Probes the cache. A current-epoch entry is a hit (and gets its
     /// CLOCK reference bit set); a stale entry is evicted and counted as a
     /// miss. The returned `Arc` keeps the hit path O(1) under the shard
@@ -216,7 +228,7 @@ impl PlanCache {
     /// races a model publish.
     pub fn get_with_generation(&self, fp: QueryFingerprint) -> Option<(Arc<PlanNode>, u64)> {
         let epoch = self.epoch();
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = Self::lock_shard(self.shard(fp));
         let hit = match shard.index.get(&fp).copied() {
             Some(si) => {
                 let slot = &mut shard.slots[si];
@@ -272,7 +284,7 @@ impl PlanCache {
     /// seed, or their results could diverge. [`CacheStats::seed_hits`]
     /// counts every handout (one per seeded search).
     pub fn seed(&self, fp: QueryFingerprint) -> Option<Arc<PlanNode>> {
-        let shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let shard = Self::lock_shard(self.shard(fp));
         let seed = shard.seeds.get(&fp).map(|s| Arc::clone(&s.plan));
         drop(shard);
         if seed.is_some() {
@@ -285,7 +297,7 @@ impl PlanCache {
     pub fn num_seeds(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").seeds.len())
+            .map(|s| Self::lock_shard(s).seeds.len())
             .sum()
     }
 
@@ -316,7 +328,7 @@ impl PlanCache {
             generation,
         };
         let mut evicted = 0u64;
-        let mut shard = self.shard(fp).lock().expect("cache shard poisoned");
+        let mut shard = Self::lock_shard(self.shard(fp));
         if let Some(&si) = shard.index.get(&fp) {
             // Re-insert over the existing slot (a racing duplicate search,
             // or a refresh): replace in place, grant a reference.
@@ -371,7 +383,7 @@ impl PlanCache {
     pub fn advance_epoch(&self) -> u64 {
         let new = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("cache shard poisoned");
+            let mut shard = Self::lock_shard(shard);
             // Merge-then-prune rather than wholesale replacement: probes
             // racing this sweep demote stale entries into `seeds`
             // themselves (see `get_with_generation`), and those demotions
@@ -420,7 +432,7 @@ impl PlanCache {
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").index.len())
+            .map(|s| Self::lock_shard(s).index.len())
             .collect()
     }
 

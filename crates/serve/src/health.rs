@@ -1,0 +1,315 @@
+//! Node health: a consecutive-failure state machine over store I/O.
+//!
+//! A fleet member's view of the shared checkpoint store degrades in
+//! stages, not binary up/down: one failed tick is noise, three in a row
+//! is a node falling behind, eight is a node that should stop
+//! pretending it can coordinate. [`HealthTracker`] encodes that as
+//! `Healthy → Degraded → Isolated` with symmetric, stepwise recovery —
+//! `recover_after` consecutive successes walk one level back toward
+//! Healthy, so a node that flapped straight to Isolated must prove
+//! itself twice before reporting Healthy again.
+//!
+//! The cluster layer feeds it one verdict per background tick (after
+//! retries — a fault absorbed by the retry policy is a success here) and
+//! reads the state to act: a **Degraded leader resigns** before its
+//! lease lapses mid-publish, handing leadership to a candidate that can
+//! actually reach the store. The tracker itself is deliberately
+//! store-agnostic: it counts verdicts, whatever produced them.
+
+use std::sync::Mutex;
+
+/// How reachable this node believes its coordination dependencies are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Operating normally.
+    Healthy,
+    /// Consecutive failures crossed [`HealthPolicy::degraded_after`]:
+    /// the node keeps serving but should shed coordination duties (a
+    /// degraded leader resigns).
+    Degraded,
+    /// Consecutive failures crossed [`HealthPolicy::isolated_after`]:
+    /// the node is effectively partitioned from the store and reports
+    /// itself unfit to coordinate.
+    Isolated,
+}
+
+impl HealthState {
+    /// Short lowercase label (for reports and JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Isolated => "isolated",
+        }
+    }
+
+    fn toward_healthy(self) -> HealthState {
+        match self {
+            HealthState::Healthy | HealthState::Degraded => HealthState::Healthy,
+            HealthState::Isolated => HealthState::Degraded,
+        }
+    }
+}
+
+/// Thresholds for the health state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive failures before `Healthy → Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive failures before `Degraded → Isolated` (counted from
+    /// the same streak; clamped to ≥ `degraded_after`).
+    pub isolated_after: u32,
+    /// Consecutive successes per recovery step (`Isolated → Degraded`,
+    /// `Degraded → Healthy`; clamped to ≥ 1).
+    pub recover_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degraded_after: 3,
+            isolated_after: 8,
+            recover_after: 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    state: HealthState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    total_failures: u64,
+    total_successes: u64,
+    transitions: u64,
+    degraded_entries: u64,
+    isolated_entries: u64,
+    recoveries: u64,
+    last_error: Option<String>,
+}
+
+/// A point-in-time view of a [`HealthTracker`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Current state.
+    pub state: HealthState,
+    /// Length of the current failure streak.
+    pub consecutive_failures: u32,
+    /// Verdicts recorded as failures, ever.
+    pub total_failures: u64,
+    /// Verdicts recorded as successes, ever.
+    pub total_successes: u64,
+    /// State changes, ever (both directions).
+    pub transitions: u64,
+    /// Times the tracker entered `Degraded` (from either side).
+    pub degraded_entries: u64,
+    /// Times the tracker entered `Isolated`.
+    pub isolated_entries: u64,
+    /// Times the tracker returned all the way to `Healthy`.
+    pub recoveries: u64,
+    /// The most recent failure's message, if any failure ever happened.
+    pub last_error: Option<String>,
+}
+
+/// Thread-safe consecutive-failure health state machine. One tracker per
+/// node; verdicts arrive from its background tick thread, state reads
+/// from anywhere.
+#[derive(Debug)]
+pub struct HealthTracker {
+    policy: HealthPolicy,
+    inner: Mutex<HealthInner>,
+}
+
+impl Default for HealthTracker {
+    fn default() -> Self {
+        Self::new(HealthPolicy::default())
+    }
+}
+
+impl HealthTracker {
+    /// A tracker starting `Healthy` under `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthTracker {
+            policy,
+            inner: Mutex::new(HealthInner {
+                state: HealthState::Healthy,
+                consecutive_failures: 0,
+                consecutive_successes: 0,
+                total_failures: 0,
+                total_successes: 0,
+                transitions: 0,
+                degraded_entries: 0,
+                isolated_entries: 0,
+                recoveries: 0,
+                last_error: None,
+            }),
+        }
+    }
+
+    /// The policy this tracker runs under.
+    pub fn policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Records a failed verdict (one per tick, *after* retries — the
+    /// streak measures sustained unreachability, not per-attempt noise).
+    /// Returns the possibly-advanced state.
+    pub fn record_failure(&self, error: impl Into<String>) -> HealthState {
+        let mut inner = self.lock();
+        inner.consecutive_successes = 0;
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        inner.total_failures += 1;
+        inner.last_error = Some(error.into());
+        let degraded_after = self.policy.degraded_after.max(1);
+        let isolated_after = self.policy.isolated_after.max(degraded_after);
+        let next = if inner.consecutive_failures >= isolated_after {
+            HealthState::Isolated
+        } else if inner.consecutive_failures >= degraded_after {
+            HealthState::Degraded
+        } else {
+            inner.state
+        };
+        self.transition(&mut inner, next);
+        inner.state
+    }
+
+    /// Records a successful verdict; every `recover_after` consecutive
+    /// successes step one level back toward `Healthy`. Returns the
+    /// possibly-recovered state.
+    pub fn record_success(&self) -> HealthState {
+        let mut inner = self.lock();
+        inner.consecutive_failures = 0;
+        inner.total_successes += 1;
+        if inner.state == HealthState::Healthy {
+            inner.consecutive_successes = 0;
+            return HealthState::Healthy;
+        }
+        inner.consecutive_successes += 1;
+        if inner.consecutive_successes >= self.policy.recover_after.max(1) {
+            inner.consecutive_successes = 0;
+            let next = inner.state.toward_healthy();
+            self.transition(&mut inner, next);
+        }
+        inner.state
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.lock().state
+    }
+
+    /// Full counter snapshot.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let inner = self.lock();
+        HealthSnapshot {
+            state: inner.state,
+            consecutive_failures: inner.consecutive_failures,
+            total_failures: inner.total_failures,
+            total_successes: inner.total_successes,
+            transitions: inner.transitions,
+            degraded_entries: inner.degraded_entries,
+            isolated_entries: inner.isolated_entries,
+            recoveries: inner.recoveries,
+            last_error: inner.last_error.clone(),
+        }
+    }
+
+    fn transition(&self, inner: &mut HealthInner, next: HealthState) {
+        if next == inner.state {
+            return;
+        }
+        inner.transitions += 1;
+        match next {
+            HealthState::Degraded => inner.degraded_entries += 1,
+            HealthState::Isolated => inner.isolated_entries += 1,
+            HealthState::Healthy => inner.recoveries += 1,
+        }
+        inner.state = next;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthInner> {
+        // Pure-data state: a peer that panicked mid-update left counters
+        // at worst one verdict stale, never logically torn — recover
+        // instead of cascading the panic into every health reader.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HealthTracker {
+        HealthTracker::new(HealthPolicy {
+            degraded_after: 3,
+            isolated_after: 5,
+            recover_after: 2,
+        })
+    }
+
+    #[test]
+    fn consecutive_failures_walk_through_the_states() {
+        let t = tracker();
+        assert_eq!(t.record_failure("a"), HealthState::Healthy);
+        assert_eq!(t.record_failure("b"), HealthState::Healthy);
+        assert_eq!(t.record_failure("c"), HealthState::Degraded);
+        assert_eq!(t.record_failure("d"), HealthState::Degraded);
+        assert_eq!(t.record_failure("e"), HealthState::Isolated);
+        let s = t.snapshot();
+        assert_eq!(s.degraded_entries, 1);
+        assert_eq!(s.isolated_entries, 1);
+        assert_eq!(s.consecutive_failures, 5);
+        assert_eq!(s.last_error.as_deref(), Some("e"));
+    }
+
+    #[test]
+    fn one_success_resets_the_failure_streak() {
+        let t = tracker();
+        t.record_failure("x");
+        t.record_failure("x");
+        assert_eq!(t.record_success(), HealthState::Healthy);
+        assert_eq!(t.record_failure("y"), HealthState::Healthy);
+        assert_eq!(t.snapshot().consecutive_failures, 1);
+    }
+
+    #[test]
+    fn recovery_is_stepwise_isolated_degraded_healthy() {
+        let t = tracker();
+        for _ in 0..5 {
+            t.record_failure("down");
+        }
+        assert_eq!(t.state(), HealthState::Isolated);
+        assert_eq!(t.record_success(), HealthState::Isolated);
+        assert_eq!(t.record_success(), HealthState::Degraded);
+        assert_eq!(t.record_success(), HealthState::Degraded);
+        assert_eq!(t.record_success(), HealthState::Healthy);
+        let s = t.snapshot();
+        assert_eq!(s.recoveries, 1);
+        // Isolated→Degraded + Degraded→Healthy + the two downward moves.
+        assert_eq!(s.transitions, 4);
+    }
+
+    #[test]
+    fn a_failure_mid_recovery_restarts_the_success_streak() {
+        let t = tracker();
+        for _ in 0..3 {
+            t.record_failure("down");
+        }
+        assert_eq!(t.state(), HealthState::Degraded);
+        t.record_success();
+        t.record_failure("again");
+        // The single success before the relapse must not count toward
+        // recovery.
+        assert_eq!(t.record_success(), HealthState::Degraded);
+        assert_eq!(t.record_success(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn states_order_by_severity() {
+        assert!(HealthState::Healthy < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Isolated);
+        assert_eq!(HealthState::Degraded.label(), "degraded");
+    }
+}

@@ -19,7 +19,11 @@
 //!   [`neo::InferenceSession`]-backed wavefront search with scratch
 //!   buffers recycled per worker through a [`neo_nn::ScratchPool`], plus
 //!   the [`service::ExecutionFeedback`] path that feeds observed plan
-//!   latencies back to the `neo-learn` trainer (the paper's Fig. 1 loop).
+//!   latencies back to the `neo-learn` trainer (the paper's Fig. 1 loop);
+//! * [`health::HealthTracker`] — the consecutive-failure node health
+//!   state machine (`Healthy → Degraded → Isolated`, stepwise recovery)
+//!   the cluster layer feeds with per-tick store verdicts so a degraded
+//!   leader can resign before its lease lapses mid-publish.
 //!
 //! Cache hits return previously chosen plans for repeated/isomorphic
 //! queries with zero neural-network work; parameter-perturbed queries
@@ -49,12 +53,14 @@
 //! ```
 
 pub mod cache;
+pub mod health;
 pub mod join;
 pub mod pool;
 pub mod service;
 pub mod slot;
 
 pub use cache::{CacheStats, PlanCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY};
+pub use health::{HealthPolicy, HealthSnapshot, HealthState, HealthTracker};
 pub use join::{join_named, join_named_or_ignore_during_unwind};
 pub use pool::WorkerPool;
 pub use service::{ExecutionFeedback, OptimizeOutcome, OptimizerService, ServeConfig};

@@ -38,9 +38,14 @@ impl WorkerPool {
                     .name(format!("neo-serve-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the lock only to dequeue; run unlocked so
-                        // workers execute jobs concurrently.
+                        // workers execute jobs concurrently. Poison-recover:
+                        // jobs run *outside* the lock, so the guard is only
+                        // ever poisoned by a panic inside `recv` itself —
+                        // and one worker's death must not wedge the queue
+                        // for every survivor.
                         let job = {
-                            let guard = rx.lock().expect("worker queue lock poisoned");
+                            let guard =
+                                rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                             guard.recv()
                         };
                         match job {
