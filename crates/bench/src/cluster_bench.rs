@@ -37,7 +37,9 @@
 use neo::{Featurization, Featurizer, NetConfig, ValueNet};
 use neo_cluster::{
     ChaosConfig, CheckpointStore, Cluster, ClusterConfig, FaultInjectingStore, FsCheckpointStore,
+    DEFAULT_EVENT_CAPACITY,
 };
+use neo_obs::{EventKind, EventRing};
 use neo_engine::{true_latency, CardinalityOracle, Engine};
 use neo_learn::{ReplayConfig, RetryPolicy, TrainerConfig};
 use neo_query::{workload::job, PlanNode, Query};
@@ -311,6 +313,20 @@ pub struct ChaosPoint {
     /// `*.tmp` files on disk at the end (must be 0: crash litter is
     /// swept by the next successful publish).
     pub tmp_files: usize,
+    /// The ex-leader's measured Degraded→Healthy excursion, ms (the
+    /// health tracker's `last_recovery_ms` after the fleet recovered).
+    pub leader_recovery_ms: f64,
+    /// Events captured by the shared ring across storm + outage +
+    /// recovery (chaos faults, health transitions, resignation, fenced
+    /// takeover, model swaps).
+    pub events_recorded: usize,
+    /// The post-recovery [`neo_obs::FleetSnapshot`] as JSON: per-node
+    /// metrics registries, health, and the full event-ring dump — the
+    /// log-free postmortem record, embedded in `BENCH_cluster_chaos.json`.
+    pub fleet: String,
+    /// Metrics snapshot of the ex-leader's service after recovery
+    /// (surfaces as the envelope's `metrics` section).
+    pub metrics: neo_obs::MetricsSnapshot,
 }
 
 /// Results of one cluster-bench run (serialized to `BENCH_cluster.json`).
@@ -406,6 +422,7 @@ fn cluster_cfg(cfg: &ClusterBenchConfig, nodes: usize) -> ClusterConfig {
         retain_generations: None,
         retry: RetryPolicy::default(),
         health: HealthPolicy::default(),
+        events: None,
     }
 }
 
@@ -814,9 +831,14 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
             latency_ms: 1,
         },
     ));
-    // Fleet assembly happens before the storm starts.
+    // Fleet assembly happens before the storm starts. One shared event
+    // ring spans the chaos layer and every node: the postmortem below is
+    // reconstructed from this ring alone, no logs.
     chaos.set_paused(true);
+    let events = Arc::new(EventRing::new(DEFAULT_EVENT_CAPACITY));
+    chaos.attach_events(Arc::clone(&events), "chaos-store");
     let mut fleet_cfg = cluster_cfg(cfg, nodes);
+    fleet_cfg.events = Some(Arc::clone(&events));
     fleet_cfg.failover = true;
     fleet_cfg.lease_ttl_ms = CHAOS_LEASE_TTL_MS;
     fleet_cfg.retain_generations = Some(cfg.retain_generations);
@@ -1051,6 +1073,54 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
         "no promotion happened across the outage"
     );
 
+    // Satellite: the ex-leader's Degraded→Healthy excursion must be a
+    // *measurable duration*, not just a counter — the monotonic
+    // transition timestamps exist precisely so this number exists.
+    let leader_recovery_ms = cluster
+        .node(soak_leader)
+        .health()
+        .last_recovery_ms
+        .expect("the ex-leader's recovery time must be measurable");
+    assert!(
+        leader_recovery_ms > 0.0,
+        "recovery duration collapsed to zero"
+    );
+
+    // Postmortem from the event ring alone: the outage starts, the soak
+    // leader resigns *after* it, and a successor acquires the fencing
+    // term after that — the full story, with no recourse to logs.
+    let ring_events = events.snapshot();
+    let soak_leader_name = format!("node-{soak_leader}");
+    let outage_at = ring_events
+        .iter()
+        .position(|e| e.kind == EventKind::Outage && e.detail == "start")
+        .expect("outage start missing from the event ring");
+    let resign_at = ring_events
+        .iter()
+        .position(|e| {
+            e.kind == EventKind::LeaderResigned
+                && e.node == soak_leader_name
+                && e.detail.contains(&format!("term {old_term}"))
+        })
+        .expect("soak leader's resignation missing from the event ring");
+    let takeover_at = ring_events
+        .iter()
+        .position(|e| {
+            e.kind == EventKind::LeaseAcquired && e.detail.contains(&format!("term {new_term}"))
+        })
+        .expect("fenced takeover missing from the event ring");
+    assert!(
+        outage_at < resign_at && resign_at < takeover_at,
+        "event ring does not reconstruct outage ({outage_at}) -> resign \
+         ({resign_at}) -> fenced takeover ({takeover_at})"
+    );
+    assert!(
+        ring_events
+            .iter()
+            .any(|e| e.kind == EventKind::ChaosFault && e.node == "chaos-store"),
+        "injected faults left no trace in the event ring"
+    );
+
     // Fleet-wide retry totals: the storm must have exercised the retry
     // path and recovered through it.
     let (mut attempts, mut retries, mut recoveries, mut exhausted) = (0u64, 0u64, 0u64, 0u64);
@@ -1109,6 +1179,10 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
         plans_identical,
         retained_checkpoints,
         tmp_files,
+        leader_recovery_ms,
+        events_recorded: ring_events.len(),
+        fleet: cluster.fleet_snapshot().to_json(),
+        metrics: cluster.node(soak_leader).service().metrics_snapshot(),
     };
     drop(cluster);
     let _ = std::fs::remove_dir_all(&dir);
@@ -1314,7 +1388,9 @@ impl ChaosPoint {
              \"old_term\": {}, \"new_term\": {}, \"leader_degraded_entries\": {}, \
              \"resigned_before_lease_expiry\": {}, \"outage_ms\": {:.2}, \
              \"recovered_all_healthy\": {}, \"plans_identical\": {}, \
-             \"retained_checkpoints\": {}, \"tmp_files\": {}}}",
+             \"retained_checkpoints\": {}, \"tmp_files\": {}, \
+             \"leader_recovery_ms\": {:.2}, \"events_recorded\": {}, \
+             \"fleet\": {}}}",
             self.nodes,
             self.seed,
             self.fault_rate,
@@ -1343,7 +1419,10 @@ impl ChaosPoint {
             self.recovered_all_healthy,
             self.plans_identical,
             self.retained_checkpoints,
-            self.tmp_files
+            self.tmp_files,
+            self.leader_recovery_ms,
+            self.events_recorded,
+            self.fleet.trim_end()
         )
     }
 }
@@ -1480,7 +1559,21 @@ mod tests {
         assert!(c.recovered_all_healthy && c.plans_identical);
         assert_eq!(c.tmp_files, 0);
         assert!(c.final_generation > c.soak_generations);
+        // Observability: the recovery excursion is a measurable duration,
+        // the shared ring captured the storm, and the fleet snapshot is a
+        // well-formed JSON document with the event dump inside.
+        assert!(c.leader_recovery_ms > 0.0);
+        assert!(c.events_recorded > 0);
+        assert!(neo_obs::validate(&c.fleet).is_ok(), "fleet snapshot JSON");
+        assert!(c.fleet.contains("\"events\""));
+        assert!(c.fleet.contains("\"nodes\""));
+        assert!(c.metrics.counter("serve_requests_total").unwrap() > 0);
+        assert!(c
+            .metrics
+            .counter("cluster_sync_adoptions_total")
+            .is_some());
         let json = report.to_json();
+        assert!(neo_obs::validate(&json).is_ok(), "report JSON malformed");
         assert!(json.contains("\"plans_identical\": true"));
         assert!(json.contains("\"retrained_during_recovery\": false"));
         assert!(json.contains("\"survivors_identical\": true"));

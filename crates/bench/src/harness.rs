@@ -560,6 +560,12 @@ pub struct SearchBenchReport {
     pub speedup: f64,
     /// End-to-end `best_first_search` runs at several wavefront widths.
     pub searches: Vec<SearchPoint>,
+    /// Metrics recorded by the bench itself (search walls as a
+    /// [`neo_obs::LatencyHistogram`], expansion/scored totals): the raw
+    /// search library has no service wrapper, so the bench carries its own
+    /// registry and the envelope's `metrics` section shows the same
+    /// latencies a scrape of a serving node would.
+    pub metrics: neo_obs::MetricsSnapshot,
 }
 
 /// Measures plans-scored/sec for the legacy per-expansion `predict` path
@@ -673,10 +679,17 @@ pub fn run_search_bench(scale: f64, seed: u64) -> SearchBenchReport {
         .fold(0.0f64, f64::max);
     let speedup = best_new / old_path.plans_per_sec.max(1e-9);
 
+    let registry = neo_obs::MetricsRegistry::new();
+    let wall_hist = registry.histogram("search_wall_ms");
+    let expansions_total = registry.counter("search_expansions_total");
+    let scored_total = registry.counter("search_plans_scored_total");
     let mut searches = Vec::new();
     for k in [1usize, 4, neo::DEFAULT_WAVEFRONT.max(8)] {
         let budget = SearchBudget::timed(250.0).with_wavefront(k);
         let (_, stats) = best_first_search(&net, &f, &db, q, budget, None);
+        wall_hist.record_ms(stats.wall_ms);
+        expansions_total.add(stats.expansions as u64);
+        scored_total.add(stats.scored as u64);
         searches.push(SearchPoint {
             wavefront: k,
             expansions: stats.expansions,
@@ -692,6 +705,7 @@ pub fn run_search_bench(scale: f64, seed: u64) -> SearchBenchReport {
         new_path,
         speedup,
         searches,
+        metrics: registry.snapshot(),
     }
 }
 

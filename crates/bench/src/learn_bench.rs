@@ -163,6 +163,11 @@ pub struct LearnBenchReport {
     /// Plans re-served after the final swap are identical across two
     /// synchronous passes (determinism per generation).
     pub stable_after_final_swap: bool,
+    /// Metrics snapshot of the throughput service after its training-
+    /// concurrent window: `serve_*` counters/histograms plus the `learn_*`
+    /// metrics its saturated background trainer registered (surfaces as
+    /// the envelope's `metrics` section in `BENCH_learn.json`).
+    pub metrics: neo_obs::MetricsSnapshot,
 }
 
 fn net_cfg() -> NetConfig {
@@ -476,6 +481,7 @@ pub fn run_learn_bench(cfg: &LearnBenchConfig) -> LearnBenchReport {
         swap_max_us,
         checkpoint_roundtrip_ok,
         stable_after_final_swap,
+        metrics: tsvc.metrics_snapshot(),
     }
 }
 
@@ -592,6 +598,15 @@ mod tests {
         assert!(report.checkpoint_roundtrip_ok);
         assert!(report.throughput_frozen_qps > 0.0);
         assert!(report.throughput_training_qps > 0.0);
+        // The envelope snapshot carries both serve- and learn-side metrics:
+        // the measured window served real streams and completed ≥1
+        // background generation.
+        assert!(report.metrics.counter("serve_requests_total").unwrap() > 0);
+        assert!(
+            report.metrics.counter("learn_generations_total").unwrap_or(0)
+                >= report.generations_during_window,
+            "trainer generations missing from the service registry"
+        );
         let json = report.to_json();
         assert!(json.contains("\"checkpoint_roundtrip_ok\": true"));
         assert!(json.contains("\"stable_after_final_swap\": true"));

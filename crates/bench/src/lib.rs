@@ -28,6 +28,45 @@ pub use harness::{
 pub use learn_bench::{run_learn_bench, LearnBenchConfig, LearnBenchReport};
 pub use serve_bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
 
+/// Number of hardware threads available to this process (1 if unknown).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Wraps a bench report in the uniform `BENCH_*.json` envelope shared by
+/// every experiment: bench name, host parallelism, wall-clock seconds, the
+/// in-process [`neo_obs`] metrics snapshot (or `null` when the experiment
+/// has none), and the experiment-specific report under `"report"`.
+///
+/// The assembled document is validated with [`neo_obs::validate`]; a report
+/// that emits malformed JSON aborts the run here rather than producing an
+/// unreadable artifact.
+pub fn bench_envelope(
+    bench: &str,
+    wall_clock_s: f64,
+    metrics: Option<&neo_obs::MetricsSnapshot>,
+    report_json: &str,
+) -> String {
+    let metrics_json = match metrics {
+        Some(snap) => snap.to_node().render(),
+        None => "null".to_string(),
+    };
+    let out = format!(
+        "{{\n\"bench\": \"{}\",\n\"available_parallelism\": {},\n\"wall_clock_s\": {:.3},\n\"metrics\": {},\n\"report\": {}\n}}\n",
+        bench,
+        host_parallelism(),
+        wall_clock_s,
+        metrics_json,
+        report_json.trim_end(),
+    );
+    if let Err(e) = neo_obs::validate(&out) {
+        panic!("bench envelope for {bench} is not valid JSON: {e}");
+    }
+    out
+}
+
 /// Prints a horizontal rule + section title.
 pub fn section(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -75,5 +114,24 @@ mod tests {
     #[test]
     fn variance_of_constant_is_zero() {
         assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn envelope_is_valid_json_with_and_without_metrics() {
+        let registry = neo_obs::MetricsRegistry::new();
+        registry.counter("bench_test_total").add(3);
+        let snap = registry.snapshot();
+        let with = bench_envelope("unit", 1.25, Some(&snap), "{\"x\": 1}\n");
+        assert!(neo_obs::validate(&with).is_ok());
+        assert!(with.contains("\"bench\": \"unit\""));
+        assert!(with.contains("bench_test_total"));
+        let without = bench_envelope("unit", 0.5, None, "{\"x\": 1}");
+        assert!(without.contains("\"metrics\": null"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not valid JSON")]
+    fn envelope_rejects_malformed_report() {
+        bench_envelope("unit", 0.0, None, "{\"x\": ");
     }
 }

@@ -111,10 +111,14 @@ fn main() {
                 0.05
             };
             neo_bench::section("search/inference throughput (BENCH_search.json)");
+            let started = std::time::Instant::now();
             let report = neo_bench::harness::run_search_bench(scale, preset.seed);
+            let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_search.json";
-            std::fs::write(path, report.to_json()).expect("write BENCH_search.json");
+            let envelope =
+                neo_bench::bench_envelope("search", wall_s, Some(&report.metrics), &report.to_json());
+            std::fs::write(path, envelope).expect("write BENCH_search.json");
             eprintln!(
                 "speedup {:.2}x (old {:.0} plans/s -> best batched {:.0} plans/s); wrote {path}",
                 report.speedup,
@@ -143,10 +147,14 @@ fn main() {
                 neo_bench::ServeBenchConfig::standard(preset.seed, workers)
             };
             neo_bench::section("multi-query serving throughput (BENCH_serve.json)");
+            let started = std::time::Instant::now();
             let report = neo_bench::run_serve_bench(&cfg);
+            let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_serve.json";
-            std::fs::write(path, report.to_json()).expect("write BENCH_serve.json");
+            let envelope =
+                neo_bench::bench_envelope("serve", wall_s, Some(&report.metrics), &report.to_json());
+            std::fs::write(path, envelope).expect("write BENCH_serve.json");
             let cold_best = report.cold.last().expect("cold points");
             let mixed_best = report.mixed.last().expect("mixed points");
             eprintln!(
@@ -158,6 +166,22 @@ fn main() {
                 mixed_best.hit_rate,
                 report.hit_speedup,
                 report.plans_match_single_threaded,
+            );
+            eprintln!(
+                "histograms: search p50/p95/p99 {:.2}/{:.2}/{:.2} ms, \
+                 cache-hit p50/p95/p99 {:.3}/{:.3}/{:.3} ms; \
+                 obs overhead on the cold path: {:.1} qps on vs {:.1} qps off \
+                 (ratio {:.4}, floor {:.2})",
+                mixed_best.search_p50_ms,
+                mixed_best.search_p95_ms,
+                mixed_best.search_p99_ms,
+                mixed_best.hit_p50_ms,
+                mixed_best.hit_p95_ms,
+                mixed_best.hit_p99_ms,
+                report.obs_overhead.qps_obs_on,
+                report.obs_overhead.qps_obs_off,
+                report.obs_overhead.ratio,
+                neo_bench::serve_bench::OBS_OVERHEAD_FLOOR,
             );
             assert!(
                 report.plans_match_single_threaded,
@@ -182,10 +206,14 @@ fn main() {
                 neo_bench::LearnBenchConfig::standard(preset.seed, workers)
             };
             neo_bench::section("closed-loop online learning (BENCH_learn.json)");
+            let started = std::time::Instant::now();
             let report = neo_bench::run_learn_bench(&cfg);
+            let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_learn.json";
-            std::fs::write(path, report.to_json()).expect("write BENCH_learn.json");
+            let envelope =
+                neo_bench::bench_envelope("learn", wall_s, Some(&report.metrics), &report.to_json());
+            std::fs::write(path, envelope).expect("write BENCH_learn.json");
             eprintln!(
                 "trajectory {:.1} ms (gen 0, untrained) -> {:.1} ms (gen {}) = {:.2}x better; \
                  expert {:.1} ms (final at {:.2}x, envelope {:.1}x: {}); \
@@ -268,11 +296,15 @@ fn main() {
             neo_bench::section(
                 "chaos soak: fleet under fault injection (BENCH_cluster_chaos.json)",
             );
+            let started = std::time::Instant::now();
             let point = neo_bench::run_chaos_bench(&cfg);
+            let wall_s = started.elapsed().as_secs_f64();
             let json = format!("{{\n  \"chaos\": {}\n}}\n", point.to_json());
             print!("{json}");
             let path = "BENCH_cluster_chaos.json";
-            std::fs::write(path, &json).expect("write BENCH_cluster_chaos.json");
+            let envelope =
+                neo_bench::bench_envelope("cluster-chaos", wall_s, Some(&point.metrics), &json);
+            std::fs::write(path, envelope).expect("write BENCH_cluster_chaos.json");
             eprintln!(
                 "chaos: {} nodes soaked {} generation(s) at fault rate {:.0}% (seed {}): \
                  {} faults / {} torn reads / {} crash litters over {} ops, \
@@ -295,6 +327,12 @@ fn main() {
                 point.old_term,
                 point.new_term,
                 point.recovered_all_healthy,
+            );
+            eprintln!(
+                "postmortem: {} ring events reconstruct outage -> resign -> fenced \
+                 takeover (no logs); ex-leader Degraded->Healthy in {:.0} ms; \
+                 fleet snapshot embedded in {path}",
+                point.events_recorded, point.leader_recovery_ms,
             );
         }
         "cluster-bench" => {
@@ -321,10 +359,18 @@ fn main() {
                 neo_bench::ClusterBenchConfig::standard(preset.seed, nodes, workers)
             };
             neo_bench::section("multi-node optimization fleet (BENCH_cluster.json)");
+            let started = std::time::Instant::now();
             let report = neo_bench::run_cluster_bench(&cfg);
+            let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_cluster.json";
-            std::fs::write(path, report.to_json()).expect("write BENCH_cluster.json");
+            let envelope = neo_bench::bench_envelope(
+                "cluster",
+                wall_s,
+                Some(&report.chaos.metrics),
+                &report.to_json(),
+            );
+            std::fs::write(path, envelope).expect("write BENCH_cluster.json");
             let largest = report.scaling.last().expect("scaling points");
             eprintln!(
                 "fleet {} nodes: aggregate {:.0} qps search-bound / {:.0} qps warm-hit \

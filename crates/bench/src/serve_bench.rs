@@ -28,6 +28,14 @@ use std::time::Instant;
 /// budget rule adds `3 * |R(q)|`).
 const BASE_EXPANSIONS: usize = 12;
 
+/// Minimum acceptable `qps(obs on) / qps(obs off)` on the cold search
+/// path — the ISSUE's "<2% overhead" acceptance bar, asserted in-binary.
+pub const OBS_OVERHEAD_FLOOR: f64 = 0.98;
+
+/// Interleaved trials per mode for the obs-overhead comparison; the
+/// best-of-N wall is compared, so scheduler noise only hurts both sides.
+const OBS_OVERHEAD_TRIALS: usize = 3;
+
 /// Sizing knobs for one serve-bench run.
 #[derive(Clone, Debug)]
 pub struct ServeBenchConfig {
@@ -99,6 +107,12 @@ pub struct ColdPoint {
 }
 
 /// One mixed-workload measurement.
+///
+/// The `p50_ms`/`p99_ms`/`p50_hit_ms`/`p50_search_ms` quantiles are exact
+/// (computed from the per-outcome latencies the stream returns); the
+/// `search_*`/`hit_*` quantiles come from the service's in-process
+/// [`neo_obs::LatencyHistogram`]s — what a production scrape would report,
+/// accurate to one log-scale bucket.
 #[derive(Clone, Copy, Debug)]
 pub struct MixedPoint {
     /// Worker threads.
@@ -117,6 +131,32 @@ pub struct MixedPoint {
     pub p50_hit_ms: f64,
     /// Median search (miss) latency, ms.
     pub p50_search_ms: f64,
+    /// Histogram-derived median search latency, ms.
+    pub search_p50_ms: f64,
+    /// Histogram-derived p95 search latency, ms.
+    pub search_p95_ms: f64,
+    /// Histogram-derived p99 search latency, ms.
+    pub search_p99_ms: f64,
+    /// Histogram-derived median cache-hit latency, ms.
+    pub hit_p50_ms: f64,
+    /// Histogram-derived p95 cache-hit latency, ms.
+    pub hit_p95_ms: f64,
+    /// Histogram-derived p99 cache-hit latency, ms.
+    pub hit_p99_ms: f64,
+}
+
+/// Cold-path throughput with the observability layer on vs off — the
+/// tentpole's "metrics are cheap enough to leave on" receipt.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsOverhead {
+    /// Worker threads used for the comparison (highest configured level).
+    pub workers: usize,
+    /// Best-of-N cold qps with metrics/tracing enabled.
+    pub qps_obs_on: f64,
+    /// Best-of-N cold qps with the whole obs layer compiled to no-ops.
+    pub qps_obs_off: f64,
+    /// `qps_obs_on / qps_obs_off`; must stay ≥ [`OBS_OVERHEAD_FLOOR`].
+    pub ratio: f64,
 }
 
 /// Results of one serve-bench run (serialized to `BENCH_serve.json`).
@@ -143,6 +183,12 @@ pub struct ServeBenchReport {
     /// Multi-threaded plan choices byte-identical to single-threaded
     /// reference searches.
     pub plans_match_single_threaded: bool,
+    /// Cold-path throughput with obs on vs off (asserted ≥ the floor).
+    pub obs_overhead: ObsOverhead,
+    /// Metrics snapshot of the highest-concurrency mixed-workload service,
+    /// taken after its timed stream (surfaces as the envelope's `metrics`
+    /// section in `BENCH_serve.json`).
+    pub metrics: neo_obs::MetricsSnapshot,
 }
 
 /// Perturbs one predicate constant — the "parameterized query" shape: same
@@ -196,7 +242,7 @@ fn fixture(cfg: &ServeBenchConfig) -> Fixture {
     }
 }
 
-fn service(fx: &Fixture, workers: usize, use_cache: bool) -> OptimizerService {
+fn service(fx: &Fixture, workers: usize, use_cache: bool, obs: bool) -> OptimizerService {
     OptimizerService::new(
         Arc::clone(&fx.db),
         Arc::clone(&fx.featurizer),
@@ -207,9 +253,79 @@ fn service(fx: &Fixture, workers: usize, use_cache: bool) -> OptimizerService {
             use_cache,
             search_base_expansions: BASE_EXPANSIONS,
             wavefront: DEFAULT_WAVEFRONT,
+            obs,
             ..Default::default()
         },
     )
+}
+
+/// In-binary sanity for the metrics the envelope publishes (ISSUE
+/// satellite 5): an inconsistent snapshot fails the bench, not the reader.
+///
+/// * every request with the cache on probes it exactly once, so
+///   `cache_hits_total + cache_misses_total == serve_requests_total`;
+/// * every request records one end-to-end latency, so the
+///   `serve_optimize_ms` histogram count equals `serve_requests_total`;
+/// * both equal the number of queries the bench actually pushed through.
+fn assert_metrics_consistent(snap: &neo_obs::MetricsSnapshot, expected_requests: usize) {
+    let requests = snap
+        .counter("serve_requests_total")
+        .expect("serve_requests_total registered");
+    assert_eq!(
+        requests, expected_requests as u64,
+        "serve_requests_total disagrees with the stream length"
+    );
+    let hits = snap.counter("cache_hits_total").unwrap_or(0);
+    let misses = snap.counter("cache_misses_total").unwrap_or(0);
+    assert_eq!(
+        hits + misses,
+        requests,
+        "cache lookups (hits {hits} + misses {misses}) != requests {requests}"
+    );
+    let e2e = snap
+        .histogram("serve_optimize_ms")
+        .expect("serve_optimize_ms registered");
+    assert_eq!(
+        e2e.count, requests,
+        "optimize histogram count != serve_requests_total"
+    );
+}
+
+/// Measures cold-path qps with obs on vs off at `workers` threads,
+/// interleaving best-of-N trials, and asserts the ratio stays above
+/// [`OBS_OVERHEAD_FLOOR`].
+fn measure_obs_overhead(fx: &Fixture, cold_stream: &[Query], workers: usize) -> ObsOverhead {
+    let mut best_wall = [f64::INFINITY; 2]; // [obs on, obs off]
+    for _ in 0..OBS_OVERHEAD_TRIALS {
+        for (slot, obs) in [(0usize, true), (1usize, false)] {
+            let svc = service(fx, workers, false, obs);
+            // Same warm-up discipline as the cold-scaling loop.
+            svc.optimize_stream(&cold_stream[..cold_stream.len().min(fx.cold.len())]);
+            let start = Instant::now();
+            let outcomes = svc.optimize_stream(cold_stream);
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(outcomes.len(), cold_stream.len());
+            if wall < best_wall[slot] {
+                best_wall[slot] = wall;
+            }
+        }
+    }
+    let qps_on = cold_stream.len() as f64 / best_wall[0].max(1e-9);
+    let qps_off = cold_stream.len() as f64 / best_wall[1].max(1e-9);
+    let ratio = qps_on / qps_off.max(1e-9);
+    assert!(
+        ratio >= OBS_OVERHEAD_FLOOR,
+        "obs overhead too high on the cold path: {:.1} qps with metrics vs {:.1} without \
+         (ratio {ratio:.4} < {OBS_OVERHEAD_FLOOR})",
+        qps_on,
+        qps_off
+    );
+    ObsOverhead {
+        workers,
+        qps_obs_on: qps_on,
+        qps_obs_off: qps_off,
+        ratio,
+    }
 }
 
 /// `p`-quantile of unsorted latencies (nearest-rank).
@@ -267,7 +383,7 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     // --- Cold scaling (cache disabled).
     let mut cold_points: Vec<ColdPoint> = Vec::new();
     for &w in &cfg.worker_levels {
-        let svc = service(&fx, w, false);
+        let svc = service(&fx, w, false, true);
         // Warm-up pass: thread spawn, scratch growth, allocator steady state.
         svc.optimize_stream(&cold_stream[..cold_stream.len().min(fx.cold.len())]);
         let start = Instant::now();
@@ -288,8 +404,9 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     // the highest concurrency.
     let mut mixed_points: Vec<MixedPoint> = Vec::new();
     let mut plans_match = true;
+    let mut last_metrics = neo_obs::MetricsSnapshot::default();
     for &w in &cfg.worker_levels {
-        let svc = service(&fx, w, true);
+        let svc = service(&fx, w, true, true);
         // Warm-up on throwaway perturbed variants (thread spawn, scratch
         // growth), then flush the cache so the timed stream starts cold —
         // the hit rate below comes from the timed outcomes only.
@@ -322,6 +439,8 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
                 plans_match = false;
             }
         }
+        let search_hist = svc.search_latency();
+        let hit_hist = svc.hit_latency();
         mixed_points.push(MixedPoint {
             workers: w,
             wall_ms,
@@ -331,7 +450,16 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
             p99_ms: quantile(&mut all, 0.99),
             p50_hit_ms: quantile(&mut hits, 0.50),
             p50_search_ms: quantile(&mut searches, 0.50),
+            search_p50_ms: search_hist.p50_ms(),
+            search_p95_ms: search_hist.p95_ms(),
+            search_p99_ms: search_hist.p99_ms(),
+            hit_p50_ms: hit_hist.p50_ms(),
+            hit_p95_ms: hit_hist.p95_ms(),
+            hit_p99_ms: hit_hist.p99_ms(),
         });
+        let snap = svc.metrics_snapshot();
+        assert_metrics_consistent(&snap, warmup.len() + mixed_stream.len());
+        last_metrics = snap;
     }
 
     let last = mixed_points.last().expect("at least one worker level");
@@ -341,10 +469,12 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
         0.0
     };
 
+    // --- Obs overhead on the cold path (in-binary acceptance gate).
+    let top_workers = *cfg.worker_levels.last().expect("non-empty worker levels");
+    let obs_overhead = measure_obs_overhead(&fx, &cold_stream, top_workers);
+
     ServeBenchReport {
-        available_parallelism: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        available_parallelism: crate::host_parallelism(),
         cold_queries: fx.cold.len(),
         cold_stream_len: cold_stream.len(),
         mixed_stream_len: mixed_stream.len(),
@@ -353,6 +483,8 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
         mixed: mixed_points,
         hit_speedup,
         plans_match_single_threaded: plans_match,
+        obs_overhead,
+        metrics: last_metrics,
     }
 }
 
@@ -405,7 +537,10 @@ impl ServeBenchReport {
             s.push_str(&format!(
                 "    {{\"workers\": {}, \"wall_ms\": {:.1}, \"qps\": {:.1}, \
                  \"hit_rate\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-                 \"p50_hit_ms\": {:.4}, \"p50_search_ms\": {:.3}}}{}\n",
+                 \"p50_hit_ms\": {:.4}, \"p50_search_ms\": {:.3}, \
+                 \"search_p50_ms\": {:.3}, \"search_p95_ms\": {:.3}, \
+                 \"search_p99_ms\": {:.3}, \"hit_p50_ms\": {:.4}, \
+                 \"hit_p95_ms\": {:.4}, \"hit_p99_ms\": {:.4}}}{}\n",
                 p.workers,
                 p.wall_ms,
                 p.qps,
@@ -414,10 +549,24 @@ impl ServeBenchReport {
                 p.p99_ms,
                 p.p50_hit_ms,
                 p.p50_search_ms,
+                p.search_p50_ms,
+                p.search_p95_ms,
+                p.search_p99_ms,
+                p.hit_p50_ms,
+                p.hit_p95_ms,
+                p.hit_p99_ms,
                 if i + 1 < self.mixed.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"obs_overhead\": {{\"workers\": {}, \"qps_obs_on\": {:.1}, \
+             \"qps_obs_off\": {:.1}, \"ratio\": {:.4}}},\n",
+            self.obs_overhead.workers,
+            self.obs_overhead.qps_obs_on,
+            self.obs_overhead.qps_obs_off,
+            self.obs_overhead.ratio
+        ));
         s.push_str(&format!("  \"hit_speedup\": {:.1},\n", self.hit_speedup));
         s.push_str(&format!(
             "  \"plans_match_single_threaded\": {}\n",
@@ -482,7 +631,20 @@ mod tests {
             last.hit_rate
         );
         assert!(report.cold.iter().all(|p| p.qps > 0.0));
+        // Histogram-derived quantiles must exist and bracket sanely; the
+        // bucketed p50 can only round a latency *up* to its bucket bound.
+        assert!(last.search_p50_ms > 0.0);
+        assert!(last.search_p99_ms >= last.search_p50_ms);
+        assert!(last.hit_p99_ms >= last.hit_p50_ms);
+        // The obs-overhead gate already asserted ratio >= floor in-binary.
+        assert!(report.obs_overhead.qps_obs_on > 0.0);
+        assert!(report.obs_overhead.qps_obs_off > 0.0);
+        // The snapshot that ships in the envelope carries the serve metrics.
+        assert!(report.metrics.counter("serve_requests_total").unwrap() > 0);
+        assert!(report.metrics.histogram("serve_search_ms").is_some());
         let json = report.to_json();
         assert!(json.contains("\"plans_match_single_threaded\": true"));
+        assert!(json.contains("\"obs_overhead\""));
+        assert!(neo_obs::validate(&json).is_ok(), "report JSON malformed");
     }
 }

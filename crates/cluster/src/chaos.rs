@@ -38,6 +38,7 @@
 //! report exactly what storm the fleet rode out.
 
 use crate::store::{CheckpointStore, LeaderLease, Manifest, LEASE_NAME};
+use neo_obs::{EventKind, EventRing};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io;
@@ -224,6 +225,9 @@ pub struct FaultInjectingStore {
     outage: AtomicBool,
     paused: AtomicBool,
     stats: StatCells,
+    /// Optional trace sink: injected faults and outage edges become
+    /// structured [`EventRing`] events (see [`Self::attach_events`]).
+    events: Mutex<Option<(Arc<EventRing>, String)>>,
 }
 
 impl FaultInjectingStore {
@@ -257,6 +261,24 @@ impl FaultInjectingStore {
             outage: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             stats: StatCells::default(),
+            events: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a trace sink: from now on injected transient faults
+    /// record [`EventKind::ChaosFault`] events and [`Self::set_outage`]
+    /// edges record [`EventKind::Outage`] events, labelled `source`.
+    pub fn attach_events(&self, ring: Arc<EventRing>, source: &str) {
+        *self
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some((ring, source.to_string()));
+    }
+
+    fn emit(&self, kind: EventKind, detail: String) {
+        let guard = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((ring, source)) = guard.as_ref() {
+            ring.record(source, kind, detail);
         }
     }
 
@@ -273,7 +295,13 @@ impl FaultInjectingStore {
     /// (`ErrorKind::Interrupted`) without touching the inner store —
     /// the "store unreachable longer than the lease TTL" scenario.
     pub fn set_outage(&self, on: bool) {
-        self.outage.store(on, Ordering::Release);
+        let was = self.outage.swap(on, Ordering::AcqRel);
+        if was != on {
+            self.emit(
+                EventKind::Outage,
+                if on { "start" } else { "end" }.to_string(),
+            );
+        }
     }
 
     /// Whether an outage is currently active.
@@ -354,6 +382,10 @@ impl FaultInjectingStore {
 
     fn fault_error(&self, class: OpClass, n: u64) -> io::Error {
         self.stats.faults[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.emit(
+            EventKind::ChaosFault,
+            format!("transient {} fault #{n}", class.label()),
+        );
         io::Error::new(
             io::ErrorKind::Interrupted,
             format!("chaos: injected transient {} fault #{n}", class.label()),
@@ -596,6 +628,30 @@ mod tests {
             stats_a.total_faults() > 0,
             "storm too quiet to prove anything"
         );
+    }
+
+    #[test]
+    fn outage_edges_and_faults_become_ring_events() {
+        let store = chaotic(ChaosConfig {
+            seed: 13,
+            fault_rate: 1.0,
+            ..ChaosConfig::quiet(13)
+        });
+        let ring = Arc::new(EventRing::new(64));
+        store.attach_events(Arc::clone(&ring), "store-0");
+        store.set_outage(true);
+        store.set_outage(true); // no edge: already on, must not re-emit
+        store.set_outage(false);
+        let _ = store.manifest(); // fault_rate 1.0: guaranteed ChaosFault
+        let events = ring.snapshot();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Outage, EventKind::Outage, EventKind::ChaosFault]
+        );
+        assert_eq!(events[0].detail, "start");
+        assert_eq!(events[1].detail, "end");
+        assert!(events.iter().all(|e| e.node == "store-0"));
     }
 
     #[test]

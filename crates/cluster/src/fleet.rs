@@ -11,7 +11,8 @@ use crate::node::{ClusterNode, NodeConfig};
 use crate::store::CheckpointStore;
 use neo::{Featurizer, ValueNet};
 use neo_learn::{ExperienceSink, ReplayConfig, RetryPolicy, TrainerConfig};
-use neo_serve::{HealthPolicy, HealthState, ServeConfig};
+use neo_obs::{EventRing, FleetSnapshot, JsonNode};
+use neo_serve::{HealthPolicy, HealthSnapshot, HealthState, ServeConfig};
 use neo_storage::Database;
 use std::io;
 use std::sync::Arc;
@@ -58,7 +59,17 @@ pub struct ClusterConfig {
     pub retry: RetryPolicy,
     /// Per-node health thresholds (see [`NodeConfig::health`]).
     pub health: HealthPolicy,
+    /// Shared structured-event ring for the whole fleet (lease
+    /// transitions, model adoptions, health changes — every node records
+    /// into it under its own name). `None` makes the fleet create its own
+    /// ring of [`DEFAULT_EVENT_CAPACITY`] slots; pass a ring to share it
+    /// with a chaos store's fault trace.
+    pub events: Option<Arc<EventRing>>,
 }
+
+/// Event-ring slots a fleet allocates when [`ClusterConfig::events`] is
+/// `None`.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
 impl Default for ClusterConfig {
     fn default() -> Self {
@@ -74,6 +85,7 @@ impl Default for ClusterConfig {
             retain_generations: None,
             retry: RetryPolicy::default(),
             health: HealthPolicy::default(),
+            events: None,
         }
     }
 }
@@ -84,6 +96,8 @@ pub struct Cluster {
     nodes: Vec<ClusterNode>,
     sink: Arc<ExperienceSink>,
     store: Arc<dyn CheckpointStore>,
+    /// The fleet-wide structured-event ring every node records into.
+    events: Arc<EventRing>,
     // Retained for follower respawns (simulated crash recovery).
     db: Arc<Database>,
     featurizer: Arc<Featurizer>,
@@ -105,6 +119,13 @@ impl Cluster {
         cfg: ClusterConfig,
     ) -> io::Result<Self> {
         assert!(cfg.nodes >= 1, "a fleet needs at least the leader");
+        // Resolve the shared event ring once so every node (initial and
+        // respawned) records into the same trace.
+        let mut cfg = cfg;
+        let events = cfg
+            .events
+            .get_or_insert_with(|| Arc::new(EventRing::new(DEFAULT_EVENT_CAPACITY)))
+            .clone();
         let sink = Arc::new(ExperienceSink::default());
         let mut nodes = Vec::with_capacity(cfg.nodes);
         nodes.push(ClusterNode::leader(
@@ -132,6 +153,7 @@ impl Cluster {
             nodes,
             sink,
             store,
+            events,
             db,
             featurizer,
             initial_net: net,
@@ -156,6 +178,7 @@ impl Cluster {
             retain_generations: cfg.retain_generations,
             retry: cfg.retry,
             health: cfg.health,
+            events: cfg.events.clone(),
         }
     }
 
@@ -267,6 +290,81 @@ impl Cluster {
     /// The shared checkpoint store.
     pub fn store(&self) -> &Arc<dyn CheckpointStore> {
         &self.store
+    }
+
+    /// The fleet-wide structured-event ring (every node's lease
+    /// transitions, model adoptions, and health changes, interleaved in
+    /// record order). Share it with a chaos store via
+    /// [`ClusterConfig::events`] to interleave the fault trace too.
+    pub fn events(&self) -> &Arc<EventRing> {
+        &self.events
+    }
+
+    /// One uniform tree of everything observable about the fleet: a
+    /// `nodes` section (per-node role, generation, health, and full
+    /// metrics-registry snapshot — serving latencies and cluster counters
+    /// alike) plus the `events` trace. Callers `push` extra sections
+    /// (store stats, chaos stats) before serializing with
+    /// [`FleetSnapshot::to_json`].
+    pub fn fleet_snapshot(&self) -> FleetSnapshot {
+        let mut snap = FleetSnapshot::new();
+        let nodes = self.nodes.iter().map(Self::node_section).collect();
+        snap.push("nodes", JsonNode::Arr(nodes));
+        snap.push("events", self.events.to_node());
+        snap
+    }
+
+    /// One node's snapshot subtree.
+    fn node_section(node: &ClusterNode) -> JsonNode {
+        let retry = node.retry_stats();
+        let mut retry_node = JsonNode::obj();
+        retry_node.push("attempts", JsonNode::U64(retry.attempts));
+        retry_node.push("retries", JsonNode::U64(retry.retries));
+        retry_node.push("recoveries", JsonNode::U64(retry.recoveries));
+        retry_node.push("exhausted", JsonNode::U64(retry.exhausted));
+        let mut obj = JsonNode::obj();
+        obj.push("name", JsonNode::Str(node.name().to_string()));
+        obj.push("leader", JsonNode::Bool(node.is_leader()));
+        obj.push("term", JsonNode::U64(node.term()));
+        obj.push("generation", JsonNode::U64(node.generation()));
+        obj.push("served_term", JsonNode::U64(node.served_term()));
+        obj.push("promotions", JsonNode::U64(node.promotions()));
+        obj.push("gc_removed", JsonNode::U64(node.gc_removed()));
+        obj.push("retry", retry_node);
+        obj.push("health", Self::health_section(&node.health()));
+        obj.push("metrics", node.service().metrics_snapshot().to_node());
+        obj
+    }
+
+    /// A [`HealthSnapshot`] as a snapshot subtree.
+    fn health_section(h: &HealthSnapshot) -> JsonNode {
+        let opt_ms = |v: Option<f64>| match v {
+            Some(ms) => JsonNode::f64_rounded(ms, 3),
+            None => JsonNode::Null,
+        };
+        let mut obj = JsonNode::obj();
+        obj.push("state", JsonNode::Str(h.state.label().to_string()));
+        obj.push(
+            "consecutive_failures",
+            JsonNode::U64(u64::from(h.consecutive_failures)),
+        );
+        obj.push("total_failures", JsonNode::U64(h.total_failures));
+        obj.push("total_successes", JsonNode::U64(h.total_successes));
+        obj.push("transitions", JsonNode::U64(h.transitions));
+        obj.push("degraded_entries", JsonNode::U64(h.degraded_entries));
+        obj.push("isolated_entries", JsonNode::U64(h.isolated_entries));
+        obj.push("recoveries", JsonNode::U64(h.recoveries));
+        obj.push("last_transition_ms", opt_ms(h.last_transition_ms));
+        obj.push("since_ms", JsonNode::f64_rounded(h.since_ms, 3));
+        obj.push("last_recovery_ms", opt_ms(h.last_recovery_ms));
+        obj.push(
+            "last_error",
+            match &h.last_error {
+                Some(e) => JsonNode::Str(e.clone()),
+                None => JsonNode::Null,
+            },
+        );
+        obj
     }
 
     /// Every node's currently served generation, node order.

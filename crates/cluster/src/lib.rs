@@ -101,7 +101,7 @@ pub mod node;
 pub mod store;
 
 pub use chaos::{ChaosConfig, ChaosStats, FaultInjectingStore, OpClass};
-pub use fleet::{Cluster, ClusterConfig};
+pub use fleet::{Cluster, ClusterConfig, DEFAULT_EVENT_CAPACITY};
 pub use node::{ClusterNode, NodeConfig};
 pub use store::{
     CheckpointStore, FsCheckpointStore, FsStoreStats, LeaderLease, Manifest, MemCheckpointStore,

@@ -52,6 +52,7 @@ use neo_learn::{
     BackgroundTrainer, ExperienceSink, GenerationObserver, ReplayConfig, RetryPolicy,
     RetrySnapshot, RetryStats, TrainerConfig,
 };
+use neo_obs::{Counter, EventKind, EventRing, LatencyHistogram};
 use neo_serve::{
     join_named_or_ignore_during_unwind, HealthPolicy, HealthSnapshot, HealthState, HealthTracker,
     OptimizerService, ServeConfig,
@@ -61,7 +62,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Wall-clock milliseconds for lease arithmetic (the store compares
 /// caller-supplied instants, so every node of a fleet must use the same
@@ -110,6 +111,11 @@ pub struct NodeConfig {
     /// Thresholds of the node's health state machine, fed one verdict
     /// per tick (after retries).
     pub health: HealthPolicy,
+    /// Shared structured-event sink: lease transitions, model adoptions,
+    /// and health changes are recorded here (labelled with the node
+    /// name). A fleet passes one ring to every node so the trace
+    /// interleaves; `None` disables event recording.
+    pub events: Option<Arc<EventRing>>,
 }
 
 impl Default for NodeConfig {
@@ -124,6 +130,7 @@ impl Default for NodeConfig {
             retain_generations: None,
             retry: RetryPolicy::default(),
             health: HealthPolicy::default(),
+            events: None,
         }
     }
 }
@@ -162,6 +169,47 @@ struct PollControl {
     cv: Condvar,
 }
 
+/// Cluster-layer observability: counters and the sync-duration histogram
+/// registered in the node's service registry (so one snapshot covers
+/// serving and cluster behavior), plus the optional shared event ring.
+struct NodeObs {
+    /// Syncs that adopted a newer generation.
+    sync_adoptions: Counter,
+    /// Syncs / lease operations that failed after retries.
+    sync_failures: Counter,
+    /// Leases re-acquired in place by a sitting leader.
+    lease_renewals: Counter,
+    /// Self-promotions to leader (construction-time acquisition included).
+    promotions: Counter,
+    /// Step-downs (deposition, resignation, degraded resigns).
+    demotions: Counter,
+    /// Wall time of syncs that adopted a generation (fetch + decode +
+    /// swap) — the node's sync-lag distribution.
+    sync_hist: Arc<LatencyHistogram>,
+    events: Option<Arc<EventRing>>,
+}
+
+impl NodeObs {
+    fn register(service: &OptimizerService, events: Option<Arc<EventRing>>) -> Self {
+        let registry = service.metrics();
+        NodeObs {
+            sync_adoptions: registry.counter("cluster_sync_adoptions_total"),
+            sync_failures: registry.counter("cluster_sync_failures_total"),
+            lease_renewals: registry.counter("cluster_lease_renewals_total"),
+            promotions: registry.counter("cluster_promotions_total"),
+            demotions: registry.counter("cluster_demotions_total"),
+            sync_hist: registry.histogram("cluster_sync_ms"),
+            events,
+        }
+    }
+
+    fn emit(&self, node: &str, kind: EventKind, detail: String) {
+        if let Some(ring) = &self.events {
+            ring.record(node, kind, detail);
+        }
+    }
+}
+
 /// State shared between a node, its background tick thread, and (while
 /// leading) its trainer's observer.
 struct NodeShared {
@@ -174,9 +222,9 @@ struct NodeShared {
     template: ValueNet,
     /// Background tick interval.
     poll_interval: Duration,
-    /// Manifest reads / checkpoint loads that failed (the node keeps
-    /// serving its current generation through store hiccups).
-    sync_failures: AtomicU64,
+    /// Cluster counters/histogram (registered in the service's metrics
+    /// registry) and the optional shared event ring.
+    obs: NodeObs,
     /// The fleet sink (feedback merge; the trainer of whoever leads
     /// drains it).
     sink: Arc<ExperienceSink>,
@@ -196,9 +244,6 @@ struct NodeShared {
     /// The lease term this node currently publishes under (0 = not
     /// leading).
     held_term: AtomicU64,
-    /// Times this node promoted itself to leader (lease claims, the
-    /// constructed-leader acquisition included).
-    promotions: AtomicU64,
     /// Checkpoints collected by the retention GC under this node's
     /// leadership.
     gc_removed: Arc<AtomicU64>,
@@ -220,6 +265,7 @@ impl NodeShared {
         if manifest.generation <= self.service.model_generation() {
             return Ok(None);
         }
+        let started = Instant::now();
         let framed = self.store.load(manifest.generation)?;
         let decoded = checkpoint::decode(&framed)?;
         let mut net = self.template.clone();
@@ -227,10 +273,22 @@ impl NodeShared {
         // `publish_model_from` re-checks monotonicity under the slot lock,
         // so a concurrent manual sync racing the poller cannot double-apply
         // or regress; losing the race is not an error.
-        Ok(self
+        let adopted = self
             .service
             .publish_model_from(Arc::new(net), manifest.generation, manifest.term)
-            .then_some(manifest.generation))
+            .then_some(manifest.generation);
+        if let Some(generation) = adopted {
+            self.obs.sync_adoptions.inc();
+            self.obs
+                .sync_hist
+                .record_ms(started.elapsed().as_secs_f64() * 1e3);
+            self.obs.emit(
+                &self.name,
+                EventKind::ModelSwap,
+                format!("adopted generation {generation} (term {})", manifest.term),
+            );
+        }
+        Ok(adopted)
     }
 
     /// Spins up this node's trainer under lease `term` (idempotent while
@@ -259,7 +317,12 @@ impl NodeShared {
         );
         *slot = Some(Arc::new(trainer));
         self.held_term.store(term, Ordering::Release);
-        self.promotions.fetch_add(1, Ordering::Relaxed);
+        self.obs.promotions.inc();
+        self.obs.emit(
+            &self.name,
+            EventKind::LeaseAcquired,
+            format!("promoted under term {term}"),
+        );
     }
 
     /// Steps down: stops the trainer (drain-then-stop — its last
@@ -268,13 +331,21 @@ impl NodeShared {
     /// never left behind the history its successor continues.
     fn demote(&self) {
         let taken = self.trainer.lock().expect("trainer slot poisoned").take();
-        self.held_term.store(0, Ordering::Release);
+        let resigned_term = self.held_term.swap(0, Ordering::AcqRel);
+        if taken.is_some() {
+            self.obs.demotions.inc();
+            self.obs.emit(
+                &self.name,
+                EventKind::LeaderResigned,
+                format!("stepped down from term {resigned_term}"),
+            );
+        }
         // Dropping the handle stops and joins the trainer thread (unless
         // an accessor briefly holds another handle, in which case the
         // join happens when that handle drops).
         drop(taken);
         if self.sync().is_err() {
-            self.sync_failures.fetch_add(1, Ordering::Relaxed);
+            self.obs.sync_failures.inc();
         }
     }
 
@@ -294,7 +365,7 @@ impl NodeShared {
     fn tick(&self) {
         let mut tick_error: Option<String> = None;
         if let Err(e) = self.retry.run(&self.retry_stats, || self.sync()) {
-            self.sync_failures.fetch_add(1, Ordering::Relaxed);
+            self.obs.sync_failures.inc();
             tick_error = Some(format!("sync: {e}"));
         }
         let held = self.held_term.load(Ordering::Acquire);
@@ -315,7 +386,7 @@ impl NodeShared {
                 Ok(Some(lease)) => self.promote(lease.term),
                 Ok(None) => {}
                 Err(e) => {
-                    self.sync_failures.fetch_add(1, Ordering::Relaxed);
+                    self.obs.sync_failures.inc();
                     tick_error.get_or_insert(format!("lease claim: {e}"));
                 }
             }
@@ -364,7 +435,10 @@ impl NodeShared {
             self.store
                 .try_acquire_lease(&self.name, now_ms(), self.lease_ttl_ms)
         }) {
-            Ok(Some(lease)) if lease.term == held => Ok(()), // renewed
+            Ok(Some(lease)) if lease.term == held => {
+                self.obs.lease_renewals.inc();
+                Ok(())
+            }
             Ok(Some(lease)) => {
                 // Our own lease expired (a tick stalled past the TTL) and
                 // re-acquiring minted a fresh term — no successor
@@ -388,7 +462,7 @@ impl NodeShared {
                 // and training this tick; the health verdict decides
                 // whether we resign, and if the outage outlives the TTL a
                 // successor will fence us regardless.
-                self.sync_failures.fetch_add(1, Ordering::Relaxed);
+                self.obs.sync_failures.inc();
                 Err(e)
             }
         }
@@ -543,13 +617,20 @@ impl ClusterNode {
             service.set_feedback(Arc::clone(&sink) as _),
             "fresh service already had feedback attached"
         );
+        let obs = NodeObs::register(&service, cfg.events.clone());
+        let retry_stats = RetryStats::new();
+        retry_stats.bind_metrics(service.metrics(), "cluster");
+        let health = HealthTracker::new(cfg.health);
+        if let Some(ring) = &cfg.events {
+            health.attach_events(Arc::clone(ring), cfg.name.clone());
+        }
         let shared = Arc::new(NodeShared {
             name: cfg.name,
             service,
             store,
             template,
             poll_interval: Duration::from_millis(cfg.poll_interval_ms.max(1)),
-            sync_failures: AtomicU64::new(0),
+            obs,
             sink,
             trainer_cfg,
             replay_cfg,
@@ -557,10 +638,9 @@ impl ClusterNode {
             failover: cfg.failover,
             retain_generations: cfg.retain_generations,
             retry: cfg.retry,
-            retry_stats: RetryStats::new(),
-            health: HealthTracker::new(cfg.health),
+            retry_stats,
+            health,
             held_term: AtomicU64::new(0),
-            promotions: AtomicU64::new(0),
             gc_removed: Arc::new(AtomicU64::new(0)),
             trainer: Mutex::new(None),
         });
@@ -610,7 +690,7 @@ impl ClusterNode {
     /// absorbed by a retry is a recovery ([`Self::retry_stats`]), not a
     /// failure.
     pub fn sync_failures(&self) -> u64 {
-        self.shared.sync_failures.load(Ordering::Relaxed)
+        self.shared.obs.sync_failures.get()
     }
 
     /// This node's current health state (the consecutive-failure machine
@@ -650,7 +730,7 @@ impl ClusterNode {
     /// How many times this node promoted itself to leader (construction-
     /// time acquisition included).
     pub fn promotions(&self) -> u64 {
-        self.shared.promotions.load(Ordering::Relaxed)
+        self.shared.obs.promotions.get()
     }
 
     /// Checkpoints collected by the retention GC under this node's

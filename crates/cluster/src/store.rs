@@ -63,7 +63,6 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// First line of a valid `MANIFEST` file.
@@ -299,8 +298,10 @@ pub struct FsCheckpointStore {
     /// Serializes lease read-modify-write within this process (fleets
     /// share one store handle, so in-process candidates never race).
     op_lock: Mutex<()>,
-    fsync_failures: AtomicU64,
-    torn_lease_reads: AtomicU64,
+    // neo-obs counters so a metrics registry can share the live atomics
+    // (see `bind_metrics`); `stats()` remains the legacy view.
+    fsync_failures: neo_obs::Counter,
+    torn_lease_reads: neo_obs::Counter,
 }
 
 impl FsCheckpointStore {
@@ -314,8 +315,8 @@ impl FsCheckpointStore {
         let store = FsCheckpointStore {
             dir,
             op_lock: Mutex::new(()),
-            fsync_failures: AtomicU64::new(0),
-            torn_lease_reads: AtomicU64::new(0),
+            fsync_failures: neo_obs::Counter::new(),
+            torn_lease_reads: neo_obs::Counter::new(),
         };
         // At open this process has no publish or lease renewal in flight,
         // so a crashed writer's `LEADER.tmp` is reclaimable here too.
@@ -331,9 +332,16 @@ impl FsCheckpointStore {
     /// Durability/corruption counters accumulated by this handle.
     pub fn stats(&self) -> FsStoreStats {
         FsStoreStats {
-            fsync_failures: self.fsync_failures.load(Ordering::Relaxed),
-            torn_lease_reads: self.torn_lease_reads.load(Ordering::Relaxed),
+            fsync_failures: self.fsync_failures.get(),
+            torn_lease_reads: self.torn_lease_reads.get(),
         }
+    }
+
+    /// Registers this handle's durability counters in `registry` under
+    /// `store_*_total` names, sharing the live atomics.
+    pub fn bind_metrics(&self, registry: &neo_obs::MetricsRegistry) {
+        registry.bind_counter("store_fsync_failures_total", &self.fsync_failures);
+        registry.bind_counter("store_torn_lease_reads_total", &self.torn_lease_reads);
     }
 
     /// Path of a generation's checkpoint file.
@@ -411,7 +419,7 @@ impl FsCheckpointStore {
     fn sync_dir(&self) {
         let synced = std::fs::File::open(&self.dir).and_then(|d| d.sync_all());
         if synced.is_err() {
-            self.fsync_failures.fetch_add(1, Ordering::Relaxed);
+            self.fsync_failures.inc();
         }
     }
 
@@ -557,7 +565,7 @@ impl CheckpointStore for FsCheckpointStore {
             // the term line also lost, the minted term restarts low; fence
             // comparisons only ever consult this same file, so fencing
             // stays internally consistent.)
-            self.torn_lease_reads.fetch_add(1, Ordering::Relaxed);
+            self.torn_lease_reads.inc();
             return Ok(None);
         }
         let mut holder = None;
@@ -584,7 +592,7 @@ impl CheckpointStore for FsCheckpointStore {
                 // survived, so preserve it in an already-expired lease —
                 // claimable by any candidate, whose takeover mints
                 // `term + 1`, keeping the fence sequence monotonic.
-                self.torn_lease_reads.fetch_add(1, Ordering::Relaxed);
+                self.torn_lease_reads.inc();
                 Ok(Some(LeaderLease {
                     holder: holder.unwrap_or_default(),
                     term,
@@ -594,7 +602,7 @@ impl CheckpointStore for FsCheckpointStore {
             _ => {
                 // Header intact but no parseable term: degrade to absent,
                 // same claimability argument as the missing-header case.
-                self.torn_lease_reads.fetch_add(1, Ordering::Relaxed);
+                self.torn_lease_reads.inc();
                 Ok(None)
             }
         }

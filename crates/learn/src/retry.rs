@@ -18,10 +18,10 @@
 //! attempt — the caller's failure handling (health counters, persist
 //! veto) runs only once the policy is exhausted.
 
+use neo_obs::{Counter, MetricsRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Bounded exponential backoff: `attempts` tries total, sleeping
@@ -96,20 +96,20 @@ impl RetryPolicy {
         let attempts = self.attempts.max(1);
         let mut rng = StdRng::seed_from_u64(self.seed);
         for attempt in 0..attempts {
-            stats.attempts.fetch_add(1, Ordering::Relaxed);
+            stats.attempts.inc();
             match op() {
                 Ok(v) => {
                     if attempt > 0 {
-                        stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                        stats.recoveries.inc();
                     }
                     return Ok(v);
                 }
                 Err(e) if attempt + 1 == attempts => {
-                    stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                    stats.exhausted.inc();
                     return Err(e);
                 }
                 Err(_) => {
-                    stats.retries.fetch_add(1, Ordering::Relaxed);
+                    stats.retries.inc();
                     std::thread::sleep(self.delay(attempt, &mut rng));
                 }
             }
@@ -122,10 +122,12 @@ impl RetryPolicy {
 /// trainer, read by benches and health reporting).
 #[derive(Debug, Default)]
 pub struct RetryStats {
-    attempts: AtomicU64,
-    retries: AtomicU64,
-    recoveries: AtomicU64,
-    exhausted: AtomicU64,
+    // neo-obs counters so a metrics registry can share the live atomics
+    // (see `bind_metrics`); `snapshot()` remains the legacy view.
+    attempts: Counter,
+    retries: Counter,
+    recoveries: Counter,
+    exhausted: Counter,
 }
 
 impl RetryStats {
@@ -134,13 +136,22 @@ impl RetryStats {
         Self::default()
     }
 
+    /// Registers the four counters in `registry` under
+    /// `<prefix>_retry_*_total` names, sharing the live atomics.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.bind_counter(&format!("{prefix}_retry_attempts_total"), &self.attempts);
+        registry.bind_counter(&format!("{prefix}_retry_retries_total"), &self.retries);
+        registry.bind_counter(&format!("{prefix}_retry_recoveries_total"), &self.recoveries);
+        registry.bind_counter(&format!("{prefix}_retry_exhausted_total"), &self.exhausted);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> RetrySnapshot {
         RetrySnapshot {
-            attempts: self.attempts.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            recoveries: self.recoveries.load(Ordering::Relaxed),
-            exhausted: self.exhausted.load(Ordering::Relaxed),
+            attempts: self.attempts.get(),
+            retries: self.retries.get(),
+            recoveries: self.recoveries.get(),
+            exhausted: self.exhausted.get(),
         }
     }
 }
@@ -175,7 +186,7 @@ impl RetrySnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn flaky(fail_first: u32) -> impl FnMut() -> io::Result<u32> {
         let calls = AtomicU32::new(0);

@@ -23,6 +23,7 @@ use crate::replay::{ReplayBuffer, ReplayConfig};
 use crate::retry::{RetryPolicy, RetrySnapshot, RetryStats};
 use crate::sink::ExperienceSink;
 use neo::{checkpoint, TrainingSet, ValueNet};
+use neo_obs::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 use neo_query::Query;
 use neo_serve::OptimizerService;
 use rand::rngs::StdRng;
@@ -147,6 +148,32 @@ struct TrainerState {
     persist_failures: u64,
 }
 
+/// The trainer's instruments, registered in the *service's* metrics
+/// registry so one node-level snapshot covers serving and learning.
+/// Get-or-create resolution means successive trainers on one service
+/// (the cluster spawns one per held term) share the same instruments.
+struct TrainerObs {
+    generations: Counter,
+    drained: Counter,
+    persist_failures: Counter,
+    train_hist: Arc<LatencyHistogram>,
+    publish_hist: Arc<LatencyHistogram>,
+    replay_queries: Gauge,
+}
+
+impl TrainerObs {
+    fn register(registry: &MetricsRegistry) -> Self {
+        TrainerObs {
+            generations: registry.counter("learn_generations_total"),
+            drained: registry.counter("learn_drained_total"),
+            persist_failures: registry.counter("learn_persist_failures_total"),
+            train_hist: registry.histogram("learn_train_ms"),
+            publish_hist: registry.histogram("learn_publish_ms"),
+            replay_queries: registry.gauge("learn_replay_queries"),
+        }
+    }
+}
+
 struct TrainerShared {
     service: Arc<OptimizerService>,
     sink: Arc<ExperienceSink>,
@@ -156,6 +183,7 @@ struct TrainerShared {
     /// Accounting for the observer-persist retry loop
     /// ([`TrainerConfig::persist_retry`]).
     persist_retry_stats: RetryStats,
+    obs: TrainerObs,
     state: Mutex<TrainerState>,
     cv: Condvar,
 }
@@ -191,13 +219,17 @@ impl BackgroundTrainer {
         cfg: TrainerConfig,
         observer: Option<Arc<dyn GenerationObserver>>,
     ) -> Self {
+        let obs = TrainerObs::register(service.metrics());
+        let persist_retry_stats = RetryStats::new();
+        persist_retry_stats.bind_metrics(service.metrics(), "learn_persist");
         let shared = Arc::new(TrainerShared {
             service,
             sink,
             buffer: Mutex::new(ReplayBuffer::new(replay)),
             cfg,
             observer,
-            persist_retry_stats: RetryStats::new(),
+            persist_retry_stats,
+            obs,
             state: Mutex::new(TrainerState {
                 requested: 0,
                 completed: 0,
@@ -491,6 +523,7 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
                 "neo-learn: generation {upcoming_generation} not published: \
                  checkpoint persistence failed: {e}"
             );
+            shared.obs.persist_failures.inc();
             let mut st = shared.state.lock().expect("trainer state poisoned");
             st.persist_failures += 1;
             return None;
@@ -529,6 +562,12 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
             shared.service.model_generation()
         );
     }
+
+    shared.obs.generations.inc();
+    shared.obs.drained.add(drained as u64);
+    shared.obs.train_hist.record_ms(train_ms);
+    shared.obs.publish_hist.record_ms(swap_us / 1e3);
+    shared.obs.replay_queries.set(queries.len() as u64);
 
     Some(GenerationStats {
         model_generation: upcoming_generation,

@@ -1,0 +1,308 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! Values are recorded in microseconds into power-of-two buckets: bucket
+//! 0 holds `< 1 µs`, bucket *i* (i ≥ 1) holds `[2^(i−1), 2^i)` µs. 40
+//! buckets cover everything up to ~76 hours, so one cache line's worth of
+//! relaxed atomics captures the whole latency range a query optimizer can
+//! produce — no allocation, no locks, mergeable across workers and nodes
+//! by plain bucket-wise addition (snapshots are exact sums, so merging
+//! per-worker stripes equals one shared recording, which the merge
+//! property test pins).
+//!
+//! Quantiles are estimated by rank-walking the buckets with linear
+//! interpolation inside the landing bucket: within-bucket error is
+//! bounded by the bucket's 2× width, and estimates are monotone in the
+//! requested quantile by construction.
+
+use crate::json::JsonNode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: bucket 39 starts at 2^38 µs ≈ 76 hours.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// The bucket a microsecond value lands in.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The inclusive lower bound of bucket `i`, microseconds.
+fn bucket_lower_us(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (1u64 << (i - 1)) as f64
+    }
+}
+
+/// The exclusive upper bound of bucket `i`, microseconds.
+fn bucket_upper_us(i: usize) -> f64 {
+    if i == 0 {
+        1.0
+    } else {
+        (1u128 << i) as f64
+    }
+}
+
+/// A concurrent fixed-bucket log-scale latency histogram. All updates
+/// are relaxed atomic adds; recording costs three `fetch_add`s and one
+/// `fetch_max` — cheap enough for the cold search path's <2% overhead
+/// budget and trivially so for anything slower.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation, microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one observation, milliseconds. Non-finite values are
+    /// dropped (they would poison the sum); negatives clamp to zero.
+    #[inline]
+    pub fn record_ms(&self, ms: f64) {
+        if !ms.is_finite() {
+            return;
+        }
+        self.record_us((ms.max(0.0) * 1e3).round() as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets. Concurrent recording may make
+    /// `count` and the bucket sum differ transiently by in-flight
+    /// records; quantile walks use the bucket sum, so estimates stay
+    /// internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time histogram copy: plain integers, mergeable by
+/// bucket-wise addition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see module docs for bucket bounds).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+    /// Largest observation, microseconds.
+    pub max_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Adds `other` into `self` (worker-stripe / cross-node merging).
+    /// Exact: merging snapshots of split recordings equals the snapshot
+    /// of one combined recording.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The `q`-quantile estimate, milliseconds (`q` clamped to `[0, 1]`).
+    /// 0.0 for an empty histogram. Monotone in `q`.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = bucket_lower_us(i);
+                // The top bucket is open-ended; the recorded max bounds it.
+                let upper = if i == HISTOGRAM_BUCKETS - 1 {
+                    (self.max_us as f64).max(lower + 1.0)
+                } else {
+                    bucket_upper_us(i)
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                return (lower + frac * (upper - lower)) / 1e3;
+            }
+            seen += c;
+        }
+        self.max_us as f64 / 1e3
+    }
+
+    /// Median estimate, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile_ms(0.50)
+    }
+
+    /// 95th-percentile estimate, milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.quantile_ms(0.95)
+    }
+
+    /// 99th-percentile estimate, milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// Largest observation, milliseconds (exact, not an estimate).
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1e3
+    }
+
+    /// Mean, milliseconds (exact).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64 / 1e3
+        }
+    }
+
+    /// Sum of observations, milliseconds.
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_us as f64 / 1e3
+    }
+
+    /// The histogram as a compact JSON object (quantile estimates, not
+    /// raw buckets).
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("count", JsonNode::U64(self.count));
+        obj.push("mean_ms", JsonNode::F64(self.mean_ms()));
+        obj.push("p50_ms", JsonNode::F64(self.p50_ms()));
+        obj.push("p95_ms", JsonNode::F64(self.p95_ms()));
+        obj.push("p99_ms", JsonNode::F64(self.p99_ms()));
+        obj.push("max_ms", JsonNode::F64(self.max_ms()));
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lo = bucket_lower_us(i) as u64;
+            let hi = bucket_upper_us(i) as u64;
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values_and_stay_monotone() {
+        let h = LatencyHistogram::new();
+        for us in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max_us, 51200);
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = s.quantile_ms(q);
+            assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+            prev = v;
+        }
+        // The p50 estimate lands within the 2× bucket holding the true
+        // median value (1600 µs lives in [1024, 2048)).
+        let p50_us = s.p50_ms() * 1e3;
+        assert!(
+            (1024.0..=2048.0).contains(&p50_us),
+            "p50 {p50_us} µs outside the true median's bucket"
+        );
+        assert!((s.quantile_ms(1.0) - 51.2).abs() < 52.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ms(), 0.0);
+        assert_eq!(s.mean_ms(), 0.0);
+        assert_eq!(s.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_recordings_are_dropped() {
+        let h = LatencyHistogram::new();
+        h.record_ms(f64::NAN);
+        h.record_ms(f64::INFINITY);
+        h.record_ms(-3.0); // clamps to 0, still counted
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_is_exact_bucketwise_addition() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let combined = LatencyHistogram::new();
+        for us in 0..1000u64 {
+            if us % 3 == 0 {
+                a.record_us(us * 7);
+            } else {
+                b.record_us(us * 7);
+            }
+            combined.record_us(us * 7);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, combined.snapshot());
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-fingerprint hot-set tracking.
+//!
+//! The serving path sees the same query shapes over and over; the hot set
+//! keeps one small stat block per fingerprint — probe counts, a latency
+//! EWMA, and accumulated regret from execution feedback — so a snapshot
+//! can answer "which query shapes dominate this node, and are the hot
+//! ones the ones we are slow or wrong on?". Sharded like the experience
+//! sink so concurrent serving workers rarely collide on a lock.
+
+use crate::json::JsonNode;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Smoothing factor for the latency EWMA: each new observation
+/// contributes 20%, so the average tracks roughly the last ~10 queries.
+const EWMA_ALPHA: f64 = 0.2;
+
+const SHARDS: usize = 16;
+
+#[derive(Clone, Debug, Default)]
+struct HotEntry {
+    hits: u64,
+    misses: u64,
+    latency_ewma_ms: f64,
+    executions: u64,
+    regret_ms: f64,
+}
+
+/// One fingerprint's aggregated serving stats, as returned by
+/// [`HotSet::top`].
+#[derive(Clone, Debug)]
+pub struct FingerprintStat {
+    /// The query fingerprint.
+    pub fingerprint: u128,
+    /// Cache hits observed for this fingerprint.
+    pub hits: u64,
+    /// Cache misses (searches) observed for this fingerprint.
+    pub misses: u64,
+    /// Exponentially weighted moving average of serve latency, ms.
+    pub latency_ewma_ms: f64,
+    /// Execution reports received for this fingerprint.
+    pub executions: u64,
+    /// Accumulated regret (executed-minus-best latency), ms, from
+    /// execution feedback.
+    pub regret_ms: f64,
+}
+
+impl FingerprintStat {
+    /// Total probes (hits + misses).
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// The stat as a JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("fingerprint", JsonNode::Str(format!("{:032x}", self.fingerprint)));
+        obj.push("hits", JsonNode::U64(self.hits));
+        obj.push("misses", JsonNode::U64(self.misses));
+        obj.push("latency_ewma_ms", JsonNode::f64_rounded(self.latency_ewma_ms, 4));
+        obj.push("executions", JsonNode::U64(self.executions));
+        obj.push("regret_ms", JsonNode::f64_rounded(self.regret_ms, 4));
+        obj
+    }
+}
+
+/// A sharded map of per-fingerprint serving stats.
+#[derive(Debug)]
+pub struct HotSet {
+    shards: Vec<Mutex<HashMap<u128, HotEntry>>>,
+}
+
+impl Default for HotSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HotSet {
+    /// An empty hot set.
+    pub fn new() -> Self {
+        HotSet {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, fp: u128) -> std::sync::MutexGuard<'_, HashMap<u128, HotEntry>> {
+        self.shards[(fp % SHARDS as u128) as usize]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records one cache probe for `fp`: whether it hit, and the
+    /// end-to-end serve latency.
+    pub fn record_probe(&self, fp: u128, cache_hit: bool, latency_ms: f64) {
+        let mut shard = self.shard(fp);
+        let entry = shard.entry(fp).or_default();
+        if cache_hit {
+            entry.hits += 1;
+        } else {
+            entry.misses += 1;
+        }
+        if latency_ms.is_finite() && latency_ms >= 0.0 {
+            if entry.hits + entry.misses == 1 {
+                entry.latency_ewma_ms = latency_ms;
+            } else {
+                entry.latency_ewma_ms =
+                    EWMA_ALPHA * latency_ms + (1.0 - EWMA_ALPHA) * entry.latency_ewma_ms;
+            }
+        }
+    }
+
+    /// Records one execution report for `fp` with its regret (executed
+    /// latency minus the best known latency for the shape; clamped at 0).
+    pub fn record_execution(&self, fp: u128, regret_ms: f64) {
+        let mut shard = self.shard(fp);
+        let entry = shard.entry(fp).or_default();
+        entry.executions += 1;
+        if regret_ms.is_finite() {
+            entry.regret_ms += regret_ms.max(0.0);
+        }
+    }
+
+    /// Distinct fingerprints tracked.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| {
+            s.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        }).sum()
+    }
+
+    /// Whether no fingerprint has been tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `n` hottest fingerprints, by total probes descending (ties
+    /// broken by fingerprint ascending, so the order is deterministic).
+    pub fn top(&self, n: usize) -> Vec<FingerprintStat> {
+        let mut all: Vec<FingerprintStat> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            all.extend(shard.iter().map(|(&fp, e)| FingerprintStat {
+                fingerprint: fp,
+                hits: e.hits,
+                misses: e.misses,
+                latency_ewma_ms: e.latency_ewma_ms,
+                executions: e.executions,
+                regret_ms: e.regret_ms,
+            }));
+        }
+        all.sort_by(|a, b| {
+            b.probes()
+                .cmp(&a.probes())
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// The top-`n` hot set as a JSON array.
+    pub fn to_node(&self, n: usize) -> JsonNode {
+        JsonNode::Arr(self.top(n).iter().map(FingerprintStat::to_node).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_orders_by_probes_then_fingerprint() {
+        let hs = HotSet::new();
+        for _ in 0..5 {
+            hs.record_probe(10, true, 1.0);
+        }
+        for _ in 0..3 {
+            hs.record_probe(20, false, 4.0);
+        }
+        hs.record_probe(30, true, 2.0);
+        let top = hs.top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].fingerprint, 10);
+        assert_eq!(top[0].hits, 5);
+        assert_eq!(top[1].fingerprint, 20);
+        assert_eq!(top[1].misses, 3);
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn ewma_starts_at_first_observation_and_smooths() {
+        let hs = HotSet::new();
+        hs.record_probe(1, true, 10.0);
+        assert!((hs.top(1)[0].latency_ewma_ms - 10.0).abs() < 1e-9);
+        hs.record_probe(1, true, 20.0);
+        let ewma = hs.top(1)[0].latency_ewma_ms;
+        assert!((ewma - 12.0).abs() < 1e-9, "0.2*20 + 0.8*10 = 12, got {ewma}");
+    }
+
+    #[test]
+    fn regret_accumulates_and_clamps_negative() {
+        let hs = HotSet::new();
+        hs.record_execution(7, 3.0);
+        hs.record_execution(7, -1.0);
+        hs.record_execution(7, 2.0);
+        let top = hs.top(1);
+        assert_eq!(top[0].executions, 3);
+        assert!((top[0].regret_ms - 5.0).abs() < 1e-9);
+    }
+}

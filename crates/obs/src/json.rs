@@ -1,0 +1,340 @@
+//! A small vendored JSON writer (and well-formedness checker).
+//!
+//! The offline build has no serde; every bench report so far hand-rolled
+//! its JSON with `format!`. This module replaces that with one tiny tree
+//! type: build a [`JsonNode`], call [`JsonNode::render`], get
+//! deterministic pretty-printed JSON with correct escaping. The
+//! [`validate`] parser is the other half of the bargain — benches assert
+//! their emitted files are well-formed in-binary instead of hoping.
+
+/// A JSON value tree. Object keys keep insertion order (reports are
+/// documents, not maps).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonNode {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values render as `null`).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonNode>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, JsonNode)>),
+}
+
+impl JsonNode {
+    /// An empty object.
+    pub fn obj() -> Self {
+        JsonNode::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    pub fn push(&mut self, key: &str, value: JsonNode) {
+        match self {
+            JsonNode::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("push on a non-object JsonNode"),
+        }
+    }
+
+    /// A float rounded to `digits` decimal places (keeps report files
+    /// readable and diffs small; full precision is rarely signal).
+    pub fn f64_rounded(v: f64, digits: u32) -> Self {
+        if !v.is_finite() {
+            return JsonNode::F64(v);
+        }
+        let scale = 10f64.powi(digits as i32);
+        JsonNode::F64((v * scale).round() / scale)
+    }
+
+    /// Pretty-printed JSON (2-space indent, trailing newline-free).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonNode::Null => out.push_str("null"),
+            JsonNode::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonNode::U64(v) => out.push_str(&v.to_string()),
+            JsonNode::I64(v) => out.push_str(&v.to_string()),
+            JsonNode::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonNode::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonNode::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            JsonNode::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    JsonNode::Str(key.clone()).render_into(out, indent + 1);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Checks `s` is one well-formed JSON value (recursive-descent, no tree
+/// built). Returns a byte offset + message on the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_from = *pos;
+    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    if *pos == digits_from {
+        return Err(format!("empty number at byte {start}"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .map(|_| ())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!("raw control byte in string at {pos}", pos = *pos))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_validates_roundtrip() {
+        let mut obj = JsonNode::obj();
+        obj.push("name", JsonNode::Str("with \"quotes\"\nand newline".into()));
+        obj.push("count", JsonNode::U64(42));
+        obj.push("ratio", JsonNode::F64(0.5));
+        obj.push("neg", JsonNode::I64(-3));
+        obj.push("nan", JsonNode::F64(f64::NAN));
+        obj.push("flag", JsonNode::Bool(true));
+        obj.push("items", JsonNode::Arr(vec![JsonNode::U64(1), JsonNode::Null]));
+        obj.push("empty", JsonNode::obj());
+        let json = obj.render();
+        validate(&json).expect("rendered JSON must validate");
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn validate_accepts_the_existing_handrolled_style() {
+        validate("{\"a\": 1, \"b\": [1.5, -2e3, true], \"c\": {\"d\": null}}").expect("valid");
+        validate("  [1, 2, 3]  ").expect("valid");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1, 2",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "01a",
+            "",
+        ] {
+            assert!(validate(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn f64_rounded_truncates_noise() {
+        assert_eq!(JsonNode::f64_rounded(1.23456789, 3), JsonNode::F64(1.235));
+        assert_eq!(JsonNode::f64_rounded(2.0, 2), JsonNode::F64(2.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! neo-obs: zero-dependency observability for the Neo reproduction.
+//!
+//! One small crate, std only, threaded through every layer:
+//!
+//! - [`MetricsRegistry`] — named counters/gauges/histograms; registration
+//!   locks once, updates are relaxed atomics ([`metrics`]).
+//! - [`LatencyHistogram`] — fixed-bucket log-scale histograms with exact
+//!   bucket-wise merging and monotone quantile estimates ([`hist`]).
+//! - [`EventRing`] — a bounded lock-free ring of structured trace events
+//!   that survives (and explains) a chaos soak ([`ring`]).
+//! - [`SearchTrace`] — opt-in per-query serving traces ([`trace`]).
+//! - [`HotSet`] — per-fingerprint hit/latency/regret tracking ([`hotset`]).
+//! - [`FleetSnapshot`] — the uniform JSON tree absorbing every
+//!   subsystem's stats struct ([`snapshot`]), built on a tiny vendored
+//!   JSON writer + validator ([`json`]).
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod hotset;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod snapshot;
+pub mod trace;
+
+pub use hist::{HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
+pub use hotset::{FingerprintStat, HotSet};
+pub use json::{validate, JsonNode};
+pub use metrics::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use ring::{Event, EventKind, EventRing};
+pub use snapshot::FleetSnapshot;
+pub use trace::{SearchTrace, SeedOutcome};

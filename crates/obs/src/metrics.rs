@@ -1,0 +1,345 @@
+//! The lock-free metrics registry: named counters, gauges, and latency
+//! histograms.
+//!
+//! The registry follows a register-once / update-hot split: registration
+//! (name → instrument handle) takes a mutex, but it happens at service
+//! construction; the handles themselves are `Arc`'d relaxed atomics, so
+//! every hot-path update is a single uncontended `fetch_add` — the same
+//! discipline the plan cache's counters have always used, now shared
+//! fleet-wide instead of re-invented per struct.
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::json::JsonNode;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic — the registry and the updating code hold the *same* count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A zeroed, unregistered counter (attach it to a registry with
+    /// [`MetricsRegistry::bind_counter`] when a fleet view should see it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge (occupancies, generations, terms).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    v: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A zeroed, unregistered gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `n`.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered instrument. Histograms hold a *set* of stripes (e.g.
+/// one per serving worker) merged at snapshot time.
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Vec<Arc<LatencyHistogram>>),
+}
+
+/// The registry: a name-ordered map of instruments. Lookup/registration
+/// locks; updates through the returned handles never do.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Idempotent: repeated calls share one atomic.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter::new()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge::new()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the (single-stripe) histogram registered under `name`,
+    /// creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(vec![Arc::new(LatencyHistogram::new())]))
+        {
+            Instrument::Histogram(stripes) => Arc::clone(&stripes[0]),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers an *existing* counter handle under `name` — how legacy
+    /// stats blocks (cache, retry, store) expose their counters without
+    /// changing a call site: the struct keeps its handle, the registry
+    /// shares the atomic.
+    pub fn bind_counter(&self, name: &str, counter: &Counter) {
+        self.lock()
+            .insert(name.to_string(), Instrument::Counter(counter.clone()));
+    }
+
+    /// Registers an existing gauge handle under `name`.
+    pub fn bind_gauge(&self, name: &str, gauge: &Gauge) {
+        self.lock()
+            .insert(name.to_string(), Instrument::Gauge(gauge.clone()));
+    }
+
+    /// Registers a striped histogram (e.g. one stripe per serving worker)
+    /// under `name`; snapshots and renderings merge the stripes.
+    pub fn bind_histogram_stripes(&self, name: &str, stripes: &[Arc<LatencyHistogram>]) {
+        self.lock().insert(
+            name.to_string(),
+            Instrument::Histogram(stripes.iter().map(Arc::clone).collect()),
+        );
+    }
+
+    /// A point-in-time copy of every instrument, name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.lock();
+        let entries = map
+            .iter()
+            .map(|(name, inst)| {
+                let value = match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(stripes) => {
+                        let mut merged = HistogramSnapshot::default();
+                        for s in stripes {
+                            merged.merge(&s.snapshot());
+                        }
+                        MetricValue::Histogram(merged)
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` lines, counter/gauge
+    /// samples, and summary quantiles for histograms.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Instrument>> {
+        // The map holds only handles; a panicking registrant cannot tear
+        // it, so recover rather than cascade.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One instrument's point-in-time value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's count.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(u64),
+    /// A histogram's merged snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a whole registry, name-ordered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter registered under `name`, if any.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The gauge registered under `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// The snapshot as a JSON object: counters and gauges as integers,
+    /// histograms as `{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(c) => obj.push(name, JsonNode::U64(*c)),
+                MetricValue::Gauge(g) => obj.push(name, JsonNode::U64(*g)),
+                MetricValue::Histogram(h) => obj.push(name, h.to_node()),
+            }
+        }
+        obj
+    }
+
+    /// Prometheus-style text exposition of this snapshot.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {g}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for (q, v) in [
+                        (0.5, h.quantile_ms(0.5)),
+                        (0.95, h.quantile_ms(0.95)),
+                        (0.99, h.quantile_ms(0.99)),
+                    ] {
+                        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", h.sum_ms()));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests_total");
+        let b = reg.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("requests_total"), Some(3));
+        let g = reg.gauge("generation");
+        g.set(7);
+        assert_eq!(reg.snapshot().gauge("generation"), Some(7));
+    }
+
+    #[test]
+    fn bound_counters_are_shared_not_copied() {
+        let reg = MetricsRegistry::new();
+        let external = Counter::new();
+        external.add(5);
+        reg.bind_counter("cache_hits_total", &external);
+        external.inc();
+        assert_eq!(reg.snapshot().counter("cache_hits_total"), Some(6));
+    }
+
+    #[test]
+    fn striped_histograms_merge_on_snapshot() {
+        let reg = MetricsRegistry::new();
+        let stripes: Vec<_> = (0..4).map(|_| Arc::new(LatencyHistogram::new())).collect();
+        reg.bind_histogram_stripes("search_ms", &stripes);
+        for (i, s) in stripes.iter().enumerate() {
+            s.record_ms((i + 1) as f64);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("search_ms").expect("registered");
+        assert_eq!(h.count, 4);
+        assert!(h.max_ms() >= 4.0);
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits_total").add(3);
+        reg.histogram("lat_ms").record_ms(1.0);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE hits_total counter"));
+        assert!(text.contains("hits_total 3"));
+        assert!(text.contains("# TYPE lat_ms summary"));
+        assert!(text.contains("lat_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_ms_count 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

@@ -1,0 +1,221 @@
+//! The bounded event ring: structured trace events for postmortems.
+//!
+//! A fixed-capacity ring of [`Event`]s — model swaps, lease transitions,
+//! health state changes, chaos faults, retry exhaustion. Writers reserve
+//! a slot with one lock-free `fetch_add` (total order across threads) and
+//! fill it under a per-slot micro-lock held for a single `Option` store;
+//! with capacity ≫ writer count the slot locks are effectively private,
+//! so a chaos soak can log from every node's tick thread without the ring
+//! ever becoming a synchronization point. The ring keeps the **latest**
+//! `capacity` events: old entries are overwritten, which is exactly the
+//! postmortem contract — after a soak, the tail of the story (the outage,
+//! the resign, the fenced takeover) is still there, reconstructable
+//! without reading logs.
+
+use crate::json::JsonNode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What kind of thing happened. Variants map one-to-one onto the fleet's
+/// state transitions so a dump can be machine-filtered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A model generation went live in a serving slot.
+    ModelSwap,
+    /// A node claimed or renewed leadership (lease acquired under a term).
+    LeaseAcquired,
+    /// A leader stepped down (resignation or demotion).
+    LeaderResigned,
+    /// A health tracker changed state (healthy/degraded/isolated).
+    HealthChanged,
+    /// The chaos layer injected a fault.
+    ChaosFault,
+    /// A full store outage started or ended.
+    Outage,
+    /// A retry policy exhausted its attempt budget.
+    RetryExhausted,
+    /// Anything else worth a line in the postmortem.
+    Note,
+}
+
+impl EventKind {
+    /// Stable lower-case label (the JSON `kind` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::ModelSwap => "model_swap",
+            EventKind::LeaseAcquired => "lease_acquired",
+            EventKind::LeaderResigned => "leader_resigned",
+            EventKind::HealthChanged => "health_changed",
+            EventKind::ChaosFault => "chaos_fault",
+            EventKind::Outage => "outage",
+            EventKind::RetryExhausted => "retry_exhausted",
+            EventKind::Note => "note",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Global sequence number (total order across all writers).
+    pub seq: u64,
+    /// Milliseconds since the ring was created (monotonic clock).
+    pub at_ms: u64,
+    /// The node (or component) that recorded the event.
+    pub node: String,
+    /// What happened.
+    pub kind: EventKind,
+    /// Free-form detail (terms, generations, error text).
+    pub detail: String,
+}
+
+impl Event {
+    /// The event as a JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("seq", JsonNode::U64(self.seq));
+        obj.push("at_ms", JsonNode::U64(self.at_ms));
+        obj.push("node", JsonNode::Str(self.node.clone()));
+        obj.push("kind", JsonNode::Str(self.kind.label().to_string()));
+        obj.push("detail", JsonNode::Str(self.detail.clone()));
+        obj
+    }
+}
+
+/// The bounded ring. See module docs for the concurrency contract.
+pub struct EventRing {
+    slots: Vec<Mutex<Option<Event>>>,
+    next: AtomicU64,
+    origin: Instant,
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl EventRing {
+    /// A ring keeping the latest `capacity` events (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Capacity (the retention bound).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Records one event.
+    pub fn record(&self, node: &str, kind: EventKind, detail: impl Into<String>) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            at_ms: self.origin.elapsed().as_millis() as u64,
+            node: node.to_string(),
+            kind,
+            detail: detail.into(),
+        };
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A delayed writer must not clobber a newer lap's entry: the slot
+        // only ever moves forward in sequence.
+        if guard.as_ref().map_or(true, |e| e.seq < seq) {
+            *guard = Some(event);
+        }
+    }
+
+    /// The retained events in sequence order (ascending `seq`, oldest
+    /// retained first). At most `capacity` entries.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone()
+            })
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The retained events as a JSON array (sequence order).
+    pub fn to_node(&self) -> JsonNode {
+        JsonNode::Arr(self.snapshot().iter().map(Event::to_node).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let ring = EventRing::new(8);
+        ring.record("a", EventKind::ModelSwap, "gen=1");
+        ring.record("b", EventKind::LeaseAcquired, "term=1");
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].node, "a");
+        assert_eq!(events[1].kind, EventKind::LeaseAcquired);
+        assert_eq!(ring.recorded(), 2);
+    }
+
+    #[test]
+    fn wraparound_keeps_the_latest_events_in_sequence_order() {
+        let ring = EventRing::new(4);
+        for i in 0..10u64 {
+            ring.record("n", EventKind::Note, format!("e{i}"));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 4, "ring retains exactly its capacity");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "latest events, ascending seq");
+        assert_eq!(events.last().unwrap().detail, "e9");
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_tail() {
+        let ring = std::sync::Arc::new(EventRing::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        ring.record(&format!("t{t}"), EventKind::Note, format!("{i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer");
+        }
+        assert_eq!(ring.recorded(), 400);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 64);
+        // Sequence-ordered and gap-free across the retained window.
+        for pair in events.windows(2) {
+            assert_eq!(pair[1].seq, pair[0].seq + 1);
+        }
+        assert_eq!(events.last().unwrap().seq, 399);
+    }
+}

@@ -1,0 +1,78 @@
+//! The fleet snapshot: one uniform tree for everything observable.
+//!
+//! Before neo-obs, each subsystem grew its own stats struct (cache,
+//! health, retry, chaos, checkpoint store) and each bench hand-rolled its
+//! own JSON for them. A [`FleetSnapshot`] is the single assembly point:
+//! named sections of [`JsonNode`]s, rendered as one document. Benches
+//! embed it, the cluster builds one per fleet, and a postmortem reads one
+//! file instead of five formats.
+
+use crate::json::{validate, JsonNode};
+
+/// A named-section observability snapshot, rendered as a single JSON
+/// object in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct FleetSnapshot {
+    sections: Vec<(String, JsonNode)>,
+}
+
+impl FleetSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a named section.
+    pub fn push(&mut self, name: &str, node: JsonNode) {
+        if let Some(existing) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            existing.1 = node;
+        } else {
+            self.sections.push((name.to_string(), node));
+        }
+    }
+
+    /// The section registered under `name`, if any.
+    pub fn section(&self, name: &str) -> Option<&JsonNode> {
+        self.sections
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(v))
+    }
+
+    /// Section names in insertion order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The snapshot as one JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        for (name, node) in &self.sections {
+            obj.push(name, node.clone());
+        }
+        obj
+    }
+
+    /// The snapshot rendered as a JSON document. Debug builds re-validate
+    /// the output (the writer and checker keep each other honest).
+    pub fn to_json(&self) -> String {
+        let json = self.to_node().render();
+        debug_assert!(validate(&json).is_ok(), "FleetSnapshot rendered invalid JSON");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keep_order_and_replace_by_name() {
+        let mut snap = FleetSnapshot::new();
+        snap.push("cache", JsonNode::U64(1));
+        snap.push("health", JsonNode::U64(2));
+        snap.push("cache", JsonNode::U64(3));
+        assert_eq!(snap.section_names(), vec!["cache", "health"]);
+        assert_eq!(snap.section("cache"), Some(&JsonNode::U64(3)));
+        validate(&snap.to_json()).expect("snapshot JSON well-formed");
+    }
+}

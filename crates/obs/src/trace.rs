@@ -1,0 +1,131 @@
+//! Per-query search traces.
+//!
+//! A [`SearchTrace`] is an opt-in, per-request record of what the serving
+//! path actually did for one query: whether the plan cache answered and
+//! under which epoch, which model generation/term served, how far the
+//! wavefront search ran, whether a cached seed plan survived the
+//! challenge or was beaten, and whether a warm scratch session was
+//! reused. It is the "explain this one slow query" tool the aggregate
+//! histograms cannot be.
+
+use crate::json::JsonNode;
+
+/// Outcome of the seed-plan challenge on a cache-miss search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedOutcome {
+    /// No cached seed plan existed for the fingerprint.
+    NoSeed,
+    /// The search was seeded and the seed (or an equal-cost refinement of
+    /// it) remained the best plan.
+    Retained,
+    /// The search was seeded and found a strictly better plan.
+    Beaten,
+}
+
+impl SeedOutcome {
+    /// Stable lower-case label (the JSON `seed_outcome` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SeedOutcome::NoSeed => "no_seed",
+            SeedOutcome::Retained => "retained",
+            SeedOutcome::Beaten => "beaten",
+        }
+    }
+}
+
+/// One query's end-to-end serving trace. All fields are filled by the
+/// optimizer service when the request opts in; a cache hit leaves the
+/// search-shaped fields at their zero values.
+#[derive(Clone, Debug)]
+pub struct SearchTrace {
+    /// The request's query id.
+    pub query_id: String,
+    /// The query fingerprint used for cache and hot-set keying.
+    pub fingerprint: u128,
+    /// Whether the plan cache answered without a search.
+    pub cache_hit: bool,
+    /// The cache epoch the request observed.
+    pub cache_epoch: u64,
+    /// The model generation that produced (or originally produced) the plan.
+    pub model_generation: u64,
+    /// The leadership term of the serving model slot.
+    pub model_term: u64,
+    /// Wavefront iterations (batched expansion rounds) the search ran.
+    pub batches: usize,
+    /// Plans expanded during the search.
+    pub expansions: usize,
+    /// Plans scored by the value network.
+    pub scored: usize,
+    /// Wall-clock time of the search itself, milliseconds (0 on a hit).
+    pub search_wall_ms: f64,
+    /// Wall-clock time of the whole optimize call, milliseconds.
+    pub total_wall_ms: f64,
+    /// Whether the search hit its budget and returned hurried.
+    pub hurried: bool,
+    /// Outcome of the cached-seed challenge.
+    pub seed_outcome: SeedOutcome,
+    /// Whether a warm scratch session was reused (vs freshly built).
+    pub session_reused: bool,
+    /// The value net's predicted cost for the chosen plan, if scored.
+    pub predicted_ms: Option<f64>,
+}
+
+impl SearchTrace {
+    /// The trace as a JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("query_id", JsonNode::Str(self.query_id.clone()));
+        obj.push("fingerprint", JsonNode::Str(format!("{:032x}", self.fingerprint)));
+        obj.push("cache_hit", JsonNode::Bool(self.cache_hit));
+        obj.push("cache_epoch", JsonNode::U64(self.cache_epoch));
+        obj.push("model_generation", JsonNode::U64(self.model_generation));
+        obj.push("model_term", JsonNode::U64(self.model_term));
+        obj.push("batches", JsonNode::U64(self.batches as u64));
+        obj.push("expansions", JsonNode::U64(self.expansions as u64));
+        obj.push("scored", JsonNode::U64(self.scored as u64));
+        obj.push("search_wall_ms", JsonNode::f64_rounded(self.search_wall_ms, 4));
+        obj.push("total_wall_ms", JsonNode::f64_rounded(self.total_wall_ms, 4));
+        obj.push("hurried", JsonNode::Bool(self.hurried));
+        obj.push("seed_outcome", JsonNode::Str(self.seed_outcome.label().to_string()));
+        obj.push("session_reused", JsonNode::Bool(self.session_reused));
+        obj.push(
+            "predicted_ms",
+            match self.predicted_ms {
+                Some(v) => JsonNode::f64_rounded(v, 4),
+                None => JsonNode::Null,
+            },
+        );
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn trace_renders_to_valid_json() {
+        let trace = SearchTrace {
+            query_id: "q9".to_string(),
+            fingerprint: 0xdead_beef,
+            cache_hit: false,
+            cache_epoch: 2,
+            model_generation: 5,
+            model_term: 1,
+            batches: 4,
+            expansions: 120,
+            scored: 240,
+            search_wall_ms: 1.75,
+            total_wall_ms: 1.9,
+            hurried: false,
+            seed_outcome: SeedOutcome::Beaten,
+            session_reused: true,
+            predicted_ms: Some(3.25),
+        };
+        let json = trace.to_node().render();
+        validate(&json).expect("trace JSON well-formed");
+        assert!(json.contains("\"seed_outcome\": \"beaten\""));
+        assert!(json.contains("000000000000000000000000deadbeef"));
+    }
+}

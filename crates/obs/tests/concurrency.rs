@@ -1,0 +1,155 @@
+//! Concurrency tests for the observability primitives: exact totals under
+//! N-thread hammering and monotone quantiles, plus a property test
+//! pinning the histogram merge law (merge-of-splits == combined).
+
+use neo_obs::{Counter, HistogramSnapshot, LatencyHistogram, MetricsRegistry};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 2_000;
+
+#[test]
+fn histogram_totals_are_exact_under_concurrent_recording() {
+    let hist = Arc::new(LatencyHistogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic per-thread spread across many buckets.
+                    hist.record_us((t as u64 * PER_THREAD + i) % 100_000);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread");
+    }
+    let snap = hist.snapshot();
+    let expected = THREADS as u64 * PER_THREAD;
+    assert_eq!(snap.count, expected, "count is exact");
+    assert_eq!(
+        snap.buckets.iter().sum::<u64>(),
+        expected,
+        "bucket sum is exact"
+    );
+    let expected_sum: u64 = (0..THREADS as u64)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t * PER_THREAD + i) % 100_000))
+        .sum();
+    assert_eq!(snap.sum_us, expected_sum, "sum is exact");
+    assert_eq!(snap.max_us, 15_999, "max is exact");
+
+    // Quantile estimates are monotone in q.
+    let mut prev = 0.0;
+    for step in 0..=100 {
+        let q = step as f64 / 100.0;
+        let v = snap.quantile_ms(q);
+        assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+        prev = v;
+    }
+}
+
+#[test]
+fn registry_counters_are_exact_under_concurrent_updates() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                // Re-resolving by name each iteration exercises the
+                // registration lock concurrently with handle updates.
+                let counter = reg.counter("hammered_total");
+                for i in 0..PER_THREAD {
+                    if i % 16 == 0 {
+                        reg.counter("hammered_total").inc();
+                    } else {
+                        counter.inc();
+                    }
+                    reg.gauge("last_i").set(i);
+                    reg.histogram("hammer_ms").record_us(i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("updater thread");
+    }
+    let snap = reg.snapshot();
+    let expected = THREADS as u64 * PER_THREAD;
+    assert_eq!(snap.counter("hammered_total"), Some(expected));
+    assert_eq!(snap.histogram("hammer_ms").expect("registered").count, expected);
+    assert!(snap.gauge("last_i").expect("registered") < PER_THREAD);
+}
+
+#[test]
+fn shared_counter_handles_see_one_total() {
+    let counter = Counter::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = counter.clone();
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("counter thread");
+    }
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    /// The merge law: splitting one stream of recordings across any
+    /// number of histograms and merging their snapshots yields exactly
+    /// the snapshot of recording the whole stream into one histogram.
+    #[test]
+    fn merge_of_splits_equals_combined_recording(
+        values in proptest::collection::vec(0u64..5_000_000, 1..300),
+        splits in proptest::collection::vec(0usize..4, 1..300),
+    ) {
+        let parts: Vec<LatencyHistogram> =
+            (0..4).map(|_| LatencyHistogram::new()).collect();
+        let combined = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            let which = splits[i % splits.len()];
+            parts[which].record_us(v);
+            combined.record_us(v);
+        }
+        let mut merged = HistogramSnapshot::default();
+        for p in &parts {
+            merged.merge(&p.snapshot());
+        }
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+
+    /// Merging is order-independent (commutative + associative on these
+    /// integer buckets), so cross-node aggregation order cannot matter.
+    #[test]
+    fn merge_order_does_not_matter(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+        c in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mk = |vals: &[u64]| {
+            let h = LatencyHistogram::new();
+            for &v in vals {
+                h.record_us(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (mk(&a), mk(&b), mk(&c));
+        let mut abc = sa.clone();
+        abc.merge(&sb);
+        abc.merge(&sc);
+        let mut cba = sc.clone();
+        cba.merge(&sb);
+        cba.merge(&sa);
+        prop_assert_eq!(abc, cba);
+    }
+}

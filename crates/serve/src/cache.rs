@@ -35,6 +35,7 @@
 //! started: a stale insert is rejected at the door, and a stale entry that
 //! raced its way in is discarded (and evicted) on probe.
 
+use neo_obs::{Counter, MetricsRegistry};
 use neo_query::{PlanNode, QueryFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -147,13 +148,16 @@ pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
     epoch: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    stale_rejections: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
-    seed_hits: AtomicU64,
+    // Traffic counters live on shareable neo-obs handles so a metrics
+    // registry can expose them without a second set of atomics; the
+    // legacy `stats()` accessor reads the same state.
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    stale_rejections: Counter,
+    invalidations: Counter,
+    evictions: Counter,
+    seed_hits: Counter,
 }
 
 impl PlanCache {
@@ -171,14 +175,27 @@ impl PlanCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
             capacity_per_shard: capacity_per_shard.max(1),
             epoch: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            stale_rejections: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            seed_hits: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            stale_rejections: Counter::new(),
+            invalidations: Counter::new(),
+            evictions: Counter::new(),
+            seed_hits: Counter::new(),
         }
+    }
+
+    /// Registers the cache's traffic counters in `registry` under
+    /// `cache_*_total` names. The registry shares the live atomics; no
+    /// copying, no extra hot-path work.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry) {
+        registry.bind_counter("cache_hits_total", &self.hits);
+        registry.bind_counter("cache_misses_total", &self.misses);
+        registry.bind_counter("cache_insertions_total", &self.insertions);
+        registry.bind_counter("cache_stale_rejections_total", &self.stale_rejections);
+        registry.bind_counter("cache_invalidations_total", &self.invalidations);
+        registry.bind_counter("cache_evictions_total", &self.evictions);
+        registry.bind_counter("cache_seed_hits_total", &self.seed_hits);
     }
 
     /// The current epoch. Capture this *before* starting a search and pass
@@ -268,11 +285,11 @@ impl PlanCache {
         drop(shard);
         match hit {
             Some(found) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(found)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -288,7 +305,7 @@ impl PlanCache {
         let seed = shard.seeds.get(&fp).map(|s| Arc::clone(&s.plan));
         drop(shard);
         if seed.is_some() {
-            self.seed_hits.fetch_add(1, Ordering::Relaxed);
+            self.seed_hits.inc();
         }
         seed
     }
@@ -319,7 +336,7 @@ impl PlanCache {
         generation: u64,
     ) {
         if self.epoch() != search_epoch {
-            self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            self.stale_rejections.inc();
             return;
         }
         let entry = Entry {
@@ -370,9 +387,9 @@ impl PlanCache {
             shard.index.insert(fp, si);
         }
         drop(shard);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -413,7 +430,7 @@ impl PlanCache {
             }
             shard.seeds.retain(|_, s| s.epoch + 1 >= new);
         }
-        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.invalidations.inc();
         new
     }
 
@@ -445,13 +462,13 @@ impl PlanCache {
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            seed_hits: self.seed_hits.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            stale_rejections: self.stale_rejections.get(),
+            invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
+            seed_hits: self.seed_hits.get(),
         }
     }
 }

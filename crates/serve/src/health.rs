@@ -16,7 +16,9 @@
 //! actually reach the store. The tracker itself is deliberately
 //! store-agnostic: it counts verdicts, whatever produced them.
 
-use std::sync::Mutex;
+use neo_obs::{EventKind, EventRing};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How reachable this node believes its coordination dependencies are.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -86,10 +88,19 @@ struct HealthInner {
     isolated_entries: u64,
     recoveries: u64,
     last_error: Option<String>,
+    /// When the most recent state change happened (monotonic).
+    last_transition: Option<Instant>,
+    /// When the tracker most recently *left* `Healthy` (cleared on
+    /// return): the start of the excursion a recovery closes out.
+    unhealthy_since: Option<Instant>,
+    /// Duration of the most recent completed non-Healthy excursion —
+    /// the measurable "Degraded→Healthy recovery time" the chaos bench
+    /// asserts on.
+    last_recovery_ms: Option<f64>,
 }
 
 /// A point-in-time view of a [`HealthTracker`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HealthSnapshot {
     /// Current state.
     pub state: HealthState,
@@ -109,6 +120,16 @@ pub struct HealthSnapshot {
     pub recoveries: u64,
     /// The most recent failure's message, if any failure ever happened.
     pub last_error: Option<String>,
+    /// Milliseconds (since tracker creation, monotonic) of the most
+    /// recent state change; `None` when no transition ever happened.
+    pub last_transition_ms: Option<f64>,
+    /// How long the tracker has been in its current state, milliseconds
+    /// (the tracker's whole lifetime when it never transitioned).
+    pub since_ms: f64,
+    /// Duration of the most recent completed non-Healthy excursion
+    /// (left `Healthy` → returned `Healthy`), milliseconds. This is the
+    /// measurable recovery time the cumulative counters could not give.
+    pub last_recovery_ms: Option<f64>,
 }
 
 /// Thread-safe consecutive-failure health state machine. One tracker per
@@ -117,7 +138,11 @@ pub struct HealthSnapshot {
 #[derive(Debug)]
 pub struct HealthTracker {
     policy: HealthPolicy,
+    origin: Instant,
     inner: Mutex<HealthInner>,
+    /// Optional trace sink: every state change is recorded as a
+    /// `HealthChanged` event attributed to the named node.
+    events: Mutex<Option<(Arc<EventRing>, String)>>,
 }
 
 impl Default for HealthTracker {
@@ -131,6 +156,7 @@ impl HealthTracker {
     pub fn new(policy: HealthPolicy) -> Self {
         HealthTracker {
             policy,
+            origin: Instant::now(),
             inner: Mutex::new(HealthInner {
                 state: HealthState::Healthy,
                 consecutive_failures: 0,
@@ -142,8 +168,21 @@ impl HealthTracker {
                 isolated_entries: 0,
                 recoveries: 0,
                 last_error: None,
+                last_transition: None,
+                unhealthy_since: None,
+                last_recovery_ms: None,
             }),
+            events: Mutex::new(None),
         }
+    }
+
+    /// Attaches an event ring: from now on every state change records a
+    /// `HealthChanged` event attributed to `node`.
+    pub fn attach_events(&self, ring: Arc<EventRing>, node: impl Into<String>) {
+        *self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((ring, node.into()));
     }
 
     /// The policy this tracker runs under.
@@ -201,6 +240,7 @@ impl HealthTracker {
     /// Full counter snapshot.
     pub fn snapshot(&self) -> HealthSnapshot {
         let inner = self.lock();
+        let to_ms = |at: Instant| at.duration_since(self.origin).as_secs_f64() * 1e3;
         HealthSnapshot {
             state: inner.state,
             consecutive_failures: inner.consecutive_failures,
@@ -211,6 +251,14 @@ impl HealthTracker {
             isolated_entries: inner.isolated_entries,
             recoveries: inner.recoveries,
             last_error: inner.last_error.clone(),
+            last_transition_ms: inner.last_transition.map(to_ms),
+            since_ms: inner
+                .last_transition
+                .unwrap_or(self.origin)
+                .elapsed()
+                .as_secs_f64()
+                * 1e3,
+            last_recovery_ms: inner.last_recovery_ms,
         }
     }
 
@@ -218,13 +266,38 @@ impl HealthTracker {
         if next == inner.state {
             return;
         }
+        let prev = inner.state;
+        let now = Instant::now();
         inner.transitions += 1;
         match next {
             HealthState::Degraded => inner.degraded_entries += 1,
             HealthState::Isolated => inner.isolated_entries += 1,
             HealthState::Healthy => inner.recoveries += 1,
         }
+        // Excursion bookkeeping: stamp the departure from Healthy, close
+        // it out (as a measurable recovery duration) on the way back.
+        if prev == HealthState::Healthy {
+            inner.unhealthy_since = Some(now);
+        } else if next == HealthState::Healthy {
+            if let Some(start) = inner.unhealthy_since.take() {
+                inner.last_recovery_ms =
+                    Some(now.duration_since(start).as_secs_f64() * 1e3);
+            }
+        }
+        inner.last_transition = Some(now);
         inner.state = next;
+        if let Some((ring, node)) = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            ring.record(
+                node,
+                EventKind::HealthChanged,
+                format!("{} -> {}", prev.label(), next.label()),
+            );
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HealthInner> {
@@ -304,6 +377,52 @@ mod tests {
         // recovery.
         assert_eq!(t.record_success(), HealthState::Degraded);
         assert_eq!(t.record_success(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn transitions_are_timestamped_and_recovery_time_is_measurable() {
+        let t = tracker();
+        let fresh = t.snapshot();
+        assert_eq!(fresh.last_transition_ms, None);
+        assert!(fresh.since_ms >= 0.0, "since covers the whole lifetime");
+        assert_eq!(fresh.last_recovery_ms, None);
+        for _ in 0..3 {
+            t.record_failure("down");
+        }
+        let degraded = t.snapshot();
+        let entered = degraded.last_transition_ms.expect("transition stamped");
+        assert!(entered >= 0.0);
+        assert!(degraded.last_recovery_ms.is_none(), "excursion still open");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.record_success();
+        t.record_success();
+        let recovered = t.snapshot();
+        assert_eq!(recovered.state, HealthState::Healthy);
+        let recovery = recovered.last_recovery_ms.expect("excursion closed");
+        assert!(
+            recovery >= 5.0,
+            "recovery spans the sleep inside the excursion: {recovery} ms"
+        );
+        assert!(recovered.last_transition_ms.expect("stamped") >= entered);
+    }
+
+    #[test]
+    fn transitions_emit_health_changed_events() {
+        use neo_obs::{EventKind, EventRing};
+        let t = tracker();
+        let ring = std::sync::Arc::new(EventRing::new(16));
+        t.attach_events(std::sync::Arc::clone(&ring), "node-0");
+        for _ in 0..3 {
+            t.record_failure("down");
+        }
+        t.record_success();
+        t.record_success();
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.kind == EventKind::HealthChanged));
+        assert_eq!(events[0].detail, "healthy -> degraded");
+        assert_eq!(events[1].detail, "degraded -> healthy");
+        assert_eq!(events[0].node, "node-0");
     }
 
     #[test]

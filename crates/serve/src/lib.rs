@@ -63,5 +63,7 @@ pub use cache::{CacheStats, PlanCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY};
 pub use health::{HealthPolicy, HealthSnapshot, HealthState, HealthTracker};
 pub use join::{join_named, join_named_or_ignore_during_unwind};
 pub use pool::WorkerPool;
-pub use service::{ExecutionFeedback, OptimizeOutcome, OptimizerService, ServeConfig};
+pub use service::{
+    ExecutionFeedback, OptimizeOutcome, OptimizeRequest, OptimizerService, ServeConfig,
+};
 pub use slot::ModelSlot;

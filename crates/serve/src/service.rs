@@ -35,8 +35,13 @@ use crate::pool::WorkerPool;
 use crate::slot::ModelSlot;
 use neo::{best_first_search_seeded_with_scratch, Featurizer, SearchBudget, SearchStats, ValueNet};
 use neo_nn::ScratchPool;
+use neo_obs::{
+    Counter, FingerprintStat, Gauge, HistogramSnapshot, HotSet, LatencyHistogram, MetricsRegistry,
+    MetricsSnapshot, SearchTrace, SeedOutcome,
+};
 use neo_query::{fingerprint, PlanNode, Query, QueryFingerprint};
 use neo_storage::Database;
+use std::hash::{Hash, Hasher};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -80,6 +85,12 @@ pub struct ServeConfig {
     pub search_base_expansions: usize,
     /// Wavefront width `K` for every search.
     pub wavefront: usize,
+    /// Enables the observability layer (metrics registry updates, latency
+    /// histograms, hot-set tracking). On by default; the serve bench turns
+    /// it off for its overhead comparison. Metric *registration* happens
+    /// either way, so the registry's shape is stable — only hot-path
+    /// updates are gated.
+    pub obs: bool,
 }
 
 impl Default for ServeConfig {
@@ -94,7 +105,34 @@ impl Default for ServeConfig {
             use_seeds: true,
             search_base_expansions: 12,
             wavefront: neo::DEFAULT_WAVEFRONT,
+            obs: true,
         }
+    }
+}
+
+/// One query plus its per-request serving options. [`OptimizerService::
+/// optimize_request`] is the opt-in door to per-query [`SearchTrace`]s;
+/// the plain [`OptimizerService::optimize`] path never pays for tracing.
+#[derive(Clone, Debug)]
+pub struct OptimizeRequest {
+    /// The query to optimize.
+    pub query: Query,
+    /// Fill [`OptimizeOutcome::trace`] with a full per-query search trace.
+    pub trace: bool,
+}
+
+impl OptimizeRequest {
+    /// A plain request (no trace).
+    pub fn new(query: Query) -> Self {
+        OptimizeRequest {
+            query,
+            trace: false,
+        }
+    }
+
+    /// A request that opts into per-query tracing.
+    pub fn traced(query: Query) -> Self {
+        OptimizeRequest { query, trace: true }
     }
 }
 
@@ -122,6 +160,76 @@ pub struct OptimizeOutcome {
     /// Search statistics (`None` on a cache hit; `stats.seeded` reports
     /// whether a demoted plan warm-started the search).
     pub search: Option<SearchStats>,
+    /// The per-query search trace, filled only when the request opted in
+    /// via [`OptimizeRequest::traced`].
+    pub trace: Option<SearchTrace>,
+}
+
+/// The serving side of neo-obs: the per-service metrics registry plus the
+/// handles the hot path updates. Histograms are striped per worker
+/// (selected by thread id) so concurrent recording never contends on one
+/// cache line; the registry merges stripes on snapshot.
+struct ServeObs {
+    registry: Arc<MetricsRegistry>,
+    requests: Counter,
+    search_hist: Vec<Arc<LatencyHistogram>>,
+    hit_hist: Vec<Arc<LatencyHistogram>>,
+    e2e_hist: Vec<Arc<LatencyHistogram>>,
+    generation_gauge: Gauge,
+    epoch_gauge: Gauge,
+    hotset: HotSet,
+    enabled: bool,
+}
+
+impl ServeObs {
+    fn new(workers: usize, enabled: bool) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        // One stripe per pool worker plus one for direct `optimize`
+        // callers; thread-id hashing spreads recorders across them.
+        let stripes = workers.max(1) + 1;
+        let mk = |name: &str| {
+            let h: Vec<Arc<LatencyHistogram>> = (0..stripes)
+                .map(|_| Arc::new(LatencyHistogram::new()))
+                .collect();
+            registry.bind_histogram_stripes(name, &h);
+            h
+        };
+        let search_hist = mk("serve_search_ms");
+        let hit_hist = mk("serve_cache_hit_ms");
+        let e2e_hist = mk("serve_optimize_ms");
+        let requests = Counter::new();
+        registry.bind_counter("serve_requests_total", &requests);
+        let generation_gauge = Gauge::new();
+        registry.bind_gauge("serve_model_generation", &generation_gauge);
+        let epoch_gauge = Gauge::new();
+        registry.bind_gauge("serve_cache_epoch", &epoch_gauge);
+        ServeObs {
+            registry,
+            requests,
+            search_hist,
+            hit_hist,
+            e2e_hist,
+            generation_gauge,
+            epoch_gauge,
+            hotset: HotSet::new(),
+            enabled,
+        }
+    }
+
+    /// This thread's stripe of a striped histogram.
+    fn stripe<'a>(&self, stripes: &'a [Arc<LatencyHistogram>]) -> &'a LatencyHistogram {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        &stripes[(hasher.finish() % stripes.len() as u64) as usize]
+    }
+
+    fn merged(&self, stripes: &[Arc<LatencyHistogram>]) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for s in stripes {
+            out.merge(&s.snapshot());
+        }
+        out
+    }
 }
 
 /// State shared between the caller and every worker.
@@ -132,6 +240,7 @@ struct Shared {
     cache: PlanCache,
     scratch: ScratchPool,
     feedback: OnceLock<Arc<dyn ExecutionFeedback>>,
+    obs: ServeObs,
     cfg: ServeConfig,
 }
 
@@ -139,7 +248,7 @@ impl Shared {
     /// The full optimize path for one query, run on whichever thread calls
     /// it (a pool worker for streams, the caller for [`OptimizerService::
     /// optimize`]).
-    fn optimize_one(&self, query: &Query) -> OptimizeOutcome {
+    fn optimize_one(&self, query: &Query, want_trace: bool) -> OptimizeOutcome {
         let start = Instant::now();
         let fp = fingerprint(query);
         // Epoch before model: if the epoch read is stale relative to a
@@ -148,6 +257,32 @@ impl Shared {
         let search_epoch = self.cache.epoch();
         if self.cfg.use_cache {
             if let Some((plan, chosen_by)) = self.cache.get_with_generation(fp) {
+                let optimize_ms = start.elapsed().as_secs_f64() * 1e3;
+                if self.obs.enabled {
+                    self.obs.requests.inc();
+                    self.obs.stripe(&self.obs.hit_hist).record_ms(optimize_ms);
+                    self.obs.stripe(&self.obs.e2e_hist).record_ms(optimize_ms);
+                    self.obs.hotset.record_probe(fp.0, true, optimize_ms);
+                }
+                let trace = want_trace.then(|| SearchTrace {
+                    query_id: query.id.clone(),
+                    fingerprint: fp.0,
+                    cache_hit: true,
+                    cache_epoch: search_epoch,
+                    model_generation: chosen_by,
+                    // The slot read happens only on the traced path; the
+                    // plain hit path still touches nothing but its shard.
+                    model_term: self.model.term(),
+                    batches: 0,
+                    expansions: 0,
+                    scored: 0,
+                    search_wall_ms: 0.0,
+                    total_wall_ms: optimize_ms,
+                    hurried: false,
+                    seed_outcome: SeedOutcome::NoSeed,
+                    session_reused: false,
+                    predicted_ms: None,
+                });
                 return OptimizeOutcome {
                     query_id: query.id.clone(),
                     fingerprint: fp,
@@ -160,9 +295,10 @@ impl Shared {
                     // weights that chose this plan (probe racing a
                     // publish whose epoch bump hasn't landed yet).
                     model_generation: chosen_by,
-                    optimize_ms: start.elapsed().as_secs_f64() * 1e3,
+                    optimize_ms,
                     predicted_ms: None,
                     search: None,
+                    trace,
                 };
             }
         }
@@ -180,6 +316,7 @@ impl Shared {
         } else {
             None
         };
+        let session_reused = self.scratch.available() > 0;
         let scratch = self.scratch.checkout();
         let (plan, stats, scratch) = best_first_search_seeded_with_scratch(
             &net,
@@ -196,15 +333,47 @@ impl Shared {
             self.cache
                 .insert_from_generation(fp, plan.clone(), search_epoch, model_generation);
         }
+        let optimize_ms = start.elapsed().as_secs_f64() * 1e3;
+        if self.obs.enabled {
+            self.obs.requests.inc();
+            self.obs.stripe(&self.obs.search_hist).record_ms(stats.wall_ms);
+            self.obs.stripe(&self.obs.e2e_hist).record_ms(optimize_ms);
+            self.obs.hotset.record_probe(fp.0, false, optimize_ms);
+        }
+        let predicted_ms = net.to_cost(stats.best_score);
+        let trace = want_trace.then(|| SearchTrace {
+            query_id: query.id.clone(),
+            fingerprint: fp.0,
+            cache_hit: false,
+            cache_epoch: search_epoch,
+            model_generation,
+            model_term: self.model.term(),
+            batches: stats.batches,
+            expansions: stats.expansions,
+            scored: stats.scored,
+            search_wall_ms: stats.wall_ms,
+            total_wall_ms: optimize_ms,
+            hurried: stats.hurried,
+            seed_outcome: match &seed {
+                None => SeedOutcome::NoSeed,
+                // The seed survived the challenge iff the search's best
+                // plan *is* the seed.
+                Some(s) if plan == **s => SeedOutcome::Retained,
+                Some(_) => SeedOutcome::Beaten,
+            },
+            session_reused,
+            predicted_ms: Some(predicted_ms),
+        });
         OptimizeOutcome {
             query_id: query.id.clone(),
             fingerprint: fp,
             plan,
             cache_hit: false,
             model_generation,
-            optimize_ms: start.elapsed().as_secs_f64() * 1e3,
-            predicted_ms: Some(net.to_cost(stats.best_score)),
+            optimize_ms,
+            predicted_ms: Some(predicted_ms),
             search: Some(stats),
+            trace,
         }
     }
 }
@@ -233,14 +402,21 @@ impl OptimizerService {
             "serving does not support the aux cardinality channel"
         );
         let pool = WorkerPool::new(cfg.workers);
+        let obs = ServeObs::new(cfg.workers, cfg.obs);
+        let cache = PlanCache::with_capacity(cfg.cache_shards, cfg.cache_capacity_per_shard);
+        // Cache counters registered regardless of `cfg.obs` — binding
+        // shares the live atomics the cache updates anyway, so exposure
+        // is free and the registry's shape never depends on the flag.
+        cache.bind_metrics(&obs.registry);
         OptimizerService {
             shared: Arc::new(Shared {
                 db,
                 featurizer,
                 model: ModelSlot::new(net),
-                cache: PlanCache::with_capacity(cfg.cache_shards, cfg.cache_capacity_per_shard),
+                cache,
                 scratch: ScratchPool::new(),
                 feedback: OnceLock::new(),
+                obs,
                 cfg,
             }),
             pool,
@@ -265,7 +441,13 @@ impl OptimizerService {
     /// Optimizes one query synchronously on the calling thread (the pool
     /// stays free for concurrent streams).
     pub fn optimize(&self, query: &Query) -> OptimizeOutcome {
-        self.shared.optimize_one(query)
+        self.shared.optimize_one(query, false)
+    }
+
+    /// Optimizes one query with per-request options — the opt-in door to
+    /// per-query [`SearchTrace`]s (see [`OptimizeRequest::traced`]).
+    pub fn optimize_request(&self, request: &OptimizeRequest) -> OptimizeOutcome {
+        self.shared.optimize_one(&request.query, request.trace)
     }
 
     /// Optimizes a stream of queries across the worker pool, blocking
@@ -278,7 +460,7 @@ impl OptimizerService {
             let q = q.clone();
             let tx = tx.clone();
             self.pool.execute(move || {
-                let outcome = shared.optimize_one(&q);
+                let outcome = shared.optimize_one(&q, false);
                 // The receiver outlives all senders unless the caller
                 // panicked; nothing useful to do with the error then.
                 let _ = tx.send((i, outcome));
@@ -321,7 +503,9 @@ impl OptimizerService {
     /// pre-bump epoch stamp and is rejected.
     pub fn publish_model(&self, net: Arc<ValueNet>) -> u64 {
         let generation = self.shared.model.publish(net);
-        self.shared.cache.advance_epoch();
+        let epoch = self.shared.cache.advance_epoch();
+        self.shared.obs.generation_gauge.set(generation);
+        self.shared.obs.epoch_gauge.set(epoch);
         generation
     }
 
@@ -341,7 +525,9 @@ impl OptimizerService {
         if !self.shared.model.publish_at(net, generation, term) {
             return false;
         }
-        self.shared.cache.advance_epoch();
+        let epoch = self.shared.cache.advance_epoch();
+        self.shared.obs.generation_gauge.set(generation);
+        self.shared.obs.epoch_gauge.set(epoch);
         true
     }
 
@@ -386,6 +572,9 @@ impl OptimizerService {
         plan: &PlanNode,
         latency_ms: f64,
     ) {
+        if self.shared.obs.enabled {
+            self.shared.obs.hotset.record_execution(fp.0, 0.0);
+        }
         if let Some(sink) = self.shared.feedback.get() {
             sink.record(fp, query, plan, latency_ms, None);
         }
@@ -396,6 +585,18 @@ impl OptimizerService {
     /// outcome's fingerprint and forwards the optimizer's own latency
     /// prediction, which replay retention turns into a regret priority.
     pub fn report_outcome(&self, query: &Query, outcome: &OptimizeOutcome, latency_ms: f64) {
+        if self.shared.obs.enabled {
+            // Regret proxy: how much slower the observed execution ran
+            // than the optimizer's own prediction (0 when it met it, or
+            // when no prediction exists — cache hits).
+            let regret = outcome
+                .predicted_ms
+                .map_or(0.0, |p| (latency_ms - p).max(0.0));
+            self.shared
+                .obs
+                .hotset
+                .record_execution(outcome.fingerprint.0, regret);
+        }
         if let Some(sink) = self.shared.feedback.get() {
             sink.record(
                 outcome.fingerprint,
@@ -415,5 +616,41 @@ impl OptimizerService {
     /// Convenience passthrough of [`PlanCache::stats`].
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The service's metrics registry: cache counters, request totals,
+    /// per-worker-striped latency histograms, model gauges. External
+    /// subsystems (trainer, cluster node) register their instruments here
+    /// so one snapshot covers the whole node.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.obs.registry
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.obs.registry.snapshot()
+    }
+
+    /// Merged (across worker stripes) histogram of search wall time on
+    /// cache misses, milliseconds.
+    pub fn search_latency(&self) -> HistogramSnapshot {
+        self.shared.obs.merged(&self.shared.obs.search_hist)
+    }
+
+    /// Merged histogram of cache-hit serve latency, milliseconds.
+    pub fn hit_latency(&self) -> HistogramSnapshot {
+        self.shared.obs.merged(&self.shared.obs.hit_hist)
+    }
+
+    /// Merged histogram of end-to-end optimize latency (hits and misses),
+    /// milliseconds.
+    pub fn optimize_latency(&self) -> HistogramSnapshot {
+        self.shared.obs.merged(&self.shared.obs.e2e_hist)
+    }
+
+    /// The `n` hottest query fingerprints by probe count (hit counts,
+    /// latency EWMA, execution regret).
+    pub fn hot_fingerprints(&self, n: usize) -> Vec<FingerprintStat> {
+        self.shared.obs.hotset.top(n)
     }
 }
