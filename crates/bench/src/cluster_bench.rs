@@ -39,9 +39,9 @@ use neo_cluster::{
     ChaosConfig, CheckpointStore, Cluster, ClusterConfig, FaultInjectingStore, FsCheckpointStore,
     DEFAULT_EVENT_CAPACITY,
 };
-use neo_obs::{EventKind, EventRing};
 use neo_engine::{true_latency, CardinalityOracle, Engine};
 use neo_learn::{ReplayConfig, RetryPolicy, TrainerConfig};
+use neo_obs::{EventKind, EventRing, SamplerConfig, SloSpec};
 use neo_query::{workload::job, PlanNode, Query};
 use neo_serve::{join_named, HealthPolicy, ServeConfig};
 use std::path::PathBuf;
@@ -320,6 +320,24 @@ pub struct ChaosPoint {
     /// recovery (chaos faults, health transitions, resignation, fenced
     /// takeover, model swaps).
     pub events_recorded: usize,
+    /// Events silently displaced by ring wraparound (recorded so the
+    /// postmortem is honest about being a tail when non-zero).
+    pub events_dropped: u64,
+    /// Telemetry sampler ticks taken across storm + outage + recovery.
+    pub telemetry_ticks: u64,
+    /// Fast-window `BudgetBurn` episodes the `sync` availability SLO
+    /// raised (≥ 1: the outage must trip the detector).
+    pub slo_fast_burns: u64,
+    /// The first post-outage `BudgetBurn` hit the event ring before the
+    /// resigned regime's lease expired on the store clock (must be
+    /// true: the burn-rate alert leads the failover machinery).
+    pub budget_burn_before_lease_lapse: bool,
+    /// `sync` SLO error budget right after the outage lifted (≈ 0: the
+    /// outage spent it).
+    pub slo_budget_after_outage: f64,
+    /// `sync` SLO error budget after recovery slid the outage out of
+    /// the window (asserted to refill past `slo_budget_after_outage`).
+    pub slo_budget_final: f64,
     /// The post-recovery [`neo_obs::FleetSnapshot`] as JSON: per-node
     /// metrics registries, health, and the full event-ring dump — the
     /// log-free postmortem record, embedded in `BENCH_cluster_chaos.json`.
@@ -866,6 +884,24 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
     .expect("assemble chaos fleet");
     let observe: Arc<dyn CheckpointStore> = Arc::clone(&inner) as Arc<dyn CheckpointStore>;
 
+    // Fleet telemetry (tentpole): a 10 ms sampler scrapes every node's
+    // registry, and one fleet-aggregate availability SLO watches
+    // `cluster_sync_failures_total` — which only moves when a retry
+    // budget exhausts, so the soak's absorbed faults never register.
+    // The 6-tick fast window at a 5× burn threshold trips on 3 bad
+    // ticks (~tens of ms of outage), far inside the 4 s lease TTL; no
+    // `SloNotify` is attached, so the alert path cannot perturb the
+    // soak's zero-churn health assertions.
+    let sampler = cluster.start_telemetry(SamplerConfig {
+        tick_interval_ms: 10,
+        ..Default::default()
+    });
+    sampler.add_slo(
+        SloSpec::availability("sync", "cluster_sync_failures_total", 0.9)
+            .with_windows(128, 6)
+            .with_burn_thresholds(5.0, 3.0),
+    );
+
     // The clean-view monitor: samples the inner store directly (not
     // fault-injected) and records (generation, term) transitions plus
     // any sample where no unexpired lease exists.
@@ -1024,8 +1060,18 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
         );
         std::thread::sleep(Duration::from_millis(5));
     }
+    // Sequence fence for the telemetry assertion below: every ring
+    // event with `seq` under this happened before the lease lapsed.
+    let lease_lapse_seq = events.recorded();
     chaos.set_outage(false);
     let outage_ms = outage_start.elapsed().as_secs_f64() * 1e3;
+    // The outage filled the SLO window with bad ticks; read the spent
+    // budget now, before recovery starts sliding them back out.
+    let slo_budget_after_outage = sampler
+        .slo_status()
+        .first()
+        .expect("sync slo declared")
+        .budget_remaining;
 
     let (_, new_term) = wait_for_termed_leader(&cluster, Instant::now() + FLEET_TIMEOUT)
         .expect("no candidate took over after the outage lifted");
@@ -1071,6 +1117,30 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
     assert!(
         promotions_total >= 2,
         "no promotion happened across the outage"
+    );
+
+    // The error budget must refill as post-recovery good ticks slide the
+    // outage out of the slow window — the release half of the alert
+    // story (a detector that can fire but never stand down is noise).
+    let refill_deadline = Instant::now() + FLEET_TIMEOUT;
+    let slo_budget_final = loop {
+        let budget = sampler
+            .slo_status()
+            .first()
+            .expect("sync slo declared")
+            .budget_remaining;
+        if budget > 0.6 {
+            break budget;
+        }
+        assert!(
+            Instant::now() < refill_deadline,
+            "sync error budget never refilled after recovery (stuck at {budget:.3})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        slo_budget_final > slo_budget_after_outage,
+        "budget did not refill: {slo_budget_after_outage:.3} -> {slo_budget_final:.3}"
     );
 
     // Satellite: the ex-leader's Degraded→Healthy excursion must be a
@@ -1120,6 +1190,35 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
             .any(|e| e.kind == EventKind::ChaosFault && e.node == "chaos-store"),
         "injected faults left no trace in the event ring"
     );
+
+    // The burn-rate alert led the failover machinery: the first
+    // fast-window `BudgetBurn` after the outage started landed in the
+    // ring before the resigned regime's lease expired on the store
+    // clock (compared by global sequence number, immune to how the
+    // single-core scheduler interleaved the two).
+    let outage_seq = ring_events[outage_at].seq;
+    let first_burn = ring_events
+        .iter()
+        .find(|e| {
+            e.kind == EventKind::BudgetBurn
+                && e.node == "telemetry"
+                && e.detail.contains("fast window")
+                && e.seq > outage_seq
+        })
+        .expect("the outage never tripped the sync SLO's fast burn window");
+    let budget_burn_before_lease_lapse = first_burn.seq < lease_lapse_seq;
+    assert!(
+        budget_burn_before_lease_lapse,
+        "budget burn (seq {}) fired only after the lease lapsed (seq fence {})",
+        first_burn.seq, lease_lapse_seq
+    );
+    let slo_status = sampler
+        .slo_status()
+        .into_iter()
+        .next()
+        .expect("sync slo declared");
+    let slo_fast_burns = slo_status.fast_burns_total;
+    assert!(slo_fast_burns >= 1, "no fast-burn episode was counted");
 
     // Fleet-wide retry totals: the storm must have exercised the retry
     // path and recovered through it.
@@ -1181,6 +1280,12 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
         tmp_files,
         leader_recovery_ms,
         events_recorded: ring_events.len(),
+        events_dropped: events.dropped(),
+        telemetry_ticks: sampler.ticks(),
+        slo_fast_burns,
+        budget_burn_before_lease_lapse,
+        slo_budget_after_outage,
+        slo_budget_final,
         fleet: cluster.fleet_snapshot().to_json(),
         metrics: cluster.node(soak_leader).service().metrics_snapshot(),
     };
@@ -1390,6 +1495,9 @@ impl ChaosPoint {
              \"recovered_all_healthy\": {}, \"plans_identical\": {}, \
              \"retained_checkpoints\": {}, \"tmp_files\": {}, \
              \"leader_recovery_ms\": {:.2}, \"events_recorded\": {}, \
+             \"events_dropped\": {}, \"telemetry_ticks\": {}, \
+             \"slo_fast_burns\": {}, \"budget_burn_before_lease_lapse\": {}, \
+             \"slo_budget_after_outage\": {:.4}, \"slo_budget_final\": {:.4}, \
              \"fleet\": {}}}",
             self.nodes,
             self.seed,
@@ -1422,6 +1530,12 @@ impl ChaosPoint {
             self.tmp_files,
             self.leader_recovery_ms,
             self.events_recorded,
+            self.events_dropped,
+            self.telemetry_ticks,
+            self.slo_fast_burns,
+            self.budget_burn_before_lease_lapse,
+            self.slo_budget_after_outage,
+            self.slo_budget_final,
             self.fleet.trim_end()
         )
     }
@@ -1567,11 +1681,18 @@ mod tests {
         assert!(neo_obs::validate(&c.fleet).is_ok(), "fleet snapshot JSON");
         assert!(c.fleet.contains("\"events\""));
         assert!(c.fleet.contains("\"nodes\""));
+        // Telemetry: the sampler scraped the fleet throughout the storm,
+        // the sync SLO's fast burn window tripped before the resigned
+        // regime's lease lapsed, and the error budget refilled once the
+        // outage healed.
+        assert!(c.telemetry_ticks > 0);
+        assert!(c.slo_fast_burns >= 1);
+        assert!(c.budget_burn_before_lease_lapse);
+        assert!(c.slo_budget_final > c.slo_budget_after_outage);
+        assert!(c.fleet.contains("\"series\""));
+        assert!(c.fleet.contains("\"slo\""));
         assert!(c.metrics.counter("serve_requests_total").unwrap() > 0);
-        assert!(c
-            .metrics
-            .counter("cluster_sync_adoptions_total")
-            .is_some());
+        assert!(c.metrics.counter("cluster_sync_adoptions_total").is_some());
         let json = report.to_json();
         assert!(neo_obs::validate(&json).is_ok(), "report JSON malformed");
         assert!(json.contains("\"plans_identical\": true"));
@@ -1580,5 +1701,8 @@ mod tests {
         assert!(json.contains("\"chaos\": {"));
         assert!(json.contains("\"history_forks\": 0"));
         assert!(json.contains("\"persist_failures\": 0"));
+        assert!(json.contains("\"budget_burn_before_lease_lapse\": true"));
+        assert!(json.contains("\"slo_fast_burns\""));
+        assert!(json.contains("\"telemetry_ticks\""));
     }
 }

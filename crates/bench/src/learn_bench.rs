@@ -163,6 +163,13 @@ pub struct LearnBenchReport {
     /// Plans re-served after the final swap are identical across two
     /// synchronous passes (determinism per generation).
     pub stable_after_final_swap: bool,
+    /// Telemetry sampler ticks taken during the training-concurrent
+    /// throughput window.
+    pub telemetry_ticks: u64,
+    /// Time series scraped from the throughput service while the
+    /// saturated trainer ran — the `learn_*` rates and backlog gauge
+    /// alongside the `serve_*` rates (rendered by `obs-report`).
+    pub series: Vec<neo_obs::SeriesSnapshot>,
     /// Metrics snapshot of the throughput service after its training-
     /// concurrent window: `serve_*` counters/histograms plus the `learn_*`
     /// metrics its saturated background trainer registered (surfaces as
@@ -415,6 +422,12 @@ pub fn run_learn_bench(cfg: &LearnBenchConfig) -> LearnBenchReport {
             ..Default::default()
         },
     );
+    // Scrape the service (serve_* and the trainer's learn_* instruments,
+    // all in one registry) for the whole training-concurrent window.
+    let sampler = tsvc.start_telemetry(neo_obs::SamplerConfig {
+        tick_interval_ms: 10,
+        ..Default::default()
+    });
     // A requester thread keeps the trainer saturated: back-to-back
     // generations (retrain + hot swap) for the whole measured window.
     let stop_requester = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -445,6 +458,9 @@ pub fn run_learn_bench(cfg: &LearnBenchConfig) -> LearnBenchReport {
         .collect();
     stop_requester.store(true, std::sync::atomic::Ordering::Release);
     let generations_during = requester.join().expect("requester thread");
+    tsvc.stop_telemetry();
+    let telemetry_ticks = sampler.ticks();
+    let series = sampler.series();
     let throughput_training_qps =
         stream.len() as f64 / crate::median(&mut training_walls).max(1e-9);
     assert!(
@@ -481,6 +497,8 @@ pub fn run_learn_bench(cfg: &LearnBenchConfig) -> LearnBenchReport {
         swap_max_us,
         checkpoint_roundtrip_ok,
         stable_after_final_swap,
+        telemetry_ticks,
+        series,
         metrics: tsvc.metrics_snapshot(),
     }
 }
@@ -564,8 +582,22 @@ impl LearnBenchReport {
             self.checkpoint_roundtrip_ok
         ));
         s.push_str(&format!(
-            "  \"stable_after_final_swap\": {}\n",
+            "  \"stable_after_final_swap\": {},\n",
             self.stable_after_final_swap
+        ));
+        s.push_str(&format!(
+            "  \"telemetry_ticks\": {},\n",
+            self.telemetry_ticks
+        ));
+        s.push_str(&format!(
+            "  \"series\": {}\n",
+            neo_obs::JsonNode::Arr(
+                self.series
+                    .iter()
+                    .map(neo_obs::SeriesSnapshot::to_node)
+                    .collect()
+            )
+            .render()
         ));
         s.push_str("}\n");
         s
@@ -603,12 +635,30 @@ mod tests {
         // background generation.
         assert!(report.metrics.counter("serve_requests_total").unwrap() > 0);
         assert!(
-            report.metrics.counter("learn_generations_total").unwrap_or(0)
+            report
+                .metrics
+                .counter("learn_generations_total")
+                .unwrap_or(0)
                 >= report.generations_during_window,
             "trainer generations missing from the service registry"
         );
+        // The sampler scraped the training-concurrent window: it ticked,
+        // and the trainer's own instruments show up as time series next
+        // to the serving ones.
+        assert!(report.telemetry_ticks > 0, "sampler never ticked");
+        assert!(
+            report.series.iter().any(|s| s.name.contains("learn_")),
+            "no learn-side series scraped: {:?}",
+            report.series.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+        assert!(report
+            .series
+            .iter()
+            .any(|s| s.name.contains("serve_requests_total_rate")));
         let json = report.to_json();
         assert!(json.contains("\"checkpoint_roundtrip_ok\": true"));
         assert!(json.contains("\"stable_after_final_swap\": true"));
+        assert!(json.contains("\"series\": ["));
+        assert!(neo_obs::validate(&json).is_ok(), "report JSON malformed");
     }
 }

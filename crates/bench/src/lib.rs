@@ -16,6 +16,7 @@ pub mod cluster_bench;
 pub mod figures;
 pub mod harness;
 pub mod learn_bench;
+pub mod obs_report;
 pub mod serve_bench;
 
 pub use cluster_bench::{
@@ -65,6 +66,59 @@ pub fn bench_envelope(
         panic!("bench envelope for {bench} is not valid JSON: {e}");
     }
     out
+}
+
+/// Like [`bench_envelope`], but additionally compares this run against
+/// the previously committed envelope at `baseline_path` and appends the
+/// verdict as a `"regressions"` section (tentpole: cross-run regression
+/// gates). Callers construct the envelope *before* overwriting the file,
+/// so the baseline read here always sees the prior run.
+///
+/// A missing or unparseable baseline degrades to an empty comparison
+/// (`compared: 0`, no findings) — first runs and renamed benches must
+/// not fail. The returned [`neo_obs::RegressionReport`] lets `--gate`
+/// callers exit non-zero on findings.
+pub fn bench_envelope_vs_baseline(
+    bench: &str,
+    wall_clock_s: f64,
+    metrics: Option<&neo_obs::MetricsSnapshot>,
+    report_json: &str,
+    baseline_path: &str,
+) -> (String, neo_obs::RegressionReport) {
+    let core = bench_envelope(bench, wall_clock_s, metrics, report_json);
+    let regress = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match neo_obs::parse(&text) {
+            Ok(baseline) => {
+                let current = neo_obs::parse(&core).expect("bench_envelope output parses back");
+                neo_obs::regress::compare(
+                    &baseline,
+                    &current,
+                    &neo_obs::default_rules(),
+                    baseline_path,
+                )
+            }
+            Err(e) => neo_obs::RegressionReport {
+                baseline_label: format!("{baseline_path} (unparseable: {e})"),
+                ..Default::default()
+            },
+        },
+        Err(_) => neo_obs::RegressionReport {
+            baseline_label: format!("{baseline_path} (missing)"),
+            ..Default::default()
+        },
+    };
+    let trimmed = core.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("bench_envelope output ends with '}'");
+    let out = format!(
+        "{body},\n\"regressions\": {}\n}}\n",
+        regress.to_node().render()
+    );
+    if let Err(e) = neo_obs::validate(&out) {
+        panic!("bench envelope for {bench} is not valid JSON with regressions: {e}");
+    }
+    (out, regress)
 }
 
 /// Prints a horizontal rule + section title.
@@ -133,5 +187,45 @@ mod tests {
     #[should_panic(expected = "not valid JSON")]
     fn envelope_rejects_malformed_report() {
         bench_envelope("unit", 0.0, None, "{\"x\": ");
+    }
+
+    #[test]
+    fn envelope_vs_missing_baseline_compares_nothing() {
+        let (out, regress) = bench_envelope_vs_baseline(
+            "unit",
+            0.5,
+            None,
+            "{\"qps\": 100.0}",
+            "/nonexistent/BENCH_unit.json",
+        );
+        assert!(neo_obs::validate(&out).is_ok());
+        assert!(out.contains("\"regressions\""));
+        assert!(regress.baseline_label.ends_with("(missing)"));
+        assert_eq!(regress.compared, 0);
+        assert!(!regress.gate_failed());
+    }
+
+    #[test]
+    fn envelope_vs_baseline_flags_a_collapse() {
+        let dir = std::env::temp_dir().join(format!("neo-bench-regress-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_unit.json");
+        let baseline = bench_envelope("unit", 0.5, None, "{\"qps\": 1000.0}");
+        std::fs::write(&path, baseline).expect("write baseline");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        // Jitter inside tolerance: clean bill.
+        let (_, clean) =
+            bench_envelope_vs_baseline("unit", 0.5, None, "{\"qps\": 900.0}", path_str);
+        // Two rule-matched paths: report.qps and the envelope's own
+        // wall_clock_s.
+        assert_eq!(clean.compared, 2);
+        assert!(!clean.gate_failed(), "{:?}", clean.findings);
+        // Collapse past the 65% qps tolerance: gated.
+        let (out, bad) =
+            bench_envelope_vs_baseline("unit", 0.5, None, "{\"qps\": 100.0}", path_str);
+        assert!(bad.gate_failed());
+        assert_eq!(bad.findings[0].path, "report.qps");
+        assert!(out.contains("\"findings\": ["));
+        std::fs::remove_file(&path).ok();
     }
 }

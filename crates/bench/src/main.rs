@@ -41,6 +41,9 @@
 //!                      lost generation, degraded-leader resign before
 //!                      lease lapse, full recovery; --fault-rate R and
 //!                      --chaos-seed S tune the schedule)
+//!   obs-report        text dashboard over any BENCH_*.json envelope:
+//!                     sparklined time series, SLO error budgets, hot
+//!                     fingerprints, regression verdicts
 //!   all               every figure/table experiment above, in order
 //!                     (the bench-* / *-bench commands run separately:
 //!                      they write JSON reports and assert their own
@@ -52,14 +55,68 @@
 //!   --seed S          master seed (datasets, workloads, nets)
 //!   --workers W       serve-bench concurrency ceiling / workers per node
 //!   --nodes N         cluster-bench fleet-size ceiling (default 4)
+//!   --baseline P      compare this run's envelope against P instead of the
+//!                     previously committed BENCH_*.json being overwritten
+//!   --gate            exit 1 when any envelope metric regressed past its
+//!                     tolerance vs the baseline (CI regression gate)
 //! ```
 
 use neo_bench::figures;
 use neo_bench::harness::Preset;
 
+/// Assembles the envelope with a cross-run regression verdict (compared
+/// against `--baseline <path>`, defaulting to the file being overwritten),
+/// writes it to `path`, prints the verdict to stderr, and exits non-zero
+/// under `--gate` when any metric collapsed past its tolerance.
+fn write_gated_envelope(
+    bench: &str,
+    wall_s: f64,
+    metrics: Option<&neo_obs::MetricsSnapshot>,
+    report_json: &str,
+    path: &str,
+    args: &[String],
+) {
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| path.to_string());
+    let (envelope, regress) =
+        neo_bench::bench_envelope_vs_baseline(bench, wall_s, metrics, report_json, &baseline);
+    std::fs::write(path, envelope).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprint!("{}", regress.render_text());
+    if args.iter().any(|a| a == "--gate") && regress.gate_failed() {
+        eprintln!("regression gate FAILED for {bench}: metrics above collapsed past tolerance");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "obs-report" {
+        // Text dashboard over any BENCH_*.json envelope: sparklined time
+        // series, SLO error budgets, hot fingerprints, regression verdicts.
+        let file = args
+            .iter()
+            .position(|a| a == "--file")
+            .and_then(|i| args.get(i + 1))
+            .or_else(|| args.get(1).filter(|a| !a.starts_with("--")))
+            .cloned();
+        let Some(file) = file else {
+            eprintln!("usage: neo-repro obs-report <BENCH_*.json> (or --file <path>)");
+            std::process::exit(2);
+        };
+        match neo_bench::obs_report::report_file(&file) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("obs-report: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let preset = Preset::from_args(&args);
     eprintln!(
         "preset: imdb x{}, tpch x{}, corp x{}, {} queries/workload, {} episodes, seed {}",
@@ -116,9 +173,14 @@ fn main() {
             let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_search.json";
-            let envelope =
-                neo_bench::bench_envelope("search", wall_s, Some(&report.metrics), &report.to_json());
-            std::fs::write(path, envelope).expect("write BENCH_search.json");
+            write_gated_envelope(
+                "search",
+                wall_s,
+                Some(&report.metrics),
+                &report.to_json(),
+                path,
+                &args,
+            );
             eprintln!(
                 "speedup {:.2}x (old {:.0} plans/s -> best batched {:.0} plans/s); wrote {path}",
                 report.speedup,
@@ -152,9 +214,14 @@ fn main() {
             let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_serve.json";
-            let envelope =
-                neo_bench::bench_envelope("serve", wall_s, Some(&report.metrics), &report.to_json());
-            std::fs::write(path, envelope).expect("write BENCH_serve.json");
+            write_gated_envelope(
+                "serve",
+                wall_s,
+                Some(&report.metrics),
+                &report.to_json(),
+                path,
+                &args,
+            );
             let cold_best = report.cold.last().expect("cold points");
             let mixed_best = report.mixed.last().expect("mixed points");
             eprintln!(
@@ -211,9 +278,14 @@ fn main() {
             let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_learn.json";
-            let envelope =
-                neo_bench::bench_envelope("learn", wall_s, Some(&report.metrics), &report.to_json());
-            std::fs::write(path, envelope).expect("write BENCH_learn.json");
+            write_gated_envelope(
+                "learn",
+                wall_s,
+                Some(&report.metrics),
+                &report.to_json(),
+                path,
+                &args,
+            );
             eprintln!(
                 "trajectory {:.1} ms (gen 0, untrained) -> {:.1} ms (gen {}) = {:.2}x better; \
                  expert {:.1} ms (final at {:.2}x, envelope {:.1}x: {}); \
@@ -302,9 +374,14 @@ fn main() {
             let json = format!("{{\n  \"chaos\": {}\n}}\n", point.to_json());
             print!("{json}");
             let path = "BENCH_cluster_chaos.json";
-            let envelope =
-                neo_bench::bench_envelope("cluster-chaos", wall_s, Some(&point.metrics), &json);
-            std::fs::write(path, envelope).expect("write BENCH_cluster_chaos.json");
+            write_gated_envelope(
+                "cluster-chaos",
+                wall_s,
+                Some(&point.metrics),
+                &json,
+                path,
+                &args,
+            );
             eprintln!(
                 "chaos: {} nodes soaked {} generation(s) at fault rate {:.0}% (seed {}): \
                  {} faults / {} torn reads / {} crash litters over {} ops, \
@@ -364,13 +441,14 @@ fn main() {
             let wall_s = started.elapsed().as_secs_f64();
             print!("{}", report.to_json());
             let path = "BENCH_cluster.json";
-            let envelope = neo_bench::bench_envelope(
+            write_gated_envelope(
                 "cluster",
                 wall_s,
                 Some(&report.chaos.metrics),
                 &report.to_json(),
+                path,
+                &args,
             );
-            std::fs::write(path, envelope).expect("write BENCH_cluster.json");
             let largest = report.scaling.last().expect("scaling points");
             eprintln!(
                 "fleet {} nodes: aggregate {:.0} qps search-bound / {:.0} qps warm-hit \
@@ -445,7 +523,12 @@ fn main() {
                  [--workers W] [--nodes N]\n\
                  commands: stats fig9-11 fig12 fig13 fig14 fig15 fig16 fig17 table2 \
                  ablation-demo ablation-treeconv executor-vs-model bench-search \
-                 serve-bench learn-bench cluster-bench all\n\
+                 serve-bench learn-bench cluster-bench obs-report all\n\
+                 every bench that writes a BENCH_*.json accepts --baseline P \
+                 (compare against P instead of the file being overwritten) and \
+                 --gate (exit 1 on any regression past tolerance)\n\
+                 obs-report <file>: render the observability dashboard for a \
+                 BENCH_*.json envelope\n\
                  serve-bench flags: --workers W (top concurrency level, default 4), \
                  --smoke (tiny CI preset)\n\
                  learn-bench flags: --workers W (service workers, default 4), \

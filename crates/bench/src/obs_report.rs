@@ -1,0 +1,273 @@
+//! `neo-repro obs-report` — a text dashboard over any `BENCH_*.json`
+//! envelope (tentpole: the telemetry stack's human-facing end).
+//!
+//! The report is schema-tolerant: rather than hard-coding where each
+//! bench nests its observability sections, it walks the whole parsed
+//! tree and renders every `series` array (ASCII sparklines), every
+//! `slo` status array (error-budget table), every `hot` fingerprint
+//! array, and every `regressions` verdict it finds, tagged with the
+//! dotted path where it was found. A chaos envelope (fleet snapshot
+//! embedded under `report.chaos.fleet`) and a serve envelope therefore
+//! render through the same code.
+
+use neo_obs::JsonNode;
+
+/// Sparkline glyph ramp, lowest to highest.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `points` as a fixed-height ASCII sparkline, normalized to the
+/// series' own min..max range (a flat series renders as all-low bars).
+pub fn sparkline(points: &[f64]) -> String {
+    if points.is_empty() {
+        return String::from("(empty)");
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        lo = lo.min(*p);
+        hi = hi.max(*p);
+    }
+    let span = (hi - lo).max(1e-12);
+    points
+        .iter()
+        .map(|p| {
+            let idx = (((p - lo) / span) * (RAMP.len() - 1) as f64).round() as usize;
+            RAMP[idx.min(RAMP.len() - 1)]
+        })
+        .collect()
+}
+
+/// Collects `(dotted.path, node)` pairs for every object field named
+/// `key` anywhere in the tree.
+fn find_sections<'a>(node: &'a JsonNode, key: &str) -> Vec<(String, &'a JsonNode)> {
+    let mut out = Vec::new();
+    walk(node, key, String::new(), &mut out);
+    out
+}
+
+fn walk<'a>(node: &'a JsonNode, key: &str, path: String, out: &mut Vec<(String, &'a JsonNode)>) {
+    let extend = |k: &str| {
+        if path.is_empty() {
+            k.to_string()
+        } else {
+            format!("{path}.{k}")
+        }
+    };
+    match node {
+        JsonNode::Obj(fields) => {
+            for (k, v) in fields {
+                if k == key {
+                    out.push((extend(k), v));
+                }
+                walk(v, key, extend(k), out);
+            }
+        }
+        JsonNode::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(item, key, extend(&i.to_string()), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn f64_field(obj: &JsonNode, key: &str) -> f64 {
+    obj.get(key).and_then(JsonNode::as_f64).unwrap_or(0.0)
+}
+
+fn str_field<'a>(obj: &'a JsonNode, key: &str) -> &'a str {
+    obj.get(key).and_then(JsonNode::as_str).unwrap_or("?")
+}
+
+fn render_series(out: &mut String, path: &str, series: &[JsonNode]) {
+    out.push_str(&format!("time series at {path} ({}):\n", series.len()));
+    for s in series {
+        let points: Vec<f64> = s
+            .get("points")
+            .and_then(JsonNode::as_arr)
+            .map(|arr| arr.iter().filter_map(JsonNode::as_f64).collect())
+            .unwrap_or_default();
+        let last = points.last().copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {name:<44} @{tick:<5} {spark} last {last:.4}\n",
+            name = str_field(s, "name"),
+            tick = f64_field(s, "start_tick") as u64,
+            spark = sparkline(&points),
+        ));
+    }
+}
+
+fn render_slos(out: &mut String, path: &str, slos: &[JsonNode]) {
+    out.push_str(&format!("slo error budgets at {path}:\n"));
+    for s in slos {
+        out.push_str(&format!(
+            "  {name:<24} objective {obj:.3}  budget {budget:>5.1}%  \
+             fast {fast:.1}x  slow {slow:.1}x  burns {burns}  breaches {breaches}  \
+             bad {bad}/{ticks}\n",
+            name = str_field(s, "name"),
+            obj = f64_field(s, "objective"),
+            budget = f64_field(s, "budget_remaining") * 100.0,
+            fast = f64_field(s, "fast_burn"),
+            slow = f64_field(s, "slow_burn"),
+            burns = f64_field(s, "fast_burns_total") as u64,
+            breaches = f64_field(s, "breaches_total") as u64,
+            bad = f64_field(s, "bad_ticks") as u64,
+            ticks = f64_field(s, "ticks") as u64,
+        ));
+    }
+}
+
+fn render_hot(out: &mut String, path: &str, hot: &[JsonNode]) {
+    out.push_str(&format!("hot fingerprints at {path}:\n"));
+    for h in hot {
+        out.push_str(&format!(
+            "  {fp:<34} hits {hits:<6} misses {misses:<6} ewma {ewma:.3} ms  \
+             regret {regret:.3} ms\n",
+            fp = str_field(h, "fingerprint"),
+            hits = f64_field(h, "hits") as u64,
+            misses = f64_field(h, "misses") as u64,
+            ewma = f64_field(h, "latency_ewma_ms"),
+            regret = f64_field(h, "regret_ms"),
+        ));
+    }
+}
+
+fn render_regressions(out: &mut String, path: &str, section: &JsonNode) {
+    let findings = section
+        .get("findings")
+        .and_then(JsonNode::as_arr)
+        .unwrap_or(&[]);
+    out.push_str(&format!(
+        "regressions at {path}: vs {base} — {n} compared, {s} skipped, {f} finding(s)\n",
+        base = str_field(section, "baseline"),
+        n = f64_field(section, "compared") as u64,
+        s = f64_field(section, "skipped") as u64,
+        f = findings.len(),
+    ));
+    for finding in findings {
+        out.push_str(&format!(
+            "  REGRESSION {p}: baseline {b:.4} -> current {c:.4} (limit {l:.4})\n",
+            p = str_field(finding, "path"),
+            b = f64_field(finding, "baseline"),
+            c = f64_field(finding, "current"),
+            l = f64_field(finding, "limit"),
+        ));
+    }
+}
+
+/// Renders the full text dashboard for one parsed envelope.
+///
+/// Always emits the envelope header; each observability section is
+/// rendered once per place it appears in the tree, and a trailing line
+/// counts what was found so an envelope with *no* telemetry reads as
+/// such instead of printing nothing.
+pub fn render_report(doc: &JsonNode, label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== obs report: {label} (bench \"{bench}\", wall {wall:.3}s, {par} core(s)) ==\n",
+        bench = str_field(doc, "bench"),
+        wall = f64_field(doc, "wall_clock_s"),
+        par = f64_field(doc, "available_parallelism") as u64,
+    ));
+    let mut sections = 0usize;
+    for (path, node) in find_sections(doc, "series") {
+        if let Some(series) = node.as_arr() {
+            render_series(&mut out, &path, series);
+            sections += 1;
+        }
+    }
+    for (path, node) in find_sections(doc, "slo") {
+        if let Some(slos) = node.as_arr() {
+            render_slos(&mut out, &path, slos);
+            sections += 1;
+        }
+    }
+    for (path, node) in find_sections(doc, "hot") {
+        if let Some(hot) = node.as_arr() {
+            render_hot(&mut out, &path, hot);
+            sections += 1;
+        }
+    }
+    for (path, node) in find_sections(doc, "regressions") {
+        if node.get("findings").is_some() {
+            render_regressions(&mut out, &path, node);
+            sections += 1;
+        }
+    }
+    out.push_str(&format!("{sections} observability section(s) rendered\n"));
+    out
+}
+
+/// Reads, parses, and renders `path`; the `obs-report` subcommand's
+/// whole implementation. Returns the rendered text or a description of
+/// why the file could not be read.
+pub fn report_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = neo_obs::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    Ok(render_report(&doc, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_normalizes_and_handles_degenerate_input() {
+        assert_eq!(sparkline(&[]), "(empty)");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+        let line = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+    }
+
+    #[test]
+    fn report_renders_every_section_wherever_it_nests() {
+        let doc = neo_obs::parse(
+            r#"{
+              "bench": "cluster-chaos",
+              "available_parallelism": 1,
+              "wall_clock_s": 2.5,
+              "report": {
+                "chaos": {
+                  "fleet": {
+                    "series": [
+                      {"name": "slo/sync_budget", "start_tick": 3, "points": [1.0, 0.4, 1.0]}
+                    ],
+                    "slo": [
+                      {"name": "sync", "objective": 0.9, "budget_remaining": 0.625,
+                       "fast_burn": 0.0, "slow_burn": 1.2, "fast_alerting": false,
+                       "breached": false, "fast_burns_total": 1, "breaches_total": 0,
+                       "ticks": 40, "bad_ticks": 3}
+                    ],
+                    "hot": [
+                      {"fingerprint": "0x3fa9", "hits": 12, "misses": 3,
+                       "latency_ewma_ms": 1.25, "executions": 0, "regret_ms": 0.0}
+                    ]
+                  }
+                }
+              },
+              "regressions": {"baseline": "BENCH_x.json", "compared": 4, "skipped": 1,
+                "findings": [{"path": "report.qps", "baseline": 100.0,
+                              "current": 10.0, "limit": 35.0}]}
+            }"#,
+        )
+        .expect("test doc parses");
+        let text = render_report(&doc, "test");
+        assert!(text.contains("bench \"cluster-chaos\""));
+        assert!(text.contains("slo/sync_budget"));
+        assert!(text.contains("▁")); // sparkline rendered
+        assert!(text.contains("budget  62.5%"));
+        assert!(text.contains("burns 1"));
+        assert!(text.contains("0x3fa9"));
+        assert!(text.contains("REGRESSION report.qps"));
+        assert!(text.contains("4 observability section(s)"));
+        // Each section is tagged with where it was found.
+        assert!(text.contains("report.chaos.fleet.series"));
+    }
+
+    #[test]
+    fn an_envelope_without_telemetry_reads_as_empty_not_blank() {
+        let doc = neo_obs::parse("{\"bench\": \"search\", \"wall_clock_s\": 1.0}").expect("parses");
+        let text = render_report(&doc, "plain");
+        assert!(text.contains("0 observability section(s)"));
+    }
+}

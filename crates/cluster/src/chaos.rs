@@ -269,10 +269,8 @@ impl FaultInjectingStore {
     /// record [`EventKind::ChaosFault`] events and [`Self::set_outage`]
     /// edges record [`EventKind::Outage`] events, labelled `source`.
     pub fn attach_events(&self, ring: Arc<EventRing>, source: &str) {
-        *self
-            .events
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = Some((ring, source.to_string()));
+        *self.events.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some((ring, source.to_string()));
     }
 
     fn emit(&self, kind: EventKind, detail: String) {

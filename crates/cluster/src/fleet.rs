@@ -11,11 +11,11 @@ use crate::node::{ClusterNode, NodeConfig};
 use crate::store::CheckpointStore;
 use neo::{Featurizer, ValueNet};
 use neo_learn::{ExperienceSink, ReplayConfig, RetryPolicy, TrainerConfig};
-use neo_obs::{EventRing, FleetSnapshot, JsonNode};
+use neo_obs::{EventRing, FleetSnapshot, JsonNode, SamplerConfig, TelemetrySampler};
 use neo_serve::{HealthPolicy, HealthSnapshot, HealthState, ServeConfig};
 use neo_storage::Database;
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Fleet-level configuration.
@@ -98,6 +98,9 @@ pub struct Cluster {
     store: Arc<dyn CheckpointStore>,
     /// The fleet-wide structured-event ring every node records into.
     events: Arc<EventRing>,
+    /// The optional fleet telemetry sampler (one per cluster), started
+    /// on demand; watches every node's registry under its node name.
+    telemetry: Mutex<Option<Arc<TelemetrySampler>>>,
     // Retained for follower respawns (simulated crash recovery).
     db: Arc<Database>,
     featurizer: Arc<Featurizer>,
@@ -154,6 +157,7 @@ impl Cluster {
             sink,
             store,
             events,
+            telemetry: Mutex::new(None),
             db,
             featurizer,
             initial_net: net,
@@ -300,17 +304,78 @@ impl Cluster {
         &self.events
     }
 
+    /// Starts the fleet telemetry sampler (or returns the one already
+    /// running): every node's metrics registry is watched under its node
+    /// name, and `BudgetBurn`/`SloBreach` events land in the shared
+    /// fleet ring under the `telemetry` label. Declare SLOs through the
+    /// returned handle. Nodes respawned *after* this call are not
+    /// auto-watched — restart telemetry (or `watch` them explicitly) if
+    /// their series matter.
+    pub fn start_telemetry(&self, cfg: SamplerConfig) -> Arc<TelemetrySampler> {
+        let mut slot = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(sampler) = slot.as_ref() {
+            return Arc::clone(sampler);
+        }
+        let sampler = Arc::new(TelemetrySampler::spawn(cfg));
+        for node in &self.nodes {
+            sampler.watch(node.name(), Arc::clone(node.service().metrics()));
+        }
+        sampler.attach_events(Arc::clone(&self.events), "telemetry");
+        *slot = Some(Arc::clone(&sampler));
+        sampler
+    }
+
+    /// The running fleet telemetry sampler, if [`Self::start_telemetry`]
+    /// was called.
+    pub fn telemetry(&self) -> Option<Arc<TelemetrySampler>> {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(Arc::clone)
+    }
+
+    /// Stops and detaches the fleet telemetry sampler (final drain
+    /// sample included). A no-op when none is running.
+    pub fn stop_telemetry(&self) {
+        if let Some(sampler) = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            sampler.stop();
+        }
+    }
+
     /// One uniform tree of everything observable about the fleet: a
     /// `nodes` section (per-node role, generation, health, and full
     /// metrics-registry snapshot — serving latencies and cluster counters
-    /// alike) plus the `events` trace. Callers `push` extra sections
-    /// (store stats, chaos stats) before serializing with
+    /// alike) plus the `events` trace with its wraparound drop count —
+    /// and, when the fleet telemetry sampler is running, the `series`
+    /// and `slo` sections its ticks accumulated. Callers `push` extra
+    /// sections (store stats, chaos stats) before serializing with
     /// [`FleetSnapshot::to_json`].
     pub fn fleet_snapshot(&self) -> FleetSnapshot {
         let mut snap = FleetSnapshot::new();
         let nodes = self.nodes.iter().map(Self::node_section).collect();
         snap.push("nodes", JsonNode::Arr(nodes));
         snap.push("events", self.events.to_node());
+        // An honest trace: a postmortem reading `events` can tell whether
+        // it is looking at the whole story or just the retained tail.
+        snap.push("events_dropped_total", JsonNode::U64(self.events.dropped()));
+        snap.push(
+            "events_recorded_total",
+            JsonNode::U64(self.events.recorded()),
+        );
+        if let Some(sampler) = self.telemetry() {
+            snap.push("series", sampler.series_node());
+            snap.push("slo", sampler.slo_node());
+            snap.push("telemetry_ticks", JsonNode::U64(sampler.ticks()));
+        }
         snap
     }
 

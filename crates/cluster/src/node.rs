@@ -52,7 +52,7 @@ use neo_learn::{
     BackgroundTrainer, ExperienceSink, GenerationObserver, ReplayConfig, RetryPolicy,
     RetrySnapshot, RetryStats, TrainerConfig,
 };
-use neo_obs::{Counter, EventKind, EventRing, LatencyHistogram};
+use neo_obs::{Counter, EventKind, EventRing, Gauge, LatencyHistogram};
 use neo_serve::{
     join_named_or_ignore_during_unwind, HealthPolicy, HealthSnapshot, HealthState, HealthTracker,
     OptimizerService, ServeConfig,
@@ -186,6 +186,10 @@ struct NodeObs {
     /// Wall time of syncs that adopted a generation (fetch + decode +
     /// swap) — the node's sync-lag distribution.
     sync_hist: Arc<LatencyHistogram>,
+    /// Health state as a gauge (0 = healthy, 1 = degraded, 2 =
+    /// isolated), refreshed every tick so the telemetry sampler gets a
+    /// per-node health series without polling the tracker.
+    health_state: Gauge,
     events: Option<Arc<EventRing>>,
 }
 
@@ -199,6 +203,7 @@ impl NodeObs {
             promotions: registry.counter("cluster_promotions_total"),
             demotions: registry.counter("cluster_demotions_total"),
             sync_hist: registry.histogram("cluster_sync_ms"),
+            health_state: registry.gauge("cluster_health_state"),
             events,
         }
     }
@@ -409,6 +414,11 @@ impl NodeShared {
                 }
             }
         }
+        self.obs.health_state.set(match self.health.state() {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Isolated => 2,
+        });
     }
 
     /// The leading node's half of [`Self::tick`]: keep the lease alive,

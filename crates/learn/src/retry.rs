@@ -141,7 +141,10 @@ impl RetryStats {
     pub fn bind_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
         registry.bind_counter(&format!("{prefix}_retry_attempts_total"), &self.attempts);
         registry.bind_counter(&format!("{prefix}_retry_retries_total"), &self.retries);
-        registry.bind_counter(&format!("{prefix}_retry_recoveries_total"), &self.recoveries);
+        registry.bind_counter(
+            &format!("{prefix}_retry_recoveries_total"),
+            &self.recoveries,
+        );
         registry.bind_counter(&format!("{prefix}_retry_exhausted_total"), &self.exhausted);
     }
 

@@ -159,6 +159,11 @@ struct TrainerObs {
     train_hist: Arc<LatencyHistogram>,
     publish_hist: Arc<LatencyHistogram>,
     replay_queries: Gauge,
+    /// Experience records sitting in the sink, not yet drained — the
+    /// trainer's queue depth. Updated every poll, so the telemetry
+    /// sampler sees backlog build up between generations and collapse
+    /// when one runs.
+    sink_backlog: Gauge,
 }
 
 impl TrainerObs {
@@ -170,6 +175,7 @@ impl TrainerObs {
             train_hist: registry.histogram("learn_train_ms"),
             publish_hist: registry.histogram("learn_publish_ms"),
             replay_queries: registry.gauge("learn_replay_queries"),
+            sink_backlog: registry.gauge("learn_sink_backlog"),
         }
     }
 }
@@ -421,6 +427,7 @@ fn trainer_loop(shared: &TrainerShared) {
                 if st.stopping {
                     return;
                 }
+                shared.obs.sink_backlog.set(shared.sink.pending());
                 if st.requested > st.completed {
                     break;
                 }
@@ -458,6 +465,7 @@ fn trainer_loop(shared: &TrainerShared) {
 fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
     let cfg = &shared.cfg;
     let drained_records = shared.sink.drain();
+    shared.obs.sink_backlog.set(shared.sink.pending());
     let drained = drained_records.len();
     let (queries, experience) = {
         let mut buffer = shared.buffer.lock().expect("replay buffer poisoned");

@@ -148,6 +148,22 @@ impl HistogramSnapshot {
         self.max_us = self.max_us.max(other.max_us);
     }
 
+    /// The windowed difference `self − prev`: the histogram of exactly
+    /// the observations recorded between the two snapshots, assuming
+    /// `prev` was taken earlier from the same (monotone) live histogram.
+    /// Because live histograms only ever grow, the bucket/count/sum
+    /// subtractions are exact and `max_us` carries the later snapshot's
+    /// maximum — which makes the delta a true merge-inverse:
+    /// `delta.merge(prev) == self` (pinned by a property test).
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(prev.buckets[i])),
+            count: self.count.saturating_sub(prev.count),
+            sum_us: self.sum_us.saturating_sub(prev.sum_us),
+            max_us: self.max_us,
+        }
+    }
+
     /// The `q`-quantile estimate, milliseconds (`q` clamped to `[0, 1]`).
     /// 0.0 for an empty histogram. Monotone in `q`.
     pub fn quantile_ms(&self, q: f64) -> f64 {
@@ -286,6 +302,28 @@ mod tests {
         h.record_ms(f64::INFINITY);
         h.record_ms(-3.0); // clamps to 0, still counted
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn delta_since_inverts_merge_on_monotone_snapshots() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 5000, 120] {
+            h.record_us(us);
+        }
+        let prev = h.snapshot();
+        for us in [7u64, 90_000, 3] {
+            h.record_us(us);
+        }
+        let curr = h.snapshot();
+        let delta = curr.delta_since(&prev);
+        assert_eq!(delta.count, 3);
+        assert_eq!(delta.sum_us, 7 + 90_000 + 3);
+        let mut rebuilt = delta.clone();
+        rebuilt.merge(&prev);
+        assert_eq!(rebuilt, curr);
+        // The window's quantiles come from the window's observations only.
+        assert!(delta.max_ms() >= 90.0);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 3);
     }
 
     #[test]

@@ -54,10 +54,16 @@ impl FingerprintStat {
     /// The stat as a JSON object.
     pub fn to_node(&self) -> JsonNode {
         let mut obj = JsonNode::obj();
-        obj.push("fingerprint", JsonNode::Str(format!("{:032x}", self.fingerprint)));
+        obj.push(
+            "fingerprint",
+            JsonNode::Str(format!("{:032x}", self.fingerprint)),
+        );
         obj.push("hits", JsonNode::U64(self.hits));
         obj.push("misses", JsonNode::U64(self.misses));
-        obj.push("latency_ewma_ms", JsonNode::f64_rounded(self.latency_ewma_ms, 4));
+        obj.push(
+            "latency_ewma_ms",
+            JsonNode::f64_rounded(self.latency_ewma_ms, 4),
+        );
         obj.push("executions", JsonNode::U64(self.executions));
         obj.push("regret_ms", JsonNode::f64_rounded(self.regret_ms, 4));
         obj
@@ -123,11 +129,14 @@ impl HotSet {
 
     /// Distinct fingerprints tracked.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| {
-            s.lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .len()
-        }).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
     }
 
     /// Whether no fingerprint has been tracked yet.
@@ -197,7 +206,10 @@ mod tests {
         assert!((hs.top(1)[0].latency_ewma_ms - 10.0).abs() < 1e-9);
         hs.record_probe(1, true, 20.0);
         let ewma = hs.top(1)[0].latency_ewma_ms;
-        assert!((ewma - 12.0).abs() < 1e-9, "0.2*20 + 0.8*10 = 12, got {ewma}");
+        assert!(
+            (ewma - 12.0).abs() < 1e-9,
+            "0.2*20 + 0.8*10 = 12, got {ewma}"
+        );
     }
 
     #[test]

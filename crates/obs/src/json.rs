@@ -56,6 +56,54 @@ impl JsonNode {
         JsonNode::F64((v * scale).round() / scale)
     }
 
+    /// The value under `key`, when `self` is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&JsonNode> {
+        match self {
+            JsonNode::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value at a `.`-separated path of object keys.
+    pub fn get_path(&self, path: &str) -> Option<&JsonNode> {
+        path.split('.').try_fold(self, |node, key| node.get(key))
+    }
+
+    /// This node as a float, when numeric (counters widen losslessly
+    /// enough for report arithmetic).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonNode::U64(v) => Some(*v as f64),
+            JsonNode::I64(v) => Some(*v as f64),
+            JsonNode::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// This node as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonNode::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This node's items, when it is an array.
+    pub fn as_arr(&self) -> Option<&[JsonNode]> {
+        match self {
+            JsonNode::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// This node's fields, when it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonNode)]> {
+        match self {
+            JsonNode::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Pretty-printed JSON (2-space indent, trailing newline-free).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -153,6 +201,174 @@ pub fn validate(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `s` into a [`JsonNode`] tree — the reader half of the vendored
+/// writer, so benches can load a prior run's envelope and compare.
+/// Numbers without a fraction or exponent come back as `U64`/`I64`
+/// (whichever fits), everything else as `F64`; object key order is
+/// preserved. Returns a byte offset + message on the first syntax error.
+pub fn parse(s: &str) -> Result<JsonNode, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let node = parse_value_node(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(node)
+}
+
+fn parse_value_node(b: &[u8], pos: &mut usize) -> Result<JsonNode, String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1; // '{'
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonNode::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b'"') {
+                    return Err(format!("expected object key at byte {pos}", pos = *pos));
+                }
+                let key = parse_string_node(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                fields.push((key, parse_value_node(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonNode::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1; // '['
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonNode::Arr(items));
+            }
+            loop {
+                skip_ws(b, pos);
+                items.push(parse_value_node(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonNode::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => parse_string_node(b, pos).map(JsonNode::Str),
+        Some(b't') => parse_literal(b, pos, "true").map(|_| JsonNode::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false").map(|_| JsonNode::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null").map(|_| JsonNode::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            parse_number(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| format!("bad number at byte {start}"))?;
+            let integral = !text.contains(['.', 'e', 'E']);
+            if integral {
+                if let Ok(v) = text.parse::<u64>() {
+                    return Ok(JsonNode::U64(v));
+                }
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(JsonNode::I64(v));
+                }
+            }
+            text.parse::<f64>()
+                .map(JsonNode::F64)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+/// Like [`parse_string`], but decodes the content (escapes and
+/// `\uXXXX`, including surrogate pairs).
+fn parse_string_node(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    parse_string(b, pos)?;
+    let raw = std::str::from_utf8(&b[start + 1..*pos - 1])
+        .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?;
+    if !raw.contains('\\') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hi = take_hex4(&mut chars)
+                    .ok_or_else(|| format!("bad \\u escape in string at byte {start}"))?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: the validator guaranteed syntax, not
+                    // pairing, so check the low half here.
+                    match (chars.next(), chars.next()) {
+                        (Some('\\'), Some('u')) => {
+                            let lo = take_hex4(&mut chars).filter(|l| (0xDC00..0xE000).contains(l));
+                            match lo {
+                                Some(lo) => 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00),
+                                None => {
+                                    return Err(format!(
+                                        "unpaired surrogate in string at byte {start}"
+                                    ))
+                                }
+                            }
+                        }
+                        _ => return Err(format!("unpaired surrogate in string at byte {start}")),
+                    }
+                } else {
+                    hi
+                };
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid codepoint in string at byte {start}"))?,
+                );
+            }
+            _ => return Err(format!("bad escape in string at byte {start}")),
+        }
+    }
+    Ok(out)
+}
+
+fn take_hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        v = v * 16 + chars.next()?.to_digit(16)?;
+    }
+    Some(v)
+}
+
 fn skip_ws(b: &[u8], pos: &mut usize) {
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
@@ -188,7 +404,9 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
         *pos += 1;
     }
     let digits_from = *pos;
-    while *pos < b.len() && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-')) {
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
         *pos += 1;
     }
     if *pos == digits_from {
@@ -301,7 +519,10 @@ mod tests {
         obj.push("neg", JsonNode::I64(-3));
         obj.push("nan", JsonNode::F64(f64::NAN));
         obj.push("flag", JsonNode::Bool(true));
-        obj.push("items", JsonNode::Arr(vec![JsonNode::U64(1), JsonNode::Null]));
+        obj.push(
+            "items",
+            JsonNode::Arr(vec![JsonNode::U64(1), JsonNode::Null]),
+        );
         obj.push("empty", JsonNode::obj());
         let json = obj.render();
         validate(&json).expect("rendered JSON must validate");
@@ -330,6 +551,49 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "accepted malformed: {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_roundtrips_the_writer() {
+        let mut obj = JsonNode::obj();
+        obj.push("name", JsonNode::Str("with \"quotes\"\nand newline".into()));
+        obj.push("count", JsonNode::U64(42));
+        obj.push("ratio", JsonNode::F64(0.5));
+        obj.push("neg", JsonNode::I64(-3));
+        obj.push("flag", JsonNode::Bool(true));
+        obj.push(
+            "items",
+            JsonNode::Arr(vec![JsonNode::U64(1), JsonNode::Null]),
+        );
+        obj.push("empty", JsonNode::obj());
+        let parsed = parse(&obj.render()).expect("own output parses");
+        assert_eq!(parsed, obj, "parse inverts render");
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_number_types() {
+        let doc = parse("{\"u\": \"\\u00e9\\ud83d\\ude00\", \"big\": 18446744073709551615, \"neg\": -2, \"f\": 2e3}")
+            .expect("valid");
+        assert_eq!(doc.get("u").and_then(JsonNode::as_str), Some("é😀"));
+        assert_eq!(doc.get("big"), Some(&JsonNode::U64(u64::MAX)));
+        assert_eq!(doc.get("neg"), Some(&JsonNode::I64(-2)));
+        assert_eq!(doc.get("f"), Some(&JsonNode::F64(2000.0)));
+        assert!(
+            parse("{\"bad\": \"\\ud800 alone\"}").is_err(),
+            "unpaired surrogate"
+        );
+        assert!(parse("[1, 2").is_err());
+    }
+
+    #[test]
+    fn path_lookup_walks_nested_objects() {
+        let doc = parse("{\"a\": {\"b\": {\"c\": 7}}, \"arr\": [1]}").expect("valid");
+        assert_eq!(doc.get_path("a.b.c").and_then(JsonNode::as_f64), Some(7.0));
+        assert!(doc.get_path("a.b.missing").is_none());
+        assert_eq!(
+            doc.get("arr").and_then(JsonNode::as_arr).map(<[_]>::len),
+            Some(1)
+        );
     }
 
     #[test]

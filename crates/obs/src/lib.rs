@@ -12,7 +12,13 @@
 //! - [`HotSet`] — per-fingerprint hit/latency/regret tracking ([`hotset`]).
 //! - [`FleetSnapshot`] — the uniform JSON tree absorbing every
 //!   subsystem's stats struct ([`snapshot`]), built on a tiny vendored
-//!   JSON writer + validator ([`json`]).
+//!   JSON writer + validator/parser ([`json`]).
+//! - [`TelemetrySampler`] — a background thread turning registry
+//!   snapshots into windowed per-metric time series ([`timeseries`]).
+//! - [`SloTracker`] — declarative SLOs with error-budget accounting and
+//!   two-window burn-rate alerting ([`slo`]).
+//! - [`regress`] — cross-run regression gates over `BENCH_*.json`
+//!   envelopes (flatten, suffix rules, tolerance verdicts).
 
 #![warn(missing_docs)]
 
@@ -20,14 +26,20 @@ pub mod hist;
 pub mod hotset;
 pub mod json;
 pub mod metrics;
+pub mod regress;
 pub mod ring;
+pub mod slo;
 pub mod snapshot;
+pub mod timeseries;
 pub mod trace;
 
 pub use hist::{HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use hotset::{FingerprintStat, HotSet};
-pub use json::{validate, JsonNode};
+pub use json::{parse, validate, JsonNode};
 pub use metrics::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use regress::{default_rules, RegressRule, RegressionFinding, RegressionReport};
 pub use ring::{Event, EventKind, EventRing};
+pub use slo::{SloNotify, SloSpec, SloStatus, SloTracker};
 pub use snapshot::FleetSnapshot;
+pub use timeseries::{SamplerConfig, SeriesSnapshot, TelemetrySampler};
 pub use trace::{SearchTrace, SeedOutcome};

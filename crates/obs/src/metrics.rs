@@ -195,6 +195,11 @@ impl MetricsRegistry {
 }
 
 /// One instrument's point-in-time value.
+///
+/// The histogram variant carries its full bucket array inline: snapshots
+/// are built per sampler tick, not per request, and keeping the buckets
+/// inline lets the sampler's delta math run without a heap hop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum MetricValue {
     /// A counter's count.
@@ -271,6 +276,7 @@ impl MetricsSnapshot {
                     ] {
                         out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
                     }
+                    out.push_str(&format!("{name}_mean {}\n", h.mean_ms()));
                     out.push_str(&format!("{name}_sum {}\n", h.sum_ms()));
                     out.push_str(&format!("{name}_count {}\n", h.count));
                 }
@@ -332,6 +338,7 @@ mod tests {
         assert!(text.contains("hits_total 3"));
         assert!(text.contains("# TYPE lat_ms summary"));
         assert!(text.contains("lat_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_ms_mean 1"));
         assert!(text.contains("lat_ms_count 1"));
     }
 

@@ -1,0 +1,354 @@
+//! Cross-run regression detection over bench envelopes.
+//!
+//! Every bench writes a `BENCH_*.json` envelope; the committed copy is
+//! the baseline. This module turns the pair into a verdict: flatten
+//! both JSON trees to dotted numeric paths, match each path against a
+//! suffix rule table (which says whether higher or lower is better and
+//! how much noise to forgive), and report every headline metric that
+//! moved past its tolerance. The tolerances are deliberately wide — the
+//! CI container is a saturated single core, so the gate exists to catch
+//! *collapses* (an accidental O(n²), a disabled cache), not 5% jitter.
+
+use crate::json::JsonNode;
+
+/// One suffix-matched comparison rule. The first rule whose suffix
+/// matches a path (on a `.`/`_`/`/` boundary) decides the comparison.
+#[derive(Clone, Debug)]
+pub struct RegressRule {
+    /// Path suffix this rule governs (e.g. `qps`, `p99_ms`).
+    pub suffix: String,
+    /// `true` when growth is the regression (latencies, wall clocks);
+    /// `false` when shrinkage is (throughput, hit rates).
+    pub lower_is_better: bool,
+    /// Relative tolerance: the metric may move this fraction of the
+    /// baseline in the bad direction before it counts.
+    pub tolerance: f64,
+    /// Absolute tolerance floor, in the metric's own unit — protects
+    /// tiny baselines from relative-noise false positives.
+    pub min_delta: f64,
+}
+
+impl RegressRule {
+    /// A rule where smaller is better (latency-like).
+    pub fn lower(suffix: &str, tolerance: f64, min_delta: f64) -> Self {
+        RegressRule {
+            suffix: suffix.to_string(),
+            lower_is_better: true,
+            tolerance,
+            min_delta,
+        }
+    }
+
+    /// A rule where bigger is better (throughput-like).
+    pub fn higher(suffix: &str, tolerance: f64, min_delta: f64) -> Self {
+        RegressRule {
+            suffix: suffix.to_string(),
+            lower_is_better: false,
+            tolerance,
+            min_delta,
+        }
+    }
+
+    fn matches(&self, path: &str) -> bool {
+        path.ends_with(&self.suffix)
+            && (path.len() == self.suffix.len()
+                || matches!(
+                    path.as_bytes()[path.len() - self.suffix.len() - 1],
+                    b'.' | b'_' | b'/'
+                ))
+    }
+
+    /// The worst acceptable value given `baseline`.
+    fn limit(&self, baseline: f64) -> f64 {
+        let slack = (baseline.abs() * self.tolerance).max(self.min_delta);
+        if self.lower_is_better {
+            baseline + slack
+        } else {
+            baseline - slack
+        }
+    }
+
+    fn violated(&self, baseline: f64, current: f64) -> bool {
+        if self.lower_is_better {
+            current > self.limit(baseline)
+        } else {
+            current < self.limit(baseline)
+        }
+    }
+}
+
+/// The default rule table for Neo's envelopes: collapse-sized
+/// tolerances fit for a saturated single-core CI container.
+pub fn default_rules() -> Vec<RegressRule> {
+    vec![
+        RegressRule::higher("qps", 0.65, 20.0),
+        RegressRule::higher("hit_rate", 0.25, 0.05),
+        RegressRule::higher("ratio", 0.10, 0.02),
+        RegressRule::lower("wall_clock_s", 2.0, 1.0),
+        RegressRule::lower("wall_ms", 3.0, 50.0),
+        RegressRule::lower("p50_ms", 3.0, 5.0),
+        RegressRule::lower("p95_ms", 3.0, 5.0),
+        RegressRule::lower("p99_ms", 3.0, 5.0),
+        RegressRule::lower("mean_ms", 3.0, 5.0),
+    ]
+}
+
+/// One metric that moved past its tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegressionFinding {
+    /// Dotted path of the offending metric.
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// This run's value.
+    pub current: f64,
+    /// Worst value the rule would have accepted.
+    pub limit: f64,
+}
+
+impl RegressionFinding {
+    /// The finding as a JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("path", JsonNode::Str(self.path.clone()));
+        obj.push("baseline", JsonNode::f64_rounded(self.baseline, 4));
+        obj.push("current", JsonNode::f64_rounded(self.current, 4));
+        obj.push("limit", JsonNode::f64_rounded(self.limit, 4));
+        obj
+    }
+}
+
+/// The outcome of one baseline-vs-current comparison.
+#[derive(Clone, Debug, Default)]
+pub struct RegressionReport {
+    /// Where the baseline came from (path or label).
+    pub baseline_label: String,
+    /// Rule-matched paths compared in both documents.
+    pub compared: usize,
+    /// Rule-matched paths skipped (zero baseline, or missing on one
+    /// side — schema drift is noted, not gated).
+    pub skipped: usize,
+    /// Every tolerance violation.
+    pub findings: Vec<RegressionFinding>,
+}
+
+impl RegressionReport {
+    /// `true` when `--gate` mode should exit non-zero.
+    pub fn gate_failed(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// The report as a JSON object (the envelope's `regressions`
+    /// section).
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("baseline", JsonNode::Str(self.baseline_label.clone()));
+        obj.push("compared", JsonNode::U64(self.compared as u64));
+        obj.push("skipped", JsonNode::U64(self.skipped as u64));
+        obj.push(
+            "findings",
+            JsonNode::Arr(
+                self.findings
+                    .iter()
+                    .map(RegressionFinding::to_node)
+                    .collect(),
+            ),
+        );
+        obj
+    }
+
+    /// Human-readable verdict: one line per finding (what moved, from
+    /// where, past which limit), or a clean-bill summary.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "regression check vs {label}: {n} compared, {s} skipped\n",
+            label = self.baseline_label,
+            n = self.compared,
+            s = self.skipped
+        );
+        if self.findings.is_empty() {
+            out.push_str("  no regressions past tolerance\n");
+        }
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  REGRESSION {path}: baseline {b:.4} -> current {c:.4} (limit {l:.4})\n",
+                path = f.path,
+                b = f.baseline,
+                c = f.current,
+                l = f.limit
+            ));
+        }
+        out
+    }
+}
+
+/// Flattens a JSON tree to `(dotted.path, value)` numeric leaves;
+/// array elements get their index as a path segment.
+pub fn flatten(node: &JsonNode) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    flatten_into(node, String::new(), &mut out);
+    out
+}
+
+fn flatten_into(node: &JsonNode, path: String, out: &mut Vec<(String, f64)>) {
+    let extend = |key: &str| {
+        if path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{path}.{key}")
+        }
+    };
+    match node {
+        JsonNode::Obj(fields) => {
+            for (key, value) in fields {
+                flatten_into(value, extend(key), out);
+            }
+        }
+        JsonNode::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_into(item, extend(&i.to_string()), out);
+            }
+        }
+        _ => {
+            if let Some(v) = node.as_f64() {
+                out.push((path, v));
+            }
+        }
+    }
+}
+
+/// Compares `current` against `baseline` under `rules`. Only paths a
+/// rule claims are considered; a prior run's own `regressions` section
+/// is excluded (a gate must not re-litigate old verdicts), as are
+/// zero baselines (no meaningful relative direction).
+pub fn compare(
+    baseline: &JsonNode,
+    current: &JsonNode,
+    rules: &[RegressRule],
+    baseline_label: &str,
+) -> RegressionReport {
+    let base_flat = flatten(baseline);
+    let curr_flat = flatten(current);
+    let mut report = RegressionReport {
+        baseline_label: baseline_label.to_string(),
+        ..RegressionReport::default()
+    };
+    for (path, base_value) in &base_flat {
+        if path.starts_with("regressions.") {
+            continue;
+        }
+        let Some(rule) = rules.iter().find(|r| r.matches(path)) else {
+            continue;
+        };
+        let current_value = curr_flat.iter().find(|(p, _)| p == path).map(|(_, v)| *v);
+        let Some(curr_value) = current_value else {
+            report.skipped += 1;
+            continue;
+        };
+        if *base_value == 0.0 {
+            report.skipped += 1;
+            continue;
+        }
+        report.compared += 1;
+        if rule.violated(*base_value, curr_value) {
+            report.findings.push(RegressionFinding {
+                path: path.clone(),
+                baseline: *base_value,
+                current: curr_value,
+                limit: rule.limit(*base_value),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn doc(s: &str) -> JsonNode {
+        parse(s).expect("test document parses")
+    }
+
+    #[test]
+    fn flatten_walks_objects_and_arrays() {
+        let node = doc("{\"a\": {\"b\": 1}, \"c\": [2, {\"d\": 3.5}], \"s\": \"x\"}");
+        let flat = flatten(&node);
+        assert_eq!(
+            flat,
+            vec![
+                ("a.b".to_string(), 1.0),
+                ("c.0".to_string(), 2.0),
+                ("c.1.d".to_string(), 3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_collapse_is_flagged_and_jitter_is_not() {
+        let rules = default_rules();
+        let baseline = doc("{\"search\": {\"qps\": 1000, \"p99_ms\": 10}}");
+        let jitter = doc("{\"search\": {\"qps\": 900, \"p99_ms\": 25}}");
+        let report = compare(&baseline, &jitter, &rules, "b");
+        assert_eq!(report.compared, 2);
+        assert!(!report.gate_failed(), "{:?}", report.findings);
+        let collapse = doc("{\"search\": {\"qps\": 100, \"p99_ms\": 200}}");
+        let report = compare(&baseline, &collapse, &rules, "b");
+        assert_eq!(report.findings.len(), 2, "both metrics collapsed");
+        assert!(report.gate_failed());
+        let text = report.render_text();
+        assert!(text.contains("REGRESSION search.qps"));
+        assert!(text.contains("limit"));
+    }
+
+    #[test]
+    fn suffix_rules_respect_segment_boundaries() {
+        let rule = RegressRule::higher("qps", 0.5, 1.0);
+        assert!(rule.matches("search.qps"));
+        assert!(rule.matches("qps"));
+        assert!(rule.matches("serve/qps"));
+        assert!(!rule.matches("search.xqps"));
+    }
+
+    #[test]
+    fn missing_and_zero_baselines_skip_instead_of_gate() {
+        let rules = default_rules();
+        let baseline = doc("{\"qps\": 0, \"old_metric_p99_ms\": 5}");
+        let current = doc("{\"qps\": 10}");
+        let report = compare(&baseline, &current, &rules, "b");
+        assert_eq!(report.compared, 0);
+        assert_eq!(report.skipped, 2);
+        assert!(!report.gate_failed());
+    }
+
+    #[test]
+    fn prior_regressions_sections_are_not_relitigated() {
+        let rules = default_rules();
+        let baseline = doc(
+            "{\"qps\": 100, \"regressions\": {\"findings\": [{\"path\": \"x.qps\", \"baseline\": 5000, \"current\": 10, \"limit\": 1750}]}}",
+        );
+        let current = doc("{\"qps\": 95, \"regressions\": {\"findings\": []}}");
+        let report = compare(&baseline, &current, &rules, "b");
+        assert_eq!(report.compared, 1, "only the live qps path is compared");
+        assert!(!report.gate_failed());
+    }
+
+    #[test]
+    fn report_serializes_to_the_envelope_section() {
+        let report = RegressionReport {
+            baseline_label: "BENCH_serve.json".to_string(),
+            compared: 3,
+            skipped: 1,
+            findings: vec![RegressionFinding {
+                path: "search.qps".to_string(),
+                baseline: 1000.0,
+                current: 100.0,
+                limit: 350.0,
+            }],
+        };
+        let json = report.to_node().render();
+        crate::json::validate(&json).expect("well-formed");
+        assert!(json.contains("\"search.qps\""));
+    }
+}

@@ -35,6 +35,11 @@ pub enum EventKind {
     Outage,
     /// A retry policy exhausted its attempt budget.
     RetryExhausted,
+    /// An SLO's error budget is burning at alert rate (fast or slow
+    /// window — the detail says which).
+    BudgetBurn,
+    /// An SLO's error budget is fully spent.
+    SloBreach,
     /// Anything else worth a line in the postmortem.
     Note,
 }
@@ -50,6 +55,8 @@ impl EventKind {
             EventKind::ChaosFault => "chaos_fault",
             EventKind::Outage => "outage",
             EventKind::RetryExhausted => "retry_exhausted",
+            EventKind::BudgetBurn => "budget_burn",
+            EventKind::SloBreach => "slo_breach",
             EventKind::Note => "note",
         }
     }
@@ -87,6 +94,10 @@ impl Event {
 pub struct EventRing {
     slots: Vec<Mutex<Option<Event>>>,
     next: AtomicU64,
+    /// Events lost to wraparound: every write that found the slot still
+    /// occupied displaced one event (either the slot's previous tenant or
+    /// — for a delayed writer losing to a newer lap — the write itself).
+    dropped: AtomicU64,
     origin: Instant,
 }
 
@@ -105,6 +116,7 @@ impl EventRing {
         EventRing {
             slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
             next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             origin: Instant::now(),
         }
     }
@@ -117,6 +129,13 @@ impl EventRing {
     /// Events ever recorded (including overwritten ones).
     pub fn recorded(&self) -> u64 {
         self.next.load(Ordering::Relaxed)
+    }
+
+    /// Events silently lost to wraparound so far — a dump accompanied by
+    /// a non-zero drop count is honest about being the *tail* of the
+    /// story, not the whole story.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Records one event.
@@ -134,8 +153,14 @@ impl EventRing {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         // A delayed writer must not clobber a newer lap's entry: the slot
-        // only ever moves forward in sequence.
-        if guard.as_ref().map_or(true, |e| e.seq < seq) {
+        // only ever moves forward in sequence. Either way an occupied
+        // slot means one event is lost — the previous tenant on
+        // overwrite, this event when it loses to a newer lap — and the
+        // loss is counted instead of silent.
+        if guard.is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if guard.as_ref().is_none_or(|e| e.seq < seq) {
             *guard = Some(event);
         }
     }
@@ -191,6 +216,18 @@ mod tests {
         assert_eq!(seqs, vec![6, 7, 8, 9], "latest events, ascending seq");
         assert_eq!(events.last().unwrap().detail, "e9");
         assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 6, "10 recorded into 4 slots loses 6");
+    }
+
+    #[test]
+    fn drops_are_zero_below_capacity() {
+        let ring = EventRing::new(8);
+        for i in 0..8u64 {
+            ring.record("n", EventKind::Note, format!("e{i}"));
+        }
+        assert_eq!(ring.dropped(), 0);
+        ring.record("n", EventKind::Note, "one over");
+        assert_eq!(ring.dropped(), 1);
     }
 
     #[test]
@@ -217,5 +254,6 @@ mod tests {
             assert_eq!(pair[1].seq, pair[0].seq + 1);
         }
         assert_eq!(events.last().unwrap().seq, 399);
+        assert_eq!(ring.dropped(), 400 - 64, "every displaced event counted");
     }
 }

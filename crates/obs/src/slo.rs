@@ -1,0 +1,433 @@
+//! Declarative SLOs with error-budget accounting and two-window
+//! burn-rate alerting.
+//!
+//! An [`SloSpec`] names an objective over the telemetry tick stream —
+//! "p99 search latency ≤ 5ms" or "no sync failures" — with a target
+//! good-tick fraction. The [`SloTracker`] is a pure windowed machine:
+//! each sampler tick it observes one good/bad verdict and reports the
+//! burn rate (error rate ÷ allowed error rate) over a slow window (the
+//! budget horizon) and a fast window (the alerting horizon). The classic
+//! two-window rule falls out: a *fast* burn many multiples over budget
+//! means an acute incident (page now — in our world, emit a
+//! [`crate::EventKind::BudgetBurn`] event and optionally nudge the
+//! health tracker toward Degraded); a *slow* sustained burn means the
+//! budget will not last the horizon. The tracker itself touches no
+//! clocks, threads, or registries — the sampler owns the ticking — so
+//! the alert arithmetic is exhaustively unit-testable.
+
+use crate::json::JsonNode;
+use std::collections::VecDeque;
+
+/// What an SLO measures, evaluated once per sampler tick.
+#[derive(Clone, Debug)]
+pub enum SloObjectiveKind {
+    /// Good when the windowed p99 of `metric`'s per-tick delta stays at
+    /// or under `threshold_ms` (ticks with no observations are good —
+    /// an idle service is not missing its latency objective).
+    LatencyP99 {
+        /// Restrict to one registered source (registry label), or
+        /// aggregate the metric across all sources when `None`.
+        source: Option<String>,
+        /// Histogram metric name (e.g. `search_ms`).
+        metric: String,
+        /// The latency objective in milliseconds.
+        threshold_ms: f64,
+    },
+    /// Good when `failure_counter`'s per-tick delta is zero — i.e. the
+    /// tick saw no failures.
+    Availability {
+        /// Restrict to one registered source, or aggregate across all.
+        source: Option<String>,
+        /// Counter metric name (e.g. `cluster_sync_failures_total`).
+        failure_counter: String,
+    },
+}
+
+/// One declared objective.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Display name (also the event `node` label suffix).
+    pub name: String,
+    /// What to measure each tick.
+    pub kind: SloObjectiveKind,
+    /// Target good-tick fraction, e.g. `0.999`. The error budget is
+    /// `1 − objective` of the slow window.
+    pub objective: f64,
+    /// Slow (budget) window length in sampler ticks.
+    pub window_ticks: usize,
+    /// Fast (alerting) window length in ticks; must be ≤ `window_ticks`.
+    pub fast_window_ticks: usize,
+    /// Fast-window burn multiple that raises an acute `BudgetBurn`.
+    pub fast_burn_threshold: f64,
+    /// Slow-window burn multiple that raises a sustained `BudgetBurn`.
+    pub slow_burn_threshold: f64,
+}
+
+impl SloSpec {
+    /// A latency objective: p99 of `metric` ≤ `threshold_ms`, with the
+    /// conventional 14.4×/3× fast/slow burn thresholds.
+    pub fn latency_p99(name: &str, metric: &str, threshold_ms: f64, objective: f64) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloObjectiveKind::LatencyP99 {
+                source: None,
+                metric: metric.to_string(),
+                threshold_ms,
+            },
+            objective,
+            window_ticks: 256,
+            fast_window_ticks: 16,
+            fast_burn_threshold: 14.4,
+            slow_burn_threshold: 3.0,
+        }
+    }
+
+    /// An availability objective: ticks where `failure_counter` did not
+    /// advance.
+    pub fn availability(name: &str, failure_counter: &str, objective: f64) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloObjectiveKind::Availability {
+                source: None,
+                failure_counter: failure_counter.to_string(),
+            },
+            objective,
+            window_ticks: 256,
+            fast_window_ticks: 16,
+            fast_burn_threshold: 14.4,
+            slow_burn_threshold: 3.0,
+        }
+    }
+
+    /// Restricts the objective to one registered source label.
+    pub fn for_source(mut self, source: &str) -> Self {
+        match &mut self.kind {
+            SloObjectiveKind::LatencyP99 { source: s, .. }
+            | SloObjectiveKind::Availability { source: s, .. } => *s = Some(source.to_string()),
+        }
+        self
+    }
+
+    /// Overrides the slow/fast window lengths (ticks).
+    pub fn with_windows(mut self, window_ticks: usize, fast_window_ticks: usize) -> Self {
+        self.window_ticks = window_ticks.max(1);
+        self.fast_window_ticks = fast_window_ticks.clamp(1, self.window_ticks);
+        self
+    }
+
+    /// Overrides the fast/slow burn alert thresholds.
+    pub fn with_burn_thresholds(mut self, fast: f64, slow: f64) -> Self {
+        self.fast_burn_threshold = fast;
+        self.slow_burn_threshold = slow;
+        self
+    }
+}
+
+/// What one tick's observation changed — rising edges drive event
+/// emission (alert once per episode, not once per tick).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SloTick {
+    /// The fast-window burn multiple after this tick.
+    pub fast_burn: f64,
+    /// The slow-window burn multiple after this tick.
+    pub slow_burn: f64,
+    /// This tick *started* a fast-burn episode.
+    pub fast_burn_started: bool,
+    /// This tick started a slow-burn episode.
+    pub slow_burn_started: bool,
+    /// This tick exhausted the error budget.
+    pub breach_started: bool,
+}
+
+/// The windowed error-budget machine for one [`SloSpec`].
+#[derive(Debug)]
+pub struct SloTracker {
+    spec: SloSpec,
+    /// Good/bad verdicts, newest at the back; bounded by `window_ticks`.
+    window: VecDeque<bool>,
+    bad_in_window: usize,
+    bad_in_fast: usize,
+    fast_alerting: bool,
+    slow_alerting: bool,
+    breached: bool,
+    fast_burns_total: u64,
+    breaches_total: u64,
+    ticks: u64,
+    bad_total: u64,
+}
+
+impl SloTracker {
+    /// A tracker with an empty window.
+    pub fn new(spec: SloSpec) -> Self {
+        SloTracker {
+            spec,
+            window: VecDeque::new(),
+            bad_in_window: 0,
+            bad_in_fast: 0,
+            fast_alerting: false,
+            slow_alerting: false,
+            breached: false,
+            fast_burns_total: 0,
+            breaches_total: 0,
+            ticks: 0,
+            bad_total: 0,
+        }
+    }
+
+    /// The declared objective.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    fn burn(bad: usize, len: usize, objective: f64) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        let allowed = (1.0 - objective).max(f64::EPSILON);
+        (bad as f64 / len as f64) / allowed
+    }
+
+    /// Feeds one tick's verdict; returns the burn rates and any rising
+    /// edges the caller should turn into events.
+    pub fn observe(&mut self, good: bool) -> SloTick {
+        self.ticks += 1;
+        if !good {
+            self.bad_total += 1;
+        }
+        self.window.push_back(good);
+        if !good {
+            self.bad_in_window += 1;
+        }
+        if self.window.len() > self.spec.window_ticks && self.window.pop_front() == Some(false) {
+            self.bad_in_window -= 1;
+        }
+        // The fast window is the tail of the slow one.
+        let fast_len = self.window.len().min(self.spec.fast_window_ticks);
+        self.bad_in_fast = self
+            .window
+            .iter()
+            .rev()
+            .take(fast_len)
+            .filter(|g| !**g)
+            .count();
+
+        let fast_burn = Self::burn(self.bad_in_fast, fast_len, self.spec.objective);
+        let slow_burn = Self::burn(self.bad_in_window, self.window.len(), self.spec.objective);
+
+        // Alert only once the fast window is fully primed: a single bad
+        // tick in a two-tick-old tracker is startup noise, not a burn.
+        let fast_hot =
+            fast_len >= self.spec.fast_window_ticks && fast_burn >= self.spec.fast_burn_threshold;
+        let slow_hot = self.window.len() >= self.spec.window_ticks
+            && slow_burn >= self.spec.slow_burn_threshold;
+        let budget_gone = self.budget_remaining() <= 0.0 && self.bad_in_window > 0;
+
+        let tick = SloTick {
+            fast_burn,
+            slow_burn,
+            fast_burn_started: fast_hot && !self.fast_alerting,
+            slow_burn_started: slow_hot && !self.slow_alerting,
+            breach_started: budget_gone && !self.breached,
+        };
+        if tick.fast_burn_started {
+            self.fast_burns_total += 1;
+        }
+        if tick.breach_started {
+            self.breaches_total += 1;
+        }
+        self.fast_alerting = fast_hot;
+        self.slow_alerting = slow_hot;
+        self.breached = budget_gone;
+        tick
+    }
+
+    /// Fraction of the slow-window error budget still unspent, in
+    /// `[0, 1]`. A short window spends against its eventual capacity,
+    /// so early bad ticks show as real spend.
+    pub fn budget_remaining(&self) -> f64 {
+        let allowed = (1.0 - self.spec.objective) * self.spec.window_ticks as f64;
+        if allowed <= 0.0 {
+            return if self.bad_in_window == 0 { 1.0 } else { 0.0 };
+        }
+        (1.0 - self.bad_in_window as f64 / allowed).clamp(0.0, 1.0)
+    }
+
+    /// Point-in-time status for dashboards and snapshots.
+    pub fn status(&self) -> SloStatus {
+        SloStatus {
+            name: self.spec.name.clone(),
+            objective: self.spec.objective,
+            budget_remaining: self.budget_remaining(),
+            fast_burn: Self::burn(
+                self.bad_in_fast,
+                self.window.len().min(self.spec.fast_window_ticks),
+                self.spec.objective,
+            ),
+            slow_burn: Self::burn(self.bad_in_window, self.window.len(), self.spec.objective),
+            fast_alerting: self.fast_alerting,
+            breached: self.breached,
+            fast_burns_total: self.fast_burns_total,
+            breaches_total: self.breaches_total,
+            ticks: self.ticks,
+            bad_ticks: self.bad_total,
+        }
+    }
+}
+
+/// A point-in-time view of one SLO's budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloStatus {
+    /// The spec's display name.
+    pub name: String,
+    /// Target good-tick fraction.
+    pub objective: f64,
+    /// Unspent fraction of the slow-window error budget, `[0, 1]`.
+    pub budget_remaining: f64,
+    /// Current fast-window burn multiple.
+    pub fast_burn: f64,
+    /// Current slow-window burn multiple.
+    pub slow_burn: f64,
+    /// A fast-burn episode is in progress.
+    pub fast_alerting: bool,
+    /// The budget is currently exhausted.
+    pub breached: bool,
+    /// Fast-burn episodes started so far.
+    pub fast_burns_total: u64,
+    /// Budget exhaustions so far.
+    pub breaches_total: u64,
+    /// Verdicts observed.
+    pub ticks: u64,
+    /// Bad verdicts observed (lifetime, not windowed).
+    pub bad_ticks: u64,
+}
+
+impl SloStatus {
+    /// The status as a JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("name", JsonNode::Str(self.name.clone()));
+        obj.push("objective", JsonNode::F64(self.objective));
+        obj.push(
+            "budget_remaining",
+            JsonNode::f64_rounded(self.budget_remaining, 4),
+        );
+        obj.push("fast_burn", JsonNode::f64_rounded(self.fast_burn, 3));
+        obj.push("slow_burn", JsonNode::f64_rounded(self.slow_burn, 3));
+        obj.push("fast_alerting", JsonNode::Bool(self.fast_alerting));
+        obj.push("breached", JsonNode::Bool(self.breached));
+        obj.push("fast_burns_total", JsonNode::U64(self.fast_burns_total));
+        obj.push("breaches_total", JsonNode::U64(self.breaches_total));
+        obj.push("ticks", JsonNode::U64(self.ticks));
+        obj.push("bad_ticks", JsonNode::U64(self.bad_ticks));
+        obj
+    }
+}
+
+/// A burn-alert sink — how the sampler nudges a health state machine
+/// without `neo-obs` depending on the crate that owns it. The serving
+/// layer's `HealthTracker` implements this: a node burning its error
+/// budget goes Degraded *before* consecutive hard failures would trip
+/// the failure-streak rule.
+pub trait SloNotify: Send + Sync {
+    /// A fast-window burn episode started for `slo` at `burn`× budget
+    /// rate.
+    fn on_budget_burn(&self, slo: &str, burn: f64);
+    /// The error budget for `slo` is exhausted.
+    fn on_breach(&self, slo: &str) {
+        let _ = slo;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(window: usize, fast: usize, objective: f64) -> SloSpec {
+        SloSpec::availability("sync", "failures_total", objective)
+            .with_windows(window, fast)
+            .with_burn_thresholds(5.0, 2.0)
+    }
+
+    #[test]
+    fn all_good_ticks_keep_the_budget_full() {
+        let mut t = SloTracker::new(spec(16, 4, 0.9));
+        for _ in 0..64 {
+            let tick = t.observe(true);
+            assert_eq!(tick.fast_burn, 0.0);
+            assert!(!tick.fast_burn_started && !tick.breach_started);
+        }
+        assert_eq!(t.budget_remaining(), 1.0);
+        assert!(!t.status().fast_alerting);
+    }
+
+    #[test]
+    fn an_acute_outage_trips_the_fast_window_once() {
+        let mut t = SloTracker::new(spec(32, 4, 0.9));
+        for _ in 0..10 {
+            t.observe(true);
+        }
+        // Burn = (bad/4)/0.1: two bad ticks in the fast window → 5×.
+        let first = t.observe(false);
+        assert!(!first.fast_burn_started, "one bad tick is 2.5×, below 5×");
+        let second = t.observe(false);
+        assert!(second.fast_burn_started, "two bad of four = 5.0× trips");
+        assert!(second.fast_burn >= 5.0);
+        let third = t.observe(false);
+        assert!(
+            !third.fast_burn_started,
+            "episodes alert on rising edge only"
+        );
+        assert_eq!(t.status().fast_burns_total, 1);
+        // Recovery: good ticks flush the fast window and re-arm.
+        for _ in 0..6 {
+            t.observe(true);
+        }
+        assert!(!t.status().fast_alerting);
+        for _ in 0..2 {
+            t.observe(false);
+        }
+        assert_eq!(t.status().fast_burns_total, 2, "a new episode re-alerts");
+    }
+
+    #[test]
+    fn budget_spends_and_refills_as_the_window_slides() {
+        let mut t = SloTracker::new(spec(10, 2, 0.8));
+        // Budget = 20% of 10 ticks = 2 bad ticks.
+        for _ in 0..10 {
+            t.observe(true);
+        }
+        t.observe(false);
+        assert!((t.budget_remaining() - 0.5).abs() < 1e-9);
+        let breach = t.observe(false);
+        assert!(breach.breach_started, "second bad tick spends the budget");
+        assert_eq!(t.budget_remaining(), 0.0);
+        // 10 good ticks push both bad verdicts out of the window.
+        for _ in 0..10 {
+            t.observe(true);
+        }
+        assert_eq!(t.budget_remaining(), 1.0, "budget refills after recovery");
+        assert!(!t.status().breached);
+        assert_eq!(t.status().breaches_total, 1);
+    }
+
+    #[test]
+    fn startup_noise_cannot_alert_before_the_fast_window_is_primed() {
+        let mut t = SloTracker::new(spec(32, 8, 0.9));
+        let tick = t.observe(false);
+        assert!(
+            !tick.fast_burn_started,
+            "burn {b} on a 1-tick window must not page",
+            b = tick.fast_burn
+        );
+    }
+
+    #[test]
+    fn status_serializes() {
+        let mut t = SloTracker::new(spec(8, 2, 0.9));
+        t.observe(true);
+        t.observe(false);
+        let json = t.status().to_node().render();
+        crate::json::validate(&json).expect("status JSON is well-formed");
+        assert!(json.contains("budget_remaining"));
+    }
+}

@@ -56,7 +56,10 @@ impl FleetSnapshot {
     /// the output (the writer and checker keep each other honest).
     pub fn to_json(&self) -> String {
         let json = self.to_node().render();
-        debug_assert!(validate(&json).is_ok(), "FleetSnapshot rendered invalid JSON");
+        debug_assert!(
+            validate(&json).is_ok(),
+            "FleetSnapshot rendered invalid JSON"
+        );
         json
     }
 }

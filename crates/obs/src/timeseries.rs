@@ -1,0 +1,607 @@
+//! The background telemetry sampler: windowed time series over live
+//! metric registries.
+//!
+//! PR 7's registries are point-in-time: a counter tells you *how many*,
+//! never *how fast*. The [`TelemetrySampler`] closes that gap with one
+//! background thread (condvar tick, drain-then-stop, same discipline as
+//! the serving layer's `BackgroundTrainer`): each tick it snapshots
+//! every watched [`MetricsRegistry`], subtracts the previous snapshot —
+//! counters become rates, mergeable histogram snapshots make windowed
+//! p50/p99 a [`HistogramSnapshot::delta_since`] call — and appends the
+//! points to fixed-capacity per-metric rings. The same per-tick deltas
+//! feed the [`SloTracker`]s, so SLO burn alerts and the series a
+//! postmortem plots are by construction the same numbers.
+
+use crate::hist::HistogramSnapshot;
+use crate::json::JsonNode;
+use crate::metrics::{MetricValue, MetricsRegistry, MetricsSnapshot};
+use crate::ring::{EventKind, EventRing};
+use crate::slo::{SloNotify, SloSpec, SloStatus, SloTracker};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sampler tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Milliseconds between samples.
+    pub tick_interval_ms: u64,
+    /// Points retained per series (older points fall off the front).
+    pub series_capacity: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            tick_interval_ms: 100,
+            series_capacity: 240,
+        }
+    }
+}
+
+/// A fixed-capacity ring of time-series points, one per sampler tick.
+/// Overflow drops the oldest point and advances `start_tick`, so a
+/// snapshot always knows which tick its first retained point belongs to.
+#[derive(Debug)]
+struct SeriesRing {
+    points: std::collections::VecDeque<f64>,
+    capacity: usize,
+    start_tick: u64,
+}
+
+impl SeriesRing {
+    fn new(capacity: usize, start_tick: u64) -> Self {
+        SeriesRing {
+            points: std::collections::VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            start_tick,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.start_tick += 1;
+        }
+        self.points.push_back(v);
+    }
+}
+
+/// A copy of one series' retained points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSnapshot {
+    /// `source/metric`-style series name (e.g. `serve/search_ms_p99_ms`).
+    pub name: String,
+    /// Sampler tick number of the first retained point.
+    pub start_tick: u64,
+    /// The retained points, oldest first.
+    pub points: Vec<f64>,
+}
+
+impl SeriesSnapshot {
+    /// The series as a JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("name", JsonNode::Str(self.name.clone()));
+        obj.push("start_tick", JsonNode::U64(self.start_tick));
+        obj.push(
+            "points",
+            JsonNode::Arr(
+                self.points
+                    .iter()
+                    .map(|p| JsonNode::f64_rounded(*p, 4))
+                    .collect(),
+            ),
+        );
+        obj
+    }
+}
+
+/// One watched registry: the label prefixes every series it produces.
+struct Source {
+    name: String,
+    registry: Arc<MetricsRegistry>,
+    prev: MetricsSnapshot,
+}
+
+struct SamplerState {
+    stopping: bool,
+    sources: Vec<Source>,
+    series: BTreeMap<String, SeriesRing>,
+    slos: Vec<(SloTracker, Option<Arc<dyn SloNotify>>)>,
+    events: Option<(Arc<EventRing>, String)>,
+    ticks: u64,
+    last_tick_at: Option<Instant>,
+}
+
+struct SamplerShared {
+    cfg: SamplerConfig,
+    state: Mutex<SamplerState>,
+    cv: Condvar,
+}
+
+impl SamplerShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SamplerState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Takes one sample under the lock: per-source deltas → series
+    /// points → SLO verdicts → burn events.
+    fn sample_locked(&self, state: &mut SamplerState) {
+        state.ticks += 1;
+        let tick = state.ticks;
+        let now = Instant::now();
+        let elapsed_s = state
+            .last_tick_at
+            .map(|t| now.duration_since(t).as_secs_f64())
+            .unwrap_or(0.0)
+            .max(1e-6);
+        state.last_tick_at = Some(now);
+
+        // Deltas are collected before SLO evaluation because an
+        // objective may aggregate one metric across all sources.
+        let mut counter_deltas: Vec<(usize, String, u64)> = Vec::new();
+        let mut hist_deltas: Vec<(usize, String, HistogramSnapshot)> = Vec::new();
+        let SamplerState {
+            sources,
+            series,
+            slos,
+            events,
+            ..
+        } = state;
+        let capacity = self.cfg.series_capacity;
+        let mut point = |name: String, v: f64| {
+            series
+                .entry(name)
+                .or_insert_with_key(|_| SeriesRing::new(capacity, tick))
+                .push(v);
+        };
+        for (idx, source) in sources.iter_mut().enumerate() {
+            let snap = source.registry.snapshot();
+            for (name, value) in &snap.entries {
+                let prev = source.prev.entries.iter().find(|(n, _)| n == name);
+                match (value, prev.map(|(_, v)| v)) {
+                    (MetricValue::Gauge(g), _) => {
+                        point(format!("{}/{}", source.name, name), *g as f64);
+                    }
+                    (MetricValue::Counter(c), prev_c) => {
+                        let base = match prev_c {
+                            Some(MetricValue::Counter(p)) => *p,
+                            _ => 0,
+                        };
+                        let delta = c.saturating_sub(base);
+                        point(
+                            format!("{}/{}_rate", source.name, name),
+                            delta as f64 / elapsed_s,
+                        );
+                        counter_deltas.push((idx, name.clone(), delta));
+                    }
+                    (MetricValue::Histogram(h), prev_h) => {
+                        let delta = match prev_h {
+                            Some(MetricValue::Histogram(p)) => h.delta_since(p),
+                            _ => h.clone(),
+                        };
+                        point(
+                            format!("{}/{}_p50_ms", source.name, name),
+                            delta.quantile_ms(0.5),
+                        );
+                        point(
+                            format!("{}/{}_p99_ms", source.name, name),
+                            delta.quantile_ms(0.99),
+                        );
+                        point(
+                            format!("{}/{}_rate", source.name, name),
+                            delta.count as f64 / elapsed_s,
+                        );
+                        hist_deltas.push((idx, name.clone(), delta));
+                    }
+                }
+            }
+            source.prev = snap;
+        }
+
+        for (tracker, notify) in slos.iter_mut() {
+            let good = verdict(tracker.spec(), sources, &counter_deltas, &hist_deltas);
+            let outcome = tracker.observe(good);
+            let name = tracker.spec().name.clone();
+            point(format!("slo/{name}_budget"), tracker.budget_remaining());
+            if outcome.fast_burn_started {
+                if let Some((ring, label)) = events {
+                    ring.record(
+                        label,
+                        EventKind::BudgetBurn,
+                        format!(
+                            "slo {name} fast window burning at {burn:.1}x budget rate",
+                            burn = outcome.fast_burn
+                        ),
+                    );
+                }
+                if let Some(n) = notify {
+                    n.on_budget_burn(&name, outcome.fast_burn);
+                }
+            }
+            if outcome.slow_burn_started {
+                if let Some((ring, label)) = events {
+                    ring.record(
+                        label,
+                        EventKind::BudgetBurn,
+                        format!(
+                            "slo {name} slow window burning at {burn:.1}x budget rate",
+                            burn = outcome.slow_burn
+                        ),
+                    );
+                }
+            }
+            if outcome.breach_started {
+                if let Some((ring, label)) = events {
+                    ring.record(
+                        label,
+                        EventKind::SloBreach,
+                        format!("slo {name} error budget exhausted"),
+                    );
+                }
+                if let Some(n) = notify {
+                    n.on_breach(&name);
+                }
+            }
+        }
+    }
+}
+
+/// This tick's good/bad verdict for one objective.
+fn verdict(
+    spec: &SloSpec,
+    sources: &[Source],
+    counter_deltas: &[(usize, String, u64)],
+    hist_deltas: &[(usize, String, HistogramSnapshot)],
+) -> bool {
+    let source_matches = |want: &Option<String>, idx: usize| match want {
+        Some(s) => sources[idx].name == *s,
+        None => true,
+    };
+    match &spec.kind {
+        crate::slo::SloObjectiveKind::Availability {
+            source,
+            failure_counter,
+        } => counter_deltas
+            .iter()
+            .filter(|(idx, name, _)| name == failure_counter && source_matches(source, *idx))
+            .map(|(_, _, d)| *d)
+            .sum::<u64>()
+            .eq(&0),
+        crate::slo::SloObjectiveKind::LatencyP99 {
+            source,
+            metric,
+            threshold_ms,
+        } => {
+            let mut merged = HistogramSnapshot::default();
+            for (_, _, delta) in hist_deltas
+                .iter()
+                .filter(|(idx, name, _)| name == metric && source_matches(source, *idx))
+            {
+                merged.merge(delta);
+            }
+            merged.count == 0 || merged.quantile_ms(0.99) <= *threshold_ms
+        }
+    }
+}
+
+/// The background sampler. Construction spawns the thread; [`stop`]
+/// (or drop) takes one final drain sample before joining, so the last
+/// window of activity always lands in the series.
+///
+/// [`stop`]: TelemetrySampler::stop
+pub struct TelemetrySampler {
+    shared: Arc<SamplerShared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+impl TelemetrySampler {
+    /// Spawns the sampler thread (named `neo-obs-sampler`).
+    pub fn spawn(cfg: SamplerConfig) -> Self {
+        let shared = Arc::new(SamplerShared {
+            cfg,
+            state: Mutex::new(SamplerState {
+                stopping: false,
+                sources: Vec::new(),
+                series: BTreeMap::new(),
+                slos: Vec::new(),
+                events: None,
+                ticks: 0,
+                last_tick_at: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("neo-obs-sampler".to_string())
+            .spawn(move || {
+                let interval = Duration::from_millis(worker.cfg.tick_interval_ms.max(1));
+                let mut state = worker.lock();
+                loop {
+                    if state.stopping {
+                        // Drain: one final sample so the tail of the
+                        // story is in the series, then exit.
+                        worker.sample_locked(&mut state);
+                        return;
+                    }
+                    worker.sample_locked(&mut state);
+                    let deadline = Instant::now() + interval;
+                    while !state.stopping {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (next, _) = worker
+                            .cv
+                            .wait_timeout(state, deadline - now)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        state = next;
+                    }
+                }
+            })
+            .expect("spawn telemetry sampler thread");
+        TelemetrySampler {
+            shared,
+            handle: Mutex::new(Some(handle)),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Watches `registry`; its metrics appear as `name/...` series from
+    /// the next tick on. The baseline snapshot is taken here,
+    /// synchronously, so the first subsequent tick already yields
+    /// deltas.
+    pub fn watch(&self, name: &str, registry: Arc<MetricsRegistry>) {
+        let prev = registry.snapshot();
+        self.shared.lock().sources.push(Source {
+            name: name.to_string(),
+            registry,
+            prev,
+        });
+    }
+
+    /// Declares an objective evaluated each tick.
+    pub fn add_slo(&self, spec: SloSpec) {
+        self.shared.lock().slos.push((SloTracker::new(spec), None));
+    }
+
+    /// Declares an objective whose burn alerts also call `notify`
+    /// (e.g. a serving health tracker that should go Degraded).
+    pub fn add_slo_with_notify(&self, spec: SloSpec, notify: Arc<dyn SloNotify>) {
+        self.shared
+            .lock()
+            .slos
+            .push((SloTracker::new(spec), Some(notify)));
+    }
+
+    /// Routes `BudgetBurn`/`SloBreach` events into `ring`, recorded
+    /// under `label`.
+    pub fn attach_events(&self, ring: Arc<EventRing>, label: &str) {
+        self.shared.lock().events = Some((ring, label.to_string()));
+    }
+
+    /// Takes one sample synchronously (benches and tests use this to
+    /// pin tick boundaries instead of sleeping).
+    pub fn tick_now(&self) {
+        let mut state = self.shared.lock();
+        self.shared.sample_locked(&mut state);
+    }
+
+    /// Samples taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.shared.lock().ticks
+    }
+
+    /// All retained series, name-ordered.
+    pub fn series(&self) -> Vec<SeriesSnapshot> {
+        self.shared
+            .lock()
+            .series
+            .iter()
+            .map(|(name, ring)| SeriesSnapshot {
+                name: name.clone(),
+                start_tick: ring.start_tick,
+                points: ring.points.iter().copied().collect(),
+            })
+            .collect()
+    }
+
+    /// Every declared SLO's current status.
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        self.shared
+            .lock()
+            .slos
+            .iter()
+            .map(|(t, _)| t.status())
+            .collect()
+    }
+
+    /// The series as a JSON array (see [`SeriesSnapshot::to_node`]).
+    pub fn series_node(&self) -> JsonNode {
+        JsonNode::Arr(self.series().iter().map(SeriesSnapshot::to_node).collect())
+    }
+
+    /// The SLO statuses as a JSON array.
+    pub fn slo_node(&self) -> JsonNode {
+        JsonNode::Arr(self.slo_status().iter().map(SloStatus::to_node).collect())
+    }
+
+    /// Stops the thread: sets the flag, wakes it for the final drain
+    /// sample, joins. Idempotent.
+    pub fn stop(&self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.lock().stopping = true;
+        self.shared.cv.notify_all();
+        if let Some(handle) = self
+            .handle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            // neo-obs sits below the serving layer, so it carries its
+            // own join-during-unwind guard rather than borrowing serve's.
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("telemetry sampler thread panicked");
+            }
+        }
+    }
+}
+
+impl Drop for TelemetrySampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloSpec;
+
+    #[test]
+    fn series_ring_wraps_and_advances_its_start_tick() {
+        let mut ring = SeriesRing::new(4, 1);
+        for i in 0..10 {
+            ring.push(i as f64);
+        }
+        assert_eq!(ring.points.len(), 4, "ring retains exactly its capacity");
+        assert_eq!(ring.start_tick, 7, "six points fell off the front");
+        let points: Vec<f64> = ring.points.iter().copied().collect();
+        assert_eq!(points, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn stop_drains_one_final_sample() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let hits = registry.counter("hits_total");
+        // An hour-long interval: every observed sample is either the
+        // startup tick or the drain tick, never a timer tick.
+        let sampler = TelemetrySampler::spawn(SamplerConfig {
+            tick_interval_ms: 3_600_000,
+            series_capacity: 16,
+        });
+        sampler.watch("svc", Arc::clone(&registry));
+        hits.add(5);
+        sampler.stop();
+        assert!(sampler.ticks() >= 1, "the drain sample always runs");
+        let series = sampler.series();
+        let rate = series
+            .iter()
+            .find(|s| s.name == "svc/hits_total_rate")
+            .expect("counter series present after drain");
+        assert!(
+            rate.points.iter().any(|p| *p > 0.0),
+            "the increments landed in the drained window: {points:?}",
+            points = rate.points
+        );
+    }
+
+    #[test]
+    fn ticks_turn_counters_into_rates_and_histograms_into_windowed_quantiles() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let hits = registry.counter("hits_total");
+        let lat = registry.histogram("lat_ms");
+        let gauge = registry.gauge("generation");
+        let sampler = TelemetrySampler::spawn(SamplerConfig {
+            tick_interval_ms: 3_600_000,
+            series_capacity: 16,
+        });
+        sampler.watch("svc", Arc::clone(&registry));
+        hits.add(10);
+        lat.record_ms(4.0);
+        gauge.set(3);
+        sampler.tick_now();
+        lat.record_ms(400.0);
+        sampler.tick_now();
+        let series = sampler.series();
+        let by_name = |n: &str| {
+            series
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("missing series {n}"))
+                .clone()
+        };
+        assert!(
+            by_name("svc/hits_total_rate")
+                .points
+                .iter()
+                .any(|p| *p > 0.0),
+            "the 10 hits land in exactly one window"
+        );
+        assert_eq!(*by_name("svc/generation").points.last().unwrap(), 3.0);
+        let p99 = by_name("svc/lat_ms_p99_ms");
+        assert!(
+            p99.points[0] < 100.0,
+            "first window saw at most the 4ms sample"
+        );
+        assert!(
+            p99.points.iter().any(|p| *p >= 100.0),
+            "one window's delta isolates the 400ms sample: {points:?}",
+            points = p99.points
+        );
+        sampler.stop();
+    }
+
+    #[test]
+    fn availability_slo_burns_and_emits_events_through_the_sampler() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let failures = registry.counter("sync_failures_total");
+        let ring = Arc::new(EventRing::new(64));
+        let sampler = TelemetrySampler::spawn(SamplerConfig {
+            tick_interval_ms: 3_600_000,
+            series_capacity: 64,
+        });
+        sampler.watch("node", Arc::clone(&registry));
+        sampler.attach_events(Arc::clone(&ring), "telemetry");
+        sampler.add_slo(
+            SloSpec::availability("sync", "sync_failures_total", 0.9)
+                .with_windows(32, 4)
+                .with_burn_thresholds(5.0, 3.0),
+        );
+        for _ in 0..8 {
+            sampler.tick_now();
+        }
+        // Two consecutive failing ticks: fast burn (2/4)/0.1 = 5× trips.
+        failures.inc();
+        sampler.tick_now();
+        failures.inc();
+        sampler.tick_now();
+        let burns: Vec<_> = ring
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::BudgetBurn)
+            .collect();
+        assert_eq!(burns.len(), 1, "one rising edge, one event");
+        assert!(burns[0].detail.contains("slo sync"));
+        assert_eq!(burns[0].node, "telemetry");
+        let status = &sampler.slo_status()[0];
+        assert!(status.fast_alerting);
+        assert!(status.budget_remaining < 1.0);
+        // Recovery: clean ticks refill the budget series.
+        for _ in 0..40 {
+            sampler.tick_now();
+        }
+        let status = &sampler.slo_status()[0];
+        assert_eq!(
+            status.budget_remaining, 1.0,
+            "budget refills after recovery"
+        );
+        assert!(!status.fast_alerting);
+        let budget_series = sampler
+            .series()
+            .into_iter()
+            .find(|s| s.name == "slo/sync_budget")
+            .expect("budget series recorded");
+        assert!(budget_series.points.iter().any(|p| *p < 1.0));
+        assert_eq!(*budget_series.points.last().unwrap(), 1.0);
+        sampler.stop();
+    }
+}

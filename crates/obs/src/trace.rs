@@ -75,7 +75,10 @@ impl SearchTrace {
     pub fn to_node(&self) -> JsonNode {
         let mut obj = JsonNode::obj();
         obj.push("query_id", JsonNode::Str(self.query_id.clone()));
-        obj.push("fingerprint", JsonNode::Str(format!("{:032x}", self.fingerprint)));
+        obj.push(
+            "fingerprint",
+            JsonNode::Str(format!("{:032x}", self.fingerprint)),
+        );
         obj.push("cache_hit", JsonNode::Bool(self.cache_hit));
         obj.push("cache_epoch", JsonNode::U64(self.cache_epoch));
         obj.push("model_generation", JsonNode::U64(self.model_generation));
@@ -83,10 +86,19 @@ impl SearchTrace {
         obj.push("batches", JsonNode::U64(self.batches as u64));
         obj.push("expansions", JsonNode::U64(self.expansions as u64));
         obj.push("scored", JsonNode::U64(self.scored as u64));
-        obj.push("search_wall_ms", JsonNode::f64_rounded(self.search_wall_ms, 4));
-        obj.push("total_wall_ms", JsonNode::f64_rounded(self.total_wall_ms, 4));
+        obj.push(
+            "search_wall_ms",
+            JsonNode::f64_rounded(self.search_wall_ms, 4),
+        );
+        obj.push(
+            "total_wall_ms",
+            JsonNode::f64_rounded(self.total_wall_ms, 4),
+        );
         obj.push("hurried", JsonNode::Bool(self.hurried));
-        obj.push("seed_outcome", JsonNode::Str(self.seed_outcome.label().to_string()));
+        obj.push(
+            "seed_outcome",
+            JsonNode::Str(self.seed_outcome.label().to_string()),
+        );
         obj.push("session_reused", JsonNode::Bool(self.session_reused));
         obj.push(
             "predicted_ms",

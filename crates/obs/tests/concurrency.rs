@@ -79,7 +79,10 @@ fn registry_counters_are_exact_under_concurrent_updates() {
     let snap = reg.snapshot();
     let expected = THREADS as u64 * PER_THREAD;
     assert_eq!(snap.counter("hammered_total"), Some(expected));
-    assert_eq!(snap.histogram("hammer_ms").expect("registered").count, expected);
+    assert_eq!(
+        snap.histogram("hammer_ms").expect("registered").count,
+        expected
+    );
     assert!(snap.gauge("last_i").expect("registered") < PER_THREAD);
 }
 
@@ -151,5 +154,30 @@ proptest! {
         cba.merge(&sb);
         cba.merge(&sa);
         prop_assert_eq!(abc, cba);
+    }
+
+    /// The windowed-delta law the telemetry sampler rests on:
+    /// `merge(delta(prev, curr), prev) == curr` for any pair of
+    /// snapshots taken from one live histogram — so per-tick windows
+    /// reconstruct the cumulative stream with no drift.
+    #[test]
+    fn delta_since_inverts_merge_for_live_snapshot_pairs(
+        before in proptest::collection::vec(0u64..5_000_000, 0..200),
+        after in proptest::collection::vec(0u64..5_000_000, 1..200),
+    ) {
+        let hist = LatencyHistogram::new();
+        for &v in &before {
+            hist.record_us(v);
+        }
+        let prev = hist.snapshot();
+        for &v in &after {
+            hist.record_us(v);
+        }
+        let curr = hist.snapshot();
+        let delta = curr.delta_since(&prev);
+        prop_assert_eq!(delta.count, after.len() as u64);
+        let mut rebuilt = delta.clone();
+        rebuilt.merge(&prev);
+        prop_assert_eq!(rebuilt, curr);
     }
 }

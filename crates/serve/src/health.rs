@@ -232,6 +232,22 @@ impl HealthTracker {
         inner.state
     }
 
+    /// Forces the tracker to at least `Degraded` without consuming a
+    /// failure verdict — the hook SLO burn alerts use: a node burning
+    /// its error budget sheds coordination duties *before* consecutive
+    /// hard failures would reach `degraded_after`. Idempotent at
+    /// `Degraded` and above; the success streak resets, so recovery
+    /// still costs `recover_after` clean verdicts per step.
+    pub fn degrade(&self, reason: impl Into<String>) -> HealthState {
+        let mut inner = self.lock();
+        inner.last_error = Some(reason.into());
+        inner.consecutive_successes = 0;
+        if inner.state == HealthState::Healthy {
+            self.transition(&mut inner, HealthState::Degraded);
+        }
+        inner.state
+    }
+
     /// Current state.
     pub fn state(&self) -> HealthState {
         self.lock().state
@@ -280,8 +296,7 @@ impl HealthTracker {
             inner.unhealthy_since = Some(now);
         } else if next == HealthState::Healthy {
             if let Some(start) = inner.unhealthy_since.take() {
-                inner.last_recovery_ms =
-                    Some(now.duration_since(start).as_secs_f64() * 1e3);
+                inner.last_recovery_ms = Some(now.duration_since(start).as_secs_f64() * 1e3);
             }
         }
         inner.last_transition = Some(now);
@@ -307,6 +322,19 @@ impl HealthTracker {
         self.inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The telemetry sampler's burn alerts feed straight into the health
+/// state machine: `add_slo_with_notify(spec, tracker)` makes a
+/// budget-burning node go `Degraded` ahead of the failure-streak rule.
+impl neo_obs::SloNotify for HealthTracker {
+    fn on_budget_burn(&self, slo: &str, burn: f64) {
+        self.degrade(format!("slo {slo} burning at {burn:.1}x budget rate"));
+    }
+
+    fn on_breach(&self, slo: &str) {
+        self.degrade(format!("slo {slo} error budget exhausted"));
     }
 }
 
@@ -423,6 +451,55 @@ mod tests {
         assert_eq!(events[0].detail, "healthy -> degraded");
         assert_eq!(events[1].detail, "degraded -> healthy");
         assert_eq!(events[0].node, "node-0");
+    }
+
+    #[test]
+    fn slo_burn_degrades_before_the_failure_streak_would() {
+        use neo_obs::{EventRing, MetricsRegistry, SamplerConfig, SloSpec, TelemetrySampler};
+        use std::sync::Arc;
+        // degraded_after is 3 — this node never records a single hard
+        // failure, yet the budget burn pushes it Degraded.
+        let t = Arc::new(tracker());
+        let ring = Arc::new(EventRing::new(32));
+        t.attach_events(Arc::clone(&ring), "node-0");
+        let registry = Arc::new(MetricsRegistry::new());
+        let failures = registry.counter("sync_failures_total");
+        let sampler = TelemetrySampler::spawn(SamplerConfig {
+            tick_interval_ms: 3_600_000,
+            series_capacity: 32,
+        });
+        sampler.watch("node-0", Arc::clone(&registry));
+        sampler.add_slo_with_notify(
+            SloSpec::availability("sync", "sync_failures_total", 0.9)
+                .with_windows(16, 2)
+                .with_burn_thresholds(5.0, 3.0),
+            Arc::clone(&t) as Arc<dyn neo_obs::SloNotify>,
+        );
+        for _ in 0..4 {
+            sampler.tick_now();
+        }
+        assert_eq!(t.state(), HealthState::Healthy);
+        failures.inc();
+        sampler.tick_now();
+        failures.inc();
+        sampler.tick_now();
+        sampler.stop();
+        assert_eq!(
+            t.state(),
+            HealthState::Degraded,
+            "two burning ticks degrade via the SLO path, one short of degraded_after"
+        );
+        let snap = t.snapshot();
+        assert_eq!(snap.total_failures, 0, "no hard failures were recorded");
+        assert!(snap
+            .last_error
+            .as_deref()
+            .unwrap_or("")
+            .contains("slo sync"));
+        assert!(ring
+            .snapshot()
+            .iter()
+            .any(|e| e.kind == EventKind::HealthChanged && e.detail == "healthy -> degraded"));
     }
 
     #[test]

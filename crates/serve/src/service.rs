@@ -37,13 +37,13 @@ use neo::{best_first_search_seeded_with_scratch, Featurizer, SearchBudget, Searc
 use neo_nn::ScratchPool;
 use neo_obs::{
     Counter, FingerprintStat, Gauge, HistogramSnapshot, HotSet, LatencyHistogram, MetricsRegistry,
-    MetricsSnapshot, SearchTrace, SeedOutcome,
+    MetricsSnapshot, SamplerConfig, SearchTrace, SeedOutcome, TelemetrySampler,
 };
 use neo_query::{fingerprint, PlanNode, Query, QueryFingerprint};
 use neo_storage::Database;
 use std::hash::{Hash, Hasher};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Where executed-plan observations go: the serving side of the learning
@@ -336,7 +336,9 @@ impl Shared {
         let optimize_ms = start.elapsed().as_secs_f64() * 1e3;
         if self.obs.enabled {
             self.obs.requests.inc();
-            self.obs.stripe(&self.obs.search_hist).record_ms(stats.wall_ms);
+            self.obs
+                .stripe(&self.obs.search_hist)
+                .record_ms(stats.wall_ms);
             self.obs.stripe(&self.obs.e2e_hist).record_ms(optimize_ms);
             self.obs.hotset.record_probe(fp.0, false, optimize_ms);
         }
@@ -382,6 +384,10 @@ impl Shared {
 pub struct OptimizerService {
     shared: Arc<Shared>,
     pool: WorkerPool,
+    /// The optional background telemetry sampler (one per service),
+    /// started on demand; dropped (and therefore drained + joined) with
+    /// the service.
+    telemetry: Mutex<Option<Arc<TelemetrySampler>>>,
 }
 
 impl OptimizerService {
@@ -420,6 +426,48 @@ impl OptimizerService {
                 cfg,
             }),
             pool,
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Starts the background telemetry sampler over this service's
+    /// registry (source label `serve`), or returns the one already
+    /// running. Declared SLOs and extra watched registries go through
+    /// the returned handle.
+    pub fn start_telemetry(&self, cfg: SamplerConfig) -> Arc<TelemetrySampler> {
+        let mut slot = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(sampler) = slot.as_ref() {
+            return Arc::clone(sampler);
+        }
+        let sampler = Arc::new(TelemetrySampler::spawn(cfg));
+        sampler.watch("serve", Arc::clone(&self.shared.obs.registry));
+        *slot = Some(Arc::clone(&sampler));
+        sampler
+    }
+
+    /// The running telemetry sampler, if [`Self::start_telemetry`] was
+    /// called.
+    pub fn telemetry(&self) -> Option<Arc<TelemetrySampler>> {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(Arc::clone)
+    }
+
+    /// Stops and detaches the telemetry sampler (final drain sample
+    /// included). A no-op when none is running.
+    pub fn stop_telemetry(&self) {
+        if let Some(sampler) = self
+            .telemetry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            sampler.stop();
         }
     }
 
