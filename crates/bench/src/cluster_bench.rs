@@ -180,6 +180,31 @@ pub struct ScalingPoint {
     pub plans_identical: bool,
 }
 
+/// Generation-lineage trace evidence (ISSUE 9, largest scaling fleet):
+/// one trained generation's complete causal trace — sink drain → train →
+/// checkpoint → publish → store write on the leader, plus every
+/// follower's adoption — stitched across nodes through the manifest's
+/// span context and recorded in the fleet's shared span ring.
+#[derive(Clone, Debug)]
+pub struct LineagePoint {
+    /// Fleet size the trace was captured in (leader included).
+    pub nodes: usize,
+    /// The verified trace's id (16 hex digits).
+    pub trace_id: String,
+    /// Spans recorded under the verified trace.
+    pub spans: usize,
+    /// Distinct follower `adopt` spans in the trace (must be
+    /// `nodes − 1`: every follower joined the trace).
+    pub adopts: usize,
+    /// Every lifecycle stage present under the one trace id (asserted
+    /// in-binary before the point is returned).
+    pub complete: bool,
+    /// The fleet span ring as JSON (`spans` / `recorded` / `dropped`) —
+    /// every trained generation's lineage trace, embedded in the
+    /// envelope's `lineage.traces` section.
+    pub traces: String,
+}
+
 /// Restart-recovery measurements (largest fleet).
 #[derive(Clone, Debug)]
 pub struct RestartPoint {
@@ -323,6 +348,13 @@ pub struct ChaosPoint {
     /// Events silently displaced by ring wraparound (recorded so the
     /// postmortem is honest about being a tail when non-zero).
     pub events_dropped: u64,
+    /// The p99 exemplar of some node's `cluster_sync_ms` histogram (16
+    /// hex digits): the trace id of the slowest-bucket adoption the
+    /// tail-latency question should start from.
+    pub sync_p99_exemplar: String,
+    /// The exemplar's trace id resolves to recorded spans in the fleet
+    /// span ring (must be true: an exemplar that dangles is noise).
+    pub sync_exemplar_resolvable: bool,
     /// Telemetry sampler ticks taken across storm + outage + recovery.
     pub telemetry_ticks: u64,
     /// Fast-window `BudgetBurn` episodes the `sync` availability SLO
@@ -360,6 +392,8 @@ pub struct ClusterBenchReport {
     pub generations: usize,
     /// Per-fleet-size measurements.
     pub scaling: Vec<ScalingPoint>,
+    /// The generation-lineage trace captured on the largest fleet.
+    pub lineage: LineagePoint,
     /// The restart-recovery experiment.
     pub restart: RestartPoint,
     /// The leader-kill failover experiment.
@@ -441,6 +475,7 @@ fn cluster_cfg(cfg: &ClusterBenchConfig, nodes: usize) -> ClusterConfig {
         retry: RetryPolicy::default(),
         health: HealthPolicy::default(),
         events: None,
+        spans: None,
     }
 }
 
@@ -1248,6 +1283,27 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
         stats.crash_publishes
     );
 
+    // Tail-latency exemplar (ISSUE 9): some node's `cluster_sync_ms`
+    // p99 bucket must carry the trace id of a real adoption, and that
+    // trace must resolve to spans in the fleet's shared span ring — the
+    // link from "sync is slow" straight to the lineage waterfall.
+    let ring_spans = cluster.spans().snapshot();
+    let sync_p99_exemplar = (0..cluster.len())
+        .find_map(|i| {
+            cluster
+                .node(i)
+                .service()
+                .metrics_snapshot()
+                .histogram("cluster_sync_ms")
+                .and_then(|h| h.exemplar_for_quantile(0.99))
+        })
+        .expect("no node's sync histogram carries a p99 exemplar");
+    let sync_exemplar_resolvable = ring_spans.iter().any(|s| s.trace == sync_p99_exemplar);
+    assert!(
+        sync_exemplar_resolvable,
+        "sync p99 exemplar {sync_p99_exemplar} resolves to no trace in the span ring"
+    );
+
     let point = ChaosPoint {
         nodes,
         seed: cfg.chaos_seed,
@@ -1281,6 +1337,8 @@ fn run_chaos_experiment(cfg: &ClusterBenchConfig, fx: &Fixture, nodes: usize) ->
         leader_recovery_ms,
         events_recorded: ring_events.len(),
         events_dropped: events.dropped(),
+        sync_p99_exemplar: sync_p99_exemplar.to_string(),
+        sync_exemplar_resolvable,
         telemetry_ticks: sampler.ticks(),
         slo_fast_burns,
         budget_burn_before_lease_lapse,
@@ -1315,6 +1373,7 @@ pub fn run_cluster_bench(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
     );
     let fx = fixture(cfg);
     let mut scaling = Vec::new();
+    let mut lineage: Option<LineagePoint> = None;
     let mut restart: Option<RestartPoint> = None;
 
     for &nodes in &cfg.node_counts {
@@ -1419,6 +1478,52 @@ pub fn run_cluster_bench(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
             plans_identical: identical_all,
         });
 
+        // --- Generation lineage (ISSUE 9), before the restart below adds
+        // an extra recovery adoption to the ring: the last trained
+        // generation must have left one complete causal trace — the
+        // leader's drain → train → checkpoint → publish → store write,
+        // plus every follower's adoption stitched in through the
+        // manifest's span context.
+        if nodes == largest && nodes >= 2 {
+            let spans = cluster.spans().snapshot();
+            let root = spans
+                .iter()
+                .filter(|s| s.name == "generation")
+                .max_by_key(|s| s.seq)
+                .expect("no lineage root in the fleet span ring");
+            let in_trace: Vec<_> = spans.iter().filter(|s| s.trace == root.trace).collect();
+            let stage = |name: &str| in_trace.iter().any(|s| s.name == name);
+            let complete = stage("drain")
+                && stage("train")
+                && stage("checkpoint")
+                && stage("publish")
+                && stage("store_write");
+            assert!(
+                complete,
+                "lineage trace {} is missing a lifecycle stage: {:?}",
+                root.trace,
+                in_trace.iter().map(|s| s.name).collect::<Vec<_>>()
+            );
+            let adopt_nodes: std::collections::BTreeSet<&str> = in_trace
+                .iter()
+                .filter(|s| s.name == "adopt")
+                .map(|s| s.node.as_str())
+                .collect();
+            assert_eq!(
+                adopt_nodes.len(),
+                nodes - 1,
+                "not every follower's adoption joined the lineage trace: {adopt_nodes:?}"
+            );
+            lineage = Some(LineagePoint {
+                nodes,
+                trace_id: root.trace.to_string(),
+                spans: in_trace.len(),
+                adopts: adopt_nodes.len(),
+                complete,
+                traces: cluster.spans().to_node().render(),
+            });
+        }
+
         // --- Restart recovery, on the largest fleet with followers.
         if nodes == largest && nodes >= 2 {
             let leader_generation = cluster.leader().generation();
@@ -1472,6 +1577,7 @@ pub fn run_cluster_bench(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
         workers_per_node: cfg.workers_per_node,
         generations: cfg.generations,
         scaling,
+        lineage: lineage.expect("node_counts must include a multi-node fleet (≥ 2)"),
         restart: restart.expect("node_counts must include a multi-node fleet (≥ 2)"),
         failover,
         chaos,
@@ -1495,7 +1601,8 @@ impl ChaosPoint {
              \"recovered_all_healthy\": {}, \"plans_identical\": {}, \
              \"retained_checkpoints\": {}, \"tmp_files\": {}, \
              \"leader_recovery_ms\": {:.2}, \"events_recorded\": {}, \
-             \"events_dropped\": {}, \"telemetry_ticks\": {}, \
+             \"events_dropped\": {}, \"sync_p99_exemplar\": \"{}\", \
+             \"sync_exemplar_resolvable\": {}, \"telemetry_ticks\": {}, \
              \"slo_fast_burns\": {}, \"budget_burn_before_lease_lapse\": {}, \
              \"slo_budget_after_outage\": {:.4}, \"slo_budget_final\": {:.4}, \
              \"fleet\": {}}}",
@@ -1531,6 +1638,8 @@ impl ChaosPoint {
             self.leader_recovery_ms,
             self.events_recorded,
             self.events_dropped,
+            self.sync_p99_exemplar,
+            self.sync_exemplar_resolvable,
             self.telemetry_ticks,
             self.slo_fast_burns,
             self.budget_burn_before_lease_lapse,
@@ -1581,6 +1690,17 @@ impl ClusterBenchReport {
             ));
         }
         s.push_str("  ],\n");
+        let l = &self.lineage;
+        s.push_str(&format!(
+            "  \"lineage\": {{\"nodes\": {}, \"trace_id\": \"{}\", \"spans\": {}, \
+             \"adopts\": {}, \"complete\": {}, \"traces\": {}}},\n",
+            l.nodes,
+            l.trace_id,
+            l.spans,
+            l.adopts,
+            l.complete,
+            l.traces.trim_end()
+        ));
         let r = &self.restart;
         s.push_str(&format!(
             "  \"restart\": {{\"nodes\": {}, \"leader_generation\": {}, \
@@ -1639,6 +1759,15 @@ mod tests {
             assert!(p.aggregate_hit_qps > 0.0);
             assert_eq!(p.per_node_search_qps.len(), p.nodes);
         }
+        // Generation lineage (ISSUE 9): the last trained generation left
+        // one complete causal trace — drain → train → checkpoint →
+        // publish → store write plus the follower's adoption — and the
+        // ring dump it rode in on is well-formed JSON.
+        let l = &report.lineage;
+        assert!(l.complete);
+        assert_eq!(l.adopts, l.nodes - 1);
+        assert!(l.spans >= 7, "lineage trace suspiciously thin: {}", l.spans);
+        assert!(neo_obs::validate(&l.traces).is_ok(), "lineage traces JSON");
         assert_eq!(report.restart.nodes, 2);
         assert_eq!(
             report.restart.recovered_generation,
@@ -1681,6 +1810,11 @@ mod tests {
         assert!(neo_obs::validate(&c.fleet).is_ok(), "fleet snapshot JSON");
         assert!(c.fleet.contains("\"events\""));
         assert!(c.fleet.contains("\"nodes\""));
+        // Tail-latency exemplar: the chaos fleet's sync p99 bucket links
+        // to a trace resolvable in the snapshot's `traces` section.
+        assert!(c.sync_exemplar_resolvable);
+        assert!(c.fleet.contains("\"traces\""));
+        assert!(c.fleet.contains(&c.sync_p99_exemplar));
         // Telemetry: the sampler scraped the fleet throughout the storm,
         // the sync SLO's fast burn window tripped before the resigned
         // regime's lease lapsed, and the error budget refilled once the
@@ -1695,6 +1829,8 @@ mod tests {
         assert!(c.metrics.counter("cluster_sync_adoptions_total").is_some());
         let json = report.to_json();
         assert!(neo_obs::validate(&json).is_ok(), "report JSON malformed");
+        assert!(json.contains("\"lineage\""));
+        assert!(json.contains(&l.trace_id));
         assert!(json.contains("\"plans_identical\": true"));
         assert!(json.contains("\"retrained_during_recovery\": false"));
         assert!(json.contains("\"survivors_identical\": true"));

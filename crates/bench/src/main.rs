@@ -43,7 +43,9 @@
 //!                      --chaos-seed S tune the schedule)
 //!   obs-report        text dashboard over any BENCH_*.json envelope:
 //!                     sparklined time series, SLO error budgets, hot
-//!                     fingerprints, regression verdicts
+//!                     fingerprints, regression verdicts, per-trace span
+//!                     waterfalls (self-time + critical path), and the
+//!                     histogram-tail exemplar table
 //!   all               every figure/table experiment above, in order
 //!                     (the bench-* / *-bench commands run separately:
 //!                      they write JSON reports and assert their own
@@ -249,6 +251,15 @@ fn main() {
                 report.obs_overhead.qps_obs_off,
                 report.obs_overhead.ratio,
                 neo_bench::serve_bench::OBS_OVERHEAD_FLOOR,
+            );
+            eprintln!(
+                "span overhead on the cold path: {:.1} qps tracing on vs {:.1} qps off \
+                 (ratio {:.4}, floor {:.2}, {} span(s) committed)",
+                report.span_overhead.qps_tracing_on,
+                report.span_overhead.qps_tracing_off,
+                report.span_overhead.ratio,
+                neo_bench::serve_bench::SPAN_OVERHEAD_FLOOR,
+                report.span_overhead.spans_recorded,
             );
             assert!(
                 report.plans_match_single_threaded,

@@ -5,8 +5,10 @@
 //! bench nests its observability sections, it walks the whole parsed
 //! tree and renders every `series` array (ASCII sparklines), every
 //! `slo` status array (error-budget table), every `hot` fingerprint
-//! array, and every `regressions` verdict it finds, tagged with the
-//! dotted path where it was found. A chaos envelope (fleet snapshot
+//! array, every `traces` span-ring dump (per-trace waterfalls with
+//! self-time and the critical path), every histogram's `p99_exemplar`
+//! trace link, and every `regressions` verdict it finds, tagged with
+//! the dotted path where it was found. A chaos envelope (fleet snapshot
 //! embedded under `report.chaos.fleet`) and a serve envelope therefore
 //! render through the same code.
 
@@ -119,14 +121,206 @@ fn render_slos(out: &mut String, path: &str, slos: &[JsonNode]) {
 fn render_hot(out: &mut String, path: &str, hot: &[JsonNode]) {
     out.push_str(&format!("hot fingerprints at {path}:\n"));
     for h in hot {
+        // Older envelopes have no worst-probe exemplar; render "-".
+        let worst = h
+            .get("worst_trace")
+            .and_then(JsonNode::as_str)
+            .unwrap_or("-");
         out.push_str(&format!(
             "  {fp:<34} hits {hits:<6} misses {misses:<6} ewma {ewma:.3} ms  \
-             regret {regret:.3} ms\n",
+             regret {regret:.3} ms  worst {worst_ms:.3} ms trace {worst}\n",
             fp = str_field(h, "fingerprint"),
             hits = f64_field(h, "hits") as u64,
             misses = f64_field(h, "misses") as u64,
             ewma = f64_field(h, "latency_ewma_ms"),
             regret = f64_field(h, "regret_ms"),
+            worst_ms = f64_field(h, "worst_ms"),
+        ));
+    }
+}
+
+/// `end_us − start_us` of one span object, microseconds.
+fn span_dur_us(s: &JsonNode) -> f64 {
+    f64_field(s, "end_us") - f64_field(s, "start_us")
+}
+
+/// Renders one `traces` section (a span-ring dump: `spans` array plus
+/// `recorded`/`dropped` totals) as per-trace waterfalls.
+fn render_traces(out: &mut String, path: &str, section: &JsonNode) {
+    let spans = section
+        .get("spans")
+        .and_then(JsonNode::as_arr)
+        .unwrap_or(&[]);
+    // Group by trace id, first-seen order (≈ record order).
+    let mut order: Vec<&str> = Vec::new();
+    let mut by_trace: std::collections::HashMap<&str, Vec<&JsonNode>> =
+        std::collections::HashMap::new();
+    for s in spans {
+        let tid = str_field(s, "trace");
+        by_trace
+            .entry(tid)
+            .or_insert_with(|| {
+                order.push(tid);
+                Vec::new()
+            })
+            .push(s);
+    }
+    out.push_str(&format!(
+        "traces at {path}: {n} trace(s), recorded {rec}, dropped {drop}\n",
+        n = order.len(),
+        rec = f64_field(section, "recorded") as u64,
+        drop = f64_field(section, "dropped") as u64,
+    ));
+    for tid in order {
+        render_trace(out, tid, &by_trace[tid]);
+    }
+}
+
+/// One trace: a header line per root (`children N` is the direct-child
+/// count), its critical path (the longest-child chain), and the
+/// waterfall with per-span self-time. A span whose parent fell out of
+/// the ring's retained window renders as its own root.
+fn render_trace(out: &mut String, tid: &str, spans: &[&JsonNode]) {
+    let ids: std::collections::HashSet<&str> = spans.iter().map(|s| str_field(s, "span")).collect();
+    let mut children: std::collections::HashMap<&str, Vec<usize>> =
+        std::collections::HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.get("parent").and_then(JsonNode::as_str) {
+            Some(p) if ids.contains(p) => children.entry(p).or_default().push(i),
+            _ => roots.push(i),
+        }
+    }
+    let by_start = |a: &usize, b: &usize| {
+        f64_field(spans[*a], "start_us").total_cmp(&f64_field(spans[*b], "start_us"))
+    };
+    for kids in children.values_mut() {
+        kids.sort_by(by_start);
+    }
+    roots.sort_by(by_start);
+    for &r in &roots {
+        let root = spans[r];
+        let direct = children.get(str_field(root, "span")).map_or(0, Vec::len);
+        out.push_str(&format!(
+            "  trace {tid}: root {name} @{node} {dur:.3} ms, spans {total}, children {direct}\n",
+            name = str_field(root, "name"),
+            node = str_field(root, "node"),
+            dur = span_dur_us(root) / 1e3,
+            total = spans.len(),
+        ));
+        // Critical path: from the root, always follow the longest child.
+        let mut crit: Vec<String> = Vec::new();
+        let mut cur = r;
+        for _ in 0..16 {
+            crit.push(format!(
+                "{} ({:.3} ms)",
+                str_field(spans[cur], "name"),
+                span_dur_us(spans[cur]) / 1e3
+            ));
+            let Some(kids) = children.get(str_field(spans[cur], "span")) else {
+                break;
+            };
+            let Some(next) = kids
+                .iter()
+                .copied()
+                .max_by(|&a, &b| span_dur_us(spans[a]).total_cmp(&span_dur_us(spans[b])))
+            else {
+                break;
+            };
+            cur = next;
+        }
+        out.push_str(&format!("    critical path: {}\n", crit.join(" -> ")));
+        waterfall(out, spans, &children, r, f64_field(root, "start_us"), 0);
+    }
+}
+
+/// Recursive waterfall line: offset from the root's start, duration,
+/// self-time (duration minus direct children), and the span's attrs.
+fn waterfall(
+    out: &mut String,
+    spans: &[&JsonNode],
+    children: &std::collections::HashMap<&str, Vec<usize>>,
+    i: usize,
+    t0: f64,
+    depth: usize,
+) {
+    // A malformed parent cycle must render truncated, not recurse forever.
+    if depth > 16 {
+        return;
+    }
+    let s = spans[i];
+    let kids: &[usize] = children
+        .get(str_field(s, "span"))
+        .map_or(&[], Vec::as_slice);
+    let child_sum: f64 = kids.iter().map(|&k| span_dur_us(spans[k])).sum();
+    let self_ms = (span_dur_us(s) - child_sum).max(0.0) / 1e3;
+    let attrs = match s.get("attrs") {
+        Some(JsonNode::Obj(fields)) if !fields.is_empty() => {
+            let kv: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                .collect();
+            format!("  {{{}}}", kv.join(" "))
+        }
+        _ => String::new(),
+    };
+    out.push_str(&format!(
+        "    {pad}{name:<16} @{node:<10} +{off:>9.3} ms {dur:>9.3} ms  self {self_ms:>8.3} ms{attrs}\n",
+        pad = "  ".repeat(depth),
+        name = str_field(s, "name"),
+        node = str_field(s, "node"),
+        off = (f64_field(s, "start_us") - t0) / 1e3,
+        dur = span_dur_us(s) / 1e3,
+    ));
+    for &k in kids {
+        waterfall(out, spans, children, k, t0, depth + 1);
+    }
+}
+
+/// Collects every histogram object carrying a non-null `p99_exemplar`
+/// (the tail bucket's trace link), tagged with its dotted path.
+fn find_exemplar_histograms<'a>(
+    node: &'a JsonNode,
+    path: String,
+    out: &mut Vec<(String, &'a JsonNode)>,
+) {
+    match node {
+        JsonNode::Obj(fields) => {
+            if matches!(node.get("p99_exemplar"), Some(JsonNode::Str(_))) {
+                out.push((path.clone(), node));
+            }
+            for (k, v) in fields {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                find_exemplar_histograms(v, p, out);
+            }
+        }
+        JsonNode::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let p = if path.is_empty() {
+                    i.to_string()
+                } else {
+                    format!("{path}.{i}")
+                };
+                find_exemplar_histograms(item, p, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The exemplar table: every histogram tail next to the trace id that
+/// explains it (resolve the id in a rendered `traces` section above).
+fn render_exemplars(out: &mut String, entries: &[(String, &JsonNode)]) {
+    out.push_str("histogram p99 exemplars (tail bucket -> trace):\n");
+    for (path, hist) in entries {
+        out.push_str(&format!(
+            "  {path:<56} p99 {p99:.3} ms  trace {t}\n",
+            p99 = f64_field(hist, "p99_ms"),
+            t = str_field(hist, "p99_exemplar"),
         ));
     }
 }
@@ -186,6 +380,18 @@ pub fn render_report(doc: &JsonNode, label: &str) -> String {
             render_hot(&mut out, &path, hot);
             sections += 1;
         }
+    }
+    for (path, node) in find_sections(doc, "traces") {
+        if node.get("spans").and_then(JsonNode::as_arr).is_some() {
+            render_traces(&mut out, &path, node);
+            sections += 1;
+        }
+    }
+    let mut exemplars = Vec::new();
+    find_exemplar_histograms(doc, String::new(), &mut exemplars);
+    if !exemplars.is_empty() {
+        render_exemplars(&mut out, &exemplars);
+        sections += 1;
     }
     for (path, node) in find_sections(doc, "regressions") {
         if node.get("findings").is_some() {
@@ -269,5 +475,61 @@ mod tests {
         let doc = neo_obs::parse("{\"bench\": \"search\", \"wall_clock_s\": 1.0}").expect("parses");
         let text = render_report(&doc, "plain");
         assert!(text.contains("0 observability section(s)"));
+    }
+
+    #[test]
+    fn trace_view_renders_waterfall_critical_path_and_exemplars() {
+        let doc = neo_obs::parse(
+            r#"{
+              "bench": "serve",
+              "wall_clock_s": 1.0,
+              "report": {
+                "metrics": {
+                  "serve_optimize_ms": {"count": 10, "mean_ms": 1.0, "p50_ms": 0.5,
+                    "p95_ms": 4.0, "p99_ms": 4.5, "max_ms": 5.0,
+                    "p99_exemplar": "00000000000feed1"},
+                  "serve_warm_ms": {"count": 3, "mean_ms": 0.1, "p50_ms": 0.1,
+                    "p95_ms": 0.2, "p99_ms": 0.2, "max_ms": 0.2,
+                    "p99_exemplar": null}
+                },
+                "traces": {
+                  "spans": [
+                    {"seq": 0, "trace": "00000000000feed1", "span": "000000000000000a",
+                     "parent": null, "name": "optimize", "node": "serve",
+                     "start_us": 100, "end_us": 5100, "attrs": {"query": "q7"}},
+                    {"seq": 1, "trace": "00000000000feed1", "span": "000000000000000b",
+                     "parent": "000000000000000a", "name": "cache_probe", "node": "serve",
+                     "start_us": 110, "end_us": 160, "attrs": {}},
+                    {"seq": 2, "trace": "00000000000feed1", "span": "000000000000000c",
+                     "parent": "000000000000000a", "name": "search", "node": "serve",
+                     "start_us": 200, "end_us": 4900, "attrs": {}},
+                    {"seq": 3, "trace": "00000000000feed1", "span": "000000000000000d",
+                     "parent": "000000000000000a", "name": "cache_insert", "node": "serve",
+                     "start_us": 4950, "end_us": 5000, "attrs": {}}
+                  ],
+                  "recorded": 4,
+                  "dropped": 0
+                }
+              }
+            }"#,
+        )
+        .expect("trace doc parses");
+        let text = render_report(&doc, "trace-test");
+        // Root line carries the direct-child count and the trace id.
+        assert!(text.contains("trace 00000000000feed1: root optimize @serve"));
+        assert!(text.contains("children 3"));
+        // Critical path follows the longest child.
+        assert!(text.contains("critical path: optimize (5.000 ms) -> search (4.700 ms)"));
+        // Waterfall keeps every child and renders attrs inline.
+        assert!(text.contains("cache_probe"));
+        assert!(text.contains("cache_insert"));
+        assert!(text.contains("{query=q7}"));
+        // Non-null exemplars render with their histogram path; null ones don't.
+        assert!(text.contains("histogram p99 exemplars"));
+        assert!(text.contains("report.metrics.serve_optimize_ms"));
+        assert!(text.contains("trace 00000000000feed1\n"));
+        assert!(!text.contains("serve_warm_ms "));
+        // Traces + exemplar table count as sections.
+        assert!(text.contains("2 observability section(s)"));
     }
 }

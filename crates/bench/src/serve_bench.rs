@@ -42,6 +42,13 @@ pub const OBS_OVERHEAD_FLOOR: f64 = 0.95;
 /// the same noise headroom as the metrics floor above.
 pub const SAMPLER_OVERHEAD_FLOOR: f64 = 0.95;
 
+/// Minimum acceptable `qps(tracing on) / qps(tracing off)` on the cold
+/// search path — causal span tracing at its default head-sampling rate
+/// (plus the always-keep-slow tail latch) must cost ≤ 2% qps to earn its
+/// on-by-default config; the floor carries the same burst-contention
+/// headroom as the two gates above.
+pub const SPAN_OVERHEAD_FLOOR: f64 = 0.95;
+
 /// Sizing knobs for one serve-bench run.
 #[derive(Clone, Debug)]
 pub struct ServeBenchConfig {
@@ -166,6 +173,26 @@ pub struct ObsOverhead {
     pub ratio: f64,
 }
 
+/// Cold-path throughput with causal span tracing on vs off (metrics are
+/// on in both trials — this isolates the tracer's guard/buffer cost at
+/// its default 1-in-N head sampling + slow-trace latch, where
+/// [`ObsOverhead`] isolates the recording instruments').
+#[derive(Clone, Copy, Debug)]
+pub struct SpanOverhead {
+    /// Worker threads used for the comparison (highest configured level).
+    pub workers: usize,
+    /// Best-window cold qps with tracing at its default config.
+    pub qps_tracing_on: f64,
+    /// Best-window cold qps with tracing disabled.
+    pub qps_tracing_off: f64,
+    /// `qps_tracing_on / qps_tracing_off`; must stay ≥
+    /// [`SPAN_OVERHEAD_FLOOR`] in release builds.
+    pub ratio: f64,
+    /// Max spans committed to the ring across the on-trials — proves the
+    /// comparison actually recorded traces, not just guards.
+    pub spans_recorded: u64,
+}
+
 /// Cold-path throughput with the background telemetry sampler running
 /// vs stopped (metrics are on in both trials — this isolates the
 /// sampler thread's own cost, where [`ObsOverhead`] isolates the
@@ -216,6 +243,13 @@ pub struct ServeBenchReport {
     /// Cold-path throughput with the telemetry sampler on vs off
     /// (asserted ≥ its own floor).
     pub sampler_overhead: SamplerOverhead,
+    /// Cold-path throughput with span tracing on vs off (asserted ≥ its
+    /// own floor).
+    pub span_overhead: SpanOverhead,
+    /// The highest-concurrency mixed service's span ring as JSON
+    /// (`spans` / `recorded` / `dropped`): the per-request waterfalls the
+    /// histograms' `p99_exemplar` trace ids resolve into.
+    pub traces: String,
     /// Hottest query fingerprints from the highest-concurrency mixed
     /// service — the `obs-report` dashboard's hot-set table.
     pub hot: Vec<neo_obs::FingerprintStat>,
@@ -276,7 +310,13 @@ fn fixture(cfg: &ServeBenchConfig) -> Fixture {
     }
 }
 
-fn service(fx: &Fixture, workers: usize, use_cache: bool, obs: bool) -> OptimizerService {
+fn service(
+    fx: &Fixture,
+    workers: usize,
+    use_cache: bool,
+    obs: bool,
+    tracing: bool,
+) -> OptimizerService {
     OptimizerService::new(
         Arc::clone(&fx.db),
         Arc::clone(&fx.featurizer),
@@ -288,6 +328,7 @@ fn service(fx: &Fixture, workers: usize, use_cache: bool, obs: bool) -> Optimize
             search_base_expansions: BASE_EXPANSIONS,
             wavefront: DEFAULT_WAVEFRONT,
             obs,
+            tracing,
             ..Default::default()
         },
     )
@@ -398,7 +439,7 @@ fn timed_passes(
 fn measure_obs_overhead(fx: &Fixture, cold_stream: &[Query], workers: usize) -> ObsOverhead {
     let warmup_len = cold_stream.len().min(fx.cold.len());
     let (qps_on, qps_off) = measure_overhead_ab(cold_stream, warmup_len, |side, warmup, passes| {
-        let svc = service(fx, workers, false, side == 0);
+        let svc = service(fx, workers, false, side == 0, true);
         timed_passes(&svc, cold_stream, warmup, passes)
     });
     let ratio = qps_on / qps_off.max(1e-9);
@@ -436,7 +477,7 @@ fn measure_sampler_overhead(
     let mut ticks = 0u64;
     let (qps_on, qps_off) = measure_overhead_ab(cold_stream, warmup_len, |side, warmup, passes| {
         let sampler_on = side == 0;
-        let svc = service(fx, workers, false, true);
+        let svc = service(fx, workers, false, true, true);
         if sampler_on {
             svc.start_telemetry(neo_obs::SamplerConfig {
                 tick_interval_ms: 100,
@@ -470,6 +511,45 @@ fn measure_sampler_overhead(
         qps_sampler_off: qps_off,
         ratio,
         ticks,
+    }
+}
+
+/// Measures cold-path qps with causal span tracing at its default config
+/// (1-in-64 head sampling + the ≥10 ms slow-trace latch) vs disabled,
+/// metrics on in both trials. Best-window A/B (see
+/// [`measure_overhead_ab`]); asserts the ratio stays above
+/// [`SPAN_OVERHEAD_FLOOR`] (release builds only — debug qps is
+/// build-mode-bound, not tracer-bound).
+fn measure_span_overhead(fx: &Fixture, cold_stream: &[Query], workers: usize) -> SpanOverhead {
+    let warmup_len = cold_stream.len().min(fx.cold.len());
+    let mut spans_recorded = 0u64;
+    let (qps_on, qps_off) = measure_overhead_ab(cold_stream, warmup_len, |side, warmup, passes| {
+        let tracing_on = side == 0;
+        let svc = service(fx, workers, false, true, tracing_on);
+        let wall = timed_passes(&svc, cold_stream, warmup, passes);
+        if tracing_on {
+            spans_recorded = spans_recorded.max(svc.span_ring().recorded());
+        }
+        wall
+    });
+    let ratio = qps_on / qps_off.max(1e-9);
+    assert!(
+        cfg!(debug_assertions) || ratio >= SPAN_OVERHEAD_FLOOR,
+        "span tracing too expensive on the cold path: {:.1} qps with tracing vs \
+         {:.1} without (ratio {ratio:.4} < {SPAN_OVERHEAD_FLOOR})",
+        qps_on,
+        qps_off
+    );
+    assert!(
+        spans_recorded > 0,
+        "the tracing side of the span-overhead A/B never committed a span"
+    );
+    SpanOverhead {
+        workers,
+        qps_tracing_on: qps_on,
+        qps_tracing_off: qps_off,
+        ratio,
+        spans_recorded,
     }
 }
 
@@ -528,7 +608,7 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     // --- Cold scaling (cache disabled).
     let mut cold_points: Vec<ColdPoint> = Vec::new();
     for &w in &cfg.worker_levels {
-        let svc = service(&fx, w, false, true);
+        let svc = service(&fx, w, false, true, true);
         // Warm-up pass: thread spawn, scratch growth, allocator steady state.
         svc.optimize_stream(&cold_stream[..cold_stream.len().min(fx.cold.len())]);
         let start = Instant::now();
@@ -551,8 +631,9 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     let mut plans_match = true;
     let mut last_metrics = neo_obs::MetricsSnapshot::default();
     let mut hot: Vec<neo_obs::FingerprintStat> = Vec::new();
+    let mut last_traces = String::new();
     for &w in &cfg.worker_levels {
-        let svc = service(&fx, w, true, true);
+        let svc = service(&fx, w, true, true, true);
         // Warm-up on throwaway perturbed variants (thread spawn, scratch
         // growth), then flush the cache so the timed stream starts cold —
         // the hit rate below comes from the timed outcomes only.
@@ -607,6 +688,7 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
         assert_metrics_consistent(&snap, warmup.len() + mixed_stream.len());
         last_metrics = snap;
         hot = svc.hot_fingerprints(5);
+        last_traces = svc.traces_node().render();
     }
 
     let last = mixed_points.last().expect("at least one worker level");
@@ -623,6 +705,9 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     // --- Sampler overhead on the same path (second in-binary gate).
     let sampler_overhead = measure_sampler_overhead(&fx, &cold_stream, top_workers);
 
+    // --- Span-tracing overhead on the same path (third in-binary gate).
+    let span_overhead = measure_span_overhead(&fx, &cold_stream, top_workers);
+
     ServeBenchReport {
         available_parallelism: crate::host_parallelism(),
         cold_queries: fx.cold.len(),
@@ -635,6 +720,8 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
         plans_match_single_threaded: plans_match,
         obs_overhead,
         sampler_overhead,
+        span_overhead,
+        traces: last_traces,
         hot,
         metrics: last_metrics,
     }
@@ -728,6 +815,16 @@ impl ServeBenchReport {
             self.sampler_overhead.ratio,
             self.sampler_overhead.ticks
         ));
+        s.push_str(&format!(
+            "  \"span_overhead\": {{\"workers\": {}, \"qps_tracing_on\": {:.1}, \
+             \"qps_tracing_off\": {:.1}, \"ratio\": {:.4}, \"spans_recorded\": {}}},\n",
+            self.span_overhead.workers,
+            self.span_overhead.qps_tracing_on,
+            self.span_overhead.qps_tracing_off,
+            self.span_overhead.ratio,
+            self.span_overhead.spans_recorded
+        ));
+        s.push_str(&format!("  \"traces\": {},\n", self.traces.trim_end()));
         s.push_str("  \"hot\": [\n");
         for (i, h) in self.hot.iter().enumerate() {
             s.push_str(&format!(
@@ -823,6 +920,15 @@ mod tests {
             report.sampler_overhead.ticks > 0,
             "sampler never ticked during the overhead trial"
         );
+        // The span-overhead gate asserted its release-build floor
+        // in-binary and actually committed spans on the tracing side.
+        assert!(report.span_overhead.ratio > 0.5);
+        assert!(report.span_overhead.spans_recorded > 0);
+        // The traces section holds real per-request waterfalls: at least
+        // one `optimize` root with serving-stage children.
+        assert!(neo_obs::validate(&report.traces).is_ok(), "traces JSON");
+        assert!(report.traces.contains("\"optimize\""));
+        assert!(report.traces.contains("\"search\""));
         // The hot-set table behind the obs-report dashboard is populated.
         assert!(!report.hot.is_empty());
         assert!(report.hot.iter().any(|h| h.hits > 0));
@@ -833,6 +939,8 @@ mod tests {
         assert!(json.contains("\"plans_match_single_threaded\": true"));
         assert!(json.contains("\"obs_overhead\""));
         assert!(json.contains("\"sampler_overhead\""));
+        assert!(json.contains("\"span_overhead\""));
+        assert!(json.contains("\"traces\""));
         assert!(json.contains("\"hot\": ["));
         assert!(neo_obs::validate(&json).is_ok(), "report JSON malformed");
     }

@@ -449,6 +449,20 @@ impl CheckpointStore for FaultInjectingStore {
         self.inner.publish_fenced(generation, term, framed)
     }
 
+    fn publish_fenced_traced(
+        &self,
+        generation: u64,
+        term: u64,
+        framed: &[u8],
+        trace: Option<neo_obs::SpanContext>,
+    ) -> io::Result<()> {
+        // Same gate as every publish; the lineage context rides through
+        // to the inner store untouched.
+        self.publish_gate(generation, framed)?;
+        self.inner
+            .publish_fenced_traced(generation, term, framed, trace)
+    }
+
     fn manifest(&self) -> io::Result<Option<Manifest>> {
         let verdict = self.intercept(OpClass::Manifest)?;
         if let Some(n) = verdict.fault {

@@ -11,7 +11,7 @@ use crate::node::{ClusterNode, NodeConfig};
 use crate::store::CheckpointStore;
 use neo::{Featurizer, ValueNet};
 use neo_learn::{ExperienceSink, ReplayConfig, RetryPolicy, TrainerConfig};
-use neo_obs::{EventRing, FleetSnapshot, JsonNode, SamplerConfig, TelemetrySampler};
+use neo_obs::{EventRing, FleetSnapshot, JsonNode, SamplerConfig, SpanRing, TelemetrySampler};
 use neo_serve::{HealthPolicy, HealthSnapshot, HealthState, ServeConfig};
 use neo_storage::Database;
 use std::io;
@@ -65,11 +65,22 @@ pub struct ClusterConfig {
     /// ring of [`DEFAULT_EVENT_CAPACITY`] slots; pass a ring to share it
     /// with a chaos store's fault trace.
     pub events: Option<Arc<EventRing>>,
+    /// Shared causal span ring for the whole fleet: the leader's trainer
+    /// roots one lineage trace per generation (drain → train →
+    /// checkpoint → publish → store write) and every follower's adoption
+    /// records into the same trace via the manifest's span context.
+    /// `None` makes the fleet create its own ring of
+    /// [`DEFAULT_SPAN_CAPACITY`] slots.
+    pub spans: Option<Arc<SpanRing>>,
 }
 
 /// Event-ring slots a fleet allocates when [`ClusterConfig::events`] is
 /// `None`.
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Span-ring slots a fleet allocates when [`ClusterConfig::spans`] is
+/// `None`.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
 
 impl Default for ClusterConfig {
     fn default() -> Self {
@@ -86,6 +97,7 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             health: HealthPolicy::default(),
             events: None,
+            spans: None,
         }
     }
 }
@@ -98,6 +110,8 @@ pub struct Cluster {
     store: Arc<dyn CheckpointStore>,
     /// The fleet-wide structured-event ring every node records into.
     events: Arc<EventRing>,
+    /// The fleet-wide causal span ring (generation lineage traces).
+    spans: Arc<SpanRing>,
     /// The optional fleet telemetry sampler (one per cluster), started
     /// on demand; watches every node's registry under its node name.
     telemetry: Mutex<Option<Arc<TelemetrySampler>>>,
@@ -129,6 +143,10 @@ impl Cluster {
             .events
             .get_or_insert_with(|| Arc::new(EventRing::new(DEFAULT_EVENT_CAPACITY)))
             .clone();
+        let spans = cfg
+            .spans
+            .get_or_insert_with(|| Arc::new(SpanRing::new(DEFAULT_SPAN_CAPACITY)))
+            .clone();
         let sink = Arc::new(ExperienceSink::default());
         let mut nodes = Vec::with_capacity(cfg.nodes);
         nodes.push(ClusterNode::leader(
@@ -157,6 +175,7 @@ impl Cluster {
             sink,
             store,
             events,
+            spans,
             telemetry: Mutex::new(None),
             db,
             featurizer,
@@ -183,6 +202,7 @@ impl Cluster {
             retry: cfg.retry,
             health: cfg.health,
             events: cfg.events.clone(),
+            spans: cfg.spans.clone(),
         }
     }
 
@@ -304,6 +324,14 @@ impl Cluster {
         &self.events
     }
 
+    /// The fleet-wide causal span ring: one lineage trace per trained
+    /// generation, from the leader's sink drain through every follower's
+    /// adoption. Share it via [`ClusterConfig::spans`] to interleave
+    /// spans from outside the fleet (e.g. a co-located serving path).
+    pub fn spans(&self) -> &Arc<SpanRing> {
+        &self.spans
+    }
+
     /// Starts the fleet telemetry sampler (or returns the one already
     /// running): every node's metrics registry is watched under its node
     /// name, and `BudgetBurn`/`SloBreach` events land in the shared
@@ -371,6 +399,7 @@ impl Cluster {
             "events_recorded_total",
             JsonNode::U64(self.events.recorded()),
         );
+        snap.push("traces", self.spans.to_node());
         if let Some(sampler) = self.telemetry() {
             snap.push("series", sampler.series_node());
             snap.push("slo", sampler.slo_node());

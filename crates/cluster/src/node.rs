@@ -52,7 +52,9 @@ use neo_learn::{
     BackgroundTrainer, ExperienceSink, GenerationObserver, ReplayConfig, RetryPolicy,
     RetrySnapshot, RetryStats, TrainerConfig,
 };
-use neo_obs::{Counter, EventKind, EventRing, Gauge, LatencyHistogram};
+use neo_obs::{
+    Counter, EventKind, EventRing, Gauge, LatencyHistogram, SpanContext, SpanGuard, SpanRing,
+};
 use neo_serve::{
     join_named_or_ignore_during_unwind, HealthPolicy, HealthSnapshot, HealthState, HealthTracker,
     OptimizerService, ServeConfig,
@@ -116,6 +118,13 @@ pub struct NodeConfig {
     /// name). A fleet passes one ring to every node so the trace
     /// interleaves; `None` disables event recording.
     pub events: Option<Arc<EventRing>>,
+    /// Shared causal span ring: the leader's trainer roots a lineage
+    /// trace per generation, its store publish records a `store_write`
+    /// child, and every follower's adoption continues the same trace
+    /// (stitched through the manifest's span context). A fleet passes
+    /// one ring to every node so a generation's whole life lands in one
+    /// trace; `None` disables span recording.
+    pub spans: Option<Arc<SpanRing>>,
 }
 
 impl Default for NodeConfig {
@@ -131,6 +140,7 @@ impl Default for NodeConfig {
             retry: RetryPolicy::default(),
             health: HealthPolicy::default(),
             events: None,
+            spans: None,
         }
     }
 }
@@ -147,17 +157,55 @@ struct StorePublisher {
     retain_generations: Option<usize>,
     /// Running count of GC-collected checkpoints (shared with the node).
     gc_removed: Arc<AtomicU64>,
+    /// Publishing node's name (span labels).
+    node: String,
+    /// Shared span ring: each persisted generation records a
+    /// `store_write` child under the trainer's lineage trace.
+    spans: Option<Arc<SpanRing>>,
 }
 
-impl GenerationObserver for StorePublisher {
-    fn on_checkpoint(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
-        self.store.publish_fenced(generation, self.term, framed)?;
+impl StorePublisher {
+    fn persist(
+        &self,
+        generation: u64,
+        framed: &[u8],
+        trace: Option<SpanContext>,
+    ) -> io::Result<()> {
+        self.store
+            .publish_fenced_traced(generation, self.term, framed, trace)?;
         if let Some(keep) = self.retain_generations {
             if let Ok(removed) = self.store.retain(keep) {
                 self.gc_removed.fetch_add(removed as u64, Ordering::Relaxed);
             }
         }
         Ok(())
+    }
+}
+
+impl GenerationObserver for StorePublisher {
+    fn on_checkpoint(&self, generation: u64, framed: &[u8]) -> io::Result<()> {
+        self.persist(generation, framed, None)
+    }
+
+    fn on_checkpoint_traced(
+        &self,
+        generation: u64,
+        framed: &[u8],
+        trace: Option<SpanContext>,
+    ) -> io::Result<()> {
+        let mut span = match (&self.spans, trace) {
+            (Some(ring), Some(ctx)) => ring.child_of(ctx, "store_write", &self.node),
+            _ => SpanGuard::noop(),
+        };
+        if span.is_recording() {
+            span.attr("generation", format!("{generation}"));
+            span.attr("term", format!("{}", self.term));
+        }
+        let result = self.persist(generation, framed, trace);
+        if result.is_err() && span.is_recording() {
+            span.attr("error", "true");
+        }
+        result
     }
 }
 
@@ -252,6 +300,8 @@ struct NodeShared {
     /// Checkpoints collected by the retention GC under this node's
     /// leadership.
     gc_removed: Arc<AtomicU64>,
+    /// Shared causal span ring (lineage traces across the fleet).
+    spans: Option<Arc<SpanRing>>,
     /// The fleet trainer while this node leads. Behind a mutex so the
     /// tick thread can promote/demote; handles are `Arc` so accessors
     /// never hold the lock across a wait.
@@ -271,6 +321,17 @@ impl NodeShared {
             return Ok(None);
         }
         let started = Instant::now();
+        // Continue the generation's lineage trace (rooted by the minting
+        // trainer, carried here through the manifest): this node's fetch/
+        // decode/swap is one more `adopt` child of the same trace.
+        let mut adopt_span = match (&self.spans, manifest.trace) {
+            (Some(ring), Some(ctx)) => ring.child_of(ctx, "adopt", &self.name),
+            _ => SpanGuard::noop(),
+        };
+        if adopt_span.is_recording() {
+            adopt_span.attr("generation", format!("{}", manifest.generation));
+            adopt_span.attr("term", format!("{}", manifest.term));
+        }
         let framed = self.store.load(manifest.generation)?;
         let decoded = checkpoint::decode(&framed)?;
         let mut net = self.template.clone();
@@ -282,11 +343,16 @@ impl NodeShared {
             .service
             .publish_model_from(Arc::new(net), manifest.generation, manifest.term)
             .then_some(manifest.generation);
+        if adopt_span.is_recording() {
+            adopt_span.attr("adopted", if adopted.is_some() { "true" } else { "false" });
+        }
+        adopt_span.end();
         if let Some(generation) = adopted {
             self.obs.sync_adoptions.inc();
-            self.obs
-                .sync_hist
-                .record_ms(started.elapsed().as_secs_f64() * 1e3);
+            self.obs.sync_hist.record_ms_traced(
+                started.elapsed().as_secs_f64() * 1e3,
+                manifest.trace.map(|ctx| ctx.trace),
+            );
             self.obs.emit(
                 &self.name,
                 EventKind::ModelSwap,
@@ -310,6 +376,8 @@ impl NodeShared {
             term,
             retain_generations: self.retain_generations,
             gc_removed: Arc::clone(&self.gc_removed),
+            node: self.name.clone(),
+            spans: self.spans.clone(),
         });
         let mut trainer_cfg = self.trainer_cfg.clone();
         trainer_cfg.term = term;
@@ -634,6 +702,11 @@ impl ClusterNode {
         if let Some(ring) = &cfg.events {
             health.attach_events(Arc::clone(ring), cfg.name.clone());
         }
+        // The trainer (whenever this node leads) roots its lineage traces
+        // in the fleet's shared ring, labelled with this node's name.
+        let mut trainer_cfg = trainer_cfg;
+        trainer_cfg.spans = cfg.spans.clone();
+        trainer_cfg.span_node = cfg.name.clone();
         let shared = Arc::new(NodeShared {
             name: cfg.name,
             service,
@@ -652,6 +725,7 @@ impl ClusterNode {
             health,
             held_term: AtomicU64::new(0),
             gc_removed: Arc::new(AtomicU64::new(0)),
+            spans: cfg.spans,
             trainer: Mutex::new(None),
         });
         // Warm recovery: a (re)started node adopts the fleet's latest

@@ -60,6 +60,7 @@
 //! manifest's generation is never deleted, under any interleaving of
 //! publishes and GC runs.
 
+use neo_obs::{SpanContext, SpanId, TraceId};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -86,6 +87,12 @@ pub struct Manifest {
     pub generation: u64,
     /// The lease term under which it was published.
     pub term: u64,
+    /// The generation's lineage-trace context (the trainer's root span),
+    /// when the publish carried one — how a generation's causal trace is
+    /// stitched across nodes: each follower parents its `adopt` span on
+    /// this context. `None` for untraced publishes and manifests written
+    /// before tracing existed.
+    pub trace: Option<SpanContext>,
 }
 
 /// The leader lease: who may publish, under which fenced term, and until
@@ -143,6 +150,22 @@ pub trait CheckpointStore: Send + Sync {
             fence_check(generation, term, &lease)?;
         }
         self.publish_term(generation, term, framed)
+    }
+
+    /// [`Self::publish_fenced`] carrying the generation's lineage-trace
+    /// context into the manifest, so followers can parent their adoption
+    /// spans on the trainer's root span. The default drops the context
+    /// (third-party stores need no trace support); the shipped
+    /// implementations persist it.
+    fn publish_fenced_traced(
+        &self,
+        generation: u64,
+        term: u64,
+        framed: &[u8],
+        trace: Option<SpanContext>,
+    ) -> io::Result<()> {
+        let _ = trace;
+        self.publish_fenced(generation, term, framed)
     }
 
     /// The manifest (latest generation + minting term), `None` for an
@@ -453,7 +476,13 @@ impl FsCheckpointStore {
     /// monotonicity check and the write are one serialized step, so
     /// in-process racing publishers are decided cleanly — exactly one
     /// writes a given generation, the other gets the regression error.
-    fn publish_term_locked(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+    fn publish_term_locked(
+        &self,
+        generation: u64,
+        term: u64,
+        framed: &[u8],
+        trace: Option<SpanContext>,
+    ) -> io::Result<()> {
         verify_frame(framed, "refusing to publish invalid checkpoint")?;
         if let Some(latest) = self.latest_generation()? {
             if generation <= latest {
@@ -468,9 +497,23 @@ impl FsCheckpointStore {
         // (fully published) generation; the orphaned checkpoint is
         // GC-eligible litter for the next `retain`.
         self.write_atomic(&self.checkpoint_path(generation), framed)?;
-        let manifest = format!("{MANIFEST_HEADER}\nlatest={generation}\nterm={term}\n");
+        let mut manifest = format!("{MANIFEST_HEADER}\nlatest={generation}\nterm={term}\n");
+        if let Some(ctx) = trace {
+            manifest.push_str(&format!("trace={:016x}:{:016x}\n", ctx.trace.0, ctx.span.0));
+        }
         self.write_atomic(&self.dir.join(MANIFEST_NAME), manifest.as_bytes())
     }
+}
+
+/// Parses a manifest `trace=<trace-hex>:<span-hex>` value. Tolerant: any
+/// malformation degrades to `None` (the trace context is advisory — a
+/// manifest must never become unreadable over it).
+fn parse_manifest_trace(v: &str) -> Option<SpanContext> {
+    let (t, s) = v.split_once(':')?;
+    Some(SpanContext {
+        trace: TraceId(u64::from_str_radix(t, 16).ok()?),
+        span: SpanId(u64::from_str_radix(s, 16).ok()?),
+    })
 }
 
 impl CheckpointStore for FsCheckpointStore {
@@ -480,10 +523,20 @@ impl CheckpointStore for FsCheckpointStore {
         // the frame checksum bounds the damage of a truly simultaneous
         // cross-process write to a transient, detected load failure.
         let _serialize = self.op_lock.lock().expect("store op lock poisoned");
-        self.publish_term_locked(generation, term, framed)
+        self.publish_term_locked(generation, term, framed, None)
     }
 
     fn publish_fenced(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        self.publish_fenced_traced(generation, term, framed, None)
+    }
+
+    fn publish_fenced_traced(
+        &self,
+        generation: u64,
+        term: u64,
+        framed: &[u8],
+        trace: Option<SpanContext>,
+    ) -> io::Result<()> {
         // Fence check and publish under ONE op-lock acquisition: a lease
         // claim (which also takes the lock) can never land between the
         // two, so an in-process deposed leader is always the one that
@@ -493,7 +546,7 @@ impl CheckpointStore for FsCheckpointStore {
         if let Some(lease) = self.read_lease()? {
             fence_check(generation, term, &lease)?;
         }
-        self.publish_term_locked(generation, term, framed)
+        self.publish_term_locked(generation, term, framed, trace)
     }
 
     fn manifest(&self) -> io::Result<Option<Manifest>> {
@@ -511,12 +564,17 @@ impl CheckpointStore for FsCheckpointStore {
         }
         let mut latest = None;
         let mut term = 0;
+        let mut trace = None;
         for line in lines {
             if let Some(v) = line.strip_prefix("latest=") {
                 latest = v.parse::<u64>().ok();
             } else if let Some(v) = line.strip_prefix("term=") {
                 // Absent in pre-failover manifests: term 0.
                 term = v.parse::<u64>().unwrap_or(0);
+            } else if let Some(v) = line.strip_prefix("trace=") {
+                // Absent in pre-tracing manifests (and for untraced
+                // publishes): no lineage context.
+                trace = parse_manifest_trace(v);
             }
         }
         let generation = latest.ok_or_else(|| {
@@ -525,7 +583,11 @@ impl CheckpointStore for FsCheckpointStore {
                 "malformed manifest: missing 'latest=<generation>' line",
             )
         })?;
-        Ok(Some(Manifest { generation, term }))
+        Ok(Some(Manifest {
+            generation,
+            term,
+            trace,
+        }))
     }
 
     fn load(&self, generation: u64) -> io::Result<Vec<u8>> {
@@ -697,6 +759,9 @@ struct MemInner {
     /// generation → (minting term, framed checkpoint).
     generations: BTreeMap<u64, (u64, Vec<u8>)>,
     lease: Option<LeaderLease>,
+    /// The lineage-trace context the latest publish carried (what the
+    /// filesystem store persists as the manifest's `trace=` line).
+    manifest_trace: Option<SpanContext>,
 }
 
 /// An in-process store (one mutex over generations + lease), for tests
@@ -720,6 +785,7 @@ fn mem_publish_locked(
     generation: u64,
     term: u64,
     framed: &[u8],
+    trace: Option<SpanContext>,
 ) -> io::Result<()> {
     verify_frame(framed, "refusing to publish invalid checkpoint")?;
     if let Some((&latest, _)) = inner.generations.last_key_value() {
@@ -730,35 +796,47 @@ fn mem_publish_locked(
     inner
         .generations
         .insert(generation, (term, framed.to_vec()));
+    // The manifest describes the latest publish: an untraced publish
+    // clears any previous generation's context rather than inheriting it.
+    inner.manifest_trace = trace;
     Ok(())
 }
 
 impl CheckpointStore for MemCheckpointStore {
     fn publish_term(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("store poisoned");
-        mem_publish_locked(&mut inner, generation, term, framed)
+        mem_publish_locked(&mut inner, generation, term, framed, None)
     }
 
     fn publish_fenced(&self, generation: u64, term: u64, framed: &[u8]) -> io::Result<()> {
+        self.publish_fenced_traced(generation, term, framed, None)
+    }
+
+    fn publish_fenced_traced(
+        &self,
+        generation: u64,
+        term: u64,
+        framed: &[u8],
+        trace: Option<SpanContext>,
+    ) -> io::Result<()> {
         // One critical section for fence check + publish: a lease claim
         // cannot land between the two (see the Fs impl for the rationale).
         let mut inner = self.inner.lock().expect("store poisoned");
         if let Some(lease) = &inner.lease {
             fence_check(generation, term, lease)?;
         }
-        mem_publish_locked(&mut inner, generation, term, framed)
+        mem_publish_locked(&mut inner, generation, term, framed, trace)
     }
 
     fn manifest(&self) -> io::Result<Option<Manifest>> {
-        Ok(self
-            .inner
-            .lock()
-            .expect("store poisoned")
+        let inner = self.inner.lock().expect("store poisoned");
+        Ok(inner
             .generations
             .last_key_value()
             .map(|(&g, &(term, _))| Manifest {
                 generation: g,
                 term,
+                trace: inner.manifest_trace,
             }))
     }
 
@@ -966,9 +1044,50 @@ mod tests {
             store.manifest().unwrap(),
             Some(Manifest {
                 generation: 7,
-                term: 0
+                term: 0,
+                trace: None
             })
         );
+    }
+
+    #[test]
+    fn traced_publish_roundtrips_the_lineage_context() {
+        let tmp = TempDir::new("traced-publish");
+        let ctx = SpanContext {
+            trace: TraceId(0xabc),
+            span: SpanId(0xdef),
+        };
+        for store in stores(&tmp) {
+            store
+                .publish_fenced_traced(1, 0, &framed(1), Some(ctx))
+                .unwrap();
+            let manifest = store.manifest().unwrap().unwrap();
+            assert_eq!(manifest.trace, Some(ctx), "context survives the manifest");
+            // An untraced publish clears the context — the manifest
+            // always describes its own generation's lineage, never a
+            // predecessor's.
+            store.publish_fenced(2, 0, &framed(2)).unwrap();
+            assert_eq!(store.manifest().unwrap().unwrap().trace, None);
+        }
+    }
+
+    #[test]
+    fn malformed_manifest_trace_degrades_to_none() {
+        let tmp = TempDir::new("bad-trace");
+        let store = FsCheckpointStore::open(tmp.path()).unwrap();
+        for bad in ["garbage", "12:zz", "nocolon", ""] {
+            std::fs::write(
+                tmp.path().join(MANIFEST_NAME),
+                format!("{MANIFEST_HEADER}\nlatest=4\nterm=2\ntrace={bad}\n"),
+            )
+            .unwrap();
+            let manifest = store.manifest().unwrap().unwrap();
+            assert_eq!((manifest.generation, manifest.term), (4, 2));
+            assert_eq!(
+                manifest.trace, None,
+                "trace {bad:?} must not poison the manifest"
+            );
+        }
     }
 
     #[test]
@@ -1083,7 +1202,8 @@ mod tests {
                 store.manifest().unwrap(),
                 Some(Manifest {
                     generation: 2,
-                    term: new.term
+                    term: new.term,
+                    trace: None
                 })
             );
             // An expired-but-unclaimed lease does not fence its own holder.

@@ -48,6 +48,20 @@ pub trait GenerationObserver: Send + Sync {
     /// Called with the framed checkpoint bytes ([`neo::checkpoint`]
     /// format) of the generation about to be published.
     fn on_checkpoint(&self, generation: u64, framed: &[u8]) -> std::io::Result<()>;
+
+    /// [`Self::on_checkpoint`] carrying the generation's lineage-trace
+    /// context (the trainer's root span), so a store-backed observer can
+    /// record its write as a span and stitch the context into the
+    /// manifest for followers. The default ignores the context.
+    fn on_checkpoint_traced(
+        &self,
+        generation: u64,
+        framed: &[u8],
+        trace: Option<neo_obs::SpanContext>,
+    ) -> std::io::Result<()> {
+        let _ = trace;
+        self.on_checkpoint(generation, framed)
+    }
 }
 
 /// Background-trainer configuration.
@@ -85,6 +99,13 @@ pub struct TrainerConfig {
     /// failure counts as a [`BackgroundTrainer::persist_failures`] veto.
     /// Use [`RetryPolicy::none`] for the old fail-fast behavior.
     pub persist_retry: RetryPolicy,
+    /// When set, every generation records a lineage trace into this span
+    /// ring: a `generation` root with `drain`/`train`/`checkpoint`/
+    /// `publish` children, its context handed to the observer (and, via
+    /// the cluster's manifest, to every follower's adopt span).
+    pub spans: Option<Arc<neo_obs::SpanRing>>,
+    /// The node label lineage spans carry (the trainer's host node name).
+    pub span_node: String,
 }
 
 impl Default for TrainerConfig {
@@ -100,6 +121,8 @@ impl Default for TrainerConfig {
             term: 0,
             checkpoint_dir: None,
             persist_retry: RetryPolicy::default(),
+            spans: None,
+            span_node: "trainer".to_string(),
         }
     }
 }
@@ -464,6 +487,15 @@ fn trainer_loop(shared: &TrainerShared) {
 /// publish happens; the served model is untouched).
 fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
     let cfg = &shared.cfg;
+    // The generation's lineage trace starts here — at the sink drain —
+    // and, via the observer and the cluster manifest, ends with the last
+    // follower's adoption span. Lineage spans are rare and precious, so
+    // they record directly (always kept), no sampling.
+    let mut root = match &cfg.spans {
+        Some(ring) => ring.root("generation", &cfg.span_node),
+        None => neo_obs::SpanGuard::noop(),
+    };
+    let mut drain_span = root.child("drain");
     let drained_records = shared.sink.drain();
     shared.obs.sink_backlog.set(shared.sink.pending());
     let drained = drained_records.len();
@@ -474,12 +506,15 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
         }
         buffer.snapshot()
     };
+    drain_span.attr("records", format!("{drained}"));
+    drain_span.end();
     let refs: Vec<&Query> = queries.iter().collect();
     let samples = experience.training_samples(&refs);
     if samples.is_empty() {
         return None;
     }
 
+    let train_span = root.child("train");
     let train_start = Instant::now();
     // Train a clone; serving continues on the published original.
     let mut net: ValueNet = (*shared.service.model()).clone();
@@ -501,11 +536,15 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
         &mut rng,
     );
     let train_ms = train_start.elapsed().as_secs_f64() * 1e3;
+    train_span.end();
+    root.attr("generation", format!("{upcoming_generation}"));
+    let root_ctx = root.context();
 
     // Checkpoint before publishing: a generation that is live has always
     // been persisted first. The checkpoint is framed (magic + version +
     // length + checksum, `neo::checkpoint`) so torn or corrupt copies are
     // rejected at load time instead of restoring garbage weights.
+    let checkpoint_span = root.child("checkpoint");
     let mut payload = Vec::new();
     net.save(&mut payload).expect("serialize checkpoint");
     let framed = checkpoint::frame(&payload);
@@ -516,6 +555,7 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
             let _ = std::fs::write(path, &framed);
         }
     }
+    checkpoint_span.end();
     if let Some(observer) = &shared.observer {
         // The observer (e.g. the cluster's shared checkpoint store) must
         // accept the generation before it may serve: publishing a model the
@@ -524,7 +564,7 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
         // backoff (`cfg.persist_retry`) — only an exhausted policy vetoes
         // minutes of training.
         let persisted = cfg.persist_retry.run(&shared.persist_retry_stats, || {
-            observer.on_checkpoint(upcoming_generation, &framed)
+            observer.on_checkpoint_traced(upcoming_generation, &framed, root_ctx)
         });
         if let Err(e) = persisted {
             eprintln!(
@@ -553,10 +593,13 @@ fn run_generation(shared: &TrainerShared) -> Option<GenerationStats> {
     // advanced the slot, the swap is a monotonic no-op over identical
     // bytes, never a forked renumbering.
     let swap_start = Instant::now();
+    let mut publish_span = root.child("publish");
     let swapped =
         shared
             .service
             .publish_model_from(Arc::new(net), upcoming_generation, shared.cfg.term);
+    publish_span.attr("swapped", if swapped { "true" } else { "false" });
+    publish_span.end();
     let swap_us = swap_start.elapsed().as_secs_f64() * 1e6;
     if !swapped {
         // Benign when a store poller adopted this very generation first

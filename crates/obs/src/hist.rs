@@ -15,6 +15,7 @@
 //! requested quantile by construction.
 
 use crate::json::JsonNode;
+use crate::span::TraceId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bucket count: bucket 39 starts at 2^38 µs ≈ 76 hours.
@@ -53,6 +54,11 @@ pub struct LatencyHistogram {
     count: AtomicU64,
     sum_us: AtomicU64,
     max_us: AtomicU64,
+    /// Per-bucket tail-latency exemplars: the raw trace id of the most
+    /// recent *traced* sample landing in each bucket (0 = none). A p99
+    /// number in an envelope links through its landing bucket's exemplar
+    /// to a reconstructable trace.
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for LatencyHistogram {
@@ -69,26 +75,46 @@ impl LatencyHistogram {
             count: AtomicU64::new(0),
             sum_us: AtomicU64::new(0),
             max_us: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
     /// Records one observation, microseconds.
     #[inline]
     pub fn record_us(&self, us: u64) {
-        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.record_us_traced(us, None);
+    }
+
+    /// Records one observation, microseconds, optionally tagging the
+    /// landing bucket with the trace that produced it (the bucket keeps
+    /// its most recent exemplar — one relaxed store, no extra cost when
+    /// `trace` is `None`).
+    #[inline]
+    pub fn record_us_traced(&self, us: u64, trace: Option<TraceId>) {
+        let idx = bucket_index(us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
+        if let Some(t) = trace {
+            self.exemplars[idx].store(t.0, Ordering::Relaxed);
+        }
     }
 
     /// Records one observation, milliseconds. Non-finite values are
     /// dropped (they would poison the sum); negatives clamp to zero.
     #[inline]
     pub fn record_ms(&self, ms: f64) {
+        self.record_ms_traced(ms, None);
+    }
+
+    /// [`Self::record_ms`] with an optional exemplar trace id.
+    #[inline]
+    pub fn record_ms_traced(&self, ms: f64, trace: Option<TraceId>) {
         if !ms.is_finite() {
             return;
         }
-        self.record_us((ms.max(0.0) * 1e3).round() as u64);
+        self.record_us_traced((ms.max(0.0) * 1e3).round() as u64, trace);
     }
 
     /// Observations recorded so far.
@@ -106,13 +132,14 @@ impl LatencyHistogram {
             count: self.count.load(Ordering::Relaxed),
             sum_us: self.sum_us.load(Ordering::Relaxed),
             max_us: self.max_us.load(Ordering::Relaxed),
+            exemplars: std::array::from_fn(|i| self.exemplars[i].load(Ordering::Relaxed)),
         }
     }
 }
 
 /// A point-in-time histogram copy: plain integers, mergeable by
 /// bucket-wise addition.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts (see module docs for bucket bounds).
     pub buckets: [u64; HISTOGRAM_BUCKETS],
@@ -122,7 +149,25 @@ pub struct HistogramSnapshot {
     pub sum_us: u64,
     /// Largest observation, microseconds.
     pub max_us: u64,
+    /// Per-bucket exemplar trace ids (0 = none). Advisory: exemplars are
+    /// "a recent traced sample from this bucket", so — unlike the
+    /// counts — they obey no merge law and are excluded from equality.
+    pub exemplars: [u64; HISTOGRAM_BUCKETS],
 }
+
+// Equality ignores exemplars: the merge-law property tests compare
+// snapshots of split vs. combined recordings, and which exemplar a
+// bucket retains is a last-writer race, not part of the histogram value.
+impl PartialEq for HistogramSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.buckets == other.buckets
+            && self.count == other.count
+            && self.sum_us == other.sum_us
+            && self.max_us == other.max_us
+    }
+}
+
+impl Eq for HistogramSnapshot {}
 
 impl Default for HistogramSnapshot {
     fn default() -> Self {
@@ -131,6 +176,7 @@ impl Default for HistogramSnapshot {
             count: 0,
             sum_us: 0,
             max_us: 0,
+            exemplars: [0; HISTOGRAM_BUCKETS],
         }
     }
 }
@@ -146,6 +192,12 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum_us += other.sum_us;
         self.max_us = self.max_us.max(other.max_us);
+        // Exemplars have no exact merge; element-wise max keeps the
+        // combination commutative, associative, and deterministic while
+        // preserving "some traced sample from this bucket".
+        for (e, o) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            *e = (*e).max(*o);
+        }
     }
 
     /// The windowed difference `self − prev`: the histogram of exactly
@@ -161,6 +213,9 @@ impl HistogramSnapshot {
             count: self.count.saturating_sub(prev.count),
             sum_us: self.sum_us.saturating_sub(prev.sum_us),
             max_us: self.max_us,
+            // Most-recent wins: the later snapshot's exemplars stand for
+            // the window (advisory, see the field docs).
+            exemplars: self.exemplars,
         }
     }
 
@@ -191,6 +246,36 @@ impl HistogramSnapshot {
             seen += c;
         }
         self.max_us as f64 / 1e3
+    }
+
+    /// The exemplar trace id retained by the bucket the `q`-quantile
+    /// rank-walk lands in — the trace behind (a recent sample near) that
+    /// quantile. Walks outward to the nearest non-empty exemplar below
+    /// when the landing bucket never saw a traced sample; `None` when no
+    /// bucket at or below the landing one holds one.
+    pub fn exemplar_for_quantile(&self, q: f64) -> Option<TraceId> {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut landing = HISTOGRAM_BUCKETS - 1;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                landing = i;
+                break;
+            }
+            seen += c;
+        }
+        (0..=landing)
+            .rev()
+            .map(|i| self.exemplars[i])
+            .find(|&e| e != 0)
+            .map(TraceId)
     }
 
     /// Median estimate, milliseconds.
@@ -237,6 +322,13 @@ impl HistogramSnapshot {
         obj.push("p95_ms", JsonNode::F64(self.p95_ms()));
         obj.push("p99_ms", JsonNode::F64(self.p99_ms()));
         obj.push("max_ms", JsonNode::F64(self.max_ms()));
+        obj.push(
+            "p99_exemplar",
+            match self.exemplar_for_quantile(0.99) {
+                Some(t) => JsonNode::Str(t.to_string()),
+                None => JsonNode::Null,
+            },
+        );
         obj
     }
 }
@@ -342,5 +434,59 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn exemplars_link_quantiles_to_traces() {
+        let h = LatencyHistogram::new();
+        // Fast untraced samples plus one slow traced one: the p99 rank
+        // (ceil(0.99 * 10) = 10) lands in the slow sample's bucket.
+        for _ in 0..9 {
+            h.record_us(100);
+        }
+        h.record_us_traced(1_000_000, Some(TraceId(0xabcd)));
+        let s = h.snapshot();
+        assert_eq!(
+            s.exemplar_for_quantile(0.99),
+            Some(TraceId(0xabcd)),
+            "p99 lands in the slow bucket, whose exemplar is the trace"
+        );
+        assert_eq!(
+            s.exemplar_for_quantile(0.10),
+            None,
+            "fast buckets never saw a traced sample"
+        );
+        assert!(s
+            .to_node()
+            .render()
+            .contains("\"p99_exemplar\": \"000000000000abcd\""));
+        // Untraced-only histograms render a null exemplar.
+        let plain = LatencyHistogram::new();
+        plain.record_us(5);
+        assert!(plain
+            .snapshot()
+            .to_node()
+            .render()
+            .contains("\"p99_exemplar\": null"));
+    }
+
+    #[test]
+    fn exemplars_ride_merges_and_deltas_without_breaking_equality() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_us_traced(1000, Some(TraceId(7)));
+        b.record_us_traced(1000, Some(TraceId(9)));
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let idx = super::bucket_index(1000);
+        assert_eq!(merged.exemplars[idx], 9, "merge keeps the max exemplar");
+        // Equality ignores exemplars (merge-law tests rely on this).
+        let mut other = merged.clone();
+        other.exemplars[idx] = 7;
+        assert_eq!(merged, other);
+        let prev = a.snapshot();
+        a.record_us_traced(1000, Some(TraceId(11)));
+        let delta = a.snapshot().delta_since(&prev);
+        assert_eq!(delta.exemplars[idx], 11, "delta carries the later exemplar");
     }
 }

@@ -8,6 +8,7 @@
 //! sink so concurrent serving workers rarely collide on a lock.
 
 use crate::json::JsonNode;
+use crate::span::TraceId;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -24,6 +25,8 @@ struct HotEntry {
     latency_ewma_ms: f64,
     executions: u64,
     regret_ms: f64,
+    worst_ms: f64,
+    worst_trace: u64,
 }
 
 /// One fingerprint's aggregated serving stats, as returned by
@@ -43,6 +46,13 @@ pub struct FingerprintStat {
     /// Accumulated regret (executed-minus-best latency), ms, from
     /// execution feedback.
     pub regret_ms: f64,
+    /// The worst (slowest) observed optimize latency for this
+    /// fingerprint, ms.
+    pub worst_ms: f64,
+    /// The exemplar trace id behind the worst observed optimize (0 when
+    /// the worst probe was not traced) — the future superoptimizer's
+    /// "why is this fingerprint hot" pointer.
+    pub worst_trace: u64,
 }
 
 impl FingerprintStat {
@@ -66,6 +76,15 @@ impl FingerprintStat {
         );
         obj.push("executions", JsonNode::U64(self.executions));
         obj.push("regret_ms", JsonNode::f64_rounded(self.regret_ms, 4));
+        obj.push("worst_ms", JsonNode::f64_rounded(self.worst_ms, 4));
+        obj.push(
+            "worst_trace",
+            if self.worst_trace == 0 {
+                JsonNode::Null
+            } else {
+                JsonNode::Str(TraceId(self.worst_trace).to_string())
+            },
+        );
         obj
     }
 }
@@ -99,6 +118,19 @@ impl HotSet {
     /// Records one cache probe for `fp`: whether it hit, and the
     /// end-to-end serve latency.
     pub fn record_probe(&self, fp: u128, cache_hit: bool, latency_ms: f64) {
+        self.record_probe_traced(fp, cache_hit, latency_ms, None);
+    }
+
+    /// [`Self::record_probe`] with the probe's trace id (when its trace
+    /// committed): a probe that sets a new worst latency for the
+    /// fingerprint also installs the trace as the entry's exemplar.
+    pub fn record_probe_traced(
+        &self,
+        fp: u128,
+        cache_hit: bool,
+        latency_ms: f64,
+        trace: Option<TraceId>,
+    ) {
         let mut shard = self.shard(fp);
         let entry = shard.entry(fp).or_default();
         if cache_hit {
@@ -112,6 +144,15 @@ impl HotSet {
             } else {
                 entry.latency_ewma_ms =
                     EWMA_ALPHA * latency_ms + (1.0 - EWMA_ALPHA) * entry.latency_ewma_ms;
+            }
+            if latency_ms >= entry.worst_ms {
+                entry.worst_ms = latency_ms;
+                // Only overwrite the exemplar when this worst probe was
+                // actually traced — a slower untraced probe keeps the
+                // previous pointer rather than erasing it.
+                if let Some(t) = trace {
+                    entry.worst_trace = t.0;
+                }
             }
         }
     }
@@ -159,6 +200,8 @@ impl HotSet {
                 latency_ewma_ms: e.latency_ewma_ms,
                 executions: e.executions,
                 regret_ms: e.regret_ms,
+                worst_ms: e.worst_ms,
+                worst_trace: e.worst_trace,
             }));
         }
         all.sort_by(|a, b| {
@@ -210,6 +253,27 @@ mod tests {
             (ewma - 12.0).abs() < 1e-9,
             "0.2*20 + 0.8*10 = 12, got {ewma}"
         );
+    }
+
+    #[test]
+    fn worst_probe_installs_its_trace_as_exemplar() {
+        let hs = HotSet::new();
+        hs.record_probe_traced(5, false, 12.0, Some(TraceId(0xaa)));
+        hs.record_probe_traced(5, false, 30.0, Some(TraceId(0xbb)));
+        // Faster probe: neither worst_ms nor the exemplar move.
+        hs.record_probe_traced(5, true, 1.0, Some(TraceId(0xcc)));
+        let top = hs.top(1);
+        assert!((top[0].worst_ms - 30.0).abs() < 1e-9);
+        assert_eq!(top[0].worst_trace, 0xbb);
+        // A slower *untraced* probe raises worst_ms but keeps the pointer.
+        hs.record_probe(5, false, 40.0);
+        let top = hs.top(1);
+        assert!((top[0].worst_ms - 40.0).abs() < 1e-9);
+        assert_eq!(top[0].worst_trace, 0xbb);
+        assert!(top[0]
+            .to_node()
+            .render()
+            .contains("\"worst_trace\": \"00000000000000bb\""));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   bucket-wise merging and monotone quantile estimates ([`hist`]).
 //! - [`EventRing`] — a bounded lock-free ring of structured trace events
 //!   that survives (and explains) a chaos soak ([`ring`]).
+//! - [`span`] — causal span tracing: RAII guards, a bounded [`SpanRing`]
+//!   with the event ring's discipline, head+tail sampling, and explicit
+//!   cross-thread/cross-node context propagation.
 //! - [`SearchTrace`] — opt-in per-query serving traces ([`trace`]).
 //! - [`HotSet`] — per-fingerprint hit/latency/regret tracking ([`hotset`]).
 //! - [`FleetSnapshot`] — the uniform JSON tree absorbing every
@@ -30,6 +33,7 @@ pub mod regress;
 pub mod ring;
 pub mod slo;
 pub mod snapshot;
+pub mod span;
 pub mod timeseries;
 pub mod trace;
 
@@ -41,5 +45,8 @@ pub use regress::{default_rules, RegressRule, RegressionFinding, RegressionRepor
 pub use ring::{Event, EventKind, EventRing};
 pub use slo::{SloNotify, SloSpec, SloStatus, SloTracker};
 pub use snapshot::FleetSnapshot;
+pub use span::{
+    clock_origin, now_ms, now_us, Span, SpanContext, SpanGuard, SpanId, SpanRing, TraceId, Tracer,
+};
 pub use timeseries::{SamplerConfig, SeriesSnapshot, TelemetrySampler};
 pub use trace::{SearchTrace, SeedOutcome};

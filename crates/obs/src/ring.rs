@@ -13,9 +13,9 @@
 //! without reading logs.
 
 use crate::json::JsonNode;
+use crate::span::now_ms;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// What kind of thing happened. Variants map one-to-one onto the fleet's
 /// state transitions so a dump can be machine-filtered.
@@ -67,7 +67,9 @@ impl EventKind {
 pub struct Event {
     /// Global sequence number (total order across all writers).
     pub seq: u64,
-    /// Milliseconds since the ring was created (monotonic clock).
+    /// Milliseconds since the process-wide clock origin
+    /// ([`crate::span::clock_origin`]) — the same base spans and health
+    /// transitions stamp against, so postmortems interleave by timestamp.
     pub at_ms: u64,
     /// The node (or component) that recorded the event.
     pub node: String,
@@ -98,7 +100,6 @@ pub struct EventRing {
     /// occupied displaced one event (either the slot's previous tenant or
     /// — for a delayed writer losing to a newer lap — the write itself).
     dropped: AtomicU64,
-    origin: Instant,
 }
 
 impl std::fmt::Debug for EventRing {
@@ -117,7 +118,6 @@ impl EventRing {
             slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
             next: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            origin: Instant::now(),
         }
     }
 
@@ -143,7 +143,7 @@ impl EventRing {
         let seq = self.next.fetch_add(1, Ordering::Relaxed);
         let event = Event {
             seq,
-            at_ms: self.origin.elapsed().as_millis() as u64,
+            at_ms: now_ms(),
             node: node.to_string(),
             kind,
             detail: detail.into(),

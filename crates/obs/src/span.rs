@@ -1,0 +1,718 @@
+//! Causal span tracing: the "why was this one slow" layer on top of the
+//! aggregate spine (histograms, event ring, time series).
+//!
+//! A **trace** is a tree of **spans** — named intervals on the shared
+//! monotonic clock ([`clock_origin`], also the base for `EventRing`
+//! events and health transitions, so a postmortem can interleave spans
+//! and events by timestamp. Each span carries its trace id, its own id,
+//! its parent's id, and free-form attributes; spans land in a bounded
+//! lock-free [`SpanRing`] with exactly the `EventRing` discipline: one
+//! `fetch_add` reserves a slot in total order, a per-slot micro-lock
+//! holds for a single `Option` store, and wraparound losses are counted
+//! rather than silent.
+//!
+//! Two recording styles cover the two trace families:
+//!
+//! - **Sampled, buffered** ([`Tracer`]): the serving hot path starts a
+//!   root [`SpanGuard`] per query; children buffer in the root's trace
+//!   core and the whole trace commits to the ring only if it was
+//!   head-sampled (1-in-N) *or* turned out slow (tail latch) — so tail
+//!   latency is always explained, while the common fast path pays one
+//!   atomic increment and, when unsampled-and-fast, discards without
+//!   ever touching the ring.
+//! - **Direct, always-kept** ([`SpanRing::root`] / [`SpanRing::
+//!   child_of`]): generation-lineage spans (drain → train → publish →
+//!   each follower's adopt) are rare and precious, so they record
+//!   unconditionally; `child_of` takes an explicit [`SpanContext`],
+//!   which is how a trace crosses threads, processes, and — via the
+//!   checkpoint manifest — nodes.
+//!
+//! Ids are process-global: a splitmix64 stream over an atomic counter
+//! seeded from wall-clock nanos, so ids from different processes in one
+//! postmortem almost surely differ while staying dependency-free.
+
+use crate::json::JsonNode;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The one monotonic clock base shared by spans, ring events, and health
+/// transitions: everything timestamps as an offset from this instant, so
+/// timelines from different subsystems interleave correctly.
+pub fn clock_origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Microseconds since [`clock_origin`].
+pub fn now_us() -> u64 {
+    clock_origin().elapsed().as_micros() as u64
+}
+
+/// Milliseconds since [`clock_origin`].
+pub fn now_ms() -> u64 {
+    clock_origin().elapsed().as_millis() as u64
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The next process-global id (never zero — zero is the "no exemplar"
+/// sentinel in histogram buckets).
+fn next_id() -> u64 {
+    static STATE: OnceLock<AtomicU64> = OnceLock::new();
+    let state = STATE.get_or_init(|| {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        AtomicU64::new(seed | 1)
+    });
+    loop {
+        let id = splitmix64(state.fetch_add(1, Ordering::Relaxed));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Identifies one trace (a tree of spans). Rendered as 16 hex digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// A fresh process-globally-unique id.
+    pub fn fresh() -> Self {
+        TraceId(next_id())
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identifies one span within a trace. Rendered as 16 hex digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// A fresh process-globally-unique id.
+    pub fn fresh() -> Self {
+        SpanId(next_id())
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The propagatable part of a live span: enough to parent a child span
+/// on another thread, in another process, or on another node. `Copy` so
+/// it rides inside `Copy` carriers (the checkpoint manifest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// The span itself (children cite it as their parent).
+    pub span: SpanId,
+}
+
+/// One finished span as retained by the ring.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Global sequence number (total order across all writers).
+    pub seq: u64,
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The parent span within the trace (`None` for the root).
+    pub parent: Option<SpanId>,
+    /// Stage name (`"optimize"`, `"search"`, `"adopt"`, ...).
+    pub name: &'static str,
+    /// The node (or component) that recorded the span.
+    pub node: String,
+    /// Start, microseconds since [`clock_origin`].
+    pub start_us: u64,
+    /// End, microseconds since [`clock_origin`].
+    pub end_us: u64,
+    /// Structured attributes (`("seed_outcome", "beaten")`, ...).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// The span as a JSON object.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("seq", JsonNode::U64(self.seq));
+        obj.push("trace", JsonNode::Str(self.trace.to_string()));
+        obj.push("span", JsonNode::Str(self.span.to_string()));
+        obj.push(
+            "parent",
+            match self.parent {
+                Some(p) => JsonNode::Str(p.to_string()),
+                None => JsonNode::Null,
+            },
+        );
+        obj.push("name", JsonNode::Str(self.name.to_string()));
+        obj.push("node", JsonNode::Str(self.node.clone()));
+        obj.push("start_us", JsonNode::U64(self.start_us));
+        obj.push("end_us", JsonNode::U64(self.end_us));
+        let mut attrs = JsonNode::obj();
+        for (k, v) in &self.attrs {
+            attrs.push(k, JsonNode::Str(v.clone()));
+        }
+        obj.push("attrs", attrs);
+        obj
+    }
+}
+
+/// The bounded span ring. Same concurrency contract as `EventRing`: one
+/// `fetch_add` per record for total order, per-slot micro-locks, latest
+/// `capacity` spans retained, losses counted in [`Self::dropped`].
+pub struct SpanRing {
+    slots: Vec<Mutex<Option<Span>>>,
+    next: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// A ring keeping the latest `capacity` spans (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity (the retention bound).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost to wraparound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one finished span (assigns its sequence number).
+    pub fn record(&self, mut span: Span) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        span.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Same forward-only slot rule as the event ring: a delayed writer
+        // never clobbers a newer lap, and either way an occupied slot
+        // means one span lost — counted, not silent.
+        if guard.is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if guard.as_ref().is_none_or(|s| s.seq < seq) {
+            *guard = Some(span);
+        }
+    }
+
+    /// The retained spans in sequence order (oldest retained first).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut spans: Vec<Span> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone()
+            })
+            .collect();
+        spans.sort_by_key(|s| s.seq);
+        spans
+    }
+
+    /// The ring as a JSON object: `{spans: [...], recorded, dropped}` —
+    /// the `traces` section carried by snapshots and bench envelopes.
+    pub fn to_node(&self) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push(
+            "spans",
+            JsonNode::Arr(self.snapshot().iter().map(Span::to_node).collect()),
+        );
+        obj.push("recorded", JsonNode::U64(self.recorded()));
+        obj.push("dropped", JsonNode::U64(self.dropped()));
+        obj
+    }
+
+    /// Starts a direct (always-recorded) root span — the lineage style.
+    pub fn root(self: &Arc<Self>, name: &'static str, node: &str) -> SpanGuard {
+        SpanGuard {
+            inner: Some(SpanInner {
+                sink: Sink::Direct(Arc::clone(self)),
+                trace: TraceId::fresh(),
+                span: SpanId::fresh(),
+                parent: None,
+                name,
+                node: node.to_string(),
+                start_us: now_us(),
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Starts a direct (always-recorded) child of an explicit context —
+    /// how a trace continues across a thread, process, or node boundary.
+    pub fn child_of(
+        self: &Arc<Self>,
+        ctx: SpanContext,
+        name: &'static str,
+        node: &str,
+    ) -> SpanGuard {
+        SpanGuard {
+            inner: Some(SpanInner {
+                sink: Sink::Direct(Arc::clone(self)),
+                trace: ctx.trace,
+                span: SpanId::fresh(),
+                parent: Some(ctx.span),
+                name,
+                node: node.to_string(),
+                start_us: now_us(),
+                attrs: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// Commit state of a buffered trace.
+const BUFFERING: u8 = 0;
+const COMMITTED: u8 = 1;
+const DISCARDED: u8 = 2;
+
+/// The shared core of one buffered (sampled) trace: children park their
+/// finished spans here until the root decides the trace's fate.
+struct TraceCore {
+    ring: Arc<SpanRing>,
+    head_sampled: bool,
+    slow_us: u64,
+    buf: Mutex<Vec<Span>>,
+    state: AtomicU8,
+}
+
+impl TraceCore {
+    fn park(&self, span: Span) {
+        match self.state.load(Ordering::Acquire) {
+            // Root already committed (a straggler child ending after the
+            // root, e.g. feedback spans): record directly.
+            COMMITTED => self.ring.record(span),
+            DISCARDED => {}
+            _ => self
+                .buf
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(span),
+        }
+    }
+}
+
+/// The sampled, buffered tracer for a hot path: hands out root guards,
+/// head-samples 1-in-N, and tail-latches anything slower than the
+/// threshold so p99s always have an exemplar behind them.
+#[derive(Clone)]
+pub struct Tracer {
+    ring: Arc<SpanRing>,
+    sample_every: u64,
+    slow_us: u64,
+    started: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer over `ring`. `sample_every` = keep 1 in N traces by head
+    /// sampling (0 and 1 both mean "every trace"); `slow_us` = commit any
+    /// trace whose root ran at least this long, sampled or not.
+    pub fn new(ring: Arc<SpanRing>, sample_every: u64, slow_us: u64) -> Self {
+        Tracer {
+            ring,
+            sample_every: sample_every.max(1),
+            slow_us,
+            started: Arc::new(AtomicU64::new(0)),
+            enabled: true,
+        }
+    }
+
+    /// A tracer whose guards are all no-ops (the disabled side of the
+    /// overhead A/B): `start` never allocates, never touches the ring.
+    pub fn disabled(ring: Arc<SpanRing>) -> Self {
+        Tracer {
+            ring,
+            sample_every: 1,
+            slow_us: 0,
+            started: Arc::new(AtomicU64::new(0)),
+            enabled: false,
+        }
+    }
+
+    /// The ring committed traces land in.
+    pub fn ring(&self) -> &Arc<SpanRing> {
+        &self.ring
+    }
+
+    /// Starts a buffered root span. The returned guard's children buffer
+    /// with it; on root end the whole trace commits iff head-sampled or
+    /// slow.
+    pub fn start(&self, name: &'static str, node: &str) -> SpanGuard {
+        if !self.enabled {
+            return SpanGuard { inner: None };
+        }
+        let n = self.started.fetch_add(1, Ordering::Relaxed);
+        let head_sampled = n.is_multiple_of(self.sample_every);
+        let core = Arc::new(TraceCore {
+            ring: Arc::clone(&self.ring),
+            head_sampled,
+            slow_us: self.slow_us,
+            buf: Mutex::new(Vec::new()),
+            state: AtomicU8::new(BUFFERING),
+        });
+        SpanGuard {
+            inner: Some(SpanInner {
+                sink: Sink::Buffered {
+                    core,
+                    is_root: true,
+                },
+                trace: TraceId::fresh(),
+                span: SpanId::fresh(),
+                parent: None,
+                name,
+                node: node.to_string(),
+                start_us: now_us(),
+                attrs: Vec::new(),
+            }),
+        }
+    }
+}
+
+enum Sink {
+    /// Record straight into the ring at end (lineage spans).
+    Direct(Arc<SpanRing>),
+    /// Park in the trace core; the root's end decides commit/discard.
+    Buffered { core: Arc<TraceCore>, is_root: bool },
+}
+
+struct SpanInner {
+    sink: Sink,
+    trace: TraceId,
+    span: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    node: String,
+    start_us: u64,
+    attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanInner {
+    fn finish(self) -> Option<TraceId> {
+        let end_us = now_us();
+        let span = Span {
+            seq: 0,
+            trace: self.trace,
+            span: self.span,
+            parent: self.parent,
+            name: self.name,
+            node: self.node,
+            start_us: self.start_us,
+            end_us,
+            attrs: self.attrs,
+        };
+        match self.sink {
+            Sink::Direct(ring) => {
+                let trace = span.trace;
+                ring.record(span);
+                Some(trace)
+            }
+            Sink::Buffered {
+                core,
+                is_root: false,
+            } => {
+                let trace = span.trace;
+                core.park(span);
+                match core.state.load(Ordering::Acquire) {
+                    COMMITTED => Some(trace),
+                    _ => None,
+                }
+            }
+            Sink::Buffered {
+                core,
+                is_root: true,
+            } => {
+                let trace = span.trace;
+                let keep = core.head_sampled || span.duration_us() >= core.slow_us;
+                let mut buf = core
+                    .buf
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                buf.push(span);
+                if keep {
+                    // Commit-before-drain: a straggler child observing
+                    // COMMITTED records directly, never into a buffer
+                    // nobody will drain again.
+                    core.state.store(COMMITTED, Ordering::Release);
+                    for s in buf.drain(..) {
+                        core.ring.record(s);
+                    }
+                    Some(trace)
+                } else {
+                    core.state.store(DISCARDED, Ordering::Release);
+                    buf.clear();
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// RAII guard for one live span: drop (or [`Self::end`]) stamps the end
+/// time and routes the span to its sink. A disabled guard (from
+/// [`Tracer::disabled`] or a child of one) makes every method a no-op.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (the "tracing off" placeholder).
+    pub fn noop() -> Self {
+        SpanGuard { inner: None }
+    }
+
+    /// True when this guard will actually record (not disabled).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The propagatable context (trace id + this span's id), for
+    /// parenting children across boundaries. `None` when disabled.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.inner.as_ref().map(|i| SpanContext {
+            trace: i.trace,
+            span: i.span,
+        })
+    }
+
+    /// Attaches one structured attribute.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Starts a child span on the same sink (buffered children buffer
+    /// with the root; direct children record directly).
+    pub fn child(&self, name: &'static str) -> SpanGuard {
+        let Some(inner) = self.inner.as_ref() else {
+            return SpanGuard { inner: None };
+        };
+        let sink = match &inner.sink {
+            Sink::Direct(ring) => Sink::Direct(Arc::clone(ring)),
+            Sink::Buffered { core, .. } => Sink::Buffered {
+                core: Arc::clone(core),
+                is_root: false,
+            },
+        };
+        SpanGuard {
+            inner: Some(SpanInner {
+                sink,
+                trace: inner.trace,
+                span: SpanId::fresh(),
+                parent: Some(inner.span),
+                name,
+                node: inner.node.clone(),
+                start_us: now_us(),
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Ends the span now. Returns the trace id iff the span was actually
+    /// recorded (for a buffered root: iff the trace committed) — the
+    /// handle callers thread into histogram exemplars.
+    pub fn end(mut self) -> Option<TraceId> {
+        self.inner.take().and_then(SpanInner::finish)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let a = TraceId::fresh();
+        let b = TraceId::fresh();
+        assert_ne!(a.0, 0);
+        assert_ne!(a, b);
+        assert_eq!(format!("{a}").len(), 16);
+    }
+
+    #[test]
+    fn direct_root_and_children_record_with_parent_links() {
+        let ring = Arc::new(SpanRing::new(16));
+        let mut root = ring.root("generation", "trainer");
+        root.attr("generation", "7");
+        let root_ctx = root.context().expect("recording");
+        {
+            let child = root.child("train");
+            let grandchild = child.child("epoch");
+            drop(grandchild);
+            drop(child);
+        }
+        let trace = root.end().expect("direct roots always record");
+        assert_eq!(trace, root_ctx.trace);
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 3);
+        // Children ended (and thus recorded) before the root.
+        assert_eq!(spans[0].name, "epoch");
+        assert_eq!(spans[1].name, "train");
+        assert_eq!(spans[2].name, "generation");
+        assert!(spans.iter().all(|s| s.trace == root_ctx.trace));
+        assert_eq!(spans[2].parent, None);
+        assert_eq!(spans[1].parent, Some(root_ctx.span));
+        assert_eq!(spans[0].parent, Some(spans[1].span));
+        assert_eq!(spans[2].attrs, vec![("generation", "7".to_string())]);
+    }
+
+    #[test]
+    fn child_of_continues_a_trace_across_an_explicit_context() {
+        let ring = Arc::new(SpanRing::new(16));
+        let root = ring.root("publish", "leader");
+        let ctx = root.context().unwrap();
+        root.end();
+        let other_ring = Arc::new(SpanRing::new(16));
+        let adopt = other_ring.child_of(ctx, "adopt", "follower-1");
+        adopt.end();
+        let spans = other_ring.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace, ctx.trace);
+        assert_eq!(spans[0].parent, Some(ctx.span));
+        assert_eq!(spans[0].node, "follower-1");
+    }
+
+    #[test]
+    fn unsampled_fast_traces_discard_without_touching_the_ring() {
+        let ring = Arc::new(SpanRing::new(16));
+        // Sample 1-in-1000, slow threshold unreachable: only trace 0 kept.
+        let tracer = Tracer::new(Arc::clone(&ring), 1000, u64::MAX);
+        let kept = tracer.start("optimize", "serve");
+        let kept_child = kept.child("search");
+        kept_child.end();
+        let kept_trace = kept.end().expect("head-sampled trace commits");
+        for _ in 0..5 {
+            let root = tracer.start("optimize", "serve");
+            let child = root.child("search");
+            child.end();
+            assert_eq!(root.end(), None, "unsampled fast trace discards");
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2, "only the head-sampled trace landed");
+        assert!(spans.iter().all(|s| s.trace == kept_trace));
+        assert_eq!(ring.recorded(), 2);
+    }
+
+    #[test]
+    fn slow_traces_commit_even_when_not_head_sampled() {
+        let ring = Arc::new(SpanRing::new(16));
+        // Head-sample 1-in-1000 but tail-latch everything (slow_us = 0).
+        let tracer = Tracer::new(Arc::clone(&ring), 1000, 0);
+        tracer.start("warmup", "serve").end(); // n=0: head-sampled anyway
+        let root = tracer.start("optimize", "serve");
+        assert!(root.end().is_some(), "slow trace tail-latched");
+        assert_eq!(ring.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_guards_are_noops() {
+        let ring = Arc::new(SpanRing::new(4));
+        let tracer = Tracer::disabled(Arc::clone(&ring));
+        let mut root = tracer.start("optimize", "serve");
+        assert!(!root.is_recording());
+        assert_eq!(root.context(), None);
+        root.attr("k", "v");
+        let child = root.child("search");
+        child.end();
+        assert_eq!(root.end(), None);
+        assert_eq!(ring.recorded(), 0);
+    }
+
+    #[test]
+    fn straggler_child_after_commit_records_directly() {
+        let ring = Arc::new(SpanRing::new(16));
+        let tracer = Tracer::new(Arc::clone(&ring), 1, u64::MAX);
+        let root = tracer.start("optimize", "serve");
+        let straggler = root.child("feedback");
+        let trace = root.end().expect("sampled");
+        // Child ends after the root committed: lands directly.
+        assert_eq!(straggler.end(), Some(trace));
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].name, "feedback");
+    }
+
+    #[test]
+    fn straggler_child_after_discard_vanishes() {
+        let ring = Arc::new(SpanRing::new(16));
+        let tracer = Tracer::new(Arc::clone(&ring), 1000, u64::MAX);
+        tracer.start("warmup", "serve").end(); // consume the sampled slot
+        let root = tracer.start("optimize", "serve");
+        let straggler = root.child("feedback");
+        assert_eq!(root.end(), None);
+        assert_eq!(straggler.end(), None);
+        assert_eq!(ring.recorded(), 1, "only the warmup trace's root");
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let ring = Arc::new(SpanRing::new(4));
+        let mut root = ring.root("publish", "leader");
+        root.attr("generation", "3");
+        root.end();
+        let rendered = ring.to_node().render();
+        assert!(rendered.contains("\"spans\""));
+        assert!(rendered.contains("\"recorded\": 1"));
+        assert!(rendered.contains("\"dropped\": 0"));
+        assert!(rendered.contains("\"name\": \"publish\""));
+        assert!(rendered.contains("\"parent\": null"));
+        assert!(rendered.contains("\"generation\": \"3\""));
+    }
+}

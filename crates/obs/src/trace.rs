@@ -68,6 +68,11 @@ pub struct SearchTrace {
     pub session_reused: bool,
     /// The value net's predicted cost for the chosen plan, if scored.
     pub predicted_ms: Option<f64>,
+    /// The causal span trace this request committed to the span ring
+    /// (raw [`crate::span::TraceId`] bits), when its trace was sampled
+    /// or tail-latched — the link from this flat record to the full
+    /// per-stage waterfall.
+    pub trace_id: Option<u64>,
 }
 
 impl SearchTrace {
@@ -107,6 +112,13 @@ impl SearchTrace {
                 None => JsonNode::Null,
             },
         );
+        obj.push(
+            "trace_id",
+            match self.trace_id {
+                Some(t) => JsonNode::Str(crate::span::TraceId(t).to_string()),
+                None => JsonNode::Null,
+            },
+        );
         obj
     }
 }
@@ -134,10 +146,12 @@ mod tests {
             seed_outcome: SeedOutcome::Beaten,
             session_reused: true,
             predicted_ms: Some(3.25),
+            trace_id: Some(0xfeed),
         };
         let json = trace.to_node().render();
         validate(&json).expect("trace JSON well-formed");
         assert!(json.contains("\"seed_outcome\": \"beaten\""));
         assert!(json.contains("000000000000000000000000deadbeef"));
+        assert!(json.contains("\"trace_id\": \"000000000000feed\""));
     }
 }

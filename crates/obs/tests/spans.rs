@@ -1,0 +1,103 @@
+//! Span-tracing integration properties: parent/child interval nesting
+//! under concurrent recording, and wraparound drop accounting.
+
+use neo_obs::{SpanId, SpanRing, Tracer};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Spin briefly so child spans have nonzero extent (no sleeping — the
+/// property is about ordering on the monotonic clock, not durations).
+fn busy(iters: u64) {
+    let mut x = 0u64;
+    for i in 0..iters {
+        x = x.wrapping_add(i).rotate_left(7);
+    }
+    std::hint::black_box(x);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+
+    /// Under concurrent recording from several threads, every retained
+    /// child span's [start, end] interval nests inside its parent's —
+    /// children are RAII guards dropped before their parents, and all
+    /// timestamps come from the one shared monotonic clock.
+    #[test]
+    fn child_intervals_nest_inside_parents(
+        depths in proptest::collection::vec(1usize..4, 4),
+        spin in 1u64..200,
+    ) {
+        let ring = Arc::new(SpanRing::new(1024));
+        // Always-sample, so every trace commits.
+        let tracer = Tracer::new(Arc::clone(&ring), 1, u64::MAX);
+        let handles: Vec<_> = depths
+            .iter()
+            .enumerate()
+            .map(|(t, &depth)| {
+                let tracer = tracer.clone();
+                std::thread::spawn(move || {
+                    for i in 0..3 {
+                        let mut root = tracer.start("root", &format!("t{t}"));
+                        root.attr("iter", format!("{i}"));
+                        busy(spin);
+                        let mut stack = vec![root.child("level")];
+                        for _ in 1..depth {
+                            busy(spin);
+                            let next = stack.last().unwrap().child("level");
+                            stack.push(next);
+                        }
+                        while let Some(guard) = stack.pop() {
+                            busy(spin);
+                            guard.end();
+                        }
+                        busy(spin);
+                        root.end();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        let spans = ring.snapshot();
+        prop_assert!(!spans.is_empty());
+        let by_id: HashMap<SpanId, &neo_obs::Span> =
+            spans.iter().map(|s| (s.span, s)).collect();
+        for s in &spans {
+            prop_assert!(s.end_us >= s.start_us);
+            if let Some(parent_id) = s.parent {
+                let parent = by_id
+                    .get(&parent_id)
+                    .expect("parent retained (capacity exceeds recorded spans)");
+                prop_assert!(s.trace == parent.trace, "child shares the parent's trace");
+                prop_assert!(
+                    s.start_us >= parent.start_us && s.end_us <= parent.end_us,
+                    "child [{}, {}] outside parent [{}, {}]",
+                    s.start_us,
+                    s.end_us,
+                    parent.start_us,
+                    parent.end_us,
+                );
+            }
+        }
+        prop_assert_eq!(ring.dropped(), 0, "capacity was never exceeded");
+    }
+}
+
+#[test]
+fn wraparound_counts_drops_and_keeps_the_latest_spans() {
+    let ring = Arc::new(SpanRing::new(4));
+    for i in 0..10 {
+        let mut root = ring.root("op", "n");
+        root.attr("i", format!("{i}"));
+        root.end();
+    }
+    assert_eq!(ring.recorded(), 10);
+    assert_eq!(ring.dropped(), 6, "10 spans into 4 slots loses 6");
+    let spans = ring.snapshot();
+    assert_eq!(spans.len(), 4, "ring retains exactly its capacity");
+    let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+    assert_eq!(seqs, vec![6, 7, 8, 9], "latest spans, ascending seq");
+    assert_eq!(spans.last().unwrap().attrs, vec![("i", "9".to_string())]);
+}

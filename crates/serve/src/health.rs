@@ -156,7 +156,10 @@ impl HealthTracker {
     pub fn new(policy: HealthPolicy) -> Self {
         HealthTracker {
             policy,
-            origin: Instant::now(),
+            // The shared obs clock base, not a private `Instant::now()`:
+            // `last_transition_ms` then interleaves correctly with span
+            // timestamps and ring-event `at_ms` in postmortems.
+            origin: neo_obs::clock_origin(),
             inner: Mutex::new(HealthInner {
                 state: HealthState::Healthy,
                 consecutive_failures: 0,

@@ -36,8 +36,9 @@ use crate::slot::ModelSlot;
 use neo::{best_first_search_seeded_with_scratch, Featurizer, SearchBudget, SearchStats, ValueNet};
 use neo_nn::ScratchPool;
 use neo_obs::{
-    Counter, FingerprintStat, Gauge, HistogramSnapshot, HotSet, LatencyHistogram, MetricsRegistry,
-    MetricsSnapshot, SamplerConfig, SearchTrace, SeedOutcome, TelemetrySampler,
+    Counter, FingerprintStat, Gauge, HistogramSnapshot, HotSet, JsonNode, LatencyHistogram,
+    MetricsRegistry, MetricsSnapshot, SamplerConfig, SearchTrace, SeedOutcome, SpanRing,
+    TelemetrySampler, Tracer,
 };
 use neo_query::{fingerprint, PlanNode, Query, QueryFingerprint};
 use neo_storage::Database;
@@ -91,6 +92,16 @@ pub struct ServeConfig {
     /// either way, so the registry's shape is stable — only hot-path
     /// updates are gated.
     pub obs: bool,
+    /// Enables causal span tracing of the optimize path (requires `obs`).
+    /// Sampled traces land in the service's [`SpanRing`]; committed
+    /// trace ids feed histogram exemplars and hot-set worst-case
+    /// pointers. The serve bench A/B-gates its cost separately.
+    pub tracing: bool,
+    /// Head sampling: keep 1 in this many query traces (0 or 1 = all).
+    pub trace_sample_every: u64,
+    /// Tail latch: commit any query trace at least this slow end-to-end,
+    /// sampled or not — p99s stay explainable even at sparse sampling.
+    pub trace_slow_ms: f64,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +117,9 @@ impl Default for ServeConfig {
             search_base_expansions: 12,
             wavefront: neo::DEFAULT_WAVEFRONT,
             obs: true,
+            tracing: true,
+            trace_sample_every: 64,
+            trace_slow_ms: 10.0,
         }
     }
 }
@@ -178,11 +192,20 @@ struct ServeObs {
     generation_gauge: Gauge,
     epoch_gauge: Gauge,
     hotset: HotSet,
+    /// The bounded ring committed query traces land in (always present,
+    /// so the snapshot shape is stable; empty when tracing is off).
+    spans: Arc<SpanRing>,
+    /// Hands out per-request root spans; a disabled tracer's guards are
+    /// no-ops, so the untraced hot path pays nothing.
+    tracer: Tracer,
     enabled: bool,
 }
 
+/// Committed query traces retained per service.
+const SPAN_RING_CAPACITY: usize = 2048;
+
 impl ServeObs {
-    fn new(workers: usize, enabled: bool) -> Self {
+    fn new(workers: usize, enabled: bool, cfg: &ServeConfig) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         // One stripe per pool worker plus one for direct `optimize`
         // callers; thread-id hashing spreads recorders across them.
@@ -203,6 +226,13 @@ impl ServeObs {
         registry.bind_gauge("serve_model_generation", &generation_gauge);
         let epoch_gauge = Gauge::new();
         registry.bind_gauge("serve_cache_epoch", &epoch_gauge);
+        let spans = Arc::new(SpanRing::new(SPAN_RING_CAPACITY));
+        let tracer = if enabled && cfg.tracing {
+            let slow_us = (cfg.trace_slow_ms.max(0.0) * 1e3) as u64;
+            Tracer::new(Arc::clone(&spans), cfg.trace_sample_every, slow_us)
+        } else {
+            Tracer::disabled(Arc::clone(&spans))
+        };
         ServeObs {
             registry,
             requests,
@@ -212,6 +242,8 @@ impl ServeObs {
             generation_gauge,
             epoch_gauge,
             hotset: HotSet::new(),
+            spans,
+            tracer,
             enabled,
         }
     }
@@ -255,14 +287,35 @@ impl Shared {
         // concurrent publish, the insert below is rejected by its stamp —
         // never the other way around (see `publish_model`'s ordering).
         let search_epoch = self.cache.epoch();
+        // Root of this request's causal trace (a no-op guard when tracing
+        // is off). Children cover each serving stage; the whole trace
+        // commits to the span ring iff head-sampled or slow.
+        let mut root = self.obs.tracer.start("optimize", "serve");
+        if root.is_recording() {
+            root.attr("query_id", query.id.clone());
+            root.attr("fingerprint", format!("{:032x}", fp.0));
+        }
         if self.cfg.use_cache {
-            if let Some((plan, chosen_by)) = self.cache.get_with_generation(fp) {
+            let mut probe_span = root.child("cache_probe");
+            let probed = self.cache.get_with_generation(fp);
+            probe_span.attr("hit", if probed.is_some() { "true" } else { "false" });
+            probe_span.end();
+            if let Some((plan, chosen_by)) = probed {
                 let optimize_ms = start.elapsed().as_secs_f64() * 1e3;
+                // End the root *before* recording, so exemplars only ever
+                // point at traces that actually committed to the ring.
+                let kept = root.end();
                 if self.obs.enabled {
                     self.obs.requests.inc();
-                    self.obs.stripe(&self.obs.hit_hist).record_ms(optimize_ms);
-                    self.obs.stripe(&self.obs.e2e_hist).record_ms(optimize_ms);
-                    self.obs.hotset.record_probe(fp.0, true, optimize_ms);
+                    self.obs
+                        .stripe(&self.obs.hit_hist)
+                        .record_ms_traced(optimize_ms, kept);
+                    self.obs
+                        .stripe(&self.obs.e2e_hist)
+                        .record_ms_traced(optimize_ms, kept);
+                    self.obs
+                        .hotset
+                        .record_probe_traced(fp.0, true, optimize_ms, kept);
                 }
                 let trace = want_trace.then(|| SearchTrace {
                     query_id: query.id.clone(),
@@ -282,6 +335,7 @@ impl Shared {
                     seed_outcome: SeedOutcome::NoSeed,
                     session_reused: false,
                     predicted_ms: None,
+                    trace_id: kept.map(|t| t.0),
                 });
                 return OptimizeOutcome {
                     query_id: query.id.clone(),
@@ -307,16 +361,22 @@ impl Shared {
         // *after* the epoch read preserves the publish consistency
         // argument: a plan chosen by a newer net than the epoch implies is
         // either rejected at insert (epoch moved) or flushed by the bump.
+        let load_span = root.child("model_load");
         let (net, model_generation) = self.model.load();
+        load_span.end();
         let budget =
             SearchBudget::expansions(self.cfg.search_base_expansions + 3 * query.num_relations())
                 .with_wavefront(self.cfg.wavefront);
+        let mut seed_span = root.child("seed_lookup");
         let seed = if self.cfg.use_cache && self.cfg.use_seeds {
             self.cache.seed(fp)
         } else {
             None
         };
+        seed_span.attr("seeded", if seed.is_some() { "true" } else { "false" });
+        seed_span.end();
         let session_reused = self.scratch.available() > 0;
+        let mut search_span = root.child("search");
         let scratch = self.scratch.checkout();
         let (plan, stats, scratch) = best_first_search_seeded_with_scratch(
             &net,
@@ -329,18 +389,38 @@ impl Shared {
             scratch,
         );
         self.scratch.give_back(scratch);
+        // The seed challenge resolves with the search: the seed survived
+        // iff the search's best plan *is* the seed.
+        let seed_outcome = match &seed {
+            None => SeedOutcome::NoSeed,
+            Some(s) if plan == **s => SeedOutcome::Retained,
+            Some(_) => SeedOutcome::Beaten,
+        };
+        if search_span.is_recording() {
+            search_span.attr("expansions", format!("{}", stats.expansions));
+            search_span.attr("seed_outcome", seed_outcome.label());
+        }
+        search_span.end();
         if self.cfg.use_cache {
+            let insert_span = root.child("cache_insert");
             self.cache
                 .insert_from_generation(fp, plan.clone(), search_epoch, model_generation);
+            insert_span.end();
         }
         let optimize_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Root ends before recording (see the hit path).
+        let kept = root.end();
         if self.obs.enabled {
             self.obs.requests.inc();
             self.obs
                 .stripe(&self.obs.search_hist)
-                .record_ms(stats.wall_ms);
-            self.obs.stripe(&self.obs.e2e_hist).record_ms(optimize_ms);
-            self.obs.hotset.record_probe(fp.0, false, optimize_ms);
+                .record_ms_traced(stats.wall_ms, kept);
+            self.obs
+                .stripe(&self.obs.e2e_hist)
+                .record_ms_traced(optimize_ms, kept);
+            self.obs
+                .hotset
+                .record_probe_traced(fp.0, false, optimize_ms, kept);
         }
         let predicted_ms = net.to_cost(stats.best_score);
         let trace = want_trace.then(|| SearchTrace {
@@ -356,15 +436,10 @@ impl Shared {
             search_wall_ms: stats.wall_ms,
             total_wall_ms: optimize_ms,
             hurried: stats.hurried,
-            seed_outcome: match &seed {
-                None => SeedOutcome::NoSeed,
-                // The seed survived the challenge iff the search's best
-                // plan *is* the seed.
-                Some(s) if plan == **s => SeedOutcome::Retained,
-                Some(_) => SeedOutcome::Beaten,
-            },
+            seed_outcome,
             session_reused,
             predicted_ms: Some(predicted_ms),
+            trace_id: kept.map(|t| t.0),
         });
         OptimizeOutcome {
             query_id: query.id.clone(),
@@ -408,7 +483,7 @@ impl OptimizerService {
             "serving does not support the aux cardinality channel"
         );
         let pool = WorkerPool::new(cfg.workers);
-        let obs = ServeObs::new(cfg.workers, cfg.obs);
+        let obs = ServeObs::new(cfg.workers, cfg.obs, &cfg);
         let cache = PlanCache::with_capacity(cfg.cache_shards, cfg.cache_capacity_per_shard);
         // Cache counters registered regardless of `cfg.obs` — binding
         // shares the live atomics the cache updates anyway, so exposure
@@ -700,5 +775,18 @@ impl OptimizerService {
     /// latency EWMA, execution regret).
     pub fn hot_fingerprints(&self, n: usize) -> Vec<FingerprintStat> {
         self.shared.obs.hotset.top(n)
+    }
+
+    /// The bounded ring of committed query traces (empty when
+    /// `cfg.tracing` is off). Exemplar trace ids in this service's
+    /// histograms and hot set resolve against it.
+    pub fn span_ring(&self) -> &Arc<SpanRing> {
+        &self.shared.obs.spans
+    }
+
+    /// The retained query traces as a JSON `traces` section
+    /// (`{spans, recorded, dropped}`).
+    pub fn traces_node(&self) -> JsonNode {
+        self.shared.obs.spans.to_node()
     }
 }
