@@ -400,6 +400,10 @@ pub struct ClusterBenchReport {
     pub failover: FailoverPoint,
     /// The chaos-soak experiment.
     pub chaos: ChaosPoint,
+    /// The loopback-socket regime (leader + follower as separate OS
+    /// processes, driven over real TCP). `None` when the `neo-gateway`
+    /// binary was not available next to the benchmark.
+    pub loopback: Option<crate::loopback_bench::LoopbackPoint>,
 }
 
 fn net_cfg() -> NetConfig {
@@ -1568,6 +1572,9 @@ pub fn run_cluster_bench(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
     // its own fault-injected one.
     let failover = run_failover_experiment(cfg, &fx, largest.clamp(2, 3));
     let chaos = run_chaos_experiment(cfg, &fx, largest.clamp(2, 3));
+    // The only regime with REAL process and socket boundaries; skipped
+    // (recorded as null) when the neo-gateway binary isn't built.
+    let loopback = crate::loopback_bench::run_loopback_bench(cfg);
 
     ClusterBenchReport {
         available_parallelism: std::thread::available_parallelism()
@@ -1581,6 +1588,7 @@ pub fn run_cluster_bench(cfg: &ClusterBenchConfig) -> ClusterBenchReport {
         restart: restart.expect("node_counts must include a multi-node fleet (≥ 2)"),
         failover,
         chaos,
+        loopback,
     }
 }
 
@@ -1736,7 +1744,11 @@ impl ClusterBenchReport {
             f.retained_checkpoints,
             f.tmp_files
         ));
-        s.push_str(&format!("  \"chaos\": {}\n", self.chaos.to_json()));
+        s.push_str(&format!("  \"chaos\": {},\n", self.chaos.to_json()));
+        match &self.loopback {
+            Some(p) => s.push_str(&format!("  \"loopback\": {}\n", p.to_json())),
+            None => s.push_str("  \"loopback\": null\n"),
+        }
         s.push_str("}\n");
         s
     }
@@ -1840,5 +1852,18 @@ mod tests {
         assert!(json.contains("\"budget_burn_before_lease_lapse\": true"));
         assert!(json.contains("\"slo_fast_burns\""));
         assert!(json.contains("\"telemetry_ticks\""));
+        // Loopback regime: present when the neo-gateway binary is built
+        // (the CI bench step builds release binaries first, so the real
+        // BENCH_cluster.json always carries it); under a bare lib-test
+        // run it may legitimately be null — but never absent.
+        assert!(json.contains("\"loopback\""));
+        if let Some(l) = &report.loopback {
+            assert_eq!(l.processes, 3);
+            assert!(l.requests > 0);
+            assert!(l.qps > 0.0);
+            assert!(l.p50_ms > 0.0 && l.p99_ms >= l.p50_ms && l.max_ms >= l.p99_ms);
+            assert!(l.replies_consistent);
+            assert!(l.clean_shutdown);
+        }
     }
 }

@@ -16,6 +16,7 @@ pub mod cluster_bench;
 pub mod figures;
 pub mod harness;
 pub mod learn_bench;
+pub mod loopback_bench;
 pub mod obs_report;
 pub mod serve_bench;
 
@@ -27,6 +28,7 @@ pub use harness::{
     WorkloadKind,
 };
 pub use learn_bench::{run_learn_bench, LearnBenchConfig, LearnBenchReport};
+pub use loopback_bench::{run_loopback_bench, LoopbackPoint};
 pub use serve_bench::{run_serve_bench, ServeBenchConfig, ServeBenchReport};
 
 /// Number of hardware threads available to this process (1 if unknown).

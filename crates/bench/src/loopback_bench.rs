@@ -1,0 +1,293 @@
+//! Loopback-socket serving regime (ISSUE 10): the fleet as **separate
+//! OS processes**. A leader and a follower `neo-gateway` child process
+//! coordinate through a scratch checkpoint directory; this process
+//! drives the leader over real TCP connections and measures what the
+//! in-process regimes cannot — the full wire path: frame encode →
+//! socket → accept loop → decode → dispatch → encode → socket → decode.
+//!
+//! Skipped gracefully (with a marker in the report) when the
+//! `neo-gateway` binary is not next to the running benchmark — the rest
+//! of the cluster bench is in-process and must not fail over it.
+
+use crate::cluster_bench::ClusterBenchConfig;
+use neo_gateway::GatewayClient;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Results of the loopback serving regime.
+#[derive(Clone, Debug)]
+pub struct LoopbackPoint {
+    /// OS processes involved (leader + follower + this driver).
+    pub processes: usize,
+    /// Concurrent client connections driving the leader.
+    pub connections: usize,
+    /// Optimize requests completed across all connections.
+    pub requests: u64,
+    /// Wall-clock of the drive phase, ms.
+    pub wall_ms: f64,
+    /// Aggregate optimize round-trips per second.
+    pub qps: f64,
+    /// Median round-trip latency, ms (client-observed, serialization
+    /// and socket included).
+    pub p50_ms: f64,
+    /// Tail round-trip latency, ms.
+    pub p99_ms: f64,
+    /// Worst round-trip, ms.
+    pub max_ms: f64,
+    /// Every reply decoded to the requested query id.
+    pub replies_consistent: bool,
+    /// Both children exited 0 after a wire-requested shutdown.
+    pub clean_shutdown: bool,
+}
+
+impl LoopbackPoint {
+    /// One JSON object line for `BENCH_cluster.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"processes\": {}, \"connections\": {}, \"requests\": {}, \
+             \"wall_ms\": {:.1}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"max_ms\": {:.3}, \
+             \"replies_consistent\": {}, \"clean_shutdown\": {}}}",
+            self.processes,
+            self.connections,
+            self.requests,
+            self.wall_ms,
+            self.qps,
+            self.p50_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.replies_consistent,
+            self.clean_shutdown
+        )
+    }
+}
+
+/// Locates the `neo-gateway` binary relative to the running executable:
+/// a sibling in the same target directory, or (when running under the
+/// test harness from `target/<profile>/deps/`) one directory up.
+fn gateway_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("neo-gateway{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent()?;
+    for _ in 0..2 {
+        let candidate = dir.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+struct ScratchDir(PathBuf);
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A child gateway, killed on drop unless it already exited.
+struct ChildNode {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ChildNode {
+    fn drop(&mut self) {
+        if matches!(self.child.try_wait(), Ok(None)) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+fn spawn_gateway(
+    binary: &Path,
+    cfg: &ClusterBenchConfig,
+    role: &str,
+    store: &Path,
+    leader_addr: Option<&str>,
+) -> std::io::Result<ChildNode> {
+    let mut cmd = Command::new(binary);
+    cmd.args(["--role", role])
+        .args(["--store", store.to_str().unwrap_or_default()])
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--name", &format!("bench-{role}")])
+        .args(["--scale", &format!("{}", cfg.scale)])
+        .args(["--seed", &format!("{}", cfg.seed)])
+        .args(["--workers", &format!("{}", cfg.workers_per_node.max(1))])
+        .args(["--poll-ms", "20"])
+        .args(["--lease-ttl-ms", "2000"])
+        .args(["--ship-ms", "50"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(addr) = leader_addr {
+        cmd.args(["--leader", addr]);
+    }
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let addr = BufReader::new(stdout)
+        .lines()
+        .map_while(Result::ok)
+        .find_map(|l| l.strip_prefix("NEO_GATEWAY_ADDR=").map(str::to_string))
+        .ok_or_else(|| {
+            let _ = child.kill();
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "gateway exited before announcing its address",
+            )
+        })?;
+    Ok(ChildNode { child, addr })
+}
+
+fn wait_clean(node: &mut ChildNode) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        match node.child.try_wait() {
+            Ok(Some(status)) => return status.success(),
+            Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs the loopback regime; `None` (with a note on stderr) when the
+/// gateway binary is absent.
+pub fn run_loopback_bench(cfg: &ClusterBenchConfig) -> Option<LoopbackPoint> {
+    let binary = match gateway_binary() {
+        Some(b) => b,
+        None => {
+            eprintln!(
+                "loopback regime SKIPPED: neo-gateway binary not found next to {} \
+                 (build the workspace binaries first)",
+                std::env::current_exe()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default()
+            );
+            return None;
+        }
+    };
+    let scratch =
+        ScratchDir(std::env::temp_dir().join(format!("neo-bench-loopback-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&scratch.0);
+    std::fs::create_dir_all(&scratch.0).ok()?;
+    let store = scratch.0.join("store");
+
+    let mut leader = spawn_gateway(&binary, cfg, "leader", &store, None).ok()?;
+    let mut follower = spawn_gateway(&binary, cfg, "follower", &store, Some(&leader.addr)).ok()?;
+
+    // The children built this same deterministic fixture from scale+seed.
+    let db = neo_storage::datagen::imdb::generate(cfg.scale, cfg.seed);
+    let workload = neo_query::workload::job::generate(&db, cfg.seed);
+    let queries: Vec<_> = workload
+        .queries
+        .iter()
+        .take(cfg.queries.max(1))
+        .cloned()
+        .collect();
+
+    // Drive phase: every connection replays the workload round-robin.
+    // First pass per connection is search-bound, repeats are cache-warm —
+    // the mix is the point: this measures the WIRE, not the planner.
+    let connections = cfg.workers_per_node.clamp(1, 4);
+    let rounds = (cfg.throughput_replicas.max(1) * 8).min(64);
+    let started = Instant::now();
+    let lat_per_conn: Vec<(Vec<f64>, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let queries = &queries;
+                let addr = leader.addr.clone();
+                scope.spawn(move || {
+                    let mut client = match GatewayClient::connect(&*addr) {
+                        Ok(cl) => cl,
+                        Err(_) => return (Vec::new(), false),
+                    };
+                    let mut lats = Vec::with_capacity(rounds * queries.len());
+                    let mut consistent = true;
+                    for r in 0..rounds {
+                        for q in queries {
+                            let t = Instant::now();
+                            match client.optimize(q.clone(), None) {
+                                Ok(reply) => {
+                                    lats.push(t.elapsed().as_secs_f64() * 1e3);
+                                    consistent &= reply.query_id == q.id;
+                                    // Feed some execution reports through the
+                                    // wire too (the follower path exercises
+                                    // the experience relay in its own tests).
+                                    if r == 0 && c == 0 {
+                                        consistent &= client
+                                            .report_execution(
+                                                q.clone(),
+                                                reply.plan,
+                                                reply.optimize_ms.max(0.1),
+                                            )
+                                            .is_ok();
+                                    }
+                                }
+                                Err(_) => {
+                                    consistent = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    (lats, consistent)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut lats: Vec<f64> = Vec::new();
+    let mut consistent = true;
+    for (l, ok) in &lat_per_conn {
+        lats.extend_from_slice(l);
+        consistent &= *ok;
+    }
+    lats.sort_by(|a, b| a.total_cmp(b));
+    let requests = lats.len() as u64;
+
+    // Wire-requested shutdown, follower first (its relay ships to the
+    // leader), then assert both drained and exited 0.
+    let shutdown_ok = {
+        let follower_down = GatewayClient::connect(&*follower.addr)
+            .and_then(|mut c| c.shutdown_server())
+            .unwrap_or(false)
+            && wait_clean(&mut follower);
+        let leader_down = GatewayClient::connect(&*leader.addr)
+            .and_then(|mut c| c.shutdown_server())
+            .unwrap_or(false)
+            && wait_clean(&mut leader);
+        follower_down && leader_down
+    };
+
+    Some(LoopbackPoint {
+        processes: 3,
+        connections,
+        requests,
+        wall_ms,
+        qps: if wall_ms > 0.0 {
+            requests as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&lats, 0.50),
+        p99_ms: percentile(&lats, 0.99),
+        max_ms: lats.last().copied().unwrap_or(0.0),
+        replies_consistent: consistent && requests > 0,
+        clean_shutdown: shutdown_ok,
+    })
+}

@@ -41,14 +41,22 @@
 //!
 //! Filesystem caveat: the op lock serializes lease claims and publishes
 //! only *within* a process (which covers fleets sharing one
-//! `Arc<FsCheckpointStore>` — the shipped deployment). Across processes,
-//! `try_acquire_lease` falls back to write-then-read-back confirmation,
-//! and a publish's check-then-write is unserialized — a true
-//! cross-process CAS would need `O_EXCL`/`link(2)` tricks. The backstops
-//! for that regime: rename atomicity keeps every *visible* file whole,
-//! and the frame checksum turns a genuinely simultaneous same-generation
-//! write into a detected, transient load failure (the next generation
-//! heals it) rather than silently divergent weights.
+//! `Arc<FsCheckpointStore>`). Across **processes** (ISSUE 10's gateway
+//! fleet: leader, followers, and clients as separate OS processes), the
+//! lease read-modify-write is additionally serialized by a true on-disk
+//! mutual-exclusion lock — the classic `O_EXCL` + `link(2)` dance: each
+//! claimant `O_EXCL`-creates a unique staging file and atomically
+//! `link(2)`s it onto `LEADER.lock`; exactly one link wins (confirmed by
+//! the staging file's link count reaching 2, which survives even an
+//! NFS-style lost reply), every loser retries briefly. A lock abandoned
+//! by a crashed holder is broken after a short TTL by an atomic
+//! rename-then-delete, so exactly one breaker wins the break too.
+//! Publishes keep their in-process serialization; the backstops for a
+//! cross-process publish race remain: rename atomicity keeps every
+//! *visible* file whole, and the frame checksum turns a genuinely
+//! simultaneous same-generation write into a detected, transient load
+//! failure (the next generation heals it) rather than silently
+//! divergent weights.
 //!
 //! # Retention
 //!
@@ -65,6 +73,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// First line of a valid `MANIFEST` file.
 pub const MANIFEST_HEADER: &str = "neo-cluster-manifest v1";
@@ -77,6 +86,26 @@ pub const LEASE_HEADER: &str = "neo-cluster-lease v1";
 
 /// Filename of the leader lease inside a store directory.
 pub const LEASE_NAME: &str = "LEADER";
+
+/// Filename of the cross-process mutation lock guarding lease
+/// read-modify-writes (the `O_EXCL` + `link(2)` target).
+pub const LOCK_NAME: &str = "LEADER.lock";
+
+/// Prefix of the per-claimant staging files the lock dance links from.
+/// Deliberately *not* a `*.tmp` suffix: the open-time tmp sweep must
+/// never reclaim a racer's in-flight staging file.
+const LOCK_STAGING_PREFIX: &str = ".lck-";
+
+/// Age (by the timestamp embedded in the lock file) beyond which a
+/// mutation lock is considered abandoned by a crashed holder and may be
+/// broken. The guarded critical section is a handful of small-file
+/// reads/writes — milliseconds — so three orders of magnitude of
+/// headroom separates "crashed" from "slow".
+const LOCK_STALE_MS: u64 = 2_000;
+
+/// Bounded wait for the mutation lock: attempts × per-attempt backoff.
+const LOCK_ATTEMPTS: u32 = 200;
+const LOCK_BACKOFF: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// What the manifest names: the latest published generation and the term
 /// of the leader that minted it (0 for publishes outside the lease
@@ -342,8 +371,18 @@ impl FsCheckpointStore {
             torn_lease_reads: neo_obs::Counter::new(),
         };
         // At open this process has no publish or lease renewal in flight,
-        // so a crashed writer's `LEADER.tmp` is reclaimable here too.
-        store.sweep_tmp_matching(|name| name.ends_with(".tmp"));
+        // so a crashed writer's `LEADER.tmp` is reclaimable here too, as
+        // is `.lck-*` staging litter from crashed lock claimants (the
+        // lock name itself is never swept — stale locks are broken by
+        // the TTL path so exactly one breaker wins). Age-gated: another
+        // LIVE process may have a write in flight right now, and
+        // unlinking its milliseconds-old tmp would fail its rename.
+        // Crash litter is, by definition, old by the time anyone
+        // reopens; fresh files are someone else's business.
+        store.sweep_tmp_matching_older_than(
+            |name| name.ends_with(".tmp") || name.starts_with(LOCK_STAGING_PREFIX),
+            Duration::from_millis(LOCK_STALE_MS),
+        );
         Ok(store)
     }
 
@@ -409,24 +448,43 @@ impl FsCheckpointStore {
     /// publish is serialized by [`FsCheckpointStore`]'s op lock.
     /// (A crashed lease write's `LEADER.tmp` is reclaimed by
     /// [`FsCheckpointStore::open`] instead, where this process has no
-    /// renewal in flight; a concurrently *restarting* peer can in theory
-    /// unlink another process's in-flight tmp there — the writer's
-    /// rename then fails once, is counted, and retries next tick.)
+    /// renewal in flight; that sweep is age-gated so a restarting peer
+    /// cannot unlink another live process's in-flight tmp.)
     pub fn sweep_stale_tmp(&self) -> usize {
-        self.sweep_tmp_matching(|name| {
-            name == "MANIFEST.tmp" || (name.starts_with("gen-") && name.ends_with(".ckpt.tmp"))
-        })
+        self.sweep_tmp_matching_older_than(
+            |name| {
+                name == "MANIFEST.tmp" || (name.starts_with("gen-") && name.ends_with(".ckpt.tmp"))
+            },
+            Duration::ZERO,
+        )
     }
 
-    fn sweep_tmp_matching(&self, matches: impl Fn(&str) -> bool) -> usize {
+    /// Removes directory entries matching `matches` whose mtime is at
+    /// least `min_age` old. An unreadable mtime counts as old (matching
+    /// the pre-age-gate behavior on filesystems without timestamps).
+    fn sweep_tmp_matching_older_than(
+        &self,
+        matches: impl Fn(&str) -> bool,
+        min_age: Duration,
+    ) -> usize {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return 0;
         };
+        let now = std::time::SystemTime::now();
         let mut removed = 0;
         for entry in entries.filter_map(|e| e.ok()) {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if matches(name) && std::fs::remove_file(entry.path()).is_ok() {
+            if !matches(name) {
+                continue;
+            }
+            let old_enough = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| now.duration_since(mtime).ok())
+                .is_none_or(|age| age >= min_age);
+            if old_enough && std::fs::remove_file(entry.path()).is_ok() {
                 removed += 1;
             }
         }
@@ -470,6 +528,87 @@ impl FsCheckpointStore {
             lease.holder, lease.term, lease.expires_at_ms
         );
         self.write_atomic(&self.dir.join(LEASE_NAME), text.as_bytes())
+    }
+
+    /// Acquires the **cross-process** mutation lock serializing lease
+    /// read-modify-writes (the in-process op lock must already be held).
+    ///
+    /// The dance, NFS-folklore complete:
+    ///
+    /// 1. `O_EXCL`-create a unique staging file (`.lck-<pid>-<nonce>`)
+    ///    carrying `holder` and a wall-clock birth stamp;
+    /// 2. `link(2)` it onto [`LOCK_NAME`] — atomic even where `O_EXCL`
+    ///    on the lock name itself wouldn't be;
+    /// 3. confirm by the staging file's **link count**: 2 means our link
+    ///    landed, regardless of what the `link` call returned (a lost
+    ///    network reply reports failure for a link that succeeded);
+    /// 4. a lock older than [`LOCK_STALE_MS`] was abandoned by a crashed
+    ///    holder: break it with an atomic rename-then-delete, so exactly
+    ///    one breaker wins the break and nobody unlinks a *fresh* lock
+    ///    that replaced the stale one mid-break.
+    ///
+    /// Bounded wait ([`LOCK_ATTEMPTS`] × [`LOCK_BACKOFF`]); contention
+    /// past that returns `WouldBlock`, which the node tick's retry
+    /// policy absorbs like any transient store fault.
+    fn lock_mutation(&self, holder: &str) -> io::Result<FsMutationLock> {
+        let lock_path = self.dir.join(LOCK_NAME);
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let staging = self.dir.join(format!(
+            "{LOCK_STAGING_PREFIX}{}-{:x}",
+            std::process::id(),
+            NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        for _ in 0..LOCK_ATTEMPTS {
+            let content = format!("holder={holder}\nlocked_at_ms={}\n", wall_ms());
+            // (Re)write the staging file: create_new on the first pass
+            // (O_EXCL — the name embeds our pid, so a leftover can only
+            // be our own crash litter, safe to truncate), plain rewrite
+            // after, refreshing the birth stamp carried into the lock.
+            std::fs::write(&staging, content.as_bytes())?;
+            let linked = std::fs::hard_link(&staging, &lock_path);
+            let nlink_confirmed = staging_link_count(&staging).is_some_and(|n| n >= 2);
+            if linked.is_ok() || nlink_confirmed {
+                // Ours. The staging entry served its purpose; the lock
+                // name keeps the inode (and its content) alive.
+                let _ = std::fs::remove_file(&staging);
+                return Ok(FsMutationLock {
+                    lock_path,
+                    expected_content: content,
+                });
+            }
+            match linked {
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&lock_path) {
+                        // Exactly-one-wins break: rename the stale lock
+                        // aside, then delete the renamed husk. A loser's
+                        // rename fails (NotFound) and it simply retries.
+                        let husk = self.dir.join(format!(
+                            "{LOCK_STAGING_PREFIX}break-{}-{:x}",
+                            std::process::id(),
+                            wall_ms()
+                        ));
+                        if std::fs::rename(&lock_path, &husk).is_ok() {
+                            let _ = std::fs::remove_file(&husk);
+                        }
+                        continue; // immediate re-attempt
+                    }
+                    std::thread::sleep(LOCK_BACKOFF);
+                }
+                // Staging file vanished (a concurrent open() swept it) or
+                // other transient weirdness: recreate and retry.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    let _ = std::fs::remove_file(&staging);
+                    return Err(e);
+                }
+                Ok(()) => unreachable!("handled above"),
+            }
+        }
+        let _ = std::fs::remove_file(&staging);
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!("lease mutation lock contended beyond {LOCK_ATTEMPTS} attempts"),
+        ))
     }
 
     /// The publish body, op lock already held by the caller: the
@@ -677,6 +816,9 @@ impl CheckpointStore for FsCheckpointStore {
         ttl_ms: u64,
     ) -> io::Result<Option<LeaderLease>> {
         let _serialize = self.op_lock.lock().expect("store op lock poisoned");
+        // True multi-process mutual exclusion (ISSUE 10): the op lock
+        // covers in-process racers; this covers racing *processes*.
+        let _excl = self.lock_mutation(holder)?;
         let current = self.read_lease()?;
         let next = match &current {
             Some(lease) if lease.holder == holder && !lease.expired(now_ms) => LeaderLease {
@@ -697,17 +839,16 @@ impl CheckpointStore for FsCheckpointStore {
             },
         };
         self.write_lease(&next)?;
-        // Cross-process confirmation: the in-process mutex cannot see a
-        // racing process, but renames are atomic, so reading our own
-        // write back confirms we were the last writer.
-        match self.read_lease()? {
-            Some(observed) if observed == next => Ok(Some(next)),
-            _ => Ok(None),
-        }
+        // Under the mutation lock the write cannot race another process:
+        // no read-back confirmation needed — the old write-then-read-back
+        // heuristic had an ABA window where two claimants could both
+        // confirm the same minted term.
+        Ok(Some(next))
     }
 
     fn release_lease(&self, holder: &str) -> io::Result<bool> {
         let _serialize = self.op_lock.lock().expect("store op lock poisoned");
+        let _excl = self.lock_mutation(holder)?;
         match self.read_lease()? {
             Some(lease) if lease.holder == holder => {
                 // Expire in place — the term sequence must survive.
@@ -743,6 +884,69 @@ impl CheckpointStore for FsCheckpointStore {
             self.sync_dir();
         }
         Ok(removed)
+    }
+}
+
+/// Held for the duration of one lease read-modify-write; dropping it
+/// releases [`LOCK_NAME`]. Release verifies the lock's content is still
+/// ours first: if a pathological stall let a breaker replace the lock
+/// mid-critical-section, we must not unlink the successor's lock. (The
+/// verify-then-unlink pair is not atomic — that residual window is the
+/// irreducible cost of TTL-based crash recovery, shared by the lease
+/// protocol itself.)
+struct FsMutationLock {
+    lock_path: PathBuf,
+    expected_content: String,
+}
+
+impl Drop for FsMutationLock {
+    fn drop(&mut self) {
+        match std::fs::read_to_string(&self.lock_path) {
+            Ok(content) if content == self.expected_content => {
+                let _ = std::fs::remove_file(&self.lock_path);
+            }
+            _ => {} // broken as stale and possibly re-claimed: not ours to unlink
+        }
+    }
+}
+
+/// Wall-clock milliseconds since the epoch — the mutation lock's
+/// staleness clock. Independent of the *caller-supplied* lease clock
+/// (which tests drive as a counter): lock staleness is about real
+/// crashed processes, not simulated time.
+fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The staging file's hard-link count, where the platform exposes one.
+#[cfg(unix)]
+fn staging_link_count(path: &Path) -> Option<u64> {
+    use std::os::unix::fs::MetadataExt;
+    std::fs::metadata(path).ok().map(|m| m.nlink())
+}
+
+#[cfg(not(unix))]
+fn staging_link_count(_path: &Path) -> Option<u64> {
+    None // fall back to trusting the hard_link return value
+}
+
+/// True when the lock file at `path` was abandoned: its embedded birth
+/// stamp is older than [`LOCK_STALE_MS`] (or the content is garbage,
+/// which a *live* lock can never be — the staging file is fully written
+/// before it is linked into place).
+fn lock_is_stale(path: &Path) -> bool {
+    match std::fs::read_to_string(path) {
+        Ok(content) => content
+            .lines()
+            .find_map(|l| l.strip_prefix("locked_at_ms="))
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_none_or(|born| wall_ms().saturating_sub(born) > LOCK_STALE_MS),
+        // Vanished between the link failure and this read: someone else
+        // released or broke it — not stale, just retry.
+        Err(_) => false,
     }
 }
 
@@ -1245,9 +1449,20 @@ mod tests {
             let store = FsCheckpointStore::open(tmp.path()).unwrap();
             store.publish(1, &framed(1)).unwrap();
         }
-        // A publisher crashed between tmp write and rename.
-        std::fs::write(tmp.path().join("gen-000002.ckpt.tmp"), b"half a checkpoint").unwrap();
-        std::fs::write(tmp.path().join("MANIFEST.tmp"), b"half a manifest").unwrap();
+        // A publisher crashed between tmp write and rename. The sweep is
+        // age-gated (a FRESH tmp may be another live process's in-flight
+        // write), so backdate the litter past the staleness horizon.
+        for (name, bytes) in [
+            ("gen-000002.ckpt.tmp", b"half a checkpoint".as_slice()),
+            ("MANIFEST.tmp", b"half a manifest".as_slice()),
+        ] {
+            let path = tmp.path().join(name);
+            std::fs::write(&path, bytes).unwrap();
+            let old = std::time::SystemTime::now() - Duration::from_millis(10 * LOCK_STALE_MS);
+            let f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.set_times(std::fs::FileTimes::new().set_modified(old))
+                .unwrap();
+        }
         let store = FsCheckpointStore::open(tmp.path()).unwrap();
         let tmp_files: Vec<_> = std::fs::read_dir(tmp.path())
             .unwrap()
@@ -1257,5 +1472,20 @@ mod tests {
         assert!(tmp_files.is_empty(), "{tmp_files:?}");
         // The real store state is untouched.
         assert_eq!(store.load_latest().unwrap().unwrap().0, 1);
+    }
+
+    #[test]
+    fn open_leaves_fresh_tmp_files_alone() {
+        // A *fresh* tmp is plausibly another live process's in-flight
+        // atomic write; a restarting peer must not unlink it out from
+        // under the rename (the multi-process hammer test caught exactly
+        // this).
+        let tmp = TempDir::new("sweep-fresh");
+        std::fs::create_dir_all(tmp.path()).unwrap();
+        std::fs::write(tmp.path().join("LEADER.tmp"), b"renewal in flight").unwrap();
+        std::fs::write(tmp.path().join(".lck-999-0"), b"holder=live\n").unwrap();
+        let _store = FsCheckpointStore::open(tmp.path()).unwrap();
+        assert!(tmp.path().join("LEADER.tmp").exists());
+        assert!(tmp.path().join(".lck-999-0").exists());
     }
 }

@@ -69,9 +69,19 @@ fn crash_between_checkpoint_rename_and_manifest_rewrite_is_recoverable() {
         store.publish(1, &framed(1)).unwrap();
         store.publish(2, &framed(2)).unwrap();
         // Simulated crash mid-publish of generation 3: checkpoint renamed,
-        // manifest rewrite torn.
+        // manifest rewrite torn. Open-time reclamation is age-gated (a
+        // fresh tmp may be a LIVE peer's in-flight write), so backdate
+        // the litter the way real crash litter would have aged.
         std::fs::write(store.checkpoint_path(3), framed(3)).unwrap();
-        std::fs::write(tmp.path().join("MANIFEST.tmp"), b"half a manifest").unwrap();
+        let manifest_tmp = tmp.path().join("MANIFEST.tmp");
+        std::fs::write(&manifest_tmp, b"half a manifest").unwrap();
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(60);
+        std::fs::File::options()
+            .append(true)
+            .open(&manifest_tmp)
+            .unwrap()
+            .set_times(std::fs::FileTimes::new().set_modified(old))
+            .unwrap();
     }
 
     // Restart: the store serves the previous generation as if nothing

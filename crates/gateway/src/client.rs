@@ -1,0 +1,175 @@
+//! The blocking gateway client: one TCP connection, one request in
+//! flight at a time (frames are answered in order, so a pipelined
+//! client is possible — the bench uses several connections instead).
+
+use crate::wire::{self, encode_request, Request, Response};
+use neo_learn::{ExperienceRecord, ExperienceTransport};
+use neo_obs::SpanContext;
+use neo_query::{PlanNode, Query};
+use neo_serve::OptimizeReply;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default client-side response timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A connected gateway client.
+pub struct GatewayClient {
+    stream: TcpStream,
+}
+
+impl GatewayClient {
+    /// Connects with the default timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Connects; `timeout` bounds every subsequent response wait.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(GatewayClient { stream })
+    }
+
+    /// Sends one request frame and reads back one response frame. A
+    /// server-sent [`Response::Error`] is returned as a value, not an
+    /// `Err` — transport failures are the only `Err`s.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.stream.write_all(&encode_request(request))?;
+        self.stream.flush()?;
+        match wire::read_frame(&mut self.stream)? {
+            Some((kind_byte, payload)) => wire::decode_response(kind_byte, &payload)
+                .map_err(|we| io::Error::new(io::ErrorKind::InvalidData, we)),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )),
+        }
+    }
+
+    /// Optimizes one query; `caller` propagates the client's trace
+    /// across the socket (the server records an `rpc.optimize` waterfall
+    /// under that trace id, retrievable via [`Self::trace_waterfall`]).
+    pub fn optimize(
+        &mut self,
+        query: Query,
+        caller: Option<SpanContext>,
+    ) -> io::Result<OptimizeReply> {
+        match self.call(&Request::Optimize { caller, query })? {
+            Response::Optimize(reply) => Ok(reply),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reports one observed execution; returns whether it was accepted.
+    pub fn report_execution(
+        &mut self,
+        query: Query,
+        plan: PlanNode,
+        latency_ms: f64,
+    ) -> io::Result<bool> {
+        match self.call(&Request::Report {
+            query,
+            plan,
+            latency_ms,
+        })? {
+            Response::Ack { accepted, .. } => Ok(accepted),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The server's stats document (rendered JSON).
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.expect_json(&Request::Stats)
+    }
+
+    /// The server's health document (rendered JSON).
+    pub fn health(&mut self) -> io::Result<String> {
+        self.expect_json(&Request::Health)
+    }
+
+    /// The span waterfall the server recorded under `trace` (JSON).
+    pub fn trace_waterfall(&mut self, trace: u64) -> io::Result<String> {
+        self.expect_json(&Request::Trace { trace })
+    }
+
+    /// Asks the server's node to resign leadership.
+    pub fn resign(&mut self) -> io::Result<bool> {
+        match self.call(&Request::Resign)? {
+            Response::Ack { accepted, .. } => Ok(accepted),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Requests graceful server shutdown (drain, then exit).
+    pub fn shutdown_server(&mut self) -> io::Result<bool> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ack { accepted, .. } => Ok(accepted),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn expect_json(&mut self, request: &Request) -> io::Result<String> {
+        match self.call(request)? {
+            Response::Json(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    match resp {
+        Response::Error { code, message } => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("server error {code}: {message}"),
+        ),
+        other => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response variant: {other:?}"),
+        ),
+    }
+}
+
+/// The TCP [`ExperienceTransport`]: ships a follower's experience
+/// batches to the leader's gateway. Reconnects lazily — a dead leader
+/// surfaces as a transport `Err`, which the relay absorbs by requeueing
+/// the batch for the next tick.
+pub struct TcpExperienceTransport {
+    addr: String,
+    conn: Mutex<Option<GatewayClient>>,
+}
+
+impl TcpExperienceTransport {
+    /// A transport shipping to the gateway at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpExperienceTransport {
+            addr: addr.into(),
+            conn: Mutex::new(None),
+        }
+    }
+}
+
+impl ExperienceTransport for TcpExperienceTransport {
+    fn ship(&self, records: &[ExperienceRecord]) -> io::Result<usize> {
+        let mut guard = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        if guard.is_none() {
+            *guard = Some(GatewayClient::connect(&*self.addr)?);
+        }
+        let client = guard.as_mut().expect("connection just established");
+        let result = client.call(&Request::Experience(records.to_vec()));
+        match result {
+            Ok(Response::Ack { accepted, count }) if accepted => Ok(count as usize),
+            Ok(other) => {
+                *guard = None; // protocol confusion: start a fresh connection next time
+                Err(unexpected(other))
+            }
+            Err(e) => {
+                *guard = None; // broken pipe etc.: reconnect on the next ship
+                Err(e)
+            }
+        }
+    }
+}

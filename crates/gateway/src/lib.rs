@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # neo-gateway — real network serving for the optimizer fleet
+//!
+//! Everything below this crate runs Neo's fleet inside one process:
+//! leader, followers, and "clients" share `Arc`s. This crate is the
+//! serving boundary that makes them genuinely separate OS processes
+//! (ISSUE 10): a zero-dependency, length-prefixed TCP front-end over
+//! the transport-agnostic core API ([`neo_serve::dispatch`]).
+//!
+//! * [`wire`] — the frame format and binary codecs (spec in the module
+//!   docs): `optimize`, `report-execution`, experience batches, and
+//!   admin (`stats`/`health`/`resign`/`trace`/`shutdown`), with a
+//!   bounded read limit and typed error responses — malformed input is
+//!   a *value*, never a panic;
+//! * [`server`] — [`server::Gateway`]: a non-blocking accept loop
+//!   feeding connections into the existing [`neo_serve::WorkerPool`],
+//!   per-connection metrics and a wire-path latency histogram in the
+//!   service's [`neo_obs::MetricsRegistry`], cross-process trace
+//!   continuation (a caller's [`neo_obs::SpanContext`] roots an
+//!   `rpc.optimize` waterfall inside the server's span ring), and
+//!   graceful shutdown that drains in-flight connections;
+//! * [`client`] — the blocking [`client::GatewayClient`], plus
+//!   [`client::TcpExperienceTransport`], the wire implementation of
+//!   [`neo_learn::ExperienceTransport`] a follower's relay ships
+//!   experience through;
+//! * the `neo-gateway` **binary** — leader/follower/standalone roles
+//!   coordinating only via an [`neo_cluster::FsCheckpointStore`]
+//!   directory and sockets; prints `NEO_GATEWAY_ADDR=<ip:port>` on
+//!   stdout once serving.
+//!
+//! ```no_run
+//! use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+//! use neo_gateway::client::GatewayClient;
+//! use neo_gateway::server::{Gateway, GatewayConfig};
+//! use neo_serve::{NoHooks, OptimizerService, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, 42));
+//! let workload = neo_query::workload::job::generate(&db, 42);
+//! let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+//! let net = Arc::new(ValueNet::new(
+//!     featurizer.query_dim(),
+//!     featurizer.plan_channels(),
+//!     NetConfig::default(),
+//!     42,
+//! ));
+//! let service = Arc::new(OptimizerService::new(db, featurizer, net, ServeConfig::default()));
+//! let gateway = Gateway::serve(service, Arc::new(NoHooks), None, GatewayConfig::default())
+//!     .expect("bind");
+//! let mut client = GatewayClient::connect(gateway.local_addr()).expect("connect");
+//! let reply = client.optimize(workload.queries[0].clone(), None).expect("optimize");
+//! println!("plan: {}", reply.plan.describe());
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{GatewayClient, TcpExperienceTransport};
+pub use server::{Gateway, GatewayConfig};
+pub use wire::{Request, Response, WireError, MAX_FRAME_LEN};

@@ -1,0 +1,270 @@
+//! The `neo-gateway` binary: one fleet node served over TCP.
+//!
+//! Roles:
+//!
+//! * `standalone` — an [`OptimizerService`] with no cluster: serve,
+//!   learn nothing, coordinate with nobody (demos, wire tests);
+//! * `leader` — a [`ClusterNode`] leader over a shared
+//!   [`FsCheckpointStore`] directory: acquires the (now multi-process
+//!   safe) lease, trains on experience arriving over the wire, and
+//!   publishes generations to the store;
+//! * `follower` — a [`ClusterNode`] follower: adopts generations from
+//!   the store and, when `--leader ADDR` is given, ships its local
+//!   execution feedback to the leader's gateway in batches.
+//!
+//! Processes coordinate **only** through the store directory and
+//! sockets — no shared memory, no pipes. Once serving, the binary
+//! prints `NEO_GATEWAY_ADDR=<ip:port>` on stdout (the parent reads it
+//! to learn the bound port) and runs until a `shutdown` frame arrives,
+//! then drains in-flight connections and exits 0.
+//!
+//! ```text
+//! neo-gateway --role leader --store /tmp/fleet --listen 127.0.0.1:0 \
+//!             --scale 0.05 --seed 42 --workers 4
+//! ```
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_cluster::{CheckpointStore, ClusterNode, FsCheckpointStore, NodeConfig};
+use neo_gateway::client::TcpExperienceTransport;
+use neo_gateway::server::{Gateway, GatewayConfig};
+use neo_learn::{ExperienceRelay, ExperienceSink, ReplayConfig, TrainerConfig};
+use neo_serve::{AdminHooks, NoHooks, OptimizerService, ServeConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Parsed command line.
+struct Args {
+    role: String,
+    store: Option<String>,
+    listen: String,
+    leader: Option<String>,
+    scale: f64,
+    seed: u64,
+    workers: usize,
+    name: String,
+    lease_ttl_ms: u64,
+    poll_ms: u64,
+    ship_ms: u64,
+    min_new_records: u64,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            role: "standalone".to_string(),
+            store: None,
+            listen: "127.0.0.1:0".to_string(),
+            leader: None,
+            scale: 0.02,
+            seed: 42,
+            workers: 2,
+            name: String::new(),
+            lease_ttl_ms: 2_000,
+            poll_ms: 50,
+            ship_ms: 100,
+            min_new_records: 16,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let value = |i: &mut usize| -> Result<String, String> {
+                *i += 1;
+                argv.get(*i)
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag {
+                "--role" => args.role = value(&mut i)?,
+                "--store" => args.store = Some(value(&mut i)?),
+                "--listen" => args.listen = value(&mut i)?,
+                "--leader" => args.leader = Some(value(&mut i)?),
+                "--scale" => args.scale = parse(&value(&mut i)?, flag)?,
+                "--seed" => args.seed = parse(&value(&mut i)?, flag)?,
+                "--workers" => args.workers = parse(&value(&mut i)?, flag)?,
+                "--name" => args.name = value(&mut i)?,
+                "--lease-ttl-ms" => args.lease_ttl_ms = parse(&value(&mut i)?, flag)?,
+                "--poll-ms" => args.poll_ms = parse(&value(&mut i)?, flag)?,
+                "--ship-ms" => args.ship_ms = parse(&value(&mut i)?, flag)?,
+                "--min-new-records" => args.min_new_records = parse(&value(&mut i)?, flag)?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        if args.name.is_empty() {
+            args.name = format!("{}-{}", args.role, std::process::id());
+        }
+        match args.role.as_str() {
+            "standalone" => {}
+            "leader" | "follower" if args.store.is_some() => {}
+            "leader" | "follower" => return Err("--store is required for cluster roles".into()),
+            other => return Err(format!("unknown role {other}")),
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
+}
+
+/// Admin hooks over a cluster node: resign goes to the lease protocol.
+struct NodeHooks {
+    node: Mutex<ClusterNode>,
+    name: String,
+    role: &'static str,
+}
+
+impl AdminHooks for NodeHooks {
+    fn node(&self) -> String {
+        self.name.clone()
+    }
+
+    fn role(&self) -> String {
+        let node = self.node.lock().unwrap_or_else(|p| p.into_inner());
+        if node.is_leader() {
+            "leader"
+        } else {
+            self.role
+        }
+        .to_string()
+    }
+
+    fn resign(&self) -> bool {
+        let mut node = self.node.lock().unwrap_or_else(|p| p.into_inner());
+        node.resign().unwrap_or(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("neo-gateway: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("neo-gateway: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> std::io::Result<()> {
+    // Deterministic node bring-up: same scale+seed ⇒ byte-identical
+    // schema, featurizer, and generation-0 weights on every process.
+    let db = Arc::new(neo_storage::datagen::imdb::generate(args.scale, args.seed));
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig::default(),
+        args.seed,
+    ));
+    let serve_cfg = ServeConfig {
+        workers: args.workers,
+        ..ServeConfig::default()
+    };
+
+    // Role wiring. The relay/node handles live to the end of `run` so
+    // background threads stop after the gateway has drained.
+    let service: Arc<OptimizerService>;
+    let hooks: Arc<dyn AdminHooks>;
+    let mut relay: Option<ExperienceRelay> = None;
+    let mut experience: Option<Arc<ExperienceSink>> = None;
+
+    match args.role.as_str() {
+        "standalone" => {
+            service = Arc::new(OptimizerService::new(db, featurizer, net, serve_cfg));
+            hooks = Arc::new(NoHooks);
+        }
+        role @ ("leader" | "follower") => {
+            let dir = args.store.as_deref().expect("validated in Args::parse");
+            let store: Arc<dyn CheckpointStore> = Arc::new(FsCheckpointStore::open(dir)?);
+            let sink = Arc::new(ExperienceSink::default());
+            let node_cfg = NodeConfig {
+                name: args.name.clone(),
+                serve: serve_cfg,
+                poll_interval_ms: args.poll_ms,
+                auto_poll: true,
+                lease_ttl_ms: args.lease_ttl_ms,
+                ..NodeConfig::default()
+            };
+            let node = if role == "leader" {
+                let trainer_cfg = TrainerConfig {
+                    auto: true,
+                    min_new_records: args.min_new_records,
+                    seed: args.seed,
+                    span_node: args.name.clone(),
+                    ..TrainerConfig::default()
+                };
+                ClusterNode::leader(
+                    db,
+                    featurizer,
+                    net,
+                    node_cfg,
+                    trainer_cfg,
+                    ReplayConfig::default(),
+                    store,
+                    Arc::clone(&sink),
+                )?
+            } else {
+                ClusterNode::follower(db, featurizer, net, node_cfg, store, Arc::clone(&sink))?
+            };
+            service = Arc::clone(node.service());
+            if role == "leader" {
+                // Wire-shipped experience lands in the trainer's sink.
+                experience = Some(Arc::clone(&sink));
+            } else if let Some(leader_addr) = &args.leader {
+                relay = Some(ExperienceRelay::spawn(
+                    Arc::clone(&sink),
+                    Arc::new(TcpExperienceTransport::new(leader_addr.clone())),
+                    Duration::from_millis(args.ship_ms.max(1)),
+                ));
+            }
+            hooks = Arc::new(NodeHooks {
+                node: Mutex::new(node),
+                name: args.name.clone(),
+                role: if role == "leader" {
+                    "leader"
+                } else {
+                    "follower"
+                },
+            });
+        }
+        _ => unreachable!("validated in Args::parse"),
+    }
+
+    let gateway_cfg = GatewayConfig {
+        listen: args.listen.clone(),
+        workers: args.workers.max(2),
+        node: args.name.clone(),
+        ..GatewayConfig::default()
+    };
+    let mut gateway = Gateway::serve(service, hooks, experience, gateway_cfg)?;
+    // The parent process parses this exact line to learn the port.
+    println!("NEO_GATEWAY_ADDR={}", gateway.local_addr());
+    std::io::stdout().flush()?;
+    eprintln!(
+        "neo-gateway: {} ({}) serving on {}",
+        args.name,
+        args.role,
+        gateway.local_addr()
+    );
+
+    // Serve until a shutdown frame flips the flag; join = drained.
+    gateway.join();
+    // Final flush of any experience still staged locally, then stop the
+    // background threads (relay first, so its last ship can still reach
+    // a leader that is not us).
+    if let Some(mut r) = relay.take() {
+        r.stop();
+    }
+    eprintln!("neo-gateway: {} drained, exiting", args.name);
+    Ok(())
+}

@@ -1,0 +1,457 @@
+//! The gateway server: a non-blocking accept loop feeding connection
+//! handlers into the existing [`WorkerPool`], with graceful shutdown
+//! that drains in-flight connections.
+//!
+//! # Shutdown semantics
+//!
+//! Shutdown is triggered by a `shutdown` frame from any client or by
+//! [`Gateway::shutdown`]. The accept loop stops admitting new
+//! connections immediately; existing connections finish the request
+//! they are processing (handlers poll the shutdown flag between reads,
+//! bounded by the read timeout) and close; the accept thread then joins
+//! the worker pool — which blocks until every handler has returned — so
+//! [`Gateway::join`] returning means zero in-flight requests were
+//! abandoned.
+//!
+//! # Robustness
+//!
+//! The accept loop never dies on a bad peer: malformed frames get a
+//! typed [`Response::Error`] answer (or, when framing itself is broken,
+//! the connection is dropped after one best-effort error frame), and
+//! every per-connection panic would be confined to its worker — but
+//! handlers are panic-free by construction: decode errors are values.
+
+use crate::wire::{self, encode_response, parse_header, Request, Response, WireError, HEADER_LEN};
+use neo_learn::ExperienceSink;
+use neo_obs::{Counter, Gauge, LatencyHistogram, SpanContext};
+use neo_query::Query;
+use neo_serve::{dispatch, AdminHooks, ApiRequest, ApiResponse, OptimizerService, WorkerPool};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Gateway server knobs.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`Gateway::local_addr`]).
+    pub listen: String,
+    /// Connection-handler workers — the concurrency cap on simultaneous
+    /// connections (excess connections wait in the pool's queue).
+    pub workers: usize,
+    /// Node label for spans and diagnostics.
+    pub node: String,
+    /// Per-read poll interval: how quickly an idle handler notices the
+    /// shutdown flag. Also the accept loop's sleep when idle.
+    pub poll: Duration,
+    /// How long a handler keeps retrying a *partially received* frame
+    /// before declaring the peer stuck and dropping the connection.
+    pub stuck_peer_patience: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 4,
+            node: "gateway".to_string(),
+            poll: Duration::from_millis(25),
+            stuck_peer_patience: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared handler state.
+struct GatewayShared {
+    service: Arc<OptimizerService>,
+    hooks: Arc<dyn AdminHooks>,
+    /// Where shipped experience batches land when this node hosts the
+    /// fleet's trainer (the leader). `None` routes batch records through
+    /// the ordinary report path instead.
+    experience: Option<Arc<ExperienceSink>>,
+    shutdown: Arc<AtomicBool>,
+    node: String,
+    poll: Duration,
+    stuck_peer_patience: Duration,
+    // Socket-path observability, registered into the service's existing
+    // MetricsRegistry so obs-report and the SLO engine see the wire path
+    // with no new plumbing.
+    connections: Counter,
+    requests: Counter,
+    wire_errors: Counter,
+    active: Gauge,
+    active_count: AtomicU64,
+    request_hist: Arc<LatencyHistogram>,
+}
+
+/// A running gateway. Dropping it shuts down and joins the accept
+/// thread (draining in-flight connections first).
+pub struct Gateway {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds and starts serving `service` at `cfg.listen`.
+    pub fn serve(
+        service: Arc<OptimizerService>,
+        hooks: Arc<dyn AdminHooks>,
+        experience: Option<Arc<ExperienceSink>>,
+        cfg: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::clone(service.metrics());
+        let shared = Arc::new(GatewayShared {
+            connections: registry.counter("gateway_connections_total"),
+            requests: registry.counter("gateway_requests_total"),
+            wire_errors: registry.counter("gateway_wire_errors_total"),
+            active: registry.gauge("gateway_active_connections"),
+            active_count: AtomicU64::new(0),
+            request_hist: registry.histogram("gateway_request_ms"),
+            service,
+            hooks,
+            experience,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            node: cfg.node.clone(),
+            poll: cfg.poll,
+            stuck_peer_patience: cfg.stuck_peer_patience,
+        });
+        let shutdown = Arc::clone(&shared.shutdown);
+        let workers = cfg.workers.max(1);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("{}-accept", cfg.node))
+            .spawn(move || accept_loop(listener, shared, workers))?;
+        Ok(Gateway {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown (idempotent); does not wait. Pair with
+    /// [`Gateway::join`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// True once shutdown has been requested (by any path).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the accept loop has exited and every in-flight
+    /// connection has drained.
+    pub fn join(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// The non-blocking accept loop. Owns the listener and the worker pool;
+/// dropping the pool at the end is the drain barrier.
+fn accept_loop(listener: TcpListener, shared: Arc<GatewayShared>, workers: usize) {
+    let pool = WorkerPool::new(workers);
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.inc();
+                let conn_shared = Arc::clone(&shared);
+                pool.execute(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.poll);
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake):
+                // the loop must survive it.
+                shared.wire_errors.inc();
+                std::thread::sleep(shared.poll);
+            }
+        }
+    }
+    // Stop accepting, then drain: WorkerPool::drop closes the injector
+    // and joins every worker, so in-flight connections finish first.
+    drop(pool);
+}
+
+/// What one attempt to obtain the next frame concluded.
+enum NextFrame {
+    Frame(u8, Vec<u8>),
+    /// Peer closed cleanly at a frame boundary.
+    Eof,
+    /// Shutdown observed while idle at a frame boundary.
+    Drained,
+    /// Framing violated; connection must drop (one error frame is sent).
+    Broken(WireError),
+    /// Transport failure or stuck peer; drop silently.
+    Dead,
+}
+
+/// Blocking-with-timeout read of exactly `buf.len()` bytes.
+///
+/// `started` distinguishes "idle at a frame boundary" (where shutdown
+/// may end the connection) from "mid-frame" (where the request counts
+/// as in-flight and gets `patience` to finish arriving).
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    started: bool,
+    shared: &GatewayShared,
+) -> Result<bool, NextFrame> {
+    let mut filled = 0usize;
+    let deadline = Instant::now() + shared.stuck_peer_patience;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && !started {
+                    Err(NextFrame::Eof)
+                } else {
+                    Err(NextFrame::Dead) // truncated mid-frame
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let idle = filled == 0 && !started;
+                if idle && shared.shutdown.load(Ordering::Acquire) {
+                    return Err(NextFrame::Drained);
+                }
+                if !idle && Instant::now() > deadline {
+                    return Err(NextFrame::Dead); // stuck peer
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(NextFrame::Dead),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads the next frame, polling the shutdown flag while idle.
+fn next_frame(stream: &mut TcpStream, shared: &GatewayShared) -> NextFrame {
+    let mut header = [0u8; HEADER_LEN];
+    if let Err(outcome) = read_full(stream, &mut header[..1], false, shared) {
+        return outcome;
+    }
+    if let Err(outcome) = read_full(stream, &mut header[1..], true, shared) {
+        return outcome;
+    }
+    let (kind_byte, len) = match parse_header(&header) {
+        Ok(ok) => ok,
+        Err(we) => return NextFrame::Broken(we),
+    };
+    let mut payload = vec![0u8; len as usize];
+    if let Err(outcome) = read_full(stream, &mut payload, true, shared) {
+        return outcome;
+    }
+    NextFrame::Frame(kind_byte, payload)
+}
+
+/// One connection: a loop of frames until EOF, shutdown, or a framing
+/// violation. Never panics — every failure path is a value.
+fn handle_connection(mut stream: TcpStream, shared: Arc<GatewayShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.poll));
+    shared
+        .active
+        .set(shared.active_count.fetch_add(1, Ordering::AcqRel) + 1);
+    loop {
+        match next_frame(&mut stream, &shared) {
+            NextFrame::Frame(kind_byte, payload) => {
+                let started = Instant::now();
+                let (response, stop) = handle_frame(kind_byte, &payload, &shared);
+                shared.requests.inc();
+                if matches!(response, Response::Error { .. }) {
+                    shared.wire_errors.inc();
+                }
+                let ok = stream.write_all(&encode_response(&response)).is_ok();
+                shared
+                    .request_hist
+                    .record_ms(started.elapsed().as_secs_f64() * 1e3);
+                if stop {
+                    shared.shutdown.store(true, Ordering::Release);
+                }
+                if !ok || stop {
+                    break;
+                }
+            }
+            NextFrame::Broken(we) => {
+                // Framing is gone; one typed error frame, then hang up
+                // (there is no resync point in a length-prefixed stream).
+                shared.wire_errors.inc();
+                let _ = stream.write_all(&encode_response(&Response::Error {
+                    code: we.code,
+                    message: we.message,
+                }));
+                break;
+            }
+            NextFrame::Eof | NextFrame::Drained | NextFrame::Dead => break,
+        }
+    }
+    let _ = stream.flush();
+    shared.active.set(
+        shared
+            .active_count
+            .fetch_sub(1, Ordering::AcqRel)
+            .saturating_sub(1),
+    );
+}
+
+/// Decodes and executes one frame. Returns the response and whether the
+/// server should begin shutdown afterwards.
+fn handle_frame(kind_byte: u8, payload: &[u8], shared: &GatewayShared) -> (Response, bool) {
+    let request = match wire::decode_request(kind_byte, payload) {
+        Ok(req) => req,
+        Err(we) => {
+            return (
+                Response::Error {
+                    code: we.code,
+                    message: we.message,
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Shutdown => (
+            Response::Ack {
+                accepted: true,
+                count: 1,
+            },
+            true,
+        ),
+        Request::Experience(records) => {
+            let count = records.len() as u64;
+            match &shared.experience {
+                Some(sink) => {
+                    for rec in records {
+                        sink.push(rec);
+                    }
+                }
+                None => {
+                    // No trainer here: fold into the ordinary report
+                    // path so the records still reach local feedback.
+                    for rec in records {
+                        let _ = dispatch(
+                            &shared.service,
+                            shared.hooks.as_ref(),
+                            ApiRequest::ReportExecution {
+                                query: rec.query,
+                                plan: rec.plan,
+                                latency_ms: rec.latency_ms,
+                            },
+                        );
+                    }
+                }
+            }
+            (
+                Response::Ack {
+                    accepted: true,
+                    count,
+                },
+                false,
+            )
+        }
+        Request::Optimize { caller, query } => (handle_optimize(caller, query, shared), false),
+        other => {
+            let api = match other {
+                Request::Report {
+                    query,
+                    plan,
+                    latency_ms,
+                } => ApiRequest::ReportExecution {
+                    query,
+                    plan,
+                    latency_ms,
+                },
+                Request::Stats => ApiRequest::Stats,
+                Request::Health => ApiRequest::Health,
+                Request::Resign => ApiRequest::Resign,
+                Request::Trace { trace } => ApiRequest::Trace { trace },
+                Request::Optimize { .. } | Request::Shutdown | Request::Experience(_) => {
+                    unreachable!("handled above")
+                }
+            };
+            (
+                api_to_wire(dispatch(&shared.service, shared.hooks.as_ref(), api)),
+                false,
+            )
+        }
+    }
+}
+
+/// The optimize verb, with cross-process trace continuation: when the
+/// caller shipped a span context, the whole server-side handling is
+/// recorded as a direct (always-kept) span family under the *caller's*
+/// trace id — `rpc.optimize` with `optimize`/`encode` children — in the
+/// service's span ring, where the admin `trace` verb can replay it as a
+/// waterfall.
+fn handle_optimize(caller: Option<SpanContext>, query: Query, shared: &GatewayShared) -> Response {
+    let ring = shared.service.span_ring();
+    let mut rpc = match caller {
+        Some(ctx) => ring.child_of(ctx, "rpc.optimize", &shared.node),
+        None => neo_obs::SpanGuard::noop(),
+    };
+    rpc.attr("query_id", query.id.clone());
+    let opt_span = rpc.child("optimize");
+    let api_response = dispatch(
+        &shared.service,
+        shared.hooks.as_ref(),
+        ApiRequest::Optimize { query },
+    );
+    opt_span.end();
+    let enc_span = rpc.child("encode");
+    let response = api_to_wire(api_response);
+    enc_span.end();
+    rpc.end();
+    response
+}
+
+/// Maps a core-API response onto the wire response set.
+fn api_to_wire(api: ApiResponse) -> Response {
+    match api {
+        ApiResponse::Optimize(reply) => Response::Optimize(reply),
+        ApiResponse::Ack { accepted } => Response::Ack { accepted, count: 1 },
+        ApiResponse::Json(s) => Response::Json(s),
+    }
+}
+
+/// Convenience for raw-socket tests: sends `bytes` and reads back one
+/// response frame.
+pub fn roundtrip_raw(addr: SocketAddr, bytes: &[u8]) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    match wire::read_frame(&mut stream)? {
+        Some((kind_byte, payload)) => wire::decode_response(kind_byte, &payload)
+            .map_err(|we| io::Error::new(io::ErrorKind::InvalidData, we)),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response frame",
+        )),
+    }
+}

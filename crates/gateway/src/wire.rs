@@ -1,0 +1,819 @@
+//! The gateway wire format: length-prefixed binary frames over TCP.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"NEOG"
+//! 4       1     version (currently 1)
+//! 5       1     kind    (request/response discriminant, below)
+//! 6       4     payload length, u32 little-endian (bounded)
+//! 10      len   payload
+//! ```
+//!
+//! Integers are little-endian; `f64` travels as its IEEE-754 bit
+//! pattern; strings as `u32 length + UTF-8 bytes`; sequences as
+//! `u32 count + elements`; options as a `u8` presence flag. Plans are a
+//! recursive pre-order encoding with a decode-side depth bound.
+//!
+//! # Robustness contract (ISSUE 10 satellite)
+//!
+//! Decoding NEVER panics and NEVER trusts a length it hasn't checked
+//! against the bytes actually present: every read is bounds-checked,
+//! payload lengths are capped by [`MAX_FRAME_LEN`] *before* any
+//! allocation, sequence counts are sanity-checked against the remaining
+//! bytes, and plan recursion is depth-limited. Malformed input comes
+//! back as a typed [`WireError`] that the server answers with an
+//! [`Response::Error`] frame instead of dying.
+
+use neo_learn::ExperienceRecord;
+use neo_obs::SpanContext;
+use neo_query::{
+    Aggregate, CmpOp, JoinEdge, JoinOp, PlanNode, Predicate, Query, QueryFingerprint, ScanType,
+};
+use neo_serve::OptimizeReply;
+use std::io::{self, Read};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"NEOG";
+
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+
+/// Frame header size (magic + version + kind + payload length).
+pub const HEADER_LEN: usize = 10;
+
+/// Hard cap on a frame's payload length. Anything larger is rejected
+/// before allocation — the bounded-read limit at the trust boundary.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Decode-side recursion bound for plan trees (a JOB plan is < 20 deep;
+/// 512 leaves headroom without letting crafted input exhaust the stack).
+pub const MAX_PLAN_DEPTH: usize = 512;
+
+/// Request frame kinds.
+pub mod kind {
+    /// Optimize one query.
+    pub const OPTIMIZE: u8 = 0x01;
+    /// Report one observed execution.
+    pub const REPORT: u8 = 0x02;
+    /// Full stats document.
+    pub const STATS: u8 = 0x03;
+    /// Liveness probe.
+    pub const HEALTH: u8 = 0x04;
+    /// Resign leadership.
+    pub const RESIGN: u8 = 0x05;
+    /// One trace's span waterfall.
+    pub const TRACE: u8 = 0x06;
+    /// Graceful server shutdown (drain in-flight connections, exit).
+    pub const SHUTDOWN: u8 = 0x07;
+    /// A batch of experience records (follower → leader shipping).
+    pub const EXPERIENCE: u8 = 0x08;
+    /// Response: an optimize reply.
+    pub const R_OPTIMIZE: u8 = 0x81;
+    /// Response: accepted / refused.
+    pub const R_ACK: u8 = 0x82;
+    /// Response: a rendered JSON document.
+    pub const R_JSON: u8 = 0x83;
+    /// Response: a typed error.
+    pub const R_ERROR: u8 = 0xFF;
+}
+
+/// Typed wire-level error codes (carried in [`Response::Error`]).
+pub mod errcode {
+    /// Frame did not start with [`super::MAGIC`].
+    pub const BAD_MAGIC: u8 = 1;
+    /// Unsupported protocol version.
+    pub const BAD_VERSION: u8 = 2;
+    /// Unknown frame kind.
+    pub const UNKNOWN_KIND: u8 = 3;
+    /// Payload length exceeds [`super::MAX_FRAME_LEN`].
+    pub const OVERSIZED: u8 = 4;
+    /// Payload truncated or structurally invalid.
+    pub const MALFORMED: u8 = 5;
+    /// The server failed internally while handling a valid request.
+    pub const INTERNAL: u8 = 6;
+}
+
+/// A typed decoding failure: which class, and a human-readable hint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// One of [`errcode`]'s constants.
+    pub code: u8,
+    /// What was wrong (for the error frame's message).
+    pub message: String,
+}
+
+impl WireError {
+    fn malformed(msg: impl Into<String>) -> Self {
+        WireError {
+            code: errcode::MALFORMED,
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Everything a client can send.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Optimize one query, optionally continuing the caller's trace.
+    Optimize {
+        /// The caller's span context (trace propagation across the
+        /// socket); `None` when the caller isn't tracing.
+        caller: Option<SpanContext>,
+        /// The query.
+        query: Query,
+    },
+    /// Report one observed execution.
+    Report {
+        /// The executed query.
+        query: Query,
+        /// The plan that ran.
+        plan: PlanNode,
+        /// Observed latency, milliseconds.
+        latency_ms: f64,
+    },
+    /// Full stats document.
+    Stats,
+    /// Liveness probe.
+    Health,
+    /// Resign leadership.
+    Resign,
+    /// One trace's span waterfall.
+    Trace {
+        /// Raw trace id.
+        trace: u64,
+    },
+    /// Graceful shutdown.
+    Shutdown,
+    /// Experience shipped follower → leader.
+    Experience(Vec<ExperienceRecord>),
+}
+
+/// Everything a server can answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Optimize`].
+    Optimize(OptimizeReply),
+    /// Answer to report/resign/shutdown/experience; for experience the
+    /// ack means "all records accepted".
+    Ack {
+        /// Accepted?
+        accepted: bool,
+        /// How many items the verb applied to (1 for scalar verbs).
+        count: u64,
+    },
+    /// A rendered JSON document.
+    Json(String),
+    /// A typed error.
+    Error {
+        /// One of [`errcode`]'s constants.
+        code: u8,
+        /// Explanation.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Primitive codec
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over a received payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::malformed(format!(
+                "truncated payload: wanted {n} bytes for {what}, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn u128(&mut self, what: &str) -> Result<u128, WireError> {
+        let b = self.take(16, what)?;
+        Ok(u128::from_le_bytes(b.try_into().expect("16-byte slice")))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64, WireError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// `u32 count`, sanity-bounded: each element needs at least
+    /// `min_elem_bytes`, so a count the remaining bytes cannot possibly
+    /// hold is rejected before any allocation.
+    fn count(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::malformed(format!(
+                "implausible {what} count {n} for {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.count(1, what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::malformed(format!("{what}: invalid UTF-8")))
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::malformed(format!(
+                "{what}: {} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Growing encode buffer.
+#[derive(Default)]
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain codecs
+// ---------------------------------------------------------------------------
+
+fn encode_query(w: &mut Writer, q: &Query) {
+    w.str(&q.id);
+    w.str(&q.family);
+    w.u32(q.tables.len() as u32);
+    for &t in &q.tables {
+        w.u32(t as u32);
+    }
+    w.u32(q.joins.len() as u32);
+    for j in &q.joins {
+        w.u32(j.left_table as u32);
+        w.u32(j.left_col as u32);
+        w.u32(j.right_table as u32);
+        w.u32(j.right_col as u32);
+    }
+    w.u32(q.predicates.len() as u32);
+    for p in &q.predicates {
+        encode_predicate(w, p);
+    }
+    match &q.agg {
+        Aggregate::CountStar => w.u8(0),
+        Aggregate::Sum { table, col } => {
+            w.u8(1);
+            w.u32(*table as u32);
+            w.u32(*col as u32);
+        }
+    }
+}
+
+fn decode_query(r: &mut Reader) -> Result<Query, WireError> {
+    let id = r.str("query.id")?;
+    let family = r.str("query.family")?;
+    let n = r.count(4, "query.tables")?;
+    let mut tables = Vec::with_capacity(n);
+    for _ in 0..n {
+        tables.push(r.u32("query.table")? as usize);
+    }
+    let n = r.count(16, "query.joins")?;
+    let mut joins = Vec::with_capacity(n);
+    for _ in 0..n {
+        joins.push(JoinEdge {
+            left_table: r.u32("join.left_table")? as usize,
+            left_col: r.u32("join.left_col")? as usize,
+            right_table: r.u32("join.right_table")? as usize,
+            right_col: r.u32("join.right_col")? as usize,
+        });
+    }
+    let n = r.count(2, "query.predicates")?;
+    let mut predicates = Vec::with_capacity(n);
+    for _ in 0..n {
+        predicates.push(decode_predicate(r)?);
+    }
+    let agg = match r.u8("query.agg tag")? {
+        0 => Aggregate::CountStar,
+        1 => Aggregate::Sum {
+            table: r.u32("agg.table")? as usize,
+            col: r.u32("agg.col")? as usize,
+        },
+        t => return Err(WireError::malformed(format!("unknown aggregate tag {t}"))),
+    };
+    Ok(Query {
+        id,
+        family,
+        tables,
+        joins,
+        predicates,
+        agg,
+    })
+}
+
+fn encode_predicate(w: &mut Writer, p: &Predicate) {
+    match p {
+        Predicate::IntCmp {
+            table,
+            col,
+            op,
+            value,
+        } => {
+            w.u8(0);
+            w.u32(*table as u32);
+            w.u32(*col as u32);
+            w.u8(match op {
+                CmpOp::Eq => 0,
+                CmpOp::Lt => 1,
+                CmpOp::Le => 2,
+                CmpOp::Gt => 3,
+                CmpOp::Ge => 4,
+            });
+            w.i64(*value);
+        }
+        Predicate::IntBetween { table, col, lo, hi } => {
+            w.u8(1);
+            w.u32(*table as u32);
+            w.u32(*col as u32);
+            w.i64(*lo);
+            w.i64(*hi);
+        }
+        Predicate::StrEq { table, col, value } => {
+            w.u8(2);
+            w.u32(*table as u32);
+            w.u32(*col as u32);
+            w.str(value);
+        }
+        Predicate::StrContains { table, col, needle } => {
+            w.u8(3);
+            w.u32(*table as u32);
+            w.u32(*col as u32);
+            w.str(needle);
+        }
+    }
+}
+
+fn decode_predicate(r: &mut Reader) -> Result<Predicate, WireError> {
+    let tag = r.u8("predicate tag")?;
+    let table = r.u32("predicate.table")? as usize;
+    let col = r.u32("predicate.col")? as usize;
+    Ok(match tag {
+        0 => {
+            let op = match r.u8("cmp op")? {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Lt,
+                2 => CmpOp::Le,
+                3 => CmpOp::Gt,
+                4 => CmpOp::Ge,
+                o => return Err(WireError::malformed(format!("unknown cmp op {o}"))),
+            };
+            Predicate::IntCmp {
+                table,
+                col,
+                op,
+                value: r.i64("cmp value")?,
+            }
+        }
+        1 => Predicate::IntBetween {
+            table,
+            col,
+            lo: r.i64("between lo")?,
+            hi: r.i64("between hi")?,
+        },
+        2 => Predicate::StrEq {
+            table,
+            col,
+            value: r.str("str-eq value")?,
+        },
+        3 => Predicate::StrContains {
+            table,
+            col,
+            needle: r.str("contains needle")?,
+        },
+        t => return Err(WireError::malformed(format!("unknown predicate tag {t}"))),
+    })
+}
+
+fn encode_plan(w: &mut Writer, plan: &PlanNode) {
+    match plan {
+        PlanNode::Scan { rel, scan } => {
+            w.u8(0);
+            w.u32(*rel as u32);
+            w.u8(match scan {
+                ScanType::Unspecified => 0,
+                ScanType::Table => 1,
+                ScanType::Index => 2,
+            });
+        }
+        PlanNode::Join { op, left, right } => {
+            w.u8(1);
+            w.u8(match op {
+                JoinOp::Hash => 0,
+                JoinOp::Merge => 1,
+                JoinOp::Loop => 2,
+            });
+            encode_plan(w, left);
+            encode_plan(w, right);
+        }
+    }
+}
+
+fn decode_plan(r: &mut Reader, depth: usize) -> Result<PlanNode, WireError> {
+    if depth > MAX_PLAN_DEPTH {
+        return Err(WireError::malformed(format!(
+            "plan nesting exceeds {MAX_PLAN_DEPTH}"
+        )));
+    }
+    match r.u8("plan tag")? {
+        0 => Ok(PlanNode::Scan {
+            rel: r.u32("scan.rel")? as usize,
+            scan: match r.u8("scan type")? {
+                0 => ScanType::Unspecified,
+                1 => ScanType::Table,
+                2 => ScanType::Index,
+                t => return Err(WireError::malformed(format!("unknown scan type {t}"))),
+            },
+        }),
+        1 => {
+            let op = match r.u8("join op")? {
+                0 => JoinOp::Hash,
+                1 => JoinOp::Merge,
+                2 => JoinOp::Loop,
+                o => return Err(WireError::malformed(format!("unknown join op {o}"))),
+            };
+            let left = Box::new(decode_plan(r, depth + 1)?);
+            let right = Box::new(decode_plan(r, depth + 1)?);
+            Ok(PlanNode::Join { op, left, right })
+        }
+        t => Err(WireError::malformed(format!("unknown plan tag {t}"))),
+    }
+}
+
+fn encode_opt_f64(w: &mut Writer, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            w.u8(1);
+            w.f64(x);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn decode_opt_f64(r: &mut Reader, what: &str) -> Result<Option<f64>, WireError> {
+    match r.u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.f64(what)?)),
+        t => Err(WireError::malformed(format!("{what}: bad option flag {t}"))),
+    }
+}
+
+fn encode_experience(w: &mut Writer, rec: &ExperienceRecord) {
+    w.u128(rec.fingerprint.0);
+    encode_query(w, &rec.query);
+    encode_plan(w, &rec.plan);
+    w.f64(rec.latency_ms);
+    encode_opt_f64(w, rec.predicted_ms);
+}
+
+fn decode_experience(r: &mut Reader) -> Result<ExperienceRecord, WireError> {
+    Ok(ExperienceRecord {
+        fingerprint: QueryFingerprint(r.u128("experience.fingerprint")?),
+        query: decode_query(r)?,
+        plan: decode_plan(r, 0)?,
+        latency_ms: r.f64("experience.latency_ms")?,
+        predicted_ms: decode_opt_f64(r, "experience.predicted_ms")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+fn frame(kind: u8, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encodes one request as a complete frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::default();
+    let kind = match req {
+        Request::Optimize { caller, query } => {
+            let (t, s) = caller.map_or((0, 0), |c| (c.trace.0, c.span.0));
+            w.u64(t);
+            w.u64(s);
+            encode_query(&mut w, query);
+            kind::OPTIMIZE
+        }
+        Request::Report {
+            query,
+            plan,
+            latency_ms,
+        } => {
+            encode_query(&mut w, query);
+            encode_plan(&mut w, plan);
+            w.f64(*latency_ms);
+            kind::REPORT
+        }
+        Request::Stats => kind::STATS,
+        Request::Health => kind::HEALTH,
+        Request::Resign => kind::RESIGN,
+        Request::Trace { trace } => {
+            w.u64(*trace);
+            kind::TRACE
+        }
+        Request::Shutdown => kind::SHUTDOWN,
+        Request::Experience(records) => {
+            w.u32(records.len() as u32);
+            for rec in records {
+                encode_experience(&mut w, rec);
+            }
+            kind::EXPERIENCE
+        }
+    };
+    frame(kind, w.0)
+}
+
+/// Decodes a request payload for a validated header `kind`.
+pub fn decode_request(kind_byte: u8, payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match kind_byte {
+        kind::OPTIMIZE => {
+            let trace = r.u64("caller trace id")?;
+            let span = r.u64("caller span id")?;
+            let caller = (trace != 0 && span != 0).then_some(SpanContext {
+                trace: neo_obs::TraceId(trace),
+                span: neo_obs::SpanId(span),
+            });
+            Request::Optimize {
+                caller,
+                query: decode_query(&mut r)?,
+            }
+        }
+        kind::REPORT => Request::Report {
+            query: decode_query(&mut r)?,
+            plan: decode_plan(&mut r, 0)?,
+            latency_ms: r.f64("report.latency_ms")?,
+        },
+        kind::STATS => Request::Stats,
+        kind::HEALTH => Request::Health,
+        kind::RESIGN => Request::Resign,
+        kind::TRACE => Request::Trace {
+            trace: r.u64("trace id")?,
+        },
+        kind::SHUTDOWN => Request::Shutdown,
+        kind::EXPERIENCE => {
+            let n = r.count(16 + 2 + 2 + 8 + 1, "experience records")?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(decode_experience(&mut r)?);
+            }
+            Request::Experience(records)
+        }
+        k => {
+            return Err(WireError {
+                code: errcode::UNKNOWN_KIND,
+                message: format!("unknown request kind 0x{k:02x}"),
+            })
+        }
+    };
+    r.finish("request")?;
+    Ok(req)
+}
+
+/// Encodes one response as a complete frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = Writer::default();
+    let kind = match resp {
+        Response::Optimize(reply) => {
+            w.str(&reply.query_id);
+            w.u128(reply.fingerprint.0);
+            encode_plan(&mut w, &reply.plan);
+            w.u8(reply.cache_hit as u8);
+            w.u64(reply.model_generation);
+            w.f64(reply.optimize_ms);
+            encode_opt_f64(&mut w, reply.predicted_ms);
+            kind::R_OPTIMIZE
+        }
+        Response::Ack { accepted, count } => {
+            w.u8(*accepted as u8);
+            w.u64(*count);
+            kind::R_ACK
+        }
+        Response::Json(s) => {
+            w.str(s);
+            kind::R_JSON
+        }
+        Response::Error { code, message } => {
+            w.u8(*code);
+            w.str(message);
+            kind::R_ERROR
+        }
+    };
+    frame(kind, w.0)
+}
+
+/// Decodes a response payload for a validated header `kind`.
+pub fn decode_response(kind_byte: u8, payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match kind_byte {
+        kind::R_OPTIMIZE => Response::Optimize(OptimizeReply {
+            query_id: r.str("reply.query_id")?,
+            fingerprint: QueryFingerprint(r.u128("reply.fingerprint")?),
+            plan: decode_plan(&mut r, 0)?,
+            cache_hit: r.u8("reply.cache_hit")? != 0,
+            model_generation: r.u64("reply.model_generation")?,
+            optimize_ms: r.f64("reply.optimize_ms")?,
+            predicted_ms: decode_opt_f64(&mut r, "reply.predicted_ms")?,
+        }),
+        kind::R_ACK => Response::Ack {
+            accepted: r.u8("ack.accepted")? != 0,
+            count: r.u64("ack.count")?,
+        },
+        kind::R_JSON => Response::Json(r.str("json body")?),
+        kind::R_ERROR => Response::Error {
+            code: r.u8("error code")?,
+            message: r.str("error message")?,
+        },
+        k => {
+            return Err(WireError {
+                code: errcode::UNKNOWN_KIND,
+                message: format!("unknown response kind 0x{k:02x}"),
+            })
+        }
+    };
+    r.finish("response")?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Frame parsing (buffer + stream)
+// ---------------------------------------------------------------------------
+
+/// Validates a 10-byte header, returning `(kind, payload_len)`.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> {
+    if header[0..4] != MAGIC {
+        return Err(WireError {
+            code: errcode::BAD_MAGIC,
+            message: format!("bad magic {:02x?}", &header[0..4]),
+        });
+    }
+    if header[4] != VERSION {
+        return Err(WireError {
+            code: errcode::BAD_VERSION,
+            message: format!("unsupported version {}", header[4]),
+        });
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError {
+            code: errcode::OVERSIZED,
+            message: format!("payload length {len} exceeds cap {MAX_FRAME_LEN}"),
+        });
+    }
+    Ok((header[5], len))
+}
+
+/// Pure frame parser over a byte buffer — what the proptest fuzzes with
+/// arbitrary prefixes. Returns:
+///
+/// * `Ok(None)` — the buffer holds a valid but incomplete frame prefix
+///   (more bytes needed);
+/// * `Ok(Some((kind, payload, consumed)))` — one complete well-framed
+///   unit (the payload may still fail [`decode_request`]);
+/// * `Err` — the prefix can never extend to a valid frame.
+#[allow(clippy::type_complexity)]
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(u8, &[u8], usize)>, WireError> {
+    // Reject bad magic/version as early as the bytes allow: a garbage
+    // stream is detected from its first byte, not after 10 arrive.
+    let early = buf.len().min(4);
+    if buf[..early] != MAGIC[..early] {
+        return Err(WireError {
+            code: errcode::BAD_MAGIC,
+            message: format!("bad magic prefix {:02x?}", &buf[..early]),
+        });
+    }
+    if buf.len() >= 5 && buf[4] != VERSION {
+        return Err(WireError {
+            code: errcode::BAD_VERSION,
+            message: format!("unsupported version {}", buf[4]),
+        });
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("checked length");
+    let (kind, len) = parse_header(header)?;
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((kind, &buf[HEADER_LEN..total], total)))
+}
+
+/// Reads one frame from a blocking stream. `Ok(None)` is clean EOF at a
+/// frame boundary. Protocol violations surface as `WireError` wrapped in
+/// [`FrameReadError::Protocol`]; transport problems as `Io`.
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    match stream.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(FrameReadError::Io(e)),
+    }
+    stream
+        .read_exact(&mut header[1..])
+        .map_err(FrameReadError::Io)?;
+    let (kind, len) = parse_header(&header).map_err(FrameReadError::Protocol)?;
+    let mut payload = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut payload)
+        .map_err(FrameReadError::Io)?;
+    Ok(Some((kind, payload)))
+}
+
+/// Why [`read_frame`] failed.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The transport failed (timeout, reset, truncation mid-frame).
+    Io(io::Error),
+    /// The bytes violate the protocol (bad magic/version/length).
+    Protocol(WireError),
+}
+
+impl From<FrameReadError> for io::Error {
+    fn from(e: FrameReadError) -> io::Error {
+        match e {
+            FrameReadError::Io(e) => e,
+            FrameReadError::Protocol(we) => io::Error::new(io::ErrorKind::InvalidData, we),
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Three-process fleet smoke (ISSUE 10 acceptance): a leader process, a
+//! follower process, and this test as the client — coordinating ONLY
+//! through a shared checkpoint directory and sockets.
+//!
+//! The flow exercised end to end:
+//!
+//! 1. leader binds, acquires the multi-process lease, prints its addr;
+//! 2. follower binds, adopts generation 0, relays experience to the
+//!    leader's gateway over TCP;
+//! 3. the client optimizes against the leader with a caller-supplied
+//!    trace id and then pulls the `rpc.optimize` span waterfall that
+//!    the SERVER recorded under that id;
+//! 4. executions reported to the FOLLOWER flow over the relay into the
+//!    leader's sink, its background trainer mints generation ≥ 1;
+//! 5. both processes shut down gracefully over the wire and exit 0.
+
+use neo_gateway::GatewayClient;
+use neo_obs::{SpanContext, SpanId, TraceId};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Self-cleaning scratch directory for the shared checkpoint store.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("neo-loopback-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A spawned `neo-gateway` process plus the address it printed.
+struct Node {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_node(role: &str, store: &Path, name: &str, leader_addr: Option<&str>) -> Node {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_neo-gateway"));
+    cmd.args(["--role", role])
+        .args(["--store", store.to_str().unwrap()])
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--name", name])
+        .args(["--scale", "0.02"])
+        .args(["--seed", "42"])
+        .args(["--workers", "2"])
+        .args(["--poll-ms", "20"])
+        .args(["--lease-ttl-ms", "2000"])
+        .args(["--ship-ms", "50"])
+        .args(["--min-new-records", "8"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if let Some(addr) = leader_addr {
+        cmd.args(["--leader", addr]);
+    }
+    let mut child = cmd.spawn().expect("spawn neo-gateway");
+    // The binary prints NEO_GATEWAY_ADDR=<ip:port> once it is serving;
+    // reading that line doubles as the startup barrier.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("gateway exited before announcing its address")
+            .expect("read child stdout");
+        if let Some(addr) = line.strip_prefix("NEO_GATEWAY_ADDR=") {
+            break addr.to_string();
+        }
+    };
+    Node { child, addr }
+}
+
+/// Waits for exit with a deadline; kills and panics on timeout.
+fn wait_clean_exit(node: &mut Node, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match node.child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited non-zero: {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = node.child.kill();
+                panic!("{what} did not exit within the drain deadline");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Pulls the integer value following `"key":` out of a rendered JSON
+/// document (the docs here are flat enough for a scan to be exact).
+fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let at = doc.find(&format!("\"{key}\""))?;
+    let rest = &doc[at..];
+    let colon = rest.find(':')?;
+    let digits: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn three_process_fleet_over_loopback() {
+    let store = TempDir::new("fleet");
+    let mut leader = spawn_node("leader", &store.0, "leader-a", None);
+    let mut follower = spawn_node("follower", &store.0, "follower-b", Some(&leader.addr));
+
+    // The same scale+seed the processes used: identical workload here.
+    let db = neo_storage::datagen::imdb::generate(0.02, 42);
+    let workload = neo_query::workload::job::generate(&db, 42);
+
+    // --- Client → leader: optimize with a caller trace ----------------
+    let mut to_leader = GatewayClient::connect(&*leader.addr).expect("connect leader");
+    let caller = SpanContext {
+        trace: TraceId(0x00C0_FFEE),
+        span: SpanId(1),
+    };
+    let query = workload.queries[0].clone();
+    let reply = to_leader
+        .optimize(query.clone(), Some(caller))
+        .expect("optimize via leader");
+    assert_eq!(reply.query_id, query.id);
+
+    // The trace id we minted CLIENT-side resolves to a span waterfall
+    // recorded INSIDE the server process.
+    let waterfall = to_leader
+        .trace_waterfall(0x00C0_FFEE)
+        .expect("trace waterfall");
+    neo_obs::validate(&waterfall).expect("waterfall is valid JSON");
+    assert!(
+        waterfall.contains("rpc.optimize"),
+        "server-side rpc span under the client's trace id: {waterfall}"
+    );
+    let span_count = waterfall.matches("\"name\"").count();
+    assert!(
+        span_count >= 2,
+        "expected a waterfall (rpc.optimize + children), got {span_count} span(s): {waterfall}"
+    );
+
+    // Feedback straight to the leader is accepted.
+    assert!(to_leader
+        .report_execution(query.clone(), reply.plan.clone(), 12.5)
+        .expect("report to leader"));
+
+    // Stats carry the gateway's own wire metrics.
+    let stats = to_leader.stats().expect("leader stats");
+    neo_obs::validate(&stats).expect("stats is valid JSON");
+    for metric in [
+        "gateway_connections_total",
+        "gateway_requests_total",
+        "gateway_request_ms",
+    ] {
+        assert!(stats.contains(metric), "{metric} missing from: {stats}");
+    }
+    assert!(
+        json_u64(&stats, "generation").is_some(),
+        "stats carries the model generation: {stats}"
+    );
+
+    // --- Client → follower: health + experience relay ------------------
+    let mut to_follower = GatewayClient::connect(&*follower.addr).expect("connect follower");
+    let health = to_follower.health().expect("follower health");
+    assert!(
+        health.contains("\"follower\""),
+        "follower reports its role: {health}"
+    );
+
+    // Executions reported to the follower cross the wire twice: client →
+    // follower (report frames), follower → leader (experience batches).
+    // Enough of them trip the leader's trainer: generation reaches ≥ 1
+    // in the LEADER process, observable over its socket.
+    for (i, q) in workload.queries.iter().take(16).enumerate() {
+        let r = to_follower
+            .optimize(q.clone(), None)
+            .expect("optimize via follower");
+        assert!(to_follower
+            .report_execution(q.clone(), r.plan, 5.0 + i as f64)
+            .expect("report to follower"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let generation = loop {
+        let stats = to_leader.stats().expect("poll leader stats");
+        if let Some(g) = json_u64(&stats, "generation") {
+            if g >= 1 {
+                break g;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "leader never trained on relayed experience: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert!(generation >= 1);
+
+    // --- Graceful shutdown over the wire -------------------------------
+    assert!(to_follower.shutdown_server().expect("shutdown follower"));
+    wait_clean_exit(&mut follower, "follower");
+    assert!(to_leader.shutdown_server().expect("shutdown leader"));
+    wait_clean_exit(&mut leader, "leader");
+}
+
+#[test]
+fn standalone_round_trip() {
+    // The standalone role needs no store: spawn, optimize, shut down.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_neo-gateway"));
+    cmd.args(["--role", "standalone", "--listen", "127.0.0.1:0"])
+        .args(["--scale", "0.02", "--seed", "7", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    let mut child = cmd.spawn().expect("spawn standalone");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let addr = BufReader::new(stdout)
+        .lines()
+        .map(|l| l.expect("read stdout"))
+        .find_map(|l| l.strip_prefix("NEO_GATEWAY_ADDR=").map(str::to_string))
+        .expect("address line");
+    let db = neo_storage::datagen::imdb::generate(0.02, 7);
+    let workload = neo_query::workload::job::generate(&db, 7);
+    let mut client = GatewayClient::connect(&*addr).expect("connect");
+    let reply = client
+        .optimize(workload.queries[0].clone(), None)
+        .expect("optimize");
+    assert_eq!(reply.query_id, workload.queries[0].id);
+    assert!(client.shutdown_server().expect("shutdown"));
+    let mut node = Node { child, addr };
+    wait_clean_exit(&mut node, "standalone");
+}

@@ -1,0 +1,185 @@
+//! Adversarial frames against a *live* gateway (ISSUE 10 satellite):
+//! oversized, truncated, and garbage input must come back as typed
+//! error responses — and must never take down the accept loop. One
+//! in-process server absorbs every attack, then proves it is still
+//! healthy by optimizing a real query.
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_gateway::server::{roundtrip_raw, Gateway, GatewayConfig};
+use neo_gateway::wire::{self, errcode, kind, MAGIC, MAX_FRAME_LEN, VERSION};
+use neo_gateway::{GatewayClient, Request, Response};
+use neo_query::Workload;
+use neo_serve::{NoHooks, OptimizerService, ServeConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_gateway() -> (Gateway, Workload) {
+    let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, 7));
+    let workload = neo_query::workload::job::generate(&db, 7);
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig::default(),
+        7,
+    ));
+    let service = Arc::new(OptimizerService::new(
+        db,
+        featurizer,
+        net,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    ));
+    let gateway = Gateway::serve(service, Arc::new(NoHooks), None, GatewayConfig::default())
+        .expect("bind loopback");
+    (gateway, workload)
+}
+
+fn frame(kind_byte: u8, payload: &[u8]) -> Vec<u8> {
+    let mut bytes: Vec<u8> = MAGIC.to_vec();
+    bytes.push(VERSION);
+    bytes.push(kind_byte);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+fn expect_error(resp: Response, want_code: u8, what: &str) {
+    match resp {
+        Response::Error { code, .. } => assert_eq!(code, want_code, "{what}"),
+        other => panic!("{what}: expected a typed error, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_and_the_server_survives() {
+    let (gateway, workload) = tiny_gateway();
+    let addr = gateway.local_addr();
+
+    // 1. Garbage magic.
+    let resp = roundtrip_raw(addr, b"TRASHTRASHTRASHTRASH").expect("error frame");
+    expect_error(resp, errcode::BAD_MAGIC, "garbage magic");
+
+    // 2. Wrong protocol version.
+    let mut bad_version = frame(kind::STATS, &[]);
+    bad_version[4] = 9;
+    let resp = roundtrip_raw(addr, &bad_version).expect("error frame");
+    expect_error(resp, errcode::BAD_VERSION, "bad version");
+
+    // 3. Oversized declared length: rejected from the header alone —
+    //    the server must answer without waiting for 16 MiB to arrive.
+    let mut oversized: Vec<u8> = MAGIC.to_vec();
+    oversized.push(VERSION);
+    oversized.push(kind::OPTIMIZE);
+    oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    let resp = roundtrip_raw(addr, &oversized).expect("error frame");
+    expect_error(resp, errcode::OVERSIZED, "oversized length");
+
+    // 4. Unknown kind byte with a well-formed header.
+    let resp = roundtrip_raw(addr, &frame(0x6F, b"whatever")).expect("error frame");
+    expect_error(resp, errcode::UNKNOWN_KIND, "unknown kind");
+
+    // 5. Truncated payload of a known kind (optimize with noise bytes).
+    let resp = roundtrip_raw(addr, &frame(kind::OPTIMIZE, &[1, 2, 3])).expect("error frame");
+    expect_error(resp, errcode::MALFORMED, "truncated optimize payload");
+
+    // 6. Half a frame, then hang up mid-header: server must just drop
+    //    the connection without wedging.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&MAGIC[..2]).expect("partial write");
+        drop(stream);
+    }
+
+    // 7. A declared payload that never arrives: the gateway's stuck-peer
+    //    patience applies, but closing our end releases it immediately.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(&frame(kind::TRACE, &[0u8; 8])[..HEADER_AND_HALF])
+            .expect("partial write");
+        drop(stream);
+    }
+
+    // After all of that, the accept loop is alive and the service is
+    // functional: a real optimize round-trips on a fresh connection.
+    let mut client = GatewayClient::connect(addr).expect("connect after attacks");
+    let query = workload.queries[0].clone();
+    let reply = client.optimize(query, None).expect("optimize still works");
+    assert!(reply.optimize_ms >= 0.0);
+
+    // Metrics recorded the carnage: several wire errors, many requests.
+    let stats = client.stats().expect("stats");
+    neo_obs::validate(&stats).expect("stats is valid JSON");
+    assert!(
+        stats.contains("gateway_wire_errors_total"),
+        "wire error counter exported: {stats}"
+    );
+    drop(client);
+}
+
+/// Ten bytes of header plus half the declared trace payload.
+const HEADER_AND_HALF: usize = wire::HEADER_LEN + 4;
+
+#[test]
+fn error_frame_then_hangup_on_unrecoverable_framing() {
+    let (gateway, _) = tiny_gateway();
+    // After a framing-level error (bad magic) the server answers once and
+    // hangs up: the stream is no longer trustworthy.
+    let mut stream = TcpStream::connect(gateway.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(b"NOPE------").expect("write garbage");
+    let (kind_byte, payload) = wire::read_frame(&mut stream)
+        .expect("one error frame")
+        .expect("frame, not EOF");
+    match wire::decode_response(kind_byte, &payload).expect("decodable") {
+        Response::Error { code, .. } => assert_eq!(code, errcode::BAD_MAGIC),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // ...then EOF.
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "server should hang up after a framing error");
+}
+
+#[test]
+fn malformed_payload_keeps_the_connection_open() {
+    let (gateway, _) = tiny_gateway();
+    // A payload-level error (the frame is fine, the bytes inside are
+    // not) is answered with a typed error and the SAME connection keeps
+    // working — unlike a framing-level error, which hangs up.
+    let mut stream = TcpStream::connect(gateway.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Trace wants exactly 8 payload bytes; send 4.
+    stream
+        .write_all(&frame(kind::TRACE, &[0u8; 4]))
+        .expect("write short trace");
+    let (kind_byte, payload) = wire::read_frame(&mut stream)
+        .expect("error frame")
+        .expect("frame");
+    match wire::decode_response(kind_byte, &payload).expect("decodable") {
+        Response::Error { code, .. } => assert_eq!(code, errcode::MALFORMED),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Same stream, valid request: still served.
+    stream
+        .write_all(&wire::encode_request(&Request::Health))
+        .expect("write health");
+    let (kind_byte, payload) = wire::read_frame(&mut stream)
+        .expect("health frame")
+        .expect("frame");
+    match wire::decode_response(kind_byte, &payload).expect("decodable") {
+        Response::Json(doc) => {
+            neo_obs::validate(&doc).expect("health is valid JSON");
+        }
+        other => panic!("expected health JSON, got {other:?}"),
+    }
+}

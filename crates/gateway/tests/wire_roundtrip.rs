@@ -1,0 +1,352 @@
+//! Wire-format round-trips for every frame kind, plus the frame
+//! parser's no-panic robustness contract (ISSUE 10 satellites): a
+//! proptest feeds arbitrary byte prefixes to [`neo_gateway::wire::
+//! parse_frame`] and arbitrary payloads to the request decoder — typed
+//! errors or incompleteness, never a panic — and a live server answers
+//! oversized/truncated/garbage frames with typed error responses
+//! without killing its accept loop.
+
+use neo_gateway::wire::{
+    self, decode_request, decode_response, encode_request, encode_response, errcode, parse_frame,
+    Request, Response, HEADER_LEN, MAGIC, MAX_FRAME_LEN, VERSION,
+};
+use neo_learn::ExperienceRecord;
+use neo_obs::{SpanContext, SpanId, TraceId};
+use neo_query::{Aggregate, CmpOp, JoinEdge, JoinOp, PlanNode, Predicate, Query, ScanType};
+use neo_serve::OptimizeReply;
+use proptest::prelude::*;
+
+fn sample_query() -> Query {
+    Query {
+        id: "16b".into(),
+        family: "16".into(),
+        tables: vec![0, 3, 7],
+        joins: vec![
+            JoinEdge {
+                left_table: 0,
+                left_col: 1,
+                right_table: 3,
+                right_col: 0,
+            },
+            JoinEdge {
+                left_table: 3,
+                left_col: 2,
+                right_table: 7,
+                right_col: 0,
+            },
+        ],
+        predicates: vec![
+            Predicate::IntCmp {
+                table: 0,
+                col: 2,
+                op: CmpOp::Ge,
+                value: 1990,
+            },
+            Predicate::IntBetween {
+                table: 3,
+                col: 1,
+                lo: -5,
+                hi: 900,
+            },
+            Predicate::StrEq {
+                table: 7,
+                col: 0,
+                value: "Germany".into(),
+            },
+            Predicate::StrContains {
+                table: 7,
+                col: 1,
+                needle: "löve".into(),
+            },
+        ],
+        agg: Aggregate::Sum { table: 0, col: 4 },
+    }
+}
+
+fn sample_plan() -> PlanNode {
+    PlanNode::Join {
+        op: JoinOp::Merge,
+        left: Box::new(PlanNode::Join {
+            op: JoinOp::Hash,
+            left: Box::new(PlanNode::Scan {
+                rel: 0,
+                scan: ScanType::Index,
+            }),
+            right: Box::new(PlanNode::Scan {
+                rel: 3,
+                scan: ScanType::Table,
+            }),
+        }),
+        right: Box::new(PlanNode::Scan {
+            rel: 7,
+            scan: ScanType::Unspecified,
+        }),
+    }
+}
+
+/// Round-trips one request through encode → parse_frame → decode.
+fn roundtrip_request(req: &Request) -> Request {
+    let bytes = encode_request(req);
+    let (kind, payload, consumed) = parse_frame(&bytes)
+        .expect("self-encoded frame must parse")
+        .expect("self-encoded frame must be complete");
+    assert_eq!(consumed, bytes.len(), "no trailing bytes");
+    decode_request(kind, payload).expect("self-encoded payload must decode")
+}
+
+fn roundtrip_response(resp: &Response) -> Response {
+    let bytes = encode_response(resp);
+    let (kind, payload, _) = parse_frame(&bytes).unwrap().unwrap();
+    decode_response(kind, payload).expect("self-encoded response must decode")
+}
+
+#[test]
+fn optimize_request_round_trips() {
+    for caller in [
+        None,
+        Some(SpanContext {
+            trace: TraceId(0xDEAD_BEEF),
+            span: SpanId(0xFEED_FACE),
+        }),
+    ] {
+        let req = Request::Optimize {
+            caller,
+            query: sample_query(),
+        };
+        assert_eq!(roundtrip_request(&req), req);
+    }
+}
+
+#[test]
+fn report_request_round_trips() {
+    let req = Request::Report {
+        query: sample_query(),
+        plan: sample_plan(),
+        latency_ms: 12.75,
+    };
+    assert_eq!(roundtrip_request(&req), req);
+}
+
+#[test]
+fn admin_requests_round_trip() {
+    for req in [
+        Request::Stats,
+        Request::Health,
+        Request::Resign,
+        Request::Trace { trace: u64::MAX },
+        Request::Shutdown,
+    ] {
+        assert_eq!(roundtrip_request(&req), req);
+    }
+}
+
+#[test]
+fn experience_batch_round_trips() {
+    let query = sample_query();
+    let records: Vec<ExperienceRecord> = (0..5)
+        .map(|i| ExperienceRecord {
+            fingerprint: neo_query::fingerprint(&query),
+            query: query.clone(),
+            plan: sample_plan(),
+            latency_ms: 1.5 * (i as f64 + 1.0),
+            predicted_ms: (i % 2 == 0).then_some(2.25 * i as f64),
+        })
+        .collect();
+    let req = Request::Experience(records);
+    assert_eq!(roundtrip_request(&req), req);
+    // Empty batch too.
+    let req = Request::Experience(Vec::new());
+    assert_eq!(roundtrip_request(&req), req);
+}
+
+#[test]
+fn responses_round_trip() {
+    let reply = OptimizeReply {
+        query_id: "16b".into(),
+        fingerprint: neo_query::fingerprint(&sample_query()),
+        plan: sample_plan(),
+        cache_hit: true,
+        model_generation: 17,
+        optimize_ms: 0.625,
+        predicted_ms: Some(42.0),
+    };
+    for resp in [
+        Response::Optimize(reply),
+        Response::Ack {
+            accepted: false,
+            count: 9,
+        },
+        Response::Json("{\"ok\": true}".into()),
+        Response::Error {
+            code: errcode::MALFORMED,
+            message: "truncated payload".into(),
+        },
+    ] {
+        assert_eq!(roundtrip_response(&resp), resp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial framing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_magic_is_rejected_from_the_first_byte() {
+    let err = parse_frame(b"GARBAGE___").unwrap_err();
+    assert_eq!(err.code, errcode::BAD_MAGIC);
+    // Even a single wrong byte is enough.
+    let err = parse_frame(b"X").unwrap_err();
+    assert_eq!(err.code, errcode::BAD_MAGIC);
+}
+
+#[test]
+fn bad_version_is_rejected() {
+    let mut frame = encode_request(&Request::Stats);
+    frame[4] = VERSION + 1;
+    assert_eq!(parse_frame(&frame).unwrap_err().code, errcode::BAD_VERSION);
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocation() {
+    let mut frame: Vec<u8> = MAGIC.to_vec();
+    frame.push(VERSION);
+    frame.push(0x01);
+    frame.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    assert_eq!(parse_frame(&frame).unwrap_err().code, errcode::OVERSIZED);
+}
+
+#[test]
+fn incomplete_frames_ask_for_more_bytes() {
+    let frame = encode_request(&Request::Optimize {
+        caller: None,
+        query: sample_query(),
+    });
+    for cut in [0, 1, 4, HEADER_LEN - 1, HEADER_LEN, frame.len() - 1] {
+        assert_eq!(
+            parse_frame(&frame[..cut]).unwrap(),
+            None,
+            "prefix of {cut} bytes must be incomplete, not an error"
+        );
+    }
+}
+
+#[test]
+fn unknown_kind_and_truncated_payload_are_typed_errors() {
+    let err = decode_request(0x7E, &[]).unwrap_err();
+    assert_eq!(err.code, errcode::UNKNOWN_KIND);
+    let full = encode_request(&Request::Report {
+        query: sample_query(),
+        plan: sample_plan(),
+        latency_ms: 1.0,
+    });
+    let payload = &full[HEADER_LEN..];
+    for cut in 0..payload.len() {
+        let err = decode_request(0x02, &payload[..cut]).unwrap_err();
+        assert_eq!(err.code, errcode::MALFORMED, "cut at {cut}");
+    }
+}
+
+#[test]
+fn deep_plan_nesting_is_depth_limited() {
+    // A run of join tags, each expecting two children, is a structurally
+    // valid prefix that nests unboundedly deep. Splice it in place of a
+    // valid Report frame's plan bytes.
+    let mut payload = Vec::new();
+    let query_frame = encode_request(&Request::Report {
+        query: sample_query(),
+        plan: PlanNode::Scan {
+            rel: 0,
+            scan: ScanType::Table,
+        },
+        latency_ms: 1.0,
+    });
+    // Locate the plan bytes: scan encodes as [0, rel u32, scan u8] and
+    // sits 9 + 8 bytes before the end (latency f64 follows).
+    let plan_off = query_frame.len() - 8 - 6;
+    payload.extend_from_slice(&query_frame[HEADER_LEN..plan_off]);
+    for _ in 0..2_000 {
+        payload.push(1); // join tag
+        payload.push(0); // hash op
+    }
+    let err = decode_request(0x02, &payload).unwrap_err();
+    assert_eq!(err.code, errcode::MALFORMED);
+    assert!(err.message.contains("nesting"), "got: {}", err.message);
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: arbitrary byte prefixes never panic the parser or decoder
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parse_frame_never_panics_on_arbitrary_bytes(
+        bytes in collection::vec(any::<u8>(), 0..128)
+    ) {
+        // Any outcome is fine; panicking or allocating absurdly is not.
+        let _ = parse_frame(&bytes);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_arbitrary_payloads(
+        kind in any::<u8>(),
+        payload in collection::vec(any::<u8>(), 0..96)
+    ) {
+        let _ = decode_request(kind, &payload);
+        let _ = decode_response(kind, &payload);
+    }
+
+    #[test]
+    fn valid_frame_with_corrupt_payload_decodes_to_typed_error_or_value(
+        corrupt in collection::vec(any::<u8>(), 0..64)
+    ) {
+        // A structurally valid *frame* whose payload is noise must come
+        // back as Ok(request) or a typed WireError — never a panic.
+        let mut frame: Vec<u8> = MAGIC.to_vec();
+        frame.push(VERSION);
+        frame.push(0x01); // optimize
+        frame.extend_from_slice(&(corrupt.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&corrupt);
+        let parsed = parse_frame(&frame).expect("framing is valid");
+        let (kind, payload, _) = parsed.expect("frame is complete");
+        if let Err(e) = decode_request(kind, payload) {
+            prop_assert!(e.code == errcode::MALFORMED || e.code == errcode::UNKNOWN_KIND);
+        }
+    }
+
+    #[test]
+    fn truncations_of_a_valid_frame_are_incomplete_or_malformed(
+        seed in any::<u64>()
+    ) {
+        let req = Request::Trace { trace: seed };
+        let frame = encode_request(&req);
+        for cut in 0..frame.len() {
+            match parse_frame(&frame[..cut]) {
+                Ok(None) => {}                       // incomplete: fine
+                Ok(Some(_)) => prop_assert!(false, "truncation parsed as complete"),
+                Err(e) => prop_assert!(e.code != 0), // typed error: fine
+            }
+        }
+        // The whole frame round-trips.
+        let (kind, payload, _) = parse_frame(&frame).unwrap().unwrap();
+        prop_assert_eq!(decode_request(kind, payload).unwrap(), req);
+    }
+}
+
+// `wire::` is exercised via the re-exports above; keep the module import
+// honest even if re-exports change.
+#[test]
+fn max_frame_len_is_enforced_by_read_frame_too() {
+    use std::io::Cursor;
+    let mut bytes: Vec<u8> = MAGIC.to_vec();
+    bytes.push(VERSION);
+    bytes.push(0x01);
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 64]);
+    let mut cursor = Cursor::new(bytes);
+    match wire::read_frame(&mut cursor) {
+        Err(wire::FrameReadError::Protocol(e)) => assert_eq!(e.code, errcode::OVERSIZED),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+}

@@ -61,8 +61,10 @@ pub mod replay;
 pub mod retry;
 pub mod sink;
 pub mod trainer;
+pub mod transport;
 
 pub use replay::{canonical_id, ReplayBuffer, ReplayConfig};
 pub use retry::{RetryPolicy, RetrySnapshot, RetryStats};
 pub use sink::{ExperienceRecord, ExperienceSink, DEFAULT_SINK_SHARDS};
 pub use trainer::{BackgroundTrainer, GenerationObserver, GenerationStats, TrainerConfig};
+pub use transport::{ExperienceRelay, ExperienceTransport, LocalTransport, RelayStats};

@@ -20,8 +20,9 @@ use std::sync::Mutex;
 pub const DEFAULT_SINK_SHARDS: usize = 16;
 
 /// One observed execution: the query, the plan the service chose for it,
-/// and the measured latency.
-#[derive(Clone, Debug)]
+/// and the measured latency. Equality is structural (used by the wire
+/// codec's round-trip tests).
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperienceRecord {
     /// Canonical structural fingerprint of the query (the replay key).
     pub fingerprint: QueryFingerprint,

@@ -1,0 +1,300 @@
+//! Experience transport (ISSUE 10): the wire half of the learning loop.
+//!
+//! In a single-process fleet every node pushes into one shared
+//! [`ExperienceSink`] `Arc` and the leader's trainer drains it. Across OS
+//! processes there is no shared `Arc` — a follower's observations must be
+//! *shipped* to the leader. This module defines that seam without naming
+//! a transport:
+//!
+//! * [`ExperienceTransport`] — "deliver these records to the leader";
+//!   implemented over TCP by `neo-gateway` and in-process by
+//!   [`LocalTransport`] (tests, single-process fleets);
+//! * [`ExperienceRelay`] — a background thread that periodically drains a
+//!   node-local sink and ships the batch, with bounded requeue on
+//!   transient failure so a leader restart loses at most one in-flight
+//!   batch.
+//!
+//! The leader side needs nothing new: shipped records arrive through the
+//! same `report-execution` path local workers use, land in the leader's
+//! own sink, and the trainer cannot tell the difference.
+
+use crate::sink::{ExperienceRecord, ExperienceSink};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Delivers a batch of experience records to wherever the fleet's
+/// trainer drains. Implementations must be safe to call from a
+/// background thread and should return `Err` only for *transport*
+/// failures (connection refused, broken pipe) — per-record rejection
+/// (non-finite latency) happens at the receiving sink.
+pub trait ExperienceTransport: Send + Sync {
+    /// Ships `records`, returning how many the far side accepted.
+    fn ship(&self, records: &[ExperienceRecord]) -> io::Result<usize>;
+}
+
+/// The in-process transport: "shipping" is pushing straight into the
+/// destination sink. Single-process fleets and tests use this so the
+/// relay machinery is exercised identically with and without a socket.
+pub struct LocalTransport {
+    dest: Arc<ExperienceSink>,
+}
+
+impl LocalTransport {
+    /// A transport delivering into `dest`.
+    pub fn new(dest: Arc<ExperienceSink>) -> Self {
+        LocalTransport { dest }
+    }
+}
+
+impl ExperienceTransport for LocalTransport {
+    fn ship(&self, records: &[ExperienceRecord]) -> io::Result<usize> {
+        for r in records {
+            self.dest.push(r.clone());
+        }
+        Ok(records.len())
+    }
+}
+
+/// Counters published by a running [`ExperienceRelay`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelayStats {
+    /// Records successfully shipped (as counted by the transport).
+    pub shipped: u64,
+    /// Ship attempts that failed at the transport layer.
+    pub failed_ships: u64,
+    /// Records dropped because the requeue buffer was full.
+    pub dropped: u64,
+}
+
+/// Shared state between the relay thread and its handle.
+struct RelayShared {
+    source: Arc<ExperienceSink>,
+    transport: Arc<dyn ExperienceTransport>,
+    stop: AtomicBool,
+    shipped: AtomicU64,
+    failed_ships: AtomicU64,
+    dropped: AtomicU64,
+    /// Cap on records held back across failed ships; beyond it the
+    /// oldest are dropped (the replay buffer upstream is lossy-bounded
+    /// too, so unbounded buffering here would only hide an outage).
+    requeue_cap: usize,
+}
+
+/// A background thread draining a node-local [`ExperienceSink`] and
+/// shipping batches through an [`ExperienceTransport`] — the follower
+/// half of the cross-process learning loop. Dropping the handle stops
+/// and joins the thread after one final drain-and-ship.
+pub struct ExperienceRelay {
+    shared: Arc<RelayShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExperienceRelay {
+    /// Default cap on records requeued across transport failures.
+    pub const DEFAULT_REQUEUE_CAP: usize = 4096;
+
+    /// Spawns the relay: every `interval` it drains `source` and ships
+    /// the batch through `transport`.
+    pub fn spawn(
+        source: Arc<ExperienceSink>,
+        transport: Arc<dyn ExperienceTransport>,
+        interval: Duration,
+    ) -> Self {
+        let shared = Arc::new(RelayShared {
+            source,
+            transport,
+            stop: AtomicBool::new(false),
+            shipped: AtomicU64::new(0),
+            failed_ships: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            requeue_cap: Self::DEFAULT_REQUEUE_CAP,
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("experience-relay".into())
+            .spawn(move || {
+                let mut held: Vec<ExperienceRecord> = Vec::new();
+                loop {
+                    let stopping = worker.stop.load(Ordering::Acquire);
+                    held.extend(worker.source.drain());
+                    if held.len() > worker.requeue_cap {
+                        let excess = held.len() - worker.requeue_cap;
+                        held.drain(..excess);
+                        worker.dropped.fetch_add(excess as u64, Ordering::Release);
+                    }
+                    if !held.is_empty() {
+                        match worker.transport.ship(&held) {
+                            Ok(n) => {
+                                worker.shipped.fetch_add(n as u64, Ordering::Release);
+                                held.clear();
+                            }
+                            Err(_) => {
+                                // Keep the batch; retried next tick.
+                                worker.failed_ships.fetch_add(1, Ordering::Release);
+                            }
+                        }
+                    }
+                    if stopping {
+                        break;
+                    }
+                    std::thread::park_timeout(interval);
+                }
+            })
+            .expect("spawn experience-relay thread");
+        ExperienceRelay {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Current relay counters.
+    pub fn stats(&self) -> RelayStats {
+        RelayStats {
+            shipped: self.shared.shipped.load(Ordering::Acquire),
+            failed_ships: self.shared.failed_ships.load(Ordering::Acquire),
+            dropped: self.shared.dropped.load(Ordering::Acquire),
+        }
+    }
+
+    /// Wakes the relay thread for an immediate drain-and-ship.
+    pub fn kick(&self) {
+        if let Some(t) = &self.thread {
+            t.thread().unpark();
+        }
+    }
+
+    /// Stops the thread (after one final drain-and-ship) and joins it.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ExperienceRelay {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_query::{fingerprint, Aggregate, Query};
+    use std::sync::Mutex;
+
+    fn record(latency_ms: f64) -> ExperienceRecord {
+        let query = Query {
+            id: "q".into(),
+            family: "t".into(),
+            tables: vec![0],
+            joins: vec![],
+            predicates: vec![],
+            agg: Aggregate::CountStar,
+        };
+        ExperienceRecord {
+            fingerprint: fingerprint(&query),
+            plan: neo_query::PlanNode::Scan {
+                rel: 0,
+                scan: neo_query::ScanType::Table,
+            },
+            query,
+            latency_ms,
+            predicted_ms: None,
+        }
+    }
+
+    #[test]
+    fn local_transport_delivers_into_destination_sink() {
+        let dest = Arc::new(ExperienceSink::default());
+        let t = LocalTransport::new(Arc::clone(&dest));
+        assert_eq!(t.ship(&[record(1.0), record(2.0)]).unwrap(), 2);
+        assert_eq!(dest.pending(), 2);
+    }
+
+    #[test]
+    fn relay_drains_source_and_ships() {
+        let source = Arc::new(ExperienceSink::default());
+        let dest = Arc::new(ExperienceSink::default());
+        let relay = ExperienceRelay::spawn(
+            Arc::clone(&source),
+            Arc::new(LocalTransport::new(Arc::clone(&dest))),
+            Duration::from_millis(5),
+        );
+        for i in 0..10 {
+            source.push(record(i as f64));
+        }
+        relay.kick();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while dest.pending() < 10 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(dest.pending(), 10);
+        assert_eq!(relay.stats().shipped, 10);
+        assert_eq!(source.pending(), 0);
+    }
+
+    /// A transport that fails its first N ships, then recovers.
+    struct Flaky {
+        dest: Arc<ExperienceSink>,
+        failures_left: Mutex<u32>,
+    }
+
+    impl ExperienceTransport for Flaky {
+        fn ship(&self, records: &[ExperienceRecord]) -> io::Result<usize> {
+            let mut left = self.failures_left.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "down"));
+            }
+            for r in records {
+                self.dest.push(r.clone());
+            }
+            Ok(records.len())
+        }
+    }
+
+    #[test]
+    fn relay_requeues_across_transport_failures() {
+        let source = Arc::new(ExperienceSink::default());
+        let dest = Arc::new(ExperienceSink::default());
+        let relay = ExperienceRelay::spawn(
+            Arc::clone(&source),
+            Arc::new(Flaky {
+                dest: Arc::clone(&dest),
+                failures_left: Mutex::new(2),
+            }),
+            Duration::from_millis(2),
+        );
+        for i in 0..5 {
+            source.push(record(i as f64));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while dest.pending() < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(dest.pending(), 5, "records survive transient failures");
+        let stats = relay.stats();
+        assert!(stats.failed_ships >= 2);
+        assert_eq!(stats.shipped, 5);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn final_drain_ships_on_stop() {
+        let source = Arc::new(ExperienceSink::default());
+        let dest = Arc::new(ExperienceSink::default());
+        let mut relay = ExperienceRelay::spawn(
+            Arc::clone(&source),
+            Arc::new(LocalTransport::new(Arc::clone(&dest))),
+            Duration::from_secs(3600), // never ticks on its own
+        );
+        source.push(record(1.0));
+        relay.stop();
+        assert_eq!(dest.pending(), 1, "stop performs a final drain-and-ship");
+    }
+}

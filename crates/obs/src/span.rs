@@ -270,6 +270,33 @@ impl SpanRing {
         obj
     }
 
+    /// The retained spans of one trace, ordered by start time — the
+    /// waterfall a remote caller reads back after propagating its trace
+    /// context across a socket (ISSUE 10). Empty when the ring has
+    /// already recycled the trace (bounded retention is the contract).
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<Span> {
+        let mut spans: Vec<Span> = self
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        spans.sort_by_key(|s| s.start_us);
+        spans
+    }
+
+    /// One trace's waterfall as a JSON object:
+    /// `{trace: "<hex>", spans: [...]}` — what the gateway's admin
+    /// `trace` verb answers with.
+    pub fn trace_to_node(&self, trace: TraceId) -> JsonNode {
+        let mut obj = JsonNode::obj();
+        obj.push("trace", JsonNode::Str(format!("{trace}")));
+        obj.push(
+            "spans",
+            JsonNode::Arr(self.trace_spans(trace).iter().map(Span::to_node).collect()),
+        );
+        obj
+    }
+
     /// Starts a direct (always-recorded) root span — the lineage style.
     pub fn root(self: &Arc<Self>, name: &'static str, node: &str) -> SpanGuard {
         SpanGuard {

@@ -34,7 +34,9 @@ pub enum Aggregate {
 }
 
 /// A logical query: `R(q)`, its join graph, and its predicates.
-#[derive(Clone, Debug)]
+/// Equality is structural — what the wire codec's round-trip tests and
+/// the cross-process serving boundary compare.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Query {
     /// Workload-unique id, e.g. `"16b"` (JOB style).
     pub id: String,

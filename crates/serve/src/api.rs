@@ -1,0 +1,290 @@
+//! Transport-agnostic service API — the core half of the serving
+//! boundary (ISSUE 10).
+//!
+//! [`OptimizerService`] grew up being called through `Arc`s shared within
+//! one process. A network gateway needs a different shape: a closed set
+//! of request/response values that can be serialized, dispatched, and
+//! answered without the caller holding any service internals. This module
+//! is that seam:
+//!
+//! * [`ApiRequest`] / [`ApiResponse`] — the complete service surface a
+//!   remote caller can reach (optimize, execution feedback, admin);
+//! * [`dispatch`] — one pure-ish function from request to response over a
+//!   service reference, shared by every transport (the in-process
+//!   examples, `neo-gateway`'s TCP loop, and tests);
+//! * [`AdminHooks`] — the cluster-role escape hatch: `resign` and role
+//!   metadata live above the service (in `neo-cluster`'s node), so the
+//!   transport injects them instead of the service knowing about leases.
+//!
+//! Serialization lives **outside** this module (in `neo-gateway`'s wire
+//! codec): requests here are plain owned values, so any future transport
+//! (HTTP, shared memory, a different frame format) reuses the same
+//! dispatch and the same tests.
+
+use crate::service::{OptimizeOutcome, OptimizerService};
+use neo_obs::{JsonNode, TraceId};
+use neo_query::{PlanNode, Query, QueryFingerprint};
+
+/// Everything a remote caller can ask of a serving node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiRequest {
+    /// Optimize one query and return the chosen plan.
+    Optimize {
+        /// The query to optimize (validated against the node's schema by
+        /// the search itself; an invalid query fails the search, not the
+        /// transport).
+        query: Query,
+    },
+    /// Report one observed execution back into the learning loop
+    /// (the paper's Fig. 1 feedback edge, crossing the wire).
+    ReportExecution {
+        /// The executed query.
+        query: Query,
+        /// The plan that ran.
+        plan: PlanNode,
+        /// Observed wall-clock latency, milliseconds. Non-finite or
+        /// negative values are rejected at this boundary.
+        latency_ms: f64,
+    },
+    /// Full stats: generation/term, cache stats, metrics snapshot.
+    Stats,
+    /// Cheap liveness probe: role, generation, term.
+    Health,
+    /// The span waterfall recorded for one trace id (how a client
+    /// verifies its propagated trace landed inside the server).
+    Trace {
+        /// Raw trace id (see [`neo_obs::TraceId`]).
+        trace: u64,
+    },
+    /// Ask the node to resign leadership (no-op on non-leaders).
+    Resign,
+}
+
+/// What [`dispatch`] answers with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiResponse {
+    /// Answer to [`ApiRequest::Optimize`].
+    Optimize(OptimizeReply),
+    /// Answer to feedback/admin verbs: was the action accepted?
+    Ack {
+        /// True when the report/resign was accepted and applied.
+        accepted: bool,
+    },
+    /// A rendered JSON document (stats, health, trace waterfalls).
+    Json(String),
+}
+
+/// The wire-shaped subset of [`OptimizeOutcome`]: everything a remote
+/// client needs, nothing that drags service internals (search stats and
+/// per-query traces stay node-local; the trace *id* travels instead).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimizeReply {
+    /// The query's id (as submitted).
+    pub query_id: String,
+    /// Canonical structural fingerprint (the cache key).
+    pub fingerprint: QueryFingerprint,
+    /// The chosen physical plan.
+    pub plan: PlanNode,
+    /// True when the plan came from the plan cache.
+    pub cache_hit: bool,
+    /// Model generation whose weights chose the plan.
+    pub model_generation: u64,
+    /// Server-side optimize latency, milliseconds.
+    pub optimize_ms: f64,
+    /// The model's predicted latency for the plan (None on cache hits).
+    pub predicted_ms: Option<f64>,
+}
+
+impl From<OptimizeOutcome> for OptimizeReply {
+    fn from(o: OptimizeOutcome) -> Self {
+        OptimizeReply {
+            query_id: o.query_id,
+            fingerprint: o.fingerprint,
+            plan: o.plan,
+            cache_hit: o.cache_hit,
+            model_generation: o.model_generation,
+            optimize_ms: o.optimize_ms,
+            predicted_ms: o.predicted_ms,
+        }
+    }
+}
+
+/// Node-level admin the service itself cannot answer: leadership and
+/// role identity live in the cluster layer, so transports inject them.
+pub trait AdminHooks: Send + Sync {
+    /// The node's name (lease holder id, span labels).
+    fn node(&self) -> String {
+        "standalone".to_string()
+    }
+
+    /// The node's current role (`leader` / `follower` / `standalone`).
+    fn role(&self) -> String {
+        "standalone".to_string()
+    }
+
+    /// Resign leadership. Default: nothing to resign.
+    fn resign(&self) -> bool {
+        false
+    }
+}
+
+/// Hooks for a service running outside any cluster.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHooks;
+
+impl AdminHooks for NoHooks {}
+
+/// Dispatches one API request against a service. Every transport calls
+/// this — the behavior of a verb is defined here once, so an in-process
+/// caller and a TCP client observe identical semantics.
+pub fn dispatch(
+    service: &OptimizerService,
+    hooks: &dyn AdminHooks,
+    request: ApiRequest,
+) -> ApiResponse {
+    match request {
+        ApiRequest::Optimize { query } => {
+            ApiResponse::Optimize(OptimizeReply::from(service.optimize(&query)))
+        }
+        ApiRequest::ReportExecution {
+            query,
+            plan,
+            latency_ms,
+        } => {
+            // The sink re-checks, but rejecting here gives the remote
+            // caller an honest ack instead of a silent drop.
+            if !latency_ms.is_finite() || latency_ms < 0.0 {
+                return ApiResponse::Ack { accepted: false };
+            }
+            service.report_execution(&query, &plan, latency_ms);
+            ApiResponse::Ack { accepted: true }
+        }
+        ApiRequest::Stats => {
+            let cache = service.cache_stats();
+            let mut cache_node = JsonNode::obj();
+            cache_node.push("hits", JsonNode::U64(cache.hits));
+            cache_node.push("misses", JsonNode::U64(cache.misses));
+            cache_node.push("insertions", JsonNode::U64(cache.insertions));
+            cache_node.push("evictions", JsonNode::U64(cache.evictions));
+            cache_node.push("hit_rate", JsonNode::f64_rounded(cache.hit_rate(), 4));
+            let mut node = status_node(service, hooks);
+            node.push("cache", cache_node);
+            node.push("metrics", service.metrics_snapshot().to_node());
+            ApiResponse::Json(node.render())
+        }
+        ApiRequest::Health => ApiResponse::Json(status_node(service, hooks).render()),
+        ApiRequest::Trace { trace } => {
+            ApiResponse::Json(service.span_ring().trace_to_node(TraceId(trace)).render())
+        }
+        ApiRequest::Resign => ApiResponse::Ack {
+            accepted: hooks.resign(),
+        },
+    }
+}
+
+/// The shared `{node, role, generation, term}` prefix of stats/health.
+fn status_node(service: &OptimizerService, hooks: &dyn AdminHooks) -> JsonNode {
+    let mut node = JsonNode::obj();
+    node.push("node", JsonNode::Str(hooks.node()));
+    node.push("role", JsonNode::Str(hooks.role()));
+    node.push("generation", JsonNode::U64(service.model_generation()));
+    node.push("term", JsonNode::U64(service.model_term()));
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+    use std::sync::Arc;
+
+    fn tiny_service() -> (OptimizerService, Vec<Query>) {
+        let db = Arc::new(neo_storage::datagen::imdb::generate(0.02, 7));
+        let workload = neo_query::workload::job::generate(&db, 7);
+        let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+        let net = Arc::new(ValueNet::new(
+            featurizer.query_dim(),
+            featurizer.plan_channels(),
+            NetConfig::default(),
+            7,
+        ));
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        (
+            OptimizerService::new(db, featurizer, net, cfg),
+            workload.queries,
+        )
+    }
+
+    #[test]
+    fn optimize_round_trip_matches_direct_call() {
+        let (service, queries) = tiny_service();
+        let q = queries[0].clone();
+        let direct = service.optimize(&q);
+        let via_api = dispatch(&service, &NoHooks, ApiRequest::Optimize { query: q });
+        match via_api {
+            ApiResponse::Optimize(reply) => {
+                assert_eq!(reply.query_id, direct.query_id);
+                assert_eq!(reply.fingerprint, direct.fingerprint);
+                // Same model generation + deterministic search ⇒ same plan.
+                assert_eq!(reply.plan, direct.plan);
+                assert_eq!(reply.model_generation, direct.model_generation);
+            }
+            other => panic!("expected Optimize response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_rejects_nonfinite_latency() {
+        let (service, queries) = tiny_service();
+        let q = queries[0].clone();
+        let plan = service.optimize(&q).plan;
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let resp = dispatch(
+                &service,
+                &NoHooks,
+                ApiRequest::ReportExecution {
+                    query: q.clone(),
+                    plan: plan.clone(),
+                    latency_ms: bad,
+                },
+            );
+            assert_eq!(resp, ApiResponse::Ack { accepted: false });
+        }
+        let ok = dispatch(
+            &service,
+            &NoHooks,
+            ApiRequest::ReportExecution {
+                query: q,
+                plan,
+                latency_ms: 3.5,
+            },
+        );
+        assert_eq!(ok, ApiResponse::Ack { accepted: true });
+    }
+
+    #[test]
+    fn stats_and_health_render_valid_json() {
+        let (service, queries) = tiny_service();
+        service.optimize(&queries[0]);
+        for req in [ApiRequest::Stats, ApiRequest::Health] {
+            match dispatch(&service, &NoHooks, req) {
+                ApiResponse::Json(s) => {
+                    neo_obs::validate(&s).expect("dispatch must render valid JSON");
+                    assert!(s.contains("\"role\": \"standalone\""));
+                }
+                other => panic!("expected Json, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resign_without_hooks_is_refused() {
+        let (service, _) = tiny_service();
+        let resp = dispatch(&service, &NoHooks, ApiRequest::Resign);
+        assert_eq!(resp, ApiResponse::Ack { accepted: false });
+    }
+}

@@ -52,6 +52,7 @@
 //! println!("optimized {} queries, hit rate {hit_rate:.2}", outcomes.len());
 //! ```
 
+pub mod api;
 pub mod cache;
 pub mod health;
 pub mod join;
@@ -59,6 +60,7 @@ pub mod pool;
 pub mod service;
 pub mod slot;
 
+pub use api::{dispatch, AdminHooks, ApiRequest, ApiResponse, NoHooks, OptimizeReply};
 pub use cache::{CacheStats, PlanCache, DEFAULT_SHARDS, DEFAULT_SHARD_CAPACITY};
 pub use health::{HealthPolicy, HealthSnapshot, HealthState, HealthTracker};
 pub use join::{join_named, join_named_or_ignore_during_unwind};

@@ -1,0 +1,106 @@
+//! Gateway tour: Neo's optimizer served over a real TCP socket.
+//!
+//! Everything the other examples do happens inside one process; this
+//! one crosses a genuine network boundary. A gateway server binds a
+//! loopback port in a background thread, and a [`GatewayClient`] talks
+//! to it using the length-prefixed wire protocol — the same protocol
+//! the `neo-gateway` binary serves, so the client half of this example
+//! works unchanged against a separate leader/follower fleet:
+//!
+//! ```text
+//! neo-gateway --role leader   --store /tmp/fleet &
+//! neo-gateway --role follower --store /tmp/fleet --leader 127.0.0.1:PORT &
+//! ```
+//!
+//! The tour: optimize a query (with a client-minted trace id), report
+//! its observed latency back, pull the server's stats, fetch the span
+//! waterfall the SERVER recorded under OUR trace id, and shut the
+//! gateway down over the wire.
+//!
+//! ```text
+//! cargo run --release --example gateway_tour
+//! ```
+
+use neo::{Featurization, Featurizer, NetConfig, ValueNet};
+use neo_gateway::client::GatewayClient;
+use neo_gateway::server::{Gateway, GatewayConfig};
+use neo_obs::{SpanContext, SpanId, TraceId};
+use neo_query::workload::job;
+use neo_serve::{NoHooks, OptimizerService, ServeConfig};
+use neo_storage::datagen::imdb;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A small deterministic service: database, featurizer, value net.
+    println!("building optimizer service ...");
+    let db = Arc::new(imdb::generate(0.05, 42));
+    let workload = job::generate(&db, 42);
+    let featurizer = Arc::new(Featurizer::new(&db, Featurization::Histogram));
+    let net = Arc::new(ValueNet::new(
+        featurizer.query_dim(),
+        featurizer.plan_channels(),
+        NetConfig::default(),
+        42,
+    ));
+    let service = Arc::new(OptimizerService::new(
+        db,
+        featurizer,
+        net,
+        ServeConfig::default(),
+    ));
+
+    // 2. Serve it on a loopback socket. The accept loop runs in a
+    //    background thread; `127.0.0.1:0` asks the OS for a free port.
+    let gateway = Gateway::serve(
+        Arc::clone(&service),
+        Arc::new(NoHooks),
+        None,
+        GatewayConfig::default(),
+    )
+    .expect("bind loopback gateway");
+    println!("gateway serving on {}", gateway.local_addr());
+
+    // 3. A client connection. Mint a trace id CLIENT-side and send it
+    //    along: the server will record its rpc.optimize span waterfall
+    //    under this id, queryable later over the same socket.
+    let mut client = GatewayClient::connect(gateway.local_addr()).expect("connect");
+    let caller = SpanContext {
+        trace: TraceId(0x7007_CAFE),
+        span: SpanId(1),
+    };
+    let query = workload.queries[0].clone();
+    let reply = client
+        .optimize(query.clone(), Some(caller))
+        .expect("optimize over the wire");
+    println!(
+        "optimized {:>4}: cache_hit={} generation={} {:.2} ms server-side",
+        reply.query_id, reply.cache_hit, reply.model_generation, reply.optimize_ms
+    );
+    println!("  plan: {}", reply.plan.describe());
+
+    // 4. Close the loop: report the plan's observed execution latency.
+    //    (A real deployment reports what its executor measured; here we
+    //    pretend the prediction was 10% optimistic.)
+    let observed_ms = reply.predicted_ms.unwrap_or(10.0) * 1.1;
+    let accepted = client
+        .report_execution(query.clone(), reply.plan.clone(), observed_ms)
+        .expect("report execution");
+    println!("reported {observed_ms:.2} ms execution: accepted={accepted}");
+
+    // 5. Admin plane, same socket: stats and the trace waterfall.
+    let stats = client.stats().expect("stats");
+    println!(
+        "stats document: {} bytes of JSON (gateway counters included: {})",
+        stats.len(),
+        stats.contains("gateway_requests_total")
+    );
+    let waterfall = client
+        .trace_waterfall(0x7007_CAFE)
+        .expect("trace waterfall");
+    println!("server-side span waterfall for our trace id:\n{waterfall}");
+
+    // 6. Shut the server down over the wire; in-flight work drains.
+    client.shutdown_server().expect("shutdown");
+    drop(gateway); // join the drained accept loop
+    println!("gateway drained and closed — tour complete");
+}
